@@ -1,0 +1,84 @@
+//! Ablation: interval-driven vs. detection-driven re-planning (§2).
+//!
+//! The paper's framework names *workload detection* as the first half of
+//! workload adaptation but its prototype re-plans on a fixed interval. This
+//! bench compares the paper's interval-only planner against one that also
+//! re-plans the moment the arrival-rate detector flags an intensity change,
+//! under a deliberately sluggish control interval that makes the difference
+//! visible.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qsched_bench::{print_figure, scaled_config, scaled_scheduler_config, TIMING_SCALE};
+use qsched_core::detect::DetectorConfig;
+use qsched_dbms::query::ClassId;
+use qsched_experiments::chart::render_table;
+use qsched_experiments::config::ControllerSpec;
+use qsched_experiments::figures::run_parallel;
+use qsched_sim::SimDuration;
+
+const ABLATION_SCALE: f64 = 0.1;
+
+fn spec(reactive: bool, scale: f64) -> ControllerSpec {
+    let mut sc = scaled_scheduler_config(scale);
+    // One plan per period: adaptation within a period only happens if the
+    // detector triggers it.
+    sc.control_interval = SimDuration::from_secs_f64(80.0 * 60.0 * scale);
+    sc.reactive_replanning = reactive;
+    sc.detector = DetectorConfig {
+        window: SimDuration::from_secs_f64((60.0 * scale * 10.0).max(5.0)),
+        ewma_alpha: 0.3,
+        change_threshold: 0.3,
+        min_windows: 2,
+    };
+    ControllerSpec::QueryScheduler(sc)
+}
+
+fn bench(c: &mut Criterion) {
+    let outs = run_parallel(vec![
+        scaled_config(spec(false, ABLATION_SCALE), ABLATION_SCALE),
+        scaled_config(spec(true, ABLATION_SCALE), ABLATION_SCALE),
+    ]);
+    let rows: Vec<Vec<String>> = ["interval only (paper)", "interval + detection"]
+        .iter()
+        .zip(&outs)
+        .map(|(v, out)| {
+            let plans = out
+                .plan_log
+                .as_ref()
+                .map(|l| l.all()[0].1.len())
+                .unwrap_or(0);
+            vec![
+                (*v).to_string(),
+                out.report.violations(ClassId(3)).to_string(),
+                (out.report.violations(ClassId(1)) + out.report.violations(ClassId(2)))
+                    .to_string(),
+                plans.to_string(),
+            ]
+        })
+        .collect();
+    print_figure(
+        "ABLATION: workload detection (sluggish 1-plan-per-period planner)",
+        &render_table(
+            "re-planning trigger vs goal adherence",
+            &["planner", "c3 viol", "olap viol", "plans"],
+            &rows,
+        ),
+    );
+
+    let mut g = c.benchmark_group("ablation_detection");
+    g.sample_size(10);
+    for (reactive, label) in [(false, "interval_only"), (true, "with_detection")] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                qsched_experiments::world::run_experiment(&scaled_config(
+                    spec(reactive, TIMING_SCALE),
+                    TIMING_SCALE,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

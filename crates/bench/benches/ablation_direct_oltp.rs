@@ -1,0 +1,71 @@
+//! Ablation: direct vs. indirect OLTP control (§3 / §5 future work).
+//!
+//! The paper rejects intercepting the OLTP class because the Query Patroller
+//! overhead "significantly outweighed the sub-second execution time of the
+//! OLTP queries". This bench runs both variants and quantifies the damage:
+//! under direct control every transaction pays interception latency and
+//! bookkeeping CPU, so the OLTP class blows its SLO regardless of the
+//! scheduling plan — exactly why the paper controls it indirectly.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qsched_bench::{print_figure, scaled_config, scaled_scheduler_config, TIMING_SCALE};
+use qsched_dbms::query::ClassId;
+use qsched_experiments::chart::render_table;
+use qsched_experiments::config::ControllerSpec;
+use qsched_experiments::figures::run_parallel;
+
+const ABLATION_SCALE: f64 = 0.1;
+
+fn spec(direct: bool, scale: f64) -> ControllerSpec {
+    let mut sc = scaled_scheduler_config(scale);
+    sc.direct_oltp = direct;
+    ControllerSpec::QueryScheduler(sc)
+}
+
+fn bench(c: &mut Criterion) {
+    let outs = run_parallel(vec![
+        scaled_config(spec(false, ABLATION_SCALE), ABLATION_SCALE),
+        scaled_config(spec(true, ABLATION_SCALE), ABLATION_SCALE),
+    ]);
+    let rows: Vec<Vec<String>> = ["indirect (paper)", "direct (intercept OLTP)"]
+        .iter()
+        .zip(&outs)
+        .map(|(v, out)| {
+            let mean_resp: f64 = (0..out.report.periods.len())
+                .filter_map(|p| out.report.metric(p, ClassId(3)))
+                .sum::<f64>()
+                / out.report.periods.len() as f64;
+            vec![
+                (*v).to_string(),
+                out.report.violations(ClassId(3)).to_string(),
+                format!("{mean_resp:.3}"),
+                format!("{}", out.summary.oltp_completed),
+            ]
+        })
+        .collect();
+    print_figure(
+        "ABLATION: direct vs indirect OLTP control (§3 — why the paper is indirect)",
+        &render_table(
+            "control scheme vs OLTP outcome (goal 0.25 s)",
+            &["scheme", "c3 viol", "c3 mean resp (s)", "oltp done"],
+            &rows,
+        ),
+    );
+
+    let mut g = c.benchmark_group("ablation_direct_oltp");
+    g.sample_size(10);
+    for (direct, label) in [(false, "indirect"), (true, "direct")] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                qsched_experiments::world::run_experiment(&scaled_config(
+                    spec(direct, TIMING_SCALE),
+                    TIMING_SCALE,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

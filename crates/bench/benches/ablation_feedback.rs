@@ -1,0 +1,108 @@
+//! Ablation: model-based utility optimisation (the paper) vs. classic PI
+//! feedback control.
+//!
+//! A PI controller needs no performance models and no solver — it just
+//! chases the OLTP error signal. What the Query Scheduler's machinery buys
+//! is (a) *coordinated* multi-class trade-offs (the PI split rule is a
+//! heuristic) and (b) anticipation via the models rather than reaction via
+//! the error. Gains for the PI controller are hand-tuned per system; the
+//! Query Scheduler self-calibrates through its regression.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qsched_bench::{print_figure, scaled_config, scaled_scheduler_config, TIMING_SCALE};
+use qsched_core::feedback::PiConfig;
+use qsched_dbms::query::ClassId;
+use qsched_experiments::chart::render_table;
+use qsched_experiments::config::ControllerSpec;
+use qsched_experiments::figures::run_parallel;
+use qsched_sim::SimDuration;
+
+const ABLATION_SCALE: f64 = 0.1;
+
+fn variants(scale: f64) -> Vec<(&'static str, ControllerSpec)> {
+    let scaled_interval = SimDuration::from_secs_f64((240.0 * scale).max(10.0));
+    let snapshot = SimDuration::from_secs_f64((10.0 * scale).max(1.0));
+    vec![
+        (
+            "query-scheduler",
+            ControllerSpec::QueryScheduler(scaled_scheduler_config(scale)),
+        ),
+        (
+            "pi tuned",
+            ControllerSpec::PiFeedback(PiConfig {
+                control_interval: scaled_interval,
+                snapshot_interval: snapshot,
+                ..PiConfig::default()
+            }),
+        ),
+        (
+            "pi low gain",
+            ControllerSpec::PiFeedback(PiConfig {
+                kp: 4_000.0,
+                ki: 1_000.0,
+                control_interval: scaled_interval,
+                snapshot_interval: snapshot,
+                ..PiConfig::default()
+            }),
+        ),
+        (
+            "pi high gain",
+            ControllerSpec::PiFeedback(PiConfig {
+                kp: 200_000.0,
+                ki: 50_000.0,
+                control_interval: scaled_interval,
+                snapshot_interval: snapshot,
+                ..PiConfig::default()
+            }),
+        ),
+    ]
+}
+
+fn bench(c: &mut Criterion) {
+    let vs = variants(ABLATION_SCALE);
+    let outs =
+        run_parallel(vs.iter().map(|(_, s)| scaled_config(s.clone(), ABLATION_SCALE)).collect());
+    let rows: Vec<Vec<String>> = vs
+        .iter()
+        .zip(&outs)
+        .map(|((label, _), out)| {
+            let mean_resp: f64 = (0..out.report.periods.len())
+                .filter_map(|p| out.report.metric(p, ClassId(3)))
+                .sum::<f64>()
+                / out.report.periods.len() as f64;
+            vec![
+                (*label).to_string(),
+                out.report.violations(ClassId(3)).to_string(),
+                format!("{mean_resp:.3}"),
+                (out.report.violations(ClassId(1)) + out.report.violations(ClassId(2)))
+                    .to_string(),
+                format!("{}", out.summary.olap_completed),
+            ]
+        })
+        .collect();
+    print_figure(
+        "ABLATION: model-based optimisation vs PI feedback control",
+        &render_table(
+            "controller vs goal adherence (PI gains are hand-tuned; QS self-calibrates)",
+            &["controller", "c3 viol", "c3 mean resp (s)", "olap viol", "olap done"],
+            &rows,
+        ),
+    );
+
+    let mut g = c.benchmark_group("ablation_feedback");
+    g.sample_size(10);
+    for (label, spec) in variants(TIMING_SCALE).into_iter().take(2) {
+        g.bench_function(label.replace(' ', "_"), |b| {
+            b.iter(|| {
+                qsched_experiments::world::run_experiment(&scaled_config(
+                    spec.clone(),
+                    TIMING_SCALE,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Ablation: control-interval length (DESIGN.md §5).
+//!
+//! The Scheduling Planner "consults with the Performance Solver at regular
+//! intervals" (§2); this sweep shows the responsiveness/stability trade-off:
+//! very short intervals chase measurement noise, very long ones lag the
+//! workload's period changes. The variable is *plans per schedule period*
+//! (the paper's full-scale default, 240 s against 80-minute periods, is 20).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qsched_bench::{print_figure, scaled_config, scaled_scheduler_config, TIMING_SCALE};
+use qsched_dbms::query::ClassId;
+use qsched_experiments::chart::render_table;
+use qsched_experiments::config::ControllerSpec;
+use qsched_experiments::figures::run_parallel;
+use qsched_sim::SimDuration;
+
+const ABLATION_SCALE: f64 = 0.1; // 8-minute periods
+
+/// Plans per period to sweep; 20 is the paper-equivalent default.
+const PLANS_PER_PERIOD: [u32; 5] = [96, 40, 20, 4, 1];
+
+fn spec(plans_per_period: u32, scale: f64) -> ControllerSpec {
+    let period_secs = 80.0 * 60.0 * scale;
+    let mut sc = scaled_scheduler_config(scale);
+    sc.control_interval =
+        SimDuration::from_secs_f64((period_secs / f64::from(plans_per_period)).max(2.0));
+    ControllerSpec::QueryScheduler(sc)
+}
+
+fn bench(c: &mut Criterion) {
+    let outs = run_parallel(
+        PLANS_PER_PERIOD
+            .iter()
+            .map(|&p| scaled_config(spec(p, ABLATION_SCALE), ABLATION_SCALE))
+            .collect(),
+    );
+    let rows: Vec<Vec<String>> = PLANS_PER_PERIOD
+        .iter()
+        .zip(&outs)
+        .map(|(p, out)| {
+            vec![
+                p.to_string(),
+                format!("{:.0}s", 80.0 * 60.0 / f64::from(*p)),
+                out.report.violations(ClassId(3)).to_string(),
+                (out.report.violations(ClassId(1)) + out.report.violations(ClassId(2)))
+                    .to_string(),
+                format!("{}", out.summary.oltp_completed),
+            ]
+        })
+        .collect();
+    print_figure(
+        "ABLATION: control interval (paper default: 20 plans/period ≙ 240 s)",
+        &render_table(
+            "re-planning frequency vs goal violations",
+            &["plans/period", "full-scale equiv", "c3 viol", "olap viol", "oltp done"],
+            &rows,
+        ),
+    );
+
+    let mut g = c.benchmark_group("ablation_interval");
+    g.sample_size(10);
+    for plans in [96u32, 20, 1] {
+        g.bench_function(format!("{plans}_plans_per_period"), |b| {
+            b.iter(|| {
+                qsched_experiments::world::run_experiment(&scaled_config(
+                    spec(plans, TIMING_SCALE),
+                    TIMING_SCALE,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Ablation: the OLTP performance model (§3.2 / DESIGN.md §5).
+//!
+//! Compares the paper's online-regressed linear model against a frozen
+//! fixed-slope prior, and plain least squares (decay 1.0) against the
+//! exponentially-decayed fit that tracks workload drift.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qsched_bench::{print_figure, scaled_config, scaled_scheduler_config, TIMING_SCALE};
+use qsched_dbms::query::ClassId;
+use qsched_experiments::chart::render_table;
+use qsched_experiments::config::ControllerSpec;
+use qsched_experiments::figures::run_parallel;
+
+const ABLATION_SCALE: f64 = 0.1;
+
+fn spec(label: &str, scale: f64) -> ControllerSpec {
+    let mut sc = scaled_scheduler_config(scale);
+    match label {
+        "learned, decay 0.9" => {}
+        "learned, plain OLS" => sc.model_decay = 1.0,
+        "frozen, calibrated prior" => sc.learn_oltp_slope = false,
+        // A prior that is 10× too shallow: the solver believes OLAP load
+        // barely hurts OLTP. Learning must discover the true slope; a
+        // frozen model never does.
+        "learned, prior /10" => sc.oltp_prior_scale = 0.1,
+        "frozen, prior /10" => {
+            sc.learn_oltp_slope = false;
+            sc.oltp_prior_scale = 0.1;
+        }
+        _ => unreachable!("unknown variant {label}"),
+    }
+    ControllerSpec::QueryScheduler(sc)
+}
+
+fn bench(c: &mut Criterion) {
+    let variants = [
+        "learned, decay 0.9",
+        "learned, plain OLS",
+        "frozen, calibrated prior",
+        "learned, prior /10",
+        "frozen, prior /10",
+    ];
+    let outs = run_parallel(
+        variants.iter().map(|v| scaled_config(spec(v, ABLATION_SCALE), ABLATION_SCALE)).collect(),
+    );
+    let rows: Vec<Vec<String>> = variants
+        .iter()
+        .zip(&outs)
+        .map(|(v, out)| {
+            let mean_resp: f64 = (0..out.report.periods.len())
+                .filter_map(|p| out.report.metric(p, ClassId(3)))
+                .sum::<f64>()
+                / out.report.periods.len() as f64;
+            vec![
+                (*v).to_string(),
+                out.report.violations(ClassId(3)).to_string(),
+                format!("{mean_resp:.3}"),
+                (out.report.violations(ClassId(1)) + out.report.violations(ClassId(2)))
+                    .to_string(),
+            ]
+        })
+        .collect();
+    print_figure(
+        "ABLATION: OLTP model — online regression vs frozen prior",
+        &render_table(
+            "model variant vs goal adherence",
+            &["model", "c3 viol", "c3 mean resp (s)", "olap viol"],
+            &rows,
+        ),
+    );
+
+    let mut g = c.benchmark_group("ablation_model");
+    g.sample_size(10);
+    for v in ["learned, decay 0.9", "frozen, prior /10"] {
+        g.bench_function(v.replace([' ', ',', '/'], "_"), |b| {
+            b.iter(|| {
+                qsched_experiments::world::run_experiment(&scaled_config(
+                    spec(v, TIMING_SCALE),
+                    TIMING_SCALE,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Ablation: intra-class queue discipline — FIFO (the paper) vs
+//! shortest-job-first by estimated cost.
+//!
+//! SJF is the classic throughput/latency lever for admission queues: small
+//! queries overtake expensive ones, raising mean velocity, while the
+//! expensive tail waits longer (visible in the p95 response time). The
+//! paper's Dispatcher is FIFO; this quantifies what that choice costs and
+//! buys on the same workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qsched_bench::{print_figure, scaled_config, scaled_scheduler_config, TIMING_SCALE};
+use qsched_core::queue::QueueDiscipline;
+use qsched_dbms::query::ClassId;
+use qsched_experiments::chart::render_table;
+use qsched_experiments::config::ControllerSpec;
+use qsched_experiments::figures::run_parallel;
+
+const ABLATION_SCALE: f64 = 0.1;
+
+fn spec(discipline: QueueDiscipline, scale: f64) -> ControllerSpec {
+    let mut sc = scaled_scheduler_config(scale);
+    sc.queue_discipline = discipline;
+    ControllerSpec::QueryScheduler(sc)
+}
+
+fn bench(c: &mut Criterion) {
+    let variants =
+        [("FIFO (paper)", QueueDiscipline::Fifo), ("SJF", QueueDiscipline::ShortestJobFirst)];
+    let outs = run_parallel(
+        variants.iter().map(|&(_, d)| scaled_config(spec(d, ABLATION_SCALE), ABLATION_SCALE)).collect(),
+    );
+    let rows: Vec<Vec<String>> = variants
+        .iter()
+        .zip(&outs)
+        .map(|((label, _), out)| {
+            let mean = |f: &dyn Fn(&qsched_experiments::report::ClassPeriod) -> f64,
+                        class: ClassId| {
+                let vals: Vec<f64> = (0..out.report.periods.len())
+                    .filter_map(|p| out.report.cell(p, class).map(f))
+                    .collect();
+                vals.iter().sum::<f64>() / vals.len().max(1) as f64
+            };
+            vec![
+                (*label).to_string(),
+                format!("{:.2}", mean(&|c| c.mean_velocity, ClassId(1))),
+                format!("{:.2}", mean(&|c| c.mean_velocity, ClassId(2))),
+                format!("{:.1}", mean(&|c| c.p95_response_secs, ClassId(1))),
+                format!("{:.1}", mean(&|c| c.p95_response_secs, ClassId(2))),
+                out.report.violations(ClassId(3)).to_string(),
+            ]
+        })
+        .collect();
+    print_figure(
+        "ABLATION: queue discipline — FIFO vs shortest-job-first",
+        &render_table(
+            "mean OLAP velocity rises under SJF; the expensive tail (p95) pays",
+            &["discipline", "c1 vel", "c2 vel", "c1 p95(s)", "c2 p95(s)", "c3 viol"],
+            &rows,
+        ),
+    );
+
+    let mut g = c.benchmark_group("ablation_queue_discipline");
+    g.sample_size(10);
+    for (label, d) in variants {
+        g.bench_function(label.replace(" (paper)", "").to_lowercase(), |b| {
+            b.iter(|| {
+                qsched_experiments::world::run_experiment(&scaled_config(
+                    spec(d, TIMING_SCALE),
+                    TIMING_SCALE,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Ablation: snapshot-monitor sampling interval (§3.3).
+//!
+//! "The sampling interval must not be too small, which will incur
+//! significant overhead, nor too large, which would decrease accuracy."
+//! The sweep spans both regimes: at the dense end the engine charges
+//! per-client CPU for every sample; at the sparse end whole control
+//! intervals pass without a fresh OLTP measurement, blinding the model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qsched_bench::{print_figure, scaled_config, scaled_scheduler_config, TIMING_SCALE};
+use qsched_dbms::query::ClassId;
+use qsched_experiments::chart::render_table;
+use qsched_experiments::config::ControllerSpec;
+use qsched_experiments::figures::run_parallel;
+use qsched_sim::SimDuration;
+
+const ABLATION_SCALE: f64 = 0.1;
+
+/// Snapshot intervals at the scaled workload, labelled by their full-scale
+/// equivalents. The paper uses 10 s (scaled: 1 s).
+const INTERVALS: [(u64, &str); 5] =
+    [(1, "10s (paper)"), (6, "60s"), (30, "300s"), (120, "1200s"), (480, "4800s")];
+
+fn spec(snapshot_secs_scaled: u64, scale: f64) -> ControllerSpec {
+    let mut sc = scaled_scheduler_config(scale);
+    sc.snapshot_interval = SimDuration::from_secs(snapshot_secs_scaled);
+    ControllerSpec::QueryScheduler(sc)
+}
+
+fn bench(c: &mut Criterion) {
+    let outs = run_parallel(
+        INTERVALS
+            .iter()
+            .map(|&(i, _)| scaled_config(spec(i, ABLATION_SCALE), ABLATION_SCALE))
+            .collect(),
+    );
+    let rows: Vec<Vec<String>> = INTERVALS
+        .iter()
+        .zip(&outs)
+        .map(|((_, label), out)| {
+            let mean_resp: f64 = (0..out.report.periods.len())
+                .filter_map(|p| out.report.metric(p, ClassId(3)))
+                .sum::<f64>()
+                / out.report.periods.len() as f64;
+            vec![
+                (*label).to_string(),
+                out.report.violations(ClassId(3)).to_string(),
+                format!("{mean_resp:.3}"),
+                format!("{}", out.summary.oltp_completed),
+            ]
+        })
+        .collect();
+    print_figure(
+        "ABLATION: snapshot sampling interval (full-scale labels; paper uses 10 s)",
+        &render_table(
+            "sampling interval vs OLTP outcome",
+            &["interval", "c3 viol", "c3 mean resp (s)", "oltp done"],
+            &rows,
+        ),
+    );
+
+    let mut g = c.benchmark_group("ablation_snapshot");
+    g.sample_size(10);
+    for (secs, label) in [(1u64, "dense"), (30, "paper_ish"), (480, "sparse")] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                qsched_experiments::world::run_experiment(&scaled_config(
+                    spec(secs, TIMING_SCALE),
+                    TIMING_SCALE,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

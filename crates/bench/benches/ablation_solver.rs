@@ -1,0 +1,69 @@
+//! Ablation: Performance Solver strategy (DESIGN.md §5).
+//!
+//! Runs the scaled paper workload with the grid, hill-climbing and
+//! proportional solvers, prints the resulting goal adherence, and times one
+//! control-heavy run per strategy.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qsched_bench::{print_figure, scaled_config, TIMING_SCALE};
+use qsched_core::scheduler::SchedulerConfig;
+use qsched_core::solver::SolverKind;
+use qsched_dbms::query::ClassId;
+use qsched_experiments::chart::render_table;
+use qsched_experiments::config::ControllerSpec;
+use qsched_experiments::figures::run_parallel;
+
+const ABLATION_SCALE: f64 = 0.1;
+
+fn spec(kind: SolverKind) -> ControllerSpec {
+    ControllerSpec::QueryScheduler(SchedulerConfig { solver: kind, ..SchedulerConfig::default() })
+}
+
+fn bench(c: &mut Criterion) {
+    let kinds = [SolverKind::Grid, SolverKind::HillClimb, SolverKind::Proportional];
+    let outs = run_parallel(
+        kinds.iter().map(|&k| scaled_config(spec(k), ABLATION_SCALE)).collect(),
+    );
+    let rows: Vec<Vec<String>> = kinds
+        .iter()
+        .zip(&outs)
+        .map(|(k, out)| {
+            vec![
+                format!("{k:?}"),
+                out.report.violations(ClassId(1)).to_string(),
+                out.report.violations(ClassId(2)).to_string(),
+                out.report.violations(ClassId(3)).to_string(),
+                format!("{}", out.summary.oltp_completed),
+                format!(
+                    "{:.2}",
+                    out.report.differentiation_fraction(ClassId(2), ClassId(1), 1)
+                ),
+            ]
+        })
+        .collect();
+    print_figure(
+        "ABLATION: solver strategy (scaled paper workload)",
+        &render_table(
+            "goal violations out of 18 periods",
+            &["solver", "c1 viol", "c2 viol", "c3 viol", "oltp done", "c2>=c1"],
+            &rows,
+        ),
+    );
+
+    let mut g = c.benchmark_group("ablation_solver");
+    g.sample_size(10);
+    for kind in kinds {
+        g.bench_function(format!("{kind:?}"), |b| {
+            b.iter(|| {
+                qsched_experiments::world::run_experiment(&scaled_config(
+                    spec(kind),
+                    TIMING_SCALE,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Figure 2: OLTP average response time vs. OLAP cost limit.
+//!
+//! Regenerates the four client-pair series that justify the paper's linear
+//! OLTP model, reports the under-saturated linear fits, then times one
+//! sweep cell.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qsched_bench::{print_figure, SEED};
+use qsched_experiments::figures::{fig2, Fig2Opts};
+
+fn bench(c: &mut Criterion) {
+    let f2 = fig2(SEED, &Fig2Opts::default());
+    let mut body = f2.render();
+    for (i, s) in f2.series.iter().enumerate() {
+        if let Some((slope, r2)) = f2.linear_fit(i, 30_000.0) {
+            body.push_str(&format!(
+                "fit ({},{}): slope {slope:.2e} s/timeron, R² {r2:.3} (≤30K)\n",
+                s.oltp_clients, s.olap_clients
+            ));
+        }
+    }
+    print_figure("FIGURE 2: OLTP response time vs OLAP cost limit", &body);
+
+    let mut g = c.benchmark_group("fig2");
+    g.sample_size(10);
+    g.bench_function("one_cell_30oltp_8olap", |b| {
+        b.iter(|| {
+            fig2(
+                SEED,
+                &Fig2Opts {
+                    pairs: vec![(30, 8)],
+                    limits: vec![20_000.0],
+                    minutes_per_period: 4,
+                },
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

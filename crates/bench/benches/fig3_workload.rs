@@ -1,0 +1,69 @@
+//! Figure 3: the 18-period mixed-workload schedule.
+//!
+//! Prints the schedule table, then times workload generation itself (the
+//! driver machinery that turns the schedule into a query stream).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qsched_bench::print_figure;
+use qsched_dbms::query::{ClassId, ClientId, QueryId};
+use qsched_dbms::DbmsConfig;
+use qsched_experiments::figures::fig3_render;
+use qsched_sim::RngHub;
+use qsched_workload::generator::{QueryGen, TemplateSetGen};
+use qsched_workload::templates::{tpcc_templates, tpch_templates};
+use qsched_workload::Schedule;
+
+fn bench(c: &mut Criterion) {
+    print_figure("FIGURE 3: workload schedule (clients per class per period)", &fig3_render());
+
+    let mut g = c.benchmark_group("fig3_workload");
+    g.bench_function("schedule_figure3_lookup", |b| {
+        let s = Schedule::figure3();
+        b.iter(|| {
+            let mut acc = 0u32;
+            for sec in (0..86_400).step_by(600) {
+                let p = s.period_at(qsched_sim::SimTime::from_secs(sec));
+                acc += s.count(p, 0) + s.count(p, 1) + s.count(p, 2);
+            }
+            acc
+        })
+    });
+    g.bench_function("generate_1000_tpch_queries", |b| {
+        let mut gen = TemplateSetGen::new(
+            ClassId(1),
+            tpch_templates(),
+            DbmsConfig::default(),
+            RngHub::new(1).stream("bench"),
+        );
+        let mut i = 0u64;
+        b.iter(|| {
+            let mut cost = 0.0;
+            for _ in 0..1000 {
+                i += 1;
+                cost += gen.next_query(QueryId(i), ClientId(0)).estimated_cost.get();
+            }
+            cost
+        })
+    });
+    g.bench_function("generate_1000_tpcc_transactions", |b| {
+        let mut gen = TemplateSetGen::new(
+            ClassId(3),
+            tpcc_templates(),
+            DbmsConfig::default(),
+            RngHub::new(1).stream("bench"),
+        );
+        let mut i = 0u64;
+        b.iter(|| {
+            let mut cost = 0.0;
+            for _ in 0..1000 {
+                i += 1;
+                cost += gen.next_query(QueryId(i), ClientId(0)).estimated_cost.get();
+            }
+            cost
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

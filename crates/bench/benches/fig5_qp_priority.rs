@@ -1,0 +1,30 @@
+//! FIGURE 5: DB2 Query Patroller priority control (static).
+//!
+//! Regenerates the figure at paper scale (24 virtual hours, Figure 3
+//! schedule), prints the per-period class performance with goal markers,
+//! then times a scaled run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qsched_bench::{figure_scale, print_figure, run_main_figure, TIMING_SCALE};
+use qsched_experiments::figures::render_main_report;
+
+fn bench(c: &mut Criterion) {
+    let out = run_main_figure(5, figure_scale());
+    let mut body = render_main_report(
+        &format!("Figure 5 ({})", out.report.controller),
+        &out.report,
+    );
+    body.push_str(&format!(
+        "completions: {} OLAP, {} OLTP | mean admitted cost {:.0} timerons\n",
+        out.summary.olap_completed, out.summary.oltp_completed, out.summary.mean_admitted_cost
+    ));
+    print_figure("FIGURE 5: DB2 Query Patroller priority control (static)", &body);
+
+    let mut g = c.benchmark_group("fig5_qp_priority");
+    g.sample_size(10);
+    g.bench_function("scaled_run", |b| b.iter(|| run_main_figure(5, TIMING_SCALE)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Figure 7: class cost-limit adjustment under Query Scheduler control.
+//!
+//! Regenerates the per-period mean cost limits from the Figure 6 run's plan
+//! log, then times the plan-extraction path and the planner's solve step via
+//! a short scheduler run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qsched_bench::{figure_scale, print_figure, run_main_figure, SEED, TIMING_SCALE};
+use qsched_experiments::figures::{fig7, figure_controller, main_config};
+
+fn bench(c: &mut Criterion) {
+    let scale = figure_scale();
+    let out = run_main_figure(6, scale);
+    let log = out.plan_log.expect("the Query Scheduler logs plans");
+    let schedule = main_config(SEED, figure_controller(6), scale).schedule;
+    let f7 = fig7(&log, &schedule);
+    print_figure(
+        "FIGURE 7: adjustment of class cost limits with Query Scheduler control",
+        &f7.render(),
+    );
+
+    let mut g = c.benchmark_group("fig7");
+    g.bench_function("bucket_plan_log", |b| b.iter(|| fig7(&log, &schedule)));
+    g.sample_size(10);
+    g.bench_function("qs_run_including_planning", |b| {
+        b.iter(|| run_main_figure(6, TIMING_SCALE))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Calibration curve (§2): OLAP throughput vs. system cost limit.
+//!
+//! Regenerates the curve used to choose the 30 K-timeron system cost limit,
+//! then times a single calibration point.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qsched_bench::{print_figure, SEED};
+use qsched_experiments::figures::{calibration, CalibrationOpts};
+
+fn bench(c: &mut Criterion) {
+    let curve = calibration(SEED, &CalibrationOpts::default());
+    print_figure(
+        "CALIBRATION (§2): throughput vs system cost limit — knee picks 30K",
+        &format!("{}\nknee at {:.0} timerons\n", curve.render(), curve.knee()),
+    );
+
+    let mut g = c.benchmark_group("fig_calibration");
+    g.sample_size(10);
+    g.bench_function("one_point_20min", |b| {
+        b.iter(|| {
+            calibration(
+                SEED,
+                &CalibrationOpts { limits: vec![30_000.0], clients: 20, minutes: 20 },
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

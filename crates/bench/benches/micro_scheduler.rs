@@ -1,0 +1,151 @@
+//! Microbenchmarks of the controller stack: dispatcher scans, solver
+//! strategies, and utility evaluation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use qsched_core::class::Goal;
+use qsched_core::dispatch::Dispatcher;
+use qsched_core::model::{OlapVelocityModel, OltpLinearModel};
+use qsched_core::plan::Plan;
+use qsched_core::queue::ClassQueues;
+use qsched_core::solver::{
+    ClassState, GridSolver, HillClimbSolver, PlanProblem, ProportionalSolver, Solver,
+};
+use qsched_core::utility::{GoalUtility, UtilityFn};
+use qsched_dbms::query::{ClassId, QueryId, QueryKind};
+use qsched_dbms::Timerons;
+use qsched_sim::SimDuration;
+use std::collections::BTreeMap;
+
+/// The paper's 3-class problem with mid-run measurements.
+struct Problem {
+    olap_models: BTreeMap<ClassId, OlapVelocityModel>,
+    oltp_model: OltpLinearModel,
+    utility: GoalUtility,
+}
+
+impl Problem {
+    fn new() -> Self {
+        let mut olap_models = BTreeMap::new();
+        for (id, v) in [(1u16, 0.35), (2, 0.55)] {
+            let mut m = OlapVelocityModel::new(Timerons::new(10_000.0));
+            m.observe(Some(v), Timerons::new(10_000.0));
+            olap_models.insert(ClassId(id), m);
+        }
+        let mut oltp_model = OltpLinearModel::new(8e-6, 0.9, Timerons::new(20_000.0));
+        oltp_model.observe(Some(0.31), Timerons::new(20_000.0));
+        Problem { olap_models, oltp_model, utility: GoalUtility::default() }
+    }
+
+    fn problem(&self) -> PlanProblem<'_> {
+        PlanProblem {
+            system_limit: Timerons::new(30_000.0),
+            floor: Timerons::new(600.0),
+            classes: vec![
+                ClassState {
+                    class: ClassId(1),
+                    kind: QueryKind::Olap,
+                    importance: 1,
+                    goal: Goal::VelocityAtLeast(0.4),
+                    current_limit: Timerons::new(10_000.0),
+                },
+                ClassState {
+                    class: ClassId(2),
+                    kind: QueryKind::Olap,
+                    importance: 2,
+                    goal: Goal::VelocityAtLeast(0.6),
+                    current_limit: Timerons::new(10_000.0),
+                },
+                ClassState {
+                    class: ClassId(3),
+                    kind: QueryKind::Oltp,
+                    importance: 3,
+                    goal: Goal::AvgResponseAtMost(SimDuration::from_millis(250)),
+                    current_limit: Timerons::new(10_000.0),
+                },
+            ],
+            olap_models: &self.olap_models,
+            oltp_model: &self.oltp_model,
+            utility: &self.utility,
+        }
+    }
+}
+
+fn bench_solvers(c: &mut Criterion) {
+    let fixture = Problem::new();
+    let mut g = c.benchmark_group("solver");
+    g.bench_function("grid_60_steps", |b| {
+        let s = GridSolver::default();
+        b.iter(|| black_box(s.solve(&fixture.problem())))
+    });
+    g.bench_function("grid_120_steps", |b| {
+        let s = GridSolver { steps: 120 };
+        b.iter(|| black_box(s.solve(&fixture.problem())))
+    });
+    g.bench_function("hill_climb", |b| {
+        let s = HillClimbSolver::default();
+        b.iter(|| black_box(s.solve(&fixture.problem())))
+    });
+    g.bench_function("proportional", |b| {
+        let s = ProportionalSolver;
+        b.iter(|| black_box(s.solve(&fixture.problem())))
+    });
+    g.finish();
+}
+
+fn bench_dispatcher(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dispatcher");
+    g.bench_function("enqueue_release_complete_1k", |b| {
+        b.iter(|| {
+            let plan = Plan::new(vec![
+                (ClassId(1), Timerons::new(15_000.0)),
+                (ClassId(2), Timerons::new(15_000.0)),
+            ]);
+            let mut d = Dispatcher::new(&plan);
+            let mut q = ClassQueues::new();
+            let mut released = 0usize;
+            for i in 0..1_000u64 {
+                let class = ClassId(1 + (i % 2) as u16);
+                q.enqueue(class, QueryId(i), Timerons::new(3_000.0 + (i % 11) as f64 * 100.0));
+                released += d.on_enqueued(class, &mut q).len();
+            }
+            black_box((released, d.total_executing()))
+        })
+    });
+    g.finish();
+}
+
+fn bench_utility(c: &mut Criterion) {
+    let mut g = c.benchmark_group("utility");
+    g.bench_function("goal_utility_10k_evals", |b| {
+        let u = GoalUtility::default();
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..10_000u32 {
+                acc += u.utility(1 + (i % 3) as u8, f64::from(i % 200) / 100.0);
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+fn bench_plan_evaluation(c: &mut Criterion) {
+    let fixture = Problem::new();
+    let mut g = c.benchmark_group("plan_eval");
+    g.bench_function("evaluate_candidate", |b| {
+        let p = fixture.problem();
+        let limits =
+            vec![Timerons::new(8_000.0), Timerons::new(12_000.0), Timerons::new(10_000.0)];
+        b.iter(|| black_box(p.evaluate(&limits)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_solvers,
+    bench_dispatcher,
+    bench_utility,
+    bench_plan_evaluation
+);
+criterion_main!(benches);

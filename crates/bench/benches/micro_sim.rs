@@ -1,0 +1,150 @@
+//! Microbenchmarks of the simulation kernel and the DBMS resources — the
+//! hot paths of every experiment.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use qsched_dbms::resource::{DiskArray, PsCpu};
+use qsched_sim::prelude::*;
+use qsched_sim::EventQueue;
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue");
+    g.bench_function("push_pop_1k_interleaved", |b| {
+        b.iter(|| {
+            let mut q: EventQueue<u64> = EventQueue::with_capacity(1024);
+            for i in 0..1_000u64 {
+                // Pseudo-shuffled timestamps exercise heap reordering.
+                q.push(SimTime::from_micros((i * 7919) % 10_000), i);
+                if i % 3 == 0 {
+                    black_box(q.pop());
+                }
+            }
+            while let Some(e) = q.pop() {
+                black_box(e);
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_ps_cpu(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ps_cpu");
+    for n_jobs in [8usize, 64] {
+        g.bench_function(format!("advance_cycle_{n_jobs}_jobs"), |b| {
+            b.iter(|| {
+                let mut cpu: PsCpu<usize> = PsCpu::new(2, SimTime::ZERO);
+                for i in 0..n_jobs {
+                    cpu.add_weighted(i, 1.0 + (i % 7) as f64, SimDuration::from_millis(10));
+                }
+                let mut done = Vec::new();
+                while !cpu.is_empty() {
+                    let next = cpu.next_completion().expect("busy CPU");
+                    cpu.advance(next);
+                    cpu.take_finished(&mut done);
+                }
+                black_box(done.len())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_disk_array(c: &mut Criterion) {
+    let mut g = c.benchmark_group("disk_array");
+    g.bench_function("request_complete_1k", |b| {
+        b.iter(|| {
+            let mut d: DiskArray<u64> = DiskArray::new(17);
+            let mut t = SimTime::ZERO;
+            let mut served = 0u64;
+            for i in 0..1_000u64 {
+                if d.request(t, i, SimDuration::from_millis(5)).is_some() {
+                    served += 1;
+                }
+                if i % 2 == 1 && d.busy() > 0 {
+                    t += SimDuration::from_millis(1);
+                    if d.complete(t).is_some() {
+                        served += 1;
+                    }
+                }
+            }
+            black_box(served)
+        })
+    });
+    g.finish();
+}
+
+fn bench_stats(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stats");
+    g.bench_function("welford_push_10k", |b| {
+        b.iter(|| {
+            let mut w = Welford::new();
+            for i in 0..10_000 {
+                w.push((i % 997) as f64 * 0.5);
+            }
+            black_box(w.mean())
+        })
+    });
+    g.bench_function("histogram_record_10k", |b| {
+        b.iter(|| {
+            let mut h = Histogram::for_response_times();
+            for i in 1..=10_000 {
+                h.record(i as f64 * 1e-3);
+            }
+            black_box(h.median())
+        })
+    });
+    g.bench_function("linreg_push_10k", |b| {
+        b.iter(|| {
+            let mut r = LinReg::with_decay(0.9);
+            for i in 0..10_000 {
+                r.push(i as f64, 2.0 * i as f64 + 1.0);
+            }
+            black_box(r.slope())
+        })
+    });
+    g.finish();
+}
+
+fn bench_rng(c: &mut Criterion) {
+    use rand::Rng;
+    let mut g = c.benchmark_group("rng");
+    g.bench_function("stream_derivation", |b| {
+        let hub = RngHub::new(42);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(hub.stream_indexed("bench", i))
+        })
+    });
+    g.bench_function("lognormal_10k_samples", |b| {
+        let d = LogNormal::with_mean(3_000.0, 0.45);
+        let mut rng = RngHub::new(42).stream("ln");
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..10_000 {
+                acc += d.sample(&mut rng);
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("chacha_u64_10k", |b| {
+        let mut rng = RngHub::new(42).stream("raw");
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..10_000 {
+                acc = acc.wrapping_add(rng.gen::<u64>());
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_ps_cpu,
+    bench_disk_array,
+    bench_stats,
+    bench_rng
+);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Shared helpers for the bench harness.
+//!
+//! Every figure bench does two things:
+//!
+//! 1. **Regenerate the figure** at paper scale during setup and print the
+//!    same rows/series the paper reports (set `QSCHED_BENCH_SCALE` to a
+//!    value in `(0, 1]` to shrink the regeneration, e.g. for CI).
+//! 2. **Time** a reduced-scale representative run with criterion, so
+//!    performance regressions in the simulator/controller stack are caught.
+
+use qsched_experiments::config::ControllerSpec;
+use qsched_experiments::figures::{figure_controller, main_config};
+use qsched_experiments::world::{run_experiment, RunOutput};
+
+/// The scale at which benches regenerate the paper figures (default 1.0,
+/// i.e. the full 24-hour experiment).
+pub fn figure_scale() -> f64 {
+    std::env::var("QSCHED_BENCH_SCALE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .filter(|s| *s > 0.0 && *s <= 1.0)
+        .unwrap_or(1.0)
+}
+
+/// The scale used inside the timed loops (small, so criterion converges).
+pub const TIMING_SCALE: f64 = 0.02;
+
+/// The seed used by all benches.
+pub const SEED: u64 = 42;
+
+/// Run one of the main figures (4/5/6) at a given scale.
+pub fn run_main_figure(figure: u8, scale: f64) -> RunOutput {
+    run_experiment(&main_config(SEED, figure_controller(figure), scale))
+}
+
+/// A scaled main-experiment config with an arbitrary controller.
+pub fn scaled_config(
+    controller: ControllerSpec,
+    scale: f64,
+) -> qsched_experiments::config::ExperimentConfig {
+    let mut cfg = main_config(SEED, figure_controller(6), scale);
+    cfg.controller = controller;
+    cfg
+}
+
+/// A scheduler configuration whose control/snapshot intervals are scaled to
+/// match a `scale`-shrunk workload (same rule as
+/// [`qsched_experiments::figures::main_config`]): the number of control
+/// decisions per schedule period stays constant.
+pub fn scaled_scheduler_config(scale: f64) -> qsched_core::scheduler::SchedulerConfig {
+    let mut sc = qsched_core::scheduler::SchedulerConfig::default();
+    sc.control_interval = qsched_sim::SimDuration::from_secs_f64(
+        (sc.control_interval.as_secs_f64() * scale).max(10.0),
+    );
+    sc.snapshot_interval = qsched_sim::SimDuration::from_secs_f64(
+        (sc.snapshot_interval.as_secs_f64() * scale).max(1.0),
+    );
+    sc
+}
+
+/// Print a banner followed by figure output.
+pub fn print_figure(banner: &str, body: &str) {
+    println!("\n================================================================");
+    println!("{banner}");
+    println!("================================================================");
+    println!("{body}");
+}

@@ -1,0 +1,428 @@
+//! The paper's comparison controllers.
+//!
+//! * [`NoControl`] — §4.1.1: "no control was exerted over the workload
+//!   except for the system cost limit". One global FIFO pool bounded by the
+//!   system cost limit.
+//! * [`QpController`] — §4.1.2: the static DB2 Query Patroller heuristic:
+//!   queries are partitioned into *large / medium / small* groups by cost
+//!   percentile (top 5 % large, next 15 % medium), each group has a static
+//!   concurrency limit, a static overall cost limit bounds the OLAP
+//!   workload, and (optionally) class priorities order the queue. It cannot
+//!   adapt limits to workload changes — the property the Query Scheduler
+//!   improves on.
+
+use crate::controller::{Controller, CtrlEvent};
+use qsched_dbms::engine::{Dbms, DbmsEvent, DbmsNotice};
+use qsched_dbms::query::{ClassId, QueryId};
+use qsched_dbms::Timerons;
+use qsched_sim::Ctx;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashSet, VecDeque};
+
+/// Global-pool admission: release while total executing cost fits the
+/// system limit (FIFO, class-blind).
+#[derive(Debug, Clone)]
+pub struct NoControl {
+    system_limit: Timerons,
+    executing: Timerons,
+    queue: VecDeque<(QueryId, Timerons)>,
+    released: HashSet<QueryId>,
+}
+
+impl NoControl {
+    /// A pool bounded by `system_limit`.
+    pub fn new(system_limit: Timerons) -> Self {
+        NoControl {
+            system_limit,
+            executing: Timerons::ZERO,
+            queue: VecDeque::new(),
+            released: HashSet::new(),
+        }
+    }
+
+    /// Estimated cost currently executing.
+    pub fn executing(&self) -> Timerons {
+        self.executing
+    }
+
+    /// Queries waiting for headroom.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn drain<E: From<CtrlEvent> + From<DbmsEvent>>(
+        &mut self,
+        ctx: &mut Ctx<'_, E>,
+        dbms: &mut Dbms,
+    ) {
+        while let Some(&(id, cost)) = self.queue.front() {
+            let fits =
+                self.executing + cost <= self.system_limit || self.released.is_empty();
+            if !fits {
+                break;
+            }
+            self.queue.pop_front();
+            self.executing += cost;
+            self.released.insert(id);
+            let ok = dbms.release(ctx, id);
+            debug_assert!(ok, "query vanished before release");
+        }
+    }
+}
+
+impl<E: From<CtrlEvent> + From<DbmsEvent>> Controller<E> for NoControl {
+    fn name(&self) -> &'static str {
+        "no-control"
+    }
+
+    fn start(&mut self, _ctx: &mut Ctx<'_, E>, _dbms: &mut Dbms) {}
+
+    fn on_notice(
+        &mut self,
+        ctx: &mut Ctx<'_, E>,
+        dbms: &mut Dbms,
+        notice: &DbmsNotice,
+        _out: &mut Vec<DbmsNotice>,
+    ) {
+        match notice {
+            DbmsNotice::Intercepted(row) => {
+                self.queue.push_back((row.id, row.estimated_cost));
+                self.drain(ctx, dbms);
+            }
+            DbmsNotice::Rejected(_) => {}
+            DbmsNotice::Completed(rec) => {
+                if self.released.remove(&rec.id) {
+                    self.executing = if self.released.is_empty() {
+                        Timerons::ZERO // clean float residue at idle
+                    } else {
+                        self.executing.saturating_sub(rec.estimated_cost)
+                    };
+                    self.drain(ctx, dbms);
+                }
+            }
+        }
+    }
+
+    fn on_event(
+        &mut self,
+        _ctx: &mut Ctx<'_, E>,
+        _dbms: &mut Dbms,
+        _ev: CtrlEvent,
+        _out: &mut Vec<DbmsNotice>,
+    ) {
+    }
+}
+
+/// Cost groups of the QP heuristic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CostGroup {
+    /// Top of the cost distribution.
+    Large,
+    /// Middle band.
+    Medium,
+    /// Everything else.
+    Small,
+}
+
+/// Static configuration of the QP heuristic.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QpConfig {
+    /// Static overall cost limit on the controlled workload.
+    pub system_limit: Timerons,
+    /// Cost at or above which a query is *large*.
+    pub large_threshold: Timerons,
+    /// Cost at or above which a query is *medium*.
+    pub medium_threshold: Timerons,
+    /// Maximum concurrently executing large queries.
+    pub max_large: u32,
+    /// Maximum concurrently executing medium queries.
+    pub max_medium: u32,
+    /// Maximum concurrently executing small queries.
+    pub max_small: u32,
+    /// Reject held queries whose estimated cost exceeds this (DB2 QP's
+    /// maximum-cost rules). `None` = accept everything.
+    pub max_cost: Option<Timerons>,
+    /// Order waiting queries by class priority (the paper's "priority
+    /// control on" run); FIFO otherwise.
+    pub priority_enabled: bool,
+    /// Class priorities (higher = released first). Classes absent default 0.
+    pub class_priority: BTreeMap<ClassId, u8>,
+}
+
+impl QpConfig {
+    /// Derive thresholds from a sample of workload costs: large = top 5 %,
+    /// medium = next 15 % (the paper's typical strategy).
+    ///
+    /// # Panics
+    /// Panics if `costs` is empty.
+    pub fn from_cost_sample(mut costs: Vec<f64>, system_limit: Timerons) -> Self {
+        assert!(!costs.is_empty(), "need a cost sample");
+        costs.sort_by(|a, b| a.partial_cmp(b).expect("finite costs"));
+        let pct = |p: f64| {
+            let idx = ((costs.len() as f64 - 1.0) * p).round() as usize;
+            costs[idx]
+        };
+        QpConfig {
+            system_limit,
+            large_threshold: Timerons::new(pct(0.95)),
+            medium_threshold: Timerons::new(pct(0.80)),
+            max_large: 1,
+            max_medium: 4,
+            max_small: 12,
+            max_cost: None,
+            priority_enabled: true,
+            class_priority: BTreeMap::new(),
+        }
+    }
+
+    /// Set a class priority.
+    pub fn with_priority(mut self, class: ClassId, priority: u8) -> Self {
+        self.class_priority.insert(class, priority);
+        self
+    }
+
+    /// Disable priority ordering.
+    pub fn without_priority(mut self) -> Self {
+        self.priority_enabled = false;
+        self
+    }
+
+    /// Reject queries estimated above `max_cost`.
+    pub fn with_max_cost(mut self, max_cost: Timerons) -> Self {
+        self.max_cost = Some(max_cost);
+        self
+    }
+
+    /// The group of a query with this estimated cost.
+    pub fn group_of(&self, cost: Timerons) -> CostGroup {
+        if cost >= self.large_threshold {
+            CostGroup::Large
+        } else if cost >= self.medium_threshold {
+            CostGroup::Medium
+        } else {
+            CostGroup::Small
+        }
+    }
+
+    fn group_cap(&self, g: CostGroup) -> u32 {
+        match g {
+            CostGroup::Large => self.max_large,
+            CostGroup::Medium => self.max_medium,
+            CostGroup::Small => self.max_small,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Waiting {
+    seq: u64,
+    id: QueryId,
+    cost: Timerons,
+    group: CostGroup,
+    priority: u8,
+}
+
+/// The static QP heuristic controller.
+#[derive(Debug, Clone)]
+pub struct QpController {
+    cfg: QpConfig,
+    waiting: Vec<Waiting>,
+    next_seq: u64,
+    running: BTreeMap<QueryId, (CostGroup, Timerons)>,
+    group_running: BTreeMap<&'static str, u32>, // keyed by group name for Debug friendliness
+    executing: Timerons,
+    rejected: u64,
+}
+
+fn group_key(g: CostGroup) -> &'static str {
+    match g {
+        CostGroup::Large => "large",
+        CostGroup::Medium => "medium",
+        CostGroup::Small => "small",
+    }
+}
+
+impl QpController {
+    /// Build from a static configuration.
+    pub fn new(cfg: QpConfig) -> Self {
+        QpController {
+            cfg,
+            waiting: Vec::new(),
+            next_seq: 0,
+            running: BTreeMap::new(),
+            group_running: BTreeMap::new(),
+            executing: Timerons::ZERO,
+            rejected: 0,
+        }
+    }
+
+    /// The static configuration.
+    pub fn config(&self) -> &QpConfig {
+        &self.cfg
+    }
+
+    /// Queries waiting for a slot.
+    pub fn queued(&self) -> usize {
+        self.waiting.len()
+    }
+
+    /// Estimated cost currently executing.
+    pub fn executing(&self) -> Timerons {
+        self.executing
+    }
+
+    /// Queries rejected by the maximum-cost rule so far.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    fn running_in(&self, g: CostGroup) -> u32 {
+        self.group_running.get(group_key(g)).copied().unwrap_or(0)
+    }
+
+    fn drain<E: From<CtrlEvent> + From<DbmsEvent>>(
+        &mut self,
+        ctx: &mut Ctx<'_, E>,
+        dbms: &mut Dbms,
+    ) {
+        loop {
+            // Candidate order: priority desc (if enabled), then arrival.
+            let mut best: Option<(usize, &Waiting)> = None;
+            for (i, w) in self.waiting.iter().enumerate() {
+                let slot_free = self.running_in(w.group) < self.cfg.group_cap(w.group);
+                let cost_ok = self.executing + w.cost <= self.cfg.system_limit
+                    || self.running.is_empty();
+                if !(slot_free && cost_ok) {
+                    continue;
+                }
+                let better = match best {
+                    None => true,
+                    Some((_, b)) => {
+                        if self.cfg.priority_enabled {
+                            (w.priority, std::cmp::Reverse(w.seq))
+                                > (b.priority, std::cmp::Reverse(b.seq))
+                        } else {
+                            w.seq < b.seq
+                        }
+                    }
+                };
+                if better {
+                    best = Some((i, w));
+                }
+            }
+            let Some((idx, _)) = best else { break };
+            let w = self.waiting.remove(idx);
+            *self.group_running.entry(group_key(w.group)).or_insert(0) += 1;
+            self.executing += w.cost;
+            self.running.insert(w.id, (w.group, w.cost));
+            let ok = dbms.release(ctx, w.id);
+            debug_assert!(ok, "query vanished before release");
+        }
+    }
+}
+
+impl<E: From<CtrlEvent> + From<DbmsEvent>> Controller<E> for QpController {
+    fn name(&self) -> &'static str {
+        "qp-static"
+    }
+
+    fn start(&mut self, _ctx: &mut Ctx<'_, E>, _dbms: &mut Dbms) {}
+
+    fn on_notice(
+        &mut self,
+        ctx: &mut Ctx<'_, E>,
+        dbms: &mut Dbms,
+        notice: &DbmsNotice,
+        out: &mut Vec<DbmsNotice>,
+    ) {
+        match notice {
+            DbmsNotice::Intercepted(row) => {
+                // DB2 QP maximum-cost rule: reject outright, never queue.
+                if let Some(max) = self.cfg.max_cost {
+                    if row.estimated_cost > max {
+                        let ok = dbms.reject(ctx, row.id, out);
+                        debug_assert!(ok, "freshly intercepted query must be held");
+                        self.rejected += 1;
+                        return;
+                    }
+                }
+                let group = self.cfg.group_of(row.estimated_cost);
+                let priority =
+                    self.cfg.class_priority.get(&row.class).copied().unwrap_or(0);
+                self.waiting.push(Waiting {
+                    seq: self.next_seq,
+                    id: row.id,
+                    cost: row.estimated_cost,
+                    group,
+                    priority,
+                });
+                self.next_seq += 1;
+                self.drain(ctx, dbms);
+            }
+            DbmsNotice::Rejected(_) => {}
+            DbmsNotice::Completed(rec) => {
+                if let Some((group, cost)) = self.running.remove(&rec.id) {
+                    let slot = self
+                        .group_running
+                        .get_mut(group_key(group))
+                        .expect("group has running counter");
+                    *slot -= 1;
+                    self.executing = if self.running.is_empty() {
+                        Timerons::ZERO // clean float residue at idle
+                    } else {
+                        self.executing.saturating_sub(cost)
+                    };
+                    self.drain(ctx, dbms);
+                }
+            }
+        }
+    }
+
+    fn on_event(
+        &mut self,
+        _ctx: &mut Ctx<'_, E>,
+        _dbms: &mut Dbms,
+        _ev: CtrlEvent,
+        _out: &mut Vec<DbmsNotice>,
+    ) {
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qp_config_thresholds_from_percentiles() {
+        let costs: Vec<f64> = (1..=100).map(f64::from).collect();
+        let cfg = QpConfig::from_cost_sample(costs, Timerons::new(30_000.0));
+        assert!((cfg.large_threshold.get() - 95.0).abs() <= 1.0);
+        assert!((cfg.medium_threshold.get() - 80.0).abs() <= 1.0);
+        assert_eq!(cfg.group_of(Timerons::new(99.0)), CostGroup::Large);
+        assert_eq!(cfg.group_of(Timerons::new(85.0)), CostGroup::Medium);
+        assert_eq!(cfg.group_of(Timerons::new(10.0)), CostGroup::Small);
+    }
+
+    #[test]
+    fn priority_builder() {
+        let cfg = QpConfig::from_cost_sample(vec![1.0, 2.0], Timerons::new(100.0))
+            .with_priority(ClassId(2), 5)
+            .with_priority(ClassId(1), 1);
+        assert_eq!(cfg.class_priority[&ClassId(2)], 5);
+        let off = cfg.without_priority();
+        assert!(!off.priority_enabled);
+    }
+
+    #[test]
+    fn no_control_accounting() {
+        let nc = NoControl::new(Timerons::new(1_000.0));
+        assert_eq!(nc.executing(), Timerons::ZERO);
+        assert_eq!(nc.queued(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "need a cost sample")]
+    fn empty_cost_sample_panics() {
+        let _ = QpConfig::from_cost_sample(vec![], Timerons::new(1.0));
+    }
+}

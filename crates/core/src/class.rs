@@ -1,0 +1,191 @@
+//! Service classes: the unit of differentiated service.
+//!
+//! Each workload class has a *performance goal* and a *business importance*.
+//! The paper's experiment uses three classes:
+//!
+//! | Class | Type | Importance | Goal |
+//! |-------|------|------------|------|
+//! | 1 | OLAP | 1 | query velocity ≥ 0.4 |
+//! | 2 | OLAP | 2 | query velocity ≥ 0.6 |
+//! | 3 | OLTP | 3 | average response time ≤ 0.25 s |
+//!
+//! Importance is **not** priority: it only takes effect when a class
+//! violates its goal (§4.2).
+
+use qsched_dbms::query::{ClassId, QueryKind};
+use qsched_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// A per-class performance goal.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Goal {
+    /// Mean query velocity must be at least this value (OLAP classes).
+    VelocityAtLeast(f64),
+    /// Mean response time must be at most this duration (OLTP classes).
+    AvgResponseAtMost(SimDuration),
+}
+
+impl Goal {
+    /// Achievement ratio of a measured performance value against this goal:
+    /// 1.0 means exactly at goal, above 1.0 exceeds it, below violates it.
+    ///
+    /// `measured` is a velocity for [`Goal::VelocityAtLeast`] and a response
+    /// time in seconds for [`Goal::AvgResponseAtMost`].
+    pub fn achievement(&self, measured: f64) -> f64 {
+        match *self {
+            Goal::VelocityAtLeast(g) => {
+                debug_assert!(g > 0.0);
+                (measured / g).max(0.0)
+            }
+            Goal::AvgResponseAtMost(g) => {
+                let g = g.as_secs_f64();
+                debug_assert!(g > 0.0);
+                if measured <= 0.0 {
+                    // Zero measured response: infinitely better than goal;
+                    // clamp to a large, finite achievement.
+                    100.0
+                } else {
+                    (g / measured).min(100.0)
+                }
+            }
+        }
+    }
+
+    /// Is a measured value meeting the goal?
+    pub fn is_met(&self, measured: f64) -> bool {
+        self.achievement(measured) >= 1.0
+    }
+}
+
+/// A service class definition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServiceClass {
+    /// Class identifier (matches the `ClassId` stamped on queries).
+    pub id: ClassId,
+    /// Human-readable name.
+    pub name: String,
+    /// Workload type — selects the performance metric and model.
+    pub kind: QueryKind,
+    /// Business importance (higher = more important). Takes effect only when
+    /// the goal is violated.
+    pub importance: u8,
+    /// The performance goal.
+    pub goal: Goal,
+}
+
+impl ServiceClass {
+    /// Convenience constructor.
+    pub fn new(
+        id: ClassId,
+        name: impl Into<String>,
+        kind: QueryKind,
+        importance: u8,
+        goal: Goal,
+    ) -> Self {
+        let sc = ServiceClass { id, name: name.into(), kind, importance, goal };
+        sc.validate();
+        sc
+    }
+
+    /// Validate the goal/kind pairing.
+    ///
+    /// # Panics
+    /// Panics if an OLAP class has a response-time goal or vice versa, or if
+    /// importance is zero.
+    pub fn validate(&self) {
+        assert!(self.importance >= 1, "importance must be at least 1");
+        match (self.kind, &self.goal) {
+            (QueryKind::Olap, Goal::VelocityAtLeast(v)) => {
+                assert!((0.0..=1.0).contains(v) && *v > 0.0, "velocity goal out of (0,1]: {v}")
+            }
+            (QueryKind::Oltp, Goal::AvgResponseAtMost(d)) => {
+                assert!(!d.is_zero(), "response-time goal must be positive")
+            }
+            _ => panic!(
+                "goal metric does not match workload type for class {} ({:?})",
+                self.id, self.kind
+            ),
+        }
+    }
+
+    /// The paper's three experiment classes.
+    pub fn paper_classes() -> Vec<ServiceClass> {
+        vec![
+            ServiceClass::new(
+                ClassId(1),
+                "Class 1 (OLAP)",
+                QueryKind::Olap,
+                1,
+                Goal::VelocityAtLeast(0.4),
+            ),
+            ServiceClass::new(
+                ClassId(2),
+                "Class 2 (OLAP)",
+                QueryKind::Olap,
+                2,
+                Goal::VelocityAtLeast(0.6),
+            ),
+            ServiceClass::new(
+                ClassId(3),
+                "Class 3 (OLTP)",
+                QueryKind::Oltp,
+                3,
+                Goal::AvgResponseAtMost(SimDuration::from_millis(250)),
+            ),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_classes_match_the_paper() {
+        let cs = ServiceClass::paper_classes();
+        assert_eq!(cs.len(), 3);
+        assert_eq!(cs[0].importance, 1);
+        assert_eq!(cs[1].importance, 2);
+        assert_eq!(cs[2].importance, 3);
+        assert_eq!(cs[0].goal, Goal::VelocityAtLeast(0.4));
+        assert_eq!(cs[1].goal, Goal::VelocityAtLeast(0.6));
+        assert_eq!(cs[2].goal, Goal::AvgResponseAtMost(SimDuration::from_millis(250)));
+        for c in &cs {
+            c.validate();
+        }
+    }
+
+    #[test]
+    fn velocity_achievement() {
+        let g = Goal::VelocityAtLeast(0.4);
+        assert!((g.achievement(0.4) - 1.0).abs() < 1e-12);
+        assert!((g.achievement(0.6) - 1.5).abs() < 1e-12);
+        assert!((g.achievement(0.2) - 0.5).abs() < 1e-12);
+        assert!(g.is_met(0.5));
+        assert!(!g.is_met(0.39));
+    }
+
+    #[test]
+    fn response_achievement_is_inverse() {
+        let g = Goal::AvgResponseAtMost(SimDuration::from_millis(250));
+        assert!((g.achievement(0.25) - 1.0).abs() < 1e-12);
+        assert!((g.achievement(0.5) - 0.5).abs() < 1e-12);
+        assert!((g.achievement(0.125) - 2.0).abs() < 1e-12);
+        assert!(g.is_met(0.2));
+        assert!(!g.is_met(0.3));
+        // Degenerate zero response clamps high but finite.
+        assert!(g.achievement(0.0).is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match workload type")]
+    fn olap_with_response_goal_panics() {
+        let _ = ServiceClass::new(
+            ClassId(1),
+            "bad",
+            QueryKind::Olap,
+            1,
+            Goal::AvgResponseAtMost(SimDuration::from_secs(1)),
+        );
+    }
+}

@@ -1,0 +1,158 @@
+//! The Classifier: assigns an intercepted query to a service class.
+//!
+//! In the paper the Classifier "assigns the query to an appropriate service
+//! class based on its performance goal and places the query in the
+//! associated queue". Two strategies are provided:
+//!
+//! * [`ByClassTag`] — trust the `ClassId` stamped on the query by the
+//!   submitting application (the common production setup: connection
+//!   attributes identify the workload).
+//! * [`ByRule`] — rule-based classification on observable query attributes
+//!   (kind and estimated cost), for workloads where the submitter carries no
+//!   class information.
+
+use qsched_dbms::patroller::ControlRow;
+use qsched_dbms::query::{ClassId, QueryKind};
+use qsched_dbms::Timerons;
+use serde::{Deserialize, Serialize};
+
+/// Classification strategy.
+pub trait Classifier {
+    /// The service class for this intercepted query, or `None` if no rule
+    /// matches (the caller routes it to a default class).
+    fn classify(&self, row: &ControlRow) -> Option<ClassId>;
+}
+
+/// Pass-through classification by the query's own class tag.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ByClassTag;
+
+impl Classifier for ByClassTag {
+    fn classify(&self, row: &ControlRow) -> Option<ClassId> {
+        Some(row.class)
+    }
+}
+
+/// One classification rule: all conditions must hold.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Rule {
+    /// Match only this query kind, if set.
+    pub kind: Option<QueryKind>,
+    /// Match only queries with estimated cost at least this, if set.
+    pub min_cost: Option<Timerons>,
+    /// Match only queries with estimated cost below this, if set.
+    pub max_cost: Option<Timerons>,
+    /// The class assigned on match.
+    pub assign: ClassId,
+}
+
+impl Rule {
+    fn matches(&self, row: &ControlRow) -> bool {
+        if let Some(k) = self.kind {
+            if row.kind != k {
+                return false;
+            }
+        }
+        if let Some(lo) = self.min_cost {
+            if row.estimated_cost < lo {
+                return false;
+            }
+        }
+        if let Some(hi) = self.max_cost {
+            if row.estimated_cost >= hi {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// First-match rule-based classifier.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ByRule {
+    rules: Vec<Rule>,
+}
+
+impl ByRule {
+    /// Build from an ordered rule list (first match wins).
+    pub fn new(rules: Vec<Rule>) -> Self {
+        ByRule { rules }
+    }
+}
+
+impl Classifier for ByRule {
+    fn classify(&self, row: &ControlRow) -> Option<ClassId> {
+        self.rules.iter().find(|r| r.matches(row)).map(|r| r.assign)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsched_dbms::query::{ClientId, QueryId};
+    use qsched_sim::SimTime;
+
+    fn row(class: u16, kind: QueryKind, cost: f64) -> ControlRow {
+        ControlRow {
+            id: QueryId(1),
+            client: ClientId(0),
+            class: ClassId(class),
+            kind,
+            template: 0,
+            estimated_cost: Timerons::new(cost),
+            intercepted_at: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn tag_classifier_passes_through() {
+        let c = ByClassTag;
+        assert_eq!(c.classify(&row(7, QueryKind::Olap, 10.0)), Some(ClassId(7)));
+    }
+
+    #[test]
+    fn rules_match_kind_and_cost_band() {
+        let c = ByRule::new(vec![
+            Rule { kind: Some(QueryKind::Oltp), min_cost: None, max_cost: None, assign: ClassId(3) },
+            Rule {
+                kind: Some(QueryKind::Olap),
+                min_cost: Some(Timerons::new(5_000.0)),
+                max_cost: None,
+                assign: ClassId(1),
+            },
+            Rule {
+                kind: Some(QueryKind::Olap),
+                min_cost: None,
+                max_cost: Some(Timerons::new(5_000.0)),
+                assign: ClassId(2),
+            },
+        ]);
+        assert_eq!(c.classify(&row(0, QueryKind::Oltp, 50.0)), Some(ClassId(3)));
+        assert_eq!(c.classify(&row(0, QueryKind::Olap, 9_000.0)), Some(ClassId(1)));
+        assert_eq!(c.classify(&row(0, QueryKind::Olap, 100.0)), Some(ClassId(2)));
+    }
+
+    #[test]
+    fn first_match_wins_and_no_match_is_none() {
+        let c = ByRule::new(vec![
+            Rule { kind: None, min_cost: Some(Timerons::new(10.0)), max_cost: None, assign: ClassId(1) },
+            Rule { kind: None, min_cost: Some(Timerons::new(100.0)), max_cost: None, assign: ClassId(2) },
+        ]);
+        // Cost 200 matches both; the first rule wins.
+        assert_eq!(c.classify(&row(0, QueryKind::Olap, 200.0)), Some(ClassId(1)));
+        // Cost 5 matches nothing.
+        assert_eq!(c.classify(&row(0, QueryKind::Olap, 5.0)), None);
+    }
+
+    #[test]
+    fn cost_band_is_half_open() {
+        let c = ByRule::new(vec![Rule {
+            kind: None,
+            min_cost: Some(Timerons::new(10.0)),
+            max_cost: Some(Timerons::new(20.0)),
+            assign: ClassId(1),
+        }]);
+        assert_eq!(c.classify(&row(0, QueryKind::Olap, 10.0)), Some(ClassId(1)));
+        assert_eq!(c.classify(&row(0, QueryKind::Olap, 20.0)), None);
+    }
+}

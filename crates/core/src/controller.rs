@@ -1,0 +1,93 @@
+//! The controller interface experiments drive.
+//!
+//! A controller is the *policy* layer in front of the DBMS: it owns the
+//! intercepted queries and decides when to release them. The experiment
+//! world routes DBMS notices and controller timer events here.
+
+use qsched_dbms::engine::{Dbms, DbmsEvent, DbmsNotice};
+use qsched_sim::Ctx;
+
+/// Timer events owned by controllers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CtrlEvent {
+    /// A control interval ends: re-plan.
+    ControlTick,
+    /// Sample the DBMS snapshot monitor.
+    SnapshotTick,
+}
+
+/// A workload-control policy. Generic over the enclosing world's event type
+/// `E`, which must be able to carry both controller timers and DBMS events
+/// (releases schedule engine work).
+pub trait Controller<E: From<CtrlEvent> + From<DbmsEvent>> {
+    /// Short policy name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Called once at simulation start; schedule recurring timers here.
+    fn start(&mut self, ctx: &mut Ctx<'_, E>, dbms: &mut Dbms);
+
+    /// A DBMS notice arrived (interception, completion or rejection).
+    /// Notices produced by controller-initiated engine actions (e.g.
+    /// [`Dbms::reject`]) must be appended to `out` so the enclosing world
+    /// can route them.
+    fn on_notice(
+        &mut self,
+        ctx: &mut Ctx<'_, E>,
+        dbms: &mut Dbms,
+        notice: &DbmsNotice,
+        out: &mut Vec<DbmsNotice>,
+    );
+
+    /// A controller timer fired. Side notices go to `out` as in
+    /// [`Controller::on_notice`].
+    fn on_event(
+        &mut self,
+        ctx: &mut Ctx<'_, E>,
+        dbms: &mut Dbms,
+        ev: CtrlEvent,
+        out: &mut Vec<DbmsNotice>,
+    );
+
+    /// The plan history, if this controller maintains one (Figure 7).
+    fn plan_log(&self) -> Option<&crate::plan::PlanLog> {
+        None
+    }
+}
+
+/// A pass-through controller that releases everything immediately.
+///
+/// Useful as the identity element in tests: with interception enabled it
+/// exercises the hold/release path with zero policy; with interception off
+/// it never sees a notice.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ReleaseAll;
+
+impl<E: From<CtrlEvent> + From<DbmsEvent>> Controller<E> for ReleaseAll {
+    fn name(&self) -> &'static str {
+        "release-all"
+    }
+
+    fn start(&mut self, _ctx: &mut Ctx<'_, E>, _dbms: &mut Dbms) {}
+
+    fn on_notice(
+        &mut self,
+        ctx: &mut Ctx<'_, E>,
+        dbms: &mut Dbms,
+        notice: &DbmsNotice,
+        _out: &mut Vec<DbmsNotice>,
+    ) {
+        if let DbmsNotice::Intercepted(row) = notice {
+            let released = dbms.release(ctx, row.id);
+            debug_assert!(released, "intercepted query must be releasable");
+        }
+    }
+
+    fn on_event(
+        &mut self,
+        _ctx: &mut Ctx<'_, E>,
+        _dbms: &mut Dbms,
+        _ev: CtrlEvent,
+        _out: &mut Vec<DbmsNotice>,
+    ) {
+    }
+}

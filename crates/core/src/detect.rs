@@ -1,0 +1,306 @@
+//! Workload detection (§2).
+//!
+//! "Workload adaptation … consist[s] of two processes, workload detection
+//! and workload control. Workload detection identifies workload changes by
+//! monitoring and characterizing current workloads and predicting future
+//! workload trends."
+//!
+//! [`WorkloadDetector`] characterises each class by its arrival rate over
+//! fixed windows, tracks the trend with an EWMA, and flags a
+//! [`WorkloadChange`] when a window's rate departs from the trend by more
+//! than a configurable factor. The Query Scheduler can subscribe to these
+//! events to re-plan immediately instead of waiting for the next control
+//! interval (`SchedulerConfig::reactive_replanning`).
+
+use qsched_dbms::query::ClassId;
+use qsched_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Detector tuning.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DetectorConfig {
+    /// Length of one characterisation window.
+    pub window: SimDuration,
+    /// EWMA smoothing factor for the trend (weight of the newest window).
+    pub ewma_alpha: f64,
+    /// Relative departure from the trend that counts as a change
+    /// (e.g. 0.4 = ±40 %).
+    pub change_threshold: f64,
+    /// Windows to observe before the trend is trusted (cold-start guard).
+    pub min_windows: u32,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        DetectorConfig {
+            window: SimDuration::from_secs(60),
+            ewma_alpha: 0.3,
+            change_threshold: 0.4,
+            min_windows: 3,
+        }
+    }
+}
+
+impl DetectorConfig {
+    /// Validate tunables.
+    ///
+    /// # Panics
+    /// Panics on nonsensical values.
+    pub fn validate(&self) {
+        assert!(!self.window.is_zero(), "window must be positive");
+        assert!((0.0..=1.0).contains(&self.ewma_alpha), "alpha in [0,1]");
+        assert!(self.change_threshold > 0.0, "threshold must be positive");
+    }
+}
+
+/// Direction of a detected workload change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChangeDirection {
+    /// Arrival rate rose above the trend.
+    Increased,
+    /// Arrival rate fell below the trend.
+    Decreased,
+}
+
+/// One detected workload change.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadChange {
+    /// The class whose intensity shifted.
+    pub class: ClassId,
+    /// When the window that revealed the change closed.
+    pub at: SimTime,
+    /// The trend rate before the change (arrivals/second).
+    pub trend_rate: f64,
+    /// The rate observed in the closing window.
+    pub observed_rate: f64,
+    /// Up or down.
+    pub direction: ChangeDirection,
+}
+
+#[derive(Debug, Clone, Default)]
+struct ClassTrack {
+    count: u64,
+    ewma_rate: f64,
+    windows_seen: u32,
+}
+
+/// Per-class arrival-rate characterisation with change detection.
+///
+/// ```
+/// use qsched_core::detect::{DetectorConfig, WorkloadDetector};
+/// use qsched_dbms::query::ClassId;
+/// use qsched_sim::{SimDuration, SimTime};
+///
+/// let mut d = WorkloadDetector::new(
+///     DetectorConfig { window: SimDuration::from_secs(10), min_windows: 1, ..Default::default() },
+///     SimTime::ZERO,
+/// );
+/// // One steady window, then a 5× burst.
+/// for _ in 0..10 { d.on_arrival(ClassId(1)); }
+/// assert!(d.advance(SimTime::from_secs(10)).is_empty());
+/// for _ in 0..50 { d.on_arrival(ClassId(1)); }
+/// let changes = d.advance(SimTime::from_secs(20));
+/// assert_eq!(changes.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WorkloadDetector {
+    cfg: DetectorConfig,
+    window_start: SimTime,
+    tracks: BTreeMap<ClassId, ClassTrack>,
+    total_changes: u64,
+}
+
+impl WorkloadDetector {
+    /// A detector starting its first window at `start`.
+    pub fn new(cfg: DetectorConfig, start: SimTime) -> Self {
+        cfg.validate();
+        WorkloadDetector { cfg, window_start: start, tracks: BTreeMap::new(), total_changes: 0 }
+    }
+
+    /// Record one arrival of `class`.
+    pub fn on_arrival(&mut self, class: ClassId) {
+        self.tracks.entry(class).or_default().count += 1;
+    }
+
+    /// The current trend rate for `class`, in arrivals/second.
+    pub fn trend_rate(&self, class: ClassId) -> Option<f64> {
+        self.tracks
+            .get(&class)
+            .filter(|t| t.windows_seen >= self.cfg.min_windows)
+            .map(|t| t.ewma_rate)
+    }
+
+    /// Total changes flagged so far.
+    pub fn total_changes(&self) -> u64 {
+        self.total_changes
+    }
+
+    /// Advance to `now`, closing any windows that have elapsed. Returns the
+    /// changes detected in the closed windows.
+    ///
+    /// Windows close strictly on the grid (`start + k·window`); calling this
+    /// more often than the window length is cheap and exact.
+    pub fn advance(&mut self, now: SimTime) -> Vec<WorkloadChange> {
+        let mut changes = Vec::new();
+        let win = self.cfg.window;
+        while self.window_start + win <= now {
+            let closing_end = self.window_start + win;
+            for (&class, track) in &mut self.tracks {
+                let rate = track.count as f64 / win.as_secs_f64();
+                track.count = 0;
+                if track.windows_seen >= self.cfg.min_windows {
+                    let trend = track.ewma_rate;
+                    let base = trend.max(1e-9);
+                    let departure = (rate - trend) / base;
+                    if departure.abs() > self.cfg.change_threshold {
+                        changes.push(WorkloadChange {
+                            class,
+                            at: closing_end,
+                            trend_rate: trend,
+                            observed_rate: rate,
+                            direction: if departure > 0.0 {
+                                ChangeDirection::Increased
+                            } else {
+                                ChangeDirection::Decreased
+                            },
+                        });
+                        self.total_changes += 1;
+                    }
+                }
+                track.ewma_rate = if track.windows_seen == 0 {
+                    rate
+                } else {
+                    self.cfg.ewma_alpha * rate + (1.0 - self.cfg.ewma_alpha) * track.ewma_rate
+                };
+                track.windows_seen += 1;
+            }
+            self.window_start = closing_end;
+        }
+        changes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn detector() -> WorkloadDetector {
+        WorkloadDetector::new(
+            DetectorConfig {
+                window: SimDuration::from_secs(10),
+                ewma_alpha: 0.3,
+                change_threshold: 0.4,
+                min_windows: 2,
+            },
+            SimTime::ZERO,
+        )
+    }
+
+    fn feed(d: &mut WorkloadDetector, class: ClassId, n: u32) {
+        for _ in 0..n {
+            d.on_arrival(class);
+        }
+    }
+
+    #[test]
+    fn steady_rate_never_flags() {
+        let mut d = detector();
+        let c = ClassId(1);
+        for w in 1..=20u64 {
+            feed(&mut d, c, 10);
+            let changes = d.advance(SimTime::from_secs(w * 10));
+            assert!(changes.is_empty(), "steady traffic flagged at window {w}: {changes:?}");
+        }
+        let rate = d.trend_rate(c).unwrap();
+        assert!((rate - 1.0).abs() < 1e-9, "trend {rate} should be 1/s");
+    }
+
+    #[test]
+    fn sudden_jump_is_detected_with_direction() {
+        let mut d = detector();
+        let c = ClassId(1);
+        for w in 1..=5u64 {
+            feed(&mut d, c, 10);
+            assert!(d.advance(SimTime::from_secs(w * 10)).is_empty());
+        }
+        // Rate triples.
+        feed(&mut d, c, 30);
+        let changes = d.advance(SimTime::from_secs(60));
+        assert_eq!(changes.len(), 1);
+        let ch = changes[0];
+        assert_eq!(ch.class, c);
+        assert_eq!(ch.direction, ChangeDirection::Increased);
+        assert!((ch.observed_rate - 3.0).abs() < 1e-9);
+        assert!((ch.trend_rate - 1.0).abs() < 1e-6);
+        assert_eq!(d.total_changes(), 1);
+    }
+
+    #[test]
+    fn drop_is_detected_as_decrease() {
+        let mut d = detector();
+        let c = ClassId(2);
+        for w in 1..=5u64 {
+            feed(&mut d, c, 20);
+            d.advance(SimTime::from_secs(w * 10));
+        }
+        feed(&mut d, c, 2);
+        let changes = d.advance(SimTime::from_secs(60));
+        assert_eq!(changes.len(), 1);
+        assert_eq!(changes[0].direction, ChangeDirection::Decreased);
+    }
+
+    #[test]
+    fn cold_start_guard_suppresses_early_flags() {
+        let mut d = detector();
+        let c = ClassId(1);
+        // Wildly varying first two windows: below min_windows, no flags.
+        feed(&mut d, c, 1);
+        assert!(d.advance(SimTime::from_secs(10)).is_empty());
+        feed(&mut d, c, 50);
+        assert!(d.advance(SimTime::from_secs(20)).is_empty());
+    }
+
+    #[test]
+    fn multiple_windows_close_in_one_advance() {
+        let mut d = detector();
+        let c = ClassId(1);
+        for w in 1..=4u64 {
+            feed(&mut d, c, 10);
+            d.advance(SimTime::from_secs(w * 10));
+        }
+        // 30 arrivals land in the next window; then a silent window passes.
+        feed(&mut d, c, 30);
+        let changes = d.advance(SimTime::from_secs(60));
+        // Window 5 flags the jump; window 6 (zero arrivals) flags the drop.
+        assert_eq!(changes.len(), 2);
+        assert_eq!(changes[0].direction, ChangeDirection::Increased);
+        assert_eq!(changes[0].at, SimTime::from_secs(50));
+        assert_eq!(changes[1].direction, ChangeDirection::Decreased);
+        assert_eq!(changes[1].at, SimTime::from_secs(60));
+    }
+
+    #[test]
+    fn classes_are_tracked_independently() {
+        let mut d = detector();
+        for w in 1..=5u64 {
+            feed(&mut d, ClassId(1), 10);
+            feed(&mut d, ClassId(2), 5);
+            assert!(d.advance(SimTime::from_secs(w * 10)).is_empty());
+        }
+        feed(&mut d, ClassId(1), 10); // steady
+        feed(&mut d, ClassId(2), 25); // 5× jump
+        let changes = d.advance(SimTime::from_secs(60));
+        assert_eq!(changes.len(), 1);
+        assert_eq!(changes[0].class, ClassId(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_panics() {
+        let _ = WorkloadDetector::new(
+            DetectorConfig { window: SimDuration::ZERO, ..Default::default() },
+            SimTime::ZERO,
+        );
+    }
+}

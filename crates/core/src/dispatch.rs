@@ -1,0 +1,294 @@
+//! The Dispatcher: cost-limit admission control.
+//!
+//! "The Dispatcher follows a scheduling plan by releasing queries for
+//! execution as long as the addition of a new query does not mean that the
+//! cost limit for the query's class is exceeded" (§2). It tracks the total
+//! estimated cost currently executing per class and releases queued queries
+//! head-first whenever headroom appears (a completion, or a plan change).
+//!
+//! Starvation guard: a query whose estimated cost alone exceeds its class
+//! limit would otherwise wait forever; when its class has nothing executing
+//! it is released anyway (configurable, on by default — DB2 QP handles this
+//! case with separate maximum-cost rejection rules, which the paper does not
+//! use).
+
+use crate::plan::Plan;
+use crate::queue::ClassQueues;
+use qsched_dbms::query::{ClassId, QueryRecord};
+use qsched_dbms::Timerons;
+use std::collections::BTreeMap;
+
+/// Cost-limit admission state for the controlled classes.
+///
+/// ```
+/// use qsched_core::dispatch::Dispatcher;
+/// use qsched_core::plan::Plan;
+/// use qsched_core::queue::ClassQueues;
+/// use qsched_dbms::query::{ClassId, QueryId};
+/// use qsched_dbms::Timerons;
+///
+/// let plan = Plan::new(vec![(ClassId(1), Timerons::new(100.0))]);
+/// let mut d = Dispatcher::new(&plan);
+/// let mut q = ClassQueues::new();
+/// q.enqueue(ClassId(1), QueryId(1), Timerons::new(70.0));
+/// q.enqueue(ClassId(1), QueryId(2), Timerons::new(70.0));
+/// // The first fits under the 100-timeron limit; the second must wait.
+/// let released = d.on_enqueued(ClassId(1), &mut q);
+/// assert_eq!(released, vec![(ClassId(1), QueryId(1))]);
+/// assert_eq!(d.executing_cost(ClassId(1)).get(), 70.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dispatcher {
+    /// Current class cost limits (the active scheduling plan).
+    limits: BTreeMap<ClassId, Timerons>,
+    /// Per class: estimated cost and integer count of executing queries.
+    /// The count is authoritative for idleness — cost sums accrue float
+    /// residue when added and subtracted in different orders, so the cost is
+    /// reset to exactly zero whenever the count reaches zero.
+    executing: BTreeMap<ClassId, (Timerons, u32)>,
+    /// Release a head query that alone exceeds the limit when its class is idle.
+    allow_oversize_when_idle: bool,
+    /// Total queries released.
+    released: u64,
+}
+
+/// The outcome of a release scan: queries the engine should now unblock.
+pub type ReleaseList = Vec<(ClassId, qsched_dbms::query::QueryId)>;
+
+impl Dispatcher {
+    /// A dispatcher controlling exactly the classes named in `plan`.
+    pub fn new(plan: &Plan) -> Self {
+        let limits: BTreeMap<ClassId, Timerons> =
+            plan.limits().iter().map(|&(c, l)| (c, l)).collect();
+        let executing = limits.keys().map(|&c| (c, (Timerons::ZERO, 0))).collect();
+        Dispatcher { limits, executing, allow_oversize_when_idle: true, released: 0 }
+    }
+
+    /// Disable the oversize-when-idle starvation guard (for ablations).
+    pub fn without_oversize_guard(mut self) -> Self {
+        self.allow_oversize_when_idle = false;
+        self
+    }
+
+    /// Is this class under the dispatcher's control?
+    pub fn controls(&self, class: ClassId) -> bool {
+        self.limits.contains_key(&class)
+    }
+
+    /// Current limit for a class (zero for uncontrolled classes).
+    pub fn limit(&self, class: ClassId) -> Timerons {
+        self.limits.get(&class).copied().unwrap_or(Timerons::ZERO)
+    }
+
+    /// Estimated executing cost of a class.
+    pub fn executing_cost(&self, class: ClassId) -> Timerons {
+        self.executing.get(&class).map(|&(c, _)| c).unwrap_or(Timerons::ZERO)
+    }
+
+    /// Number of executing queries of a class.
+    pub fn executing_count(&self, class: ClassId) -> u32 {
+        self.executing.get(&class).map(|&(_, n)| n).unwrap_or(0)
+    }
+
+    /// Total estimated executing cost across controlled classes.
+    pub fn total_executing(&self) -> Timerons {
+        self.executing.values().map(|&(c, _)| c).sum()
+    }
+
+    /// Total queries released so far.
+    pub fn total_released(&self) -> u64 {
+        self.released
+    }
+
+    /// Install a new plan, then scan for releasable queries.
+    ///
+    /// # Panics
+    /// Panics if the plan names a different class set than the dispatcher
+    /// was built with (plans must be a re-division of the same classes).
+    pub fn apply_plan(&mut self, plan: &Plan, queues: &mut ClassQueues) -> ReleaseList {
+        for &(c, l) in plan.limits() {
+            let slot = self
+                .limits
+                .get_mut(&c)
+                .unwrap_or_else(|| panic!("plan names unknown class {c}"));
+            *slot = l;
+        }
+        assert_eq!(plan.limits().len(), self.limits.len(), "plan omits controlled classes");
+        self.scan_all(queues)
+    }
+
+    /// A query of a controlled class was enqueued; release it if it fits.
+    pub fn on_enqueued(&mut self, class: ClassId, queues: &mut ClassQueues) -> ReleaseList {
+        self.scan_class(class, queues)
+    }
+
+    /// A query completed. If it belonged to a controlled class its cost is
+    /// returned to the class budget and the queue is re-scanned.
+    pub fn on_completed(&mut self, rec: &QueryRecord, queues: &mut ClassQueues) -> ReleaseList {
+        if let Some((cost, count)) = self.executing.get_mut(&rec.class) {
+            debug_assert!(*count > 0, "completion for a class with nothing executing");
+            *count = count.saturating_sub(1);
+            *cost = if *count == 0 {
+                Timerons::ZERO // clean any float residue at idle
+            } else {
+                cost.saturating_sub(rec.estimated_cost)
+            };
+            self.scan_class(rec.class, queues)
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Scan one class queue, releasing head queries while they fit.
+    fn scan_class(&mut self, class: ClassId, queues: &mut ClassQueues) -> ReleaseList {
+        let mut out = Vec::new();
+        let Some(&limit) = self.limits.get(&class) else {
+            return out;
+        };
+        while let Some(head) = queues.peek(class) {
+            let (executing, count) =
+                self.executing.get(&class).copied().unwrap_or((Timerons::ZERO, 0));
+            let fits = executing + head.cost <= limit
+                || (self.allow_oversize_when_idle && count == 0);
+            if !fits {
+                break;
+            }
+            queues.pop(class);
+            let slot = self.executing.entry(class).or_insert((Timerons::ZERO, 0));
+            slot.0 += head.cost;
+            slot.1 += 1;
+            self.released += 1;
+            out.push((class, head.id));
+        }
+        out
+    }
+
+    /// Scan every controlled class (after a plan change).
+    fn scan_all(&mut self, queues: &mut ClassQueues) -> ReleaseList {
+        let classes: Vec<ClassId> = self.limits.keys().copied().collect();
+        let mut out = Vec::new();
+        for c in classes {
+            out.extend(self.scan_class(c, queues));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsched_dbms::query::{ClientId, QueryId, QueryKind};
+    use qsched_sim::SimTime;
+
+    fn plan(limits: &[(u16, f64)]) -> Plan {
+        Plan::new(limits.iter().map(|&(c, l)| (ClassId(c), Timerons::new(l))).collect())
+    }
+
+    fn rec(class: u16, cost: f64) -> QueryRecord {
+        QueryRecord {
+            id: QueryId(999),
+            client: ClientId(0),
+            class: ClassId(class),
+            kind: QueryKind::Olap,
+            template: 0,
+            estimated_cost: Timerons::new(cost),
+            submitted: SimTime::ZERO,
+            admitted: SimTime::ZERO,
+            finished: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn releases_while_limit_allows() {
+        let mut d = Dispatcher::new(&plan(&[(1, 100.0)]));
+        let mut q = ClassQueues::new();
+        q.enqueue(ClassId(1), QueryId(1), Timerons::new(60.0));
+        q.enqueue(ClassId(1), QueryId(2), Timerons::new(30.0));
+        q.enqueue(ClassId(1), QueryId(3), Timerons::new(30.0));
+        let rel = d.on_enqueued(ClassId(1), &mut q);
+        // 60 + 30 fit; the third (would make 120) does not.
+        assert_eq!(rel.len(), 2);
+        assert_eq!(d.executing_cost(ClassId(1)).get(), 90.0);
+        assert_eq!(q.len(ClassId(1)), 1);
+    }
+
+    #[test]
+    fn completion_returns_budget_and_releases_next() {
+        let mut d = Dispatcher::new(&plan(&[(1, 100.0)]));
+        let mut q = ClassQueues::new();
+        q.enqueue(ClassId(1), QueryId(1), Timerons::new(90.0));
+        q.enqueue(ClassId(1), QueryId(2), Timerons::new(50.0));
+        assert_eq!(d.on_enqueued(ClassId(1), &mut q).len(), 1);
+        let rel = d.on_completed(&rec(1, 90.0), &mut q);
+        assert_eq!(rel, vec![(ClassId(1), QueryId(2))]);
+        assert_eq!(d.executing_cost(ClassId(1)).get(), 50.0);
+    }
+
+    #[test]
+    fn raising_the_limit_releases_backlog() {
+        let mut d = Dispatcher::new(&plan(&[(1, 50.0), (2, 50.0)]));
+        let mut q = ClassQueues::new();
+        q.enqueue(ClassId(1), QueryId(1), Timerons::new(40.0));
+        q.enqueue(ClassId(1), QueryId(2), Timerons::new(40.0));
+        assert_eq!(d.on_enqueued(ClassId(1), &mut q).len(), 1);
+        // New plan shifts budget to class 1.
+        let rel = d.apply_plan(&plan(&[(1, 90.0), (2, 10.0)]), &mut q);
+        assert_eq!(rel, vec![(ClassId(1), QueryId(2))]);
+    }
+
+    #[test]
+    fn oversize_query_released_only_when_class_idle() {
+        let mut d = Dispatcher::new(&plan(&[(1, 100.0)]));
+        let mut q = ClassQueues::new();
+        q.enqueue(ClassId(1), QueryId(1), Timerons::new(150.0));
+        // Idle class: the guard lets the oversize query through.
+        let rel = d.on_enqueued(ClassId(1), &mut q);
+        assert_eq!(rel.len(), 1);
+        // A second oversize query must wait for the first to finish.
+        q.enqueue(ClassId(1), QueryId(2), Timerons::new(150.0));
+        assert!(d.on_enqueued(ClassId(1), &mut q).is_empty());
+        let rel = d.on_completed(&rec(1, 150.0), &mut q);
+        assert_eq!(rel.len(), 1);
+    }
+
+    #[test]
+    fn oversize_guard_can_be_disabled() {
+        let mut d = Dispatcher::new(&plan(&[(1, 100.0)])).without_oversize_guard();
+        let mut q = ClassQueues::new();
+        q.enqueue(ClassId(1), QueryId(1), Timerons::new(150.0));
+        assert!(d.on_enqueued(ClassId(1), &mut q).is_empty());
+    }
+
+    #[test]
+    fn uncontrolled_class_completions_are_ignored() {
+        let mut d = Dispatcher::new(&plan(&[(1, 100.0)]));
+        let mut q = ClassQueues::new();
+        assert!(d.on_completed(&rec(9, 50.0), &mut q).is_empty());
+        assert!(!d.controls(ClassId(9)));
+        assert_eq!(d.limit(ClassId(9)), Timerons::ZERO);
+    }
+
+    #[test]
+    fn executing_never_exceeds_limit_except_oversize_head() {
+        let mut d = Dispatcher::new(&plan(&[(1, 100.0)]));
+        let mut q = ClassQueues::new();
+        for i in 0..20 {
+            q.enqueue(ClassId(1), QueryId(i), Timerons::new(33.0));
+        }
+        d.on_enqueued(ClassId(1), &mut q);
+        assert!(d.executing_cost(ClassId(1)).get() <= 100.0);
+        // Drain: budget accounting must return to zero.
+        for _ in 0..3 {
+            d.on_completed(&rec(1, 33.0), &mut q);
+        }
+        assert!(d.executing_cost(ClassId(1)).get() <= 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown class")]
+    fn plan_with_unknown_class_panics() {
+        let mut d = Dispatcher::new(&plan(&[(1, 100.0)]));
+        let mut q = ClassQueues::new();
+        let _ = d.apply_plan(&plan(&[(2, 100.0)]), &mut q);
+    }
+}

@@ -1,0 +1,243 @@
+//! A classic PI feedback controller — the autonomic-computing alternative
+//! to the paper's model-based utility optimisation.
+//!
+//! Instead of predicting plans with performance models, a
+//! proportional-integral controller adjusts the OLAP cost-limit total
+//! directly from the OLTP class's error signal
+//! (`measured response − goal`): positive error shrinks the OLAP budget,
+//! negative error returns it. The freed/granted budget is split between the
+//! OLAP classes in proportion to their velocity-goal shortfalls.
+//!
+//! Comparing this against the Query Scheduler isolates what the paper's
+//! models and utility machinery buy over plain feedback control
+//! (`ablation_feedback` bench).
+
+use crate::class::{Goal, ServiceClass};
+use crate::controller::{Controller, CtrlEvent};
+use crate::dispatch::Dispatcher;
+use crate::monitor::IntervalMonitor;
+use crate::plan::{Plan, PlanLog};
+use crate::queue::ClassQueues;
+use qsched_dbms::engine::{Dbms, DbmsEvent, DbmsNotice};
+use qsched_dbms::query::{ClassId, QueryKind};
+use qsched_dbms::Timerons;
+use qsched_sim::{Ctx, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// PI controller tuning.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PiConfig {
+    /// Total budget divided among all classes (the system cost limit).
+    pub system_limit: Timerons,
+    /// Proportional gain: timerons of OLAP budget removed per second of
+    /// OLTP response-time error.
+    pub kp: f64,
+    /// Integral gain: timerons per accumulated second·interval of error.
+    pub ki: f64,
+    /// Control interval.
+    pub control_interval: SimDuration,
+    /// Snapshot-monitor sampling interval.
+    pub snapshot_interval: SimDuration,
+    /// Minimum OLAP total (keeps the OLAP classes alive).
+    pub olap_floor: Timerons,
+}
+
+impl Default for PiConfig {
+    fn default() -> Self {
+        PiConfig {
+            system_limit: Timerons::new(30_000.0),
+            // A 0.1 s error moves the OLAP budget by 4 K (P) + 1 K/interval (I).
+            kp: 40_000.0,
+            ki: 10_000.0,
+            control_interval: SimDuration::from_secs(240),
+            snapshot_interval: SimDuration::from_secs(10),
+            olap_floor: Timerons::new(1_200.0),
+        }
+    }
+}
+
+/// The PI feedback controller.
+pub struct PiController {
+    cfg: PiConfig,
+    classes: Vec<ServiceClass>,
+    olap_ids: Vec<ClassId>,
+    oltp: Option<(ClassId, f64)>, // (class, goal seconds)
+    dispatcher: Dispatcher,
+    queues: ClassQueues,
+    monitor: IntervalMonitor,
+    olap_total: f64,
+    integral: f64,
+    plan_log: PlanLog,
+}
+
+impl PiController {
+    /// Build a PI controller for the given classes.
+    ///
+    /// # Panics
+    /// Panics if there are no OLAP classes.
+    pub fn new(classes: Vec<ServiceClass>, cfg: PiConfig) -> Self {
+        let olap_ids: Vec<ClassId> =
+            classes.iter().filter(|c| c.kind == QueryKind::Olap).map(|c| c.id).collect();
+        assert!(!olap_ids.is_empty(), "PI control needs OLAP classes");
+        let oltp = classes.iter().find(|c| c.kind == QueryKind::Oltp).map(|c| match c.goal {
+            Goal::AvgResponseAtMost(d) => (c.id, d.as_secs_f64()),
+            _ => unreachable!("validated: OLTP goals are response times"),
+        });
+        // Start with the whole budget on OLAP, split evenly.
+        let olap_total = cfg.system_limit.get();
+        let share = olap_total / olap_ids.len() as f64;
+        let plan = Plan::new(olap_ids.iter().map(|&c| (c, Timerons::new(share))).collect());
+        PiController {
+            dispatcher: Dispatcher::new(&plan),
+            queues: ClassQueues::new(),
+            monitor: IntervalMonitor::new(SimTime::ZERO),
+            plan_log: PlanLog::new(&plan, SimTime::ZERO),
+            olap_total,
+            integral: 0.0,
+            olap_ids,
+            oltp,
+            classes,
+            cfg,
+        }
+    }
+
+    /// The current OLAP budget total.
+    pub fn olap_total(&self) -> f64 {
+        self.olap_total
+    }
+
+    fn perform<E: From<CtrlEvent> + From<DbmsEvent>>(
+        &mut self,
+        ctx: &mut Ctx<'_, E>,
+        dbms: &mut Dbms,
+        releases: Vec<(ClassId, qsched_dbms::query::QueryId)>,
+    ) {
+        for (_, id) in releases {
+            let ok = dbms.release(ctx, id);
+            debug_assert!(ok, "released query must be held");
+        }
+    }
+
+    fn control_step<E: From<CtrlEvent> + From<DbmsEvent>>(
+        &mut self,
+        ctx: &mut Ctx<'_, E>,
+        dbms: &mut Dbms,
+    ) {
+        let ids: Vec<ClassId> = self.classes.iter().map(|c| c.id).collect();
+        let meas = self.monitor.end_interval(&ids);
+        // PI step on the OLTP error.
+        if let Some((oltp_id, goal)) = self.oltp {
+            if let Some(t) = meas.get(&oltp_id).and_then(|m| m.response_secs) {
+                let error = t - goal; // positive = too slow = shrink OLAP
+                // Anti-windup: never integrate *into* a saturated actuator,
+                // and bound the integral so its authority cannot exceed the
+                // whole budget.
+                let at_max = self.olap_total >= self.cfg.system_limit.get() - 1e-6;
+                let at_min = self.olap_total <= self.cfg.olap_floor.get() + 1e-6;
+                let winding_into_saturation =
+                    (at_max && error < 0.0) || (at_min && error > 0.0);
+                if !winding_into_saturation {
+                    self.integral += error;
+                }
+                let cap = self.cfg.system_limit.get() / self.cfg.ki.max(1e-9);
+                self.integral = self.integral.clamp(-cap, cap);
+                let delta = self.cfg.kp * error + self.cfg.ki * self.integral;
+                self.olap_total = (self.olap_total - delta)
+                    .clamp(self.cfg.olap_floor.get(), self.cfg.system_limit.get());
+            }
+        }
+        // Split the OLAP total by velocity-goal shortfall (floor 1 each so
+        // nobody starves outright).
+        let mut weights = Vec::with_capacity(self.olap_ids.len());
+        for sc in self.classes.iter().filter(|c| self.olap_ids.contains(&c.id)) {
+            let v = meas.get(&sc.id).and_then(|m| m.velocity).unwrap_or(1.0);
+            let shortfall = (sc.goal.achievement(v) - 1.0).min(0.0).abs();
+            weights.push((sc.id, 1.0 + 4.0 * shortfall));
+        }
+        let wsum: f64 = weights.iter().map(|(_, w)| w).sum();
+        let plan = Plan::new(
+            weights
+                .into_iter()
+                .map(|(c, w)| (c, Timerons::new(self.olap_total * w / wsum)))
+                .collect(),
+        );
+        self.plan_log.record(&plan, ctx.now());
+        let releases = self.dispatcher.apply_plan(&plan, &mut self.queues);
+        self.perform(ctx, dbms, releases);
+    }
+}
+
+impl<E: From<CtrlEvent> + From<DbmsEvent>> Controller<E> for PiController {
+    fn name(&self) -> &'static str {
+        "pi-feedback"
+    }
+
+    fn start(&mut self, ctx: &mut Ctx<'_, E>, _dbms: &mut Dbms) {
+        ctx.schedule_in(self.cfg.control_interval, CtrlEvent::ControlTick.into());
+        ctx.schedule_in(self.cfg.snapshot_interval, CtrlEvent::SnapshotTick.into());
+    }
+
+    fn on_notice(
+        &mut self,
+        ctx: &mut Ctx<'_, E>,
+        dbms: &mut Dbms,
+        notice: &DbmsNotice,
+        _out: &mut Vec<DbmsNotice>,
+    ) {
+        match notice {
+            DbmsNotice::Intercepted(row) => {
+                self.queues.enqueue(row.class, row.id, row.estimated_cost);
+                let releases = self.dispatcher.on_enqueued(row.class, &mut self.queues);
+                self.perform(ctx, dbms, releases);
+            }
+            DbmsNotice::Completed(rec) => {
+                self.monitor.on_completed(rec);
+                let releases = self.dispatcher.on_completed(rec, &mut self.queues);
+                self.perform(ctx, dbms, releases);
+            }
+            DbmsNotice::Rejected(_) => {}
+        }
+    }
+
+    fn on_event(
+        &mut self,
+        ctx: &mut Ctx<'_, E>,
+        dbms: &mut Dbms,
+        ev: CtrlEvent,
+        _out: &mut Vec<DbmsNotice>,
+    ) {
+        match ev {
+            CtrlEvent::SnapshotTick => {
+                let samples = dbms.take_snapshot(ctx);
+                self.monitor.on_snapshot(ctx.now(), &samples);
+                ctx.schedule_in(self.cfg.snapshot_interval, CtrlEvent::SnapshotTick.into());
+            }
+            CtrlEvent::ControlTick => {
+                self.control_step(ctx, dbms);
+                ctx.schedule_in(self.cfg.control_interval, CtrlEvent::ControlTick.into());
+            }
+        }
+    }
+
+    fn plan_log(&self) -> Option<&PlanLog> {
+        Some(&self.plan_log)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_plan_gives_olap_everything() {
+        let pi = PiController::new(ServiceClass::paper_classes(), PiConfig::default());
+        assert_eq!(pi.olap_total(), 30_000.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs OLAP classes")]
+    fn oltp_only_panics() {
+        let classes = vec![ServiceClass::paper_classes().remove(2)];
+        let _ = PiController::new(classes, PiConfig::default());
+    }
+}

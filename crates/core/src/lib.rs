@@ -1,0 +1,82 @@
+//! # qsched-core
+//!
+//! The paper's contribution: a **workload adaptation framework** for
+//! autonomic DBMSs, able to meet per-class Service Level Objectives for
+//! *mixed* OLAP + OLTP workloads through cost-based admission control
+//! (Niu, Martin, Powley, Bird, Horman — ICDE 2007).
+//!
+//! ## Architecture (paper §2, Figure 1)
+//!
+//! ```text
+//!   DBMS notices                  ┌────────────┐
+//!  (intercepted /  ─────────────► │  Monitor   │──────────────┐
+//!   completed)                    └────────────┘              ▼
+//!                                       │             ┌────────────────┐
+//!                                       ▼             │ Scheduling     │
+//!                                 ┌────────────┐      │ Planner        │
+//!                                 │ Classifier │      │  + Performance │
+//!                                 └────────────┘      │    Solver      │
+//!                                       │             └────────────────┘
+//!                                       ▼                      │ plan =
+//!                                 ┌────────────┐               │ {class cost
+//!                                 │class queues│               ▼  limits}
+//!                                 └────────────┘      ┌────────────┐
+//!                                       └────────────►│ Dispatcher │──► release
+//!                                                     └────────────┘    (QP unblock)
+//! ```
+//!
+//! * [`class`] — service classes: goal metric (velocity / average response
+//!   time), goal value, and business importance.
+//! * [`classify`] — the Classifier: maps intercepted queries to classes.
+//! * [`queue`] — per-class FIFO queues of held queries.
+//! * [`dispatch`] — the Dispatcher: releases queries while the class cost
+//!   limit allows.
+//! * [`model`] — the per-type performance models of §3.2: the OLAP velocity
+//!   model and the OLTP linear response-time model (slope via online
+//!   regression).
+//! * [`utility`] — utility functions capturing goals and importance;
+//!   importance matters only under goal violation (§4.2 "Importance of
+//!   classes").
+//! * [`solver`] — the Performance Solver: maximizes total utility over the
+//!   cost-limit simplex (grid search, hill climbing, or a naive
+//!   proportional baseline for ablations).
+//! * [`plan`] — scheduling plans (cost-limit vectors) and plan logs.
+//! * [`monitor`] — per-control-interval measurement: class velocities from
+//!   completions and OLTP response times from snapshot samples.
+//! * [`detect`] — workload detection (§2): per-class arrival-rate
+//!   characterisation with trend tracking and change events, enabling
+//!   reactive re-planning.
+//! * [`scheduler`] — [`scheduler::QueryScheduler`]: the full controller.
+//! * [`baseline`] — the paper's comparison points: no class control, and the
+//!   static DB2 Query Patroller heuristic with priorities.
+//! * [`mpl`] — MPL-based admission control (Schroeder et al., ICDE'06), the
+//!   alternative framework the paper contrasts in §1; static and adaptive
+//!   variants for the cost-vs-MPL ablation.
+//! * [`feedback`] — a classic PI feedback controller, isolating what the
+//!   paper's models and utility machinery buy over plain feedback control.
+//! * [`controller`] — the common [`controller::Controller`] interface that
+//!   experiments drive.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod baseline;
+pub mod class;
+pub mod classify;
+pub mod controller;
+pub mod detect;
+pub mod dispatch;
+pub mod feedback;
+pub mod model;
+pub mod monitor;
+pub mod mpl;
+pub mod plan;
+pub mod queue;
+pub mod scheduler;
+pub mod solver;
+pub mod utility;
+
+pub use class::{Goal, ServiceClass};
+pub use controller::{Controller, CtrlEvent};
+pub use plan::Plan;
+pub use scheduler::{QueryScheduler, SchedulerConfig};

@@ -1,0 +1,289 @@
+//! The per-type performance models of §3.2.
+//!
+//! **OLAP velocity model** — for OLAP class *i* at control interval *k*:
+//!
+//! ```text
+//! V_i^k = min(1, V_i^{k-1} · C_i^k / C_i^{k-1})
+//! ```
+//!
+//! More admitted cost shortens queueing, raising velocity proportionally,
+//! clipped at 1 (a query cannot run faster than unimpeded).
+//!
+//! **OLTP linear model** — the OLTP class is controlled *indirectly*: its
+//! response time is ~linear in the total OLAP cost limit while the system is
+//! under-saturated (the paper's Figure 2):
+//!
+//! ```text
+//! t^k = t^{k-1} + s · (C_olap^k − C_olap^{k-1})
+//! ```
+//!
+//! where `s` is fitted online by linear regression of measured response time
+//! against the OLAP cost-limit total.
+
+use qsched_dbms::Timerons;
+use qsched_sim::stats::LinReg;
+use serde::{Deserialize, Serialize};
+
+/// The OLAP velocity model: predicts next-interval velocity from a candidate
+/// cost limit.
+///
+/// ```
+/// use qsched_core::model::OlapVelocityModel;
+/// use qsched_dbms::Timerons;
+///
+/// let mut m = OlapVelocityModel::new(Timerons::new(10_000.0));
+/// m.observe(Some(0.4), Timerons::new(10_000.0));
+/// // The paper's equation: velocity scales with the limit, clipped at 1.
+/// assert!((m.predict(Timerons::new(15_000.0)) - 0.6).abs() < 1e-12);
+/// assert_eq!(m.predict(Timerons::new(40_000.0)), 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OlapVelocityModel {
+    /// Last measured velocity (carried forward when an interval has no
+    /// completions).
+    last_velocity: f64,
+    /// Cost limit in effect during the last measurement.
+    last_limit: Timerons,
+}
+
+impl OlapVelocityModel {
+    /// Start with a neutral prior: velocity 0.5 at the given initial limit.
+    pub fn new(initial_limit: Timerons) -> Self {
+        OlapVelocityModel { last_velocity: 0.5, last_limit: initial_limit }
+    }
+
+    /// Record the measured mean velocity for the interval that just ended,
+    /// together with the limit that was in effect. Passing `None` (interval
+    /// had no completions) keeps the previous measurement but adopts the new
+    /// limit baseline.
+    pub fn observe(&mut self, velocity: Option<f64>, limit: Timerons) {
+        if let Some(v) = velocity {
+            debug_assert!((0.0..=1.0 + 1e-9).contains(&v), "velocity out of range: {v}");
+            self.last_velocity = v.clamp(0.0, 1.0);
+        }
+        self.last_limit = limit;
+    }
+
+    /// Predict the velocity under a candidate limit (the paper's equation).
+    pub fn predict(&self, candidate: Timerons) -> f64 {
+        if self.last_limit.is_zero() {
+            // No baseline: an idle class was granted budget. Be optimistic in
+            // proportion to nothing — treat any grant as full speed so the
+            // solver is not blind to reviving a starved class.
+            return if candidate.is_zero() { 0.0 } else { 1.0 };
+        }
+        (self.last_velocity * candidate.ratio(self.last_limit)).clamp(0.0, 1.0)
+    }
+
+    /// Most recent measured (or carried) velocity.
+    pub fn current(&self) -> f64 {
+        self.last_velocity
+    }
+
+    /// The limit baseline of the last observation.
+    pub fn current_limit(&self) -> Timerons {
+        self.last_limit
+    }
+}
+
+/// The OLTP linear response-time model with an online-regressed slope.
+///
+/// ```
+/// use qsched_core::model::OltpLinearModel;
+/// use qsched_dbms::Timerons;
+///
+/// let mut m = OltpLinearModel::new(1e-5, 0.9, Timerons::new(20_000.0));
+/// m.observe(Some(0.30), Timerons::new(20_000.0));
+/// // Cutting the OLAP total by 10 K predicts a 0.1 s faster OLTP class
+/// // (prior slope 1e-5 s/timeron until the regression takes over).
+/// assert!((m.predict(Timerons::new(10_000.0)) - 0.20).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OltpLinearModel {
+    reg: LinReg,
+    /// Fallback slope before the regression is defined: seconds of response
+    /// time per timeron of OLAP cost limit.
+    default_slope: f64,
+    last_response: f64,
+    last_olap_total: Timerons,
+    /// When frozen, observations update the measurement baseline but never
+    /// the regression: the model keeps its prior slope (ablation baseline).
+    frozen: bool,
+}
+
+impl OltpLinearModel {
+    /// Create the model.
+    ///
+    /// `default_slope` is used until two distinct OLAP totals have been
+    /// observed; a sensible prior is `goal_response / system_limit`.
+    /// `decay ∈ (0, 1]` exponentially ages old observations so the slope
+    /// tracks workload drift.
+    pub fn new(default_slope: f64, decay: f64, initial_olap_total: Timerons) -> Self {
+        assert!(default_slope >= 0.0 && default_slope.is_finite());
+        OltpLinearModel {
+            reg: LinReg::with_decay(decay),
+            default_slope,
+            last_response: 0.0,
+            last_olap_total: initial_olap_total,
+            frozen: false,
+        }
+    }
+
+    /// Freeze the slope at the prior: observations still move the
+    /// measurement baseline, but the regression never updates. This is the
+    /// "fixed-share" ablation baseline against online learning.
+    pub fn frozen(mut self) -> Self {
+        self.frozen = true;
+        self
+    }
+
+    /// Record the measured mean OLTP response time (seconds) for the
+    /// interval that just ended and the OLAP cost-limit total in effect.
+    /// `None` (no fresh OLTP samples) keeps the previous measurement.
+    pub fn observe(&mut self, response_secs: Option<f64>, olap_total: Timerons) {
+        if let Some(t) = response_secs {
+            debug_assert!(t.is_finite() && t >= 0.0, "bad response time {t}");
+            self.last_response = t;
+            if !self.frozen {
+                self.reg.push(olap_total.get(), t);
+            }
+        }
+        self.last_olap_total = olap_total;
+    }
+
+    /// The fitted slope `s` in seconds per timeron. Falls back to the prior
+    /// until the regression is defined, and clamps negative fits to zero
+    /// (more OLAP load cannot make OLTP faster; a negative fit is noise).
+    pub fn slope(&self) -> f64 {
+        match self.reg.slope() {
+            Some(s) if s.is_finite() => s.max(0.0),
+            _ => self.default_slope,
+        }
+    }
+
+    /// Predict the OLTP response time (seconds) under a candidate OLAP
+    /// cost-limit total: `t + s·(C_new − C_cur)`, floored at zero.
+    pub fn predict(&self, candidate_olap_total: Timerons) -> f64 {
+        let dc = candidate_olap_total.get() - self.last_olap_total.get();
+        (self.last_response + self.slope() * dc).max(0.0)
+    }
+
+    /// Most recent measured (or carried) response time, in seconds.
+    pub fn current(&self) -> f64 {
+        self.last_response
+    }
+
+    /// Number of regression observations so far.
+    pub fn observations(&self) -> u64 {
+        self.reg.count()
+    }
+
+    /// The regression's coefficient of determination, if defined.
+    pub fn fit_r_squared(&self) -> Option<f64> {
+        self.reg.r_squared()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: f64) -> Timerons {
+        Timerons::new(v)
+    }
+
+    #[test]
+    fn olap_model_is_proportional_and_clipped() {
+        let mut m = OlapVelocityModel::new(t(10_000.0));
+        m.observe(Some(0.5), t(10_000.0));
+        // Doubling the limit doubles predicted velocity.
+        assert!((m.predict(t(20_000.0)) - 1.0).abs() < 1e-12);
+        // Quadrupling clips at 1 (the paper's second case).
+        assert!((m.predict(t(40_000.0)) - 1.0).abs() < 1e-12);
+        // Halving halves it.
+        assert!((m.predict(t(5_000.0)) - 0.25).abs() < 1e-12);
+        // Zero grant: zero velocity.
+        assert_eq!(m.predict(Timerons::ZERO), 0.0);
+    }
+
+    #[test]
+    fn olap_model_carries_measurement_forward() {
+        let mut m = OlapVelocityModel::new(t(10_000.0));
+        m.observe(Some(0.8), t(10_000.0));
+        m.observe(None, t(5_000.0)); // quiet interval, new baseline
+        assert!((m.current() - 0.8).abs() < 1e-12);
+        // Prediction now uses the 5 K baseline.
+        assert!((m.predict(t(10_000.0)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn olap_model_zero_baseline_is_optimistic() {
+        let mut m = OlapVelocityModel::new(Timerons::ZERO);
+        m.observe(Some(0.1), Timerons::ZERO);
+        assert_eq!(m.predict(t(1_000.0)), 1.0);
+        assert_eq!(m.predict(Timerons::ZERO), 0.0);
+    }
+
+    #[test]
+    fn oltp_model_uses_default_slope_until_fitted() {
+        let m = OltpLinearModel::new(1e-5, 1.0, t(20_000.0));
+        assert_eq!(m.slope(), 1e-5);
+        // t=0 measured; +10K timerons predicts +0.1 s.
+        assert!((m.predict(t(30_000.0)) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn oltp_model_learns_the_true_slope() {
+        let mut m = OltpLinearModel::new(0.0, 1.0, t(0.0));
+        // Ground truth: t = 0.05 + 8e-6 · C.
+        for c in [5_000.0, 10_000.0, 15_000.0, 20_000.0, 25_000.0] {
+            m.observe(Some(0.05 + 8e-6 * c), t(c));
+        }
+        assert!((m.slope() - 8e-6).abs() < 1e-9, "slope {}", m.slope());
+        // Prediction from the last point (C=25K, t=0.25) to C=10K.
+        let pred = m.predict(t(10_000.0));
+        assert!((pred - (0.05 + 8e-6 * 10_000.0)).abs() < 1e-6, "pred {pred}");
+        assert!(m.fit_r_squared().unwrap() > 0.999);
+    }
+
+    #[test]
+    fn oltp_negative_fit_clamps_to_zero() {
+        let mut m = OltpLinearModel::new(1e-5, 1.0, t(0.0));
+        // Pathological data: response *falls* as OLAP rises.
+        m.observe(Some(0.5), t(10_000.0));
+        m.observe(Some(0.1), t(20_000.0));
+        assert_eq!(m.slope(), 0.0);
+        // Prediction degenerates to the last measurement.
+        assert!((m.predict(t(5_000.0)) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn oltp_prediction_never_negative() {
+        let mut m = OltpLinearModel::new(1e-4, 1.0, t(30_000.0));
+        m.observe(Some(0.1), t(30_000.0));
+        assert!(m.predict(Timerons::ZERO) >= 0.0);
+    }
+
+    #[test]
+    fn frozen_model_never_learns() {
+        let mut m = OltpLinearModel::new(1e-5, 1.0, t(0.0)).frozen();
+        for c in [5_000.0, 10_000.0, 15_000.0] {
+            m.observe(Some(0.05 + 8e-6 * c), t(c));
+        }
+        assert_eq!(m.slope(), 1e-5, "frozen model must keep its prior slope");
+        assert_eq!(m.observations(), 0);
+        // The measurement baseline still moves.
+        assert!((m.current() - (0.05 + 8e-6 * 15_000.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn oltp_quiet_interval_keeps_measurement() {
+        let mut m = OltpLinearModel::new(1e-5, 1.0, t(10_000.0));
+        m.observe(Some(0.2), t(10_000.0));
+        m.observe(None, t(15_000.0));
+        assert!((m.current() - 0.2).abs() < 1e-12);
+        assert_eq!(m.observations(), 1);
+        // Baseline moved to 15 K.
+        assert!((m.predict(t(15_000.0)) - 0.2).abs() < 1e-12);
+    }
+}

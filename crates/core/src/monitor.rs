@@ -1,0 +1,166 @@
+//! The Monitor: per-control-interval performance measurement.
+//!
+//! OLAP classes are measured from the completion stream (mean query velocity
+//! of queries finished during the interval). The OLTP class — invisible to
+//! the interceptor — is measured by sampling the DBMS snapshot monitor at a
+//! fixed interval and averaging the *fresh* per-client response-time samples
+//! (§3.3).
+
+use qsched_dbms::query::{ClassId, QueryKind, QueryRecord};
+use qsched_dbms::snapshot::ClientSample;
+use qsched_sim::stats::Welford;
+use qsched_sim::SimTime;
+use std::collections::BTreeMap;
+
+/// Measurements of one class over one control interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassMeasurement {
+    /// Mean query velocity of completions in the interval (OLAP classes).
+    pub velocity: Option<f64>,
+    /// Mean response time in seconds from snapshot samples (OLTP classes).
+    pub response_secs: Option<f64>,
+    /// Completions observed in the interval.
+    pub completions: u64,
+}
+
+/// Accumulates measurements between control ticks.
+#[derive(Debug, Clone)]
+pub struct IntervalMonitor {
+    velocity: BTreeMap<ClassId, Welford>,
+    response: BTreeMap<ClassId, Welford>,
+    completions: BTreeMap<ClassId, u64>,
+    last_snapshot: SimTime,
+}
+
+impl IntervalMonitor {
+    /// A monitor starting its first interval at `start`.
+    pub fn new(start: SimTime) -> Self {
+        IntervalMonitor {
+            velocity: BTreeMap::new(),
+            response: BTreeMap::new(),
+            completions: BTreeMap::new(),
+            last_snapshot: start,
+        }
+    }
+
+    /// Feed one completed query (velocity measurement for OLAP classes).
+    pub fn on_completed(&mut self, rec: &QueryRecord) {
+        *self.completions.entry(rec.class).or_insert(0) += 1;
+        if rec.kind == QueryKind::Olap {
+            self.velocity.entry(rec.class).or_default().push(rec.velocity());
+        }
+    }
+
+    /// Feed one snapshot read: `samples` as returned by the DBMS at `now`.
+    /// Only samples that finished since the previous snapshot count (each
+    /// completion must not be double-counted across reads).
+    pub fn on_snapshot(&mut self, now: SimTime, samples: &[ClientSample]) {
+        for s in samples {
+            if s.kind == QueryKind::Oltp && s.finished_at >= self.last_snapshot {
+                self.response
+                    .entry(s.class)
+                    .or_default()
+                    .push(s.response_time.as_secs_f64());
+            }
+        }
+        self.last_snapshot = now;
+    }
+
+    /// Close the interval: return per-class measurements and reset.
+    pub fn end_interval(&mut self, classes: &[ClassId]) -> BTreeMap<ClassId, ClassMeasurement> {
+        let mut out = BTreeMap::new();
+        for &c in classes {
+            let velocity = self.velocity.get(&c).filter(|w| !w.is_empty()).map(Welford::mean);
+            let response_secs =
+                self.response.get(&c).filter(|w| !w.is_empty()).map(Welford::mean);
+            let completions = self.completions.get(&c).copied().unwrap_or(0);
+            out.insert(c, ClassMeasurement { velocity, response_secs, completions });
+        }
+        self.velocity.clear();
+        self.response.clear();
+        self.completions.clear();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsched_dbms::query::{ClientId, QueryId};
+    use qsched_dbms::Timerons;
+    use qsched_sim::SimDuration;
+
+    fn olap_rec(class: u16, submit: u64, admit: u64, finish: u64) -> QueryRecord {
+        QueryRecord {
+            id: QueryId(finish),
+            client: ClientId(0),
+            class: ClassId(class),
+            kind: QueryKind::Olap,
+            template: 0,
+            estimated_cost: Timerons::new(1.0),
+            submitted: SimTime::from_secs(submit),
+            admitted: SimTime::from_secs(admit),
+            finished: SimTime::from_secs(finish),
+        }
+    }
+
+    fn sample(client: u32, class: u16, resp_ms: u64, finished_s: u64) -> ClientSample {
+        ClientSample {
+            client: ClientId(client),
+            class: ClassId(class),
+            kind: QueryKind::Oltp,
+            execution_time: SimDuration::from_millis(resp_ms / 2),
+            response_time: SimDuration::from_millis(resp_ms),
+            finished_at: SimTime::from_secs(finished_s),
+        }
+    }
+
+    #[test]
+    fn velocity_is_mean_of_interval_completions() {
+        let mut m = IntervalMonitor::new(SimTime::ZERO);
+        m.on_completed(&olap_rec(1, 0, 0, 10)); // velocity 1.0
+        m.on_completed(&olap_rec(1, 0, 5, 10)); // velocity 0.5
+        let out = m.end_interval(&[ClassId(1)]);
+        let meas = out[&ClassId(1)];
+        assert!((meas.velocity.unwrap() - 0.75).abs() < 1e-12);
+        assert_eq!(meas.completions, 2);
+        // The next interval starts empty.
+        let out = m.end_interval(&[ClassId(1)]);
+        assert!(out[&ClassId(1)].velocity.is_none());
+        assert_eq!(out[&ClassId(1)].completions, 0);
+    }
+
+    #[test]
+    fn snapshot_samples_are_not_double_counted() {
+        let mut m = IntervalMonitor::new(SimTime::ZERO);
+        let s1 = sample(1, 3, 100, 5);
+        // First read at t=10 sees the sample (finished at 5 ≥ 0).
+        m.on_snapshot(SimTime::from_secs(10), &[s1]);
+        // Second read at t=20: the same register (finished at 5 < 10) is stale.
+        m.on_snapshot(SimTime::from_secs(20), &[s1]);
+        let out = m.end_interval(&[ClassId(3)]);
+        let meas = out[&ClassId(3)];
+        assert!((meas.response_secs.unwrap() - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mixed_classes_are_kept_separate() {
+        let mut m = IntervalMonitor::new(SimTime::ZERO);
+        m.on_completed(&olap_rec(1, 0, 0, 10));
+        m.on_completed(&olap_rec(2, 0, 8, 10));
+        m.on_snapshot(SimTime::from_secs(10), &[sample(1, 3, 200, 5)]);
+        let out = m.end_interval(&[ClassId(1), ClassId(2), ClassId(3)]);
+        assert!((out[&ClassId(1)].velocity.unwrap() - 1.0).abs() < 1e-12);
+        assert!((out[&ClassId(2)].velocity.unwrap() - 0.2).abs() < 1e-12);
+        assert!(out[&ClassId(3)].velocity.is_none());
+        assert!((out[&ClassId(3)].response_secs.unwrap() - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_interval_reports_none() {
+        let mut m = IntervalMonitor::new(SimTime::ZERO);
+        let out = m.end_interval(&[ClassId(1), ClassId(3)]);
+        assert!(out[&ClassId(1)].velocity.is_none());
+        assert!(out[&ClassId(3)].response_secs.is_none());
+    }
+}

@@ -1,0 +1,372 @@
+//! MPL-based admission control — the *other* workload-control school.
+//!
+//! The paper's §1 contrasts its cost-based control with Schroeder et al.
+//! ("Achieving Class-based QoS for Transactional Workloads", ICDE'06), which
+//! "controls OLTP workloads based on multiprogramming levels (MPL) by
+//! intercepting queries and performing admission control". An MPL limit
+//! counts *queries*; a cost limit counts *timerons*. For OLTP — where
+//! statements are uniformly small — the two coincide. For OLAP, "control of
+//! OLAP workloads based on costs … is appropriate because the requirements
+//! of OLAP queries vary widely": under an MPL limit, three admitted queries
+//! may carry 1 500 or 45 000 timerons, so the realised load has enormous
+//! variance.
+//!
+//! Two controllers are provided:
+//!
+//! * [`MplStatic`] — fixed per-class MPL caps (the classic configuration).
+//! * [`MplAdaptive`] — the same measurement/utility machinery as the Query
+//!   Scheduler, but the plan currency is an MPL vector instead of a cost
+//!   vector. Comparing it against the Query Scheduler isolates the value of
+//!   *cost* as the admission currency (`ablation_mpl_vs_cost`).
+
+use crate::controller::{Controller, CtrlEvent};
+use qsched_dbms::engine::{Dbms, DbmsEvent, DbmsNotice};
+use qsched_dbms::query::{ClassId, QueryId};
+use qsched_sim::Ctx;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Static per-class MPL caps.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MplPlan {
+    caps: BTreeMap<ClassId, u32>,
+}
+
+impl MplPlan {
+    /// Build from `(class, cap)` pairs.
+    ///
+    /// # Panics
+    /// Panics if empty or any cap is zero.
+    pub fn new(caps: Vec<(ClassId, u32)>) -> Self {
+        assert!(!caps.is_empty(), "an MPL plan needs at least one class");
+        let map: BTreeMap<ClassId, u32> = caps.into_iter().collect();
+        assert!(map.values().all(|&c| c >= 1), "MPL caps must be at least 1");
+        MplPlan { caps: map }
+    }
+
+    /// The cap for `class` (0 if uncontrolled).
+    pub fn cap(&self, class: ClassId) -> u32 {
+        self.caps.get(&class).copied().unwrap_or(0)
+    }
+
+    /// Classes covered by the plan.
+    pub fn classes(&self) -> impl Iterator<Item = ClassId> + '_ {
+        self.caps.keys().copied()
+    }
+
+    /// Total MPL across classes.
+    pub fn total(&self) -> u32 {
+        self.caps.values().sum()
+    }
+}
+
+/// Per-class FIFO admission bounded by a query-count cap.
+#[derive(Debug, Clone)]
+pub struct MplStatic {
+    plan: MplPlan,
+    running: BTreeMap<ClassId, u32>,
+    queues: BTreeMap<ClassId, VecDeque<QueryId>>,
+    released: u64,
+}
+
+impl MplStatic {
+    /// A controller enforcing `plan`.
+    pub fn new(plan: MplPlan) -> Self {
+        let running = plan.classes().map(|c| (c, 0)).collect();
+        let queues = plan.classes().map(|c| (c, VecDeque::new())).collect();
+        MplStatic { plan, running, queues, released: 0 }
+    }
+
+    /// The active plan.
+    pub fn plan(&self) -> &MplPlan {
+        &self.plan
+    }
+
+    /// Replace the plan (used by [`MplAdaptive`]).
+    pub fn set_plan(&mut self, plan: MplPlan) {
+        for c in plan.classes() {
+            self.running.entry(c).or_insert(0);
+            self.queues.entry(c).or_default();
+        }
+        self.plan = plan;
+    }
+
+    /// Currently running queries of `class`.
+    pub fn running(&self, class: ClassId) -> u32 {
+        self.running.get(&class).copied().unwrap_or(0)
+    }
+
+    /// Queries waiting in `class`'s queue.
+    pub fn queued(&self, class: ClassId) -> usize {
+        self.queues.get(&class).map_or(0, VecDeque::len)
+    }
+
+    /// Total queries released so far.
+    pub fn total_released(&self) -> u64 {
+        self.released
+    }
+
+    fn drain_class<E: From<CtrlEvent> + From<DbmsEvent>>(
+        &mut self,
+        ctx: &mut Ctx<'_, E>,
+        dbms: &mut Dbms,
+        class: ClassId,
+    ) {
+        let cap = self.plan.cap(class);
+        loop {
+            let running = self.running.entry(class).or_insert(0);
+            if *running >= cap {
+                break;
+            }
+            let Some(id) = self.queues.entry(class).or_default().pop_front() else {
+                break;
+            };
+            *running += 1;
+            self.released += 1;
+            let ok = dbms.release(ctx, id);
+            debug_assert!(ok, "query vanished before release");
+        }
+    }
+
+    fn drain_all<E: From<CtrlEvent> + From<DbmsEvent>>(
+        &mut self,
+        ctx: &mut Ctx<'_, E>,
+        dbms: &mut Dbms,
+    ) {
+        let classes: Vec<ClassId> = self.queues.keys().copied().collect();
+        for c in classes {
+            self.drain_class(ctx, dbms, c);
+        }
+    }
+}
+
+impl<E: From<CtrlEvent> + From<DbmsEvent>> Controller<E> for MplStatic {
+    fn name(&self) -> &'static str {
+        "mpl-static"
+    }
+
+    fn start(&mut self, _ctx: &mut Ctx<'_, E>, _dbms: &mut Dbms) {}
+
+    fn on_notice(
+        &mut self,
+        ctx: &mut Ctx<'_, E>,
+        dbms: &mut Dbms,
+        notice: &DbmsNotice,
+        _out: &mut Vec<DbmsNotice>,
+    ) {
+        match notice {
+            DbmsNotice::Intercepted(row) => {
+                self.queues.entry(row.class).or_default().push_back(row.id);
+                self.drain_class(ctx, dbms, row.class);
+            }
+            DbmsNotice::Rejected(_) => {}
+            DbmsNotice::Completed(rec) => {
+                if let Some(r) = self.running.get_mut(&rec.class) {
+                    if *r > 0 {
+                        *r -= 1;
+                        self.drain_class(ctx, dbms, rec.class);
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_event(
+        &mut self,
+        _ctx: &mut Ctx<'_, E>,
+        _dbms: &mut Dbms,
+        _ev: CtrlEvent,
+        _out: &mut Vec<DbmsNotice>,
+    ) {
+    }
+}
+
+/// Configuration of the adaptive MPL controller.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MplAdaptiveConfig {
+    /// Total MPL budget divided among the controlled classes.
+    pub total_mpl: u32,
+    /// Minimum MPL per controlled class.
+    pub floor: u32,
+    /// Re-planning interval.
+    pub control_interval: qsched_sim::SimDuration,
+}
+
+impl Default for MplAdaptiveConfig {
+    fn default() -> Self {
+        MplAdaptiveConfig {
+            total_mpl: 10,
+            floor: 1,
+            control_interval: qsched_sim::SimDuration::from_secs(240),
+        }
+    }
+}
+
+/// An adaptive MPL controller: moves one MPL slot per interval from the
+/// best-performing class to the worst-performing (importance-weighted)
+/// violated class. It shares the Query Scheduler's *goal* semantics but
+/// uses query count, not cost, as the currency.
+#[derive(Debug, Clone)]
+pub struct MplAdaptive {
+    cfg: MplAdaptiveConfig,
+    inner: MplStatic,
+    classes: Vec<crate::class::ServiceClass>,
+    monitor: crate::monitor::IntervalMonitor,
+}
+
+impl MplAdaptive {
+    /// Divide the MPL budget evenly across the *OLAP* classes (the OLTP
+    /// class is indirectly controlled, exactly as in the Query Scheduler).
+    ///
+    /// # Panics
+    /// Panics if there are no OLAP classes or the budget is below the floors.
+    pub fn new(classes: Vec<crate::class::ServiceClass>, cfg: MplAdaptiveConfig) -> Self {
+        let olap: Vec<ClassId> = classes
+            .iter()
+            .filter(|c| c.kind == qsched_dbms::query::QueryKind::Olap)
+            .map(|c| c.id)
+            .collect();
+        assert!(!olap.is_empty(), "adaptive MPL control needs OLAP classes");
+        assert!(
+            cfg.total_mpl >= cfg.floor * olap.len() as u32,
+            "MPL budget below the per-class floors"
+        );
+        let share = (cfg.total_mpl / olap.len() as u32).max(cfg.floor);
+        let plan = MplPlan::new(olap.iter().map(|&c| (c, share)).collect());
+        MplAdaptive {
+            inner: MplStatic::new(plan),
+            monitor: crate::monitor::IntervalMonitor::new(qsched_sim::SimTime::ZERO),
+            classes,
+            cfg,
+        }
+    }
+
+    /// The active MPL plan.
+    pub fn plan(&self) -> &MplPlan {
+        self.inner.plan()
+    }
+
+    fn replan(&mut self) {
+        let olap_ids: Vec<ClassId> = self.inner.plan.classes().collect();
+        let meas = self.monitor.end_interval(&olap_ids);
+        // Achievement per controlled class: velocity / goal.
+        let mut scored: Vec<(ClassId, f64, u8)> = Vec::new();
+        for sc in self.classes.iter().filter(|c| olap_ids.contains(&c.id)) {
+            let v = meas.get(&sc.id).and_then(|m| m.velocity).unwrap_or(1.0);
+            scored.push((sc.id, sc.goal.achievement(v), sc.importance));
+        }
+        // Donor: the class with the highest achievement above goal.
+        // Recipient: the violated class with the highest importance (ties:
+        // lowest achievement).
+        let donor = scored
+            .iter()
+            .filter(|&&(c, a, _)| a > 1.0 && self.inner.plan.cap(c) > self.cfg.floor)
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+            .map(|&(c, _, _)| c);
+        let recipient = scored
+            .iter()
+            .filter(|&&(_, a, _)| a < 1.0)
+            .max_by(|a, b| (a.2, -a.1).partial_cmp(&(b.2, -b.1)).expect("finite"))
+            .map(|&(c, _, _)| c);
+        if let (Some(from), Some(to)) = (donor, recipient) {
+            if from != to {
+                let mut caps: Vec<(ClassId, u32)> =
+                    olap_ids.iter().map(|&c| (c, self.inner.plan.cap(c))).collect();
+                for (c, cap) in &mut caps {
+                    if *c == from {
+                        *cap -= 1;
+                    } else if *c == to {
+                        *cap += 1;
+                    }
+                }
+                self.inner.set_plan(MplPlan::new(caps));
+            }
+        }
+    }
+}
+
+impl<E: From<CtrlEvent> + From<DbmsEvent>> Controller<E> for MplAdaptive {
+    fn name(&self) -> &'static str {
+        "mpl-adaptive"
+    }
+
+    fn start(&mut self, ctx: &mut Ctx<'_, E>, _dbms: &mut Dbms) {
+        ctx.schedule_in(self.cfg.control_interval, CtrlEvent::ControlTick.into());
+    }
+
+    fn on_notice(
+        &mut self,
+        ctx: &mut Ctx<'_, E>,
+        dbms: &mut Dbms,
+        notice: &DbmsNotice,
+        out: &mut Vec<DbmsNotice>,
+    ) {
+        if let DbmsNotice::Completed(rec) = notice {
+            self.monitor.on_completed(rec);
+        }
+        Controller::<E>::on_notice(&mut self.inner, ctx, dbms, notice, out);
+    }
+
+    fn on_event(
+        &mut self,
+        ctx: &mut Ctx<'_, E>,
+        dbms: &mut Dbms,
+        ev: CtrlEvent,
+        _out: &mut Vec<DbmsNotice>,
+    ) {
+        if ev == CtrlEvent::ControlTick {
+            self.replan();
+            self.inner.drain_all(ctx, dbms);
+            ctx.schedule_in(self.cfg.control_interval, CtrlEvent::ControlTick.into());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::class::ServiceClass;
+
+    #[test]
+    fn plan_accessors() {
+        let p = MplPlan::new(vec![(ClassId(1), 3), (ClassId(2), 5)]);
+        assert_eq!(p.cap(ClassId(1)), 3);
+        assert_eq!(p.cap(ClassId(9)), 0);
+        assert_eq!(p.total(), 8);
+        assert_eq!(p.classes().count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_cap_panics() {
+        let _ = MplPlan::new(vec![(ClassId(1), 0)]);
+    }
+
+    #[test]
+    fn static_controller_bookkeeping() {
+        let c = MplStatic::new(MplPlan::new(vec![(ClassId(1), 2)]));
+        assert_eq!(c.running(ClassId(1)), 0);
+        assert_eq!(c.queued(ClassId(1)), 0);
+        assert_eq!(c.total_released(), 0);
+    }
+
+    #[test]
+    fn adaptive_splits_budget_evenly_over_olap() {
+        let a = MplAdaptive::new(
+            ServiceClass::paper_classes(),
+            MplAdaptiveConfig { total_mpl: 10, ..Default::default() },
+        );
+        assert_eq!(a.plan().cap(ClassId(1)), 5);
+        assert_eq!(a.plan().cap(ClassId(2)), 5);
+        assert_eq!(a.plan().cap(ClassId(3)), 0, "OLTP stays uncontrolled");
+    }
+
+    #[test]
+    #[should_panic(expected = "below the per-class floors")]
+    fn budget_below_floors_panics() {
+        let _ = MplAdaptive::new(
+            ServiceClass::paper_classes(),
+            MplAdaptiveConfig { total_mpl: 1, floor: 1, ..Default::default() },
+        );
+    }
+}

@@ -1,0 +1,186 @@
+//! Scheduling plans: per-class cost-limit vectors, and their history.
+//!
+//! "A scheduling plan is … expressed as a set of class cost limits, which
+//! determine the number of queries of each class that can execute at any one
+//! time. … The sum of all class cost limits must not exceed the system cost
+//! limit" (§2).
+
+use qsched_dbms::query::ClassId;
+use qsched_dbms::Timerons;
+use qsched_sim::stats::Series;
+use qsched_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// A scheduling plan: one cost limit per controlled class.
+///
+/// ```
+/// use qsched_core::plan::Plan;
+/// use qsched_dbms::query::ClassId;
+/// use qsched_dbms::Timerons;
+///
+/// let plan = Plan::even_split(&[ClassId(1), ClassId(2), ClassId(3)], Timerons::new(30_000.0));
+/// assert_eq!(plan.limit(ClassId(2)).unwrap().get(), 10_000.0);
+/// assert!(plan.respects(Timerons::new(30_000.0)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Plan {
+    limits: Vec<(ClassId, Timerons)>,
+}
+
+impl Plan {
+    /// Build a plan from `(class, limit)` pairs, normalising to class order.
+    ///
+    /// # Panics
+    /// Panics on duplicate classes or an empty plan.
+    pub fn new(mut limits: Vec<(ClassId, Timerons)>) -> Self {
+        assert!(!limits.is_empty(), "a plan needs at least one class");
+        limits.sort_by_key(|&(c, _)| c);
+        for w in limits.windows(2) {
+            assert_ne!(w[0].0, w[1].0, "duplicate class {} in plan", w[0].0);
+        }
+        Plan { limits }
+    }
+
+    /// An even split of `system_limit` across `classes`.
+    pub fn even_split(classes: &[ClassId], system_limit: Timerons) -> Self {
+        assert!(!classes.is_empty(), "a plan needs at least one class");
+        let share = system_limit / classes.len() as f64;
+        Plan::new(classes.iter().map(|&c| (c, share)).collect())
+    }
+
+    /// The `(class, limit)` pairs in class order.
+    pub fn limits(&self) -> &[(ClassId, Timerons)] {
+        &self.limits
+    }
+
+    /// The limit for `class`, if the plan covers it.
+    pub fn limit(&self, class: ClassId) -> Option<Timerons> {
+        self.limits
+            .binary_search_by_key(&class, |&(c, _)| c)
+            .ok()
+            .map(|i| self.limits[i].1)
+    }
+
+    /// Sum of all class limits.
+    pub fn total(&self) -> Timerons {
+        self.limits.iter().map(|&(_, l)| l).sum()
+    }
+
+    /// Classes covered by this plan, in order.
+    pub fn classes(&self) -> impl Iterator<Item = ClassId> + '_ {
+        self.limits.iter().map(|&(c, _)| c)
+    }
+
+    /// Sum of limits over classes satisfying `pred` (e.g. the OLAP total
+    /// that drives the OLTP model).
+    pub fn total_where(&self, mut pred: impl FnMut(ClassId) -> bool) -> Timerons {
+        self.limits.iter().filter(|&&(c, _)| pred(c)).map(|&(_, l)| l).sum()
+    }
+
+    /// Check `Σ limits ≤ system_limit` (with a small tolerance).
+    pub fn respects(&self, system_limit: Timerons) -> bool {
+        self.total().get() <= system_limit.get() * (1.0 + 1e-9)
+    }
+}
+
+/// Time-stamped history of plans — the data behind the paper's Figure 7.
+#[derive(Debug, Clone)]
+pub struct PlanLog {
+    series: Vec<(ClassId, Series)>,
+}
+
+impl PlanLog {
+    /// A log for the classes of `initial`, seeded with the initial plan.
+    pub fn new(initial: &Plan, at: SimTime) -> Self {
+        let mut log = PlanLog {
+            series: initial
+                .classes()
+                .map(|c| (c, Series::new(format!("cost_limit_{c}"))))
+                .collect(),
+        };
+        log.record(initial, at);
+        log
+    }
+
+    /// Append a plan at `at`.
+    pub fn record(&mut self, plan: &Plan, at: SimTime) {
+        for (class, series) in &mut self.series {
+            if let Some(l) = plan.limit(*class) {
+                series.force_push(at, l.get());
+            }
+        }
+    }
+
+    /// The recorded series for `class`.
+    pub fn series(&self, class: ClassId) -> Option<&Series> {
+        self.series.iter().find(|(c, _)| *c == class).map(|(_, s)| s)
+    }
+
+    /// All `(class, series)` pairs.
+    pub fn all(&self) -> &[(ClassId, Series)] {
+        &self.series
+    }
+
+    /// Mean limit of `class` over `[from, to)`.
+    pub fn mean_limit_in(&self, class: ClassId, from: SimTime, to: SimTime) -> Option<f64> {
+        self.series(class)?.mean_in(from, to)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(pairs: &[(u16, f64)]) -> Plan {
+        Plan::new(pairs.iter().map(|&(c, l)| (ClassId(c), Timerons::new(l))).collect())
+    }
+
+    #[test]
+    fn lookup_and_total() {
+        let plan = p(&[(2, 10.0), (1, 20.0), (3, 5.0)]);
+        assert_eq!(plan.limit(ClassId(1)).unwrap().get(), 20.0);
+        assert_eq!(plan.limit(ClassId(9)), None);
+        assert_eq!(plan.total().get(), 35.0);
+        let order: Vec<u16> = plan.classes().map(|c| c.0).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn even_split_sums_to_system_limit() {
+        let plan = Plan::even_split(
+            &[ClassId(1), ClassId(2), ClassId(3)],
+            Timerons::new(30_000.0),
+        );
+        assert!((plan.total().get() - 30_000.0).abs() < 1e-6);
+        assert!(plan.respects(Timerons::new(30_000.0)));
+        assert!(!plan.respects(Timerons::new(29_000.0)));
+    }
+
+    #[test]
+    fn total_where_filters() {
+        let plan = p(&[(1, 10.0), (2, 20.0), (3, 30.0)]);
+        let olap = plan.total_where(|c| c.0 != 3);
+        assert_eq!(olap.get(), 30.0);
+    }
+
+    #[test]
+    fn plan_log_records_trajectories() {
+        let p0 = p(&[(1, 10.0), (2, 20.0)]);
+        let mut log = PlanLog::new(&p0, SimTime::ZERO);
+        log.record(&p(&[(1, 15.0), (2, 15.0)]), SimTime::from_secs(60));
+        log.record(&p(&[(1, 25.0), (2, 5.0)]), SimTime::from_secs(120));
+        let s1 = log.series(ClassId(1)).unwrap();
+        assert_eq!(s1.len(), 3);
+        assert_eq!(s1.last_value(), Some(25.0));
+        let mean = log
+            .mean_limit_in(ClassId(1), SimTime::ZERO, SimTime::from_secs(121))
+            .unwrap();
+        assert!((mean - (10.0 + 15.0 + 25.0) / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate class")]
+    fn duplicate_class_panics() {
+        let _ = p(&[(1, 10.0), (1, 20.0)]);
+    }
+}

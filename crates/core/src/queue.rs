@@ -1,0 +1,192 @@
+//! Per-class queues of held queries.
+//!
+//! The paper's Dispatcher serves each class queue in arrival order. The
+//! queue discipline is pluggable: FIFO (the paper) or shortest-job-first by
+//! estimated cost — a classic admission variant that boosts small-query
+//! velocity at the price of delaying expensive queries (compared in
+//! `ablation_queue_discipline`).
+
+use qsched_dbms::query::{ClassId, QueryId};
+use qsched_dbms::Timerons;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Intra-class ordering of held queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum QueueDiscipline {
+    /// Arrival order (the paper's Dispatcher).
+    #[default]
+    Fifo,
+    /// Cheapest estimated cost first (ties: arrival order).
+    ShortestJobFirst,
+}
+
+/// A held query waiting in a class queue.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueuedQuery {
+    /// The held query.
+    pub id: QueryId,
+    /// Its estimated cost (the admission currency).
+    pub cost: Timerons,
+}
+
+/// Per-class queues. Classes are created lazily on first enqueue; iteration
+/// order is deterministic (by `ClassId`).
+#[derive(Debug, Clone, Default)]
+pub struct ClassQueues {
+    queues: BTreeMap<ClassId, VecDeque<QueuedQuery>>,
+    discipline: QueueDiscipline,
+}
+
+impl ClassQueues {
+    /// Empty FIFO queues (the paper's discipline).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Empty queues with an explicit discipline.
+    pub fn with_discipline(discipline: QueueDiscipline) -> Self {
+        ClassQueues { queues: BTreeMap::new(), discipline }
+    }
+
+    /// The active discipline.
+    pub fn discipline(&self) -> QueueDiscipline {
+        self.discipline
+    }
+
+    /// Enqueue a held query according to the discipline.
+    pub fn enqueue(&mut self, class: ClassId, id: QueryId, cost: Timerons) {
+        let q = self.queues.entry(class).or_default();
+        match self.discipline {
+            QueueDiscipline::Fifo => q.push_back(QueuedQuery { id, cost }),
+            QueueDiscipline::ShortestJobFirst => {
+                // Insert before the first strictly more expensive entry
+                // (ties keep arrival order).
+                let pos = q.partition_point(|e| e.cost <= cost);
+                q.insert(pos, QueuedQuery { id, cost });
+            }
+        }
+    }
+
+    /// Peek at the head of a class queue.
+    pub fn peek(&self, class: ClassId) -> Option<QueuedQuery> {
+        self.queues.get(&class).and_then(|q| q.front().copied())
+    }
+
+    /// Pop the head of a class queue.
+    pub fn pop(&mut self, class: ClassId) -> Option<QueuedQuery> {
+        self.queues.get_mut(&class).and_then(|q| q.pop_front())
+    }
+
+    /// Number of queries waiting in a class queue.
+    pub fn len(&self, class: ClassId) -> usize {
+        self.queues.get(&class).map_or(0, VecDeque::len)
+    }
+
+    /// Total queries waiting across all classes.
+    pub fn total_len(&self) -> usize {
+        self.queues.values().map(VecDeque::len).sum()
+    }
+
+    /// True if nothing is queued anywhere.
+    pub fn is_empty(&self) -> bool {
+        self.total_len() == 0
+    }
+
+    /// Sum of estimated costs waiting in a class queue.
+    pub fn queued_cost(&self, class: ClassId) -> Timerons {
+        self.queues
+            .get(&class)
+            .map_or(Timerons::ZERO, |q| q.iter().map(|e| e.cost).sum())
+    }
+
+    /// Classes that currently have waiting queries, in id order.
+    pub fn classes_with_backlog(&self) -> Vec<ClassId> {
+        self.queues
+            .iter()
+            .filter(|(_, q)| !q.is_empty())
+            .map(|(&c, _)| c)
+            .collect()
+    }
+
+    /// Longest time-ordered view: iterate a class queue head-to-tail.
+    pub fn iter_class(&self, class: ClassId) -> impl Iterator<Item = &QueuedQuery> {
+        self.queues.get(&class).into_iter().flatten()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(id: u64, cost: f64) -> (QueryId, Timerons) {
+        (QueryId(id), Timerons::new(cost))
+    }
+
+    #[test]
+    fn fifo_per_class() {
+        let mut qs = ClassQueues::new();
+        let (a, ca) = q(1, 10.0);
+        let (b, cb) = q(2, 20.0);
+        qs.enqueue(ClassId(1), a, ca);
+        qs.enqueue(ClassId(1), b, cb);
+        assert_eq!(qs.peek(ClassId(1)).unwrap().id, a);
+        assert_eq!(qs.pop(ClassId(1)).unwrap().id, a);
+        assert_eq!(qs.pop(ClassId(1)).unwrap().id, b);
+        assert!(qs.pop(ClassId(1)).is_none());
+    }
+
+    #[test]
+    fn classes_are_independent() {
+        let mut qs = ClassQueues::new();
+        qs.enqueue(ClassId(1), QueryId(1), Timerons::new(5.0));
+        qs.enqueue(ClassId(2), QueryId(2), Timerons::new(7.0));
+        assert_eq!(qs.len(ClassId(1)), 1);
+        assert_eq!(qs.len(ClassId(2)), 1);
+        assert_eq!(qs.total_len(), 2);
+        assert_eq!(qs.queued_cost(ClassId(2)).get(), 7.0);
+        qs.pop(ClassId(1));
+        assert_eq!(qs.len(ClassId(1)), 0);
+        assert_eq!(qs.len(ClassId(2)), 1);
+    }
+
+    #[test]
+    fn backlog_listing_is_sorted_and_live() {
+        let mut qs = ClassQueues::new();
+        qs.enqueue(ClassId(5), QueryId(1), Timerons::new(1.0));
+        qs.enqueue(ClassId(2), QueryId(2), Timerons::new(1.0));
+        assert_eq!(qs.classes_with_backlog(), vec![ClassId(2), ClassId(5)]);
+        qs.pop(ClassId(2));
+        assert_eq!(qs.classes_with_backlog(), vec![ClassId(5)]);
+        assert!(!qs.is_empty());
+        qs.pop(ClassId(5));
+        assert!(qs.is_empty());
+    }
+
+    #[test]
+    fn sjf_orders_by_cost_with_fifo_ties() {
+        let mut qs = ClassQueues::with_discipline(QueueDiscipline::ShortestJobFirst);
+        qs.enqueue(ClassId(1), QueryId(1), Timerons::new(50.0));
+        qs.enqueue(ClassId(1), QueryId(2), Timerons::new(10.0));
+        qs.enqueue(ClassId(1), QueryId(3), Timerons::new(50.0));
+        qs.enqueue(ClassId(1), QueryId(4), Timerons::new(30.0));
+        let order: Vec<u64> = std::iter::from_fn(|| qs.pop(ClassId(1))).map(|e| e.id.0).collect();
+        // Cheapest first; the two 50s keep arrival order (1 before 3).
+        assert_eq!(order, vec![2, 4, 1, 3]);
+    }
+
+    #[test]
+    fn fifo_is_the_default_discipline() {
+        let qs = ClassQueues::new();
+        assert_eq!(qs.discipline(), QueueDiscipline::Fifo);
+    }
+
+    #[test]
+    fn empty_class_accessors() {
+        let qs = ClassQueues::new();
+        assert!(qs.peek(ClassId(9)).is_none());
+        assert_eq!(qs.len(ClassId(9)), 0);
+        assert_eq!(qs.queued_cost(ClassId(9)), Timerons::ZERO);
+        assert_eq!(qs.iter_class(ClassId(9)).count(), 0);
+    }
+}

@@ -1,0 +1,499 @@
+//! The Performance Solver: chooses the cost-limit vector maximising total
+//! utility, subject to `Σ Cᵢ = system cost limit` and a per-class floor.
+//!
+//! The planner formulates a [`PlanProblem`] from current measurements and
+//! models; a [`Solver`] returns the optimal [`Plan`]. Three strategies are
+//! provided (compared in the ablation benches):
+//!
+//! * [`GridSolver`] — exhaustive search over a discretised simplex; optimal
+//!   up to the grid step, and cheap for the paper's 3-class problem.
+//! * [`HillClimbSolver`] — local search moving budget between class pairs
+//!   with a shrinking step; scales to many classes.
+//! * [`ProportionalSolver`] — importance-proportional static split; a naive
+//!   baseline that ignores models and goals.
+
+use crate::class::Goal;
+use crate::model::{OlapVelocityModel, OltpLinearModel};
+use crate::plan::Plan;
+use crate::utility::UtilityFn;
+use qsched_dbms::query::{ClassId, QueryKind};
+use qsched_dbms::Timerons;
+use std::collections::BTreeMap;
+
+/// Solver view of one service class.
+#[derive(Debug, Clone)]
+pub struct ClassState {
+    /// The class.
+    pub class: ClassId,
+    /// Workload type (selects the model).
+    pub kind: QueryKind,
+    /// Business importance.
+    pub importance: u8,
+    /// Performance goal.
+    pub goal: Goal,
+    /// Limit currently in effect.
+    pub current_limit: Timerons,
+}
+
+/// The optimisation problem handed to a [`Solver`].
+pub struct PlanProblem<'a> {
+    /// Total budget: `Σ limits` must equal this.
+    pub system_limit: Timerons,
+    /// Minimum limit per class (prevents starving a class of all budget,
+    /// which would blind its model).
+    pub floor: Timerons,
+    /// The classes, in `ClassId` order.
+    pub classes: Vec<ClassState>,
+    /// Per-OLAP-class velocity models.
+    pub olap_models: &'a BTreeMap<ClassId, OlapVelocityModel>,
+    /// The (single) OLTP model, driven by the OLAP cost-limit total.
+    pub oltp_model: &'a OltpLinearModel,
+    /// The utility function.
+    pub utility: &'a dyn UtilityFn,
+}
+
+impl PlanProblem<'_> {
+    /// Total utility of a candidate limit vector (aligned with
+    /// `self.classes`).
+    pub fn evaluate(&self, limits: &[Timerons]) -> f64 {
+        debug_assert_eq!(limits.len(), self.classes.len());
+        let olap_total: Timerons = self
+            .classes
+            .iter()
+            .zip(limits)
+            .filter(|(c, _)| c.kind == QueryKind::Olap)
+            .map(|(_, &l)| l)
+            .sum();
+        let mut total = 0.0;
+        for (cs, &limit) in self.classes.iter().zip(limits) {
+            let achievement = match cs.kind {
+                QueryKind::Olap => {
+                    let v = self
+                        .olap_models
+                        .get(&cs.class)
+                        .map_or(0.5, |m| m.predict(limit));
+                    cs.goal.achievement(v)
+                }
+                QueryKind::Oltp => {
+                    let t = self.oltp_model.predict(olap_total);
+                    cs.goal.achievement(t)
+                }
+            };
+            total += self.utility.utility(cs.importance, achievement);
+        }
+        total
+    }
+
+    /// The vector of current limits, projected onto the feasible simplex.
+    pub fn current_limits(&self) -> Vec<Timerons> {
+        project_to_simplex(
+            &self.classes.iter().map(|c| c.current_limit).collect::<Vec<_>>(),
+            self.system_limit,
+            self.floor,
+        )
+    }
+
+    fn plan_from(&self, limits: Vec<Timerons>) -> Plan {
+        Plan::new(self.classes.iter().map(|c| c.class).zip(limits).collect())
+    }
+}
+
+/// Project a non-negative vector onto `{x : xᵢ ≥ floor, Σx = total}` by
+/// clamping to the floor and scaling the surplus proportionally.
+///
+/// # Panics
+/// Panics if `n·floor > total`.
+pub fn project_to_simplex(x: &[Timerons], total: Timerons, floor: Timerons) -> Vec<Timerons> {
+    let n = x.len();
+    assert!(n > 0, "empty vector");
+    let base = floor.get() * n as f64;
+    assert!(
+        base <= total.get() * (1.0 + 1e-9),
+        "floors ({base}) exceed the budget ({})",
+        total.get()
+    );
+    let spare = (total.get() - base).max(0.0);
+    let surplus: f64 = x.iter().map(|v| (v.get() - floor.get()).max(0.0)).sum();
+    if surplus <= 1e-12 {
+        // Nothing above the floor: split the spare evenly.
+        return x.iter().map(|_| Timerons::new(floor.get() + spare / n as f64)).collect();
+    }
+    x.iter()
+        .map(|v| {
+            let over = (v.get() - floor.get()).max(0.0);
+            Timerons::new(floor.get() + spare * over / surplus)
+        })
+        .collect()
+}
+
+/// Solver selection for configuration files (see
+/// [`SchedulerConfig`](crate::scheduler::SchedulerConfig)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub enum SolverKind {
+    /// Exhaustive grid search (the reproduction's default).
+    #[default]
+    Grid,
+    /// Pairwise-transfer hill climbing.
+    HillClimb,
+    /// Importance-proportional static split (naive baseline).
+    Proportional,
+}
+
+impl SolverKind {
+    /// Instantiate the solver with default parameters.
+    pub fn build(self) -> Box<dyn Solver> {
+        match self {
+            SolverKind::Grid => Box::new(GridSolver::default()),
+            SolverKind::HillClimb => Box::new(HillClimbSolver::default()),
+            SolverKind::Proportional => Box::new(ProportionalSolver),
+        }
+    }
+}
+
+/// A plan-search strategy.
+pub trait Solver {
+    /// Short name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Find a (near-)optimal plan for the problem.
+    fn solve(&self, problem: &PlanProblem<'_>) -> Plan;
+}
+
+/// Exhaustive search over a discretised simplex.
+#[derive(Debug, Clone, Copy)]
+pub struct GridSolver {
+    /// Number of grid steps along each dimension.
+    pub steps: u32,
+}
+
+impl Default for GridSolver {
+    fn default() -> Self {
+        GridSolver { steps: 60 }
+    }
+}
+
+impl Solver for GridSolver {
+    fn name(&self) -> &'static str {
+        "grid"
+    }
+
+    fn solve(&self, problem: &PlanProblem<'_>) -> Plan {
+        let n = problem.classes.len();
+        assert!(n >= 1);
+        if n == 1 {
+            return problem.plan_from(vec![problem.system_limit]);
+        }
+        let floor = problem.floor.get();
+        let spare = problem.system_limit.get() - floor * n as f64;
+        assert!(spare >= -1e-9, "floors exceed budget");
+        let spare = spare.max(0.0);
+        let step = spare / f64::from(self.steps);
+        let current = problem.current_limits();
+
+        let mut best: Option<(f64, f64, Vec<Timerons>)> = None; // (utility, -distance, limits)
+        let mut candidate = vec![Timerons::ZERO; n];
+        // Enumerate compositions of `steps` units into n parts.
+        enumerate_compositions(self.steps, n, &mut vec![0u32; n], 0, &mut |units| {
+            for (i, &u) in units.iter().enumerate() {
+                candidate[i] = Timerons::new(floor + f64::from(u) * step);
+            }
+            let u = problem.evaluate(&candidate);
+            let dist: f64 = candidate
+                .iter()
+                .zip(&current)
+                .map(|(a, b)| (a.get() - b.get()).abs())
+                .sum();
+            let better = match &best {
+                None => true,
+                Some((bu, bd, _)) => u > bu + 1e-9 || (u > bu - 1e-9 && -dist > *bd + 1e-9),
+            };
+            if better {
+                best = Some((u, -dist, candidate.clone()));
+            }
+        });
+        problem.plan_from(best.expect("at least one candidate").2)
+    }
+}
+
+/// Visit every way to split `units` across `n` slots.
+fn enumerate_compositions(
+    units: u32,
+    n: usize,
+    acc: &mut Vec<u32>,
+    idx: usize,
+    visit: &mut impl FnMut(&[u32]),
+) {
+    if idx == n - 1 {
+        acc[idx] = units;
+        visit(acc);
+        return;
+    }
+    for u in 0..=units {
+        acc[idx] = u;
+        enumerate_compositions(units - u, n, acc, idx + 1, visit);
+    }
+}
+
+/// Pairwise-transfer local search.
+#[derive(Debug, Clone, Copy)]
+pub struct HillClimbSolver {
+    /// Maximum improvement rounds.
+    pub max_rounds: u32,
+    /// Initial transfer size as a fraction of the system limit.
+    pub initial_step_frac: f64,
+    /// Stop when the transfer size falls below this fraction.
+    pub min_step_frac: f64,
+}
+
+impl Default for HillClimbSolver {
+    fn default() -> Self {
+        HillClimbSolver { max_rounds: 200, initial_step_frac: 0.10, min_step_frac: 0.002 }
+    }
+}
+
+impl Solver for HillClimbSolver {
+    fn name(&self) -> &'static str {
+        "hill-climb"
+    }
+
+    fn solve(&self, problem: &PlanProblem<'_>) -> Plan {
+        let n = problem.classes.len();
+        let mut limits = problem.current_limits();
+        let mut best_u = problem.evaluate(&limits);
+        let mut step = problem.system_limit.get() * self.initial_step_frac;
+        let min_step = problem.system_limit.get() * self.min_step_frac;
+        let floor = problem.floor.get();
+
+        for _ in 0..self.max_rounds {
+            let mut improved = false;
+            let mut best_move: Option<(usize, usize, f64)> = None;
+            for from in 0..n {
+                if limits[from].get() - step < floor - 1e-9 {
+                    continue;
+                }
+                for to in 0..n {
+                    if to == from {
+                        continue;
+                    }
+                    let mut cand = limits.clone();
+                    cand[from] = Timerons::new(cand[from].get() - step);
+                    cand[to] = Timerons::new(cand[to].get() + step);
+                    let u = problem.evaluate(&cand);
+                    if u > best_u + 1e-9 && best_move.is_none_or(|(_, _, bu)| u > bu) {
+                        best_move = Some((from, to, u));
+                    }
+                }
+            }
+            if let Some((from, to, u)) = best_move {
+                limits[from] = Timerons::new(limits[from].get() - step);
+                limits[to] = Timerons::new(limits[to].get() + step);
+                best_u = u;
+                improved = true;
+            }
+            if !improved {
+                step /= 2.0;
+                if step < min_step {
+                    break;
+                }
+            }
+        }
+        problem.plan_from(limits)
+    }
+}
+
+/// Importance-proportional static split (naive ablation baseline).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ProportionalSolver;
+
+impl Solver for ProportionalSolver {
+    fn name(&self) -> &'static str {
+        "proportional"
+    }
+
+    fn solve(&self, problem: &PlanProblem<'_>) -> Plan {
+        let total_imp: f64 = problem.classes.iter().map(|c| f64::from(c.importance)).sum();
+        let raw: Vec<Timerons> = problem
+            .classes
+            .iter()
+            .map(|c| problem.system_limit * (f64::from(c.importance) / total_imp))
+            .collect();
+        problem.plan_from(project_to_simplex(&raw, problem.system_limit, problem.floor))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::class::Goal;
+    use crate::utility::GoalUtility;
+    use qsched_sim::SimDuration;
+
+    /// A canonical 3-class paper problem with controllable measurements.
+    struct Fixture {
+        olap_models: BTreeMap<ClassId, OlapVelocityModel>,
+        oltp_model: OltpLinearModel,
+        utility: GoalUtility,
+    }
+
+    impl Fixture {
+        /// v1/v2 measured at 10K each; OLTP response measured at `t` secs
+        /// with the OLAP total at 20 K and slope `s`.
+        fn new(v1: f64, v2: f64, t: f64, s: f64) -> Self {
+            let mut olap_models = BTreeMap::new();
+            let mut m1 = OlapVelocityModel::new(Timerons::new(10_000.0));
+            m1.observe(Some(v1), Timerons::new(10_000.0));
+            let mut m2 = OlapVelocityModel::new(Timerons::new(10_000.0));
+            m2.observe(Some(v2), Timerons::new(10_000.0));
+            olap_models.insert(ClassId(1), m1);
+            olap_models.insert(ClassId(2), m2);
+            let mut oltp_model = OltpLinearModel::new(s, 1.0, Timerons::new(20_000.0));
+            oltp_model.observe(Some(t), Timerons::new(20_000.0));
+            Fixture { olap_models, oltp_model, utility: GoalUtility::default() }
+        }
+
+        fn problem(&self) -> PlanProblem<'_> {
+            PlanProblem {
+                system_limit: Timerons::new(30_000.0),
+                floor: Timerons::new(600.0),
+                classes: vec![
+                    ClassState {
+                        class: ClassId(1),
+                        kind: QueryKind::Olap,
+                        importance: 1,
+                        goal: Goal::VelocityAtLeast(0.4),
+                        current_limit: Timerons::new(10_000.0),
+                    },
+                    ClassState {
+                        class: ClassId(2),
+                        kind: QueryKind::Olap,
+                        importance: 2,
+                        goal: Goal::VelocityAtLeast(0.6),
+                        current_limit: Timerons::new(10_000.0),
+                    },
+                    ClassState {
+                        class: ClassId(3),
+                        kind: QueryKind::Oltp,
+                        importance: 3,
+                        goal: Goal::AvgResponseAtMost(SimDuration::from_millis(250)),
+                        current_limit: Timerons::new(10_000.0),
+                    },
+                ],
+                olap_models: &self.olap_models,
+                oltp_model: &self.oltp_model,
+                utility: &self.utility,
+            }
+        }
+    }
+
+    fn assert_sums_to_system(plan: &Plan) {
+        assert!((plan.total().get() - 30_000.0).abs() < 1.0, "total {}", plan.total().get());
+    }
+
+    #[test]
+    fn projection_respects_floor_and_total() {
+        let x = vec![Timerons::new(0.0), Timerons::new(100.0), Timerons::new(300.0)];
+        let p = project_to_simplex(&x, Timerons::new(1_000.0), Timerons::new(50.0));
+        let total: f64 = p.iter().map(|v| v.get()).sum();
+        assert!((total - 1_000.0).abs() < 1e-6);
+        for v in &p {
+            assert!(v.get() >= 50.0 - 1e-9);
+        }
+        // Order preserved: bigger in, bigger out.
+        assert!(p[2] > p[1]);
+    }
+
+    #[test]
+    fn projection_handles_all_at_floor() {
+        let x = vec![Timerons::ZERO, Timerons::ZERO];
+        let p = project_to_simplex(&x, Timerons::new(100.0), Timerons::new(10.0));
+        assert!((p[0].get() - 50.0).abs() < 1e-9);
+        assert!((p[1].get() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn grid_solver_rescues_violated_oltp_class() {
+        // OLTP at 0.5 s (goal 0.25 s), slope 2e-5 s/timeron: the solver must
+        // cut the OLAP total by ≥ 12.5 K to bring OLTP to goal.
+        let f = Fixture::new(0.8, 0.9, 0.5, 2e-5);
+        let p = f.problem();
+        let plan = GridSolver::default().solve(&p);
+        assert_sums_to_system(&plan);
+        let olap_total = plan.total_where(|c| c != ClassId(3));
+        assert!(
+            olap_total.get() <= 8_000.0,
+            "expected deep OLAP cut, got OLAP total {}",
+            olap_total.get()
+        );
+    }
+
+    #[test]
+    fn grid_solver_returns_resources_when_oltp_is_comfortable() {
+        // OLTP at 0.05 s — far under goal. OLAP classes are struggling
+        // (v=0.2, 0.3): the solver should push budget to OLAP.
+        let f = Fixture::new(0.2, 0.3, 0.05, 1e-5);
+        let p = f.problem();
+        let plan = GridSolver::default().solve(&p);
+        assert_sums_to_system(&plan);
+        let olap_total = plan.total_where(|c| c != ClassId(3));
+        assert!(
+            olap_total.get() >= 22_000.0,
+            "expected generous OLAP budget, got {}",
+            olap_total.get()
+        );
+    }
+
+    #[test]
+    fn grid_solver_favours_more_important_olap_class_under_scarcity() {
+        // Both OLAP classes violated and OLTP needs most of the budget:
+        // class 2 (importance 2) must not end up worse off than class 1.
+        let f = Fixture::new(0.2, 0.2, 0.3, 2e-5);
+        let p = f.problem();
+        let plan = GridSolver::default().solve(&p);
+        let c1 = plan.limit(ClassId(1)).unwrap();
+        let c2 = plan.limit(ClassId(2)).unwrap();
+        assert!(
+            c2.get() >= c1.get() - 1.0,
+            "class 2 ({}) should not trail class 1 ({})",
+            c2.get(),
+            c1.get()
+        );
+    }
+
+    #[test]
+    fn solvers_agree_on_the_easy_problem() {
+        let f = Fixture::new(0.5, 0.6, 0.5, 2e-5);
+        let p = f.problem();
+        let grid = GridSolver::default().solve(&p);
+        let hill = HillClimbSolver::default().solve(&p);
+        let gu = p.evaluate(
+            &grid.limits().iter().map(|&(_, l)| l).collect::<Vec<_>>(),
+        );
+        let hu = p.evaluate(
+            &hill.limits().iter().map(|&(_, l)| l).collect::<Vec<_>>(),
+        );
+        // Hill climbing must reach within a small margin of the grid optimum.
+        assert!(hu >= gu - 0.05, "hill {hu} far below grid {gu}");
+        assert_sums_to_system(&hill);
+    }
+
+    #[test]
+    fn proportional_solver_splits_by_importance() {
+        let f = Fixture::new(0.5, 0.5, 0.2, 1e-5);
+        let p = f.problem();
+        let plan = ProportionalSolver.solve(&p);
+        assert_sums_to_system(&plan);
+        let c1 = plan.limit(ClassId(1)).unwrap().get();
+        let c3 = plan.limit(ClassId(3)).unwrap().get();
+        assert!((c3 / c1 - 3.0).abs() < 0.2, "importance ratio should be ~3, got {}", c3 / c1);
+    }
+
+    #[test]
+    fn grid_plans_always_respect_floor() {
+        let f = Fixture::new(0.9, 0.9, 0.9, 5e-5);
+        let p = f.problem();
+        let plan = GridSolver::default().solve(&p);
+        for &(_, l) in plan.limits() {
+            assert!(l.get() >= 600.0 - 1e-6, "limit {l:?} below floor");
+        }
+    }
+}

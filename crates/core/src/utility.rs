@@ -1,0 +1,178 @@
+//! Utility functions: encoding goals and business importance.
+//!
+//! "We use utility functions to capture the goals and importance of a
+//! workload and then view the development of a scheduling plan as an
+//! optimization problem involving the utility functions" (§2).
+//!
+//! The semantics the paper demonstrates (§4.2, "Importance of classes"):
+//!
+//! * importance is **not** priority — it takes effect *only when the class
+//!   violates its performance goal*;
+//! * above goal, extra performance earns only a small, importance-independent
+//!   bonus (so surplus resources flow to classes that still need them);
+//! * below goal, the penalty grows steeply with importance, so the solver
+//!   rescues the most important violated class first.
+
+use serde::{Deserialize, Serialize};
+
+/// Maps an achievement ratio (measured/goal, 1.0 = exactly at goal) and an
+/// importance level to a utility value.
+pub trait UtilityFn {
+    /// Utility of one class. Must be monotonically non-decreasing in
+    /// `achievement`.
+    fn utility(&self, importance: u8, achievement: f64) -> f64;
+}
+
+/// The reproduction's default utility: piecewise linear-below /
+/// saturating-above goal.
+///
+/// ```
+/// use qsched_core::utility::{GoalUtility, UtilityFn};
+///
+/// let u = GoalUtility::default();
+/// // Importance matters only below goal (the paper's §4.2 semantics):
+/// assert_eq!(u.utility(1, 1.5), u.utility(3, 1.5));
+/// assert!(u.utility(3, 0.5) < u.utility(1, 0.5));
+/// ```
+///
+/// * `a ≥ 1`: `1 + bonus · (1 − e^{−(a−1)})` — small, bounded, importance-free.
+/// * `a < 1`: `1 − importance² · (1 − a)` — importance-quadratic penalty.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GoalUtility {
+    /// Maximum bonus for exceeding a goal (kept well below any penalty step).
+    pub bonus: f64,
+}
+
+impl Default for GoalUtility {
+    fn default() -> Self {
+        GoalUtility { bonus: 0.1 }
+    }
+}
+
+impl UtilityFn for GoalUtility {
+    fn utility(&self, importance: u8, achievement: f64) -> f64 {
+        debug_assert!(achievement >= 0.0, "negative achievement {achievement}");
+        if achievement >= 1.0 {
+            1.0 + self.bonus * (1.0 - (-(achievement - 1.0)).exp())
+        } else {
+            let w = f64::from(importance).powi(2);
+            1.0 - w * (1.0 - achievement)
+        }
+    }
+}
+
+/// A hard-SLA utility: a fixed reward for meeting the goal, a fixed
+/// importance-scaled penalty for missing it, with a small linear tilt so
+/// solvers still see a gradient inside each regime.
+///
+/// Models contracts where an SLO is pass/fail (credits are owed on any
+/// violation, no bonus for overshoot). Compared to [`GoalUtility`] it makes
+/// the solver indifferent between "barely met" and "comfortably met", which
+/// frees more budget for violated classes at the cost of robustness to
+/// measurement noise near the boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StepUtility {
+    /// Penalty per importance unit for a violated goal.
+    pub penalty: f64,
+    /// Gradient tilt inside each regime (keeps solvers oriented).
+    pub tilt: f64,
+}
+
+impl Default for StepUtility {
+    fn default() -> Self {
+        StepUtility { penalty: 1.0, tilt: 0.01 }
+    }
+}
+
+impl UtilityFn for StepUtility {
+    fn utility(&self, importance: u8, achievement: f64) -> f64 {
+        debug_assert!(achievement >= 0.0);
+        let tilt = self.tilt * achievement.min(2.0);
+        if achievement >= 1.0 {
+            1.0 + tilt
+        } else {
+            1.0 - self.penalty * f64::from(importance) + tilt
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn at_goal_utility_is_one_for_any_importance() {
+        let u = GoalUtility::default();
+        for imp in 1..=5 {
+            assert!((u.utility(imp, 1.0) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn importance_matters_only_under_violation() {
+        let u = GoalUtility::default();
+        // Above goal: identical for all importance levels.
+        assert_eq!(u.utility(1, 1.5), u.utility(3, 1.5));
+        // Below goal: higher importance loses more.
+        assert!(u.utility(3, 0.5) < u.utility(2, 0.5));
+        assert!(u.utility(2, 0.5) < u.utility(1, 0.5));
+    }
+
+    #[test]
+    fn monotone_in_achievement() {
+        let u = GoalUtility::default();
+        for imp in 1..=3 {
+            let mut prev = f64::NEG_INFINITY;
+            for i in 0..200 {
+                let a = i as f64 * 0.02;
+                let v = u.utility(imp, a);
+                assert!(v >= prev, "utility not monotone at a={a}, imp={imp}");
+                prev = v;
+            }
+        }
+    }
+
+    #[test]
+    fn bonus_is_bounded() {
+        let u = GoalUtility::default();
+        assert!(u.utility(1, 100.0) <= 1.0 + u.bonus + 1e-12);
+    }
+
+    #[test]
+    fn step_utility_is_flat_above_goal_and_steps_below() {
+        let u = StepUtility::default();
+        // Above goal: nearly flat (only the tilt differs).
+        let met_low = u.utility(3, 1.0);
+        let met_high = u.utility(3, 2.0);
+        assert!((met_high - met_low) < 0.02);
+        // Below goal: a discrete importance-scaled drop.
+        assert!(u.utility(3, 0.99) < met_low - 2.5);
+        assert!(u.utility(1, 0.99) > u.utility(3, 0.99));
+    }
+
+    #[test]
+    fn step_utility_monotone() {
+        let u = StepUtility::default();
+        for imp in 1..=3 {
+            let mut prev = f64::NEG_INFINITY;
+            for i in 0..100 {
+                let v = u.utility(imp, i as f64 * 0.03);
+                assert!(v >= prev - 1e-12, "not monotone at {i}");
+                prev = v;
+            }
+        }
+    }
+
+    #[test]
+    fn rescuing_a_violated_important_class_beats_boosting_a_met_one() {
+        // The allocation story of §4.2: moving resources from a class
+        // exceeding its goal to an important violated class must raise total
+        // utility.
+        let u = GoalUtility::default();
+        // Before: class A (imp 1) at 1.5× goal, class B (imp 3) at 0.6× goal.
+        let before = u.utility(1, 1.5) + u.utility(3, 0.6);
+        // After the shift: A drops to exactly goal, B recovers to goal.
+        let after = u.utility(1, 1.0) + u.utility(3, 1.0);
+        assert!(after > before);
+    }
+}

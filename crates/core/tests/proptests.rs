@@ -1,0 +1,244 @@
+//! Property-based tests of the control plane: solver feasibility, utility
+//! monotonicity, and dispatcher budget conservation.
+
+use proptest::prelude::*;
+use qsched_core::class::Goal;
+use qsched_core::dispatch::Dispatcher;
+use qsched_core::model::{OlapVelocityModel, OltpLinearModel};
+use qsched_core::plan::Plan;
+use qsched_core::queue::ClassQueues;
+use qsched_core::solver::{
+    project_to_simplex, ClassState, GridSolver, HillClimbSolver, PlanProblem,
+    ProportionalSolver, Solver,
+};
+use qsched_core::utility::{GoalUtility, UtilityFn};
+use qsched_dbms::query::{ClassId, ClientId, QueryId, QueryKind, QueryRecord};
+use qsched_dbms::Timerons;
+use qsched_sim::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+/// Build the paper's 3-class problem from arbitrary measurements.
+fn problem_fixture(
+    v1: f64,
+    v2: f64,
+    t3: f64,
+    slope: f64,
+) -> (BTreeMap<ClassId, OlapVelocityModel>, OltpLinearModel) {
+    let mut olap_models = BTreeMap::new();
+    for (id, v) in [(1u16, v1), (2, v2)] {
+        let mut m = OlapVelocityModel::new(Timerons::new(10_000.0));
+        m.observe(Some(v), Timerons::new(10_000.0));
+        olap_models.insert(ClassId(id), m);
+    }
+    let mut oltp = OltpLinearModel::new(slope, 1.0, Timerons::new(20_000.0));
+    oltp.observe(Some(t3), Timerons::new(20_000.0));
+    (olap_models, oltp)
+}
+
+fn classes() -> Vec<ClassState> {
+    vec![
+        ClassState {
+            class: ClassId(1),
+            kind: QueryKind::Olap,
+            importance: 1,
+            goal: Goal::VelocityAtLeast(0.4),
+            current_limit: Timerons::new(10_000.0),
+        },
+        ClassState {
+            class: ClassId(2),
+            kind: QueryKind::Olap,
+            importance: 2,
+            goal: Goal::VelocityAtLeast(0.6),
+            current_limit: Timerons::new(10_000.0),
+        },
+        ClassState {
+            class: ClassId(3),
+            kind: QueryKind::Oltp,
+            importance: 3,
+            goal: Goal::AvgResponseAtMost(SimDuration::from_millis(250)),
+            current_limit: Timerons::new(10_000.0),
+        },
+    ]
+}
+
+proptest! {
+    /// Every solver returns a feasible plan (sums to the system limit,
+    /// respects the floor) for arbitrary measurements, and the grid solver
+    /// is never worse than the naive proportional split.
+    #[test]
+    fn solvers_always_feasible_and_grid_dominates_naive(
+        v1 in 0.01f64..1.0,
+        v2 in 0.01f64..1.0,
+        t3 in 0.01f64..2.0,
+        slope in 0.0f64..5e-5,
+    ) {
+        let (olap_models, oltp_model) = problem_fixture(v1, v2, t3, slope);
+        let utility = GoalUtility::default();
+        let problem = PlanProblem {
+            system_limit: Timerons::new(30_000.0),
+            floor: Timerons::new(600.0),
+            classes: classes(),
+            olap_models: &olap_models,
+            oltp_model: &oltp_model,
+            utility: &utility,
+        };
+        let eval = |plan: &Plan| {
+            problem.evaluate(&plan.limits().iter().map(|&(_, l)| l).collect::<Vec<_>>())
+        };
+        for solver in [
+            Box::new(GridSolver::default()) as Box<dyn Solver>,
+            Box::new(HillClimbSolver::default()),
+            Box::new(ProportionalSolver),
+        ] {
+            let plan = solver.solve(&problem);
+            prop_assert!(
+                (plan.total().get() - 30_000.0).abs() < 1.0,
+                "{} plan sums to {}",
+                solver.name(),
+                plan.total().get()
+            );
+            for &(c, l) in plan.limits() {
+                prop_assert!(l.get() >= 600.0 - 1e-6, "{} starves {c}", solver.name());
+            }
+        }
+        // The grid optimum is exact only up to the grid step: the naive
+        // point may fall between grid points, and with importance² utility
+        // slopes of ~1e-4 per timeron a ~470-timeron step can cost ~0.1
+        // utility. Allow exactly that one-cell slack.
+        let grid = GridSolver::default().solve(&problem);
+        let naive = ProportionalSolver.solve(&problem);
+        prop_assert!(
+            eval(&grid) >= eval(&naive) - 0.1,
+            "grid ({}) must dominate proportional ({}) up to one grid cell",
+            eval(&grid),
+            eval(&naive)
+        );
+    }
+
+    /// Utility is monotone in achievement for every importance level.
+    #[test]
+    fn utility_monotone(imp in 1u8..6, a in 0.0f64..5.0, delta in 0.0f64..1.0) {
+        let u = GoalUtility::default();
+        prop_assert!(u.utility(imp, a + delta) >= u.utility(imp, a) - 1e-12);
+    }
+
+    /// Simplex projection always lands on the simplex and preserves order.
+    #[test]
+    fn projection_feasible_and_order_preserving(
+        xs in prop::collection::vec(0.0f64..50_000.0, 1..8),
+        total in 10_000.0f64..100_000.0,
+    ) {
+        let floor = total / (xs.len() as f64) / 10.0;
+        let v: Vec<Timerons> = xs.iter().map(|&x| Timerons::new(x)).collect();
+        let p = project_to_simplex(&v, Timerons::new(total), Timerons::new(floor));
+        let sum: f64 = p.iter().map(|t| t.get()).sum();
+        prop_assert!((sum - total).abs() < 1e-6 * total, "sum {sum} vs {total}");
+        for t in &p {
+            prop_assert!(t.get() >= floor - 1e-9);
+        }
+        for i in 0..xs.len() {
+            for j in 0..xs.len() {
+                if xs[i] > xs[j] {
+                    prop_assert!(p[i].get() >= p[j].get() - 1e-9, "order inverted");
+                }
+            }
+        }
+    }
+
+    /// The dispatcher's executing cost never exceeds the class limit unless
+    /// the oversize-when-idle guard released a single oversize head, and
+    /// draining all completions returns it to exactly zero.
+    #[test]
+    fn dispatcher_budget_conservation(
+        costs in prop::collection::vec(1.0f64..20_000.0, 1..60),
+        limit in 1_000.0f64..20_000.0,
+    ) {
+        let class = ClassId(1);
+        let plan = Plan::new(vec![(class, Timerons::new(limit))]);
+        let mut d = Dispatcher::new(&plan);
+        let mut q = ClassQueues::new();
+        let mut running: Vec<(QueryId, f64)> = Vec::new();
+        let mut next_complete = 0usize;
+        for (i, &cost) in costs.iter().enumerate() {
+            q.enqueue(class, QueryId(i as u64), Timerons::new(cost));
+            let released = d.on_enqueued(class, &mut q);
+            for (c, id) in released {
+                prop_assert_eq!(c, class);
+                running.push((id, costs[id.0 as usize]));
+            }
+            let exec = d.executing_cost(class).get();
+            let count = d.executing_count(class);
+            // Either within the limit, or a single oversize query is alone.
+            prop_assert!(
+                exec <= limit + 1e-6 || (count == 1 && running.last().is_some_and(|&(_, c)| c > limit)),
+                "executing {exec} exceeds limit {limit} with {count} running"
+            );
+            // Complete one query every other step (FIFO order).
+            if i % 2 == 1 && next_complete < running.len() {
+                let (id, cost) = running[next_complete];
+                next_complete += 1;
+                let rec = QueryRecord {
+                    id,
+                    client: ClientId(0),
+                    class,
+                    kind: QueryKind::Olap,
+                    template: 0,
+                    estimated_cost: Timerons::new(cost),
+                    submitted: SimTime::ZERO,
+                    admitted: SimTime::ZERO,
+                    finished: SimTime::ZERO,
+                };
+                for (c, rid) in d.on_completed(&rec, &mut q) {
+                    prop_assert_eq!(c, class);
+                    running.push((rid, costs[rid.0 as usize]));
+                }
+            }
+        }
+        // Drain everything.
+        let mut guard = 0;
+        while next_complete < running.len() {
+            let (id, cost) = running[next_complete];
+            next_complete += 1;
+            let rec = QueryRecord {
+                id,
+                client: ClientId(0),
+                class,
+                kind: QueryKind::Olap,
+                template: 0,
+                estimated_cost: Timerons::new(cost),
+                submitted: SimTime::ZERO,
+                admitted: SimTime::ZERO,
+                finished: SimTime::ZERO,
+            };
+            for (_, rid) in d.on_completed(&rec, &mut q) {
+                running.push((rid, costs[rid.0 as usize]));
+            }
+            guard += 1;
+            prop_assert!(guard < 10_000, "drain loop diverged");
+        }
+        prop_assert_eq!(running.len(), costs.len(), "every enqueued query was released");
+        prop_assert_eq!(d.executing_count(class), 0);
+        prop_assert_eq!(d.executing_cost(class), Timerons::ZERO);
+        prop_assert!(q.is_empty());
+    }
+
+    /// The OLAP model prediction is always a valid velocity, and the OLTP
+    /// prediction is always a non-negative response time.
+    #[test]
+    fn model_predictions_stay_in_range(
+        v in 0.0f64..1.0,
+        base in 1.0f64..40_000.0,
+        cand in 0.0f64..60_000.0,
+        t in 0.0f64..5.0,
+        slope in 0.0f64..1e-3,
+    ) {
+        let mut m = OlapVelocityModel::new(Timerons::new(base));
+        m.observe(Some(v), Timerons::new(base));
+        let pred = m.predict(Timerons::new(cand));
+        prop_assert!((0.0..=1.0).contains(&pred), "velocity prediction {pred}");
+
+        let mut o = OltpLinearModel::new(slope, 1.0, Timerons::new(base));
+        o.observe(Some(t), Timerons::new(base));
+        prop_assert!(o.predict(Timerons::new(cand)) >= 0.0);
+    }
+}

@@ -1,0 +1,128 @@
+//! The DB2 agent pool.
+//!
+//! Every query that has entered the DBMS — held by Query Patroller or
+//! executing — occupies one agent. DB2 QP "blocks the DB2 agent responsible
+//! for executing the query until an explicit operator command is received",
+//! so held queries consume agents too. When the pool is exhausted new
+//! submissions wait in FIFO order.
+
+use crate::query::QueryId;
+use std::collections::VecDeque;
+
+/// FIFO agent pool.
+#[derive(Debug, Clone)]
+pub struct AgentPool {
+    capacity: u32,
+    in_use: u32,
+    waiters: VecDeque<QueryId>,
+    peak_in_use: u32,
+}
+
+impl AgentPool {
+    /// A pool of `capacity` agents.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: u32) -> Self {
+        assert!(capacity >= 1, "need at least one agent");
+        AgentPool { capacity, in_use: 0, waiters: VecDeque::new(), peak_in_use: 0 }
+    }
+
+    /// Try to acquire an agent for `q`. Returns `true` on success; on
+    /// failure the query is queued and will be returned by a later
+    /// [`AgentPool::release`].
+    pub fn acquire(&mut self, q: QueryId) -> bool {
+        if self.in_use < self.capacity {
+            self.in_use += 1;
+            self.peak_in_use = self.peak_in_use.max(self.in_use);
+            true
+        } else {
+            self.waiters.push_back(q);
+            false
+        }
+    }
+
+    /// Release one agent. If a query is waiting, the agent passes directly
+    /// to it and its id is returned (the pool stays fully utilised).
+    ///
+    /// # Panics
+    /// Panics if no agent was in use.
+    pub fn release(&mut self) -> Option<QueryId> {
+        assert!(self.in_use > 0, "agent released but none in use");
+        match self.waiters.pop_front() {
+            Some(next) => Some(next),
+            None => {
+                self.in_use -= 1;
+                None
+            }
+        }
+    }
+
+    /// Agents currently held.
+    pub fn in_use(&self) -> u32 {
+        self.in_use
+    }
+
+    /// Queries waiting for an agent.
+    pub fn waiting(&self) -> usize {
+        self.waiters.len()
+    }
+
+    /// Historical peak of agents held.
+    pub fn peak_in_use(&self) -> u32 {
+        self.peak_in_use
+    }
+
+    /// Total pool size.
+    pub fn capacity(&self) -> u32 {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquires_up_to_capacity() {
+        let mut p = AgentPool::new(2);
+        assert!(p.acquire(QueryId(1)));
+        assert!(p.acquire(QueryId(2)));
+        assert!(!p.acquire(QueryId(3)));
+        assert_eq!(p.in_use(), 2);
+        assert_eq!(p.waiting(), 1);
+    }
+
+    #[test]
+    fn release_hands_agent_to_waiter_fifo() {
+        let mut p = AgentPool::new(1);
+        assert!(p.acquire(QueryId(1)));
+        assert!(!p.acquire(QueryId(2)));
+        assert!(!p.acquire(QueryId(3)));
+        assert_eq!(p.release(), Some(QueryId(2)));
+        assert_eq!(p.in_use(), 1); // agent moved, not freed
+        assert_eq!(p.release(), Some(QueryId(3)));
+        assert_eq!(p.release(), None);
+        assert_eq!(p.in_use(), 0);
+    }
+
+    #[test]
+    fn peak_tracks_high_water_mark() {
+        let mut p = AgentPool::new(8);
+        for i in 0..5 {
+            p.acquire(QueryId(i));
+        }
+        for _ in 0..5 {
+            p.release();
+        }
+        assert_eq!(p.peak_in_use(), 5);
+        assert_eq!(p.in_use(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "none in use")]
+    fn over_release_panics() {
+        let mut p = AgentPool::new(1);
+        let _ = p.release();
+    }
+}

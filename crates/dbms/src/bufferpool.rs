@@ -1,0 +1,151 @@
+//! Optional buffer-pool contention model.
+//!
+//! The paper placed TPC-H and TPC-C in separate databases precisely to
+//! ignore "other sources of contention between OLTP and OLAP workloads,
+//! such as buffer pools and lock lists" (§4). This module makes that
+//! ignored dimension available as an opt-in extension: when configured, the
+//! engine tracks the combined *working set* of all executing queries and
+//! stretches I/O service times as the set outgrows the pool.
+//!
+//! The model is deliberately coarse — an aggregate hit-ratio curve, not a
+//! page-level cache — because the experiments only need the *direction*:
+//! more concurrent I/O-hungry work ⇒ lower hit ratio ⇒ slower I/O.
+
+use serde::{Deserialize, Serialize};
+
+/// Buffer-pool configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BufferPoolConfig {
+    /// Pool capacity, in pages.
+    pub pages: f64,
+    /// Working-set pages per timeron of I/O-attributed cost (how much data
+    /// a query touches relative to its optimizer cost).
+    pub pages_per_io_timeron: f64,
+    /// I/O slowdown at a 0 % hit ratio: service times scale by
+    /// `1 + miss_penalty · (1 − hit_ratio)`.
+    pub miss_penalty: f64,
+}
+
+impl Default for BufferPoolConfig {
+    fn default() -> Self {
+        // Calibrated so the paper-scale workload (≈ 30 K timerons admitted,
+        // ~75 % I/O) just fits: contention appears only beyond it.
+        BufferPoolConfig { pages: 24_000.0, pages_per_io_timeron: 1.0, miss_penalty: 2.0 }
+    }
+}
+
+impl BufferPoolConfig {
+    /// Validate tunables.
+    ///
+    /// # Panics
+    /// Panics on nonsensical values.
+    pub fn validate(&self) {
+        assert!(self.pages > 0.0, "pool must have pages");
+        assert!(self.pages_per_io_timeron >= 0.0, "pages per timeron must be non-negative");
+        assert!(self.miss_penalty >= 0.0, "penalty must be non-negative");
+    }
+}
+
+/// Live buffer-pool state: the aggregate working set of executing queries.
+#[derive(Debug, Clone)]
+pub struct BufferPool {
+    cfg: BufferPoolConfig,
+    working_set: f64,
+}
+
+impl BufferPool {
+    /// An empty pool.
+    pub fn new(cfg: BufferPoolConfig) -> Self {
+        cfg.validate();
+        BufferPool { cfg, working_set: 0.0 }
+    }
+
+    /// Working-set pages of a query with this I/O-attributed cost.
+    pub fn pages_of(&self, io_timerons: f64) -> f64 {
+        io_timerons * self.cfg.pages_per_io_timeron
+    }
+
+    /// A query was admitted: grow the working set.
+    pub fn admit(&mut self, io_timerons: f64) {
+        self.working_set += self.pages_of(io_timerons);
+    }
+
+    /// A query finished: shrink the working set.
+    pub fn release(&mut self, io_timerons: f64) {
+        self.working_set = (self.working_set - self.pages_of(io_timerons)).max(0.0);
+    }
+
+    /// Current aggregate working set, in pages.
+    pub fn working_set(&self) -> f64 {
+        self.working_set
+    }
+
+    /// Current hit ratio: 1 while the working set fits, `pages / ws` beyond.
+    pub fn hit_ratio(&self) -> f64 {
+        if self.working_set <= self.cfg.pages {
+            1.0
+        } else {
+            self.cfg.pages / self.working_set
+        }
+    }
+
+    /// Multiplier applied to I/O service times under the current hit ratio.
+    pub fn io_factor(&self) -> f64 {
+        1.0 + self.cfg.miss_penalty * (1.0 - self.hit_ratio())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_entirely_no_penalty() {
+        let mut bp = BufferPool::new(BufferPoolConfig::default());
+        bp.admit(10_000.0);
+        assert_eq!(bp.hit_ratio(), 1.0);
+        assert_eq!(bp.io_factor(), 1.0);
+    }
+
+    #[test]
+    fn overflow_degrades_hit_ratio_and_stretches_io() {
+        let mut bp = BufferPool::new(BufferPoolConfig {
+            pages: 10_000.0,
+            pages_per_io_timeron: 1.0,
+            miss_penalty: 2.0,
+        });
+        bp.admit(20_000.0);
+        assert!((bp.hit_ratio() - 0.5).abs() < 1e-12);
+        assert!((bp.io_factor() - 2.0).abs() < 1e-12);
+        bp.admit(20_000.0);
+        assert!((bp.hit_ratio() - 0.25).abs() < 1e-12);
+        assert!(bp.io_factor() > 2.0);
+    }
+
+    #[test]
+    fn release_restores_the_pool() {
+        let mut bp = BufferPool::new(BufferPoolConfig {
+            pages: 10_000.0,
+            pages_per_io_timeron: 1.0,
+            miss_penalty: 1.0,
+        });
+        bp.admit(30_000.0);
+        let stressed = bp.io_factor();
+        bp.release(25_000.0);
+        assert!(bp.io_factor() < stressed);
+        assert_eq!(bp.io_factor(), 1.0);
+        // Releasing more than admitted clamps at zero.
+        bp.release(1e9);
+        assert_eq!(bp.working_set(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "pool must have pages")]
+    fn zero_pool_panics() {
+        let _ = BufferPool::new(BufferPoolConfig {
+            pages: 0.0,
+            pages_per_io_timeron: 1.0,
+            miss_penalty: 1.0,
+        });
+    }
+}

@@ -1,0 +1,179 @@
+//! Engine configuration: the simulated hardware and its calibration.
+//!
+//! Defaults model the paper's testbed — an IBM xSeries 240 with two 1 GHz
+//! CPUs and 17 SCSI disks — calibrated so that the paper's anchor numbers
+//! hold: TPC-C transactions are sub-second, TPC-H queries run seconds to
+//! minutes, and a total admitted cost of ~30 K timerons sits at the
+//! saturation knee.
+
+use qsched_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Static configuration of the simulated DBMS.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DbmsConfig {
+    /// Number of CPU cores (processor-sharing capacity).
+    pub cores: u32,
+    /// Number of disks in the I/O subsystem.
+    pub disks: u32,
+    /// CPU core-time per timeron of CPU-attributed cost.
+    pub cpu_per_timeron: SimDuration,
+    /// Disk service time per timeron of I/O-attributed cost.
+    pub io_per_timeron: SimDuration,
+    /// Size of the agent pool. Each admitted *or held* query occupies an
+    /// agent (DB2 QP blocks the agent of an intercepted query).
+    pub agents: u32,
+    /// Total admitted cost at which thrashing begins (the saturation knee).
+    pub saturation_knee: f64,
+    /// Strength of the efficiency decline past the knee: efficiency =
+    /// `1 / (1 + alpha * overload)` where `overload = (cost-knee)/knee`.
+    pub thrash_alpha: f64,
+    /// Extra CPU work charged to every *intercepted* query (Query Patroller
+    /// records query information in its control tables). This is the
+    /// overhead that makes direct OLTP interception impractical (§3).
+    pub interception_cpu: SimDuration,
+    /// Latency between submission and the query becoming visible/held in the
+    /// patroller control table.
+    pub interception_latency: SimDuration,
+    /// CPU work charged per snapshot-monitor sample (per monitored client).
+    pub snapshot_cpu_per_client: SimDuration,
+    /// Optional buffer-pool contention model (None = the paper's separated
+    /// databases: no cross-workload buffer contention).
+    pub buffer_pool: Option<crate::bufferpool::BufferPoolConfig>,
+    /// Optional lock-list contention model for the OLTP class (None = the
+    /// paper's separated databases).
+    pub lock_list: Option<crate::locklist::LockListConfig>,
+    /// Timerons of estimated cost per unit of CPU resource intensity: a
+    /// query's weighted-processor-sharing weight is
+    /// `max(1, true_cost / cost_per_weight)`. Expensive queries run with
+    /// parallel plans and aggressive prefetching, so they pressure the CPU
+    /// in proportion to their cost — the coupling behind the paper's
+    /// Figure 2 linearity.
+    pub cost_per_weight: f64,
+}
+
+impl Default for DbmsConfig {
+    fn default() -> Self {
+        DbmsConfig {
+            cores: 2,
+            disks: 17,
+            // Calibration: a TPC-C transaction (~60 timerons, 20 % I/O) costs
+            // ~12 ms CPU + ~4 ms disk — sub-second even under load; a TPC-H
+            // query (~6 000 timerons, 85 % I/O) costs ~0.2 s CPU + ~1.7 s of
+            // disk work spread over many bursts.
+            cpu_per_timeron: SimDuration::from_micros(250),
+            io_per_timeron: SimDuration::from_micros(333),
+            agents: 512,
+            saturation_knee: 30_000.0,
+            thrash_alpha: 1.6,
+            // DB2 QP interception: ~0.5 s of bookkeeping per query — far
+            // larger than a sub-second OLTP statement, negligible for a
+            // multi-second OLAP query.
+            interception_cpu: SimDuration::from_millis(150),
+            interception_latency: SimDuration::from_millis(350),
+            snapshot_cpu_per_client: SimDuration::from_micros(200),
+            buffer_pool: None,
+            lock_list: None,
+            cost_per_weight: 600.0,
+        }
+    }
+}
+
+impl DbmsConfig {
+    /// Validate invariants; call after manual construction.
+    ///
+    /// # Panics
+    /// Panics on a nonsensical configuration.
+    pub fn validate(&self) {
+        assert!(self.cores >= 1, "need at least one core");
+        assert!(self.disks >= 1, "need at least one disk");
+        assert!(self.agents >= 1, "need at least one agent");
+        assert!(self.saturation_knee > 0.0, "knee must be positive");
+        assert!(self.thrash_alpha >= 0.0, "alpha must be non-negative");
+        assert!(self.cost_per_weight > 0.0, "cost_per_weight must be positive");
+        if let Some(bp) = &self.buffer_pool {
+            bp.validate();
+        }
+        if let Some(ll) = &self.lock_list {
+            ll.validate();
+        }
+    }
+
+    /// Map a true cost and I/O fraction onto an execution shape.
+    ///
+    /// `io_fraction` of the cost is attributed to I/O work and the rest to
+    /// CPU work, converted through the per-timeron calibration constants.
+    /// The work is spread over `cycles` alternating CPU/I-O bursts.
+    ///
+    /// # Panics
+    /// Panics unless `io_fraction ∈ [0, 1]` and `cycles >= 1`.
+    pub fn shape(
+        &self,
+        true_cost: crate::cost::Timerons,
+        io_fraction: f64,
+        cycles: u32,
+    ) -> crate::query::ExecShape {
+        assert!((0.0..=1.0).contains(&io_fraction), "io_fraction out of range: {io_fraction}");
+        let cpu = self.cpu_per_timeron.mul_f64(true_cost.get() * (1.0 - io_fraction));
+        let io = self.io_per_timeron.mul_f64(true_cost.get() * io_fraction);
+        let weight = (true_cost.get() / self.cost_per_weight).max(1.0);
+        crate::query::ExecShape::new(cpu, io, cycles).with_weight(weight)
+    }
+
+    /// CPU efficiency factor for a given total admitted cost.
+    ///
+    /// 1.0 while under the knee; declines hyperbolically past it. This models
+    /// buffer-pool and memory contention: past the knee each extra admitted
+    /// timeron *reduces* useful work, so completed-work throughput falls —
+    /// the paper's criterion for choosing the system cost limit
+    /// ("running in a healthy state or under-saturated").
+    pub fn efficiency(&self, admitted_cost: f64) -> f64 {
+        debug_assert!(admitted_cost >= -1e-6, "negative admitted cost");
+        let overload = ((admitted_cost - self.saturation_knee) / self.saturation_knee).max(0.0);
+        1.0 / (1.0 + self.thrash_alpha * overload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        DbmsConfig::default().validate();
+    }
+
+    #[test]
+    fn efficiency_is_one_under_knee() {
+        let c = DbmsConfig::default();
+        assert_eq!(c.efficiency(0.0), 1.0);
+        assert_eq!(c.efficiency(29_999.0), 1.0);
+        assert_eq!(c.efficiency(30_000.0), 1.0);
+    }
+
+    #[test]
+    fn efficiency_declines_past_knee() {
+        let c = DbmsConfig::default();
+        let e1 = c.efficiency(35_000.0);
+        let e2 = c.efficiency(60_000.0);
+        assert!(e1 < 1.0);
+        assert!(e2 < e1);
+        assert!(e2 > 0.0);
+    }
+
+    #[test]
+    fn effective_capacity_declines_past_knee() {
+        // The knee is a *maximum* of useful capacity: cost × efficiency(cost)
+        // must not grow once well past the knee.
+        let c = DbmsConfig::default();
+        let useful = |cost: f64| cost * c.efficiency(cost);
+        assert!(useful(30_000.0) >= useful(90_000.0) * 0.99);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_invalid() {
+        let cfg = DbmsConfig { cores: 0, ..DbmsConfig::default() };
+        cfg.validate();
+    }
+}

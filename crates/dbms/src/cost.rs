@@ -1,0 +1,198 @@
+//! Timerons — DB2's generic cost unit.
+//!
+//! A *timeron* is the DB2 optimizer's abstract measure of the combined
+//! resource usage needed to execute a query. The Query Scheduler expresses
+//! every scheduling plan as a vector of per-class *cost limits* in timerons,
+//! so the unit gets a dedicated newtype to keep cost arithmetic separate from
+//! other floating-point quantities.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A non-negative quantity of optimizer cost, in timerons.
+#[derive(Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Timerons(f64);
+
+impl Timerons {
+    /// Zero cost.
+    pub const ZERO: Timerons = Timerons(0.0);
+
+    /// Construct from a raw timeron count.
+    ///
+    /// # Panics
+    /// Panics if `t` is negative or not finite.
+    #[inline]
+    pub fn new(t: f64) -> Self {
+        assert!(t.is_finite() && t >= 0.0, "invalid timeron value: {t}");
+        Timerons(t)
+    }
+
+    /// The raw value.
+    #[inline]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+
+    /// True if zero.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0.0
+    }
+
+    /// Saturating subtraction (clamps at zero).
+    #[inline]
+    pub fn saturating_sub(self, other: Timerons) -> Timerons {
+        Timerons((self.0 - other.0).max(0.0))
+    }
+
+    /// The smaller of two costs.
+    #[inline]
+    pub fn min(self, other: Timerons) -> Timerons {
+        Timerons(self.0.min(other.0))
+    }
+
+    /// The larger of two costs.
+    #[inline]
+    pub fn max(self, other: Timerons) -> Timerons {
+        Timerons(self.0.max(other.0))
+    }
+
+    /// The ratio `self / other`; 0.0 when `other` is zero.
+    #[inline]
+    pub fn ratio(self, other: Timerons) -> f64 {
+        if other.0 == 0.0 {
+            0.0
+        } else {
+            self.0 / other.0
+        }
+    }
+}
+
+impl Add for Timerons {
+    type Output = Timerons;
+    #[inline]
+    fn add(self, rhs: Timerons) -> Timerons {
+        Timerons(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Timerons {
+    #[inline]
+    fn add_assign(&mut self, rhs: Timerons) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Timerons {
+    type Output = Timerons;
+    /// # Panics
+    /// Panics in debug builds on underflow; use
+    /// [`Timerons::saturating_sub`] when clamping is intended.
+    #[inline]
+    fn sub(self, rhs: Timerons) -> Timerons {
+        debug_assert!(rhs.0 <= self.0 + 1e-9, "timeron subtraction underflow");
+        Timerons((self.0 - rhs.0).max(0.0))
+    }
+}
+
+impl SubAssign for Timerons {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Timerons) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<f64> for Timerons {
+    type Output = Timerons;
+    #[inline]
+    fn mul(self, rhs: f64) -> Timerons {
+        Timerons::new(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Timerons {
+    type Output = Timerons;
+    #[inline]
+    fn div(self, rhs: f64) -> Timerons {
+        Timerons::new(self.0 / rhs)
+    }
+}
+
+impl Sum for Timerons {
+    fn sum<I: Iterator<Item = Timerons>>(iter: I) -> Timerons {
+        iter.fold(Timerons::ZERO, Add::add)
+    }
+}
+
+impl fmt::Debug for Timerons {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1}tm", self.0)
+    }
+}
+
+impl fmt::Display for Timerons {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1000.0 {
+            write!(f, "{:.1}K timerons", self.0 / 1000.0)
+        } else {
+            write!(f, "{:.0} timerons", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = Timerons::new(100.0);
+        let b = Timerons::new(40.0);
+        assert_eq!((a + b).get(), 140.0);
+        assert_eq!((a - b).get(), 60.0);
+        assert_eq!((a * 2.0).get(), 200.0);
+        assert_eq!((a / 4.0).get(), 25.0);
+        let mut c = a;
+        c += b;
+        c -= b;
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn saturating_sub_clamps() {
+        let a = Timerons::new(10.0);
+        let b = Timerons::new(40.0);
+        assert_eq!(a.saturating_sub(b), Timerons::ZERO);
+        assert_eq!(b.saturating_sub(a).get(), 30.0);
+    }
+
+    #[test]
+    fn sum_and_ratio() {
+        let total: Timerons = [10.0, 20.0, 30.0].into_iter().map(Timerons::new).sum();
+        assert_eq!(total.get(), 60.0);
+        assert!((Timerons::new(30.0).ratio(total) - 0.5).abs() < 1e-12);
+        assert_eq!(total.ratio(Timerons::ZERO), 0.0);
+    }
+
+    #[test]
+    fn min_max() {
+        let a = Timerons::new(5.0);
+        let b = Timerons::new(9.0);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid timeron value")]
+    fn negative_panics() {
+        let _ = Timerons::new(-1.0);
+    }
+
+    #[test]
+    fn display_scales() {
+        assert_eq!(Timerons::new(500.0).to_string(), "500 timerons");
+        assert_eq!(Timerons::new(30_000.0).to_string(), "30.0K timerons");
+    }
+}

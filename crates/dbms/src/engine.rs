@@ -1,0 +1,867 @@
+//! The execution engine: agents, interception, and the central-server
+//! CPU/disk loop.
+//!
+//! ## Query lifecycle
+//!
+//! ```text
+//! submit ──► [agent pool] ──► intercepted? ──yes──► (latency) ──► HELD ──release──► ADMIT
+//!                                  │                                                 │
+//!                                  no ──────────────────────────────────────────────►│
+//!                                                                                    ▼
+//!                    ┌──────────────────── cycles × ────────────────────┐
+//!                    │  CPU burst (processor sharing) ─► I/O burst (FCFS) │ ──► COMPLETE
+//!                    └──────────────────────────────────────────────────┘
+//! ```
+//!
+//! Admission raises the total admitted (true) cost, which sets the CPU
+//! efficiency through the saturation model; completion lowers it again.
+//! Completions update the snapshot registry and are reported to the caller
+//! as [`DbmsNotice::Completed`]; interceptions as [`DbmsNotice::Intercepted`].
+
+use crate::agent::AgentPool;
+use crate::bufferpool::BufferPool;
+use crate::config::DbmsConfig;
+use crate::locklist::LockList;
+use crate::metrics::EngineMetrics;
+use crate::patroller::{ControlRow, InterceptPolicy, Patroller};
+use crate::query::{Query, QueryId, QueryKind, QueryRecord};
+use crate::snapshot::{ClientSample, SnapshotRegistry};
+use crate::resource::{DiskArray, PsCpu};
+use qsched_sim::{Ctx, SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// Events internal to the DBMS. The enclosing world must route these back to
+/// [`Dbms::handle`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DbmsEvent {
+    /// Interception bookkeeping finished; the query enters the control table.
+    InterceptReady(QueryId),
+    /// A CPU completion may be due (stale generations are ignored).
+    CpuTick {
+        /// Generation at scheduling time; compared against the current one.
+        gen: u64,
+    },
+    /// The disk burst of this query finished.
+    DiskDone(QueryId),
+}
+
+/// Notifications surfaced to the enclosing world.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DbmsNotice {
+    /// A query was intercepted and now sits in the control table, held.
+    Intercepted(ControlRow),
+    /// A query finished; the record carries its full lifecycle.
+    Completed(QueryRecord),
+    /// A held query was rejected by policy (DB2 QP max-cost rules / load
+    /// shedding); it never executed.
+    Rejected(ControlRow),
+}
+
+/// CPU job tag: a query burst or an overhead task (interception/snapshot
+/// bookkeeping that consumes CPU but produces no completion notice).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum CpuJob {
+    Query(QueryId),
+    Overhead(u64),
+}
+
+/// Execution phase of an in-flight query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Waiting for an agent.
+    WaitingAgent,
+    /// Agent held; interception latency in progress.
+    Intercepting,
+    /// In the patroller control table, waiting for release.
+    Held,
+    /// A CPU burst is in progress.
+    Cpu,
+    /// An I/O burst is in progress (possibly queued for a disk).
+    Io,
+}
+
+/// Book-keeping for one in-flight query.
+#[derive(Debug, Clone)]
+struct Inflight {
+    query: Query,
+    submitted: SimTime,
+    admitted: Option<SimTime>,
+    cycles_left: u32,
+    phase: Phase,
+    was_intercepted: bool,
+}
+
+/// The simulated DBMS.
+///
+/// All methods that can advance the simulation take the engine's [`Ctx`] so
+/// they can schedule [`DbmsEvent`]s; the world's event type only needs a
+/// `From<DbmsEvent>` conversion.
+pub struct Dbms {
+    cfg: DbmsConfig,
+    cpu: PsCpu<CpuJob>,
+    disks: DiskArray<QueryId>,
+    agents: AgentPool,
+    patroller: Patroller,
+    snapshots: SnapshotRegistry,
+    inflight: HashMap<QueryId, Inflight>,
+    admitted_true_cost: f64,
+    buffer_pool: Option<BufferPool>,
+    lock_list: Option<LockList>,
+    cpu_gen: u64,
+    overhead_seq: u64,
+    metrics: EngineMetrics,
+}
+
+impl Dbms {
+    /// Build a DBMS with the given hardware configuration and interception
+    /// policy, with the clock at `start`.
+    pub fn new(cfg: DbmsConfig, policy: InterceptPolicy, start: SimTime) -> Self {
+        cfg.validate();
+        Dbms {
+            cpu: PsCpu::new(cfg.cores, start),
+            disks: DiskArray::new(cfg.disks),
+            agents: AgentPool::new(cfg.agents),
+            patroller: Patroller::new(policy),
+            snapshots: SnapshotRegistry::new(),
+            inflight: HashMap::new(),
+            admitted_true_cost: 0.0,
+            buffer_pool: cfg.buffer_pool.clone().map(BufferPool::new),
+            lock_list: cfg.lock_list.clone().map(LockList::new),
+            cpu_gen: 0,
+            overhead_seq: 0,
+            metrics: EngineMetrics::new(start),
+            cfg,
+        }
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &DbmsConfig {
+        &self.cfg
+    }
+
+    /// Engine metrics (throughput, MPL, utilization…).
+    pub fn metrics(&self) -> &EngineMetrics {
+        &self.metrics
+    }
+
+    /// Mutable metrics access (for window rolls between experiment periods).
+    pub fn metrics_mut(&mut self) -> &mut EngineMetrics {
+        &mut self.metrics
+    }
+
+    /// The patroller (read access for monitors).
+    pub fn patroller(&self) -> &Patroller {
+        &self.patroller
+    }
+
+    /// Replace the interception policy at runtime.
+    pub fn set_intercept_policy(&mut self, policy: InterceptPolicy) {
+        self.patroller.set_policy(policy);
+    }
+
+    /// Number of queries currently *executing* (admitted, not finished).
+    pub fn executing_count(&self) -> usize {
+        self.inflight
+            .values()
+            .filter(|f| matches!(f.phase, Phase::Cpu | Phase::Io))
+            .count()
+    }
+
+    /// Total *true* cost of currently executing queries.
+    pub fn admitted_true_cost(&self) -> f64 {
+        self.admitted_true_cost
+    }
+
+    /// Submit a query. Interception and admission happen according to the
+    /// patroller policy; notices are appended to `out`.
+    pub fn submit<E: From<DbmsEvent>>(
+        &mut self,
+        ctx: &mut Ctx<'_, E>,
+        query: Query,
+        out: &mut Vec<DbmsNotice>,
+    ) {
+        let id = query.id;
+        debug_assert!(!self.inflight.contains_key(&id), "duplicate submit: {id:?}");
+        self.inflight.insert(
+            id,
+            Inflight {
+                query,
+                submitted: ctx.now(),
+                admitted: None,
+                cycles_left: 0,
+                phase: Phase::WaitingAgent,
+                was_intercepted: false,
+            },
+        );
+        if self.agents.acquire(id) {
+            self.proceed_with_agent(ctx, id, out);
+        }
+    }
+
+    /// Release a held query (the Query Patroller unblock API). Returns
+    /// `false` if the query was not held.
+    pub fn release<E: From<DbmsEvent>>(&mut self, ctx: &mut Ctx<'_, E>, id: QueryId) -> bool {
+        if self.patroller.release(id).is_none() {
+            return false;
+        }
+        self.admit(ctx, id);
+        true
+    }
+
+    /// Reject a *held* query (DB2 QP maximum-cost rules, or controller load
+    /// shedding): it leaves the control table without executing, its agent
+    /// is freed, and a [`DbmsNotice::Rejected`] is emitted. Returns `false`
+    /// if the query was not held.
+    pub fn reject<E: From<DbmsEvent>>(
+        &mut self,
+        ctx: &mut Ctx<'_, E>,
+        id: QueryId,
+        out: &mut Vec<DbmsNotice>,
+    ) -> bool {
+        let Some(row) = self.patroller.release(id) else {
+            return false;
+        };
+        let removed = self.inflight.remove(&id);
+        debug_assert!(removed.is_some(), "held query must be in flight");
+        // The blocked agent is freed; a waiting submission may take it.
+        if let Some(next) = self.agents.release() {
+            self.proceed_with_agent(ctx, next, out);
+        }
+        out.push(DbmsNotice::Rejected(row));
+        true
+    }
+
+    /// Handle a [`DbmsEvent`], appending notices to `out`.
+    pub fn handle<E: From<DbmsEvent>>(
+        &mut self,
+        ctx: &mut Ctx<'_, E>,
+        ev: DbmsEvent,
+        out: &mut Vec<DbmsNotice>,
+    ) {
+        match ev {
+            DbmsEvent::InterceptReady(id) => self.on_intercept_ready(ctx, id, out),
+            DbmsEvent::CpuTick { gen } => self.on_cpu_tick(ctx, gen, out),
+            DbmsEvent::DiskDone(id) => self.on_disk_done(ctx, id, out),
+        }
+    }
+
+    /// Take a snapshot: returns the per-client registers and charges the
+    /// sampling overhead to the CPU (per monitored client, §3.3).
+    pub fn take_snapshot<E: From<DbmsEvent>>(
+        &mut self,
+        ctx: &mut Ctx<'_, E>,
+    ) -> Vec<ClientSample> {
+        let clients = self.snapshots.client_count() as u64;
+        if clients > 0 && !self.cfg.snapshot_cpu_per_client.is_zero() {
+            let work = self.cfg.snapshot_cpu_per_client * clients;
+            let now = ctx.now();
+            self.cpu.advance(now);
+            self.overhead_seq += 1;
+            self.cpu.add(CpuJob::Overhead(self.overhead_seq), work);
+            self.reschedule_cpu(ctx);
+        }
+        self.snapshots.samples().copied().collect()
+    }
+
+    /// Read-only snapshot registry (no overhead; for experiment reporting,
+    /// not for controllers).
+    pub fn snapshot_registry(&self) -> &SnapshotRegistry {
+        &self.snapshots
+    }
+
+    // ---- internal transitions -------------------------------------------
+
+    /// Query has an agent: intercept or admit.
+    fn proceed_with_agent<E: From<DbmsEvent>>(
+        &mut self,
+        ctx: &mut Ctx<'_, E>,
+        id: QueryId,
+        out: &mut Vec<DbmsNotice>,
+    ) {
+        let intercept = {
+            let f = self.inflight.get(&id).expect("in-flight query");
+            self.patroller.intercepts(&f.query)
+        };
+        if intercept {
+            let f = self.inflight.get_mut(&id).expect("in-flight query");
+            f.phase = Phase::Intercepting;
+            f.was_intercepted = true;
+            ctx.schedule_in(self.cfg.interception_latency, DbmsEvent::InterceptReady(id).into());
+        } else {
+            self.admit(ctx, id);
+        }
+        let _ = out;
+    }
+
+    fn on_intercept_ready<E: From<DbmsEvent>>(
+        &mut self,
+        ctx: &mut Ctx<'_, E>,
+        id: QueryId,
+        out: &mut Vec<DbmsNotice>,
+    ) {
+        let now = ctx.now();
+        let f = self.inflight.get_mut(&id).expect("in-flight query");
+        debug_assert_eq!(f.phase, Phase::Intercepting);
+        f.phase = Phase::Held;
+        let row = self.patroller.hold(&f.query, now);
+        out.push(DbmsNotice::Intercepted(row));
+    }
+
+    /// Start executing: first CPU burst, saturation update.
+    fn admit<E: From<DbmsEvent>>(&mut self, ctx: &mut Ctx<'_, E>, id: QueryId) {
+        let now = ctx.now();
+        let (burst, true_cost) = {
+            let f = self.inflight.get_mut(&id).expect("in-flight query");
+            debug_assert!(
+                matches!(f.phase, Phase::Held | Phase::WaitingAgent | Phase::Intercepting),
+                "admit from bad phase {:?}",
+                f.phase
+            );
+            f.admitted = Some(now);
+            f.cycles_left = f.query.shape.cycles;
+            f.phase = Phase::Cpu;
+            let mut burst = f.query.shape.cpu_per_cycle();
+            if f.was_intercepted {
+                burst += self.cfg.interception_cpu;
+            }
+            (burst, f.query.true_cost.get())
+        };
+        let weight = self.inflight[&id].query.shape.weight;
+        self.admitted_true_cost += true_cost;
+        if let Some(bp) = self.buffer_pool.as_mut() {
+            let io_timerons = self.inflight[&id].query.shape.io_work.as_secs_f64()
+                / self.cfg.io_per_timeron.as_secs_f64().max(1e-12);
+            bp.admit(io_timerons);
+        }
+        let is_oltp = self.inflight[&id].query.kind == QueryKind::Oltp;
+        if is_oltp {
+            if let Some(ll) = self.lock_list.as_mut() {
+                ll.acquire(true_cost);
+            }
+        }
+        let burst = match (&self.lock_list, is_oltp) {
+            (Some(ll), true) => burst.mul_f64(ll.cpu_factor()),
+            _ => burst,
+        };
+        self.metrics.mpl.add(now, 1.0);
+        self.metrics.admitted_cost.add(now, true_cost);
+        self.cpu.advance(now);
+        self.cpu.add_weighted(CpuJob::Query(id), weight, burst);
+        self.apply_efficiency();
+        self.reschedule_cpu(ctx);
+    }
+
+    /// Recompute the saturation efficiency from the admitted cost.
+    /// Caller must have advanced the CPU to `now` first.
+    fn apply_efficiency(&mut self) {
+        self.cpu.set_speed(self.cfg.efficiency(self.admitted_true_cost.max(0.0)));
+    }
+
+    /// Bump the CPU generation and schedule the next wake-up.
+    fn reschedule_cpu<E: From<DbmsEvent>>(&mut self, ctx: &mut Ctx<'_, E>) {
+        self.cpu_gen += 1;
+        if let Some(t) = self.cpu.next_completion() {
+            ctx.schedule_at(t, DbmsEvent::CpuTick { gen: self.cpu_gen }.into());
+        }
+    }
+
+    fn on_cpu_tick<E: From<DbmsEvent>>(
+        &mut self,
+        ctx: &mut Ctx<'_, E>,
+        gen: u64,
+        out: &mut Vec<DbmsNotice>,
+    ) {
+        if gen != self.cpu_gen {
+            return; // stale wake-up; membership changed since scheduling
+        }
+        let now = ctx.now();
+        self.cpu.advance(now);
+        let mut finished = Vec::new();
+        self.cpu.take_finished(&mut finished);
+        // Deterministic processing order regardless of Vec internals.
+        finished.sort_unstable_by_key(|j| match *j {
+            CpuJob::Query(q) => (0u8, q.0),
+            CpuJob::Overhead(s) => (1u8, s),
+        });
+        for job in finished {
+            match job {
+                CpuJob::Overhead(_) => {} // bookkeeping work, nothing to do
+                CpuJob::Query(id) => self.on_cpu_burst_done(ctx, id, out),
+            }
+        }
+        self.reschedule_cpu(ctx);
+    }
+
+    /// A query finished its CPU burst: issue the I/O burst or end the cycle.
+    fn on_cpu_burst_done<E: From<DbmsEvent>>(
+        &mut self,
+        ctx: &mut Ctx<'_, E>,
+        id: QueryId,
+        out: &mut Vec<DbmsNotice>,
+    ) {
+        let now = ctx.now();
+        let io = {
+            let f = self.inflight.get_mut(&id).expect("in-flight query");
+            debug_assert_eq!(f.phase, Phase::Cpu);
+            f.query.shape.io_per_cycle()
+        };
+        if io.is_zero() {
+            self.end_cycle(ctx, id, out);
+        } else {
+            // Buffer-pool pressure stretches I/O service (misses that a
+            // roomier pool would have absorbed).
+            let io = match &self.buffer_pool {
+                Some(bp) => io.mul_f64(bp.io_factor()),
+                None => io,
+            };
+            let f = self.inflight.get_mut(&id).expect("in-flight query");
+            f.phase = Phase::Io;
+            if let Some(t) = self.disks.request(now, id, io) {
+                ctx.schedule_at(t, DbmsEvent::DiskDone(id).into());
+            }
+        }
+    }
+
+    fn on_disk_done<E: From<DbmsEvent>>(
+        &mut self,
+        ctx: &mut Ctx<'_, E>,
+        id: QueryId,
+        out: &mut Vec<DbmsNotice>,
+    ) {
+        let now = ctx.now();
+        // Free the disk; a queued burst may start.
+        if let Some((next_id, t)) = self.disks.complete(now) {
+            ctx.schedule_at(t, DbmsEvent::DiskDone(next_id).into());
+        }
+        self.end_cycle(ctx, id, out);
+    }
+
+    /// One CPU+I/O cycle finished: start the next or complete the query.
+    fn end_cycle<E: From<DbmsEvent>>(
+        &mut self,
+        ctx: &mut Ctx<'_, E>,
+        id: QueryId,
+        out: &mut Vec<DbmsNotice>,
+    ) {
+        let now = ctx.now();
+        let next_burst = {
+            let f = self.inflight.get_mut(&id).expect("in-flight query");
+            debug_assert!(f.cycles_left >= 1);
+            f.cycles_left -= 1;
+            if f.cycles_left > 0 {
+                f.phase = Phase::Cpu;
+                Some(f.query.shape.cpu_per_cycle())
+            } else {
+                None
+            }
+        };
+        match next_burst {
+            Some(burst) => {
+                let f = &self.inflight[&id];
+                let weight = f.query.shape.weight;
+                let burst = match (&self.lock_list, f.query.kind) {
+                    (Some(ll), QueryKind::Oltp) => burst.mul_f64(ll.cpu_factor()),
+                    _ => burst,
+                };
+                self.cpu.advance(now);
+                self.cpu.add_weighted(CpuJob::Query(id), weight, burst);
+                self.reschedule_cpu(ctx);
+            }
+            None => self.complete(ctx, id, out),
+        }
+    }
+
+    fn complete<E: From<DbmsEvent>>(
+        &mut self,
+        ctx: &mut Ctx<'_, E>,
+        id: QueryId,
+        out: &mut Vec<DbmsNotice>,
+    ) {
+        let now = ctx.now();
+        let f = self.inflight.remove(&id).expect("in-flight query");
+        let record = QueryRecord {
+            id,
+            client: f.query.client,
+            class: f.query.class,
+            kind: f.query.kind,
+            template: f.query.template,
+            estimated_cost: f.query.estimated_cost,
+            submitted: f.submitted,
+            admitted: f.admitted.expect("completed query was admitted"),
+            finished: now,
+        };
+        self.snapshots.record(&record);
+        self.admitted_true_cost = (self.admitted_true_cost - f.query.true_cost.get()).max(0.0);
+        if let Some(bp) = self.buffer_pool.as_mut() {
+            let io_timerons = f.query.shape.io_work.as_secs_f64()
+                / self.cfg.io_per_timeron.as_secs_f64().max(1e-12);
+            bp.release(io_timerons);
+        }
+        if f.query.kind == QueryKind::Oltp {
+            if let Some(ll) = self.lock_list.as_mut() {
+                ll.release(f.query.true_cost.get());
+            }
+        }
+        self.metrics.mpl.add(now, -1.0);
+        self.metrics.admitted_cost.add(now, -f.query.true_cost.get());
+        self.metrics.throughput.tick();
+        match f.query.kind {
+            QueryKind::Olap => self.metrics.olap_completed += 1,
+            QueryKind::Oltp => self.metrics.oltp_completed += 1,
+        }
+        self.metrics.execution_times.push(record.execution_time().as_secs_f64());
+        self.metrics.response_times.push(record.response_time().as_secs_f64());
+        // Efficiency improves as admitted cost falls.
+        self.cpu.advance(now);
+        self.apply_efficiency();
+        self.reschedule_cpu(ctx);
+        // The freed agent may go to a waiting submission.
+        if let Some(next) = self.agents.release() {
+            self.proceed_with_agent(ctx, next, out);
+        }
+        out.push(DbmsNotice::Completed(record));
+    }
+
+    /// Estimate of how long `shape` would take to execute with no
+    /// contention (used by tests and calibration).
+    pub fn solo_time_estimate(&self, shape: &crate::query::ExecShape) -> SimDuration {
+        shape.solo_time()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::Timerons;
+    use crate::query::{ClassId, ClientId, ExecShape, QueryKind};
+    use qsched_sim::{Engine, World};
+
+    /// Test world: a bare DBMS and a log of notices.
+    struct Db {
+        dbms: Dbms,
+        notices: Vec<(SimTime, DbmsNotice)>,
+    }
+
+    impl World for Db {
+        type Event = DbmsEvent;
+        fn handle(&mut self, ctx: &mut Ctx<'_, DbmsEvent>, ev: DbmsEvent) {
+            let mut out = Vec::new();
+            self.dbms.handle(ctx, ev, &mut out);
+            let now = ctx.now();
+            self.notices.extend(out.into_iter().map(|n| (now, n)));
+        }
+    }
+
+    fn mk_query(id: u64, kind: QueryKind, cpu_ms: u64, io_ms: u64, cycles: u32) -> Query {
+        Query {
+            id: QueryId(id),
+            client: ClientId(id as u32),
+            class: ClassId(if kind == QueryKind::Oltp { 3 } else { 1 }),
+            kind,
+            template: 1,
+            estimated_cost: Timerons::new(100.0),
+            true_cost: Timerons::new(100.0),
+            shape: ExecShape::new(
+                SimDuration::from_millis(cpu_ms),
+                SimDuration::from_millis(io_ms),
+                cycles,
+            ),
+        }
+    }
+
+    /// Run a closure that submits into a fresh engine, then run to quiescence.
+    fn run_with(policy: InterceptPolicy, f: impl FnOnce(&mut Engine<Db>)) -> Db {
+        let dbms = Dbms::new(DbmsConfig::default(), policy, SimTime::ZERO);
+        let mut engine = Engine::new(Db { dbms, notices: Vec::new() });
+        f(&mut engine);
+        engine.run();
+        engine.into_world()
+    }
+
+    /// Submit helper usable before the engine runs: drive submit through a
+    /// one-shot event by scheduling it via a tiny wrapper world... Simpler:
+    /// we call submit with a synthetic Ctx by scheduling a no-op first.
+    /// Instead, tests construct the engine and call submit on the world via
+    /// `Engine::world_mut` plus a manual Ctx — not possible; so we use the
+    /// pattern of an initial event. To keep tests direct, `Db` also accepts
+    /// submissions through events:
+    struct SubmitDb {
+        dbms: Dbms,
+        to_submit: Vec<(SimTime, Query)>,
+        notices: Vec<(SimTime, DbmsNotice)>,
+        auto_release: bool,
+    }
+
+    enum SubmitEv {
+        Kick,
+        Db(DbmsEvent),
+    }
+
+    impl From<DbmsEvent> for SubmitEv {
+        fn from(e: DbmsEvent) -> Self {
+            SubmitEv::Db(e)
+        }
+    }
+
+    impl World for SubmitDb {
+        type Event = SubmitEv;
+        fn handle(&mut self, ctx: &mut Ctx<'_, SubmitEv>, ev: SubmitEv) {
+            let mut out = Vec::new();
+            match ev {
+                SubmitEv::Kick => {
+                    let now = ctx.now();
+                    let due: Vec<Query> = {
+                        let mut due = Vec::new();
+                        self.to_submit.retain(|(t, q)| {
+                            if *t == now {
+                                due.push(q.clone());
+                                false
+                            } else {
+                                true
+                            }
+                        });
+                        due
+                    };
+                    for q in due {
+                        self.dbms.submit(ctx, q, &mut out);
+                    }
+                }
+                SubmitEv::Db(e) => self.dbms.handle(ctx, e, &mut out),
+            }
+            let now = ctx.now();
+            for n in out {
+                if self.auto_release {
+                    if let DbmsNotice::Intercepted(row) = &n {
+                        self.dbms.release(ctx, row.id);
+                    }
+                }
+                self.notices.push((now, n));
+            }
+        }
+    }
+
+    fn run_queries(
+        policy: InterceptPolicy,
+        auto_release: bool,
+        queries: Vec<(SimTime, Query)>,
+    ) -> SubmitDb {
+        let dbms = Dbms::new(DbmsConfig::default(), policy, SimTime::ZERO);
+        let kicks: Vec<SimTime> = queries.iter().map(|(t, _)| *t).collect();
+        let mut engine = Engine::new(SubmitDb {
+            dbms,
+            to_submit: queries,
+            notices: Vec::new(),
+            auto_release,
+        });
+        for t in kicks {
+            engine.schedule_at(t, SubmitEv::Kick);
+        }
+        engine.run();
+        engine.into_world()
+    }
+
+    fn completions(db: &SubmitDb) -> Vec<QueryRecord> {
+        db.notices
+            .iter()
+            .filter_map(|(_, n)| match n {
+                DbmsNotice::Completed(r) => Some(*r),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn uncontrolled_query_runs_solo_time() {
+        let q = mk_query(1, QueryKind::Oltp, 12, 4, 2);
+        let db = run_queries(InterceptPolicy::intercept_none(), false, vec![(SimTime::ZERO, q)]);
+        let recs = completions(&db);
+        assert_eq!(recs.len(), 1);
+        let r = recs[0];
+        // Solo: 12 ms CPU + 4 ms I/O = 16 ms, no held time.
+        assert_eq!(r.execution_time(), SimDuration::from_millis(16));
+        assert_eq!(r.held_time(), SimDuration::ZERO);
+        assert!((r.velocity() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interception_holds_until_release() {
+        let q = mk_query(1, QueryKind::Olap, 100, 100, 2);
+        // No auto-release: the query must stay held forever.
+        let db = run_queries(InterceptPolicy::intercept_all(), false, vec![(SimTime::ZERO, q)]);
+        assert!(completions(&db).is_empty());
+        assert_eq!(db.dbms.patroller().held_count(), 1);
+        let intercepted = db
+            .notices
+            .iter()
+            .any(|(_, n)| matches!(n, DbmsNotice::Intercepted(_)));
+        assert!(intercepted);
+    }
+
+    #[test]
+    fn released_query_completes_with_interception_overhead() {
+        let q = mk_query(1, QueryKind::Olap, 100, 100, 2);
+        let db = run_queries(InterceptPolicy::intercept_all(), true, vec![(SimTime::ZERO, q)]);
+        let recs = completions(&db);
+        assert_eq!(recs.len(), 1);
+        let r = recs[0];
+        let cfg = DbmsConfig::default();
+        // Held time = interception latency (released immediately on notice).
+        assert_eq!(r.held_time(), cfg.interception_latency);
+        // Execution includes the interception CPU overhead.
+        let expected = SimDuration::from_millis(200) + cfg.interception_cpu;
+        assert_eq!(r.execution_time(), expected);
+    }
+
+    #[test]
+    fn interception_overhead_dwarfs_oltp_query() {
+        // The paper's §3 argument: a sub-second OLTP statement pays more in
+        // interception than in execution.
+        let q = mk_query(1, QueryKind::Oltp, 12, 4, 2);
+        let db = run_queries(InterceptPolicy::intercept_all(), true, vec![(SimTime::ZERO, q)]);
+        let r = completions(&db)[0];
+        let solo = SimDuration::from_millis(16);
+        assert!(
+            r.response_time() > solo * 10,
+            "intercepted OLTP response {:?} should be ≫ solo {:?}",
+            r.response_time(),
+            solo
+        );
+    }
+
+    #[test]
+    fn two_cpu_queries_share_the_cores() {
+        // Two CPU-only queries (3 s each) on 2 cores run in parallel: both
+        // finish at t=3. A third makes them share.
+        let mk = |id| mk_query(id, QueryKind::Oltp, 3000, 0, 1);
+        let db = run_queries(
+            InterceptPolicy::intercept_none(),
+            false,
+            vec![
+                (SimTime::ZERO, mk(1)),
+                (SimTime::ZERO, mk(2)),
+                (SimTime::ZERO, mk(3)),
+            ],
+        );
+        let recs = completions(&db);
+        assert_eq!(recs.len(), 3);
+        // 3 jobs on 2 cores: rate 2/3 → 3 s of work takes 4.5 s.
+        for r in &recs {
+            assert_eq!(r.execution_time(), SimDuration::from_millis(4500));
+        }
+    }
+
+    #[test]
+    fn io_queries_use_parallel_disks() {
+        // Two I/O-only queries with one cycle each: both get a disk.
+        let mk = |id| mk_query(id, QueryKind::Olap, 0, 2000, 1);
+        let db = run_queries(
+            InterceptPolicy::intercept_none(),
+            false,
+            vec![(SimTime::ZERO, mk(1)), (SimTime::ZERO, mk(2))],
+        );
+        let recs = completions(&db);
+        assert_eq!(recs.len(), 2);
+        for r in &recs {
+            assert_eq!(r.execution_time(), SimDuration::from_secs(2));
+        }
+    }
+
+    #[test]
+    fn cycles_alternate_cpu_and_io() {
+        // 4 cycles of (10 ms CPU + 20 ms I/O): solo time 120 ms.
+        let q = mk_query(1, QueryKind::Olap, 40, 80, 4);
+        let db = run_queries(InterceptPolicy::intercept_none(), false, vec![(SimTime::ZERO, q)]);
+        let r = completions(&db)[0];
+        assert_eq!(r.execution_time(), SimDuration::from_millis(120));
+    }
+
+    #[test]
+    fn saturation_slows_execution() {
+        // Total true cost far beyond the knee halves CPU efficiency.
+        let mut q1 = mk_query(1, QueryKind::Olap, 1000, 0, 1);
+        let mut q2 = mk_query(2, QueryKind::Olap, 1000, 0, 1);
+        q1.true_cost = Timerons::new(45_000.0);
+        q2.true_cost = Timerons::new(45_000.0);
+        let db = run_queries(
+            InterceptPolicy::intercept_none(),
+            false,
+            vec![(SimTime::ZERO, q1), (SimTime::ZERO, q2)],
+        );
+        let recs = completions(&db);
+        // 90 K admitted vs 30 K knee: overload 2 → efficiency 1/(1+3.2).
+        // Both 1 s jobs on separate cores, so exec ≈ 4.2 s each... efficiency
+        // recovers when the first finishes, but they tie, so both see the
+        // full slowdown.
+        for r in &recs {
+            assert!(
+                r.execution_time() > SimDuration::from_secs(4),
+                "expected thrashing slowdown, got {:?}",
+                r.execution_time()
+            );
+        }
+    }
+
+    #[test]
+    fn metrics_track_completions() {
+        let db = run_queries(
+            InterceptPolicy::intercept_none(),
+            false,
+            vec![
+                (SimTime::ZERO, mk_query(1, QueryKind::Oltp, 10, 0, 1)),
+                (SimTime::ZERO, mk_query(2, QueryKind::Olap, 10, 10, 1)),
+            ],
+        );
+        assert_eq!(db.dbms.metrics().oltp_completed, 1);
+        assert_eq!(db.dbms.metrics().olap_completed, 1);
+        assert_eq!(db.dbms.metrics().throughput.total_count(), 2);
+        assert_eq!(db.dbms.executing_count(), 0);
+        assert_eq!(db.dbms.admitted_true_cost(), 0.0);
+    }
+
+    #[test]
+    fn snapshot_reflects_last_completion_per_client() {
+        let db = run_queries(
+            InterceptPolicy::intercept_none(),
+            false,
+            vec![
+                (SimTime::ZERO, mk_query(1, QueryKind::Oltp, 10, 0, 1)),
+                (SimTime::from_secs(1), mk_query(2, QueryKind::Oltp, 20, 0, 1)),
+            ],
+        );
+        let reg = db.dbms.snapshot_registry();
+        assert_eq!(reg.client_count(), 2);
+        let avg = reg
+            .avg_response_time(ClassId(3), SimTime::ZERO)
+            .unwrap()
+            .as_secs_f64();
+        assert!((avg - 0.015).abs() < 1e-6, "avg {avg}");
+    }
+
+    #[test]
+    fn double_release_is_rejected() {
+        // Use the closure-style world to reach `release` directly.
+        let db = run_with(InterceptPolicy::intercept_none(), |_e| {});
+        drop(db);
+        // Release of an unknown id must be rejected (covered via auto_release
+        // worlds above for the accept path).
+        let mut dbms = Dbms::new(DbmsConfig::default(), InterceptPolicy::intercept_all(), SimTime::ZERO);
+        // A Ctx is only available inside a world; use a throwaway engine.
+        struct Once {
+            dbms: Option<Dbms>,
+            ok: bool,
+        }
+        impl World for Once {
+            type Event = DbmsEvent;
+            fn handle(&mut self, ctx: &mut Ctx<'_, DbmsEvent>, _ev: DbmsEvent) {
+                let mut d = self.dbms.take().unwrap();
+                self.ok = !d.release(ctx, QueryId(999));
+                self.dbms = Some(d);
+            }
+        }
+        dbms.cpu_gen += 1; // silence unused warnings through state touch
+        let mut e = Engine::new(Once { dbms: Some(dbms), ok: false });
+        e.schedule_at(SimTime::ZERO, DbmsEvent::CpuTick { gen: 0 });
+        e.run();
+        assert!(e.world().ok, "releasing an unknown query must return false");
+    }
+}

@@ -1,0 +1,55 @@
+//! # qsched-dbms
+//!
+//! A simulated database management system — the *substrate* of the Query
+//! Scheduler reproduction.
+//!
+//! The paper (Niu et al., ICDE 2007) ran against IBM DB2 UDB 8.2 with Query
+//! Patroller on a 2-CPU / 17-disk server. This crate substitutes a
+//! discrete-event model of that stack that preserves everything the paper's
+//! evaluation depends on:
+//!
+//! * **Cost-based execution.** Every query carries an optimizer cost estimate
+//!   in *timerons* ([`cost::Timerons`]); its actual resource demand derives
+//!   from a (noisy) true cost split into CPU and I/O work.
+//! * **A central-server queueing model.** Queries alternate CPU bursts on a
+//!   processor-sharing multi-core CPU ([`resource::PsCpu`]) and I/O bursts on
+//!   a FCFS multi-disk array ([`resource::DiskArray`]) — the classic DBMS
+//!   performance model. OLAP queries are long and I/O-dominant, OLTP
+//!   transactions short and CPU-dominant, so growing the admitted OLAP cost
+//!   degrades OLTP response roughly linearly (the paper's Figure 2).
+//! * **A saturation model.** CPU efficiency declines once the total admitted
+//!   cost exceeds a knee (buffer-pool/memory thrashing), reproducing the
+//!   throughput-vs-system-cost-limit curve used to choose the 30 K-timeron
+//!   system limit.
+//! * **Query Patroller mechanism.** Interception of selected workload
+//!   classes, a control table of query information, agent blocking, and the
+//!   unblock ("release") API — including the per-query interception overhead
+//!   that makes direct OLTP control impractical (§3 of the paper).
+//! * **Snapshot monitor.** Per-client "most recently finished query" records,
+//!   sampled by controllers to monitor the un-intercepted OLTP class.
+//! * **Optional buffer-pool and lock-list contention** ([`bufferpool`],
+//!   [`locklist`]) — the dimensions the paper deliberately excluded by
+//!   separating the databases, available as opt-in extensions.
+//!
+//! The engine itself is policy-free: *who* gets released *when* is decided by
+//! controllers in `qsched-core` via [`engine::Dbms::release`].
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod agent;
+pub mod bufferpool;
+pub mod locklist;
+pub mod config;
+pub mod cost;
+pub mod engine;
+pub mod metrics;
+pub mod patroller;
+pub mod query;
+pub mod resource;
+pub mod snapshot;
+
+pub use config::DbmsConfig;
+pub use cost::Timerons;
+pub use engine::{Dbms, DbmsEvent, DbmsNotice};
+pub use query::{ClassId, ClientId, Query, QueryId, QueryKind, QueryRecord};

@@ -1,0 +1,134 @@
+//! Optional lock-list contention model.
+//!
+//! The second contention dimension the paper excluded by separating the
+//! databases ("ignoring other sources of contention … such as buffer pools
+//! and lock lists", §4). When configured, the engine tracks the aggregate
+//! lock footprint of executing *OLTP* transactions and stretches their CPU
+//! bursts as the lock list saturates — modelling lock-wait time and lock
+//! escalation overhead.
+//!
+//! Like [`crate::bufferpool`], this is a coarse aggregate curve: the
+//! experiments only need the direction (more concurrent transactions ⇒
+//! more lock waits ⇒ slower transactions), not a two-phase-locking
+//! simulation.
+
+use serde::{Deserialize, Serialize};
+
+/// Lock-list configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LockListConfig {
+    /// Lock-list capacity, in lock entries.
+    pub entries: f64,
+    /// Lock entries held per timeron of an OLTP transaction's cost.
+    pub locks_per_timeron: f64,
+    /// CPU-burst slowdown at full saturation: bursts scale by
+    /// `1 + wait_penalty · overflow_ratio`.
+    pub wait_penalty: f64,
+}
+
+impl Default for LockListConfig {
+    fn default() -> Self {
+        // ~25 concurrent mid-size transactions fit; beyond that, waits grow.
+        LockListConfig { entries: 1_200.0, locks_per_timeron: 1.0, wait_penalty: 3.0 }
+    }
+}
+
+impl LockListConfig {
+    /// Validate tunables.
+    ///
+    /// # Panics
+    /// Panics on nonsensical values.
+    pub fn validate(&self) {
+        assert!(self.entries > 0.0, "lock list must have entries");
+        assert!(self.locks_per_timeron >= 0.0, "locks per timeron must be non-negative");
+        assert!(self.wait_penalty >= 0.0, "penalty must be non-negative");
+    }
+}
+
+/// Live lock-list state: the aggregate footprint of executing transactions.
+#[derive(Debug, Clone)]
+pub struct LockList {
+    cfg: LockListConfig,
+    held: f64,
+}
+
+impl LockList {
+    /// An empty lock list.
+    pub fn new(cfg: LockListConfig) -> Self {
+        cfg.validate();
+        LockList { cfg, held: 0.0 }
+    }
+
+    /// Lock entries a transaction of this cost would hold.
+    pub fn locks_of(&self, cost_timerons: f64) -> f64 {
+        cost_timerons * self.cfg.locks_per_timeron
+    }
+
+    /// A transaction was admitted: acquire its locks.
+    pub fn acquire(&mut self, cost_timerons: f64) {
+        self.held += self.locks_of(cost_timerons);
+    }
+
+    /// A transaction finished: release its locks.
+    pub fn release(&mut self, cost_timerons: f64) {
+        self.held = (self.held - self.locks_of(cost_timerons)).max(0.0);
+    }
+
+    /// Currently held lock entries.
+    pub fn held(&self) -> f64 {
+        self.held
+    }
+
+    /// Fraction by which the footprint exceeds the list (0 while it fits).
+    pub fn overflow_ratio(&self) -> f64 {
+        if self.held <= self.cfg.entries {
+            0.0
+        } else {
+            (self.held - self.cfg.entries) / self.cfg.entries
+        }
+    }
+
+    /// Multiplier applied to OLTP CPU bursts under current contention.
+    pub fn cpu_factor(&self) -> f64 {
+        1.0 + self.cfg.wait_penalty * self.overflow_ratio()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_no_penalty() {
+        let mut l = LockList::new(LockListConfig::default());
+        l.acquire(600.0);
+        assert_eq!(l.overflow_ratio(), 0.0);
+        assert_eq!(l.cpu_factor(), 1.0);
+    }
+
+    #[test]
+    fn overflow_stretches_cpu() {
+        let mut l = LockList::new(LockListConfig {
+            entries: 100.0,
+            locks_per_timeron: 1.0,
+            wait_penalty: 2.0,
+        });
+        l.acquire(300.0);
+        assert!((l.overflow_ratio() - 2.0).abs() < 1e-12);
+        assert!((l.cpu_factor() - 5.0).abs() < 1e-12);
+        l.release(200.0);
+        assert_eq!(l.cpu_factor(), 1.0);
+        l.release(1e9);
+        assert_eq!(l.held(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "lock list must have entries")]
+    fn zero_entries_panics() {
+        let _ = LockList::new(LockListConfig {
+            entries: 0.0,
+            locks_per_timeron: 1.0,
+            wait_penalty: 1.0,
+        });
+    }
+}

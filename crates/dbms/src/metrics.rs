@@ -1,0 +1,52 @@
+//! Engine-level metrics: throughput, multiprogramming level, admitted cost
+//! and resource utilization over time.
+
+use qsched_sim::stats::{Meter, TimeWeighted, Welford};
+use qsched_sim::SimTime;
+
+/// Online metrics maintained by the engine.
+#[derive(Debug, Clone)]
+pub struct EngineMetrics {
+    /// Completions per second (all queries).
+    pub throughput: Meter,
+    /// Completions of OLAP queries.
+    pub olap_completed: u64,
+    /// Completions of OLTP queries.
+    pub oltp_completed: u64,
+    /// Number of concurrently executing queries (the MPL), time-weighted.
+    pub mpl: TimeWeighted,
+    /// Total *true* cost of concurrently executing queries, time-weighted.
+    pub admitted_cost: TimeWeighted,
+    /// Execution times of completed queries.
+    pub execution_times: Welford,
+    /// Response times of completed queries.
+    pub response_times: Welford,
+}
+
+impl EngineMetrics {
+    /// Fresh metrics starting at `start`.
+    pub fn new(start: SimTime) -> Self {
+        EngineMetrics {
+            throughput: Meter::new(start),
+            olap_completed: 0,
+            oltp_completed: 0,
+            mpl: TimeWeighted::new(start, 0.0),
+            admitted_cost: TimeWeighted::new(start, 0.0),
+            execution_times: Welford::new(),
+            response_times: Welford::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_empty() {
+        let m = EngineMetrics::new(SimTime::ZERO);
+        assert_eq!(m.throughput.total_count(), 0);
+        assert_eq!(m.olap_completed + m.oltp_completed, 0);
+        assert!(m.execution_times.is_empty());
+    }
+}

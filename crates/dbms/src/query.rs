@@ -1,0 +1,227 @@
+//! Query identity, shape and lifecycle records.
+
+use crate::cost::Timerons;
+use qsched_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Unique identifier of a submitted query, assigned by the submitter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct QueryId(pub u64);
+
+/// Identifier of the submitting client (one closed-loop session).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ClientId(pub u32);
+
+/// Identifier of a workload / service class (assigned by the workload spec;
+/// interpreted by controllers, opaque to the engine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ClassId(pub u16);
+
+impl fmt::Display for ClassId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "class{}", self.0)
+    }
+}
+
+/// Broad query type — drives which performance metric applies (the paper uses
+/// *query velocity* for OLAP classes and *average response time* for OLTP).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum QueryKind {
+    /// Long, I/O-dominant decision-support query (TPC-H-like).
+    Olap,
+    /// Short, CPU-dominant transaction (TPC-C-like).
+    Oltp,
+}
+
+/// The execution shape of a query: how its true resource demand is spread
+/// over alternating CPU and I/O bursts (the central-server model).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExecShape {
+    /// Total CPU work, in core-seconds, at full speed with no contention.
+    pub cpu_work: SimDuration,
+    /// Total I/O work, in disk-seconds, with no queueing.
+    pub io_work: SimDuration,
+    /// Number of CPU→I/O cycles the work is split into (≥ 1).
+    pub cycles: u32,
+    /// CPU resource intensity (weighted-processor-sharing weight, ≥ 1):
+    /// expensive queries consume CPU in proportion to their cost.
+    pub weight: f64,
+}
+
+impl ExecShape {
+    /// Build a unit-weight shape, validating the cycle count.
+    ///
+    /// # Panics
+    /// Panics if `cycles == 0`.
+    pub fn new(cpu_work: SimDuration, io_work: SimDuration, cycles: u32) -> Self {
+        assert!(cycles >= 1, "a query needs at least one execution cycle");
+        ExecShape { cpu_work, io_work, cycles, weight: 1.0 }
+    }
+
+    /// Set the CPU resource intensity.
+    ///
+    /// # Panics
+    /// Panics unless `weight >= 1`.
+    pub fn with_weight(mut self, weight: f64) -> Self {
+        assert!(weight >= 1.0 && weight.is_finite(), "invalid shape weight {weight}");
+        self.weight = weight;
+        self
+    }
+
+    /// CPU work per cycle.
+    pub fn cpu_per_cycle(&self) -> SimDuration {
+        self.cpu_work / u64::from(self.cycles)
+    }
+
+    /// I/O work per cycle.
+    pub fn io_per_cycle(&self) -> SimDuration {
+        self.io_work / u64::from(self.cycles)
+    }
+
+    /// The minimum possible execution time (no contention, full efficiency).
+    pub fn solo_time(&self) -> SimDuration {
+        self.cpu_work + self.io_work
+    }
+}
+
+/// A query as submitted to the engine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Query {
+    /// Unique id (assigned by the workload generator).
+    pub id: QueryId,
+    /// Submitting client.
+    pub client: ClientId,
+    /// Service class this query belongs to.
+    pub class: ClassId,
+    /// OLAP or OLTP.
+    pub kind: QueryKind,
+    /// Workload-defined template index (e.g. TPC-H query number), for reports.
+    pub template: u16,
+    /// The optimizer's cost *estimate* — what cost-based control sees.
+    pub estimated_cost: Timerons,
+    /// The true cost driving actual resource demand (estimate × noise).
+    pub true_cost: Timerons,
+    /// Actual execution shape.
+    pub shape: ExecShape,
+}
+
+/// Full lifecycle record of a completed query.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QueryRecord {
+    /// The query's id.
+    pub id: QueryId,
+    /// Submitting client.
+    pub client: ClientId,
+    /// Service class.
+    pub class: ClassId,
+    /// OLAP or OLTP.
+    pub kind: QueryKind,
+    /// Workload template index.
+    pub template: u16,
+    /// Optimizer cost estimate.
+    pub estimated_cost: Timerons,
+    /// When the client submitted the query.
+    pub submitted: SimTime,
+    /// When the query was admitted into the engine (released by the
+    /// controller, or immediately if not intercepted).
+    pub admitted: SimTime,
+    /// When the query finished.
+    pub finished: SimTime,
+}
+
+impl QueryRecord {
+    /// Time spent *executing in the DBMS*: admission to completion.
+    ///
+    /// This matches the paper's `Execution_Time` — the query is "running in
+    /// the DBMS" from release onward (internal engine queueing included).
+    pub fn execution_time(&self) -> SimDuration {
+        self.finished.saturating_since(self.admitted)
+    }
+
+    /// Client-observed response time: submission to completion, including
+    /// time held by the workload adaptation mechanism.
+    pub fn response_time(&self) -> SimDuration {
+        self.finished.saturating_since(self.submitted)
+    }
+
+    /// Time held by the adaptation mechanism before admission.
+    pub fn held_time(&self) -> SimDuration {
+        self.admitted.saturating_since(self.submitted)
+    }
+
+    /// Query velocity: `execution_time / response_time ∈ (0, 1]`.
+    ///
+    /// An instantaneous query (zero response time) has velocity 1 by
+    /// convention — it experienced no delay.
+    pub fn velocity(&self) -> f64 {
+        let resp = self.response_time();
+        if resp.is_zero() {
+            1.0
+        } else {
+            self.execution_time().ratio(resp)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(submit_s: u64, admit_s: u64, finish_s: u64) -> QueryRecord {
+        QueryRecord {
+            id: QueryId(1),
+            client: ClientId(0),
+            class: ClassId(1),
+            kind: QueryKind::Olap,
+            template: 3,
+            estimated_cost: Timerons::new(100.0),
+            submitted: SimTime::from_secs(submit_s),
+            admitted: SimTime::from_secs(admit_s),
+            finished: SimTime::from_secs(finish_s),
+        }
+    }
+
+    #[test]
+    fn lifecycle_durations() {
+        let r = record(10, 15, 35);
+        assert_eq!(r.held_time(), SimDuration::from_secs(5));
+        assert_eq!(r.execution_time(), SimDuration::from_secs(20));
+        assert_eq!(r.response_time(), SimDuration::from_secs(25));
+        assert!((r.velocity() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn velocity_is_one_without_holding() {
+        let r = record(10, 10, 30);
+        assert!((r.velocity() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn instantaneous_query_velocity_is_one() {
+        let r = record(10, 10, 10);
+        assert_eq!(r.velocity(), 1.0);
+    }
+
+    #[test]
+    fn velocity_in_unit_interval() {
+        for (s, a, f) in [(0u64, 0u64, 1u64), (0, 5, 6), (0, 100, 101), (3, 3, 3)] {
+            let v = record(s, a, f).velocity();
+            assert!((0.0..=1.0).contains(&v), "velocity {v} out of range");
+        }
+    }
+
+    #[test]
+    fn exec_shape_split() {
+        let s = ExecShape::new(SimDuration::from_secs(4), SimDuration::from_secs(8), 4);
+        assert_eq!(s.cpu_per_cycle(), SimDuration::from_secs(1));
+        assert_eq!(s.io_per_cycle(), SimDuration::from_secs(2));
+        assert_eq!(s.solo_time(), SimDuration::from_secs(12));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one execution cycle")]
+    fn zero_cycles_panics() {
+        let _ = ExecShape::new(SimDuration::ZERO, SimDuration::ZERO, 0);
+    }
+}

@@ -1,0 +1,399 @@
+//! The simulated hardware: a processor-sharing multi-core CPU and a FCFS
+//! multi-disk I/O subsystem — the two stations of the classic central-server
+//! DBMS performance model.
+
+use qsched_sim::{SimDuration, SimTime};
+use std::collections::VecDeque;
+use std::hash::Hash;
+
+/// Smallest remaining work (in seconds) still considered unfinished.
+const WORK_EPSILON: f64 = 1e-9;
+
+/// A multi-core CPU under **weighted** processor sharing.
+///
+/// Every resident job has a weight `w ≥ 1` — its *resource intensity*
+/// (degree of parallelism, prefetch aggressiveness, buffer-pool footprint).
+/// A job receives service at rate
+///
+/// ```text
+/// rate_i = speed · min(w_i, cores) · min(1, cores / Σw)
+/// ```
+///
+/// core-seconds per second: when total weight fits the cores every job runs
+/// at its full intensity (capped at the machine size), and under contention
+/// capacity is shared *in proportion to weight*. This is what couples the
+/// admitted OLAP **cost** to OLTP response time (the paper's Figure 2): an
+/// expensive decision-support query pressures the CPU in proportion to its
+/// optimizer cost, not merely as one more thread. A weight of 1 for every
+/// job degenerates to egalitarian processor sharing. `speed ∈ (0, 1]` is
+/// the engine's thrashing efficiency factor.
+///
+/// The owner is responsible for draining time (`advance`) before any
+/// mutation and for (re)scheduling a wake-up at [`PsCpu::next_completion`].
+#[derive(Debug, Clone)]
+pub struct PsCpu<J> {
+    cores: f64,
+    speed: f64,
+    /// `(job, weight, remaining core-seconds)`.
+    jobs: Vec<(J, f64, f64)>,
+    total_weight: f64,
+    last: SimTime,
+    /// Cumulative core-seconds of useful work delivered (for utilization).
+    delivered: f64,
+}
+
+impl<J: Copy + Eq + Hash> PsCpu<J> {
+    /// A CPU with `cores` cores, starting idle at `start` with speed 1.
+    ///
+    /// # Panics
+    /// Panics if `cores == 0`.
+    pub fn new(cores: u32, start: SimTime) -> Self {
+        assert!(cores >= 1, "need at least one core");
+        PsCpu {
+            cores: f64::from(cores),
+            speed: 1.0,
+            jobs: Vec::new(),
+            total_weight: 0.0,
+            last: start,
+            delivered: 0.0,
+        }
+    }
+
+    /// Service rate of a job with weight `w` under the current mix.
+    fn rate_of(&self, w: f64) -> f64 {
+        if self.total_weight <= 0.0 {
+            return 0.0;
+        }
+        self.speed * w.min(self.cores) * (self.cores / self.total_weight).min(1.0)
+    }
+
+    /// Advance the clock to `now`, draining work from every resident job.
+    pub fn advance(&mut self, now: SimTime) {
+        debug_assert!(now >= self.last, "PsCpu time must be monotone");
+        let dt = now.saturating_since(self.last).as_secs_f64();
+        self.last = now;
+        if dt <= 0.0 || self.jobs.is_empty() {
+            return;
+        }
+        let share = (self.cores / self.total_weight).min(1.0) * self.speed;
+        for (_, w, rem) in &mut self.jobs {
+            let drained = (w.min(self.cores) * share * dt).min(*rem);
+            self.delivered += drained;
+            *rem -= drained;
+        }
+    }
+
+    /// Add a unit-weight job with `work` core-seconds of demand. Call
+    /// [`PsCpu::advance`] to `now` first.
+    pub fn add(&mut self, id: J, work: SimDuration) {
+        self.add_weighted(id, 1.0, work);
+    }
+
+    /// Add a job with resource-intensity `weight` and `work` core-seconds of
+    /// demand. Call [`PsCpu::advance`] to `now` first.
+    ///
+    /// # Panics
+    /// Panics unless `weight >= 1`; in debug builds also if the job is
+    /// already resident.
+    pub fn add_weighted(&mut self, id: J, weight: f64, work: SimDuration) {
+        assert!(weight >= 1.0 && weight.is_finite(), "invalid job weight {weight}");
+        debug_assert!(
+            !self.jobs.iter().any(|(j, _, _)| *j == id),
+            "job added to CPU twice"
+        );
+        self.jobs.push((id, weight, work.as_secs_f64()));
+        self.total_weight += weight;
+    }
+
+    /// Change the efficiency factor. Call [`PsCpu::advance`] first.
+    ///
+    /// # Panics
+    /// Panics unless `0 < speed <= 1`.
+    pub fn set_speed(&mut self, speed: f64) {
+        assert!(speed > 0.0 && speed <= 1.0, "invalid CPU speed {speed}");
+        self.speed = speed;
+    }
+
+    /// Current efficiency factor.
+    pub fn speed(&self) -> f64 {
+        self.speed
+    }
+
+    /// Number of resident jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// True if no job is resident.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// When the next job will finish (absolute time), given current
+    /// membership and speed. `None` when idle.
+    pub fn next_completion(&self) -> Option<SimTime> {
+        let mut min_dt = f64::INFINITY;
+        for &(_, w, rem) in &self.jobs {
+            let r = self.rate_of(w);
+            debug_assert!(r > 0.0);
+            min_dt = min_dt.min(rem / r);
+        }
+        if !min_dt.is_finite() {
+            return None;
+        }
+        // Round *up* to the next microsecond so the job is guaranteed done
+        // when the wake-up fires.
+        Some(self.last + SimDuration::from_micros((min_dt.max(0.0) * 1e6).ceil() as u64))
+    }
+
+    /// Remove and return every finished job. Call [`PsCpu::advance`] first.
+    pub fn take_finished(&mut self, out: &mut Vec<J>) {
+        let mut i = 0;
+        while i < self.jobs.len() {
+            if self.jobs[i].2 <= WORK_EPSILON {
+                let (id, w, _) = self.jobs.swap_remove(i);
+                self.total_weight = (self.total_weight - w).max(0.0);
+                out.push(id);
+            } else {
+                i += 1;
+            }
+        }
+        if self.jobs.is_empty() {
+            self.total_weight = 0.0; // clean float residue at idle
+        }
+    }
+
+    /// Remove a specific job (e.g. cancellation), returning its remaining work.
+    pub fn remove(&mut self, id: J) -> Option<SimDuration> {
+        let pos = self.jobs.iter().position(|(j, _, _)| *j == id)?;
+        let (_, w, rem) = self.jobs.remove(pos);
+        self.total_weight = (self.total_weight - w).max(0.0);
+        if self.jobs.is_empty() {
+            self.total_weight = 0.0;
+        }
+        Some(SimDuration::from_secs_f64(rem.max(0.0)))
+    }
+
+    /// Total useful core-seconds delivered so far.
+    pub fn delivered_core_seconds(&self) -> f64 {
+        self.delivered
+    }
+}
+
+/// A FCFS disk array: `n` identical servers fed by one shared queue.
+///
+/// Service times are fixed at request time, so no draining is needed; the
+/// owner schedules a completion event at the returned instant.
+#[derive(Debug, Clone)]
+pub struct DiskArray<J> {
+    n_disks: usize,
+    busy: usize,
+    queue: VecDeque<(J, SimDuration)>,
+    /// Cumulative disk-seconds of service delivered.
+    delivered: f64,
+    /// Peak queue length observed (diagnostics).
+    peak_queue: usize,
+}
+
+impl<J: Copy> DiskArray<J> {
+    /// An idle array of `n_disks` disks.
+    ///
+    /// # Panics
+    /// Panics if `n_disks == 0`.
+    pub fn new(n_disks: u32) -> Self {
+        assert!(n_disks >= 1, "need at least one disk");
+        DiskArray {
+            n_disks: n_disks as usize,
+            busy: 0,
+            queue: VecDeque::new(),
+            delivered: 0.0,
+            peak_queue: 0,
+        }
+    }
+
+    /// Submit an I/O burst. If a disk is free the burst starts immediately
+    /// and the completion instant is returned; otherwise the burst queues
+    /// and `None` is returned (its completion is produced later by
+    /// [`DiskArray::complete`]).
+    pub fn request(&mut self, now: SimTime, id: J, service: SimDuration) -> Option<SimTime> {
+        if self.busy < self.n_disks {
+            self.busy += 1;
+            self.delivered += service.as_secs_f64();
+            Some(now + service)
+        } else {
+            self.queue.push_back((id, service));
+            self.peak_queue = self.peak_queue.max(self.queue.len());
+            None
+        }
+    }
+
+    /// Record that one burst finished at `now`; if a queued burst exists it
+    /// starts and `(job, completion_time)` is returned for scheduling.
+    ///
+    /// # Panics
+    /// Panics if no disk was busy.
+    pub fn complete(&mut self, now: SimTime) -> Option<(J, SimTime)> {
+        assert!(self.busy > 0, "disk completion with no busy disk");
+        self.busy -= 1;
+        if let Some((id, svc)) = self.queue.pop_front() {
+            self.busy += 1;
+            self.delivered += svc.as_secs_f64();
+            Some((id, now + svc))
+        } else {
+            None
+        }
+    }
+
+    /// Number of bursts currently in service.
+    pub fn busy(&self) -> usize {
+        self.busy
+    }
+
+    /// Number of bursts waiting for a disk.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Peak queue length seen so far.
+    pub fn peak_queue(&self) -> usize {
+        self.peak_queue
+    }
+
+    /// Total disk-seconds of service started so far.
+    pub fn delivered_disk_seconds(&self) -> f64 {
+        self.delivered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_cpu_job_runs_at_full_speed() {
+        let mut cpu: PsCpu<u32> = PsCpu::new(2, SimTime::ZERO);
+        cpu.add(1, SimDuration::from_secs(3));
+        assert_eq!(cpu.next_completion(), Some(SimTime::from_secs(3)));
+        cpu.advance(SimTime::from_secs(3));
+        let mut done = Vec::new();
+        cpu.take_finished(&mut done);
+        assert_eq!(done, vec![1]);
+        assert!(cpu.is_empty());
+    }
+
+    #[test]
+    fn two_jobs_on_two_cores_do_not_interfere() {
+        let mut cpu: PsCpu<u32> = PsCpu::new(2, SimTime::ZERO);
+        cpu.add(1, SimDuration::from_secs(2));
+        cpu.add(2, SimDuration::from_secs(5));
+        // Each gets a full core: job 1 finishes at t=2.
+        assert_eq!(cpu.next_completion(), Some(SimTime::from_secs(2)));
+        cpu.advance(SimTime::from_secs(2));
+        let mut done = Vec::new();
+        cpu.take_finished(&mut done);
+        assert_eq!(done, vec![1]);
+        // Job 2 has 3 s left at full speed.
+        assert_eq!(cpu.next_completion(), Some(SimTime::from_secs(5)));
+    }
+
+    #[test]
+    fn four_jobs_on_two_cores_share_equally() {
+        let mut cpu: PsCpu<u32> = PsCpu::new(2, SimTime::ZERO);
+        for id in 0..4 {
+            cpu.add(id, SimDuration::from_secs(1));
+        }
+        // rate = 2/4 = 0.5 → 1 s of work takes 2 s.
+        assert_eq!(cpu.next_completion(), Some(SimTime::from_secs(2)));
+        cpu.advance(SimTime::from_secs(2));
+        let mut done = Vec::new();
+        cpu.take_finished(&mut done);
+        done.sort_unstable();
+        assert_eq!(done, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn speed_scales_service_rate() {
+        let mut cpu: PsCpu<u32> = PsCpu::new(1, SimTime::ZERO);
+        cpu.add(1, SimDuration::from_secs(1));
+        cpu.advance(SimTime::ZERO);
+        cpu.set_speed(0.5);
+        assert_eq!(cpu.next_completion(), Some(SimTime::from_secs(2)));
+    }
+
+    #[test]
+    fn membership_change_mid_flight_is_linear() {
+        let mut cpu: PsCpu<u32> = PsCpu::new(1, SimTime::ZERO);
+        cpu.add(1, SimDuration::from_secs(4));
+        // After 1 s alone, 3 s of work remain.
+        cpu.advance(SimTime::from_secs(1));
+        cpu.add(2, SimDuration::from_secs(10));
+        // Now sharing one core: job 1 needs 6 more wall seconds.
+        assert_eq!(cpu.next_completion(), Some(SimTime::from_secs(7)));
+        cpu.advance(SimTime::from_secs(7));
+        let mut done = Vec::new();
+        cpu.take_finished(&mut done);
+        assert_eq!(done, vec![1]);
+        // Job 2 drained 6 s of its 10 s at rate 1/2 → 7 s left, alone now.
+        assert_eq!(cpu.next_completion(), Some(SimTime::from_secs(14)));
+    }
+
+    #[test]
+    fn remove_returns_remaining_work() {
+        let mut cpu: PsCpu<u32> = PsCpu::new(1, SimTime::ZERO);
+        cpu.add(1, SimDuration::from_secs(4));
+        cpu.advance(SimTime::from_secs(1));
+        let left = cpu.remove(1).unwrap();
+        assert!((left.as_secs_f64() - 3.0).abs() < 1e-9);
+        assert!(cpu.remove(1).is_none());
+    }
+
+    #[test]
+    fn delivered_accounts_all_jobs() {
+        let mut cpu: PsCpu<u32> = PsCpu::new(2, SimTime::ZERO);
+        cpu.add(1, SimDuration::from_secs(2));
+        cpu.add(2, SimDuration::from_secs(2));
+        cpu.advance(SimTime::from_secs(2));
+        assert!((cpu.delivered_core_seconds() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disk_array_serves_up_to_n_concurrently() {
+        let mut d: DiskArray<u32> = DiskArray::new(2);
+        let t0 = SimTime::ZERO;
+        assert_eq!(d.request(t0, 1, SimDuration::from_secs(1)), Some(SimTime::from_secs(1)));
+        assert_eq!(d.request(t0, 2, SimDuration::from_secs(2)), Some(SimTime::from_secs(2)));
+        // Third request queues.
+        assert_eq!(d.request(t0, 3, SimDuration::from_secs(3)), None);
+        assert_eq!(d.busy(), 2);
+        assert_eq!(d.queued(), 1);
+        // First completion dequeues job 3.
+        let (id, t) = d.complete(SimTime::from_secs(1)).unwrap();
+        assert_eq!(id, 3);
+        assert_eq!(t, SimTime::from_secs(4));
+        assert_eq!(d.queued(), 0);
+        // Later completions find an empty queue.
+        assert!(d.complete(SimTime::from_secs(2)).is_none());
+        assert!(d.complete(SimTime::from_secs(4)).is_none());
+        assert_eq!(d.busy(), 0);
+    }
+
+    #[test]
+    fn disk_queue_is_fifo() {
+        let mut d: DiskArray<u32> = DiskArray::new(1);
+        let t0 = SimTime::ZERO;
+        d.request(t0, 1, SimDuration::from_secs(1));
+        assert!(d.request(t0, 2, SimDuration::from_secs(1)).is_none());
+        assert!(d.request(t0, 3, SimDuration::from_secs(1)).is_none());
+        let (a, _) = d.complete(SimTime::from_secs(1)).unwrap();
+        let (b, _) = d.complete(SimTime::from_secs(2)).unwrap();
+        assert_eq!((a, b), (2, 3));
+        assert_eq!(d.peak_queue(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "no busy disk")]
+    fn completing_idle_disk_panics() {
+        let mut d: DiskArray<u32> = DiskArray::new(1);
+        let _ = d.complete(SimTime::ZERO);
+    }
+}

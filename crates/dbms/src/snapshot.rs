@@ -1,0 +1,155 @@
+//! The DBMS snapshot monitor.
+//!
+//! The paper monitors the (un-intercepted) OLTP class through the DB2 UDB
+//! snapshot monitor, which "records the execution time of the most recently
+//! finished query for a client"; the controller samples it at a fixed
+//! interval and averages the samples (§3.3).
+//!
+//! [`SnapshotRegistry`] keeps that per-client register. Taking a snapshot is
+//! *not* free — the engine charges CPU overhead per monitored client, which
+//! is what makes the sampling-interval trade-off of §3.3 real.
+
+use crate::query::{ClassId, ClientId, QueryKind, QueryRecord};
+use qsched_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The most recent completion observed for one client.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClientSample {
+    /// The client.
+    pub client: ClientId,
+    /// Class of the finished query.
+    pub class: ClassId,
+    /// Kind of the finished query.
+    pub kind: QueryKind,
+    /// Execution time of the most recently finished query.
+    pub execution_time: SimDuration,
+    /// Response time of the most recently finished query.
+    pub response_time: SimDuration,
+    /// When that query finished.
+    pub finished_at: SimTime,
+}
+
+/// Per-client "most recently finished query" registers.
+#[derive(Debug, Clone, Default)]
+pub struct SnapshotRegistry {
+    latest: BTreeMap<ClientId, ClientSample>,
+}
+
+impl SnapshotRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a completion (called by the engine for every finished query).
+    pub fn record(&mut self, rec: &QueryRecord) {
+        self.latest.insert(
+            rec.client,
+            ClientSample {
+                client: rec.client,
+                class: rec.class,
+                kind: rec.kind,
+                execution_time: rec.execution_time(),
+                response_time: rec.response_time(),
+                finished_at: rec.finished,
+            },
+        );
+    }
+
+    /// Read every client register, in client order (deterministic).
+    pub fn samples(&self) -> impl Iterator<Item = &ClientSample> {
+        self.latest.values()
+    }
+
+    /// Read the registers of clients whose last query belonged to `class`.
+    pub fn samples_of_class(&self, class: ClassId) -> impl Iterator<Item = &ClientSample> + '_ {
+        self.latest.values().filter(move |s| s.class == class)
+    }
+
+    /// Number of clients with a register.
+    pub fn client_count(&self) -> usize {
+        self.latest.len()
+    }
+
+    /// Average response time across the registers of `class`, ignoring
+    /// samples that finished before `not_before` (stale registers from a
+    /// previous control interval would bias the average). `None` when no
+    /// fresh sample exists.
+    pub fn avg_response_time(
+        &self,
+        class: ClassId,
+        not_before: SimTime,
+    ) -> Option<SimDuration> {
+        let mut n = 0u64;
+        let mut sum = 0.0;
+        for s in self.samples_of_class(class) {
+            if s.finished_at >= not_before {
+                n += 1;
+                sum += s.response_time.as_secs_f64();
+            }
+        }
+        if n == 0 {
+            None
+        } else {
+            Some(SimDuration::from_secs_f64(sum / n as f64))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::Timerons;
+    use crate::query::QueryId;
+
+    fn rec(client: u32, class: u16, submit: u64, finish: u64) -> QueryRecord {
+        QueryRecord {
+            id: QueryId(u64::from(client) * 1000 + finish),
+            client: ClientId(client),
+            class: ClassId(class),
+            kind: QueryKind::Oltp,
+            template: 0,
+            estimated_cost: Timerons::new(50.0),
+            submitted: SimTime::from_secs(submit),
+            admitted: SimTime::from_secs(submit),
+            finished: SimTime::from_secs(finish),
+        }
+    }
+
+    #[test]
+    fn keeps_only_latest_per_client() {
+        let mut reg = SnapshotRegistry::new();
+        reg.record(&rec(1, 3, 0, 2));
+        reg.record(&rec(1, 3, 2, 10));
+        assert_eq!(reg.client_count(), 1);
+        let s = reg.samples().next().unwrap();
+        assert_eq!(s.response_time, SimDuration::from_secs(8));
+    }
+
+    #[test]
+    fn averages_only_fresh_samples_of_class() {
+        let mut reg = SnapshotRegistry::new();
+        reg.record(&rec(1, 3, 0, 2)); // resp 2 s, finished t=2
+        reg.record(&rec(2, 3, 0, 6)); // resp 6 s, finished t=6
+        reg.record(&rec(3, 1, 0, 100)); // other class
+        let avg = reg.avg_response_time(ClassId(3), SimTime::ZERO).unwrap();
+        assert!((avg.as_secs_f64() - 4.0).abs() < 1e-9);
+        // Only the t=6 sample is fresh after t=5.
+        let avg = reg.avg_response_time(ClassId(3), SimTime::from_secs(5)).unwrap();
+        assert!((avg.as_secs_f64() - 6.0).abs() < 1e-9);
+        // Nothing fresh after t=50.
+        assert!(reg.avg_response_time(ClassId(3), SimTime::from_secs(50)).is_none());
+    }
+
+    #[test]
+    fn samples_iterate_in_client_order() {
+        let mut reg = SnapshotRegistry::new();
+        for c in [4u32, 1, 3] {
+            reg.record(&rec(c, 3, 0, 1));
+        }
+        let order: Vec<u32> = reg.samples().map(|s| s.client.0).collect();
+        assert_eq!(order, vec![1, 3, 4]);
+    }
+}

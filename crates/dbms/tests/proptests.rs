@@ -1,0 +1,209 @@
+//! Property-based tests of the DBMS substrate: the weighted
+//! processor-sharing CPU conserves work, the disk array never overcommits,
+//! and whole-engine runs complete every submitted query exactly once.
+
+use proptest::prelude::*;
+use qsched_dbms::engine::{Dbms, DbmsEvent, DbmsNotice};
+use qsched_dbms::patroller::InterceptPolicy;
+use qsched_dbms::query::{ClassId, ClientId, ExecShape, Query, QueryId, QueryKind};
+use qsched_dbms::resource::{DiskArray, PsCpu};
+use qsched_dbms::{DbmsConfig, Timerons};
+use qsched_sim::{Ctx, Engine, SimDuration, SimTime, World};
+
+proptest! {
+    /// Weighted PS conserves work: running any job set to completion
+    /// delivers exactly the total submitted core-seconds.
+    #[test]
+    fn ps_cpu_conserves_work(
+        jobs in prop::collection::vec((1.0f64..20.0, 1u64..5_000), 1..40),
+        cores in 1u32..8,
+    ) {
+        let mut cpu: PsCpu<usize> = PsCpu::new(cores, SimTime::ZERO);
+        let mut total_ms = 0u64;
+        for (i, &(w, ms)) in jobs.iter().enumerate() {
+            cpu.add_weighted(i, w, SimDuration::from_millis(ms));
+            total_ms += ms;
+        }
+        let mut done = Vec::new();
+        let mut guard = 0;
+        while !cpu.is_empty() {
+            let next = cpu.next_completion().expect("busy CPU has a completion");
+            cpu.advance(next);
+            cpu.take_finished(&mut done);
+            guard += 1;
+            prop_assert!(guard < 10_000, "completion loop diverged");
+        }
+        prop_assert_eq!(done.len(), jobs.len());
+        let delivered = cpu.delivered_core_seconds();
+        let expected = total_ms as f64 / 1e3;
+        prop_assert!(
+            (delivered - expected).abs() < 1e-3 * (1.0 + expected),
+            "delivered {delivered} vs submitted {expected}"
+        );
+    }
+
+    /// Under weighted PS, heavier-weight jobs of equal size never finish
+    /// after lighter ones that arrived together.
+    #[test]
+    fn ps_cpu_weight_orders_equal_jobs(w_light in 1.0f64..5.0, extra in 0.1f64..10.0) {
+        let mut cpu: PsCpu<u8> = PsCpu::new(2, SimTime::ZERO);
+        cpu.add_weighted(0, w_light, SimDuration::from_secs(1));
+        cpu.add_weighted(1, w_light + extra, SimDuration::from_secs(1));
+        let mut done = Vec::new();
+        let next = cpu.next_completion().unwrap();
+        cpu.advance(next);
+        cpu.take_finished(&mut done);
+        prop_assert!(done.contains(&1), "the heavier job must finish first, got {done:?}");
+    }
+
+    /// The disk array serves at most `n` bursts concurrently and completes
+    /// exactly as many bursts as were requested.
+    #[test]
+    fn disk_array_never_overcommits(
+        services in prop::collection::vec(1u64..100, 1..100),
+        n_disks in 1u32..20,
+    ) {
+        let mut d: DiskArray<usize> = DiskArray::new(n_disks);
+        let mut pending: Vec<(usize, SimTime)> = Vec::new();
+        let mut completed = 0usize;
+        let mut now = SimTime::ZERO;
+        for (i, &svc) in services.iter().enumerate() {
+            prop_assert!(d.busy() <= n_disks as usize);
+            if let Some(end) = d.request(now, i, SimDuration::from_millis(svc)) {
+                pending.push((i, end));
+            }
+            // Complete the earliest pending burst half the time.
+            if i % 2 == 0 && !pending.is_empty() {
+                pending.sort_by_key(|&(_, t)| t);
+                let (_, end) = pending.remove(0);
+                now = now.max(end);
+                completed += 1;
+                if let Some((id, t)) = d.complete(now) {
+                    pending.push((id, t));
+                }
+            }
+        }
+        while !pending.is_empty() {
+            pending.sort_by_key(|&(_, t)| t);
+            let (_, end) = pending.remove(0);
+            now = now.max(end);
+            completed += 1;
+            if let Some((id, t)) = d.complete(now) {
+                pending.push((id, t));
+            }
+        }
+        prop_assert_eq!(completed, services.len());
+        prop_assert_eq!(d.busy(), 0);
+        prop_assert_eq!(d.queued(), 0);
+    }
+
+    /// Timeron arithmetic: sums are order-independent up to float tolerance,
+    /// and saturating subtraction never goes negative.
+    #[test]
+    fn timeron_arithmetic(xs in prop::collection::vec(0.0f64..1e6, 1..50), y in 0.0f64..1e6) {
+        let fwd: Timerons = xs.iter().map(|&v| Timerons::new(v)).sum();
+        let rev: Timerons = xs.iter().rev().map(|&v| Timerons::new(v)).sum();
+        prop_assert!((fwd.get() - rev.get()).abs() < 1e-6 * (1.0 + fwd.get()));
+        let a = Timerons::new(y);
+        prop_assert!(a.saturating_sub(fwd).get() >= 0.0);
+        prop_assert!(fwd.saturating_sub(a).get() >= 0.0);
+    }
+}
+
+/// Whole-engine property: every submitted query completes exactly once, with
+/// a consistent lifecycle, regardless of the (arbitrary) mix of shapes.
+#[derive(Default)]
+struct Sink {
+    dbms: Option<Dbms>,
+    completed: Vec<QueryId>,
+    to_submit: Vec<Query>,
+}
+
+enum Ev {
+    Kick,
+    Db(DbmsEvent),
+}
+
+impl From<DbmsEvent> for Ev {
+    fn from(e: DbmsEvent) -> Self {
+        Ev::Db(e)
+    }
+}
+
+impl World for Sink {
+    type Event = Ev;
+    fn handle(&mut self, ctx: &mut Ctx<'_, Ev>, ev: Ev) {
+        let mut dbms = self.dbms.take().expect("dbms present");
+        let mut out = Vec::new();
+        match ev {
+            Ev::Kick => {
+                for q in self.to_submit.drain(..) {
+                    dbms.submit(ctx, q, &mut out);
+                }
+            }
+            Ev::Db(e) => dbms.handle(ctx, e, &mut out),
+        }
+        for n in out {
+            match n {
+                DbmsNotice::Completed(rec) => {
+                    assert!(rec.finished >= rec.admitted);
+                    assert!(rec.admitted >= rec.submitted);
+                    self.completed.push(rec.id);
+                }
+                DbmsNotice::Intercepted(row) => {
+                    // Not intercepting in this test world.
+                    panic!("unexpected interception of {:?}", row.id);
+                }
+                DbmsNotice::Rejected(row) => {
+                    panic!("unexpected rejection of {:?}", row.id);
+                }
+            }
+        }
+        self.dbms = Some(dbms);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn engine_completes_every_query_once(
+        specs in prop::collection::vec(
+            (1u64..2_000, 0u64..2_000, 1u32..8, 1.0f64..10.0),
+            1..30,
+        ),
+    ) {
+        let queries: Vec<Query> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, &(cpu_ms, io_ms, cycles, weight))| Query {
+                id: QueryId(i as u64),
+                client: ClientId(i as u32),
+                class: ClassId(1),
+                kind: if cpu_ms > io_ms { QueryKind::Oltp } else { QueryKind::Olap },
+                template: 0,
+                estimated_cost: Timerons::new(100.0),
+                true_cost: Timerons::new(100.0),
+                shape: ExecShape::new(
+                    SimDuration::from_millis(cpu_ms),
+                    SimDuration::from_millis(io_ms),
+                    cycles,
+                )
+                .with_weight(weight),
+            })
+            .collect();
+        let n = queries.len();
+        let dbms = Dbms::new(DbmsConfig::default(), InterceptPolicy::intercept_none(), SimTime::ZERO);
+        let mut engine = Engine::new(Sink { dbms: Some(dbms), completed: Vec::new(), to_submit: queries });
+        engine.schedule_at(SimTime::ZERO, Ev::Kick);
+        engine.run();
+        let world = engine.into_world();
+        prop_assert_eq!(world.completed.len(), n, "every query completes");
+        let mut ids: Vec<u64> = world.completed.iter().map(|q| q.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), n, "no query completes twice");
+        let dbms = world.dbms.expect("dbms");
+        prop_assert_eq!(dbms.executing_count(), 0);
+        prop_assert!(dbms.admitted_true_cost().abs() < 1e-6);
+    }
+}

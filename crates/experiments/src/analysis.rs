@@ -1,0 +1,274 @@
+//! Cross-run analysis: seed sensitivity and controller comparisons.
+//!
+//! The paper reports a single 24-hour run per controller. The simulator is
+//! cheap enough to replicate each figure across seeds, so the harness can
+//! report means and spreads — and verify that the paper's qualitative
+//! ordering is not a single-seed artefact.
+
+use crate::chart::render_table;
+use crate::config::ExperimentConfig;
+use crate::figures::run_parallel;
+use qsched_dbms::query::{ClassId, QueryKind, QueryRecord};
+use qsched_sim::stats::Welford;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Per-controller aggregate across seeds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SeedStats {
+    /// Controller name.
+    pub controller: String,
+    /// Seeds replicated.
+    pub seeds: Vec<u64>,
+    /// Mean OLTP-goal violations per run (out of the schedule's periods).
+    pub mean_oltp_violations: f64,
+    /// Min/max OLTP-goal violations across seeds.
+    pub oltp_violations_range: (usize, usize),
+    /// Mean fraction of periods with class 2 ≥ class 1 velocity.
+    pub mean_differentiation: f64,
+    /// Mean OLTP completions per run.
+    pub mean_oltp_completed: f64,
+}
+
+/// Replicate one experiment across seeds and aggregate the headline metrics.
+///
+/// `base.seed` is ignored; each seed in `seeds` produces one run. Runs
+/// execute in parallel.
+pub fn seed_sensitivity(base: &ExperimentConfig, seeds: &[u64]) -> SeedStats {
+    assert!(!seeds.is_empty(), "need at least one seed");
+    let oltp_class = base
+        .classes
+        .iter()
+        .find(|c| c.kind == qsched_dbms::query::QueryKind::Oltp)
+        .map(|c| c.id)
+        .unwrap_or(ClassId(3));
+    let configs: Vec<ExperimentConfig> = seeds
+        .iter()
+        .map(|&seed| ExperimentConfig { seed, ..base.clone() })
+        .collect();
+    let outs = run_parallel(configs);
+
+    let mut violations = Welford::new();
+    let mut differentiation = Welford::new();
+    let mut completed = Welford::new();
+    let mut lo = usize::MAX;
+    let mut hi = 0usize;
+    for out in &outs {
+        let v = out.report.violations(oltp_class);
+        violations.push(v as f64);
+        lo = lo.min(v);
+        hi = hi.max(v);
+        differentiation.push(out.report.differentiation_fraction(ClassId(2), ClassId(1), 1));
+        completed.push(out.summary.oltp_completed as f64);
+    }
+    SeedStats {
+        controller: base.controller.name().to_string(),
+        seeds: seeds.to_vec(),
+        mean_oltp_violations: violations.mean(),
+        oltp_violations_range: (lo, hi),
+        mean_differentiation: differentiation.mean(),
+        mean_oltp_completed: completed.mean(),
+    }
+}
+
+/// Render a comparison table of several [`SeedStats`].
+pub fn render_seed_stats(title: &str, stats: &[SeedStats]) -> String {
+    let rows: Vec<Vec<String>> = stats
+        .iter()
+        .map(|s| {
+            vec![
+                s.controller.clone(),
+                format!("{:.1}", s.mean_oltp_violations),
+                format!("{}..{}", s.oltp_violations_range.0, s.oltp_violations_range.1),
+                format!("{:.0}%", 100.0 * s.mean_differentiation),
+                format!("{:.0}", s.mean_oltp_completed),
+            ]
+        })
+        .collect();
+    render_table(
+        title,
+        &["controller", "c3 viol (mean)", "range", "c2>=c1", "oltp done (mean)"],
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ControllerSpec;
+    use crate::figures::{figure_controller, main_config};
+    use qsched_dbms::Timerons;
+
+    #[test]
+    fn aggregates_across_seeds() {
+        let base = main_config(0, figure_controller(4), 0.01);
+        let stats = seed_sensitivity(&base, &[1, 2, 3]);
+        assert_eq!(stats.seeds, vec![1, 2, 3]);
+        assert_eq!(stats.controller, "no-control");
+        assert!(stats.mean_oltp_violations >= stats.oltp_violations_range.0 as f64);
+        assert!(stats.mean_oltp_violations <= stats.oltp_violations_range.1 as f64);
+        assert!(stats.mean_oltp_completed > 0.0);
+        let table = render_seed_stats("demo", &[stats]);
+        assert!(table.contains("no-control"));
+    }
+
+    #[test]
+    fn qualitative_ordering_is_seed_stable_at_small_scale() {
+        // Even at 1 % scale, QS should not lose to no-control on average.
+        let seeds = [11u64, 22, 33];
+        let nc = seed_sensitivity(&main_config(0, figure_controller(4), 0.02), &seeds);
+        let qs = seed_sensitivity(&main_config(0, figure_controller(6), 0.02), &seeds);
+        assert!(
+            qs.mean_oltp_violations <= nc.mean_oltp_violations,
+            "QS {} vs no-control {}",
+            qs.mean_oltp_violations,
+            nc.mean_oltp_violations
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one seed")]
+    fn empty_seed_list_panics() {
+        let base = main_config(
+            0,
+            ControllerSpec::NoControl { system_limit: Timerons::new(30_000.0) },
+            0.01,
+        );
+        let _ = seed_sensitivity(&base, &[]);
+    }
+}
+
+/// Per-template aggregate over retained completion records.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TemplateStats {
+    /// Workload template index (TPC-H query number / TPC-C type).
+    pub template: u16,
+    /// OLAP or OLTP.
+    pub kind: QueryKind,
+    /// Completions observed.
+    pub count: u64,
+    /// Mean estimated cost (timerons).
+    pub mean_cost: f64,
+    /// Mean execution time (seconds).
+    pub mean_execution_secs: f64,
+    /// Mean response time (seconds).
+    pub mean_response_secs: f64,
+    /// Mean query velocity.
+    pub mean_velocity: f64,
+}
+
+/// Group retained records by template — the anatomy of the workload
+/// (requires `ExperimentConfig::record_sample` to have been set).
+pub fn per_template_stats(records: &[QueryRecord]) -> Vec<TemplateStats> {
+    #[derive(Default)]
+    struct Acc {
+        cost: Welford,
+        exec: Welford,
+        resp: Welford,
+        vel: Welford,
+    }
+    // TPC-H query numbers and TPC-C type ids overlap, so the key must
+    // include the kind.
+    let mut by_template: BTreeMap<(QueryKind, u16), Acc> = BTreeMap::new();
+    for r in records {
+        let a = by_template.entry((r.kind, r.template)).or_default();
+        a.cost.push(r.estimated_cost.get());
+        a.exec.push(r.execution_time().as_secs_f64());
+        a.resp.push(r.response_time().as_secs_f64());
+        a.vel.push(r.velocity());
+    }
+    by_template
+        .into_iter()
+        .map(|((kind, template), a)| TemplateStats {
+            template,
+            kind,
+            count: a.cost.count(),
+            mean_cost: a.cost.mean(),
+            mean_execution_secs: a.exec.mean(),
+            mean_response_secs: a.resp.mean(),
+            mean_velocity: a.vel.mean(),
+        })
+        .collect()
+}
+
+/// Render per-template stats as a table, most expensive templates first.
+pub fn render_template_stats(title: &str, stats: &[TemplateStats]) -> String {
+    let mut sorted: Vec<&TemplateStats> = stats.iter().collect();
+    sorted.sort_by(|a, b| b.mean_cost.partial_cmp(&a.mean_cost).expect("finite"));
+    let rows: Vec<Vec<String>> = sorted
+        .iter()
+        .map(|t| {
+            vec![
+                format!(
+                    "{}{}",
+                    if t.kind == QueryKind::Olap { "TPC-H Q" } else { "TPC-C #" },
+                    t.template
+                ),
+                t.count.to_string(),
+                format!("{:.0}", t.mean_cost),
+                format!("{:.3}", t.mean_execution_secs),
+                format!("{:.3}", t.mean_response_secs),
+                format!("{:.2}", t.mean_velocity),
+            ]
+        })
+        .collect();
+    render_table(
+        title,
+        &["template", "n", "cost(tm)", "exec(s)", "resp(s)", "velocity"],
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod template_tests {
+    use super::*;
+    use qsched_dbms::query::{ClientId, QueryId};
+    use qsched_dbms::Timerons;
+    use qsched_sim::SimTime;
+
+    fn rec(template: u16, cost: f64, exec_s: u64) -> QueryRecord {
+        QueryRecord {
+            id: QueryId(u64::from(template) * 100 + exec_s),
+            client: ClientId(0),
+            class: ClassId(1),
+            kind: QueryKind::Olap,
+            template,
+            estimated_cost: Timerons::new(cost),
+            submitted: SimTime::ZERO,
+            admitted: SimTime::ZERO,
+            finished: SimTime::from_secs(exec_s),
+        }
+    }
+
+    #[test]
+    fn groups_by_template_and_sorts_by_cost() {
+        let records =
+            vec![rec(1, 5_000.0, 4), rec(1, 5_200.0, 6), rec(9, 7_400.0, 8), rec(2, 900.0, 1)];
+        let stats = per_template_stats(&records);
+        assert_eq!(stats.len(), 3);
+        let q1 = stats.iter().find(|t| t.template == 1).unwrap();
+        assert_eq!(q1.count, 2);
+        assert!((q1.mean_execution_secs - 5.0).abs() < 1e-9);
+        let table = render_template_stats("anatomy", &stats);
+        // Q9 (most expensive) must be listed before Q2.
+        let q9_pos = table.find("TPC-H Q9").unwrap();
+        let q2_pos = table.find("TPC-H Q2").unwrap();
+        assert!(q9_pos < q2_pos);
+    }
+
+    #[test]
+    fn empty_records_give_empty_stats() {
+        assert!(per_template_stats(&[]).is_empty());
+    }
+
+    #[test]
+    fn colliding_template_ids_stay_separated_by_kind() {
+        let mut oltp = rec(1, 60.0, 1);
+        oltp.kind = QueryKind::Oltp;
+        let olap = rec(1, 5_000.0, 4);
+        let stats = per_template_stats(&[oltp, olap]);
+        assert_eq!(stats.len(), 2, "TPC-H Q1 and TPC-C #1 must not merge");
+        assert!(stats.iter().any(|t| t.kind == QueryKind::Oltp && t.mean_cost < 100.0));
+        assert!(stats.iter().any(|t| t.kind == QueryKind::Olap && t.mean_cost > 1_000.0));
+    }
+}

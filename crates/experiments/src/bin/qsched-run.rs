@@ -1,0 +1,234 @@
+//! `qsched-run` — run an experiment described by a JSON configuration file.
+//!
+//! ```sh
+//! # Emit a template config, edit it, then run it:
+//! qsched-run template > my-experiment.json
+//! qsched-run my-experiment.json
+//! qsched-run my-experiment.json --csv results.csv --json results.json
+//! qsched-run my-experiment.json --trace recorded.csv   # replay a trace
+//!
+//! # Run several configs (in parallel) and print a comparison table:
+//! qsched-run compare a.json b.json c.json
+//! ```
+//!
+//! The config file is a serialized
+//! [`ExperimentConfig`](qsched_experiments::config::ExperimentConfig); every
+//! knob of the simulated DBMS, the workload schedule, the service classes
+//! and the controller is available.
+
+use qsched_experiments::chart::{render_csv, render_table};
+use qsched_experiments::config::{ControllerSpec, ExperimentConfig};
+use qsched_experiments::figures::{render_main_report, run_parallel};
+use qsched_experiments::world::run_experiment;
+use std::io::Write;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  qsched-run template              print a template config to stdout\n  \
+         qsched-run <config.json> [--csv <out.csv>] [--json <out.json>] [--trace <in.csv>]\n  \
+         qsched-run compare <a.json> <b.json> [...]   run configs in parallel, compare"
+    );
+    ExitCode::FAILURE
+}
+
+fn load(path: &str) -> Result<ExperimentConfig, String> {
+    let raw = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    serde_json::from_str(&raw).map_err(|e| format!("invalid config {path}: {e}"))
+}
+
+fn compare(paths: &[String]) -> ExitCode {
+    if paths.is_empty() {
+        return usage();
+    }
+    let mut configs = Vec::new();
+    for p in paths {
+        match load(p) {
+            Ok(c) => configs.push(c),
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let outs = run_parallel(configs.clone());
+    let rows: Vec<Vec<String>> = paths
+        .iter()
+        .zip(&outs)
+        .map(|(path, out)| {
+            let mut violations = Vec::new();
+            for class in &out.report.classes {
+                violations.push(format!(
+                    "{}:{}",
+                    class.id,
+                    out.report.violations(class.id)
+                ));
+            }
+            vec![
+                path.clone(),
+                out.report.controller.clone(),
+                violations.join(" "),
+                out.summary.olap_completed.to_string(),
+                out.summary.oltp_completed.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "comparison (goal violations per class; periods vary per config)",
+            &["config", "controller", "violations", "olap done", "oltp done"],
+            &rows,
+        )
+    );
+    ExitCode::SUCCESS
+}
+
+fn template() -> ExperimentConfig {
+    ExperimentConfig::paper(
+        42,
+        ControllerSpec::QueryScheduler(qsched_core::scheduler::SchedulerConfig::default()),
+    )
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(first) = args.first() else {
+        return usage();
+    };
+    if first == "template" {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&template()).expect("template serializes")
+        );
+        return ExitCode::SUCCESS;
+    }
+    if first == "compare" {
+        return compare(&args[1..]);
+    }
+    if first.starts_with('-') {
+        return usage();
+    }
+
+    let mut csv_out: Option<String> = None;
+    let mut json_out: Option<String> = None;
+    let mut trace_in: Option<String> = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--csv" if i + 1 < args.len() => {
+                csv_out = Some(args[i + 1].clone());
+                i += 2;
+            }
+            "--json" if i + 1 < args.len() => {
+                json_out = Some(args[i + 1].clone());
+                i += 2;
+            }
+            "--trace" if i + 1 < args.len() => {
+                trace_in = Some(args[i + 1].clone());
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                return usage();
+            }
+        }
+    }
+
+    let mut cfg = match load(first) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(path) = trace_in {
+        let raw = match std::fs::read_to_string(&path) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("cannot read trace {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match qsched_workload::Trace::from_csv(&raw) {
+            Ok(t) => {
+                println!("replaying {} arrivals from {path}", t.len());
+                cfg.trace = Some(t);
+            }
+            Err(e) => {
+                eprintln!("invalid trace {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let started = std::time::Instant::now();
+    let out = run_experiment(&cfg);
+    println!(
+        "{}",
+        render_main_report(
+            &format!("{} (seed {})", out.report.controller, cfg.seed),
+            &out.report
+        )
+    );
+    println!(
+        "completions: {} OLAP + {} OLTP over {:.1} virtual hours | wall {:?}",
+        out.summary.olap_completed,
+        out.summary.oltp_completed,
+        out.summary.hours,
+        started.elapsed()
+    );
+
+    if let Some(path) = csv_out {
+        let mut headers = vec!["period".to_string()];
+        for c in &out.report.classes {
+            for col in ["velocity", "mean_resp_s", "p95_resp_s", "completions"] {
+                headers.push(format!("{}_{col}", c.id));
+            }
+        }
+        let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+        let rows: Vec<Vec<String>> = (0..out.report.periods.len())
+            .map(|p| {
+                let mut row = vec![(p + 1).to_string()];
+                for c in &out.report.classes {
+                    match out.report.cell(p, c.id) {
+                        Some(cp) => {
+                            row.push(format!("{:.4}", cp.mean_velocity));
+                            row.push(format!("{:.4}", cp.mean_response_secs));
+                            row.push(format!("{:.4}", cp.p95_response_secs));
+                            row.push(cp.completions.to_string());
+                        }
+                        None => row.extend(["", "", "", "0"].map(String::from)),
+                    }
+                }
+                row
+            })
+            .collect();
+        match std::fs::File::create(&path)
+            .and_then(|mut f| f.write_all(render_csv(&header_refs, &rows).as_bytes()))
+        {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if let Some(path) = json_out {
+        let payload = serde_json::json!({
+            "config": cfg,
+            "report": out.report,
+            "summary": out.summary,
+        });
+        match std::fs::write(&path, serde_json::to_string_pretty(&payload).expect("serializes"))
+        {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,173 @@
+//! Plain-text output: aligned tables, CSV, and ASCII charts for the bench
+//! harness and examples.
+
+use std::fmt::Write as _;
+
+/// Render an aligned text table. `headers.len()` must equal each row's width.
+pub fn render_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), headers.len(), "ragged table row");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title} ==");
+    let mut line = String::new();
+    for (h, w) in headers.iter().zip(&widths) {
+        let _ = write!(line, "{h:>w$}  ", w = w);
+    }
+    let _ = writeln!(out, "{}", line.trim_end());
+    let _ = writeln!(out, "{}", "-".repeat(line.trim_end().len()));
+    for row in rows {
+        let mut line = String::new();
+        for (cell, w) in row.iter().zip(&widths) {
+            let _ = write!(line, "{cell:>w$}  ", w = w);
+        }
+        let _ = writeln!(out, "{}", line.trim_end());
+    }
+    out
+}
+
+/// Render rows as CSV (simple quoting: fields containing commas or quotes
+/// are quoted with doubled inner quotes).
+pub fn render_csv(headers: &[&str], rows: &[Vec<String>]) -> String {
+    fn field(s: &str) -> String {
+        if s.contains(',') || s.contains('"') || s.contains('\n') {
+            format!("\"{}\"", s.replace('"', "\"\""))
+        } else {
+            s.to_string()
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", headers.iter().map(|h| field(h)).collect::<Vec<_>>().join(","));
+    for row in rows {
+        let _ =
+            writeln!(out, "{}", row.iter().map(|c| field(c)).collect::<Vec<_>>().join(","));
+    }
+    out
+}
+
+/// A simple ASCII chart of one or more named series over a shared x axis.
+/// Each series is drawn with its own glyph; y is auto-scaled.
+pub fn render_chart(
+    title: &str,
+    x_label: &str,
+    series: &[(&str, Vec<(f64, f64)>)],
+    height: usize,
+) -> String {
+    const GLYPHS: [char; 6] = ['*', 'o', '+', 'x', '#', '@'];
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title} ==");
+    let points: Vec<&(f64, f64)> = series.iter().flat_map(|(_, p)| p).collect();
+    if points.is_empty() {
+        let _ = writeln!(out, "(no data)");
+        return out;
+    }
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &&(x, y) in &points {
+        x_min = x_min.min(x);
+        x_max = x_max.max(x);
+        y_min = y_min.min(y);
+        y_max = y_max.max(y);
+    }
+    if (y_max - y_min).abs() < 1e-12 {
+        y_max = y_min + 1.0;
+    }
+    if (x_max - x_min).abs() < 1e-12 {
+        x_max = x_min + 1.0;
+    }
+    let width = 72usize;
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, (_, pts)) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for &(x, y) in pts {
+            let cx = (((x - x_min) / (x_max - x_min)) * (width - 1) as f64).round() as usize;
+            let cy = (((y - y_min) / (y_max - y_min)) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - cy.min(height - 1);
+            grid[row][cx.min(width - 1)] = glyph;
+        }
+    }
+    for (i, row) in grid.iter().enumerate() {
+        let y_here = y_max - (y_max - y_min) * i as f64 / (height - 1) as f64;
+        let _ = writeln!(out, "{y_here:>10.3} |{}", row.iter().collect::<String>());
+    }
+    let _ = writeln!(out, "{:>10} +{}", "", "-".repeat(width));
+    let _ = writeln!(out, "{:>10}  {x_min:<10.1}{:>width$.1}", "", x_max, width = width - 10);
+    let _ = writeln!(out, "{:>10}  x: {x_label}", "");
+    for (si, (name, _)) in series.iter().enumerate() {
+        let _ = writeln!(out, "{:>10}  {} = {name}", "", GLYPHS[si % GLYPHS.len()]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment_and_headers() {
+        let t = render_table(
+            "demo",
+            &["period", "value"],
+            &[
+                vec!["1".into(), "0.25".into()],
+                vec!["10".into(), "123.5".into()],
+            ],
+        );
+        assert!(t.contains("== demo =="));
+        assert!(t.contains("period"));
+        assert!(t.contains("123.5"));
+        // Right-aligned: "1" is padded to the width of "period".
+        let lines: Vec<&str> = t.lines().collect();
+        assert!(lines[2].starts_with('-'));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged table row")]
+    fn ragged_row_panics() {
+        let _ = render_table("x", &["a", "b"], &[vec!["1".into()]]);
+    }
+
+    #[test]
+    fn csv_quotes_when_needed() {
+        let c = render_csv(
+            &["name", "note"],
+            &[vec!["a,b".into(), "say \"hi\"".into()]],
+        );
+        assert!(c.contains("\"a,b\""));
+        assert!(c.contains("\"say \"\"hi\"\"\""));
+        assert!(c.starts_with("name,note\n"));
+    }
+
+    #[test]
+    fn chart_renders_all_series() {
+        let c = render_chart(
+            "velocities",
+            "period",
+            &[
+                ("class1", vec![(1.0, 0.3), (2.0, 0.5)]),
+                ("class2", vec![(1.0, 0.6), (2.0, 0.7)]),
+            ],
+            10,
+        );
+        assert!(c.contains('*'));
+        assert!(c.contains('o'));
+        assert!(c.contains("class1"));
+        assert!(c.contains("x: period"));
+    }
+
+    #[test]
+    fn empty_chart_is_graceful() {
+        let c = render_chart("nothing", "x", &[("s", vec![])], 5);
+        assert!(c.contains("(no data)"));
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let c = render_chart("flat", "x", &[("s", vec![(1.0, 5.0), (2.0, 5.0)])], 5);
+        assert!(c.contains('*'));
+    }
+}

@@ -1,0 +1,167 @@
+//! Experiment configuration.
+
+use qsched_core::scheduler::SchedulerConfig;
+use qsched_dbms::query::ClassId;
+use qsched_dbms::{DbmsConfig, Timerons};
+use qsched_workload::Schedule;
+use serde::{Deserialize, Serialize};
+
+/// Which controller to put in front of the DBMS.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ControllerSpec {
+    /// No interception at all (raw engine; used for calibration).
+    Uncontrolled,
+    /// §4.1.1 — only the system cost limit, one global FIFO pool.
+    NoControl {
+        /// The system cost limit.
+        system_limit: Timerons,
+    },
+    /// §4.1.2 — the static DB2 Query Patroller heuristic.
+    QpStatic {
+        /// The static overall cost limit.
+        system_limit: Timerons,
+        /// Order waiting queries by class priority.
+        priority: bool,
+        /// Reject queries estimated above this cost (QP max-cost rules).
+        #[serde(default)]
+        max_cost: Option<Timerons>,
+    },
+    /// §4.1.3 — the adaptive Query Scheduler.
+    QueryScheduler(SchedulerConfig),
+    /// MPL-based admission (Schroeder et al.): fixed per-OLAP-class caps.
+    MplStatic {
+        /// Maximum concurrently executing queries per OLAP class.
+        per_class_cap: u32,
+    },
+    /// Adaptive MPL control: same goals, query-count currency.
+    MplAdaptive(qsched_core::mpl::MplAdaptiveConfig),
+    /// Classic PI feedback control on the OLTP error signal.
+    PiFeedback(qsched_core::feedback::PiConfig),
+}
+
+impl ControllerSpec {
+    /// Short name for reports and CSV headers.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ControllerSpec::Uncontrolled => "uncontrolled",
+            ControllerSpec::NoControl { .. } => "no-control",
+            ControllerSpec::QpStatic { priority: true, .. } => "qp-priority",
+            ControllerSpec::QpStatic { priority: false, .. } => "qp-no-priority",
+            ControllerSpec::QueryScheduler(_) => "query-scheduler",
+            ControllerSpec::MplStatic { .. } => "mpl-static",
+            ControllerSpec::MplAdaptive(_) => "mpl-adaptive",
+            ControllerSpec::PiFeedback(_) => "pi-feedback",
+        }
+    }
+}
+
+/// A complete, self-contained experiment description. Everything a run
+/// needs flows from here, so runs are reproducible and can execute on any
+/// thread.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Master seed; all randomness derives from it.
+    pub seed: u64,
+    /// The simulated hardware.
+    pub dbms: DbmsConfig,
+    /// The client-count schedule. Column `i` drives `classes[i]`.
+    pub schedule: Schedule,
+    /// The service classes, in schedule-column order. OLAP classes get a
+    /// TPC-H-like generator; the OLTP class gets the TPC-C mix.
+    pub classes: Vec<qsched_core::class::ServiceClass>,
+    /// The controller under test.
+    pub controller: ControllerSpec,
+    /// Drop this many initial periods from aggregate summaries (warm-up).
+    pub warmup_periods: usize,
+    /// Retain raw completion records for post-hoc analysis: keep every Nth
+    /// OLTP record and every OLAP record (`None` = keep nothing; the
+    /// default — full retention of millions of OLTP rows is rarely useful).
+    #[serde(default)]
+    pub record_sample: Option<u32>,
+    /// Per-class client behaviour, in schedule-column order (`None` = the
+    /// paper's zero-think-time closed loops for every class).
+    #[serde(default)]
+    pub behaviors: Option<Vec<qsched_workload::Behavior>>,
+    /// Replay this trace instead of generating load from the schedule's
+    /// client counts (the schedule still defines the period grid used for
+    /// reporting, and the class list still defines goals).
+    #[serde(default)]
+    pub trace: Option<qsched_workload::Trace>,
+}
+
+impl ExperimentConfig {
+    /// The paper's main experiment with a given controller: Figure 3
+    /// schedule, the paper's three classes, default hardware.
+    pub fn paper(seed: u64, controller: ControllerSpec) -> Self {
+        ExperimentConfig {
+            seed,
+            dbms: DbmsConfig::default(),
+            schedule: Schedule::figure3(),
+            classes: qsched_core::class::ServiceClass::paper_classes(),
+            controller,
+            warmup_periods: 0,
+            record_sample: None,
+            behaviors: None,
+            trace: None,
+        }
+    }
+
+    /// The class ids, in schedule-column order.
+    pub fn class_ids(&self) -> Vec<ClassId> {
+        self.classes.iter().map(|c| c.id).collect()
+    }
+
+    /// Validate schedule/class alignment.
+    ///
+    /// # Panics
+    /// Panics if the schedule's class count differs from `classes`.
+    pub fn validate(&self) {
+        assert_eq!(
+            self.schedule.classes(),
+            self.classes.len(),
+            "schedule columns must match the class list"
+        );
+        if let Some(b) = &self.behaviors {
+            assert_eq!(b.len(), self.classes.len(), "one behavior per class");
+        }
+        for c in &self.classes {
+            c.validate();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_distinct() {
+        let specs = [
+            ControllerSpec::Uncontrolled,
+            ControllerSpec::NoControl { system_limit: Timerons::new(30_000.0) },
+            ControllerSpec::QpStatic { system_limit: Timerons::new(30_000.0), priority: true, max_cost: None },
+            ControllerSpec::QpStatic { system_limit: Timerons::new(30_000.0), priority: false, max_cost: None },
+            ControllerSpec::QueryScheduler(SchedulerConfig::default()),
+        ];
+        let names: std::collections::HashSet<_> = specs.iter().map(|s| s.name()).collect();
+        assert_eq!(names.len(), specs.len());
+    }
+
+    #[test]
+    fn paper_config_has_three_classes() {
+        let c = ExperimentConfig::paper(1, ControllerSpec::Uncontrolled);
+        assert_eq!(c.class_ids(), vec![ClassId(1), ClassId(2), ClassId(3)]);
+        assert_eq!(c.schedule.periods(), 18);
+    }
+
+    #[test]
+    fn config_round_trips_through_json() {
+        let c = ExperimentConfig::paper(
+            7,
+            ControllerSpec::QueryScheduler(SchedulerConfig::default()),
+        );
+        let s = serde_json::to_string(&c).unwrap();
+        let back: ExperimentConfig = serde_json::from_str(&s).unwrap();
+        assert_eq!(c, back);
+    }
+}

@@ -1,0 +1,29 @@
+//! # qsched-experiments
+//!
+//! The experiment harness: wires the simulated DBMS, the workload clients
+//! and a controller into one deterministic world, runs it, and aggregates
+//! per-period, per-class performance — regenerating every figure of the
+//! paper's evaluation (§4).
+//!
+//! * [`config`] — experiment configuration (seed, schedule, controller).
+//! * [`world`] — the composed simulation world and the run loop.
+//! * [`report`] — per-period/per-class aggregation and goal accounting.
+//! * [`figures`] — one function per paper figure (2–7) plus the system
+//!   cost-limit calibration curve of §2.
+//! * [`analysis`] — cross-run analysis: seed-sensitivity replication of the
+//!   headline comparisons.
+//! * [`chart`] — ASCII charts and CSV output for the bench harness.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod analysis;
+pub mod chart;
+pub mod config;
+pub mod figures;
+pub mod report;
+pub mod world;
+
+pub use config::{ControllerSpec, ExperimentConfig};
+pub use report::{ClassPeriod, RunReport};
+pub use world::run_experiment;

@@ -1,0 +1,342 @@
+//! Per-period, per-class performance aggregation — the data behind every
+//! results figure in the paper.
+
+use qsched_core::class::{Goal, ServiceClass};
+use qsched_dbms::query::{ClassId, QueryKind, QueryRecord};
+use qsched_sim::stats::{Histogram, Welford};
+use qsched_sim::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Aggregated performance of one class in one period.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClassPeriod {
+    /// Completions in the period.
+    pub completions: u64,
+    /// Mean query velocity of completions (meaningful for OLAP classes).
+    pub mean_velocity: f64,
+    /// Mean response time (seconds) of completions.
+    pub mean_response_secs: f64,
+    /// 95th-percentile response time (seconds), approximate.
+    pub p95_response_secs: f64,
+    /// Mean execution time (seconds) of completions.
+    pub mean_execution_secs: f64,
+}
+
+impl ClassPeriod {
+    /// The performance value the paper plots for this class: velocity for
+    /// OLAP classes, average response time for OLTP classes.
+    pub fn metric_for(&self, kind: QueryKind) -> f64 {
+        match kind {
+            QueryKind::Olap => self.mean_velocity,
+            QueryKind::Oltp => self.mean_response_secs,
+        }
+    }
+
+    /// Does this period's performance meet the class goal?
+    pub fn meets(&self, class: &ServiceClass) -> bool {
+        if self.completions == 0 {
+            // A silent period is treated as a violation for OLAP classes
+            // (queries were starved) and as met for OLTP (no demand).
+            return class.kind == QueryKind::Oltp;
+        }
+        match class.goal {
+            Goal::VelocityAtLeast(_) => class.goal.is_met(self.mean_velocity),
+            Goal::AvgResponseAtMost(_) => class.goal.is_met(self.mean_response_secs),
+        }
+    }
+}
+
+/// Online accumulator for one class in one period.
+#[derive(Debug, Clone)]
+struct Accum {
+    velocity: Welford,
+    response: Welford,
+    response_hist: Histogram,
+    execution: Welford,
+}
+
+impl Default for Accum {
+    fn default() -> Self {
+        Accum {
+            velocity: Welford::new(),
+            response: Welford::new(),
+            response_hist: Histogram::for_response_times(),
+            execution: Welford::new(),
+        }
+    }
+}
+
+impl Accum {
+    fn finish(&self) -> ClassPeriod {
+        ClassPeriod {
+            completions: self.velocity.count(),
+            mean_velocity: self.velocity.mean(),
+            mean_response_secs: self.response.mean(),
+            p95_response_secs: self.response_hist.quantile(0.95),
+            mean_execution_secs: self.execution.mean(),
+        }
+    }
+}
+
+/// Collects completion records into per-period, per-class aggregates.
+#[derive(Debug, Clone)]
+pub struct PeriodCollector {
+    period_len_us: u64,
+    n_periods: usize,
+    cells: Vec<BTreeMap<ClassId, Accum>>,
+}
+
+impl PeriodCollector {
+    /// A collector for `n_periods` periods of the given length.
+    pub fn new(period_len: qsched_sim::SimDuration, n_periods: usize) -> Self {
+        assert!(n_periods >= 1);
+        PeriodCollector {
+            period_len_us: period_len.as_micros(),
+            n_periods,
+            cells: vec![BTreeMap::new(); n_periods],
+        }
+    }
+
+    /// Record one completion (attributed to the period it finished in).
+    pub fn record(&mut self, rec: &QueryRecord) {
+        let p =
+            ((rec.finished.as_micros() / self.period_len_us) as usize).min(self.n_periods - 1);
+        let a = self.cells[p].entry(rec.class).or_default();
+        a.velocity.push(rec.velocity());
+        let resp = rec.response_time().as_secs_f64();
+        a.response.push(resp);
+        a.response_hist.record(resp);
+        a.execution.push(rec.execution_time().as_secs_f64());
+    }
+
+    /// Finalize into a report. The first `warmup_periods` periods are kept
+    /// in the data but excluded from goal accounting.
+    pub fn finish(
+        &self,
+        controller: &str,
+        classes: Vec<ServiceClass>,
+        finished_at: SimTime,
+        warmup_periods: usize,
+    ) -> RunReport {
+        let periods: Vec<BTreeMap<ClassId, ClassPeriod>> = self
+            .cells
+            .iter()
+            .map(|cell| {
+                cell.iter().map(|(&c, a)| (c, a.finish())).collect::<BTreeMap<_, _>>()
+            })
+            .collect();
+        let warmup_periods = warmup_periods.min(periods.len());
+        RunReport {
+            controller: controller.to_string(),
+            classes,
+            periods,
+            finished_at,
+            warmup_periods,
+        }
+    }
+}
+
+/// The result of one experiment run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Controller name.
+    pub controller: String,
+    /// The service classes (for goals and kinds).
+    pub classes: Vec<ServiceClass>,
+    /// `periods[p][class]` — aggregates per period.
+    pub periods: Vec<BTreeMap<ClassId, ClassPeriod>>,
+    /// Virtual time when the run ended.
+    pub finished_at: SimTime,
+    /// Leading periods excluded from goal accounting (still present in
+    /// `periods`).
+    #[serde(default)]
+    pub warmup_periods: usize,
+}
+
+impl RunReport {
+    /// The class definition for `id`.
+    pub fn class(&self, id: ClassId) -> Option<&ServiceClass> {
+        self.classes.iter().find(|c| c.id == id)
+    }
+
+    /// The per-period cell, if the class completed anything that period.
+    pub fn cell(&self, period: usize, class: ClassId) -> Option<&ClassPeriod> {
+        self.periods.get(period)?.get(&class)
+    }
+
+    /// The paper's plotted metric for `(period, class)`; `None` for silent
+    /// periods.
+    pub fn metric(&self, period: usize, class: ClassId) -> Option<f64> {
+        let kind = self.class(class)?.kind;
+        self.cell(period, class).map(|c| c.metric_for(kind))
+    }
+
+    /// Number of post-warm-up periods in which `class` violated its goal.
+    pub fn violations(&self, class: ClassId) -> usize {
+        self.violated_periods(class).len()
+    }
+
+    /// Post-warm-up periods (0-based) in which `class` violated its goal.
+    pub fn violated_periods(&self, class: ClassId) -> Vec<usize> {
+        let Some(sc) = self.class(class) else { return Vec::new() };
+        self.periods
+            .iter()
+            .enumerate()
+            .skip(self.warmup_periods)
+            .filter(|(_, cell)| match cell.get(&class) {
+                Some(cp) => !cp.meets(sc),
+                None => sc.kind == QueryKind::Olap,
+            })
+            .map(|(p, _)| p)
+            .collect()
+    }
+
+    /// Total completions of a class across all periods.
+    pub fn total_completions(&self, class: ClassId) -> u64 {
+        self.periods
+            .iter()
+            .filter_map(|cell| cell.get(&class))
+            .map(|c| c.completions)
+            .sum()
+    }
+
+    /// Fraction of periods (from `skip` onward) in which class 2 outperforms
+    /// class 1 on velocity — the paper's differentiated-service check.
+    pub fn differentiation_fraction(&self, hi: ClassId, lo: ClassId, skip: usize) -> f64 {
+        let mut better = 0usize;
+        let mut counted = 0usize;
+        for p in skip..self.periods.len() {
+            if let (Some(a), Some(b)) = (self.cell(p, hi), self.cell(p, lo)) {
+                counted += 1;
+                if a.mean_velocity >= b.mean_velocity {
+                    better += 1;
+                }
+            }
+        }
+        if counted == 0 {
+            0.0
+        } else {
+            better as f64 / counted as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsched_dbms::query::{ClientId, QueryId};
+    use qsched_dbms::Timerons;
+    use qsched_sim::SimDuration;
+
+    fn rec(class: u16, kind: QueryKind, submit: u64, admit: u64, finish: u64) -> QueryRecord {
+        QueryRecord {
+            id: QueryId(finish),
+            client: ClientId(0),
+            class: ClassId(class),
+            kind,
+            template: 0,
+            estimated_cost: Timerons::new(1.0),
+            submitted: SimTime::from_secs(submit),
+            admitted: SimTime::from_secs(admit),
+            finished: SimTime::from_secs(finish),
+        }
+    }
+
+    fn mk_report(records: &[QueryRecord]) -> RunReport {
+        let mut c = PeriodCollector::new(SimDuration::from_secs(100), 3);
+        for r in records {
+            c.record(r);
+        }
+        c.finish("test", ServiceClass::paper_classes(), SimTime::from_secs(300), 0)
+    }
+
+    #[test]
+    fn records_land_in_the_right_period() {
+        let report = mk_report(&[
+            rec(1, QueryKind::Olap, 0, 0, 50),    // period 0, velocity 1.0
+            rec(1, QueryKind::Olap, 100, 150, 199), // period 1, velocity ~0.49
+            rec(1, QueryKind::Olap, 250, 250, 299), // period 2
+        ]);
+        assert_eq!(report.cell(0, ClassId(1)).unwrap().completions, 1);
+        assert!((report.metric(0, ClassId(1)).unwrap() - 1.0).abs() < 1e-9);
+        let v1 = report.metric(1, ClassId(1)).unwrap();
+        assert!((v1 - 49.0 / 99.0).abs() < 1e-9);
+        assert!(report.cell(1, ClassId(2)).is_none());
+    }
+
+    #[test]
+    fn oltp_metric_is_response_time() {
+        let report = mk_report(&[rec(3, QueryKind::Oltp, 0, 0, 2)]);
+        assert!((report.metric(0, ClassId(3)).unwrap() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn p95_tracks_the_response_tail() {
+        // 10 fast completions and one slow one: the 95th percentile of 11
+        // samples is the slowest, so p95 must sit at the tail.
+        let mut records = Vec::new();
+        for i in 0..10 {
+            records.push(rec(3, QueryKind::Oltp, i, i, i + 1)); // 1 s each
+        }
+        records.push(rec(3, QueryKind::Oltp, 50, 50, 90)); // 40 s outlier
+        let report = mk_report(&records);
+        let cell = report.cell(0, ClassId(3)).unwrap();
+        assert!(cell.mean_response_secs < 5.0);
+        assert!(cell.p95_response_secs > 10.0, "p95 {}", cell.p95_response_secs);
+    }
+
+    #[test]
+    fn violations_count_goal_misses() {
+        // Class 3 goal: ≤ 0.25 s. Two periods violate, one meets.
+        let report = mk_report(&[
+            rec(3, QueryKind::Oltp, 0, 0, 1),     // 1 s    — violation
+            rec(3, QueryKind::Oltp, 100, 100, 102), // 2 s  — violation
+            rec(3, QueryKind::Oltp, 290, 290, 290), // 0 s  — met
+        ]);
+        assert_eq!(report.violations(ClassId(3)), 2);
+        assert_eq!(report.violated_periods(ClassId(3)), vec![0, 1]);
+    }
+
+    #[test]
+    fn silent_periods_violate_for_olap_but_not_oltp() {
+        // One record only in period 0, class 1 → periods 1,2 silent.
+        let report = mk_report(&[rec(1, QueryKind::Olap, 0, 0, 50)]);
+        // velocity 1.0 meets the 0.4 goal in period 0; 2 silent violations.
+        assert_eq!(report.violations(ClassId(1)), 2);
+        // OLTP silent everywhere: no violations.
+        assert_eq!(report.violations(ClassId(3)), 0);
+    }
+
+    #[test]
+    fn warmup_periods_are_excluded_from_goal_accounting() {
+        let mut c = PeriodCollector::new(SimDuration::from_secs(100), 3);
+        // Violations in all three periods (2 s response vs 0.25 s goal)...
+        for p in 0..3u64 {
+            c.record(&rec(3, QueryKind::Oltp, p * 100, p * 100, p * 100 + 2));
+        }
+        let all = c.finish("t", ServiceClass::paper_classes(), SimTime::from_secs(300), 0);
+        assert_eq!(all.violations(ClassId(3)), 3);
+        // ...but with one warm-up period, only two count.
+        let warm = c.finish("t", ServiceClass::paper_classes(), SimTime::from_secs(300), 1);
+        assert_eq!(warm.violations(ClassId(3)), 2);
+        assert_eq!(warm.violated_periods(ClassId(3)), vec![1, 2]);
+        // The data itself is retained.
+        assert!(warm.cell(0, ClassId(3)).is_some());
+    }
+
+    #[test]
+    fn differentiation_fraction() {
+        let report = mk_report(&[
+            // Period 0: class2 velocity 1.0 vs class1 0.5 — class2 better.
+            rec(2, QueryKind::Olap, 0, 0, 10),
+            rec(1, QueryKind::Olap, 0, 5, 10),
+            // Period 1: class2 0.5 vs class1 1.0 — class1 better.
+            rec(2, QueryKind::Olap, 100, 150, 199),
+            rec(1, QueryKind::Olap, 150, 150, 199),
+        ]);
+        let f = report.differentiation_fraction(ClassId(2), ClassId(1), 0);
+        assert!((f - 0.5).abs() < 1e-9);
+        assert_eq!(report.total_completions(ClassId(1)), 2);
+    }
+}

@@ -1,0 +1,373 @@
+//! The composed experiment world: DBMS + clients + controller.
+
+use crate::config::{ControllerSpec, ExperimentConfig};
+use crate::report::{PeriodCollector, RunReport};
+use qsched_core::baseline::{NoControl, QpConfig, QpController};
+use qsched_core::feedback::PiController;
+use qsched_core::mpl::{MplAdaptive, MplPlan, MplStatic};
+use qsched_core::controller::{Controller, CtrlEvent, ReleaseAll};
+use qsched_core::plan::PlanLog;
+use qsched_core::scheduler::QueryScheduler;
+use qsched_dbms::engine::{Dbms, DbmsEvent, DbmsNotice};
+use qsched_dbms::patroller::InterceptPolicy;
+use qsched_dbms::query::{ClientId, QueryId, QueryKind, QueryRecord};
+use qsched_sim::{Ctx, Engine, RngHub, SimTime, World};
+use qsched_workload::driver::{Behavior, ClientEvent, Clients};
+use qsched_workload::generator::{QueryGen, TemplateSetGen};
+use qsched_workload::templates::{tpcc_templates, tpch_templates};
+use serde::{Deserialize, Serialize};
+
+/// The event union of the composed world.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExpEvent {
+    /// Start of the run: kick off clients and the controller.
+    Kickoff,
+    /// Engine-internal event.
+    Db(DbmsEvent),
+    /// Client-driver event.
+    Client(ClientEvent),
+    /// Controller timer.
+    Ctrl(CtrlEvent),
+    /// The next trace arrival is due (trace-replay runs only).
+    TraceNext,
+}
+
+impl From<DbmsEvent> for ExpEvent {
+    fn from(e: DbmsEvent) -> Self {
+        ExpEvent::Db(e)
+    }
+}
+impl From<ClientEvent> for ExpEvent {
+    fn from(e: ClientEvent) -> Self {
+        ExpEvent::Client(e)
+    }
+}
+impl From<CtrlEvent> for ExpEvent {
+    fn from(e: CtrlEvent) -> Self {
+        ExpEvent::Ctrl(e)
+    }
+}
+
+/// Load source: schedule-driven clients, or a replayed trace.
+enum Load {
+    Clients(Clients),
+    Trace {
+        trace: qsched_workload::Trace,
+        next: usize,
+        next_query_id: u64,
+    },
+}
+
+/// The composed world.
+pub struct ExpWorld {
+    dbms: Dbms,
+    load: Load,
+    controller: Box<dyn Controller<ExpEvent>>,
+    collector: PeriodCollector,
+    notices: Vec<DbmsNotice>,
+    /// Keep every record of OLAP completions and every Nth OLTP completion.
+    record_sample: Option<u32>,
+    records: Vec<QueryRecord>,
+    oltp_seen: u64,
+}
+
+impl ExpWorld {
+    /// Route every pending notice: record completions, inform the
+    /// controller, and close the client loop. Submissions triggered here can
+    /// append further notices; the index loop drains them all.
+    fn process_notices(&mut self, ctx: &mut Ctx<'_, ExpEvent>) {
+        let mut i = 0;
+        while i < self.notices.len() {
+            let notice = self.notices[i].clone();
+            i += 1;
+            if let DbmsNotice::Completed(rec) = &notice {
+                self.collector.record(rec);
+                if let Some(n) = self.record_sample {
+                    match rec.kind {
+                        QueryKind::Olap => self.records.push(*rec),
+                        QueryKind::Oltp => {
+                            if self.oltp_seen.is_multiple_of(u64::from(n.max(1))) {
+                                self.records.push(*rec);
+                            }
+                            self.oltp_seen += 1;
+                        }
+                    }
+                }
+            }
+            self.controller.on_notice(ctx, &mut self.dbms, &notice, &mut self.notices);
+            if let Load::Clients(clients) = &mut self.load {
+                match &notice {
+                    DbmsNotice::Completed(rec) => {
+                        if let Some(next) = clients.on_completion(ctx, rec) {
+                            self.dbms.submit(ctx, next, &mut self.notices);
+                        }
+                    }
+                    DbmsNotice::Rejected(row) => {
+                        if let Some(next) = clients.on_rejection(ctx, row.client) {
+                            self.dbms.submit(ctx, next, &mut self.notices);
+                        }
+                    }
+                    DbmsNotice::Intercepted(_) => {}
+                }
+            }
+        }
+        self.notices.clear();
+    }
+}
+
+impl World for ExpWorld {
+    type Event = ExpEvent;
+
+    fn handle(&mut self, ctx: &mut Ctx<'_, ExpEvent>, ev: ExpEvent) {
+        match ev {
+            ExpEvent::Kickoff => {
+                self.controller.start(ctx, &mut self.dbms);
+                match &mut self.load {
+                    Load::Clients(clients) => {
+                        let initial = clients.start(ctx);
+                        for q in initial {
+                            self.dbms.submit(ctx, q, &mut self.notices);
+                        }
+                    }
+                    Load::Trace { trace, .. } => {
+                        if let Some(first) = trace.events().first() {
+                            ctx.schedule_at(SimTime::ZERO + first.at, ExpEvent::TraceNext);
+                        }
+                    }
+                }
+            }
+            ExpEvent::Client(ce) => {
+                if let Load::Clients(clients) = &mut self.load {
+                    let to_submit = clients.handle(ctx, ce);
+                    for q in to_submit {
+                        self.dbms.submit(ctx, q, &mut self.notices);
+                    }
+                }
+            }
+            ExpEvent::TraceNext => {
+                if let Load::Trace { trace, next, next_query_id } = &mut self.load {
+                    let due_at = trace.events()[*next].at;
+                    // Submit every arrival that shares this timestamp.
+                    while *next < trace.len() && trace.events()[*next].at == due_at {
+                        let q = trace.query_at(*next, QueryId(*next_query_id), self.dbms.config());
+                        *next_query_id += 1;
+                        *next += 1;
+                        self.dbms.submit(ctx, q, &mut self.notices);
+                    }
+                    if *next < trace.len() {
+                        ctx.schedule_at(
+                            SimTime::ZERO + trace.events()[*next].at,
+                            ExpEvent::TraceNext,
+                        );
+                    }
+                }
+            }
+            ExpEvent::Db(de) => {
+                self.dbms.handle(ctx, de, &mut self.notices);
+            }
+            ExpEvent::Ctrl(ce) => {
+                self.controller.on_event(ctx, &mut self.dbms, ce, &mut self.notices);
+            }
+        }
+        self.process_notices(ctx);
+    }
+}
+
+/// Engine-level summary of a finished run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EngineSummary {
+    /// OLAP queries completed.
+    pub olap_completed: u64,
+    /// OLTP queries completed.
+    pub oltp_completed: u64,
+    /// OLAP completions per virtual hour.
+    pub olap_per_hour: f64,
+    /// Time-weighted mean multiprogramming level.
+    pub mean_mpl: f64,
+    /// Time-weighted mean admitted (true) cost.
+    pub mean_admitted_cost: f64,
+    /// Virtual duration of the run, in hours.
+    pub hours: f64,
+    /// Events delivered by the simulation engine.
+    pub events: u64,
+}
+
+/// Everything a run produces.
+#[derive(Debug, Clone)]
+pub struct RunOutput {
+    /// Per-period, per-class performance.
+    pub report: RunReport,
+    /// The controller's plan history, if it keeps one (Query Scheduler).
+    pub plan_log: Option<PlanLog>,
+    /// Engine totals.
+    pub summary: EngineSummary,
+    /// Raw completion records, when `record_sample` was set (all OLAP
+    /// completions, every Nth OLTP completion).
+    pub records: Vec<QueryRecord>,
+}
+
+/// Build the generator for one class.
+fn generator_for(
+    class: &qsched_core::class::ServiceClass,
+    cfg: &ExperimentConfig,
+    hub: &RngHub,
+) -> Box<dyn QueryGen> {
+    let stream = hub.stream_indexed("class-gen", u64::from(class.id.0));
+    match class.kind {
+        QueryKind::Olap => Box::new(TemplateSetGen::new(
+            class.id,
+            tpch_templates(),
+            cfg.dbms.clone(),
+            stream,
+        )),
+        QueryKind::Oltp => Box::new(TemplateSetGen::new(
+            class.id,
+            tpcc_templates(),
+            cfg.dbms.clone(),
+            stream,
+        )),
+    }
+}
+
+/// Interception policy implied by the controller choice: everything except
+/// the OLTP class (the paper turns QP off for Class 3 in every controlled
+/// experiment), or nothing for the uncontrolled engine.
+fn intercept_policy_for(cfg: &ExperimentConfig) -> InterceptPolicy {
+    match &cfg.controller {
+        ControllerSpec::Uncontrolled => InterceptPolicy::intercept_none(),
+        ControllerSpec::QueryScheduler(sc) if sc.direct_oltp => {
+            InterceptPolicy::intercept_all()
+        }
+        _ => {
+            let mut p = InterceptPolicy::intercept_all();
+            for c in cfg.classes.iter().filter(|c| c.kind == QueryKind::Oltp) {
+                p = p.with_bypass(c.id);
+            }
+            p
+        }
+    }
+}
+
+/// A representative sample of OLAP cost estimates, used to derive the QP
+/// heuristic's group thresholds exactly as a DBA would: from observed
+/// workload history.
+fn olap_cost_sample(cfg: &ExperimentConfig, hub: &RngHub) -> Vec<f64> {
+    let mut sample = Vec::with_capacity(2_000);
+    let mut gen = TemplateSetGen::new(
+        qsched_dbms::query::ClassId(0),
+        tpch_templates(),
+        cfg.dbms.clone(),
+        hub.stream("qp-threshold-sample"),
+    );
+    for i in 0..2_000u64 {
+        sample.push(gen.next_query(QueryId(u64::MAX - i), ClientId(0)).estimated_cost.get());
+    }
+    sample
+}
+
+fn build_controller(cfg: &ExperimentConfig, hub: &RngHub) -> Box<dyn Controller<ExpEvent>> {
+    match &cfg.controller {
+        ControllerSpec::Uncontrolled => Box::new(ReleaseAll),
+        ControllerSpec::NoControl { system_limit } => Box::new(NoControl::new(*system_limit)),
+        ControllerSpec::QpStatic { system_limit, priority, max_cost } => {
+            let mut qp = QpConfig::from_cost_sample(olap_cost_sample(cfg, hub), *system_limit);
+            if let Some(mc) = max_cost {
+                qp = qp.with_max_cost(*mc);
+            }
+            if *priority {
+                // Class importance doubles as QP priority (Class 2 > Class 1).
+                for c in cfg.classes.iter().filter(|c| c.kind == QueryKind::Olap) {
+                    qp = qp.with_priority(c.id, c.importance);
+                }
+            } else {
+                qp = qp.without_priority();
+            }
+            Box::new(QpController::new(qp))
+        }
+        ControllerSpec::QueryScheduler(sc) => {
+            Box::new(QueryScheduler::paper_default(cfg.classes.clone(), sc.clone()))
+        }
+        ControllerSpec::MplStatic { per_class_cap } => {
+            let caps: Vec<_> = cfg
+                .classes
+                .iter()
+                .filter(|c| c.kind == QueryKind::Olap)
+                .map(|c| (c.id, *per_class_cap))
+                .collect();
+            Box::new(MplStatic::new(MplPlan::new(caps)))
+        }
+        ControllerSpec::MplAdaptive(mc) => {
+            Box::new(MplAdaptive::new(cfg.classes.clone(), mc.clone()))
+        }
+        ControllerSpec::PiFeedback(pc) => {
+            Box::new(PiController::new(cfg.classes.clone(), pc.clone()))
+        }
+    }
+}
+
+/// Run one experiment to completion and aggregate its results.
+pub fn run_experiment(cfg: &ExperimentConfig) -> RunOutput {
+    cfg.validate();
+    let hub = RngHub::new(cfg.seed);
+    let load = match &cfg.trace {
+        Some(trace) => Load::Trace { trace: trace.clone(), next: 0, next_query_id: 0 },
+        None => {
+            let generators: Vec<Box<dyn QueryGen>> =
+                cfg.classes.iter().map(|c| generator_for(c, cfg, &hub)).collect();
+            let behaviors = cfg
+                .behaviors
+                .clone()
+                .unwrap_or_else(|| vec![Behavior::paper(); cfg.classes.len()]);
+            Load::Clients(Clients::with_behaviors(
+                cfg.schedule.clone(),
+                generators,
+                behaviors,
+                &hub,
+            ))
+        }
+    };
+    let dbms = Dbms::new(cfg.dbms.clone(), intercept_policy_for(cfg), SimTime::ZERO);
+    let controller = build_controller(cfg, &hub);
+    let collector = PeriodCollector::new(cfg.schedule.period_len(), cfg.schedule.periods());
+
+    let horizon = SimTime::ZERO + cfg.schedule.total_duration();
+    let mut engine = Engine::new(ExpWorld {
+        dbms,
+        load,
+        controller,
+        collector,
+        notices: Vec::new(),
+        record_sample: cfg.record_sample,
+        records: Vec::new(),
+        oltp_seen: 0,
+    });
+    engine.schedule_at(SimTime::ZERO, ExpEvent::Kickoff);
+    engine.run_until(horizon);
+
+    let events = engine.delivered();
+    let end = engine.now();
+    let world = engine.into_world();
+    let hours = end.saturating_since(SimTime::ZERO).as_secs_f64() / 3600.0;
+    let m = world.dbms.metrics();
+    let summary = EngineSummary {
+        olap_completed: m.olap_completed,
+        oltp_completed: m.oltp_completed,
+        olap_per_hour: if hours > 0.0 { m.olap_completed as f64 / hours } else { 0.0 },
+        mean_mpl: m.mpl.mean_at(end),
+        mean_admitted_cost: m.admitted_cost.mean_at(end),
+        hours,
+        events,
+    };
+    let report = world.collector.finish(
+        cfg.controller.name(),
+        cfg.classes.clone(),
+        end,
+        cfg.warmup_periods,
+    );
+    RunOutput {
+        report,
+        plan_log: world.controller.plan_log().cloned(),
+        summary,
+        records: world.records,
+    }
+}

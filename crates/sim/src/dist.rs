@@ -1,0 +1,342 @@
+//! Probability distributions used by the workload and cost models.
+//!
+//! Only the handful of distributions the reproduction needs are implemented,
+//! directly over [`rand::Rng`], to avoid an extra dependency on `rand_distr`:
+//!
+//! * [`Uniform`] — uniform over `[lo, hi)`.
+//! * [`Exp`] — exponential (inter-arrival times).
+//! * [`LogNormal`] — log-normal (query cost / service-demand noise).
+//! * [`Pareto`] — bounded Pareto (heavy-tailed OLAP query sizes).
+//! * [`Empirical`] — weighted choice over a finite set (transaction mixes).
+
+use rand::Rng;
+
+/// A sampleable distribution over `f64`.
+pub trait Dist {
+    /// Draw one sample.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64;
+
+    /// The theoretical mean of the distribution.
+    fn mean(&self) -> f64;
+}
+
+/// Uniform over `[lo, hi)`. Degenerate (`lo == hi`) is allowed and returns `lo`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform {
+    lo: f64,
+    hi: f64,
+}
+
+impl Uniform {
+    /// Create a uniform distribution over `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi` or either bound is not finite.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(lo.is_finite() && hi.is_finite() && lo <= hi, "invalid Uniform({lo}, {hi})");
+        Uniform { lo, hi }
+    }
+}
+
+impl Dist for Uniform {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.lo == self.hi {
+            self.lo
+        } else {
+            rng.gen_range(self.lo..self.hi)
+        }
+    }
+
+    fn mean(&self) -> f64 {
+        (self.lo + self.hi) / 2.0
+    }
+}
+
+/// Exponential with the given mean (i.e. rate `1/mean`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exp {
+    mean: f64,
+}
+
+impl Exp {
+    /// Create an exponential distribution with mean `mean`.
+    ///
+    /// # Panics
+    /// Panics unless `mean` is finite and positive.
+    pub fn with_mean(mean: f64) -> Self {
+        assert!(mean.is_finite() && mean > 0.0, "invalid Exp mean {mean}");
+        Exp { mean }
+    }
+
+    /// Create an exponential distribution with rate `rate` (mean `1/rate`).
+    pub fn with_rate(rate: f64) -> Self {
+        Self::with_mean(1.0 / rate)
+    }
+}
+
+impl Dist for Exp {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Inverse CDF; 1-u in (0,1] avoids ln(0).
+        let u: f64 = rng.gen();
+        -self.mean * (1.0 - u).ln()
+    }
+
+    fn mean(&self) -> f64 {
+        self.mean
+    }
+}
+
+/// Log-normal, parameterised by the *linear-space* mean and the sigma of the
+/// underlying normal. This is the natural parameterisation for multiplicative
+/// noise around a known mean (e.g. optimizer cost estimates).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    /// Mean of the underlying normal.
+    mu: f64,
+    /// Standard deviation of the underlying normal.
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// A log-normal whose *linear-space* mean is `mean`, with log-space
+    /// standard deviation `sigma`.
+    ///
+    /// # Panics
+    /// Panics unless `mean > 0` and `sigma >= 0`, both finite.
+    pub fn with_mean(mean: f64, sigma: f64) -> Self {
+        assert!(mean.is_finite() && mean > 0.0, "invalid LogNormal mean {mean}");
+        assert!(sigma.is_finite() && sigma >= 0.0, "invalid LogNormal sigma {sigma}");
+        // E[exp(N(mu, sigma^2))] = exp(mu + sigma^2/2)  =>  mu = ln(mean) - sigma^2/2.
+        LogNormal { mu: mean.ln() - sigma * sigma / 2.0, sigma }
+    }
+
+    /// Sample the underlying standard normal via Box–Muller.
+    fn std_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+        loop {
+            let u1: f64 = rng.gen();
+            let u2: f64 = rng.gen();
+            if u1 > f64::EPSILON {
+                return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+            }
+        }
+    }
+}
+
+impl Dist for LogNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * Self::std_normal(rng)).exp()
+    }
+
+    fn mean(&self) -> f64 {
+        (self.mu + self.sigma * self.sigma / 2.0).exp()
+    }
+}
+
+/// Bounded Pareto on `[lo, hi]` with shape `alpha`.
+///
+/// Heavy-tailed: models OLAP workloads where a few queries dominate cost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pareto {
+    lo: f64,
+    hi: f64,
+    alpha: f64,
+}
+
+impl Pareto {
+    /// Create a bounded Pareto over `[lo, hi]` with tail index `alpha`.
+    ///
+    /// # Panics
+    /// Panics unless `0 < lo < hi` and `alpha > 0`, all finite.
+    pub fn bounded(lo: f64, hi: f64, alpha: f64) -> Self {
+        assert!(lo.is_finite() && hi.is_finite() && 0.0 < lo && lo < hi, "invalid Pareto bounds");
+        assert!(alpha.is_finite() && alpha > 0.0, "invalid Pareto alpha {alpha}");
+        Pareto { lo, hi, alpha }
+    }
+}
+
+impl Dist for Pareto {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Inverse CDF of the bounded Pareto.
+        let u: f64 = rng.gen();
+        let (l, h, a) = (self.lo, self.hi, self.alpha);
+        let la = l.powf(a);
+        let ha = h.powf(a);
+        (-(u * ha - u * la - ha) / (ha * la)).powf(-1.0 / a)
+    }
+
+    fn mean(&self) -> f64 {
+        let (l, h, a) = (self.lo, self.hi, self.alpha);
+        if (a - 1.0).abs() < 1e-12 {
+            // alpha == 1 limit: mean = ln(h/l) * l*h/(h-l)
+            (h / l).ln() * l * h / (h - l)
+        } else {
+            (l.powf(a) / (1.0 - (l / h).powf(a))) * (a / (a - 1.0))
+                * (1.0 / l.powf(a - 1.0) - 1.0 / h.powf(a - 1.0))
+        }
+    }
+}
+
+/// A weighted empirical distribution over a finite set of values.
+///
+/// Used for transaction mixes (e.g. the TPC-C 45/43/4/4/4 mix) and for
+/// drawing query templates by frequency.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Empirical {
+    values: Vec<f64>,
+    /// Cumulative weights, normalised so the final entry is 1.0.
+    cdf: Vec<f64>,
+}
+
+impl Empirical {
+    /// Build from `(value, weight)` pairs.
+    ///
+    /// # Panics
+    /// Panics if `pairs` is empty, any weight is negative/non-finite, or all
+    /// weights are zero.
+    pub fn new(pairs: &[(f64, f64)]) -> Self {
+        assert!(!pairs.is_empty(), "Empirical needs at least one value");
+        let total: f64 = pairs.iter().map(|&(_, w)| w).sum();
+        assert!(
+            total > 0.0 && pairs.iter().all(|&(_, w)| w.is_finite() && w >= 0.0),
+            "Empirical weights must be non-negative with a positive sum"
+        );
+        let mut cdf = Vec::with_capacity(pairs.len());
+        let mut acc = 0.0;
+        for &(_, w) in pairs {
+            acc += w / total;
+            cdf.push(acc);
+        }
+        // Guard against floating-point shortfall at the top.
+        *cdf.last_mut().expect("non-empty") = 1.0;
+        Empirical { values: pairs.iter().map(|&(v, _)| v).collect(), cdf }
+    }
+
+    /// Draw the *index* of a value (useful when values identify templates).
+    pub fn sample_index<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        // partition_point returns the first index whose cdf >= u.
+        self.cdf.partition_point(|&c| c < u).min(self.values.len() - 1)
+    }
+}
+
+impl Dist for Empirical {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.values[self.sample_index(rng)]
+    }
+
+    fn mean(&self) -> f64 {
+        let mut prev = 0.0;
+        let mut m = 0.0;
+        for (v, c) in self.values.iter().zip(&self.cdf) {
+            m += v * (c - prev);
+            prev = *c;
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::RngHub;
+
+    fn sample_mean<D: Dist>(d: &D, n: usize) -> f64 {
+        let mut rng = RngHub::new(1234).stream("dist-test");
+        (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn uniform_mean_and_bounds() {
+        let d = Uniform::new(2.0, 6.0);
+        let mut rng = RngHub::new(1).stream("u");
+        for _ in 0..1000 {
+            let x = d.sample(&mut rng);
+            assert!((2.0..6.0).contains(&x));
+        }
+        assert!((sample_mean(&d, 20_000) - d.mean()).abs() < 0.05);
+        // Degenerate case.
+        let p = Uniform::new(3.0, 3.0);
+        assert_eq!(p.sample(&mut rng), 3.0);
+    }
+
+    #[test]
+    fn exp_mean_converges() {
+        let d = Exp::with_mean(2.5);
+        assert!((sample_mean(&d, 50_000) - 2.5).abs() < 0.05);
+        assert!((Exp::with_rate(4.0).mean() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exp_samples_nonnegative() {
+        let d = Exp::with_mean(1.0);
+        let mut rng = RngHub::new(2).stream("e");
+        assert!((0..10_000).all(|_| d.sample(&mut rng) >= 0.0));
+    }
+
+    #[test]
+    fn lognormal_mean_matches_linear_parameterisation() {
+        let d = LogNormal::with_mean(10.0, 0.5);
+        assert!((d.mean() - 10.0).abs() < 1e-9);
+        assert!((sample_mean(&d, 100_000) - 10.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn lognormal_zero_sigma_is_constant() {
+        let d = LogNormal::with_mean(7.0, 0.0);
+        let mut rng = RngHub::new(3).stream("ln");
+        for _ in 0..100 {
+            assert!((d.sample(&mut rng) - 7.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn pareto_bounds_and_mean() {
+        let d = Pareto::bounded(1.0, 1000.0, 1.2);
+        let mut rng = RngHub::new(4).stream("p");
+        for _ in 0..10_000 {
+            let x = d.sample(&mut rng);
+            assert!((1.0..=1000.0).contains(&x), "out of bounds: {x}");
+        }
+        let m = sample_mean(&d, 200_000);
+        assert!((m - d.mean()).abs() / d.mean() < 0.1, "mean {m} vs {}", d.mean());
+    }
+
+    #[test]
+    fn pareto_is_heavy_tailed() {
+        // The top 10% of samples should carry a disproportionate share of mass.
+        let d = Pareto::bounded(1.0, 10_000.0, 0.9);
+        let mut rng = RngHub::new(5).stream("pt");
+        let mut xs: Vec<f64> = (0..20_000).map(|_| d.sample(&mut rng)).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let total: f64 = xs.iter().sum();
+        let top: f64 = xs[18_000..].iter().sum();
+        assert!(top / total > 0.5, "top decile carries {:.2}", top / total);
+    }
+
+    #[test]
+    fn empirical_respects_weights() {
+        let d = Empirical::new(&[(1.0, 45.0), (2.0, 43.0), (3.0, 4.0), (4.0, 4.0), (5.0, 4.0)]);
+        let mut rng = RngHub::new(6).stream("emp");
+        let mut counts = [0usize; 5];
+        for _ in 0..100_000 {
+            counts[d.sample_index(&mut rng)] += 1;
+        }
+        assert!((counts[0] as f64 / 100_000.0 - 0.45).abs() < 0.01);
+        assert!((counts[1] as f64 / 100_000.0 - 0.43).abs() < 0.01);
+        assert!((counts[2] as f64 / 100_000.0 - 0.04).abs() < 0.005);
+        let expected_mean = (1.0 * 45.0 + 2.0 * 43.0 + 3.0 * 4.0 + 4.0 * 4.0 + 5.0 * 4.0) / 100.0;
+        assert!((d.mean() - expected_mean).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one value")]
+    fn empty_empirical_panics() {
+        let _ = Empirical::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid Exp mean")]
+    fn nonpositive_exp_mean_panics() {
+        let _ = Exp::with_mean(0.0);
+    }
+}

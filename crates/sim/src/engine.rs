@@ -1,0 +1,260 @@
+//! The simulation engine: drives a [`World`] by delivering events in
+//! timestamp order until the horizon is reached or the queue drains.
+//!
+//! The engine/world split keeps borrow-checking simple: the world owns all
+//! domain state, and receives a [`Ctx`] through which it can read the clock
+//! and schedule further events. Events are plain values (typically an enum
+//! defined by the world), not closures, which keeps them inspectable and
+//! the whole simulation `Send`-free and deterministic.
+
+use crate::event::EventQueue;
+use crate::time::{SimDuration, SimTime};
+
+/// Scheduling context handed to [`World::handle`] on every event delivery.
+pub struct Ctx<'a, E> {
+    now: SimTime,
+    queue: &'a mut EventQueue<E>,
+    stop: &'a mut bool,
+}
+
+impl<'a, E> Ctx<'a, E> {
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule `event` at the absolute instant `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is in the past (before the event being handled).
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        assert!(at >= self.now, "cannot schedule into the past: {at:?} < {:?}", self.now);
+        self.queue.push(at, event);
+    }
+
+    /// Schedule `event` after a relative delay.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) {
+        self.queue.push(self.now + delay, event);
+    }
+
+    /// Schedule `event` for immediate delivery (same timestamp, after any
+    /// events already queued for this instant).
+    pub fn schedule_now(&mut self, event: E) {
+        self.queue.push(self.now, event);
+    }
+
+    /// Request that the engine stop after the current event completes.
+    pub fn stop(&mut self) {
+        *self.stop = true;
+    }
+}
+
+/// A simulated world: owns all domain state and reacts to events.
+pub trait World {
+    /// The event type delivered to this world.
+    type Event;
+
+    /// Handle one event at its scheduled time. New events are scheduled via
+    /// `ctx`; the world may also call [`Ctx::stop`] to end the run early.
+    fn handle(&mut self, ctx: &mut Ctx<'_, Self::Event>, event: Self::Event);
+}
+
+/// The discrete-event simulation executor.
+pub struct Engine<W: World> {
+    world: W,
+    queue: EventQueue<W::Event>,
+    now: SimTime,
+    delivered: u64,
+}
+
+impl<W: World> Engine<W> {
+    /// Create an engine around `world` with the clock at [`SimTime::ZERO`].
+    pub fn new(world: W) -> Self {
+        Engine { world, queue: EventQueue::new(), now: SimTime::ZERO, delivered: 0 }
+    }
+
+    /// Current virtual time (the timestamp of the last delivered event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Shared access to the world.
+    pub fn world(&self) -> &W {
+        &self.world
+    }
+
+    /// Exclusive access to the world (e.g. to drain metrics between phases).
+    pub fn world_mut(&mut self) -> &mut W {
+        &mut self.world
+    }
+
+    /// Consume the engine, returning the world.
+    pub fn into_world(self) -> W {
+        self.world
+    }
+
+    /// Schedule an event before or between runs.
+    ///
+    /// # Panics
+    /// Panics if `at` is earlier than the current clock.
+    pub fn schedule_at(&mut self, at: SimTime, event: W::Event) {
+        assert!(at >= self.now, "cannot schedule into the past");
+        self.queue.push(at, event);
+    }
+
+    /// Schedule an event a relative delay after the current clock.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: W::Event) {
+        self.queue.push(self.now + delay, event);
+    }
+
+    /// Run until the event queue is empty or a handler calls [`Ctx::stop`].
+    ///
+    /// Returns the number of events delivered by this call.
+    pub fn run(&mut self) -> u64 {
+        self.run_until(SimTime::MAX)
+    }
+
+    /// Run until the queue drains, a handler stops the engine, or the next
+    /// event would be **after** `horizon`. Events exactly at the horizon are
+    /// delivered; the clock never advances past `horizon`.
+    ///
+    /// Returns the number of events delivered by this call.
+    pub fn run_until(&mut self, horizon: SimTime) -> u64 {
+        let mut stop = false;
+        let start_count = self.delivered;
+        while let Some(next) = self.queue.peek_time() {
+            if next > horizon {
+                break;
+            }
+            let (t, ev) = self.queue.pop().expect("peeked entry must pop");
+            debug_assert!(t >= self.now, "event queue yielded an out-of-order event");
+            self.now = t;
+            self.delivered += 1;
+            let mut ctx = Ctx { now: t, queue: &mut self.queue, stop: &mut stop };
+            self.world.handle(&mut ctx, ev);
+            if stop {
+                break;
+            }
+        }
+        // If we exhausted all events before the horizon, advance the clock to
+        // the horizon so time-weighted statistics close their final interval
+        // at a well-defined instant.
+        if !stop && horizon != SimTime::MAX && self.now < horizon {
+            self.now = horizon;
+        }
+        self.delivered - start_count
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    enum Ev {
+        Ping(u32),
+        Stop,
+    }
+
+    #[derive(Default)]
+    struct Recorder {
+        seen: Vec<(SimTime, u32)>,
+    }
+
+    impl World for Recorder {
+        type Event = Ev;
+        fn handle(&mut self, ctx: &mut Ctx<'_, Ev>, event: Ev) {
+            match event {
+                Ev::Ping(n) => {
+                    self.seen.push((ctx.now(), n));
+                    if n < 3 {
+                        ctx.schedule_in(SimDuration::from_secs(1), Ev::Ping(n + 1));
+                    }
+                }
+                Ev::Stop => ctx.stop(),
+            }
+        }
+    }
+
+    #[test]
+    fn chained_events_advance_clock() {
+        let mut e = Engine::new(Recorder::default());
+        e.schedule_at(SimTime::from_secs(10), Ev::Ping(0));
+        let n = e.run();
+        assert_eq!(n, 4);
+        assert_eq!(e.now(), SimTime::from_secs(13));
+        assert_eq!(e.world().seen.len(), 4);
+        assert_eq!(e.world().seen[3], (SimTime::from_secs(13), 3));
+    }
+
+    #[test]
+    fn horizon_is_inclusive_and_clock_advances_to_it() {
+        let mut e = Engine::new(Recorder::default());
+        e.schedule_at(SimTime::from_secs(1), Ev::Ping(3)); // no chain
+        e.schedule_at(SimTime::from_secs(5), Ev::Ping(3));
+        e.schedule_at(SimTime::from_secs(9), Ev::Ping(3));
+        let n = e.run_until(SimTime::from_secs(5));
+        assert_eq!(n, 2); // events at t=1 and t=5 delivered, t=9 pending
+        assert_eq!(e.now(), SimTime::from_secs(5));
+        assert_eq!(e.pending(), 1);
+        // Continue to a horizon past everything: clock lands on the horizon.
+        e.run_until(SimTime::from_secs(20));
+        assert_eq!(e.now(), SimTime::from_secs(20));
+        assert_eq!(e.pending(), 0);
+    }
+
+    #[test]
+    fn stop_event_halts_engine() {
+        let mut e = Engine::new(Recorder::default());
+        e.schedule_at(SimTime::from_secs(1), Ev::Stop);
+        e.schedule_at(SimTime::from_secs(2), Ev::Ping(3));
+        e.run();
+        assert_eq!(e.now(), SimTime::from_secs(1));
+        assert_eq!(e.pending(), 1);
+        // Resuming after a stop continues from where we halted.
+        e.run();
+        assert_eq!(e.now(), SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn schedule_now_delivers_after_current_instant_fifo() {
+        struct Now {
+            order: Vec<u32>,
+        }
+        impl World for Now {
+            type Event = u32;
+            fn handle(&mut self, ctx: &mut Ctx<'_, u32>, ev: u32) {
+                self.order.push(ev);
+                if ev == 0 {
+                    ctx.schedule_now(2);
+                }
+            }
+        }
+        let mut e = Engine::new(Now { order: vec![] });
+        e.schedule_at(SimTime::from_secs(1), 0);
+        e.schedule_at(SimTime::from_secs(1), 1);
+        e.run();
+        // Event 1 was queued first at t=1, so it precedes the re-entrant 2.
+        assert_eq!(e.world().order, vec![0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_past_panics() {
+        let mut e = Engine::new(Recorder::default());
+        e.schedule_at(SimTime::from_secs(5), Ev::Ping(3));
+        e.run();
+        e.schedule_at(SimTime::from_secs(1), Ev::Ping(3));
+    }
+}

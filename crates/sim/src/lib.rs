@@ -1,0 +1,70 @@
+//! # qsched-sim
+//!
+//! A deterministic, single-threaded discrete-event simulation (DES) kernel.
+//!
+//! This crate is the foundation of the Query Scheduler reproduction: the
+//! simulated DBMS (`qsched-dbms`), the workload generators and the
+//! controllers all run on top of this kernel, in *virtual time*, so a
+//! 24-hour experiment from the paper executes in a fraction of a second and
+//! is bit-for-bit reproducible from a single `u64` seed.
+//!
+//! ## Components
+//!
+//! * [`time`] — [`SimTime`]/[`SimDuration`]: integer-microsecond virtual time.
+//! * [`event`] — a stable (FIFO-on-tie) priority event queue.
+//! * [`engine`] — the [`Engine`]/[`World`] execution loop.
+//! * [`rng`] — named, independently seeded deterministic random streams.
+//! * [`dist`] — the distributions used by the workload models (exponential,
+//!   normal, log-normal, bounded Pareto, empirical).
+//! * [`stats`] — online statistics: Welford mean/variance, time-weighted
+//!   averages, log-scale histograms with quantiles, simple linear regression,
+//!   throughput meters and time series.
+//!
+//! ## Example
+//!
+//! ```
+//! use qsched_sim::prelude::*;
+//!
+//! /// A world with a single counter that re-schedules itself.
+//! struct Ticker { ticks: u32 }
+//!
+//! impl World for Ticker {
+//!     type Event = ();
+//!     fn handle(&mut self, ctx: &mut Ctx<'_, ()>, _ev: ()) {
+//!         self.ticks += 1;
+//!         if self.ticks < 10 {
+//!             ctx.schedule_in(SimDuration::from_secs(1), ());
+//!         }
+//!     }
+//! }
+//!
+//! let mut engine = Engine::new(Ticker { ticks: 0 });
+//! engine.schedule_at(SimTime::ZERO, ());
+//! engine.run();
+//! assert_eq!(engine.world().ticks, 10);
+//! assert_eq!(engine.now(), SimTime::from_secs(9));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod dist;
+pub mod engine;
+pub mod event;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use engine::{Ctx, Engine, World};
+pub use event::EventQueue;
+pub use rng::RngHub;
+pub use time::{SimDuration, SimTime};
+
+/// Convenience re-exports for downstream crates.
+pub mod prelude {
+    pub use crate::dist::{Dist, Empirical, Exp, LogNormal, Pareto, Uniform};
+    pub use crate::engine::{Ctx, Engine, World};
+    pub use crate::rng::RngHub;
+    pub use crate::stats::{Histogram, LinReg, Meter, Series, TimeWeighted, Welford};
+    pub use crate::time::{SimDuration, SimTime};
+}

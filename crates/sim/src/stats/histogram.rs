@@ -1,0 +1,184 @@
+//! A log-scale histogram with approximate quantiles.
+//!
+//! Response times in the reproduction span five orders of magnitude
+//! (sub-millisecond OLTP statements to multi-minute OLAP queries), so bins
+//! are geometric: each bin covers a fixed ratio, giving a bounded relative
+//! quantile error with O(1) memory.
+
+use serde::{Deserialize, Serialize};
+
+/// Geometric-bin histogram over positive values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    /// Smallest representable value; everything below lands in bin 0.
+    floor: f64,
+    /// log of the per-bin growth ratio.
+    log_ratio: f64,
+    counts: Vec<u64>,
+    total: u64,
+    underflow_zeroes: u64,
+}
+
+impl Histogram {
+    /// A histogram over `[floor, ceil]` with roughly `bins_per_decade` bins
+    /// per factor of 10 (relative quantile error ≈ `10^(1/bins_per_decade)`).
+    ///
+    /// # Panics
+    /// Panics unless `0 < floor < ceil` and `bins_per_decade >= 1`.
+    pub fn new(floor: f64, ceil: f64, bins_per_decade: u32) -> Self {
+        assert!(floor > 0.0 && ceil > floor, "invalid histogram range [{floor}, {ceil}]");
+        assert!(bins_per_decade >= 1, "need at least one bin per decade");
+        let log_ratio = std::f64::consts::LN_10 / bins_per_decade as f64;
+        let n_bins = ((ceil / floor).ln() / log_ratio).ceil() as usize + 1;
+        Histogram { floor, log_ratio, counts: vec![0; n_bins], total: 0, underflow_zeroes: 0 }
+    }
+
+    /// Default histogram for response times: 100 µs to 10 000 s, 20 bins/decade.
+    pub fn for_response_times() -> Self {
+        Histogram::new(1e-4, 1e4, 20)
+    }
+
+    fn bin_of(&self, x: f64) -> usize {
+        if x <= self.floor {
+            return 0;
+        }
+        let b = ((x / self.floor).ln() / self.log_ratio) as usize;
+        b.min(self.counts.len() - 1)
+    }
+
+    /// The representative (geometric-mid) value of bin `b`.
+    fn bin_value(&self, b: usize) -> f64 {
+        self.floor * ((b as f64 + 0.5) * self.log_ratio).exp()
+    }
+
+    /// Record one observation. Zero and negative values count toward the
+    /// floor bin (and are tallied separately for diagnostics).
+    pub fn record(&mut self, x: f64) {
+        if x <= 0.0 {
+            self.underflow_zeroes += 1;
+            self.counts[0] += 1;
+        } else {
+            let b = self.bin_of(x);
+            self.counts[b] += 1;
+        }
+        self.total += 1;
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Approximate quantile `q ∈ [0, 1]`. Returns `NaN` when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        if self.total == 0 {
+            return f64::NAN;
+        }
+        let target = (q * self.total as f64).ceil().max(1.0) as u64;
+        let mut acc = 0u64;
+        for (b, &c) in self.counts.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                return self.bin_value(b);
+            }
+        }
+        self.bin_value(self.counts.len() - 1)
+    }
+
+    /// Approximate median.
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// Merge another histogram with identical configuration.
+    ///
+    /// # Panics
+    /// Panics if configurations differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert!(
+            self.floor == other.floor
+                && self.log_ratio == other.log_ratio
+                && self.counts.len() == other.counts.len(),
+            "cannot merge histograms with different configurations"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.underflow_zeroes += other.underflow_zeroes;
+    }
+
+    /// Reset all counts.
+    pub fn reset(&mut self) {
+        self.counts.iter_mut().for_each(|c| *c = 0);
+        self.total = 0;
+        self.underflow_zeroes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_have_bounded_relative_error() {
+        let mut h = Histogram::new(1e-3, 1e5, 20);
+        // 1..=10000 uniformly: true median 5000, p99 9900.
+        for i in 1..=10_000 {
+            h.record(i as f64);
+        }
+        let med = h.median();
+        assert!((med - 5000.0).abs() / 5000.0 < 0.15, "median {med}");
+        let p99 = h.quantile(0.99);
+        assert!((p99 - 9900.0).abs() / 9900.0 < 0.15, "p99 {p99}");
+    }
+
+    #[test]
+    fn empty_histogram_quantile_is_nan() {
+        let h = Histogram::for_response_times();
+        assert!(h.quantile(0.5).is_nan());
+    }
+
+    #[test]
+    fn extremes_clamp_to_edge_bins() {
+        let mut h = Histogram::new(1.0, 100.0, 10);
+        h.record(1e-9);
+        h.record(0.0);
+        h.record(1e9);
+        assert_eq!(h.count(), 3);
+        assert!(h.quantile(0.0) <= 2.0);
+        assert!(h.quantile(1.0) >= 90.0);
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = Histogram::new(1.0, 1000.0, 10);
+        let mut b = Histogram::new(1.0, 1000.0, 10);
+        for i in 1..=100 {
+            a.record(i as f64);
+            b.record((i * 10) as f64);
+        }
+        let a_only_med = a.median();
+        a.merge(&b);
+        assert_eq!(a.count(), 200);
+        assert!(a.median() >= a_only_med);
+    }
+
+    #[test]
+    #[should_panic(expected = "different configurations")]
+    fn merging_mismatched_configs_panics() {
+        let mut a = Histogram::new(1.0, 10.0, 10);
+        let b = Histogram::new(1.0, 100.0, 10);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut h = Histogram::for_response_times();
+        h.record(0.5);
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert!(h.median().is_nan());
+    }
+}

@@ -1,0 +1,104 @@
+//! Throughput meter: counts completions and reports rates over windows.
+
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Counts discrete completions and reports throughput (events per second).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Meter {
+    window_start: SimTime,
+    window_count: u64,
+    total_count: u64,
+    origin: SimTime,
+}
+
+impl Meter {
+    /// Start metering at `start`.
+    pub fn new(start: SimTime) -> Self {
+        Meter { window_start: start, window_count: 0, total_count: 0, origin: start }
+    }
+
+    /// Record `n` completions.
+    pub fn record(&mut self, n: u64) {
+        self.window_count += n;
+        self.total_count += n;
+    }
+
+    /// Record one completion.
+    pub fn tick(&mut self) {
+        self.record(1);
+    }
+
+    /// Completions in the current window.
+    pub fn window_count(&self) -> u64 {
+        self.window_count
+    }
+
+    /// Completions since construction.
+    pub fn total_count(&self) -> u64 {
+        self.total_count
+    }
+
+    /// Throughput over the current window, in events/second. Returns 0 when
+    /// no time has elapsed.
+    pub fn window_rate(&self, now: SimTime) -> f64 {
+        let dt = now.saturating_since(self.window_start).as_secs_f64();
+        if dt <= 0.0 {
+            0.0
+        } else {
+            self.window_count as f64 / dt
+        }
+    }
+
+    /// Throughput since construction, in events/second.
+    pub fn overall_rate(&self, now: SimTime) -> f64 {
+        let dt = now.saturating_since(self.origin).as_secs_f64();
+        if dt <= 0.0 {
+            0.0
+        } else {
+            self.total_count as f64 / dt
+        }
+    }
+
+    /// Close the current window at `now`, returning its rate, and start a new
+    /// window.
+    pub fn roll_window(&mut self, now: SimTime) -> f64 {
+        let rate = self.window_rate(now);
+        self.window_start = now;
+        self.window_count = 0;
+        rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_divide_by_elapsed_time() {
+        let mut m = Meter::new(SimTime::ZERO);
+        m.record(10);
+        assert_eq!(m.window_rate(SimTime::from_secs(5)), 2.0);
+        assert_eq!(m.overall_rate(SimTime::from_secs(5)), 2.0);
+    }
+
+    #[test]
+    fn zero_elapsed_gives_zero_rate() {
+        let mut m = Meter::new(SimTime::from_secs(3));
+        m.tick();
+        assert_eq!(m.window_rate(SimTime::from_secs(3)), 0.0);
+    }
+
+    #[test]
+    fn roll_window_resets_window_but_not_total() {
+        let mut m = Meter::new(SimTime::ZERO);
+        m.record(6);
+        let r = m.roll_window(SimTime::from_secs(2));
+        assert_eq!(r, 3.0);
+        assert_eq!(m.window_count(), 0);
+        assert_eq!(m.total_count(), 6);
+        m.record(4);
+        assert_eq!(m.window_rate(SimTime::from_secs(4)), 2.0);
+        assert_eq!(m.overall_rate(SimTime::from_secs(4)), 2.5);
+    }
+}

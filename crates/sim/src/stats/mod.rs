@@ -1,0 +1,21 @@
+//! Online statistics for simulation outputs.
+//!
+//! All estimators here are *online*: they consume an unbounded stream of
+//! observations in O(1) memory (except [`Series`], which is an explicit
+//! recorder with bounded, configurable resolution).
+
+mod histogram;
+mod meter;
+mod p2;
+mod regression;
+mod series;
+mod timeweighted;
+mod welford;
+
+pub use histogram::Histogram;
+pub use meter::Meter;
+pub use p2::P2Quantile;
+pub use regression::LinReg;
+pub use series::{Series, SeriesPoint};
+pub use timeweighted::TimeWeighted;
+pub use welford::Welford;

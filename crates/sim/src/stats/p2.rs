@@ -1,0 +1,213 @@
+//! The P² (piecewise-parabolic) online quantile estimator
+//! (Jain & Chlamtac, CACM 1985).
+//!
+//! Tracks a single quantile in O(1) memory without binning assumptions —
+//! more accurate than a log-histogram for mid-range quantiles and
+//! scale-free. Used where one specific quantile (e.g. a p95 SLO) matters;
+//! [`super::Histogram`] remains the choice when many quantiles are read
+//! from one stream.
+
+use serde::{Deserialize, Serialize};
+
+/// Online estimator of one quantile `q ∈ (0, 1)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct P2Quantile {
+    q: f64,
+    /// Marker heights (estimates of the quantile curve).
+    heights: [f64; 5],
+    /// Actual marker positions (1-based observation ranks).
+    positions: [f64; 5],
+    /// Desired marker positions.
+    desired: [f64; 5],
+    /// Desired position increments per observation.
+    increments: [f64; 5],
+    count: u64,
+}
+
+impl P2Quantile {
+    /// An estimator for quantile `q`.
+    ///
+    /// # Panics
+    /// Panics unless `0 < q < 1`.
+    pub fn new(q: f64) -> Self {
+        assert!(q > 0.0 && q < 1.0, "quantile must be in (0,1): {q}");
+        P2Quantile {
+            q,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0],
+            increments: [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0],
+            count: 0,
+        }
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Add one observation.
+    pub fn push(&mut self, x: f64) {
+        debug_assert!(x.is_finite(), "non-finite observation {x}");
+        if self.count < 5 {
+            self.heights[self.count as usize] = x;
+            self.count += 1;
+            if self.count == 5 {
+                self.heights.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            }
+            return;
+        }
+        self.count += 1;
+
+        // 1. Find the cell containing x and clamp extremes.
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x >= self.heights[4] {
+            self.heights[4] = x;
+            3
+        } else {
+            let mut k = 0;
+            for i in 0..4 {
+                if self.heights[i] <= x && x < self.heights[i + 1] {
+                    k = i;
+                    break;
+                }
+            }
+            k
+        };
+
+        // 2. Shift positions of markers above the cell.
+        for i in (k + 1)..5 {
+            self.positions[i] += 1.0;
+        }
+        for i in 0..5 {
+            self.desired[i] += self.increments[i];
+        }
+
+        // 3. Adjust interior markers toward their desired positions.
+        for i in 1..4 {
+            let d = self.desired[i] - self.positions[i];
+            let right_gap = self.positions[i + 1] - self.positions[i];
+            let left_gap = self.positions[i - 1] - self.positions[i];
+            if (d >= 1.0 && right_gap > 1.0) || (d <= -1.0 && left_gap < -1.0) {
+                let d = d.signum();
+                let parabolic = self.parabolic(i, d);
+                if self.heights[i - 1] < parabolic && parabolic < self.heights[i + 1] {
+                    self.heights[i] = parabolic;
+                } else {
+                    self.heights[i] = self.linear(i, d);
+                }
+                self.positions[i] += d;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let p = &self.positions;
+        let h = &self.heights;
+        h[i] + d / (p[i + 1] - p[i - 1])
+            * ((p[i] - p[i - 1] + d) * (h[i + 1] - h[i]) / (p[i + 1] - p[i])
+                + (p[i + 1] - p[i] - d) * (h[i] - h[i - 1]) / (p[i] - p[i - 1]))
+    }
+
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = if d > 0.0 { i + 1 } else { i - 1 };
+        self.heights[i]
+            + d * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
+    }
+
+    /// Current quantile estimate. `NaN` when empty; exact for ≤ 5 samples.
+    pub fn value(&self) -> f64 {
+        match self.count {
+            0 => f64::NAN,
+            n if n < 5 => {
+                let mut v: Vec<f64> = self.heights[..n as usize].to_vec();
+                v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                let idx = ((self.q * n as f64).ceil() as usize).clamp(1, n as usize) - 1;
+                v[idx]
+            }
+            _ => self.heights[2],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::RngHub;
+    use rand::Rng;
+
+    #[test]
+    fn matches_exact_quantile_on_uniform_stream() {
+        let mut p = P2Quantile::new(0.95);
+        let mut rng = RngHub::new(7).stream("p2");
+        let mut xs = Vec::new();
+        for _ in 0..20_000 {
+            let x: f64 = rng.gen_range(0.0..100.0);
+            xs.push(x);
+            p.push(x);
+        }
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let exact = xs[(0.95 * xs.len() as f64) as usize];
+        let est = p.value();
+        assert!(
+            (est - exact).abs() < 2.0,
+            "p95 estimate {est} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn median_of_skewed_stream() {
+        let mut p = P2Quantile::new(0.5);
+        let mut rng = RngHub::new(8).stream("p2m");
+        let mut xs = Vec::new();
+        for _ in 0..20_000 {
+            let u: f64 = rng.gen();
+            let x = (-2.0 * u.ln().min(0.0)).exp(); // heavy-ish skew
+            xs.push(x);
+            p.push(x);
+        }
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let exact = xs[xs.len() / 2];
+        let est = p.value();
+        assert!(
+            (est - exact).abs() / exact < 0.05,
+            "median {est} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn small_samples_are_exact() {
+        let mut p = P2Quantile::new(0.5);
+        assert!(p.value().is_nan());
+        p.push(10.0);
+        assert_eq!(p.value(), 10.0);
+        p.push(20.0);
+        p.push(30.0);
+        // Median of {10,20,30} = 20.
+        assert_eq!(p.value(), 20.0);
+        assert_eq!(p.count(), 3);
+    }
+
+    #[test]
+    fn monotone_under_shift() {
+        // Feeding strictly larger values must not decrease the estimate.
+        let mut p = P2Quantile::new(0.9);
+        let mut last = f64::NEG_INFINITY;
+        for i in 0..5_000 {
+            p.push(i as f64);
+            if i > 10 && i % 100 == 0 {
+                let v = p.value();
+                assert!(v >= last - 1e-9, "estimate went backwards at {i}");
+                last = v;
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in (0,1)")]
+    fn invalid_quantile_panics() {
+        let _ = P2Quantile::new(1.0);
+    }
+}

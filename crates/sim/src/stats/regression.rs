@@ -1,0 +1,219 @@
+//! Simple (optionally exponentially-weighted) linear regression.
+//!
+//! The OLTP performance model of the paper (§3.2) is a one-variable linear
+//! model `t = t₀ + s·C` whose slope `s` is "obtained using linear
+//! regression" from observed (OLAP-cost-limit, OLTP-response-time) pairs.
+//! [`LinReg`] provides exactly that, with an optional decay factor so the
+//! model tracks workload drift.
+
+use serde::{Deserialize, Serialize};
+
+/// Online least-squares fit of `y = intercept + slope * x`.
+///
+/// With `decay == 1.0` this is ordinary least squares over all observations;
+/// with `decay < 1.0` older observations are exponentially down-weighted on
+/// every push, so the fit follows a drifting relationship.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinReg {
+    decay: f64,
+    /// Sum of weights.
+    sw: f64,
+    swx: f64,
+    swy: f64,
+    swxx: f64,
+    swxy: f64,
+    swyy: f64,
+    n: u64,
+}
+
+impl Default for LinReg {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LinReg {
+    /// Ordinary (unweighted) least squares.
+    pub fn new() -> Self {
+        Self::with_decay(1.0)
+    }
+
+    /// Exponentially weighted least squares; each push multiplies previous
+    /// weights by `decay`.
+    ///
+    /// # Panics
+    /// Panics unless `0 < decay <= 1`.
+    pub fn with_decay(decay: f64) -> Self {
+        assert!(decay > 0.0 && decay <= 1.0, "decay must be in (0, 1]: {decay}");
+        LinReg { decay, sw: 0.0, swx: 0.0, swy: 0.0, swxx: 0.0, swxy: 0.0, swyy: 0.0, n: 0 }
+    }
+
+    /// Add an `(x, y)` observation.
+    pub fn push(&mut self, x: f64, y: f64) {
+        debug_assert!(x.is_finite() && y.is_finite(), "non-finite observation ({x}, {y})");
+        if self.decay < 1.0 {
+            self.sw *= self.decay;
+            self.swx *= self.decay;
+            self.swy *= self.decay;
+            self.swxx *= self.decay;
+            self.swxy *= self.decay;
+            self.swyy *= self.decay;
+        }
+        self.sw += 1.0;
+        self.swx += x;
+        self.swy += y;
+        self.swxx += x * x;
+        self.swxy += x * y;
+        self.swyy += y * y;
+        self.n += 1;
+    }
+
+    /// Number of observations pushed (unweighted count).
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Weighted covariance of x and y.
+    fn cov_xy(&self) -> f64 {
+        self.swxy / self.sw - (self.swx / self.sw) * (self.swy / self.sw)
+    }
+
+    /// Weighted variance of x.
+    fn var_x(&self) -> f64 {
+        self.swxx / self.sw - (self.swx / self.sw).powi(2)
+    }
+
+    /// Weighted variance of y.
+    fn var_y(&self) -> f64 {
+        self.swyy / self.sw - (self.swy / self.sw).powi(2)
+    }
+
+    /// Fitted slope; `None` until two distinct x values have been seen.
+    pub fn slope(&self) -> Option<f64> {
+        if self.n < 2 {
+            return None;
+        }
+        let vx = self.var_x();
+        if vx <= 1e-300 {
+            return None;
+        }
+        Some(self.cov_xy() / vx)
+    }
+
+    /// Fitted intercept; `None` whenever [`LinReg::slope`] is `None`.
+    pub fn intercept(&self) -> Option<f64> {
+        self.slope().map(|s| self.swy / self.sw - s * self.swx / self.sw)
+    }
+
+    /// Predict `y` at `x`; `None` until the fit is defined.
+    pub fn predict(&self, x: f64) -> Option<f64> {
+        Some(self.intercept()? + self.slope()? * x)
+    }
+
+    /// Coefficient of determination R² ∈ [0, 1]; `None` until defined, and
+    /// `Some(1.0)` for a perfectly explained (or constant-y) relationship.
+    pub fn r_squared(&self) -> Option<f64> {
+        let s = self.slope()?;
+        let vy = self.var_y();
+        if vy <= 1e-300 {
+            return Some(1.0);
+        }
+        Some(((s * s * self.var_x()) / vy).clamp(0.0, 1.0))
+    }
+
+    /// Reset to empty, keeping the decay factor.
+    pub fn reset(&mut self) {
+        *self = Self::with_decay(self.decay);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_recovered() {
+        let mut r = LinReg::new();
+        for i in 0..50 {
+            let x = i as f64;
+            r.push(x, 3.0 + 2.0 * x);
+        }
+        assert!((r.slope().unwrap() - 2.0).abs() < 1e-9);
+        assert!((r.intercept().unwrap() - 3.0).abs() < 1e-9);
+        assert!((r.r_squared().unwrap() - 1.0).abs() < 1e-9);
+        assert!((r.predict(100.0).unwrap() - 203.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn undefined_before_two_distinct_x() {
+        let mut r = LinReg::new();
+        assert!(r.slope().is_none());
+        r.push(5.0, 1.0);
+        assert!(r.slope().is_none());
+        r.push(5.0, 2.0); // same x: still degenerate
+        assert!(r.slope().is_none());
+        r.push(6.0, 3.0);
+        assert!(r.slope().is_some());
+    }
+
+    #[test]
+    fn noisy_line_slope_close() {
+        let mut r = LinReg::new();
+        // Deterministic "noise" via a simple LCG so no rand dependency here.
+        let mut state = 12345u64;
+        let mut noise = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (u32::MAX as f64) - 0.5) * 0.2
+        };
+        for i in 0..2000 {
+            let x = (i % 100) as f64;
+            r.push(x, 1.0 + 0.5 * x + noise());
+        }
+        assert!((r.slope().unwrap() - 0.5).abs() < 0.01);
+        assert!(r.r_squared().unwrap() > 0.99);
+    }
+
+    #[test]
+    fn decayed_fit_tracks_regime_change() {
+        let mut r = LinReg::with_decay(0.9);
+        for i in 0..200 {
+            r.push((i % 20) as f64, 10.0 + 1.0 * (i % 20) as f64);
+        }
+        // Slope changes from 1 to 4.
+        for i in 0..200 {
+            r.push((i % 20) as f64, 10.0 + 4.0 * (i % 20) as f64);
+        }
+        let s = r.slope().unwrap();
+        assert!((s - 4.0).abs() < 0.1, "decayed slope {s} should track the new regime");
+
+        // Undecayed OLS would sit near the middle.
+        let mut o = LinReg::new();
+        for i in 0..200 {
+            o.push((i % 20) as f64, 10.0 + 1.0 * (i % 20) as f64);
+        }
+        for i in 0..200 {
+            o.push((i % 20) as f64, 10.0 + 4.0 * (i % 20) as f64);
+        }
+        let so = o.slope().unwrap();
+        assert!((so - 2.5).abs() < 0.1, "OLS slope {so} should average regimes");
+    }
+
+    #[test]
+    fn constant_y_r_squared_is_one() {
+        let mut r = LinReg::new();
+        for i in 0..10 {
+            r.push(i as f64, 7.0);
+        }
+        assert!((r.slope().unwrap()).abs() < 1e-12);
+        assert_eq!(r.r_squared(), Some(1.0));
+    }
+
+    #[test]
+    fn reset_preserves_decay() {
+        let mut r = LinReg::with_decay(0.5);
+        r.push(1.0, 1.0);
+        r.reset();
+        assert_eq!(r.count(), 0);
+        assert!(r.slope().is_none());
+    }
+}

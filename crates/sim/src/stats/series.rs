@@ -1,0 +1,135 @@
+//! A timestamped series recorder for plottable outputs (e.g. the cost-limit
+//! trajectories of the paper's Figure 7).
+
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// One recorded point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SeriesPoint {
+    /// When the value was recorded.
+    pub time: SimTime,
+    /// The recorded value.
+    pub value: f64,
+}
+
+/// An append-only `(time, value)` series with optional minimum spacing.
+///
+/// A `min_spacing` of zero records every point; a positive spacing drops
+/// points that arrive sooner than the spacing after the previously kept one
+/// (the final value of a run should be recorded via [`Series::force_push`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    name: String,
+    points: Vec<SeriesPoint>,
+    min_spacing_us: u64,
+}
+
+impl Series {
+    /// A series recording every pushed point.
+    pub fn new(name: impl Into<String>) -> Self {
+        Series { name: name.into(), points: Vec::new(), min_spacing_us: 0 }
+    }
+
+    /// A series that keeps at most one point per `min_spacing` of sim time.
+    pub fn with_min_spacing(name: impl Into<String>, min_spacing: crate::time::SimDuration) -> Self {
+        Series { name: name.into(), points: Vec::new(), min_spacing_us: min_spacing.as_micros() }
+    }
+
+    /// Series name (used as a CSV column header).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Append a point, subject to the spacing filter.
+    pub fn push(&mut self, time: SimTime, value: f64) {
+        if let Some(last) = self.points.last() {
+            debug_assert!(time >= last.time, "series times must be monotone");
+            if time.as_micros() - last.time.as_micros() < self.min_spacing_us {
+                return;
+            }
+        }
+        self.points.push(SeriesPoint { time, value });
+    }
+
+    /// Append a point unconditionally (bypasses the spacing filter).
+    pub fn force_push(&mut self, time: SimTime, value: f64) {
+        self.points.push(SeriesPoint { time, value });
+    }
+
+    /// All recorded points.
+    pub fn points(&self) -> &[SeriesPoint] {
+        &self.points
+    }
+
+    /// Number of recorded points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The most recent value, if any.
+    pub fn last_value(&self) -> Option<f64> {
+        self.points.last().map(|p| p.value)
+    }
+
+    /// Mean of values recorded with `time` in `[from, to)`.
+    /// Returns `None` if the window contains no points.
+    pub fn mean_in(&self, from: SimTime, to: SimTime) -> Option<f64> {
+        let mut n = 0u64;
+        let mut sum = 0.0;
+        for p in &self.points {
+            if p.time >= from && p.time < to {
+                n += 1;
+                sum += p.value;
+            }
+        }
+        if n == 0 {
+            None
+        } else {
+            Some(sum / n as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn records_points_in_order() {
+        let mut s = Series::new("x");
+        s.push(SimTime::from_secs(1), 1.0);
+        s.push(SimTime::from_secs(2), 2.0);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.last_value(), Some(2.0));
+        assert_eq!(s.name(), "x");
+    }
+
+    #[test]
+    fn spacing_filter_drops_dense_points() {
+        let mut s = Series::with_min_spacing("x", SimDuration::from_secs(10));
+        for i in 0..100 {
+            s.push(SimTime::from_secs(i), i as f64);
+        }
+        assert_eq!(s.len(), 10); // t = 0, 10, 20, ..., 90
+        s.force_push(SimTime::from_secs(99), 99.0);
+        assert_eq!(s.len(), 11);
+    }
+
+    #[test]
+    fn mean_in_window() {
+        let mut s = Series::new("x");
+        for i in 0..10 {
+            s.push(SimTime::from_secs(i), i as f64);
+        }
+        let m = s.mean_in(SimTime::from_secs(2), SimTime::from_secs(5)).unwrap();
+        assert!((m - 3.0).abs() < 1e-12); // values 2, 3, 4
+        assert!(s.mean_in(SimTime::from_secs(50), SimTime::from_secs(60)).is_none());
+    }
+}

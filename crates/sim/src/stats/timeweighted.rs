@@ -1,0 +1,148 @@
+//! Time-weighted average of a piecewise-constant signal.
+//!
+//! Used for signals such as "number of concurrently executing queries" or
+//! "total admitted cost", whose average must be weighted by how long each
+//! value was held, not by how often it changed.
+
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Online time-weighted mean of a right-continuous step function.
+///
+/// ```
+/// use qsched_sim::stats::TimeWeighted;
+/// use qsched_sim::SimTime;
+///
+/// let mut tw = TimeWeighted::new(SimTime::ZERO, 0.0);
+/// tw.set(SimTime::from_secs(10), 4.0);  // value was 0 for 10 s
+/// tw.set(SimTime::from_secs(30), 1.0);  // value was 4 for 20 s
+/// // value is 1 for the final 10 s
+/// assert!((tw.mean_at(SimTime::from_secs(40)) - (0.0*10.0 + 4.0*20.0 + 1.0*10.0) / 40.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimeWeighted {
+    start: SimTime,
+    last_change: SimTime,
+    current: f64,
+    weighted_sum: f64,
+    max: f64,
+    min: f64,
+}
+
+impl TimeWeighted {
+    /// Begin tracking at `start` with the signal at `initial`.
+    pub fn new(start: SimTime, initial: f64) -> Self {
+        TimeWeighted {
+            start,
+            last_change: start,
+            current: initial,
+            weighted_sum: 0.0,
+            max: initial,
+            min: initial,
+        }
+    }
+
+    /// Record that the signal changed to `value` at time `now`.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `now` precedes the previous update.
+    pub fn set(&mut self, now: SimTime, value: f64) {
+        debug_assert!(now >= self.last_change, "TimeWeighted updates must be monotone");
+        self.weighted_sum += self.current * (now.saturating_since(self.last_change)).as_secs_f64();
+        self.last_change = now;
+        self.current = value;
+        self.max = self.max.max(value);
+        self.min = self.min.min(value);
+    }
+
+    /// Record that the signal changed by `delta` at time `now`.
+    pub fn add(&mut self, now: SimTime, delta: f64) {
+        let v = self.current + delta;
+        self.set(now, v);
+    }
+
+    /// The current value of the signal.
+    pub fn current(&self) -> f64 {
+        self.current
+    }
+
+    /// The maximum value the signal has taken.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// The minimum value the signal has taken.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Time-weighted mean over `[start, now]`. Returns the current value if
+    /// no time has elapsed.
+    pub fn mean_at(&self, now: SimTime) -> f64 {
+        let elapsed = now.saturating_since(self.start).as_secs_f64();
+        if elapsed <= 0.0 {
+            return self.current;
+        }
+        let pending = self.current * now.saturating_since(self.last_change).as_secs_f64();
+        (self.weighted_sum + pending) / elapsed
+    }
+
+    /// Restart the window at `now`, keeping the current signal value.
+    pub fn reset_window(&mut self, now: SimTime) {
+        self.start = now;
+        self.last_change = now;
+        self.weighted_sum = 0.0;
+        self.max = self.current;
+        self.min = self.current;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn constant_signal_mean_is_value() {
+        let tw = TimeWeighted::new(SimTime::ZERO, 3.0);
+        assert_eq!(tw.mean_at(SimTime::from_secs(100)), 3.0);
+        assert_eq!(tw.mean_at(SimTime::ZERO), 3.0);
+    }
+
+    #[test]
+    fn step_function_mean() {
+        let mut tw = TimeWeighted::new(SimTime::ZERO, 1.0);
+        tw.set(SimTime::from_secs(5), 3.0);
+        // [0,5): 1.0, [5,15): 3.0 => mean = (5 + 30) / 15
+        assert!((tw.mean_at(SimTime::from_secs(15)) - 35.0 / 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_tracks_deltas() {
+        let mut tw = TimeWeighted::new(SimTime::ZERO, 0.0);
+        tw.add(SimTime::from_secs(1), 2.0);
+        tw.add(SimTime::from_secs(2), 3.0);
+        tw.add(SimTime::from_secs(3), -4.0);
+        assert!((tw.current() - 1.0).abs() < 1e-12);
+        assert_eq!(tw.max(), 5.0);
+        assert_eq!(tw.min(), 0.0);
+    }
+
+    #[test]
+    fn window_reset_discards_history() {
+        let mut tw = TimeWeighted::new(SimTime::ZERO, 10.0);
+        tw.set(SimTime::from_secs(10), 2.0);
+        tw.reset_window(SimTime::from_secs(10));
+        assert_eq!(tw.mean_at(SimTime::from_secs(20)), 2.0);
+        assert_eq!(tw.max(), 2.0);
+    }
+
+    #[test]
+    fn mean_between_updates_includes_pending_interval() {
+        let mut tw = TimeWeighted::new(SimTime::ZERO, 0.0);
+        tw.set(SimTime::from_secs(10), 6.0);
+        let mid = SimTime::from_secs(10) + SimDuration::from_secs(10);
+        // [0,10): 0; [10,20): 6 => mean 3
+        assert!((tw.mean_at(mid) - 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,179 @@
+//! Property-based tests of the simulation kernel's invariants.
+
+use proptest::prelude::*;
+use qsched_sim::prelude::*;
+use qsched_sim::EventQueue;
+
+proptest! {
+    /// The event queue is a stable priority queue: pops are sorted by time,
+    /// and FIFO among equal timestamps.
+    #[test]
+    fn event_queue_pops_sorted_and_stable(times in prop::collection::vec(0u64..1_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (seq, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_micros(t), seq);
+        }
+        let mut last: Option<(SimTime, usize)> = None;
+        while let Some((t, seq)) = q.pop() {
+            if let Some((lt, lseq)) = last {
+                prop_assert!(t >= lt, "time went backwards");
+                if t == lt {
+                    prop_assert!(seq > lseq, "FIFO violated among equal timestamps");
+                }
+            }
+            last = Some((t, seq));
+        }
+    }
+
+    /// Welford matches the naive two-pass mean and variance.
+    #[test]
+    fn welford_matches_two_pass(xs in prop::collection::vec(-1e6f64..1e6, 2..300)) {
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        prop_assert!((w.mean() - mean).abs() <= 1e-6 * (1.0 + mean.abs()));
+        prop_assert!((w.sample_variance() - var).abs() <= 1e-5 * (1.0 + var.abs()));
+        let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(w.min(), min);
+        prop_assert_eq!(w.max(), max);
+    }
+
+    /// Merging split Welford accumulators equals accumulating sequentially.
+    #[test]
+    fn welford_merge_is_associative(
+        xs in prop::collection::vec(-1e3f64..1e3, 1..100),
+        split in 0usize..100,
+    ) {
+        let k = split.min(xs.len());
+        let mut whole = Welford::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let (mut a, mut b) = (Welford::new(), Welford::new());
+        for &x in &xs[..k] {
+            a.push(x);
+        }
+        for &x in &xs[k..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        prop_assert_eq!(a.count(), whole.count());
+        prop_assert!((a.mean() - whole.mean()).abs() < 1e-9 * (1.0 + whole.mean().abs()));
+        prop_assert!((a.sample_variance() - whole.sample_variance()).abs() < 1e-6);
+    }
+
+    /// The time-weighted mean always lies within [min, max] of the values
+    /// the signal has taken, and matches a piecewise reference computation.
+    #[test]
+    fn time_weighted_matches_reference(
+        steps in prop::collection::vec((1u64..1_000, -100f64..100.0), 1..50),
+    ) {
+        let mut tw = TimeWeighted::new(SimTime::ZERO, 0.0);
+        let mut t = 0u64;
+        let mut reference = 0.0; // integral of the signal
+        let mut value = 0.0;
+        for &(dt, v) in &steps {
+            reference += value * dt as f64;
+            t += dt;
+            tw.set(SimTime::from_micros(t), v);
+            value = v;
+        }
+        // Close with one more second at the final value.
+        reference += value * 1_000_000.0;
+        t += 1_000_000;
+        let end = SimTime::from_micros(t);
+        let expected = reference / t as f64;
+        prop_assert!((tw.mean_at(end) - expected / 1e6 * 1e6).abs() < 1e-6,
+            "tw {} vs reference {}", tw.mean_at(end), expected);
+        prop_assert!(tw.mean_at(end) <= tw.max() + 1e-9);
+        prop_assert!(tw.mean_at(end) >= tw.min() - 1e-9);
+    }
+
+    /// Histogram quantiles are monotone in q and total count is preserved.
+    #[test]
+    fn histogram_quantiles_monotone(xs in prop::collection::vec(1e-4f64..1e4, 1..500)) {
+        let mut h = Histogram::for_response_times();
+        for &x in &xs {
+            h.record(x);
+        }
+        prop_assert_eq!(h.count(), xs.len() as u64);
+        let mut prev = 0.0;
+        for i in 0..=10 {
+            let q = h.quantile(i as f64 / 10.0);
+            prop_assert!(q >= prev, "quantiles must be monotone");
+            prev = q;
+        }
+        // The median is within the data range, up to one bin of slack.
+        let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().copied().fold(0.0, f64::max);
+        prop_assert!(h.median() >= min * 0.8);
+        prop_assert!(h.median() <= max * 1.3);
+    }
+
+    /// LinReg exactly recovers arbitrary lines from noiseless samples.
+    #[test]
+    fn linreg_recovers_lines(
+        slope in -100f64..100.0,
+        intercept in -1e3f64..1e3,
+        xs in prop::collection::vec(-1e3f64..1e3, 3..100),
+    ) {
+        // Need at least two distinct x values for a defined fit.
+        prop_assume!(xs.iter().any(|&x| (x - xs[0]).abs() > 1e-6));
+        let mut r = LinReg::new();
+        for &x in &xs {
+            r.push(x, intercept + slope * x);
+        }
+        let s = r.slope().expect("defined");
+        let i = r.intercept().expect("defined");
+        prop_assert!((s - slope).abs() < 1e-5 * (1.0 + slope.abs()), "slope {s} vs {slope}");
+        prop_assert!((i - intercept).abs() < 1e-4 * (1.0 + intercept.abs()));
+    }
+
+    /// Distribution samples respect their supports.
+    #[test]
+    fn distribution_supports(seed in any::<u64>()) {
+        let mut rng = RngHub::new(seed).stream("support");
+        let u = Uniform::new(5.0, 9.0);
+        let e = Exp::with_mean(2.0);
+        let p = Pareto::bounded(1.0, 100.0, 1.1);
+        let l = LogNormal::with_mean(10.0, 0.3);
+        for _ in 0..200 {
+            let x = u.sample(&mut rng);
+            prop_assert!((5.0..9.0).contains(&x));
+            prop_assert!(e.sample(&mut rng) >= 0.0);
+            let y = p.sample(&mut rng);
+            prop_assert!((1.0..=100.0).contains(&y), "pareto out of bounds: {y}");
+            prop_assert!(l.sample(&mut rng) > 0.0);
+        }
+    }
+
+    /// Engine delivery: arbitrary scheduled batches are delivered exactly
+    /// once each, in timestamp order.
+    #[test]
+    fn engine_delivers_everything_in_order(times in prop::collection::vec(0u64..10_000, 1..100)) {
+        struct Collect {
+            seen: Vec<SimTime>,
+        }
+        impl World for Collect {
+            type Event = u32;
+            fn handle(&mut self, ctx: &mut Ctx<'_, u32>, _ev: u32) {
+                self.seen.push(ctx.now());
+            }
+        }
+        let mut e = Engine::new(Collect { seen: Vec::new() });
+        for (i, &t) in times.iter().enumerate() {
+            e.schedule_at(SimTime::from_micros(t), i as u32);
+        }
+        let delivered = e.run();
+        prop_assert_eq!(delivered, times.len() as u64);
+        let seen = &e.world().seen;
+        for w in seen.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+    }
+}

@@ -1,0 +1,703 @@
+//! Client machinery: closed-loop sessions (with optional think time) and
+//! open-loop Poisson arrival streams.
+//!
+//! The paper's clients submit "one after another with zero think time" —
+//! that is [`Behavior::ClosedLoop`] with zero think time, the default.
+//! Production workloads are rarely that aggressive, so the driver also
+//! supports exponential think times and open-loop arrivals; populations
+//! always follow a [`Schedule`]: at each period boundary clients are
+//! activated (and submit immediately) or retired (they finish their
+//! in-flight query and stop).
+
+use crate::generator::QueryGen;
+use crate::schedule::Schedule;
+use qsched_dbms::query::{ClientId, Query, QueryId, QueryRecord};
+use qsched_sim::dist::{Dist, Exp};
+use qsched_sim::rng::Stream;
+use qsched_sim::{Ctx, RngHub, SimDuration};
+
+/// Client ids are partitioned into per-group ranges of this size.
+const CLIENT_STRIDE: u32 = 100_000;
+
+/// How the clients of one class generate load.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum Behavior {
+    /// Each client keeps exactly one query outstanding; after a completion
+    /// it thinks for an exponentially distributed time (possibly zero, the
+    /// paper's setting) and submits again.
+    ClosedLoop {
+        /// Mean think time between a completion and the next submission.
+        mean_think: SimDuration,
+    },
+    /// The class is a Poisson arrival stream whose rate scales with the
+    /// scheduled client count; submissions do not wait for completions.
+    OpenLoop {
+        /// Mean inter-arrival time *per client* (rate = count / this).
+        mean_interarrival: SimDuration,
+    },
+}
+
+impl Behavior {
+    /// The paper's behaviour: closed loop, zero think time.
+    pub fn paper() -> Self {
+        Behavior::ClosedLoop { mean_think: SimDuration::ZERO }
+    }
+}
+
+/// Events owned by the client driver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClientEvent {
+    /// A schedule period begins.
+    PeriodStart(usize),
+    /// A thinking closed-loop client wakes up and submits.
+    Resubmit(ClientId),
+    /// The next open-loop arrival of a group (stale generations ignored).
+    Arrival {
+        /// Group index.
+        group: u16,
+        /// Generation at scheduling time, bumped on every rate change.
+        generation: u32,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ClientState {
+    /// Not participating.
+    Inactive,
+    /// Active with one query outstanding.
+    Busy,
+    /// Active, between queries (think time pending).
+    Thinking,
+    /// Finishing its last query (or last think); will not resubmit.
+    Retiring,
+}
+
+impl ClientState {
+    fn is_active(self) -> bool {
+        matches!(self, ClientState::Busy | ClientState::Thinking)
+    }
+}
+
+struct Group {
+    gen: Box<dyn QueryGen>,
+    behavior: Behavior,
+    states: Vec<ClientState>,
+    rng: Stream,
+    /// Open-loop: invalidates in-flight arrival events on rate changes.
+    arrival_generation: u32,
+    /// Open-loop: rotates the client id attached to arrivals.
+    next_slot: u32,
+    /// Open-loop: current scheduled population.
+    open_count: u32,
+}
+
+impl Group {
+    fn active_count(&self) -> u32 {
+        match self.behavior {
+            Behavior::ClosedLoop { .. } => {
+                self.states.iter().filter(|s| s.is_active()).count() as u32
+            }
+            Behavior::OpenLoop { .. } => self.open_count,
+        }
+    }
+}
+
+/// The set of clients across all workload classes.
+///
+/// Integration contract with the enclosing world:
+/// 1. call [`Clients::start`] once at t=0 and submit the returned queries;
+/// 2. route [`ClientEvent`]s to [`Clients::handle`] and submit what it returns;
+/// 3. on every completed query, call [`Clients::on_completion`] and submit
+///    the follow-up query if one is returned.
+pub struct Clients {
+    schedule: Schedule,
+    groups: Vec<Group>,
+    next_query_id: u64,
+    total_generated: u64,
+}
+
+impl Clients {
+    /// The paper's configuration: every class closed-loop with zero think
+    /// time. One generator per schedule class, in order.
+    ///
+    /// # Panics
+    /// Panics if the number of generators differs from the schedule's class
+    /// count, or a schedule period asks for more clients than the stride.
+    pub fn new(schedule: Schedule, generators: Vec<Box<dyn QueryGen>>) -> Self {
+        let behaviors = vec![Behavior::paper(); generators.len()];
+        Self::with_behaviors(schedule, generators, behaviors, &RngHub::new(0))
+    }
+
+    /// Full configuration: per-class behaviours, with think/arrival
+    /// randomness drawn from `hub`.
+    ///
+    /// # Panics
+    /// As [`Clients::new`], plus if `behaviors` and `generators` differ in
+    /// length.
+    pub fn with_behaviors(
+        schedule: Schedule,
+        generators: Vec<Box<dyn QueryGen>>,
+        behaviors: Vec<Behavior>,
+        hub: &RngHub,
+    ) -> Self {
+        assert_eq!(
+            generators.len(),
+            schedule.classes(),
+            "need exactly one generator per schedule class"
+        );
+        assert_eq!(behaviors.len(), generators.len(), "one behavior per class");
+        let groups = generators
+            .into_iter()
+            .zip(behaviors)
+            .enumerate()
+            .map(|(gi, (gen, behavior))| {
+                let max = schedule.max_count(gi);
+                assert!(max < CLIENT_STRIDE, "period population exceeds client stride");
+                Group {
+                    gen,
+                    behavior,
+                    states: vec![ClientState::Inactive; max as usize],
+                    rng: hub.stream_indexed("client-behavior", gi as u64),
+                    arrival_generation: 0,
+                    next_slot: 0,
+                    open_count: 0,
+                }
+            })
+            .collect();
+        Clients { schedule, groups, next_query_id: 0, total_generated: 0 }
+    }
+
+    /// The schedule driving the populations.
+    pub fn schedule(&self) -> &Schedule {
+        &self.schedule
+    }
+
+    /// Total queries generated so far.
+    pub fn total_generated(&self) -> u64 {
+        self.total_generated
+    }
+
+    /// Currently active clients in group `gi` (busy + thinking, or the
+    /// scheduled population for open-loop groups).
+    pub fn active_count(&self, gi: usize) -> u32 {
+        self.groups[gi].active_count()
+    }
+
+    fn client_id(gi: usize, slot: usize) -> ClientId {
+        ClientId(gi as u32 * CLIENT_STRIDE + slot as u32)
+    }
+
+    fn locate(client: ClientId) -> (usize, usize) {
+        ((client.0 / CLIENT_STRIDE) as usize, (client.0 % CLIENT_STRIDE) as usize)
+    }
+
+    fn fresh_query(&mut self, gi: usize, slot: usize) -> Query {
+        let id = QueryId(self.next_query_id);
+        self.next_query_id += 1;
+        self.total_generated += 1;
+        self.groups[gi].gen.next_query(id, Self::client_id(gi, slot))
+    }
+
+    /// Begin the run: schedules every period-boundary event and applies
+    /// period 0. Returns the initial queries to submit.
+    pub fn start<E: From<ClientEvent>>(&mut self, ctx: &mut Ctx<'_, E>) -> Vec<Query> {
+        for p in 1..self.schedule.periods() {
+            ctx.schedule_at(self.schedule.period_start(p), ClientEvent::PeriodStart(p).into());
+        }
+        self.apply_period(ctx, 0)
+    }
+
+    /// Handle a driver event, returning queries to submit.
+    pub fn handle<E: From<ClientEvent>>(
+        &mut self,
+        ctx: &mut Ctx<'_, E>,
+        ev: ClientEvent,
+    ) -> Vec<Query> {
+        match ev {
+            ClientEvent::PeriodStart(p) => self.apply_period(ctx, p),
+            ClientEvent::Resubmit(client) => self.on_resubmit(client).into_iter().collect(),
+            ClientEvent::Arrival { group, generation } => {
+                self.on_arrival(ctx, group as usize, generation).into_iter().collect()
+            }
+        }
+    }
+
+    /// Schedule the next open-loop arrival for group `gi` under its current
+    /// rate.
+    fn schedule_arrival<E: From<ClientEvent>>(&mut self, ctx: &mut Ctx<'_, E>, gi: usize) {
+        let group = &mut self.groups[gi];
+        let Behavior::OpenLoop { mean_interarrival } = group.behavior else {
+            return;
+        };
+        if group.open_count == 0 {
+            return;
+        }
+        let mean_gap = mean_interarrival.as_secs_f64() / f64::from(group.open_count);
+        let gap = Exp::with_mean(mean_gap.max(1e-6)).sample(&mut group.rng);
+        let generation = group.arrival_generation;
+        ctx.schedule_in(
+            SimDuration::from_secs_f64(gap),
+            ClientEvent::Arrival { group: gi as u16, generation }.into(),
+        );
+    }
+
+    fn on_arrival<E: From<ClientEvent>>(
+        &mut self,
+        ctx: &mut Ctx<'_, E>,
+        gi: usize,
+        generation: u32,
+    ) -> Option<Query> {
+        let group = &self.groups[gi];
+        if group.arrival_generation != generation || group.open_count == 0 {
+            return None; // stale event from before a rate change
+        }
+        let slot = (self.groups[gi].next_slot % self.groups[gi].open_count.max(1)) as usize;
+        self.groups[gi].next_slot = self.groups[gi].next_slot.wrapping_add(1);
+        let q = self.fresh_query(gi, slot);
+        self.schedule_arrival(ctx, gi);
+        Some(q)
+    }
+
+    fn on_resubmit(&mut self, client: ClientId) -> Option<Query> {
+        let (gi, slot) = Self::locate(client);
+        let group = self.groups.get_mut(gi)?;
+        match group.states.get(slot)? {
+            ClientState::Thinking => {
+                group.states[slot] = ClientState::Busy;
+                Some(self.fresh_query(gi, slot))
+            }
+            // Retired (or deactivated) while thinking: stop quietly.
+            ClientState::Retiring => {
+                group.states[slot] = ClientState::Inactive;
+                None
+            }
+            _ => None,
+        }
+    }
+
+    /// Adjust populations to period `p`'s counts; newly activated
+    /// closed-loop clients submit immediately, open-loop groups restart
+    /// their arrival process at the new rate.
+    fn apply_period<E: From<ClientEvent>>(
+        &mut self,
+        ctx: &mut Ctx<'_, E>,
+        p: usize,
+    ) -> Vec<Query> {
+        let mut to_submit = Vec::new();
+        for gi in 0..self.groups.len() {
+            let target = self.schedule.count(p, gi);
+            if let Behavior::OpenLoop { .. } = self.groups[gi].behavior {
+                let group = &mut self.groups[gi];
+                if group.open_count != target {
+                    group.open_count = target;
+                    group.arrival_generation += 1;
+                    self.schedule_arrival(ctx, gi);
+                }
+                continue;
+            }
+            // Closed loop: revive retiring clients first, then activate
+            // inactive ones, then retire any surplus from the top.
+            let mut active = 0u32;
+            for slot in 0..self.groups[gi].states.len() {
+                let st = self.groups[gi].states[slot];
+                match st {
+                    s if s.is_active() => active += 1,
+                    ClientState::Retiring if active < target => {
+                        self.groups[gi].states[slot] = ClientState::Busy;
+                        active += 1;
+                    }
+                    _ => {}
+                }
+            }
+            let mut slot = 0;
+            while active < target && slot < self.groups[gi].states.len() {
+                if self.groups[gi].states[slot] == ClientState::Inactive {
+                    self.groups[gi].states[slot] = ClientState::Busy;
+                    active += 1;
+                    let q = self.fresh_query(gi, slot);
+                    to_submit.push(q);
+                }
+                slot += 1;
+            }
+            let mut excess = active.saturating_sub(target);
+            for slot in (0..self.groups[gi].states.len()).rev() {
+                if excess == 0 {
+                    break;
+                }
+                if self.groups[gi].states[slot].is_active() {
+                    self.groups[gi].states[slot] = ClientState::Retiring;
+                    excess -= 1;
+                }
+            }
+        }
+        to_submit
+    }
+
+    /// A query finished. For closed-loop clients this produces the next
+    /// query — immediately (zero think time), or after scheduling a
+    /// [`ClientEvent::Resubmit`] wake-up. Open-loop completions need no
+    /// reaction.
+    pub fn on_completion<E: From<ClientEvent>>(
+        &mut self,
+        ctx: &mut Ctx<'_, E>,
+        rec: &QueryRecord,
+    ) -> Option<Query> {
+        self.client_done(ctx, rec.client)
+    }
+
+    /// A query was rejected by the controller. The client sees an error and
+    /// moves on exactly as it would after a completion.
+    pub fn on_rejection<E: From<ClientEvent>>(
+        &mut self,
+        ctx: &mut Ctx<'_, E>,
+        client: ClientId,
+    ) -> Option<Query> {
+        self.client_done(ctx, client)
+    }
+
+    fn client_done<E: From<ClientEvent>>(
+        &mut self,
+        ctx: &mut Ctx<'_, E>,
+        client: ClientId,
+    ) -> Option<Query> {
+        let (gi, slot) = Self::locate(client);
+        let group = self.groups.get_mut(gi)?;
+        let Behavior::ClosedLoop { mean_think } = group.behavior else {
+            return None;
+        };
+        match group.states.get(slot)? {
+            ClientState::Busy => {
+                if mean_think.is_zero() {
+                    Some(self.fresh_query(gi, slot))
+                } else {
+                    let think = Exp::with_mean(mean_think.as_secs_f64()).sample(&mut group.rng);
+                    group.states[slot] = ClientState::Thinking;
+                    ctx.schedule_in(
+                        SimDuration::from_secs_f64(think),
+                        ClientEvent::Resubmit(client).into(),
+                    );
+                    None
+                }
+            }
+            ClientState::Retiring => {
+                group.states[slot] = ClientState::Inactive;
+                None
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::TemplateSetGen;
+    use crate::templates::{tpcc_templates, tpch_templates};
+    use qsched_dbms::query::{ClassId, QueryKind};
+    use qsched_dbms::{DbmsConfig, Timerons};
+    use qsched_sim::{Engine, SimTime, World};
+
+    fn generators() -> Vec<Box<dyn QueryGen>> {
+        let hub = RngHub::new(5);
+        let cfg = DbmsConfig::default();
+        vec![
+            Box::new(TemplateSetGen::new(
+                ClassId(1),
+                tpch_templates(),
+                cfg.clone(),
+                hub.stream("c1"),
+            )),
+            Box::new(TemplateSetGen::new(
+                ClassId(2),
+                tpch_templates(),
+                cfg.clone(),
+                hub.stream("c2"),
+            )),
+            Box::new(TemplateSetGen::new(ClassId(3), tpcc_templates(), cfg, hub.stream("c3"))),
+        ]
+    }
+
+    fn mk_clients(schedule: Schedule) -> Clients {
+        Clients::new(schedule, generators())
+    }
+
+    fn mk_clients_with(schedule: Schedule, behaviors: Vec<Behavior>) -> Clients {
+        Clients::with_behaviors(schedule, generators(), behaviors, &RngHub::new(99))
+    }
+
+    /// A world that instantly "completes" every submitted query after a
+    /// fixed delay — enough to exercise the loops without a DBMS.
+    struct Loopback {
+        clients: Clients,
+        delay: SimDuration,
+        submitted: Vec<(SimTime, Query)>,
+    }
+
+    #[derive(Debug, Clone)]
+    enum Ev {
+        Client(ClientEvent),
+        Done(Box<Query>),
+        Kickoff,
+    }
+
+    impl From<ClientEvent> for Ev {
+        fn from(e: ClientEvent) -> Self {
+            Ev::Client(e)
+        }
+    }
+
+    impl Loopback {
+        fn submit(&mut self, ctx: &mut Ctx<'_, Ev>, q: Query) {
+            self.submitted.push((ctx.now(), q.clone()));
+            ctx.schedule_in(self.delay, Ev::Done(Box::new(q)));
+        }
+    }
+
+    impl World for Loopback {
+        type Event = Ev;
+        fn handle(&mut self, ctx: &mut Ctx<'_, Ev>, ev: Ev) {
+            match ev {
+                Ev::Kickoff => {
+                    let qs = self.clients.start(ctx);
+                    for q in qs {
+                        self.submit(ctx, q);
+                    }
+                }
+                Ev::Client(ce) => {
+                    let qs = self.clients.handle(ctx, ce);
+                    for q in qs {
+                        self.submit(ctx, q);
+                    }
+                }
+                Ev::Done(q) => {
+                    let rec = QueryRecord {
+                        id: q.id,
+                        client: q.client,
+                        class: q.class,
+                        kind: q.kind,
+                        template: q.template,
+                        estimated_cost: q.estimated_cost,
+                        submitted: ctx.now(),
+                        admitted: ctx.now(),
+                        finished: ctx.now(),
+                    };
+                    if let Some(next) = self.clients.on_completion(ctx, &rec) {
+                        self.submit(ctx, next);
+                    }
+                }
+            }
+        }
+    }
+
+    fn run_loopback_clients(
+        clients: Clients,
+        delay: SimDuration,
+        horizon: SimTime,
+    ) -> Loopback {
+        let mut e = Engine::new(Loopback { clients, delay, submitted: Vec::new() });
+        e.schedule_at(SimTime::ZERO, Ev::Kickoff);
+        e.run_until(horizon);
+        e.into_world()
+    }
+
+    fn run_loopback(schedule: Schedule, delay: SimDuration, horizon: SimTime) -> Loopback {
+        run_loopback_clients(mk_clients(schedule), delay, horizon)
+    }
+
+    #[test]
+    fn initial_population_matches_period_zero() {
+        let s = Schedule::figure3();
+        let w = run_loopback(s, SimDuration::from_secs(3600), SimTime::from_secs(1));
+        // Period 0 counts: (2, 4, 15) → 21 initial submissions at t=0.
+        let initial: Vec<_> = w.submitted.iter().filter(|(t, _)| *t == SimTime::ZERO).collect();
+        assert_eq!(initial.len(), 21);
+        assert_eq!(w.clients.active_count(0), 2);
+        assert_eq!(w.clients.active_count(1), 4);
+        assert_eq!(w.clients.active_count(2), 15);
+    }
+
+    #[test]
+    fn zero_think_time_resubmits_immediately() {
+        let s = Schedule::constant(SimDuration::from_hours(1), vec![1, 1, 1]);
+        let w = run_loopback(s, SimDuration::from_secs(10), SimTime::from_secs(100));
+        // Each client completes every 10 s: ~10 queries each over 100 s.
+        let per_client = w.submitted.len() / 3;
+        assert!((10..=11).contains(&per_client), "got {per_client}");
+        // Consecutive submissions of one client are exactly `delay` apart.
+        let c0 = w.submitted[0].1.client;
+        let times: Vec<SimTime> =
+            w.submitted.iter().filter(|(_, q)| q.client == c0).map(|(t, _)| *t).collect();
+        for pair in times.windows(2) {
+            assert_eq!(pair[1] - pair[0], SimDuration::from_secs(10));
+        }
+    }
+
+    #[test]
+    fn think_time_spaces_submissions_beyond_service() {
+        let s = Schedule::constant(SimDuration::from_hours(1), vec![1, 1, 1]);
+        let behaviors = vec![
+            Behavior::ClosedLoop { mean_think: SimDuration::from_secs(20) },
+            Behavior::paper(),
+            Behavior::paper(),
+        ];
+        let w = run_loopback_clients(
+            mk_clients_with(s, behaviors),
+            SimDuration::from_secs(10),
+            SimTime::from_secs(3_000),
+        );
+        // Class 1 cycles take ~30 s (10 service + ~20 think) vs 10 s for the
+        // zero-think classes.
+        let count = |class: u16| {
+            w.submitted.iter().filter(|(_, q)| q.class == ClassId(class)).count()
+        };
+        let thinking = count(1);
+        let eager = count(2);
+        assert!(
+            eager > thinking * 2,
+            "think time must slow the loop: {thinking} vs {eager}"
+        );
+        // Mean cycle of the thinking client ≈ 30 s → ~100 queries in 3 000 s.
+        assert!((60..=140).contains(&thinking), "got {thinking}");
+    }
+
+    #[test]
+    fn open_loop_rate_follows_schedule() {
+        // Open-loop group: 6 clients × one arrival per 60 s each → ~6/min.
+        let s = Schedule::new(
+            SimDuration::from_secs(600),
+            vec![vec![6, 1, 1], vec![12, 1, 1]],
+        );
+        let behaviors = vec![
+            Behavior::OpenLoop { mean_interarrival: SimDuration::from_secs(60) },
+            Behavior::paper(),
+            Behavior::paper(),
+        ];
+        let w = run_loopback_clients(
+            mk_clients_with(s, behaviors),
+            SimDuration::from_secs(1),
+            SimTime::from_secs(1_200),
+        );
+        let in_window = |from: u64, to: u64| {
+            w.submitted
+                .iter()
+                .filter(|(t, q)| {
+                    q.class == ClassId(1)
+                        && *t >= SimTime::from_secs(from)
+                        && *t < SimTime::from_secs(to)
+                })
+                .count() as f64
+        };
+        let first = in_window(0, 600);
+        let second = in_window(600, 1_200);
+        // Period 0: rate 0.1/s → ~60 arrivals; period 1 doubles to ~120.
+        assert!((35.0..=90.0).contains(&first), "period 0 arrivals {first}");
+        assert!(
+            second > first * 1.5,
+            "doubling the population must raise the rate: {first} → {second}"
+        );
+    }
+
+    #[test]
+    fn open_loop_population_zero_stops_arrivals() {
+        let s = Schedule::new(
+            SimDuration::from_secs(300),
+            vec![vec![5, 1, 1], vec![0, 1, 1]],
+        );
+        let behaviors = vec![
+            Behavior::OpenLoop { mean_interarrival: SimDuration::from_secs(30) },
+            Behavior::paper(),
+            Behavior::paper(),
+        ];
+        let w = run_loopback_clients(
+            mk_clients_with(s, behaviors),
+            SimDuration::from_secs(1),
+            SimTime::from_secs(900),
+        );
+        let late = w
+            .submitted
+            .iter()
+            .filter(|(t, q)| q.class == ClassId(1) && *t > SimTime::from_secs(310))
+            .count();
+        assert_eq!(late, 0, "arrivals must stop when the population drops to zero");
+    }
+
+    #[test]
+    fn population_grows_and_shrinks_with_periods() {
+        // Two periods of 100 s: class counts (1,1,2) then (3,1,1).
+        let s = Schedule::new(
+            SimDuration::from_secs(100),
+            vec![vec![1, 1, 2], vec![3, 1, 1]],
+        );
+        let w = run_loopback(s, SimDuration::from_secs(10), SimTime::from_secs(195));
+        assert_eq!(w.clients.active_count(0), 3);
+        assert_eq!(w.clients.active_count(1), 1);
+        // Retirement completes after the in-flight query finishes.
+        assert_eq!(w.clients.active_count(2), 1);
+        // During period 1, only one class-3 client submits.
+        let late_class3: Vec<_> = w
+            .submitted
+            .iter()
+            .filter(|(t, q)| *t > SimTime::from_secs(120) && q.class == ClassId(3))
+            .map(|(_, q)| q.client)
+            .collect();
+        let unique: std::collections::HashSet<_> = late_class3.iter().collect();
+        assert_eq!(unique.len(), 1);
+    }
+
+    #[test]
+    fn query_ids_are_unique_and_dense() {
+        let s = Schedule::figure3();
+        let w = run_loopback(s, SimDuration::from_secs(600), SimTime::from_secs(4000));
+        let mut ids: Vec<u64> = w.submitted.iter().map(|(_, q)| q.id.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), w.submitted.len(), "duplicate query ids");
+        assert_eq!(w.clients.total_generated(), w.submitted.len() as u64);
+    }
+
+    #[test]
+    fn completion_of_unknown_client_is_ignored() {
+        let s = Schedule::constant(SimDuration::from_secs(10), vec![1, 1, 1]);
+        let clients = mk_clients(s);
+        // Drive through the loopback world so a Ctx is available.
+        struct Probe {
+            clients: Clients,
+            got: Option<Option<Query>>,
+        }
+        impl World for Probe {
+            type Event = ClientEvent;
+            fn handle(&mut self, ctx: &mut Ctx<'_, ClientEvent>, _ev: ClientEvent) {
+                let rec = QueryRecord {
+                    id: QueryId(99),
+                    client: ClientId(7 * CLIENT_STRIDE + 3), // no such group
+                    class: ClassId(9),
+                    kind: QueryKind::Oltp,
+                    template: 0,
+                    estimated_cost: Timerons::new(1.0),
+                    submitted: SimTime::ZERO,
+                    admitted: SimTime::ZERO,
+                    finished: SimTime::ZERO,
+                };
+                self.got = Some(self.clients.on_completion(ctx, &rec));
+            }
+        }
+        let mut e = Engine::new(Probe { clients, got: None });
+        e.schedule_at(SimTime::ZERO, ClientEvent::PeriodStart(0));
+        e.run();
+        assert_eq!(e.world().got, Some(None));
+    }
+
+    #[test]
+    #[should_panic(expected = "one generator per schedule class")]
+    fn generator_count_mismatch_panics() {
+        let s = Schedule::figure3();
+        let hub = RngHub::new(5);
+        let gens: Vec<Box<dyn QueryGen>> = vec![Box::new(TemplateSetGen::new(
+            ClassId(1),
+            tpch_templates(),
+            DbmsConfig::default(),
+            hub.stream("only"),
+        ))];
+        let _ = Clients::new(s, gens);
+    }
+}

@@ -1,0 +1,173 @@
+//! Per-class query generators.
+//!
+//! A generator owns a template set and a deterministic random stream and
+//! produces fully-formed [`Query`] values on demand. OLAP classes draw
+//! templates uniformly (a TPC-H-like stream); the OLTP class draws by the
+//! TPC-C mix weights.
+
+use crate::templates::Template;
+use qsched_dbms::query::{ClassId, ClientId, Query, QueryId};
+use qsched_dbms::DbmsConfig;
+use qsched_sim::dist::Empirical;
+use qsched_sim::rng::Stream;
+
+/// Source of queries for one workload class.
+pub trait QueryGen {
+    /// Produce the next query for `client`.
+    fn next_query(&mut self, id: QueryId, client: ClientId) -> Query;
+
+    /// The class this generator feeds.
+    fn class(&self) -> ClassId;
+
+    /// Mean cost of the stream, in timerons (used for sanity checks and
+    /// capacity planning).
+    fn mean_cost(&self) -> f64;
+}
+
+/// A generator drawing templates from a weighted set.
+pub struct TemplateSetGen {
+    class: ClassId,
+    templates: Vec<Template>,
+    chooser: Empirical,
+    cfg: DbmsConfig,
+    rng: Stream,
+}
+
+impl TemplateSetGen {
+    /// Build a generator for `class` over `templates` using the templates'
+    /// own weights.
+    ///
+    /// # Panics
+    /// Panics if `templates` is empty.
+    pub fn new(class: ClassId, templates: Vec<Template>, cfg: DbmsConfig, rng: Stream) -> Self {
+        assert!(!templates.is_empty(), "generator needs at least one template");
+        let pairs: Vec<(f64, f64)> = templates
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (i as f64, t.weight))
+            .collect();
+        TemplateSetGen { class, templates, chooser: Empirical::new(&pairs), cfg, rng }
+    }
+
+    /// The template set backing this generator.
+    pub fn templates(&self) -> &[Template] {
+        &self.templates
+    }
+}
+
+impl QueryGen for TemplateSetGen {
+    fn next_query(&mut self, id: QueryId, client: ClientId) -> Query {
+        let idx = self.chooser.sample_index(&mut self.rng);
+        self.templates[idx].instantiate(id, client, self.class, &self.cfg, &mut self.rng)
+    }
+
+    fn class(&self) -> ClassId {
+        self.class
+    }
+
+    fn mean_cost(&self) -> f64 {
+        let total_w: f64 = self.templates.iter().map(|t| t.weight).sum();
+        self.templates.iter().map(|t| t.mean_cost * t.weight).sum::<f64>() / total_w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::templates::{tpcc_templates, tpch_templates};
+    use qsched_dbms::query::QueryKind;
+    use qsched_sim::RngHub;
+
+    fn hub() -> RngHub {
+        RngHub::new(2024)
+    }
+
+    #[test]
+    fn generates_queries_of_the_right_class_and_kind() {
+        let mut g = TemplateSetGen::new(
+            ClassId(1),
+            tpch_templates(),
+            DbmsConfig::default(),
+            hub().stream("g1"),
+        );
+        for i in 0..50 {
+            let q = g.next_query(QueryId(i), ClientId(7));
+            assert_eq!(q.class, ClassId(1));
+            assert_eq!(q.client, ClientId(7));
+            assert_eq!(q.kind, QueryKind::Olap);
+        }
+    }
+
+    #[test]
+    fn tpcc_stream_follows_the_mix() {
+        let mut g = TemplateSetGen::new(
+            ClassId(3),
+            tpcc_templates(),
+            DbmsConfig::default(),
+            hub().stream("g3"),
+        );
+        let mut new_order = 0;
+        let n = 20_000;
+        for i in 0..n {
+            let q = g.next_query(QueryId(i), ClientId(1));
+            if q.template == 1 {
+                new_order += 1;
+            }
+        }
+        let frac = f64::from(new_order) / f64::from(n as u32);
+        assert!((frac - 0.45).abs() < 0.02, "NewOrder fraction {frac}");
+    }
+
+    #[test]
+    fn tpch_stream_is_roughly_uniform_over_templates() {
+        let mut g = TemplateSetGen::new(
+            ClassId(1),
+            tpch_templates(),
+            DbmsConfig::default(),
+            hub().stream("g-uni"),
+        );
+        let mut counts = std::collections::HashMap::new();
+        for i in 0..18_000u64 {
+            let q = g.next_query(QueryId(i), ClientId(1));
+            *counts.entry(q.template).or_insert(0u32) += 1;
+        }
+        assert_eq!(counts.len(), 18);
+        for (&tid, &c) in &counts {
+            assert!(
+                (600..=1400).contains(&c),
+                "template {tid} drawn {c} times; expected ~1000"
+            );
+        }
+    }
+
+    #[test]
+    fn mean_cost_matches_weighted_templates() {
+        let g = TemplateSetGen::new(
+            ClassId(3),
+            tpcc_templates(),
+            DbmsConfig::default(),
+            hub().stream("mc"),
+        );
+        // 0.45*60 + 0.43*26 + 0.04*(20+120+95) = 27 + 11.18 + 9.4 = 47.58
+        assert!((g.mean_cost() - 47.58).abs() < 0.01);
+    }
+
+    #[test]
+    fn same_seed_reproduces_identical_stream() {
+        let mk = || {
+            TemplateSetGen::new(
+                ClassId(1),
+                tpch_templates(),
+                DbmsConfig::default(),
+                hub().stream("repro"),
+            )
+        };
+        let mut a = mk();
+        let mut b = mk();
+        for i in 0..100 {
+            let qa = a.next_query(QueryId(i), ClientId(1));
+            let qb = b.next_query(QueryId(i), ClientId(1));
+            assert_eq!(qa, qb);
+        }
+    }
+}

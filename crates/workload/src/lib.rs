@@ -1,0 +1,39 @@
+//! # qsched-workload
+//!
+//! Workload generation for the Query Scheduler reproduction: TPC-H-like
+//! OLAP queries, TPC-C-like OLTP transactions, closed-loop clients, and the
+//! ICDE'07 paper's 18-period mixed-workload schedule (Figure 3).
+//!
+//! The paper drove a 500 MB TPC-H database and a 5-warehouse TPC-C database
+//! with interactive clients submitting queries "one after another with zero
+//! think time", varying per-class client counts across eighteen 80-minute
+//! periods. This crate reproduces the *statistical* shape of those
+//! workloads: per-template optimizer costs, I/O-dominance of OLAP vs
+//! CPU-dominance of OLTP, the TPC-C transaction mix, multiplicative
+//! optimizer estimation error, and the exact client-count schedule.
+//!
+//! * [`templates`] — query templates: cost profiles of the 22 TPC-H queries
+//!   (with the paper's exclusion of Q16/Q19/Q20/Q21) and the 5 TPC-C
+//!   transaction types.
+//! * [`generator`] — per-class query generators drawing from template sets.
+//! * [`schedule`] — period-based client-count schedules, including the
+//!   paper's Figure 3 schedule.
+//! * [`driver`] — the closed-loop client machinery (zero-think-time loops
+//!   whose population follows the schedule).
+//! * [`trace`] — trace replay: drive the simulator with a recorded workload
+//!   (CSV round-trip) instead of the synthetic generators.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod driver;
+pub mod generator;
+pub mod schedule;
+pub mod templates;
+pub mod trace;
+
+pub use driver::{Behavior, ClientEvent, Clients};
+pub use generator::{QueryGen, TemplateSetGen};
+pub use schedule::Schedule;
+pub use templates::{tpcc_templates, tpch_templates, Template};
+pub use trace::{Trace, TraceEvent};

@@ -1,0 +1,160 @@
+//! Period-based workload schedules.
+//!
+//! The paper's experiments run 24 hours split into eighteen 80-minute
+//! periods; within a period the per-class client counts are constant
+//! (Figure 3). [`Schedule`] is the general mechanism; [`Schedule::figure3`]
+//! is the paper's concrete schedule.
+
+use qsched_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// A piecewise-constant schedule of per-class client counts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schedule {
+    period_len: SimDuration,
+    /// `counts[period][class_index]`.
+    counts: Vec<Vec<u32>>,
+}
+
+impl Schedule {
+    /// Build from explicit per-period counts.
+    ///
+    /// # Panics
+    /// Panics if `counts` is empty, ragged, or `period_len` is zero.
+    pub fn new(period_len: SimDuration, counts: Vec<Vec<u32>>) -> Self {
+        assert!(!period_len.is_zero(), "period length must be positive");
+        assert!(!counts.is_empty(), "schedule needs at least one period");
+        let width = counts[0].len();
+        assert!(width > 0, "schedule needs at least one class");
+        assert!(counts.iter().all(|p| p.len() == width), "ragged schedule");
+        Schedule { period_len, counts }
+    }
+
+    /// A constant schedule: one period, fixed counts (useful for calibration
+    /// experiments like Figure 2).
+    pub fn constant(period_len: SimDuration, counts: Vec<u32>) -> Self {
+        Schedule::new(period_len, vec![counts])
+    }
+
+    /// The paper's Figure 3 schedule: three classes over eighteen 80-minute
+    /// periods.
+    ///
+    /// * Class 1 (OLAP, importance 1): 2–6 clients.
+    /// * Class 2 (OLAP, importance 2): 2–6 clients.
+    /// * Class 3 (OLTP, importance 3): 15/20/25 clients cycling
+    ///   low→medium→high, so periods 3, 6, 9, 12, 15, 18 are OLTP-heavy.
+    ///
+    /// Period 17 combines medium OLTP with the heaviest OLAP load; period 18
+    /// is the overall heaviest (2 + 6 OLAP clients, 25 OLTP clients), both as
+    /// described in the paper's analysis.
+    pub fn figure3() -> Self {
+        const C1: [u32; 18] = [2, 4, 4, 6, 2, 4, 2, 6, 4, 2, 6, 2, 4, 2, 6, 4, 6, 2];
+        const C2: [u32; 18] = [4, 2, 6, 2, 4, 4, 6, 2, 2, 4, 2, 6, 2, 6, 4, 2, 6, 6];
+        const C3: [u32; 18] = [15, 20, 25, 15, 20, 25, 15, 20, 25, 15, 20, 25, 15, 20, 25, 15, 20, 25];
+        let counts = (0..18).map(|p| vec![C1[p], C2[p], C3[p]]).collect();
+        Schedule::new(SimDuration::from_mins(80), counts)
+    }
+
+    /// Number of periods.
+    pub fn periods(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.counts[0].len()
+    }
+
+    /// Length of one period.
+    pub fn period_len(&self) -> SimDuration {
+        self.period_len
+    }
+
+    /// Total schedule duration.
+    pub fn total_duration(&self) -> SimDuration {
+        self.period_len * self.counts.len() as u64
+    }
+
+    /// The period index active at `t` (clamped to the last period).
+    pub fn period_at(&self, t: SimTime) -> usize {
+        ((t.as_micros() / self.period_len.as_micros()) as usize).min(self.counts.len() - 1)
+    }
+
+    /// Start time of period `p`.
+    pub fn period_start(&self, p: usize) -> SimTime {
+        SimTime::ZERO + self.period_len * p as u64
+    }
+
+    /// Client count for `class_index` during period `p`.
+    pub fn count(&self, p: usize, class_index: usize) -> u32 {
+        self.counts[p][class_index]
+    }
+
+    /// Client counts of all classes during period `p`.
+    pub fn counts_at(&self, p: usize) -> &[u32] {
+        &self.counts[p]
+    }
+
+    /// Maximum client count any period asks of `class_index`.
+    pub fn max_count(&self, class_index: usize) -> u32 {
+        self.counts.iter().map(|p| p[class_index]).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure3_matches_the_paper() {
+        let s = Schedule::figure3();
+        assert_eq!(s.periods(), 18);
+        assert_eq!(s.classes(), 3);
+        assert_eq!(s.period_len(), SimDuration::from_mins(80));
+        assert_eq!(s.total_duration(), SimDuration::from_hours(24));
+        // OLAP counts stay in 2..=6; OLTP in 15..=25.
+        for p in 0..18 {
+            for class in 0..2 {
+                assert!((2..=6).contains(&s.count(p, class)));
+            }
+            assert!((15..=25).contains(&s.count(p, 2)));
+        }
+        // Periods 3,6,9,12,15,18 (1-based) are OLTP-heavy…
+        for p in [2, 5, 8, 11, 14, 17] {
+            assert_eq!(s.count(p, 2), 25);
+        }
+        // …and 1,4,7,10,13,16 are light.
+        for p in [0, 3, 6, 9, 12, 15] {
+            assert_eq!(s.count(p, 2), 15);
+        }
+        // Period 18: two Class-1 clients, six Class-2 clients, 25 OLTP.
+        assert_eq!(s.counts_at(17), &[2, 6, 25]);
+        // Period 17: heavy OLAP, medium OLTP.
+        assert_eq!(s.counts_at(16), &[6, 6, 20]);
+    }
+
+    #[test]
+    fn period_lookup() {
+        let s = Schedule::figure3();
+        assert_eq!(s.period_at(SimTime::ZERO), 0);
+        assert_eq!(s.period_at(SimTime::from_secs(80 * 60 - 1)), 0);
+        assert_eq!(s.period_at(SimTime::from_secs(80 * 60)), 1);
+        // Past the end clamps to the last period.
+        assert_eq!(s.period_at(SimTime::from_secs(30 * 3600)), 17);
+        assert_eq!(s.period_start(2), SimTime::from_secs(2 * 80 * 60));
+    }
+
+    #[test]
+    fn constant_schedule() {
+        let s = Schedule::constant(SimDuration::from_mins(10), vec![3, 5]);
+        assert_eq!(s.periods(), 1);
+        assert_eq!(s.count(0, 0), 3);
+        assert_eq!(s.max_count(1), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_schedule_panics() {
+        let _ = Schedule::new(SimDuration::from_mins(1), vec![vec![1, 2], vec![1]]);
+    }
+}

@@ -1,0 +1,306 @@
+//! Query templates: the cost profiles behind the TPC-H-like and TPC-C-like
+//! workloads.
+//!
+//! A [`Template`] captures everything the generator needs to instantiate a
+//! query: the *mean* optimizer cost in timerons, the instance-to-instance
+//! cost spread (parameter markers make some instances much heavier than
+//! others), the I/O fraction, and the optimizer's own estimation error.
+//!
+//! The absolute numbers are calibrated to the reproduction's simulated
+//! 2-core/17-disk machine (see `DbmsConfig`): TPC-C transactions execute in
+//! tens of milliseconds solo; included TPC-H queries in roughly 1–15 seconds
+//! solo (a 500 MB database is small); the four excluded TPC-H queries are an
+//! order of magnitude heavier, which is why the paper dropped them.
+
+use qsched_dbms::query::{ClassId, ClientId, ExecShape, Query, QueryId, QueryKind};
+use qsched_dbms::{DbmsConfig, Timerons};
+use qsched_sim::dist::{Dist, LogNormal};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Target duration of a single I/O burst; the cycle count of a query is its
+/// total I/O work divided by this (long scans issue many bursts).
+const IO_BURST_TARGET_SECS: f64 = 0.05;
+
+/// A query template: the statistical profile of one query type.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Template {
+    /// Human-readable name ("TPC-H Q1", "TPC-C NewOrder").
+    pub name: &'static str,
+    /// Workload-defined template index (TPC-H query number / TPC-C type).
+    pub template_id: u16,
+    /// OLAP or OLTP.
+    pub kind: QueryKind,
+    /// Mean true cost, in timerons.
+    pub mean_cost: f64,
+    /// Log-space sigma of instance-to-instance cost variation.
+    pub cost_sigma: f64,
+    /// Fraction of the cost attributable to I/O.
+    pub io_fraction: f64,
+    /// Log-space sigma of the optimizer's estimation error
+    /// (estimate = true × LogNormal(1, sigma)).
+    pub estimate_sigma: f64,
+    /// Relative frequency in a mixed stream (TPC-C mix weights; uniform for
+    /// TPC-H).
+    pub weight: f64,
+}
+
+impl Template {
+    /// Instantiate one query from this template.
+    pub fn instantiate<R: Rng + ?Sized>(
+        &self,
+        id: QueryId,
+        client: ClientId,
+        class: ClassId,
+        cfg: &DbmsConfig,
+        rng: &mut R,
+    ) -> Query {
+        let true_cost = LogNormal::with_mean(self.mean_cost, self.cost_sigma).sample(rng);
+        let err = LogNormal::with_mean(1.0, self.estimate_sigma).sample(rng);
+        let estimated = (true_cost * err).max(1.0);
+        let true_cost = Timerons::new(true_cost.max(1.0));
+        let shape = self.shape_for(true_cost, cfg);
+        Query {
+            id,
+            client,
+            class,
+            kind: self.kind,
+            template: self.template_id,
+            estimated_cost: Timerons::new(estimated),
+            true_cost,
+            shape,
+        }
+    }
+
+    /// The execution shape of an instance with the given true cost.
+    pub fn shape_for(&self, true_cost: Timerons, cfg: &DbmsConfig) -> ExecShape {
+        let io_work = cfg.io_per_timeron.as_secs_f64() * true_cost.get() * self.io_fraction;
+        let cycles = (io_work / IO_BURST_TARGET_SECS).ceil().max(1.0) as u32;
+        cfg.shape(true_cost, self.io_fraction, cycles)
+    }
+
+    /// Mean solo execution time on the given hardware (no contention).
+    pub fn mean_solo_time_secs(&self, cfg: &DbmsConfig) -> f64 {
+        let cpu = cfg.cpu_per_timeron.as_secs_f64() * self.mean_cost * (1.0 - self.io_fraction);
+        let io = cfg.io_per_timeron.as_secs_f64() * self.mean_cost * self.io_fraction;
+        cpu + io
+    }
+}
+
+/// The TPC-H query numbers the paper excludes as "very large".
+pub const TPCH_EXCLUDED: [u16; 4] = [16, 19, 20, 21];
+
+/// The 22 TPC-H-like templates (500 MB scale), *including* the four the
+/// paper excludes — callers filter with [`TPCH_EXCLUDED`] / [`tpch_templates`].
+pub fn tpch_all_templates() -> Vec<Template> {
+    // (query number, mean cost in timerons, io fraction)
+    // Costs reflect the broad spread of TPC-H plan costs at a small scale
+    // factor: multi-way joins and aggregations over lineitem dominate.
+    // I/O fractions average ~0.75: I/O-dominant in *time* (the io-per-timeron
+    // constant is higher than the cpu one), while each admitted timeron still
+    // exerts the CPU pressure that couples OLAP admission to OLTP response
+    // (the paper's Figure 2 linearity).
+    const ROWS: [(u16, f64, f64); 22] = [
+        (1, 5200.0, 0.78),  // pricing summary: full lineitem scan
+        (2, 900.0, 0.66),   // minimum cost supplier
+        (3, 3400.0, 0.76),  // shipping priority
+        (4, 2600.0, 0.75),  // order priority check
+        (5, 3800.0, 0.77),  // local supplier volume
+        (6, 2100.0, 0.84),  // revenue forecast: scan + filter
+        (7, 4100.0, 0.76),  // volume shipping
+        (8, 3600.0, 0.75),  // market share
+        (9, 7400.0, 0.78),  // product type profit
+        (10, 3300.0, 0.75), // returned items
+        (11, 1100.0, 0.68), // important stock
+        (12, 2500.0, 0.79), // ship-mode priority
+        (13, 2900.0, 0.70), // customer distribution
+        (14, 2200.0, 0.81), // promotion effect
+        (15, 2400.0, 0.79), // top supplier
+        (16, 26_000.0, 0.66), // parts/supplier relation — EXCLUDED
+        (17, 4800.0, 0.74), // small-quantity-order revenue
+        (18, 6800.0, 0.77), // large volume customer
+        (19, 31_000.0, 0.72), // discounted revenue — EXCLUDED
+        (20, 38_000.0, 0.74), // potential part promotion — EXCLUDED
+        (21, 44_000.0, 0.71), // suppliers who kept orders waiting — EXCLUDED
+        (22, 1300.0, 0.67), // global sales opportunity
+    ];
+    ROWS.iter()
+        .map(|&(qnum, cost, io)| Template {
+            name: tpch_name(qnum),
+            template_id: qnum,
+            kind: QueryKind::Olap,
+            mean_cost: cost,
+            cost_sigma: 0.45,
+            io_fraction: io,
+            estimate_sigma: 0.25,
+            weight: 1.0,
+        })
+        .collect()
+}
+
+/// The 18 TPC-H-like templates used by the paper (Q16/Q19/Q20/Q21 excluded).
+pub fn tpch_templates() -> Vec<Template> {
+    tpch_all_templates()
+        .into_iter()
+        .filter(|t| !TPCH_EXCLUDED.contains(&t.template_id))
+        .collect()
+}
+
+fn tpch_name(q: u16) -> &'static str {
+    const NAMES: [&str; 22] = [
+        "TPC-H Q1", "TPC-H Q2", "TPC-H Q3", "TPC-H Q4", "TPC-H Q5", "TPC-H Q6", "TPC-H Q7",
+        "TPC-H Q8", "TPC-H Q9", "TPC-H Q10", "TPC-H Q11", "TPC-H Q12", "TPC-H Q13", "TPC-H Q14",
+        "TPC-H Q15", "TPC-H Q16", "TPC-H Q17", "TPC-H Q18", "TPC-H Q19", "TPC-H Q20", "TPC-H Q21",
+        "TPC-H Q22",
+    ];
+    NAMES[(q - 1) as usize]
+}
+
+/// The 5 TPC-C-like transaction templates (5-warehouse scale) with the
+/// standard 45/43/4/4/4 mix.
+pub fn tpcc_templates() -> Vec<Template> {
+    // (type id, name, weight %, mean cost, io fraction, cost sigma)
+    const ROWS: [(u16, &str, f64, f64, f64, f64); 5] = [
+        (1, "TPC-C NewOrder", 45.0, 60.0, 0.25, 0.20),
+        (2, "TPC-C Payment", 43.0, 26.0, 0.20, 0.15),
+        (3, "TPC-C OrderStatus", 4.0, 20.0, 0.15, 0.15),
+        (4, "TPC-C Delivery", 4.0, 120.0, 0.30, 0.25),
+        (5, "TPC-C StockLevel", 4.0, 95.0, 0.35, 0.30),
+    ];
+    ROWS.iter()
+        .map(|&(id, name, weight, cost, io, sigma)| Template {
+            name,
+            template_id: id,
+            kind: QueryKind::Oltp,
+            mean_cost: cost,
+            cost_sigma: sigma,
+            io_fraction: io,
+            estimate_sigma: 0.15,
+            weight,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsched_sim::RngHub;
+
+    #[test]
+    fn tpch_set_excludes_the_four_large_queries() {
+        let all = tpch_all_templates();
+        assert_eq!(all.len(), 22);
+        let used = tpch_templates();
+        assert_eq!(used.len(), 18);
+        for q in TPCH_EXCLUDED {
+            assert!(used.iter().all(|t| t.template_id != q));
+            assert!(all.iter().any(|t| t.template_id == q));
+        }
+    }
+
+    #[test]
+    fn excluded_queries_are_the_heaviest() {
+        let all = tpch_all_templates();
+        let max_included = all
+            .iter()
+            .filter(|t| !TPCH_EXCLUDED.contains(&t.template_id))
+            .map(|t| t.mean_cost)
+            .fold(0.0, f64::max);
+        for t in all.iter().filter(|t| TPCH_EXCLUDED.contains(&t.template_id)) {
+            assert!(
+                t.mean_cost > 2.0 * max_included,
+                "{} should be far heavier than included queries",
+                t.name
+            );
+        }
+    }
+
+    #[test]
+    fn olap_queries_are_io_dominant_oltp_cpu_dominant() {
+        for t in tpch_templates() {
+            assert!(t.io_fraction > 0.5, "{} should be I/O-dominant", t.name);
+        }
+        for t in tpcc_templates() {
+            assert!(t.io_fraction < 0.5, "{} should be CPU-dominant", t.name);
+        }
+    }
+
+    #[test]
+    fn solo_time_scales_match_the_paper_anchors() {
+        let cfg = DbmsConfig::default();
+        for t in tpcc_templates() {
+            let solo = t.mean_solo_time_secs(&cfg);
+            assert!(solo < 0.2, "{} solo {solo}s should be sub-second", t.name);
+        }
+        for t in tpch_templates() {
+            let solo = t.mean_solo_time_secs(&cfg);
+            assert!(
+                (0.2..60.0).contains(&solo),
+                "{} solo {solo}s should take seconds",
+                t.name
+            );
+        }
+    }
+
+    #[test]
+    fn tpcc_mix_weights_sum_to_100() {
+        let sum: f64 = tpcc_templates().iter().map(|t| t.weight).sum();
+        assert!((sum - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn instantiate_produces_consistent_queries() {
+        let cfg = DbmsConfig::default();
+        let mut rng = RngHub::new(9).stream("tmpl");
+        let t = &tpch_templates()[0];
+        for i in 0..200u64 {
+            let q = t.instantiate(QueryId(i), ClientId(1), ClassId(1), &cfg, &mut rng);
+            assert_eq!(q.kind, QueryKind::Olap);
+            assert!(q.true_cost.get() >= 1.0);
+            assert!(q.estimated_cost.get() >= 1.0);
+            assert!(q.shape.cycles >= 1);
+            // Shape must match the template's io split of the true cost.
+            let expect_io = cfg.io_per_timeron.as_secs_f64() * q.true_cost.get() * t.io_fraction;
+            assert!((q.shape.io_work.as_secs_f64() - expect_io).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn instance_costs_spread_around_mean() {
+        let cfg = DbmsConfig::default();
+        let mut rng = RngHub::new(10).stream("spread");
+        let t = &tpch_templates()[0];
+        let costs: Vec<f64> = (0..5000u64)
+            .map(|i| {
+                t.instantiate(QueryId(i), ClientId(1), ClassId(1), &cfg, &mut rng)
+                    .true_cost
+                    .get()
+            })
+            .collect();
+        let mean = costs.iter().sum::<f64>() / costs.len() as f64;
+        assert!((mean - t.mean_cost).abs() / t.mean_cost < 0.1, "mean {mean}");
+        let min = costs.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = costs.iter().copied().fold(0.0, f64::max);
+        assert!(max / min > 3.0, "instances should vary widely: {min}..{max}");
+    }
+
+    #[test]
+    fn estimates_are_noisy_but_unbiased() {
+        let cfg = DbmsConfig::default();
+        let mut rng = RngHub::new(11).stream("est");
+        let t = &tpcc_templates()[0];
+        let mut ratio_sum = 0.0;
+        let mut any_off = false;
+        for i in 0..2000u64 {
+            let q = t.instantiate(QueryId(i), ClientId(1), ClassId(3), &cfg, &mut rng);
+            let r = q.estimated_cost.get() / q.true_cost.get();
+            ratio_sum += r;
+            if (r - 1.0).abs() > 0.05 {
+                any_off = true;
+            }
+        }
+        let mean_ratio = ratio_sum / 2000.0;
+        assert!((mean_ratio - 1.0).abs() < 0.05, "estimation bias {mean_ratio}");
+        assert!(any_off, "estimates should actually be noisy");
+    }
+}

@@ -1,0 +1,229 @@
+//! Trace replay: drive the simulator with a recorded workload instead of
+//! the synthetic generators.
+//!
+//! A trace is a time-ordered list of query arrivals, each carrying the
+//! attributes the engine needs (class, optimizer estimate, true cost, I/O
+//! fraction). Traces round-trip through a simple CSV so recorded production
+//! workloads — or the output of one simulation — can be replayed against
+//! any controller configuration.
+
+use qsched_dbms::query::{ClassId, ClientId, Query, QueryId, QueryKind};
+use qsched_dbms::{DbmsConfig, Timerons};
+use qsched_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// One arrival in a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Offset from the start of the replay.
+    pub at: SimDuration,
+    /// Service class of the query.
+    pub class: ClassId,
+    /// OLAP or OLTP (selects metrics and interception downstream).
+    pub kind: QueryKind,
+    /// Submitting client id (drives snapshot registers; reuse ids for
+    /// per-client semantics).
+    pub client: ClientId,
+    /// Workload template index, for reports.
+    pub template: u16,
+    /// Optimizer cost estimate, timerons.
+    pub estimated_cost: f64,
+    /// True cost, timerons.
+    pub true_cost: f64,
+    /// Fraction of the cost attributable to I/O.
+    pub io_fraction: f64,
+}
+
+/// A time-ordered workload trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Build from events (sorted by `at`; sorting is stable).
+    ///
+    /// # Panics
+    /// Panics if any event has a non-finite or negative cost, or an
+    /// `io_fraction` outside `[0, 1]`.
+    pub fn new(mut events: Vec<TraceEvent>) -> Self {
+        for e in &events {
+            assert!(
+                e.estimated_cost.is_finite() && e.estimated_cost > 0.0,
+                "invalid estimate {}",
+                e.estimated_cost
+            );
+            assert!(e.true_cost.is_finite() && e.true_cost > 0.0, "invalid cost {}", e.true_cost);
+            assert!((0.0..=1.0).contains(&e.io_fraction), "invalid io fraction");
+        }
+        events.sort_by_key(|e| e.at);
+        Trace { events }
+    }
+
+    /// The events, in time order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of arrivals.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Total span from first to last arrival.
+    pub fn span(&self) -> SimDuration {
+        match (self.events.first(), self.events.last()) {
+            (Some(a), Some(b)) => b.at - a.at,
+            _ => SimDuration::ZERO,
+        }
+    }
+
+    /// Materialise the `idx`-th arrival as an engine query.
+    pub fn query_at(&self, idx: usize, id: QueryId, cfg: &DbmsConfig) -> Query {
+        let e = self.events[idx];
+        let true_cost = Timerons::new(e.true_cost);
+        // Reuse the template machinery's burst sizing: ~50 ms I/O bursts.
+        let io_work = cfg.io_per_timeron.as_secs_f64() * e.true_cost * e.io_fraction;
+        let cycles = (io_work / 0.05).ceil().max(1.0) as u32;
+        Query {
+            id,
+            client: e.client,
+            class: e.class,
+            kind: e.kind,
+            template: e.template,
+            estimated_cost: Timerons::new(e.estimated_cost),
+            true_cost,
+            shape: cfg.shape(true_cost, e.io_fraction, cycles),
+        }
+    }
+
+    /// Serialise to CSV (`at_us,class,kind,client,template,est,true,io`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("at_us,class,kind,client,template,estimated_cost,true_cost,io_fraction\n");
+        for e in &self.events {
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{}\n",
+                e.at.as_micros(),
+                e.class.0,
+                match e.kind {
+                    QueryKind::Olap => "olap",
+                    QueryKind::Oltp => "oltp",
+                },
+                e.client.0,
+                e.template,
+                e.estimated_cost,
+                e.true_cost,
+                e.io_fraction
+            ));
+        }
+        out
+    }
+
+    /// Parse the CSV format written by [`Trace::to_csv`].
+    pub fn from_csv(csv: &str) -> Result<Trace, String> {
+        let mut events = Vec::new();
+        for (lineno, line) in csv.lines().enumerate() {
+            if lineno == 0 || line.trim().is_empty() {
+                continue; // header / blank
+            }
+            let fields: Vec<&str> = line.split(',').collect();
+            if fields.len() != 8 {
+                return Err(format!("line {}: expected 8 fields, got {}", lineno + 1, fields.len()));
+            }
+            let parse_f = |i: usize| -> Result<f64, String> {
+                fields[i].trim().parse().map_err(|e| format!("line {}: {e}", lineno + 1))
+            };
+            let parse_u = |i: usize| -> Result<u64, String> {
+                fields[i].trim().parse().map_err(|e| format!("line {}: {e}", lineno + 1))
+            };
+            let kind = match fields[2].trim() {
+                "olap" => QueryKind::Olap,
+                "oltp" => QueryKind::Oltp,
+                other => return Err(format!("line {}: unknown kind '{other}'", lineno + 1)),
+            };
+            events.push(TraceEvent {
+                at: SimDuration::from_micros(parse_u(0)?),
+                class: ClassId(parse_u(1)? as u16),
+                kind,
+                client: ClientId(parse_u(3)? as u32),
+                template: parse_u(4)? as u16,
+                estimated_cost: parse_f(5)?,
+                true_cost: parse_f(6)?,
+                io_fraction: parse_f(7)?,
+            });
+        }
+        Ok(Trace::new(events))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(at_ms: u64, class: u16, kind: QueryKind, cost: f64) -> TraceEvent {
+        TraceEvent {
+            at: SimDuration::from_millis(at_ms),
+            class: ClassId(class),
+            kind,
+            client: ClientId(u32::from(class)),
+            template: 1,
+            estimated_cost: cost,
+            true_cost: cost * 1.1,
+            io_fraction: 0.7,
+        }
+    }
+
+    #[test]
+    fn events_are_sorted_and_span_computed() {
+        let t = Trace::new(vec![
+            ev(500, 1, QueryKind::Olap, 1_000.0),
+            ev(100, 3, QueryKind::Oltp, 50.0),
+            ev(900, 1, QueryKind::Olap, 2_000.0),
+        ]);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.events()[0].at, SimDuration::from_millis(100));
+        assert_eq!(t.span(), SimDuration::from_millis(800));
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let t = Trace::new(vec![
+            ev(100, 3, QueryKind::Oltp, 50.0),
+            ev(500, 1, QueryKind::Olap, 1_000.0),
+        ]);
+        let csv = t.to_csv();
+        let back = Trace::from_csv(&csv).expect("parses");
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn query_materialisation_uses_engine_calibration() {
+        let t = Trace::new(vec![ev(0, 1, QueryKind::Olap, 3_000.0)]);
+        let cfg = DbmsConfig::default();
+        let q = t.query_at(0, QueryId(7), &cfg);
+        assert_eq!(q.id, QueryId(7));
+        assert_eq!(q.class, ClassId(1));
+        assert!((q.true_cost.get() - 3_300.0).abs() < 1e-9);
+        assert!(q.shape.cycles >= 1);
+        assert!(q.shape.weight >= 1.0);
+    }
+
+    #[test]
+    fn csv_errors_are_reported_with_lines() {
+        assert!(Trace::from_csv("header\n1,2,3").unwrap_err().contains("line 2"));
+        assert!(Trace::from_csv("h\n1,1,alien,1,1,1,1,0.5").unwrap_err().contains("unknown kind"));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid cost")]
+    fn non_positive_cost_panics() {
+        let mut e = ev(0, 1, QueryKind::Olap, 10.0);
+        e.true_cost = 0.0;
+        let _ = Trace::new(vec![e]);
+    }
+}

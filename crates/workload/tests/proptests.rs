@@ -1,0 +1,109 @@
+//! Property-based tests of workload generation: template instantiation
+//! validity, schedule arithmetic, and generator determinism, for arbitrary
+//! seeds and schedules.
+
+use proptest::prelude::*;
+use qsched_dbms::query::{ClassId, ClientId, QueryId, QueryKind};
+use qsched_dbms::DbmsConfig;
+use qsched_sim::{RngHub, SimDuration, SimTime};
+use qsched_workload::generator::{QueryGen, TemplateSetGen};
+use qsched_workload::templates::{tpcc_templates, tpch_templates};
+use qsched_workload::Schedule;
+
+proptest! {
+    /// Every instantiated query is internally consistent for any seed.
+    #[test]
+    fn instantiated_queries_are_valid(seed in any::<u64>(), olap in any::<bool>()) {
+        let cfg = DbmsConfig::default();
+        let templates = if olap { tpch_templates() } else { tpcc_templates() };
+        let mut g = TemplateSetGen::new(
+            ClassId(1),
+            templates,
+            cfg.clone(),
+            RngHub::new(seed).stream("prop"),
+        );
+        for i in 0..100u64 {
+            let q = g.next_query(QueryId(i), ClientId(3));
+            prop_assert_eq!(q.id, QueryId(i));
+            prop_assert_eq!(q.client, ClientId(3));
+            prop_assert_eq!(q.kind, if olap { QueryKind::Olap } else { QueryKind::Oltp });
+            prop_assert!(q.true_cost.get() >= 1.0);
+            prop_assert!(q.estimated_cost.get() >= 1.0);
+            prop_assert!(q.shape.cycles >= 1);
+            prop_assert!(q.shape.weight >= 1.0);
+            // Weight matches the engine's cost-intensity rule.
+            let expect_w = (q.true_cost.get() / cfg.cost_per_weight).max(1.0);
+            prop_assert!((q.shape.weight - expect_w).abs() < 1e-9);
+            // The shape's total work corresponds to the true cost.
+            let total_us = q.shape.cpu_work.as_micros() + q.shape.io_work.as_micros();
+            let per_timeron = total_us as f64 / q.true_cost.get();
+            prop_assert!(
+                (200.0..400.0).contains(&per_timeron),
+                "work per timeron {per_timeron} out of calibration range"
+            );
+        }
+    }
+
+    /// Schedule lookups agree with direct construction for arbitrary
+    /// schedules.
+    #[test]
+    fn schedule_lookup_matches_construction(
+        period_secs in 1u64..10_000,
+        counts in prop::collection::vec(prop::collection::vec(0u32..50, 2..4), 1..20),
+    ) {
+        // Make the matrix rectangular.
+        let width = counts[0].len();
+        let rect: Vec<Vec<u32>> = counts.iter().map(|row| {
+            let mut r = row.clone();
+            r.resize(width, 1);
+            r
+        }).collect();
+        let s = Schedule::new(SimDuration::from_secs(period_secs), rect.clone());
+        prop_assert_eq!(s.periods(), rect.len());
+        prop_assert_eq!(s.classes(), width);
+        for (p, row) in rect.iter().enumerate() {
+            let t = SimTime::from_secs(p as u64 * period_secs);
+            prop_assert_eq!(s.period_at(t), p);
+            for (c, &count) in row.iter().enumerate() {
+                prop_assert_eq!(s.count(p, c), count);
+            }
+        }
+        // The instant before a boundary still belongs to the prior period.
+        if rect.len() > 1 {
+            let boundary = SimTime::from_secs(period_secs);
+            prop_assert_eq!(s.period_at(boundary - SimDuration::from_micros(1)), 0);
+        }
+        // max_count is an upper bound of every period's count.
+        for c in 0..width {
+            let m = s.max_count(c);
+            prop_assert!(rect.iter().all(|r| r[c] <= m));
+        }
+    }
+
+    /// Same seed ⇒ identical stream; different seeds ⇒ different streams.
+    #[test]
+    fn generator_determinism(seed in any::<u64>()) {
+        let mk = |s: u64| {
+            TemplateSetGen::new(
+                ClassId(1),
+                tpch_templates(),
+                DbmsConfig::default(),
+                RngHub::new(s).stream("det"),
+            )
+        };
+        let mut a = mk(seed);
+        let mut b = mk(seed);
+        let mut c = mk(seed.wrapping_add(1));
+        let mut any_diff = false;
+        for i in 0..50u64 {
+            let qa = a.next_query(QueryId(i), ClientId(0));
+            let qb = b.next_query(QueryId(i), ClientId(0));
+            let qc = c.next_query(QueryId(i), ClientId(0));
+            prop_assert_eq!(&qa, &qb);
+            if qa.true_cost != qc.true_cost {
+                any_diff = true;
+            }
+        }
+        prop_assert!(any_diff, "different seeds should differ somewhere");
+    }
+}

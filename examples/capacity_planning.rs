@@ -1,0 +1,62 @@
+//! Capacity planning with the simulated DBMS: reproduce the two calibration
+//! studies behind the paper's configuration choices.
+//!
+//! 1. **The system cost limit** (§2): sweep the limit, plot OLAP throughput,
+//!    and pick the knee — "to ensure the system running in a healthy state
+//!    or under-saturated". The paper lands on 30 K timerons.
+//! 2. **The OLTP linear model** (§3.2, Figure 2): sweep the OLAP cost limit
+//!    under fixed client populations and check that OLTP response time is
+//!    ~linear in the admitted OLAP cost while under-saturated.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example capacity_planning            # full sweeps
+//! cargo run --release --example capacity_planning -- quick   # reduced
+//! ```
+
+use query_scheduler::experiments::figures::{
+    calibration, fig2, CalibrationOpts, Fig2Opts,
+};
+
+fn main() {
+    let quick = std::env::args().nth(1).as_deref() == Some("quick");
+
+    let cal_opts = if quick {
+        CalibrationOpts {
+            limits: vec![5e3, 10e3, 20e3, 30e3, 40e3, 50e3],
+            clients: 20,
+            minutes: 15,
+        }
+    } else {
+        CalibrationOpts::default()
+    };
+    let curve = calibration(42, &cal_opts);
+    println!("{}", curve.render());
+    println!(
+        "Throughput peaks at a system cost limit of {:.0} timerons — the paper's 30 K choice.\n",
+        curve.knee()
+    );
+
+    let fig2_opts = if quick {
+        Fig2Opts {
+            limits: vec![4e3, 12e3, 20e3, 28e3, 36e3],
+            minutes_per_period: 5,
+            ..Fig2Opts::default()
+        }
+    } else {
+        Fig2Opts::default()
+    };
+    let f2 = fig2(42, &fig2_opts);
+    println!("{}", f2.render());
+    for (i, s) in f2.series.iter().enumerate() {
+        if let Some((slope, r2)) = f2.linear_fit(i, 30_000.0) {
+            println!(
+                "series ({},{}): slope {slope:.2e} s/timeron, R² {r2:.3} below the 30 K knee",
+                s.oltp_clients, s.olap_clients
+            );
+        }
+    }
+    println!(
+        "\nThe ~linear dependence justifies the paper's OLTP model t_k = t_(k-1) + s·ΔC (§3.2)."
+    );
+}

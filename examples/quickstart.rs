@@ -1,0 +1,98 @@
+//! Quickstart: put the Query Scheduler in front of a simulated DBMS and
+//! watch it enforce per-class SLOs on a mixed OLAP/OLTP workload.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use query_scheduler::core::class::{Goal, ServiceClass};
+use query_scheduler::core::scheduler::SchedulerConfig;
+use query_scheduler::dbms::query::{ClassId, QueryKind};
+use query_scheduler::experiments::config::{ControllerSpec, ExperimentConfig};
+use query_scheduler::experiments::figures::render_main_report;
+use query_scheduler::experiments::world::run_experiment;
+use query_scheduler::sim::SimDuration;
+use query_scheduler::workload::Schedule;
+
+fn main() {
+    // 1. Define the service classes: two OLAP report classes with query-
+    //    velocity goals, one OLTP class with a response-time SLO. Importance
+    //    matters only when a goal is violated.
+    let classes = vec![
+        ServiceClass::new(
+            ClassId(1),
+            "ad-hoc reports",
+            QueryKind::Olap,
+            1,
+            Goal::VelocityAtLeast(0.4),
+        ),
+        ServiceClass::new(
+            ClassId(2),
+            "dashboards",
+            QueryKind::Olap,
+            2,
+            Goal::VelocityAtLeast(0.6),
+        ),
+        ServiceClass::new(
+            ClassId(3),
+            "order entry",
+            QueryKind::Oltp,
+            3,
+            Goal::AvgResponseAtMost(SimDuration::from_millis(250)),
+        ),
+    ];
+
+    // 2. A workload schedule: client counts per class over four periods of
+    //    ten virtual minutes (OLTP intensity ramps up).
+    let schedule = Schedule::new(
+        SimDuration::from_mins(10),
+        vec![
+            vec![4, 4, 15],
+            vec![4, 4, 20],
+            vec![4, 4, 25],
+            vec![2, 6, 25],
+        ],
+    );
+
+    // 3. The Query Scheduler: 30 K-timeron system cost limit, re-planning
+    //    every two minutes, sampling the snapshot monitor every 10 s.
+    let controller = ControllerSpec::QueryScheduler(SchedulerConfig {
+        control_interval: SimDuration::from_secs(120),
+        ..SchedulerConfig::default()
+    });
+
+    // 4. Run — deterministically, from a single seed.
+    let cfg = ExperimentConfig {
+        seed: 7,
+        dbms: Default::default(),
+        schedule,
+        classes,
+        controller,
+        warmup_periods: 0,
+        record_sample: None,
+        behaviors: None,
+        trace: None,
+    };
+    let out = run_experiment(&cfg);
+
+    // 5. Inspect: per-period performance against the goals, and how the
+    //    scheduler moved cost limits between classes.
+    println!(
+        "{}",
+        render_main_report("Quickstart: Query Scheduler on a mixed workload", &out.report)
+    );
+    if let Some(log) = &out.plan_log {
+        println!("final plan:");
+        for (class, series) in log.all() {
+            println!(
+                "  {class}: {:.0} timerons",
+                series.last_value().unwrap_or(f64::NAN)
+            );
+        }
+    }
+    println!(
+        "\n{} OLAP + {} OLTP queries completed in {:.1} virtual hours ({} events).",
+        out.summary.olap_completed, out.summary.oltp_completed, out.summary.hours, out.summary.events
+    );
+}

@@ -1,0 +1,124 @@
+//! Server consolidation: the paper's §1 motivation scenario.
+//!
+//! "The emerging trend of server consolidation results in a set of workloads
+//! with diverse and dynamic resource demands and competing performance
+//! objectives." Here five tenants share one simulated DBMS:
+//!
+//! * three OLAP tenants with different velocity SLOs and importance levels
+//!   (an internal BI team, a paying analytics customer, a best-effort
+//!   data-science sandbox),
+//! * one interactive OLTP tenant with a hard response-time SLO,
+//! * one open-loop reporting feed whose arrival rate doubles mid-day.
+//!
+//! The Query Scheduler re-divides the same 30 K-timeron budget among all
+//! five as their demands shift.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example server_consolidation
+//! ```
+
+use query_scheduler::core::class::{Goal, ServiceClass};
+use query_scheduler::core::scheduler::SchedulerConfig;
+use query_scheduler::dbms::query::{ClassId, QueryKind};
+use query_scheduler::experiments::config::{ControllerSpec, ExperimentConfig};
+use query_scheduler::experiments::figures::render_main_report;
+use query_scheduler::experiments::world::run_experiment;
+use query_scheduler::sim::SimDuration;
+use query_scheduler::workload::{Behavior, Schedule};
+
+fn main() {
+    let classes = vec![
+        ServiceClass::new(ClassId(1), "BI team", QueryKind::Olap, 1, Goal::VelocityAtLeast(0.3)),
+        ServiceClass::new(
+            ClassId(2),
+            "analytics customer",
+            QueryKind::Olap,
+            2,
+            Goal::VelocityAtLeast(0.6),
+        ),
+        ServiceClass::new(
+            ClassId(3),
+            "data-science sandbox",
+            QueryKind::Olap,
+            1,
+            Goal::VelocityAtLeast(0.2),
+        ),
+        ServiceClass::new(
+            ClassId(4),
+            "reporting feed",
+            QueryKind::Olap,
+            1,
+            Goal::VelocityAtLeast(0.3),
+        ),
+        ServiceClass::new(
+            ClassId(5),
+            "order entry",
+            QueryKind::Oltp,
+            3,
+            Goal::AvgResponseAtMost(SimDuration::from_millis(250)),
+        ),
+    ];
+
+    // Six 15-minute periods; the reporting feed's population doubles and the
+    // OLTP tenant ramps from 10 to 25 clients.
+    let schedule = Schedule::new(
+        SimDuration::from_mins(15),
+        vec![
+            vec![2, 3, 2, 2, 10],
+            vec![2, 3, 2, 2, 15],
+            vec![3, 3, 2, 4, 20],
+            vec![3, 4, 2, 4, 25],
+            vec![2, 4, 1, 4, 25],
+            vec![2, 3, 2, 2, 15],
+        ],
+    );
+
+    let behaviors = vec![
+        Behavior::paper(),
+        Behavior::ClosedLoop { mean_think: SimDuration::from_secs(5) },
+        Behavior::paper(),
+        Behavior::OpenLoop { mean_interarrival: SimDuration::from_secs(20) },
+        Behavior::paper(),
+    ];
+
+    let cfg = ExperimentConfig {
+        seed: 42,
+        dbms: Default::default(),
+        schedule,
+        classes,
+        controller: ControllerSpec::QueryScheduler(SchedulerConfig {
+            control_interval: SimDuration::from_secs(60),
+            ..SchedulerConfig::default()
+        }),
+        warmup_periods: 0,
+        record_sample: None,
+        behaviors: Some(behaviors),
+        trace: None,
+    };
+    let out = run_experiment(&cfg);
+    println!(
+        "{}",
+        render_main_report("Five consolidated tenants under one Query Scheduler", &out.report)
+    );
+    if let Some(log) = &out.plan_log {
+        println!("final cost limits:");
+        for (class, series) in log.all() {
+            let name = out
+                .report
+                .class(*class)
+                .map(|c| c.name.as_str())
+                .unwrap_or("?");
+            println!(
+                "  {class} ({name}): {:.0} timerons",
+                series.last_value().unwrap_or(f64::NAN)
+            );
+        }
+    }
+    println!(
+        "\nthe OLTP tenant violated its SLO in {} of 6 periods; total {} OLAP + {} OLTP completions.",
+        out.report.violations(ClassId(5)),
+        out.summary.olap_completed,
+        out.summary.oltp_completed
+    );
+}

@@ -1,0 +1,86 @@
+//! Workload anatomy: what actually runs when the Query Scheduler manages a
+//! mixed day — per-template costs, execution times and velocities, and how
+//! the three client behaviours (the paper's zero-think closed loop, a
+//! think-time loop, an open-loop arrival stream) shape the load.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example workload_anatomy
+//! ```
+
+use query_scheduler::core::class::ServiceClass;
+use query_scheduler::core::scheduler::SchedulerConfig;
+use query_scheduler::dbms::query::QueryKind;
+use query_scheduler::experiments::analysis::{per_template_stats, render_template_stats};
+use query_scheduler::experiments::config::{ControllerSpec, ExperimentConfig};
+use query_scheduler::experiments::world::run_experiment;
+use query_scheduler::sim::SimDuration;
+use query_scheduler::workload::templates::{tpcc_templates, tpch_templates};
+use query_scheduler::workload::Schedule;
+
+fn main() {
+    // A one-hour slice of the paper workload, retaining every OLAP record
+    // and every 50th OLTP record for post-hoc analysis.
+    let cfg = ExperimentConfig {
+        seed: 42,
+        dbms: Default::default(),
+        schedule: Schedule::new(
+            SimDuration::from_mins(20),
+            vec![vec![4, 4, 15], vec![3, 5, 25], vec![5, 3, 20]],
+        ),
+        classes: ServiceClass::paper_classes(),
+        controller: ControllerSpec::QueryScheduler(SchedulerConfig {
+            control_interval: SimDuration::from_secs(60),
+            ..SchedulerConfig::default()
+        }),
+        warmup_periods: 0,
+        record_sample: Some(50),
+        behaviors: None,
+        trace: None,
+    };
+    let out = run_experiment(&cfg);
+    let stats = per_template_stats(&out.records);
+
+    let olap: Vec<_> = stats.iter().filter(|t| t.kind == QueryKind::Olap).cloned().collect();
+    let oltp: Vec<_> = stats.iter().filter(|t| t.kind == QueryKind::Oltp).cloned().collect();
+    println!(
+        "{}",
+        render_template_stats(
+            "TPC-H-like templates under Query Scheduler control (every record)",
+            &olap
+        )
+    );
+    println!(
+        "{}",
+        render_template_stats("TPC-C-like transactions (1-in-50 sample)", &oltp)
+    );
+
+    // Cross-check the anatomy against the template catalog.
+    let catalog: Vec<(u16, f64)> = tpch_templates()
+        .iter()
+        .map(|t| (t.template_id, t.mean_cost))
+        .collect();
+    let mut mismatches = 0;
+    for t in &olap {
+        if let Some((_, mean)) = catalog.iter().find(|(id, _)| *id == t.template) {
+            if (t.mean_cost - mean).abs() / mean > 0.35 {
+                mismatches += 1;
+            }
+        }
+    }
+    println!(
+        "observed mean costs match the catalog for {}/{} OLAP templates (±35 %).",
+        olap.len() - mismatches,
+        olap.len()
+    );
+    println!(
+        "catalog sizes: {} TPC-H templates (4 excluded by the paper), {} TPC-C types.",
+        tpch_templates().len(),
+        tpcc_templates().len()
+    );
+    println!(
+        "\n{} records retained out of {} completions.",
+        out.records.len(),
+        out.summary.olap_completed + out.summary.oltp_completed
+    );
+}

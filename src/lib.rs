@@ -1,0 +1,19 @@
+//! # query-scheduler
+//!
+//! Umbrella crate re-exporting the Query Scheduler workspace: a reproduction of
+//! *"Adapting Mixed Workloads to Meet SLOs in Autonomic DBMSs"* (Niu, Martin,
+//! Powley, Bird, Horman — ICDE 2007).
+//!
+//! See the individual crates for the layered architecture:
+//!
+//! * [`sim`] — deterministic discrete-event simulation kernel.
+//! * [`dbms`] — simulated DBMS substrate (engine, resources, Query Patroller).
+//! * [`workload`] — TPC-H-like / TPC-C-like workload generators.
+//! * [`core`] — the paper's contribution: the workload adaptation framework.
+//! * [`experiments`] — harness regenerating every figure in the paper.
+
+pub use qsched_core as core;
+pub use qsched_dbms as dbms;
+pub use qsched_experiments as experiments;
+pub use qsched_sim as sim;
+pub use qsched_workload as workload;

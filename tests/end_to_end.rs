@@ -1,0 +1,318 @@
+//! Cross-crate integration tests: every controller runs end to end on the
+//! composed world, and the run outputs satisfy global invariants.
+
+use query_scheduler::core::class::ServiceClass;
+use query_scheduler::core::scheduler::SchedulerConfig;
+use query_scheduler::dbms::query::ClassId;
+use query_scheduler::dbms::Timerons;
+use query_scheduler::experiments::config::{ControllerSpec, ExperimentConfig};
+use query_scheduler::experiments::world::{run_experiment, RunOutput};
+use query_scheduler::sim::SimDuration;
+use query_scheduler::workload::Schedule;
+
+fn tiny_config(seed: u64, controller: ControllerSpec) -> ExperimentConfig {
+    ExperimentConfig {
+        seed,
+        dbms: Default::default(),
+        schedule: Schedule::new(
+            SimDuration::from_secs(90),
+            vec![vec![3, 3, 15], vec![2, 5, 25], vec![5, 2, 20]],
+        ),
+        classes: ServiceClass::paper_classes(),
+        controller,
+        warmup_periods: 0,
+        record_sample: None,
+        behaviors: None,
+        trace: None,
+    }
+}
+
+fn all_controllers() -> Vec<ControllerSpec> {
+    vec![
+        ControllerSpec::Uncontrolled,
+        ControllerSpec::NoControl { system_limit: Timerons::new(30_000.0) },
+        ControllerSpec::QpStatic { system_limit: Timerons::new(30_000.0), priority: true, max_cost: None },
+        ControllerSpec::QpStatic { system_limit: Timerons::new(30_000.0), priority: false, max_cost: None },
+        ControllerSpec::QueryScheduler(SchedulerConfig {
+            control_interval: SimDuration::from_secs(30),
+            ..SchedulerConfig::default()
+        }),
+        ControllerSpec::MplStatic { per_class_cap: 4 },
+        ControllerSpec::MplAdaptive(query_scheduler::core::mpl::MplAdaptiveConfig {
+            control_interval: SimDuration::from_secs(30),
+            ..Default::default()
+        }),
+        ControllerSpec::PiFeedback(query_scheduler::core::feedback::PiConfig {
+            control_interval: SimDuration::from_secs(30),
+            ..Default::default()
+        }),
+    ]
+}
+
+fn check_invariants(out: &RunOutput) {
+    let r = &out.report;
+    // Every class made progress.
+    for class in &r.classes {
+        assert!(
+            r.total_completions(class.id) > 0,
+            "[{}] class {} completed nothing",
+            r.controller,
+            class.id
+        );
+    }
+    // Velocities are in (0, 1]; response times positive and ≥ execution.
+    for cell in &r.periods {
+        for (c, cp) in cell {
+            assert!(
+                (0.0..=1.0 + 1e-9).contains(&cp.mean_velocity),
+                "[{}] {c} velocity {} out of range",
+                r.controller,
+                cp.mean_velocity
+            );
+            assert!(cp.mean_response_secs >= cp.mean_execution_secs - 1e-9);
+            assert!(cp.mean_response_secs > 0.0);
+        }
+    }
+    // Engine totals agree with the per-period breakdown.
+    let total: u64 = r
+        .classes
+        .iter()
+        .map(|c| r.total_completions(c.id))
+        .sum();
+    assert_eq!(
+        total,
+        out.summary.olap_completed + out.summary.oltp_completed,
+        "[{}] period cells disagree with engine totals",
+        r.controller
+    );
+    // OLTP dominates the completion count (sub-second vs multi-second).
+    assert!(out.summary.oltp_completed > out.summary.olap_completed * 10);
+}
+
+#[test]
+fn every_controller_runs_the_mixed_workload() {
+    for spec in all_controllers() {
+        let out = run_experiment(&tiny_config(11, spec.clone()));
+        check_invariants(&out);
+        assert_eq!(out.report.controller, spec.name());
+    }
+}
+
+#[test]
+fn runs_are_bit_reproducible() {
+    for spec in [
+        ControllerSpec::NoControl { system_limit: Timerons::new(30_000.0) },
+        ControllerSpec::QueryScheduler(SchedulerConfig::default()),
+    ] {
+        let a = run_experiment(&tiny_config(77, spec.clone()));
+        let b = run_experiment(&tiny_config(77, spec));
+        assert_eq!(
+            serde_json::to_string(&a.report).unwrap(),
+            serde_json::to_string(&b.report).unwrap(),
+            "identical seeds must reproduce identical reports"
+        );
+        assert_eq!(a.summary.events, b.summary.events);
+    }
+}
+
+#[test]
+fn different_seeds_produce_different_runs() {
+    let spec = ControllerSpec::NoControl { system_limit: Timerons::new(30_000.0) };
+    let a = run_experiment(&tiny_config(1, spec.clone()));
+    let b = run_experiment(&tiny_config(2, spec));
+    assert_ne!(
+        serde_json::to_string(&a.report).unwrap(),
+        serde_json::to_string(&b.report).unwrap(),
+        "different seeds should explore different randomness"
+    );
+}
+
+#[test]
+fn uncontrolled_engine_never_holds_queries() {
+    // With interception off, velocity ≡ 1 for every completed query: no
+    // held time exists anywhere in the system.
+    let out = run_experiment(&tiny_config(5, ControllerSpec::Uncontrolled));
+    for cell in &out.report.periods {
+        for (c, cp) in cell {
+            assert!(
+                cp.mean_velocity > 0.999,
+                "{c} velocity {} implies held time without a controller",
+                cp.mean_velocity
+            );
+        }
+    }
+}
+
+#[test]
+fn interception_controllers_delay_olap_but_not_oltp() {
+    let out = run_experiment(&tiny_config(
+        5,
+        ControllerSpec::QueryScheduler(SchedulerConfig::default()),
+    ));
+    // OLTP bypasses the patroller: velocity stays 1.
+    for cell in &out.report.periods {
+        if let Some(cp) = cell.get(&ClassId(3)) {
+            assert!(cp.mean_velocity > 0.999, "OLTP must never be held");
+        }
+    }
+    // At least one OLAP period experienced queueing (velocity < 1).
+    let queued = out.report.periods.iter().any(|cell| {
+        [ClassId(1), ClassId(2)]
+            .iter()
+            .any(|c| cell.get(c).is_some_and(|cp| cp.mean_velocity < 0.999))
+    });
+    assert!(queued, "cost-based control should delay at least some OLAP queries");
+}
+
+#[test]
+fn qp_priority_beats_no_priority_for_the_favoured_class() {
+    let with = run_experiment(&tiny_config(
+        9,
+        ControllerSpec::QpStatic { system_limit: Timerons::new(30_000.0), priority: true, max_cost: None },
+    ));
+    let without = run_experiment(&tiny_config(
+        9,
+        ControllerSpec::QpStatic { system_limit: Timerons::new(30_000.0), priority: false, max_cost: None },
+    ));
+    let mean_v2 = |out: &RunOutput| {
+        let vals: Vec<f64> = (0..out.report.periods.len())
+            .filter_map(|p| out.report.metric(p, ClassId(2)))
+            .collect();
+        vals.iter().sum::<f64>() / vals.len() as f64
+    };
+    assert!(
+        mean_v2(&with) >= mean_v2(&without) - 0.02,
+        "priority must not hurt the favoured class: {} vs {}",
+        mean_v2(&with),
+        mean_v2(&without)
+    );
+}
+
+#[test]
+fn configured_behaviors_shape_the_load() {
+    use query_scheduler::workload::Behavior;
+    // Same schedule; think time on the OLTP class must cut its throughput
+    // roughly in proportion to think/(think+service).
+    let mut eager = tiny_config(21, ControllerSpec::Uncontrolled);
+    let mut relaxed = eager.clone();
+    relaxed.behaviors = Some(vec![
+        Behavior::paper(),
+        Behavior::paper(),
+        Behavior::ClosedLoop { mean_think: SimDuration::from_millis(400) },
+    ]);
+    eager.seed = 21;
+    let fast = run_experiment(&eager);
+    let slow = run_experiment(&relaxed);
+    // Think time lengthens each client cycle; contention relief partially
+    // offsets it, so expect a ~30-60 % throughput cut.
+    assert!(
+        (slow.summary.oltp_completed as f64) < 0.7 * fast.summary.oltp_completed as f64,
+        "think time must cut OLTP throughput: {} vs {}",
+        slow.summary.oltp_completed,
+        fast.summary.oltp_completed
+    );
+    // OLAP classes are untouched by the OLTP think time... up to the extra
+    // CPU headroom the idle OLTP clients free up.
+    assert!(slow.summary.olap_completed >= fast.summary.olap_completed);
+}
+
+#[test]
+fn open_loop_class_submits_independently_of_completions() {
+    use query_scheduler::workload::Behavior;
+    let mut cfg = tiny_config(33, ControllerSpec::Uncontrolled);
+    cfg.behaviors = Some(vec![
+        Behavior::OpenLoop { mean_interarrival: SimDuration::from_secs(30) },
+        Behavior::paper(),
+        Behavior::paper(),
+    ]);
+    let out = run_experiment(&cfg);
+    // 3..5 clients × 1 arrival/30 s over 270 s ⇒ roughly 30 class-1 queries.
+    let n = out.report.total_completions(ClassId(1));
+    assert!(
+        (10..=80).contains(&n),
+        "open-loop arrival count {n} far from the configured rate"
+    );
+}
+
+#[test]
+fn trace_replay_reproduces_the_recorded_arrivals() {
+    use query_scheduler::workload::{Trace, TraceEvent};
+    use query_scheduler::dbms::query::{ClientId, QueryKind};
+    // A hand-written trace: 20 OLTP arrivals at 100 ms spacing and 3 OLAP
+    // queries, replayed against the uncontrolled engine.
+    let mut events = Vec::new();
+    for i in 0..20u64 {
+        events.push(TraceEvent {
+            at: SimDuration::from_millis(100 * i),
+            class: ClassId(3),
+            kind: QueryKind::Oltp,
+            client: ClientId(300 + (i % 5) as u32),
+            template: 1,
+            estimated_cost: 50.0,
+            true_cost: 55.0,
+            io_fraction: 0.2,
+        });
+    }
+    for i in 0..3u64 {
+        events.push(TraceEvent {
+            at: SimDuration::from_millis(500 * i),
+            class: ClassId(1),
+            kind: QueryKind::Olap,
+            client: ClientId(100 + i as u32),
+            template: 9,
+            estimated_cost: 3_000.0,
+            true_cost: 3_000.0,
+            io_fraction: 0.75,
+        });
+    }
+    let trace = Trace::new(events);
+    // The trace round-trips through CSV before the run.
+    let trace = Trace::from_csv(&trace.to_csv()).expect("round trip");
+    let mut cfg = tiny_config(1, ControllerSpec::Uncontrolled);
+    cfg.trace = Some(trace);
+    let out = run_experiment(&cfg);
+    assert_eq!(out.summary.oltp_completed, 20);
+    assert_eq!(out.summary.olap_completed, 3);
+    // Determinism: replaying the same trace yields an identical report.
+    let mut cfg2 = tiny_config(999, ControllerSpec::Uncontrolled); // seed ignored
+    cfg2.trace = cfg.trace.clone();
+    let out2 = run_experiment(&cfg2);
+    assert_eq!(
+        serde_json::to_string(&out.report).unwrap(),
+        serde_json::to_string(&out2.report).unwrap()
+    );
+}
+
+#[test]
+fn trace_replay_respects_controllers() {
+    use query_scheduler::workload::{Trace, TraceEvent};
+    use query_scheduler::dbms::query::{ClientId, QueryKind};
+    // A burst of expensive OLAP queries at t=0: the no-control budget admits
+    // only ~30 K timerons at a time, so completions serialise.
+    let events: Vec<TraceEvent> = (0..10u64)
+        .map(|i| TraceEvent {
+            at: SimDuration::ZERO,
+            class: ClassId(1),
+            kind: QueryKind::Olap,
+            client: ClientId(i as u32),
+            template: 1,
+            estimated_cost: 10_000.0,
+            true_cost: 10_000.0,
+            io_fraction: 0.75,
+        })
+        .collect();
+    let mut cfg = tiny_config(
+        1,
+        ControllerSpec::NoControl { system_limit: Timerons::new(30_000.0) },
+    );
+    cfg.trace = Some(Trace::new(events));
+    let out = run_experiment(&cfg);
+    assert_eq!(out.summary.olap_completed, 10);
+    // Velocity < 1 proves the controller actually held trace queries.
+    let any_held = out
+        .report
+        .periods
+        .iter()
+        .any(|cell| cell.get(&ClassId(1)).is_some_and(|c| c.mean_velocity < 0.999));
+    assert!(any_held, "the cost limit must delay part of the burst");
+}

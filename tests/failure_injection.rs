@@ -1,0 +1,238 @@
+//! Failure injection: the system must stay live and self-consistent when
+//! components misbehave — grossly wrong optimizer estimates, a controller
+//! that never releases anything, degenerate queries, and arrival storms.
+
+use query_scheduler::core::class::ServiceClass;
+use query_scheduler::core::controller::{Controller, CtrlEvent};
+use query_scheduler::core::scheduler::{QueryScheduler, SchedulerConfig};
+use query_scheduler::dbms::engine::{Dbms, DbmsEvent, DbmsNotice};
+use query_scheduler::dbms::patroller::InterceptPolicy;
+use query_scheduler::dbms::query::{ClassId, ClientId, ExecShape, Query, QueryId, QueryKind};
+use query_scheduler::dbms::{DbmsConfig, Timerons};
+use query_scheduler::sim::{Ctx, Engine, SimDuration, SimTime, World};
+
+/// A controller that never releases anything — a wedged operator.
+struct Wedged;
+
+impl<E: From<CtrlEvent> + From<DbmsEvent>> Controller<E> for Wedged {
+    fn name(&self) -> &'static str {
+        "wedged"
+    }
+    fn start(&mut self, _ctx: &mut Ctx<'_, E>, _dbms: &mut Dbms) {}
+    fn on_notice(
+        &mut self,
+        _ctx: &mut Ctx<'_, E>,
+        _dbms: &mut Dbms,
+        _notice: &DbmsNotice,
+        _out: &mut Vec<DbmsNotice>,
+    ) {
+    }
+    fn on_event(
+        &mut self,
+        _ctx: &mut Ctx<'_, E>,
+        _dbms: &mut Dbms,
+        _ev: CtrlEvent,
+        _out: &mut Vec<DbmsNotice>,
+    ) {
+    }
+}
+
+/// Minimal world: a DBMS, a controller, a batch of queries at t=0.
+struct Rig<C> {
+    dbms: Dbms,
+    controller: C,
+    to_submit: Vec<Query>,
+    completed: u64,
+    held_seen: u64,
+}
+
+enum Ev {
+    Kick,
+    Db(DbmsEvent),
+    Ctrl(CtrlEvent),
+}
+impl From<DbmsEvent> for Ev {
+    fn from(e: DbmsEvent) -> Self {
+        Ev::Db(e)
+    }
+}
+impl From<CtrlEvent> for Ev {
+    fn from(e: CtrlEvent) -> Self {
+        Ev::Ctrl(e)
+    }
+}
+
+impl<C: Controller<Ev>> World for Rig<C> {
+    type Event = Ev;
+    fn handle(&mut self, ctx: &mut Ctx<'_, Ev>, ev: Ev) {
+        let mut out = Vec::new();
+        match ev {
+            Ev::Kick => {
+                self.controller.start(ctx, &mut self.dbms);
+                for q in self.to_submit.drain(..) {
+                    self.dbms.submit(ctx, q, &mut out);
+                }
+            }
+            Ev::Db(e) => self.dbms.handle(ctx, e, &mut out),
+            Ev::Ctrl(e) => self.controller.on_event(ctx, &mut self.dbms, e, &mut out),
+        }
+        let mut i = 0;
+        while i < out.len() {
+            let n = out[i].clone();
+            i += 1;
+            match &n {
+                DbmsNotice::Intercepted(_) => self.held_seen += 1,
+                DbmsNotice::Completed(_) => self.completed += 1,
+                DbmsNotice::Rejected(_) => {}
+            }
+            self.controller.on_notice(ctx, &mut self.dbms, &n, &mut out);
+        }
+    }
+}
+
+fn olap_query(id: u64, est: f64, true_cost: f64) -> Query {
+    let cfg = DbmsConfig::default();
+    Query {
+        id: QueryId(id),
+        client: ClientId(id as u32),
+        class: ClassId(1),
+        kind: QueryKind::Olap,
+        template: 1,
+        estimated_cost: Timerons::new(est),
+        true_cost: Timerons::new(true_cost),
+        shape: cfg.shape(Timerons::new(true_cost), 0.75, 4),
+    }
+}
+
+#[test]
+fn wedged_controller_never_deadlocks_the_engine() {
+    // Every query is intercepted and nothing ever releases them: the run
+    // must terminate cleanly (no events left), with all queries held.
+    let dbms =
+        Dbms::new(DbmsConfig::default(), InterceptPolicy::intercept_all(), SimTime::ZERO);
+    let queries: Vec<Query> = (0..50).map(|i| olap_query(i, 1_000.0, 1_000.0)).collect();
+    let mut e = Engine::new(Rig {
+        dbms,
+        controller: Wedged,
+        to_submit: queries,
+        completed: 0,
+        held_seen: 0,
+    });
+    e.schedule_at(SimTime::ZERO, Ev::Kick);
+    e.run_until(SimTime::from_secs(3_600));
+    let w = e.world();
+    assert_eq!(w.completed, 0);
+    assert_eq!(w.held_seen, 50);
+    assert_eq!(w.dbms.patroller().held_count(), 50);
+    assert_eq!(w.dbms.executing_count(), 0);
+}
+
+#[test]
+fn grossly_wrong_estimates_do_not_wedge_the_scheduler() {
+    // Optimizer estimates off by 100× in both directions. The Query
+    // Scheduler's budget is in estimates, so its plan arithmetic is way off
+    // reality — but every query must still complete (the oversize-when-idle
+    // guard prevents starvation) and the dispatcher's books must balance.
+    let dbms = Dbms::new(
+        DbmsConfig::default(),
+        InterceptPolicy::intercept_all().with_bypass(ClassId(3)),
+        SimTime::ZERO,
+    );
+    let mut queries = Vec::new();
+    for i in 0..40u64 {
+        let (est, true_cost) = if i % 2 == 0 {
+            (100_000.0, 1_000.0) // 100× over-estimated
+        } else {
+            (50.0, 5_000.0) // 100× under-estimated
+        };
+        queries.push(olap_query(i, est, true_cost));
+    }
+    let qs = QueryScheduler::paper_default(
+        ServiceClass::paper_classes(),
+        SchedulerConfig {
+            control_interval: SimDuration::from_secs(30),
+            ..SchedulerConfig::default()
+        },
+    );
+    let mut e = Engine::new(Rig {
+        dbms,
+        controller: qs,
+        to_submit: queries,
+        completed: 0,
+        held_seen: 0,
+    });
+    e.schedule_at(SimTime::ZERO, Ev::Kick);
+    // The QS reschedules its ticks forever; run to a generous horizon.
+    e.run_until(SimTime::from_secs(7_200));
+    let w = e.world();
+    assert_eq!(w.completed, 40, "all queries complete despite bogus estimates");
+    assert_eq!(w.controller.queued(), 0, "no query left behind in class queues");
+    assert_eq!(w.dbms.executing_count(), 0);
+}
+
+#[test]
+fn degenerate_queries_flow_through() {
+    // Minimum-cost queries with 1 cycle, zero I/O, weight 1 — and a single
+    // enormous one — on the same engine.
+    let dbms =
+        Dbms::new(DbmsConfig::default(), InterceptPolicy::intercept_none(), SimTime::ZERO);
+    let mut queries: Vec<Query> = (0..100)
+        .map(|i| Query {
+            id: QueryId(i),
+            client: ClientId(i as u32),
+            class: ClassId(3),
+            kind: QueryKind::Oltp,
+            template: 1,
+            estimated_cost: Timerons::new(1.0),
+            true_cost: Timerons::new(1.0),
+            shape: ExecShape::new(SimDuration::from_micros(10), SimDuration::ZERO, 1),
+        })
+        .collect();
+    queries.push(olap_query(999, 60_000.0, 60_000.0)); // far past the knee alone
+    let mut e = Engine::new(Rig {
+        dbms,
+        controller: Wedged, // nothing intercepted, controller irrelevant
+        to_submit: queries,
+        completed: 0,
+        held_seen: 0,
+    });
+    e.schedule_at(SimTime::ZERO, Ev::Kick);
+    e.run_until(SimTime::from_secs(86_400));
+    assert_eq!(e.world().completed, 101);
+    assert!(e.world().dbms.admitted_true_cost().abs() < 1e-6);
+}
+
+#[test]
+fn submission_storm_drains_completely() {
+    // 5 000 simultaneous OLTP submissions (agent pool is 512): the pool
+    // queue must hand agents over until everything drains.
+    let dbms =
+        Dbms::new(DbmsConfig::default(), InterceptPolicy::intercept_none(), SimTime::ZERO);
+    let queries: Vec<Query> = (0..5_000)
+        .map(|i| Query {
+            id: QueryId(i),
+            client: ClientId(i as u32),
+            class: ClassId(3),
+            kind: QueryKind::Oltp,
+            template: 1,
+            estimated_cost: Timerons::new(50.0),
+            true_cost: Timerons::new(50.0),
+            shape: ExecShape::new(
+                SimDuration::from_millis(5),
+                SimDuration::from_millis(2),
+                2,
+            ),
+        })
+        .collect();
+    let mut e = Engine::new(Rig {
+        dbms,
+        controller: Wedged,
+        to_submit: queries,
+        completed: 0,
+        held_seen: 0,
+    });
+    e.schedule_at(SimTime::ZERO, Ev::Kick);
+    e.run_until(SimTime::from_secs(86_400));
+    assert_eq!(e.world().completed, 5_000);
+    assert_eq!(e.world().dbms.executing_count(), 0);
+}

@@ -1,0 +1,199 @@
+//! Integration tests asserting the *shape* of every paper figure
+//! (DESIGN.md §4). Absolute numbers are substrate-dependent and not
+//! asserted; who wins, by roughly what factor, and where the knees fall are.
+//!
+//! Runs are scaled down (shorter periods, shorter sweeps) to stay fast in
+//! debug builds; the bench harness regenerates the figures at full scale.
+
+use query_scheduler::dbms::query::ClassId;
+use query_scheduler::experiments::figures::{
+    calibration, fig2, figure_controller, main_config, run_parallel, CalibrationOpts, Fig2Opts,
+};
+use query_scheduler::experiments::report::RunReport;
+
+const SEED: u64 = 2007;
+const SCALE: f64 = 0.05; // 4-minute periods
+
+/// Run Figures 4, 5 and 6 once (in parallel) and hand the three reports to
+/// every assertion — the expensive part is shared.
+fn main_reports() -> (RunReport, RunReport, RunReport) {
+    let configs = vec![
+        main_config(SEED, figure_controller(4), SCALE),
+        main_config(SEED, figure_controller(5), SCALE),
+        main_config(SEED, figure_controller(6), SCALE),
+    ];
+    let mut outs = run_parallel(configs);
+    let fig6 = outs.pop().expect("fig6");
+    let fig5 = outs.pop().expect("fig5");
+    let fig4 = outs.pop().expect("fig4");
+    (fig4.report, fig5.report, fig6.report)
+}
+
+#[test]
+fn calibration_curve_rises_then_falls_with_knee_near_30k() {
+    let curve = calibration(
+        SEED,
+        &CalibrationOpts {
+            limits: vec![5_000.0, 15_000.0, 30_000.0, 45_000.0, 60_000.0],
+            clients: 20,
+            minutes: 15,
+        },
+    );
+    let t: Vec<f64> = curve.points.iter().map(|p| p.olap_per_hour).collect();
+    // Rising into the knee…
+    assert!(t[1] > t[0] * 1.05, "throughput should rise toward the knee: {t:?}");
+    assert!(t[2] > t[1] * 1.02, "throughput should still rise at 30K: {t:?}");
+    // …and falling past it (thrashing).
+    assert!(t[3] < t[2] * 0.95, "throughput should fall past the knee: {t:?}");
+    assert!(t[4] < t[3], "throughput keeps falling when oversaturated: {t:?}");
+    let knee = curve.knee();
+    assert!(
+        (15_000.0..=45_000.0).contains(&knee),
+        "knee {knee} should be near the paper's 30K"
+    );
+}
+
+#[test]
+fn fig2_oltp_response_is_linear_in_olap_cost_limit() {
+    let f2 = fig2(
+        SEED,
+        &Fig2Opts {
+            pairs: vec![(30, 8), (50, 8), (30, 2)],
+            limits: vec![4_000.0, 10_000.0, 16_000.0, 22_000.0, 28_000.0],
+            minutes_per_period: 4,
+        },
+    );
+    // Series 0 (30 OLTP, 8 OLAP): linear under-saturated with positive slope.
+    let (slope, r2) = f2.linear_fit(0, 28_000.0).expect("fit defined");
+    assert!(slope > 1e-6, "OLTP response must grow with the OLAP limit: slope {slope}");
+    assert!(r2 > 0.9, "the under-saturated relation should be near-linear: R² {r2}");
+    // More OLTP clients shift the whole line upward.
+    for (p30, p50) in f2.series[0].points.iter().zip(&f2.series[1].points) {
+        assert!(
+            p50.1 > p30.1,
+            "50-client line must sit above the 30-client line at {} ({} vs {})",
+            p30.0,
+            p50.1,
+            p30.1
+        );
+    }
+    // Few OLAP clients cap the in-flight cost: the (30,2) line must flatten —
+    // its late-sweep growth is small compared to the (30,8) line's.
+    let growth = |pts: &[(f64, f64)]| pts.last().unwrap().1 - pts[1].1;
+    assert!(
+        growth(&f2.series[2].points) < growth(&f2.series[0].points) * 0.6,
+        "the 2-OLAP-client series should plateau once client-bound"
+    );
+}
+
+#[test]
+fn figures_4_5_6_reproduce_the_papers_comparison() {
+    let (fig4, fig5, fig6) = main_reports();
+    let c1 = ClassId(1);
+    let c2 = ClassId(2);
+    let c3 = ClassId(3);
+
+    // --- Figure 4 (no class control): the OLTP class misses its goal under
+    // load, and the OLAP classes are undifferentiated.
+    let v4 = fig4.violations(c3);
+    assert!(v4 >= 6, "no-control should violate the OLTP goal often, got {v4}");
+    let diff4 = fig4.differentiation_fraction(c2, c1, 1);
+    assert!(
+        (0.2..=0.8).contains(&diff4),
+        "no-control cannot differentiate the OLAP classes: {diff4}"
+    );
+
+    // --- Figure 5 (QP priority): strong OLAP differentiation, but the
+    // static limit still misses the OLTP goal in the heavy periods.
+    let diff5 = fig5.differentiation_fraction(c2, c1, 1);
+    assert!(diff5 >= 0.7, "QP priority must favour class 2: {diff5}");
+    let v5 = fig5.violated_periods(c3);
+    let heavy_missed = [2usize, 5, 8, 11, 14, 17]
+        .iter()
+        .filter(|p| v5.contains(p))
+        .count();
+    assert!(
+        v5.len() >= 4 && heavy_missed >= 3,
+        "QP's static limit must keep missing the OLTP goal in heavy periods \
+         (violated: {v5:?}, heavy missed: {heavy_missed})"
+    );
+
+    // --- Figure 6 (Query Scheduler): strictly fewer OLTP violations than
+    // both baselines, goals met in the light periods, and differentiated
+    // OLAP service.
+    let v6 = fig6.violations(c3);
+    assert!(v6 < v4, "QS ({v6}) must beat no-control ({v4}) on OLTP violations");
+    assert!(v6 < fig5.violations(c3), "QS must beat QP on OLTP violations");
+    let v6p = fig6.violated_periods(c3);
+    for light in [0usize, 3, 6, 9, 12, 15] {
+        assert!(
+            !v6p.contains(&light),
+            "QS should meet the OLTP goal in light period {} (violated: {v6p:?})",
+            light + 1
+        );
+    }
+    let diff6 = fig6.differentiation_fraction(c2, c1, 1);
+    assert!(diff6 >= 0.55, "QS should favour class 2 in most periods: {diff6}");
+
+    // QS trades OLAP velocity for the OLTP goal: its OLAP classes should be
+    // slower than under no control, while completing more OLTP work.
+    let mean_velocity = |r: &RunReport, c: ClassId| {
+        let vals: Vec<f64> =
+            (0..r.periods.len()).filter_map(|p| r.metric(p, c)).collect();
+        vals.iter().sum::<f64>() / vals.len() as f64
+    };
+    assert!(mean_velocity(&fig6, c1) < mean_velocity(&fig4, c1) + 0.05);
+    assert!(
+        fig6.total_completions(c3) > fig4.total_completions(c3),
+        "faster OLTP service must complete more closed-loop transactions"
+    );
+}
+
+#[test]
+fn fig7_plans_always_sum_to_the_system_limit() {
+    let out = query_scheduler::experiments::world::run_experiment(&main_config(
+        SEED,
+        figure_controller(6),
+        0.02,
+    ));
+    let log = out.plan_log.expect("the Query Scheduler logs plans");
+    let series: Vec<_> = log.all().iter().collect();
+    assert_eq!(series.len(), 3, "one trajectory per class");
+    let n = series[0].1.len();
+    assert!(n >= 5, "expected several control intervals, got {n}");
+    for i in 0..n {
+        let total: f64 = series.iter().map(|(_, s)| s.points()[i].value).sum();
+        assert!(
+            (total - 30_000.0).abs() < 1.0,
+            "plan {i} sums to {total}, not the 30K system limit"
+        );
+        for (c, s) in &series {
+            let v = s.points()[i].value;
+            assert!(v >= 590.0, "plan {i} starves {c}: {v} below the floor");
+        }
+    }
+}
+
+#[test]
+fn fig7_oltp_reservation_grows_in_heavy_periods() {
+    let out = query_scheduler::experiments::world::run_experiment(&main_config(
+        SEED,
+        figure_controller(6),
+        SCALE,
+    ));
+    let log = out.plan_log.expect("plan log");
+    let schedule = main_config(SEED, figure_controller(6), SCALE).schedule;
+    let f7 = query_scheduler::experiments::figures::fig7(&log, &schedule);
+    let class3 = f7
+        .per_class
+        .iter()
+        .find(|(c, _)| *c == ClassId(3))
+        .map(|(_, m)| m.clone())
+        .expect("class 3 trajectory");
+    let heavy: f64 = [2usize, 5, 8, 11, 14].iter().map(|&p| class3[p]).sum::<f64>() / 5.0;
+    let light: f64 = [0usize, 3, 6, 9, 12].iter().map(|&p| class3[p]).sum::<f64>() / 5.0;
+    assert!(
+        heavy > light * 1.3,
+        "the OLTP reservation should grow when its load is heavy: heavy {heavy:.0} vs light {light:.0}"
+    );
+}

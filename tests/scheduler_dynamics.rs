@@ -1,0 +1,260 @@
+//! Integration tests of the control-plane extensions: MPL controllers, reactive
+//! re-planning via workload detection, and non-paper client behaviours.
+
+use query_scheduler::core::class::ServiceClass;
+use query_scheduler::core::detect::DetectorConfig;
+use query_scheduler::core::mpl::MplAdaptiveConfig;
+use query_scheduler::core::scheduler::SchedulerConfig;
+use query_scheduler::dbms::query::ClassId;
+use query_scheduler::experiments::config::{ControllerSpec, ExperimentConfig};
+use query_scheduler::experiments::world::run_experiment;
+use query_scheduler::sim::SimDuration;
+use query_scheduler::workload::Schedule;
+
+fn cfg(seed: u64, controller: ControllerSpec, schedule: Schedule) -> ExperimentConfig {
+    ExperimentConfig {
+        seed,
+        dbms: Default::default(),
+        schedule,
+        classes: ServiceClass::paper_classes(),
+        controller,
+        warmup_periods: 0,
+        record_sample: None,
+        behaviors: None,
+        trace: None,
+    }
+}
+
+fn three_periods() -> Schedule {
+    Schedule::new(
+        SimDuration::from_secs(120),
+        vec![vec![3, 3, 15], vec![2, 5, 25], vec![5, 2, 20]],
+    )
+}
+
+#[test]
+fn mpl_static_caps_concurrency_and_completes_work() {
+    let out = run_experiment(&cfg(
+        3,
+        ControllerSpec::MplStatic { per_class_cap: 2 },
+        three_periods(),
+    ));
+    // Both OLAP classes progress under the cap, OLTP is untouched.
+    assert!(out.report.total_completions(ClassId(1)) > 0);
+    assert!(out.report.total_completions(ClassId(2)) > 0);
+    assert!(out.report.total_completions(ClassId(3)) > 10_000);
+    // A cap of 2 per class bounds mean admitted cost well below 30 K:
+    // 4 concurrent OLAP queries ≈ 4 × ~3.4 K plus the OLTP trickle.
+    assert!(
+        out.summary.mean_admitted_cost < 25_000.0,
+        "MPL cap should bound admitted cost, got {:.0}",
+        out.summary.mean_admitted_cost
+    );
+}
+
+#[test]
+fn mpl_adaptive_runs_and_respects_budget() {
+    let out = run_experiment(&cfg(
+        3,
+        ControllerSpec::MplAdaptive(MplAdaptiveConfig {
+            total_mpl: 8,
+            floor: 1,
+            control_interval: SimDuration::from_secs(20),
+        }),
+        three_periods(),
+    ));
+    assert_eq!(out.report.controller, "mpl-adaptive");
+    assert!(out.report.total_completions(ClassId(1)) > 0);
+    assert!(out.report.total_completions(ClassId(2)) > 0);
+}
+
+#[test]
+fn cost_based_control_beats_mpl_on_oltp_goal() {
+    // The paper's §1 argument: cost is the right admission currency for
+    // OLAP. Same workload, same seed; compare OLTP goal adherence.
+    let schedule = three_periods();
+    let qs = run_experiment(&cfg(
+        9,
+        ControllerSpec::QueryScheduler(SchedulerConfig {
+            control_interval: SimDuration::from_secs(20),
+            ..SchedulerConfig::default()
+        }),
+        schedule.clone(),
+    ));
+    let mpl = run_experiment(&cfg(
+        9,
+        ControllerSpec::MplStatic { per_class_cap: 5 },
+        schedule,
+    ));
+    let mean_resp = |out: &query_scheduler::experiments::world::RunOutput| {
+        let vals: Vec<f64> = (0..out.report.periods.len())
+            .filter_map(|p| out.report.metric(p, ClassId(3)))
+            .collect();
+        vals.iter().sum::<f64>() / vals.len() as f64
+    };
+    assert!(
+        mean_resp(&qs) <= mean_resp(&mpl) + 0.02,
+        "cost-based control should serve OLTP at least as well: {:.3} vs {:.3}",
+        mean_resp(&qs),
+        mean_resp(&mpl)
+    );
+}
+
+#[test]
+fn reactive_replanning_reacts_faster_than_the_interval() {
+    // One intensity step: light OLTP then a sudden 15→25 jump. The control
+    // interval is deliberately long (120 s = the whole period), so only the
+    // detector-triggered re-plans can adapt within the heavy period.
+    let schedule = Schedule::new(
+        SimDuration::from_secs(240),
+        vec![vec![3, 3, 15], vec![3, 3, 25]],
+    );
+    let slow = SchedulerConfig {
+        control_interval: SimDuration::from_secs(240),
+        snapshot_interval: SimDuration::from_secs(5),
+        ..SchedulerConfig::default()
+    };
+    let reactive = SchedulerConfig {
+        reactive_replanning: true,
+        detector: DetectorConfig {
+            window: SimDuration::from_secs(20),
+            ewma_alpha: 0.3,
+            change_threshold: 0.3,
+            min_windows: 2,
+        },
+        ..slow.clone()
+    };
+    let base = run_experiment(&cfg(5, ControllerSpec::QueryScheduler(slow), schedule.clone()));
+    let fast = run_experiment(&cfg(5, ControllerSpec::QueryScheduler(reactive), schedule));
+    let plans = |out: &query_scheduler::experiments::world::RunOutput| {
+        out.plan_log.as_ref().expect("plan log").all()[0].1.len()
+    };
+    assert!(
+        plans(&fast) > plans(&base),
+        "detected changes must add re-plans: {} vs {}",
+        plans(&fast),
+        plans(&base)
+    );
+    // OLTP response in the heavy period must not be worse under reactive
+    // control.
+    let heavy_resp = |out: &query_scheduler::experiments::world::RunOutput| {
+        out.report.metric(1, ClassId(3)).expect("heavy period metric")
+    };
+    assert!(
+        heavy_resp(&fast) <= heavy_resp(&base) + 0.03,
+        "reactive re-planning should help (or at least not hurt): {:.3} vs {:.3}",
+        heavy_resp(&fast),
+        heavy_resp(&base)
+    );
+}
+
+#[test]
+fn detector_counts_changes_across_the_run() {
+    let schedule = Schedule::new(
+        SimDuration::from_secs(200),
+        vec![vec![3, 3, 15], vec![3, 3, 25], vec![3, 3, 15]],
+    );
+    let reactive = SchedulerConfig {
+        reactive_replanning: true,
+        control_interval: SimDuration::from_secs(40),
+        snapshot_interval: SimDuration::from_secs(5),
+        detector: DetectorConfig {
+            window: SimDuration::from_secs(20),
+            ewma_alpha: 0.3,
+            change_threshold: 0.3,
+            min_windows: 2,
+        },
+        ..SchedulerConfig::default()
+    };
+    let out = run_experiment(&cfg(8, ControllerSpec::QueryScheduler(reactive), schedule));
+    // The OLTP intensity steps up and back down: at least two changes.
+    // (The detector itself is only reachable through the plan log length
+    // here; more re-plans than the 15 interval ticks implies detections.)
+    let plan_points = out.plan_log.expect("plan log").all()[0].1.len();
+    assert!(plan_points > 15, "expected reactive re-plans, got {plan_points}");
+}
+
+#[test]
+fn plan_smoothing_bounds_per_interval_swings() {
+    // Unbounded plans may jump by many thousands of timerons per interval;
+    // with max_step_fraction = 0.05 no class limit may move more than
+    // 1 500 timerons between consecutive plans (up to the simplex
+    // re-projection's small correction).
+    let schedule = Schedule::new(
+        SimDuration::from_secs(200),
+        vec![vec![3, 3, 15], vec![3, 3, 25], vec![2, 6, 15]],
+    );
+    let smoothed = SchedulerConfig {
+        control_interval: SimDuration::from_secs(20),
+        max_step_fraction: Some(0.05),
+        ..SchedulerConfig::default()
+    };
+    let out = run_experiment(&cfg(4, ControllerSpec::QueryScheduler(smoothed), schedule));
+    let log = out.plan_log.expect("plan log");
+    for (class, series) in log.all() {
+        let points = series.points();
+        for w in points.windows(2) {
+            let delta = (w[1].value - w[0].value).abs();
+            assert!(
+                delta <= 0.05 * 30_000.0 + 600.0,
+                "{class} jumped {delta:.0} timerons in one interval"
+            );
+        }
+    }
+    // Plans must still sum to the system limit after smoothing.
+    let n = log.all()[0].1.len();
+    for i in 0..n {
+        let total: f64 = log.all().iter().map(|(_, s)| s.points()[i].value).sum();
+        assert!((total - 30_000.0).abs() < 1.0, "plan {i} sums to {total}");
+    }
+}
+
+#[test]
+fn qp_max_cost_rule_rejects_but_clients_continue() {
+    // A tight maximum-cost rule rejects the expensive tail of the TPC-H
+    // stream; the closed-loop clients must keep cycling (a rejection is a
+    // served-with-error interaction), and cheap queries still run.
+    use query_scheduler::dbms::Timerons;
+    let schedule = Schedule::new(SimDuration::from_secs(240), vec![vec![4, 4, 15]]);
+    let base = run_experiment(&cfg(
+        6,
+        ControllerSpec::QpStatic {
+            system_limit: Timerons::new(30_000.0),
+            priority: true,
+            max_cost: None,
+        },
+        schedule.clone(),
+    ));
+    let strict = run_experiment(&cfg(
+        6,
+        ControllerSpec::QpStatic {
+            system_limit: Timerons::new(30_000.0),
+            priority: true,
+            // Roughly the median TPC-H cost: the expensive half is rejected.
+            max_cost: Some(Timerons::new(3_000.0)),
+        },
+        schedule,
+    ));
+    // Rejections shrink the completed OLAP work…
+    let olap = |o: &query_scheduler::experiments::world::RunOutput| {
+        o.report.total_completions(ClassId(1)) + o.report.total_completions(ClassId(2))
+    };
+    // …but the clients keep cycling: the strict run pushes *more* queries
+    // through the loop because rejected ones return instantly.
+    assert!(
+        strict.summary.olap_completed + 10 < base.summary.olap_completed + olap(&strict),
+        "sanity"
+    );
+    assert!(olap(&strict) > 0, "cheap queries must still complete");
+    // Completed OLAP queries under the strict rule are all cheap-to-mid cost,
+    // so their mean execution time drops well below the baseline's.
+    let mean_exec = |o: &query_scheduler::experiments::world::RunOutput| {
+        o.report.cell(0, ClassId(1)).map(|c| c.mean_execution_secs).unwrap_or(f64::NAN)
+    };
+    assert!(
+        mean_exec(&strict) < mean_exec(&base),
+        "rejecting the expensive tail must shrink mean execution: {:.2} vs {:.2}",
+        mean_exec(&strict),
+        mean_exec(&base)
+    );
+}
