@@ -90,6 +90,11 @@ impl<E: From<CtrlEvent> + From<DbmsEvent>> Controller<E> for NoControl {
                 self.drain(ctx, dbms);
             }
             DbmsNotice::Rejected(_) => {}
+            DbmsNotice::Starved(row) => {
+                // Watchdog force-release: forget the query if still queued.
+                // Its completion is ignored by the guarded Completed arm.
+                self.queue.retain(|&(id, _)| id != row.id);
+            }
             DbmsNotice::Completed(rec) => {
                 if self.released.remove(&rec.id) {
                     self.executing = if self.released.is_empty() {
@@ -360,6 +365,11 @@ impl<E: From<CtrlEvent> + From<DbmsEvent>> Controller<E> for QpController {
                 self.drain(ctx, dbms);
             }
             DbmsNotice::Rejected(_) => {}
+            DbmsNotice::Starved(row) => {
+                // Watchdog force-release: forget the query if still waiting.
+                // Its completion is ignored by the guarded Completed arm.
+                self.waiting.retain(|w| w.id != row.id);
+            }
             DbmsNotice::Completed(rec) => {
                 if let Some((group, cost)) = self.running.remove(&rec.id) {
                     let slot = self

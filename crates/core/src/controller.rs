@@ -5,6 +5,8 @@
 //! world routes DBMS notices and controller timer events here.
 
 use qsched_dbms::engine::{Dbms, DbmsEvent, DbmsNotice};
+use qsched_dbms::metrics::DegradationStats;
+use qsched_dbms::query::QueryId;
 use qsched_sim::Ctx;
 
 /// Timer events owned by controllers.
@@ -14,6 +16,14 @@ pub enum CtrlEvent {
     ControlTick,
     /// Sample the DBMS snapshot monitor.
     SnapshotTick,
+    /// Re-issue a release command that was lost in flight. `attempt` is the
+    /// number of failures so far (drives the exponential backoff).
+    RetryRelease {
+        /// The query whose release is being retried.
+        id: QueryId,
+        /// Failed attempts so far.
+        attempt: u32,
+    },
 }
 
 /// A workload-control policy. Generic over the enclosing world's event type
@@ -50,6 +60,12 @@ pub trait Controller<E: From<CtrlEvent> + From<DbmsEvent>> {
 
     /// The plan history, if this controller maintains one (Figure 7).
     fn plan_log(&self) -> Option<&crate::plan::PlanLog> {
+        None
+    }
+
+    /// Degraded-mode counters, if this controller tracks them (merged with
+    /// the engine-side counters in experiment reports).
+    fn degradation_stats(&self) -> Option<DegradationStats> {
         None
     }
 }

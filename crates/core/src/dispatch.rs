@@ -139,6 +139,18 @@ impl Dispatcher {
         }
     }
 
+    /// Account for a query of a controlled class that the engine released
+    /// *outside* the dispatcher (the starvation watchdog): its cost joins
+    /// the executing books so the eventual completion balances them.
+    /// Uncontrolled classes are ignored. Does not count as a dispatcher
+    /// release in [`Dispatcher::total_released`].
+    pub fn note_external_release(&mut self, class: ClassId, cost: Timerons) {
+        if let Some(slot) = self.executing.get_mut(&class) {
+            slot.0 += cost;
+            slot.1 += 1;
+        }
+    }
+
     /// Scan one class queue, releasing head queries while they fit.
     fn scan_class(&mut self, class: ClassId, queues: &mut ClassQueues) -> ReleaseList {
         let mut out = Vec::new();

@@ -196,6 +196,12 @@ impl<E: From<CtrlEvent> + From<DbmsEvent>> Controller<E> for PiController {
                 self.perform(ctx, dbms, releases);
             }
             DbmsNotice::Rejected(_) => {}
+            DbmsNotice::Starved(row) => {
+                // Watchdog force-release: reconcile queue/dispatcher books.
+                if let Some(q) = self.queues.remove(row.class, row.id) {
+                    self.dispatcher.note_external_release(row.class, q.cost);
+                }
+            }
         }
     }
 
@@ -208,14 +214,16 @@ impl<E: From<CtrlEvent> + From<DbmsEvent>> Controller<E> for PiController {
     ) {
         match ev {
             CtrlEvent::SnapshotTick => {
-                let samples = dbms.take_snapshot(ctx);
-                self.monitor.on_snapshot(ctx.now(), &samples);
+                if let Some(samples) = dbms.take_snapshot(ctx) {
+                    self.monitor.on_snapshot(ctx.now(), &samples);
+                }
                 ctx.schedule_in(self.cfg.snapshot_interval, CtrlEvent::SnapshotTick.into());
             }
             CtrlEvent::ControlTick => {
                 self.control_step(ctx, dbms);
                 ctx.schedule_in(self.cfg.control_interval, CtrlEvent::ControlTick.into());
             }
+            CtrlEvent::RetryRelease { .. } => {}
         }
     }
 

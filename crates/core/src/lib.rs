@@ -79,4 +79,4 @@ pub mod utility;
 pub use class::{Goal, ServiceClass};
 pub use controller::{Controller, CtrlEvent};
 pub use plan::Plan;
-pub use scheduler::{QueryScheduler, SchedulerConfig};
+pub use scheduler::{QueryScheduler, RobustnessConfig, SchedulerConfig};

@@ -66,6 +66,12 @@ impl IntervalMonitor {
         self.last_snapshot = now;
     }
 
+    /// When the last snapshot was successfully read (staleness checks: a
+    /// dropped snapshot leaves this unchanged).
+    pub fn last_snapshot_time(&self) -> SimTime {
+        self.last_snapshot
+    }
+
     /// Close the interval: return per-class measurements and reset.
     pub fn end_interval(&mut self, classes: &[ClassId]) -> BTreeMap<ClassId, ClassMeasurement> {
         let mut out = BTreeMap::new();

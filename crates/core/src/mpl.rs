@@ -160,6 +160,13 @@ impl<E: From<CtrlEvent> + From<DbmsEvent>> Controller<E> for MplStatic {
                 self.drain_class(ctx, dbms, row.class);
             }
             DbmsNotice::Rejected(_) => {}
+            DbmsNotice::Starved(row) => {
+                // Watchdog force-release: forget the query if still queued.
+                // The guarded Completed arm ignores its completion.
+                if let Some(q) = self.queues.get_mut(&row.class) {
+                    q.retain(|&id| id != row.id);
+                }
+            }
             DbmsNotice::Completed(rec) => {
                 if let Some(r) = self.running.get_mut(&rec.class) {
                     if *r > 0 {

@@ -113,6 +113,15 @@ impl ClassQueues {
     pub fn iter_class(&self, class: ClassId) -> impl Iterator<Item = &QueuedQuery> {
         self.queues.get(&class).into_iter().flatten()
     }
+
+    /// Remove a specific waiting query (e.g. after the engine's starvation
+    /// watchdog released it behind the dispatcher's back). Returns the
+    /// removed entry, or `None` if it was not queued under `class`.
+    pub fn remove(&mut self, class: ClassId, id: QueryId) -> Option<QueuedQuery> {
+        let q = self.queues.get_mut(&class)?;
+        let pos = q.iter().position(|e| e.id == id)?;
+        q.remove(pos)
+    }
 }
 
 #[cfg(test)]

@@ -20,7 +20,8 @@ use crate::queue::{ClassQueues, QueueDiscipline};
 use crate::solver::{ClassState, PlanProblem, Solver};
 use crate::utility::{GoalUtility, UtilityFn};
 use qsched_dbms::engine::{Dbms, DbmsEvent, DbmsNotice};
-use qsched_dbms::query::{ClassId, QueryKind};
+use qsched_dbms::metrics::DegradationStats;
+use qsched_dbms::query::{ClassId, QueryId, QueryKind};
 use qsched_dbms::Timerons;
 use qsched_sim::{Ctx, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
@@ -67,6 +68,48 @@ pub struct SchedulerConfig {
     pub reactive_replanning: bool,
     /// Workload-detector tuning (used when `reactive_replanning` is on).
     pub detector: DetectorConfig,
+    /// Graceful-degradation tuning (see [`RobustnessConfig`]).
+    #[serde(default)]
+    pub robustness: RobustnessConfig,
+}
+
+/// Tunables of the scheduler's degraded modes. All of these only change
+/// behaviour when an anomaly is actually detected — a healthy run takes
+/// bit-identical decisions whatever these values are.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RobustnessConfig {
+    /// Re-use the last-known-good plan instead of re-solving when the
+    /// newest successful snapshot is older than this at replan time
+    /// (`None` = never treat inputs as stale). Only monitored-OLTP
+    /// configurations check this; OLAP-only schedulers measure through
+    /// completions, not snapshots.
+    pub staleness_bound: Option<SimDuration>,
+    /// First retry delay after a release command is lost in flight.
+    pub release_retry_base: SimDuration,
+    /// Upper bound of the exponential retry backoff.
+    pub release_retry_cap: SimDuration,
+    /// An intercepted query's cost estimate is *implausible* when it exceeds
+    /// `implausible_factor × system_limit` — no single query should dwarf
+    /// the whole machine's admission budget.
+    pub implausible_factor: f64,
+    /// When an implausible estimate was seen during an interval and no
+    /// `max_step_fraction` smoothing is configured, the next plan's movement
+    /// is clamped to this fraction of the system limit per class, so one
+    /// corrupt observation cannot swing the whole allocation.
+    pub implausible_step_fraction: f64,
+}
+
+impl Default for RobustnessConfig {
+    fn default() -> Self {
+        RobustnessConfig {
+            // Six missed 10 s snapshots in a row ≈ a dead monitor.
+            staleness_bound: Some(SimDuration::from_secs(60)),
+            release_retry_base: SimDuration::from_millis(500),
+            release_retry_cap: SimDuration::from_secs(30),
+            implausible_factor: 2.0,
+            implausible_step_fraction: 0.2,
+        }
+    }
 }
 
 impl Default for SchedulerConfig {
@@ -85,6 +128,7 @@ impl Default for SchedulerConfig {
             max_step_fraction: None,
             reactive_replanning: false,
             detector: DetectorConfig::default(),
+            robustness: RobustnessConfig::default(),
         }
     }
 }
@@ -106,6 +150,12 @@ pub struct QueryScheduler {
     plan_log: PlanLog,
     control_intervals: u64,
     detector: Option<WorkloadDetector>,
+    /// Controller-side degraded-mode counters.
+    degradation: DegradationStats,
+    /// Whether any class is monitored through snapshots (OLTP present).
+    has_oltp: bool,
+    /// An implausible estimate arrived since the last replan.
+    implausible_seen: bool,
 }
 
 impl QueryScheduler {
@@ -169,6 +219,7 @@ impl QueryScheduler {
         let detector = cfg
             .reactive_replanning
             .then(|| WorkloadDetector::new(cfg.detector.clone(), SimTime::ZERO));
+        let has_oltp = oltp_count > 0;
         QueryScheduler {
             dispatcher: Dispatcher::new(&dispatch_plan),
             monitor: IntervalMonitor::new(SimTime::ZERO),
@@ -185,6 +236,9 @@ impl QueryScheduler {
             cfg,
             control_intervals: 0,
             detector,
+            degradation: DegradationStats::default(),
+            has_oltp,
+            implausible_seen: false,
         }
     }
 
@@ -241,16 +295,47 @@ impl QueryScheduler {
         self.detector.as_ref()
     }
 
+    /// Controller-side degraded-mode counters.
+    pub fn degradation(&self) -> &DegradationStats {
+        &self.degradation
+    }
+
     fn perform_releases<E: From<CtrlEvent> + From<DbmsEvent>>(
         &mut self,
         ctx: &mut Ctx<'_, E>,
         dbms: &mut Dbms,
-        releases: Vec<(ClassId, qsched_dbms::query::QueryId)>,
+        releases: Vec<(ClassId, QueryId)>,
     ) {
         for (_, id) in releases {
-            let ok = dbms.release(ctx, id);
-            debug_assert!(ok, "dispatcher released a query the engine does not hold");
+            self.attempt_release(ctx, dbms, id, 0);
         }
+    }
+
+    /// Issue (or re-issue) one release command. A command can be lost in
+    /// flight — the query is then still held — in which case a retry is
+    /// scheduled with capped exponential backoff. A query that is no longer
+    /// held needs nothing: it completed, or the watchdog force-released it
+    /// (the [`DbmsNotice::Starved`] handler reconciled the books).
+    fn attempt_release<E: From<CtrlEvent> + From<DbmsEvent>>(
+        &mut self,
+        ctx: &mut Ctx<'_, E>,
+        dbms: &mut Dbms,
+        id: QueryId,
+        attempt: u32,
+    ) {
+        if dbms.release(ctx, id) || !dbms.patroller().is_held(id) {
+            return;
+        }
+        let rb = &self.cfg.robustness;
+        let backoff = rb
+            .release_retry_base
+            .mul_f64(2f64.powi(attempt.min(16) as i32))
+            .min(rb.release_retry_cap);
+        self.degradation.release_retries += 1;
+        ctx.schedule_in(
+            backoff,
+            CtrlEvent::RetryRelease { id, attempt: attempt.saturating_add(1) }.into(),
+        );
     }
 
     /// Clamp each class's movement to `frac · system_limit`, then re-project
@@ -300,28 +385,58 @@ impl QueryScheduler {
                 }
             }
         }
-        // 3. Solve for a new plan.
-        let problem = PlanProblem {
-            system_limit: self.cfg.system_limit,
-            floor: self.cfg.system_limit * self.cfg.floor_fraction,
-            classes: self
-                .classes
-                .iter()
-                .map(|c| ClassState {
-                    class: c.id,
-                    kind: c.kind,
-                    importance: c.importance,
-                    goal: c.goal,
-                    current_limit: self.plan.limit(c.id).expect("class in plan"),
-                })
-                .collect(),
-            olap_models: &self.olap_models,
-            oltp_model: &self.oltp_model,
-            utility: self.utility.as_ref(),
+        // 3. Solve for a new plan — or fall back to the last-known-good one
+        // when the inputs are stale (monitor dead past the staleness bound)
+        // or the solver fails (fault channel "solver.fail": timeout /
+        // non-convergence). A fallback keeps the active limits: they were
+        // feasible, and releasing under them preserves liveness.
+        let stale = self.has_oltp
+            && self.cfg.robustness.staleness_bound.is_some_and(|bound| {
+                // A deliberately slow sampling cadence is not a fault: the
+                // effective bound never drops below two snapshot intervals.
+                let bound = bound.max(self.cfg.snapshot_interval.mul_f64(2.0));
+                now.saturating_since(self.monitor.last_snapshot_time()) > bound
+            });
+        let solver_failed = ctx.should_inject("solver.fail");
+        if stale {
+            self.degradation.stale_intervals += 1;
+        }
+        if solver_failed {
+            self.degradation.solver_failures += 1;
+        }
+        let implausible_seen = std::mem::take(&mut self.implausible_seen);
+        let mut new_plan = if stale || solver_failed {
+            self.degradation.plan_fallbacks += 1;
+            self.plan.clone()
+        } else {
+            let problem = PlanProblem {
+                system_limit: self.cfg.system_limit,
+                floor: self.cfg.system_limit * self.cfg.floor_fraction,
+                classes: self
+                    .classes
+                    .iter()
+                    .map(|c| ClassState {
+                        class: c.id,
+                        kind: c.kind,
+                        importance: c.importance,
+                        goal: c.goal,
+                        current_limit: self.plan.limit(c.id).expect("class in plan"),
+                    })
+                    .collect(),
+                olap_models: &self.olap_models,
+                oltp_model: &self.oltp_model,
+                utility: self.utility.as_ref(),
+            };
+            self.solver.solve(&problem)
         };
-        let mut new_plan = self.solver.solve(&problem);
         if let Some(frac) = self.cfg.max_step_fraction {
             new_plan = self.smooth_towards(&new_plan, frac);
+        } else if implausible_seen {
+            // An implausible estimate polluted this interval's observations:
+            // clamp the plan delta so one corrupt number cannot swing the
+            // whole allocation in a single step.
+            new_plan =
+                self.smooth_towards(&new_plan, self.cfg.robustness.implausible_step_fraction);
         }
         debug_assert!(new_plan.respects(self.cfg.system_limit));
         self.plan_log.record(&new_plan, now);
@@ -361,11 +476,32 @@ impl<E: From<CtrlEvent> + From<DbmsEvent>> Controller<E> for QueryScheduler {
                 if let Some(d) = self.detector.as_mut() {
                     d.on_arrival(class);
                 }
+                // Plausibility check on the optimizer's estimate: no single
+                // query should exceed a multiple of the whole system limit.
+                // The query is still queued (its real resource draw is what
+                // it is), but the next plan's movement gets clamped.
+                let cap =
+                    self.cfg.system_limit.get() * self.cfg.robustness.implausible_factor;
+                if row.estimated_cost.get() > cap {
+                    self.degradation.estimates_implausible += 1;
+                    self.implausible_seen = true;
+                }
                 self.queues.enqueue(class, row.id, row.estimated_cost);
                 let releases = self.dispatcher.on_enqueued(class, &mut self.queues);
                 self.perform_releases(ctx, dbms, releases);
             }
             DbmsNotice::Rejected(_) => {}
+            DbmsNotice::Starved(row) => {
+                // The engine's watchdog force-released this query behind our
+                // back. Reconcile: if we still had it queued, charge its
+                // cost to the dispatcher books so the eventual completion
+                // balances; if the dispatcher had already released it (the
+                // command was lost in flight), the books are already right.
+                let class = self.classifier.classify(row).unwrap_or(row.class);
+                if let Some(q) = self.queues.remove(class, row.id) {
+                    self.dispatcher.note_external_release(class, q.cost);
+                }
+            }
             DbmsNotice::Completed(rec) => {
                 self.monitor.on_completed(rec);
                 if rec.kind == QueryKind::Oltp {
@@ -390,8 +526,12 @@ impl<E: From<CtrlEvent> + From<DbmsEvent>> Controller<E> for QueryScheduler {
     ) {
         match ev {
             CtrlEvent::SnapshotTick => {
-                let samples = dbms.take_snapshot(ctx);
-                self.monitor.on_snapshot(ctx.now(), &samples);
+                // A lost snapshot (monitor connection failure) keeps the
+                // previous observation; the replan staleness check notices
+                // when losses persist past the bound.
+                if let Some(samples) = dbms.take_snapshot(ctx) {
+                    self.monitor.on_snapshot(ctx.now(), &samples);
+                }
                 // Workload detection rides the snapshot cadence; a flagged
                 // intensity change triggers an immediate re-plan.
                 let changed = match self.detector.as_mut() {
@@ -407,11 +547,18 @@ impl<E: From<CtrlEvent> + From<DbmsEvent>> Controller<E> for QueryScheduler {
                 self.replan(ctx, dbms);
                 ctx.schedule_in(self.cfg.control_interval, CtrlEvent::ControlTick.into());
             }
+            CtrlEvent::RetryRelease { id, attempt } => {
+                self.attempt_release(ctx, dbms, id, attempt);
+            }
         }
     }
 
     fn plan_log(&self) -> Option<&PlanLog> {
         Some(&self.plan_log)
+    }
+
+    fn degradation_stats(&self) -> Option<DegradationStats> {
+        Some(self.degradation)
     }
 }
 

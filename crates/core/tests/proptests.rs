@@ -61,6 +61,70 @@ fn classes() -> Vec<ClassState> {
     ]
 }
 
+/// Shared body for the solver feasibility/dominance property: checked both
+/// against generated cases and against the recorded regression inputs in
+/// `proptests.proptest-regressions` (which the offline harness does not
+/// replay automatically).
+fn check_solvers_feasible_and_grid_dominates(v1: f64, v2: f64, t3: f64, slope: f64) {
+    let (olap_models, oltp_model) = problem_fixture(v1, v2, t3, slope);
+    let utility = GoalUtility::default();
+    let problem = PlanProblem {
+        system_limit: Timerons::new(30_000.0),
+        floor: Timerons::new(600.0),
+        classes: classes(),
+        olap_models: &olap_models,
+        oltp_model: &oltp_model,
+        utility: &utility,
+    };
+    let eval =
+        |plan: &Plan| problem.evaluate(&plan.limits().iter().map(|&(_, l)| l).collect::<Vec<_>>());
+    for solver in [
+        Box::new(GridSolver::default()) as Box<dyn Solver>,
+        Box::new(HillClimbSolver::default()),
+        Box::new(ProportionalSolver),
+    ] {
+        let plan = solver.solve(&problem);
+        assert!(
+            (plan.total().get() - 30_000.0).abs() < 1.0,
+            "{} plan sums to {}",
+            solver.name(),
+            plan.total().get()
+        );
+        for &(c, l) in plan.limits() {
+            assert!(l.get() >= 600.0 - 1e-6, "{} starves {c}", solver.name());
+        }
+    }
+    // The grid optimum is exact only up to the grid step: the naive
+    // point may fall between grid points, and with importance² utility
+    // slopes of ~1e-4 per timeron a ~470-timeron step can cost ~0.1
+    // utility. Allow exactly that one-cell slack.
+    let grid = GridSolver::default().solve(&problem);
+    let naive = ProportionalSolver.solve(&problem);
+    assert!(
+        eval(&grid) >= eval(&naive) - 0.1,
+        "grid ({}) must dominate proportional ({}) up to one grid cell",
+        eval(&grid),
+        eval(&naive)
+    );
+}
+
+/// Replay the shrunk failure cases recorded in `proptests.proptest-regressions`.
+#[test]
+fn solver_dominance_regressions() {
+    check_solvers_feasible_and_grid_dominates(
+        0.9330752626072307,
+        0.6164416380298252,
+        1.9499868904922415,
+        2.87249975990947e-5,
+    );
+    check_solvers_feasible_and_grid_dominates(
+        0.7924242799738612,
+        0.6216637107663762,
+        1.0585480663818032,
+        3.8651401198726e-5,
+    );
+}
+
 proptest! {
     /// Every solver returns a feasible plan (sums to the system limit,
     /// respects the floor) for arbitrary measurements, and the grid solver
@@ -72,47 +136,7 @@ proptest! {
         t3 in 0.01f64..2.0,
         slope in 0.0f64..5e-5,
     ) {
-        let (olap_models, oltp_model) = problem_fixture(v1, v2, t3, slope);
-        let utility = GoalUtility::default();
-        let problem = PlanProblem {
-            system_limit: Timerons::new(30_000.0),
-            floor: Timerons::new(600.0),
-            classes: classes(),
-            olap_models: &olap_models,
-            oltp_model: &oltp_model,
-            utility: &utility,
-        };
-        let eval = |plan: &Plan| {
-            problem.evaluate(&plan.limits().iter().map(|&(_, l)| l).collect::<Vec<_>>())
-        };
-        for solver in [
-            Box::new(GridSolver::default()) as Box<dyn Solver>,
-            Box::new(HillClimbSolver::default()),
-            Box::new(ProportionalSolver),
-        ] {
-            let plan = solver.solve(&problem);
-            prop_assert!(
-                (plan.total().get() - 30_000.0).abs() < 1.0,
-                "{} plan sums to {}",
-                solver.name(),
-                plan.total().get()
-            );
-            for &(c, l) in plan.limits() {
-                prop_assert!(l.get() >= 600.0 - 1e-6, "{} starves {c}", solver.name());
-            }
-        }
-        // The grid optimum is exact only up to the grid step: the naive
-        // point may fall between grid points, and with importance² utility
-        // slopes of ~1e-4 per timeron a ~470-timeron step can cost ~0.1
-        // utility. Allow exactly that one-cell slack.
-        let grid = GridSolver::default().solve(&problem);
-        let naive = ProportionalSolver.solve(&problem);
-        prop_assert!(
-            eval(&grid) >= eval(&naive) - 0.1,
-            "grid ({}) must dominate proportional ({}) up to one grid cell",
-            eval(&grid),
-            eval(&naive)
-        );
+        check_solvers_feasible_and_grid_dominates(v1, v2, t3, slope);
     }
 
     /// Utility is monotone in achievement for every importance level.

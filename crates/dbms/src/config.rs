@@ -50,6 +50,63 @@ pub struct DbmsConfig {
     /// in proportion to their cost — the coupling behind the paper's
     /// Figure 2 linearity.
     pub cost_per_weight: f64,
+    /// Starvation watchdog for held queries (see [`WatchdogConfig`]).
+    #[serde(default)]
+    pub watchdog: WatchdogConfig,
+}
+
+/// Starvation watchdog: a DBMS-side safety net that force-releases held
+/// queries when the controller has stopped releasing anything for too long
+/// (wedged controller, all release commands lost). It is deliberately
+/// conservative — it only acts when the *whole* control loop looks dead, so
+/// a healthy scheduler never sees it fire.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WatchdogConfig {
+    /// Master switch. Disabled watchdogs never schedule checks.
+    pub enabled: bool,
+    /// A held query is *starved* once it has been held this long while no
+    /// release or reject command arrived from the controller either.
+    pub starvation_timeout: SimDuration,
+    /// Interval between watchdog checks while queries are held.
+    pub check_interval: SimDuration,
+    /// At most this many starved queries are force-released per check — a
+    /// trickle, so the floor admission limits still roughly hold even in a
+    /// fully wedged run.
+    pub max_releases_per_check: u32,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig {
+            enabled: true,
+            // Far beyond any healthy control interval (the paper replans
+            // every 240 s and releases on every interval) so the watchdog
+            // cannot race a live controller.
+            starvation_timeout: SimDuration::from_secs(600),
+            check_interval: SimDuration::from_secs(60),
+            max_releases_per_check: 4,
+        }
+    }
+}
+
+impl WatchdogConfig {
+    /// A watchdog that never fires (for tests that assert held-forever
+    /// semantics).
+    pub fn disabled() -> Self {
+        WatchdogConfig { enabled: false, ..WatchdogConfig::default() }
+    }
+
+    /// Validate invariants.
+    ///
+    /// # Panics
+    /// Panics on a nonsensical configuration.
+    pub fn validate(&self) {
+        if self.enabled {
+            assert!(!self.check_interval.is_zero(), "watchdog check interval must be positive");
+            assert!(!self.starvation_timeout.is_zero(), "starvation timeout must be positive");
+            assert!(self.max_releases_per_check >= 1, "watchdog must release at least one query");
+        }
+    }
 }
 
 impl Default for DbmsConfig {
@@ -75,6 +132,7 @@ impl Default for DbmsConfig {
             buffer_pool: None,
             lock_list: None,
             cost_per_weight: 600.0,
+            watchdog: WatchdogConfig::default(),
         }
     }
 }
@@ -97,6 +155,7 @@ impl DbmsConfig {
         if let Some(ll) = &self.lock_list {
             ll.validate();
         }
+        self.watchdog.validate();
     }
 
     /// Map a true cost and I/O fraction onto an execution shape.

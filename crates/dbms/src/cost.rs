@@ -142,6 +142,20 @@ impl fmt::Display for Timerons {
     }
 }
 
+/// Deterministically corrupt a cost estimate (fault injection: a broken
+/// optimizer). Alternates between gross over-estimation (×1000, the
+/// "stale-statistics cartesian join" failure) and gross under-estimation
+/// (÷1000, the "missing statistics" failure) by injection sequence number,
+/// so a corruption schedule exercises both directions.
+pub fn corrupt_estimate(estimate: Timerons, seq: u64) -> Timerons {
+    const FACTOR: f64 = 1000.0;
+    if seq.is_multiple_of(2) {
+        Timerons::new((estimate.get() * FACTOR).min(f64::MAX / 2.0))
+    } else {
+        Timerons::new(estimate.get() / FACTOR)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

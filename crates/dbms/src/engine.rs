@@ -43,6 +43,10 @@ pub enum DbmsEvent {
     },
     /// The disk burst of this query finished.
     DiskDone(QueryId),
+    /// A release command that was delayed in flight is now due.
+    ReleaseDue(QueryId),
+    /// Periodic starvation-watchdog check (scheduled while queries are held).
+    WatchdogCheck,
 }
 
 /// Notifications surfaced to the enclosing world.
@@ -55,6 +59,10 @@ pub enum DbmsNotice {
     /// A held query was rejected by policy (DB2 QP max-cost rules / load
     /// shedding); it never executed.
     Rejected(ControlRow),
+    /// The starvation watchdog force-released this held query because the
+    /// controller showed no release activity past the starvation timeout.
+    /// Controllers should reconcile their queue/dispatcher books.
+    Starved(ControlRow),
 }
 
 /// CPU job tag: a query burst or an overhead task (interception/snapshot
@@ -110,6 +118,12 @@ pub struct Dbms {
     cpu_gen: u64,
     overhead_seq: u64,
     metrics: EngineMetrics,
+    /// True while a WatchdogCheck event is pending (exactly one at a time).
+    watchdog_armed: bool,
+    /// Last instant the *controller* released or rejected a held query.
+    /// Watchdog force-releases deliberately do not count, so a wedged
+    /// controller stays detected across checks.
+    last_release_activity: SimTime,
 }
 
 impl Dbms {
@@ -130,6 +144,8 @@ impl Dbms {
             cpu_gen: 0,
             overhead_seq: 0,
             metrics: EngineMetrics::new(start),
+            watchdog_armed: false,
+            last_release_activity: start,
             cfg,
         }
     }
@@ -177,9 +193,17 @@ impl Dbms {
     pub fn submit<E: From<DbmsEvent>>(
         &mut self,
         ctx: &mut Ctx<'_, E>,
-        query: Query,
+        mut query: Query,
         out: &mut Vec<DbmsNotice>,
     ) {
+        // Fault channel "cost.corrupt": the optimizer hands the patroller a
+        // grossly wrong estimate. Execution (true cost, shape) is untouched —
+        // only the number every cost-based decision sees.
+        if ctx.should_inject("cost.corrupt") {
+            let seq = self.metrics.degradation.estimates_corrupted;
+            query.estimated_cost = crate::cost::corrupt_estimate(query.estimated_cost, seq);
+            self.metrics.degradation.estimates_corrupted += 1;
+        }
         let id = query.id;
         debug_assert!(!self.inflight.contains_key(&id), "duplicate submit: {id:?}");
         self.inflight.insert(
@@ -199,11 +223,35 @@ impl Dbms {
     }
 
     /// Release a held query (the Query Patroller unblock API). Returns
-    /// `false` if the query was not held.
+    /// `false` if the query was not held **or the command was lost in
+    /// flight** (fault channel "release.drop") — in the latter case the
+    /// query stays held, so callers can distinguish the two by re-checking
+    /// [`Patroller::is_held`] and retry.
     pub fn release<E: From<DbmsEvent>>(&mut self, ctx: &mut Ctx<'_, E>, id: QueryId) -> bool {
+        if !self.patroller.is_held(id) {
+            return false;
+        }
+        if ctx.should_inject("release.drop") {
+            self.metrics.degradation.releases_dropped += 1;
+            return false;
+        }
+        if ctx.should_inject("release.delay") {
+            let delay =
+                ctx.fault_delay("release.delay").unwrap_or_else(|| SimDuration::from_secs(5));
+            self.metrics.degradation.releases_delayed += 1;
+            ctx.schedule_in(delay, DbmsEvent::ReleaseDue(id).into());
+            return true;
+        }
+        self.do_release(ctx, id)
+    }
+
+    /// Actually unblock a held query (no fault interposition). A success is
+    /// controller release activity — the watchdog's liveness signal.
+    fn do_release<E: From<DbmsEvent>>(&mut self, ctx: &mut Ctx<'_, E>, id: QueryId) -> bool {
         if self.patroller.release(id).is_none() {
             return false;
         }
+        self.last_release_activity = ctx.now();
         self.admit(ctx, id);
         true
     }
@@ -221,6 +269,7 @@ impl Dbms {
         let Some(row) = self.patroller.release(id) else {
             return false;
         };
+        self.last_release_activity = ctx.now();
         let removed = self.inflight.remove(&id);
         debug_assert!(removed.is_some(), "held query must be in flight");
         // The blocked agent is freed; a waiting submission may take it.
@@ -242,15 +291,30 @@ impl Dbms {
             DbmsEvent::InterceptReady(id) => self.on_intercept_ready(ctx, id, out),
             DbmsEvent::CpuTick { gen } => self.on_cpu_tick(ctx, gen, out),
             DbmsEvent::DiskDone(id) => self.on_disk_done(ctx, id, out),
+            DbmsEvent::ReleaseDue(id) => {
+                // A delayed release command finally arrives. The query may
+                // already be gone (watchdog or a retry won the race).
+                self.do_release(ctx, id);
+            }
+            DbmsEvent::WatchdogCheck => self.on_watchdog_check(ctx, out),
         }
     }
 
     /// Take a snapshot: returns the per-client registers and charges the
     /// sampling overhead to the CPU (per monitored client, §3.3).
+    ///
+    /// Returns `None` when the fault channel "snapshot.drop" fires — the
+    /// monitor connection failed, no sample was collected (and no sampling
+    /// CPU was spent). Callers keep their previous observation and must
+    /// treat their inputs as stale.
     pub fn take_snapshot<E: From<DbmsEvent>>(
         &mut self,
         ctx: &mut Ctx<'_, E>,
-    ) -> Vec<ClientSample> {
+    ) -> Option<Vec<ClientSample>> {
+        if ctx.should_inject("snapshot.drop") {
+            self.metrics.degradation.snapshots_lost += 1;
+            return None;
+        }
         let clients = self.snapshots.client_count() as u64;
         if clients > 0 && !self.cfg.snapshot_cpu_per_client.is_zero() {
             let work = self.cfg.snapshot_cpu_per_client * clients;
@@ -260,7 +324,7 @@ impl Dbms {
             self.cpu.add(CpuJob::Overhead(self.overhead_seq), work);
             self.reschedule_cpu(ctx);
         }
-        self.snapshots.samples().copied().collect()
+        Some(self.snapshots.samples().copied().collect())
     }
 
     /// Read-only snapshot registry (no overhead; for experiment reporting,
@@ -305,6 +369,51 @@ impl Dbms {
         f.phase = Phase::Held;
         let row = self.patroller.hold(&f.query, now);
         out.push(DbmsNotice::Intercepted(row));
+        // Arm the starvation watchdog: while anything is held, exactly one
+        // WatchdogCheck is in flight.
+        if self.cfg.watchdog.enabled && !self.watchdog_armed {
+            self.watchdog_armed = true;
+            ctx.schedule_in(self.cfg.watchdog.check_interval, DbmsEvent::WatchdogCheck.into());
+        }
+    }
+
+    /// Periodic starvation check. Fires only while armed; disarms itself
+    /// when nothing is held (so drained simulations terminate).
+    fn on_watchdog_check<E: From<DbmsEvent>>(
+        &mut self,
+        ctx: &mut Ctx<'_, E>,
+        out: &mut Vec<DbmsNotice>,
+    ) {
+        if !self.cfg.watchdog.enabled || self.patroller.held_count() == 0 {
+            self.watchdog_armed = false;
+            return;
+        }
+        let now = ctx.now();
+        let timeout = self.cfg.watchdog.starvation_timeout;
+        // The controller is considered dead only when *nothing* left the
+        // held set through it for a whole timeout. A live controller
+        // releasing anything at all resets this clock, so the watchdog can
+        // never race healthy scheduling decisions.
+        let controller_idle = now.saturating_since(self.last_release_activity) > timeout;
+        if controller_idle {
+            let starved: Vec<ControlRow> = self
+                .patroller
+                .held_rows()
+                .filter(|r| now.saturating_since(r.intercepted_at) > timeout)
+                .take(self.cfg.watchdog.max_releases_per_check as usize)
+                .copied()
+                .collect();
+            for row in starved {
+                let released = self.patroller.release(row.id).is_some();
+                debug_assert!(released, "held row must release");
+                // Deliberately not release activity: the controller is still
+                // dead, and the next check must keep draining.
+                self.metrics.degradation.starvation_releases += 1;
+                self.admit(ctx, row.id);
+                out.push(DbmsNotice::Starved(row));
+            }
+        }
+        ctx.schedule_in(self.cfg.watchdog.check_interval, DbmsEvent::WatchdogCheck.into());
     }
 
     /// Start executing: first CPU burst, saturation update.
@@ -645,7 +754,16 @@ mod tests {
         auto_release: bool,
         queries: Vec<(SimTime, Query)>,
     ) -> SubmitDb {
-        let dbms = Dbms::new(DbmsConfig::default(), policy, SimTime::ZERO);
+        run_queries_cfg(DbmsConfig::default(), policy, auto_release, queries)
+    }
+
+    fn run_queries_cfg(
+        cfg: DbmsConfig,
+        policy: InterceptPolicy,
+        auto_release: bool,
+        queries: Vec<(SimTime, Query)>,
+    ) -> SubmitDb {
+        let dbms = Dbms::new(cfg, policy, SimTime::ZERO);
         let kicks: Vec<SimTime> = queries.iter().map(|(t, _)| *t).collect();
         let mut engine = Engine::new(SubmitDb {
             dbms,
@@ -685,9 +803,14 @@ mod tests {
 
     #[test]
     fn interception_holds_until_release() {
+        use crate::config::WatchdogConfig;
         let q = mk_query(1, QueryKind::Olap, 100, 100, 2);
-        // No auto-release: the query must stay held forever.
-        let db = run_queries(InterceptPolicy::intercept_all(), false, vec![(SimTime::ZERO, q)]);
+        // No auto-release and no watchdog: the query must stay held forever.
+        let cfg = DbmsConfig { watchdog: WatchdogConfig::disabled(), ..DbmsConfig::default() };
+        let db = run_queries_cfg(cfg, InterceptPolicy::intercept_all(), false, vec![(
+            SimTime::ZERO,
+            q,
+        )]);
         assert!(completions(&db).is_empty());
         assert_eq!(db.dbms.patroller().held_count(), 1);
         let intercepted = db
@@ -695,6 +818,35 @@ mod tests {
             .iter()
             .any(|(_, n)| matches!(n, DbmsNotice::Intercepted(_)));
         assert!(intercepted);
+    }
+
+    #[test]
+    fn watchdog_force_releases_starved_query() {
+        // Default config, no auto-release: the watchdog detects the dead
+        // controller and force-releases, so the query still completes.
+        let q = mk_query(1, QueryKind::Olap, 100, 100, 2);
+        let db = run_queries(InterceptPolicy::intercept_all(), false, vec![(SimTime::ZERO, q)]);
+        let recs = completions(&db);
+        assert_eq!(recs.len(), 1, "the watchdog must rescue the held query");
+        let wd = DbmsConfig::default().watchdog;
+        assert!(recs[0].held_time() > wd.starvation_timeout, "held past the timeout");
+        assert_eq!(db.dbms.metrics().degradation.starvation_releases, 1);
+        let starved = db.notices.iter().any(|(_, n)| matches!(n, DbmsNotice::Starved(_)));
+        assert!(starved, "a Starved notice must be emitted");
+        assert_eq!(db.dbms.patroller().held_count(), 0);
+    }
+
+    #[test]
+    fn watchdog_does_not_fire_while_controller_is_live() {
+        // Auto-release on interception: every hold is released immediately,
+        // so the watchdog must never act.
+        let queries: Vec<(SimTime, Query)> = (0..20)
+            .map(|i| (SimTime::from_secs(i * 90), mk_query(i, QueryKind::Olap, 100, 100, 2)))
+            .collect();
+        let db = run_queries(InterceptPolicy::intercept_all(), true, queries);
+        assert_eq!(completions(&db).len(), 20);
+        assert_eq!(db.dbms.metrics().degradation.starvation_releases, 0);
+        assert!(!db.notices.iter().any(|(_, n)| matches!(n, DbmsNotice::Starved(_))));
     }
 
     #[test]

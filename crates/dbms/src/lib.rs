@@ -49,7 +49,8 @@ pub mod query;
 pub mod resource;
 pub mod snapshot;
 
-pub use config::DbmsConfig;
+pub use config::{DbmsConfig, WatchdogConfig};
 pub use cost::Timerons;
 pub use engine::{Dbms, DbmsEvent, DbmsNotice};
+pub use metrics::DegradationStats;
 pub use query::{ClassId, ClientId, Query, QueryId, QueryKind, QueryRecord};

@@ -1,8 +1,88 @@
 //! Engine-level metrics: throughput, multiprogramming level, admitted cost
-//! and resource utilization over time.
+//! and resource utilization over time — plus the degradation counters that
+//! record every time the control loop fell back to a degraded mode.
 
 use qsched_sim::stats::{Meter, TimeWeighted, Welford};
 use qsched_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Counters of every degraded-mode action taken by the DBMS or the
+/// controller. Split across the two layers at runtime (the DBMS counts the
+/// faults it absorbs, the controller counts its own fallbacks) and merged
+/// into one report with [`DegradationStats::merge`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DegradationStats {
+    /// Monitor snapshots lost before reaching the controller.
+    #[serde(default)]
+    pub snapshots_lost: u64,
+    /// Optimizer cost estimates corrupted at submission time.
+    #[serde(default)]
+    pub estimates_corrupted: u64,
+    /// Patroller release commands dropped in flight.
+    #[serde(default)]
+    pub releases_dropped: u64,
+    /// Patroller release commands delayed in flight.
+    #[serde(default)]
+    pub releases_delayed: u64,
+    /// Held queries force-released by the starvation watchdog.
+    #[serde(default)]
+    pub starvation_releases: u64,
+    /// Controller event deliveries stalled by fault injection.
+    #[serde(default)]
+    pub controller_stalls: u64,
+    /// Solver invocations that failed (timeout / non-convergence).
+    #[serde(default)]
+    pub solver_failures: u64,
+    /// Control intervals whose monitor inputs were stale past the bound.
+    #[serde(default)]
+    pub stale_intervals: u64,
+    /// Replans that fell back to the last-known-good plan.
+    #[serde(default)]
+    pub plan_fallbacks: u64,
+    /// Intercepted queries whose cost estimate was implausible.
+    #[serde(default)]
+    pub estimates_implausible: u64,
+    /// Release commands re-issued after a drop was detected.
+    #[serde(default)]
+    pub release_retries: u64,
+}
+
+impl DegradationStats {
+    /// Add every counter of `other` into `self`.
+    pub fn merge(&mut self, other: &DegradationStats) {
+        self.snapshots_lost += other.snapshots_lost;
+        self.estimates_corrupted += other.estimates_corrupted;
+        self.releases_dropped += other.releases_dropped;
+        self.releases_delayed += other.releases_delayed;
+        self.starvation_releases += other.starvation_releases;
+        self.controller_stalls += other.controller_stalls;
+        self.solver_failures += other.solver_failures;
+        self.stale_intervals += other.stale_intervals;
+        self.plan_fallbacks += other.plan_fallbacks;
+        self.estimates_implausible += other.estimates_implausible;
+        self.release_retries += other.release_retries;
+    }
+
+    /// Sum of all counters.
+    pub fn total(&self) -> u64 {
+        self.snapshots_lost
+            + self.estimates_corrupted
+            + self.releases_dropped
+            + self.releases_delayed
+            + self.starvation_releases
+            + self.controller_stalls
+            + self.solver_failures
+            + self.stale_intervals
+            + self.plan_fallbacks
+            + self.estimates_implausible
+            + self.release_retries
+    }
+
+    /// True if any degraded-mode action was recorded.
+    pub fn any(&self) -> bool {
+        self.total() > 0
+    }
+}
 
 /// Online metrics maintained by the engine.
 #[derive(Debug, Clone)]
@@ -21,6 +101,8 @@ pub struct EngineMetrics {
     pub execution_times: Welford,
     /// Response times of completed queries.
     pub response_times: Welford,
+    /// Degraded-mode actions taken by this engine (fault absorption).
+    pub degradation: DegradationStats,
 }
 
 impl EngineMetrics {
@@ -34,6 +116,7 @@ impl EngineMetrics {
             admitted_cost: TimeWeighted::new(start, 0.0),
             execution_times: Welford::new(),
             response_times: Welford::new(),
+            degradation: DegradationStats::default(),
         }
     }
 }

@@ -73,7 +73,7 @@ impl World for Script {
                     }
                 }
                 DbmsNotice::Completed(rec) => self.completed.push((ctx.now(), rec)),
-                DbmsNotice::Rejected(_) => {}
+                DbmsNotice::Rejected(_) | DbmsNotice::Starved(_) => {}
             }
         }
     }
@@ -187,7 +187,7 @@ fn intercept_policy_can_change_at_runtime() {
                 match n {
                     DbmsNotice::Intercepted(_) => self.held += 1,
                     DbmsNotice::Completed(_) => self.completed += 1,
-                    DbmsNotice::Rejected(_) => {}
+                    DbmsNotice::Rejected(_) | DbmsNotice::Starved(_) => {}
                 }
             }
         }

@@ -157,6 +157,9 @@ impl World for Sink {
                 DbmsNotice::Rejected(row) => {
                     panic!("unexpected rejection of {:?}", row.id);
                 }
+                DbmsNotice::Starved(row) => {
+                    panic!("unexpected starvation release of {:?}", row.id);
+                }
             }
         }
         self.dbms = Some(dbms);

@@ -220,6 +220,8 @@ fn main() -> ExitCode {
             "config": cfg,
             "report": out.report,
             "summary": out.summary,
+            "degradation": out.degradation,
+            "fault_counts": out.fault_counts,
         });
         match std::fs::write(&path, serde_json::to_string_pretty(&payload).expect("serializes"))
         {

@@ -3,6 +3,7 @@
 use qsched_core::scheduler::SchedulerConfig;
 use qsched_dbms::query::ClassId;
 use qsched_dbms::{DbmsConfig, Timerons};
+use qsched_sim::FaultPlan;
 use qsched_workload::Schedule;
 use serde::{Deserialize, Serialize};
 
@@ -87,6 +88,10 @@ pub struct ExperimentConfig {
     /// reporting, and the class list still defines goals).
     #[serde(default)]
     pub trace: Option<qsched_workload::Trace>,
+    /// Deterministic fault-injection schedule (`None` = run healthy; an
+    /// inert plan is bit-identical to `None`).
+    #[serde(default)]
+    pub faults: Option<FaultPlan>,
 }
 
 impl ExperimentConfig {
@@ -103,6 +108,7 @@ impl ExperimentConfig {
             record_sample: None,
             behaviors: None,
             trace: None,
+            faults: None,
         }
     }
 

@@ -132,6 +132,7 @@ pub fn calibration(seed: u64, opts: &CalibrationOpts) -> CalibrationCurve {
             record_sample: None,
             behaviors: None,
             trace: None,
+            faults: None,
         })
         .collect();
     let outputs = run_parallel(configs);
@@ -264,6 +265,7 @@ pub fn fig2(seed: u64, opts: &Fig2Opts) -> Fig2 {
                 record_sample: None,
                 behaviors: None,
                 trace: None,
+                faults: None,
             });
         }
     }
@@ -482,7 +484,38 @@ pub fn render_main_report(title: &str, report: &RunReport) -> String {
             }
         ));
     }
+    if report.degradation.any() {
+        out.push_str(&render_degradation(&report.degradation));
+    }
     out
+}
+
+/// Render the degraded-mode accounting of a run (only shown when any
+/// counter is non-zero; healthy runs print nothing).
+pub fn render_degradation(d: &qsched_dbms::DegradationStats) -> String {
+    let rows: Vec<(&str, u64)> = [
+        ("snapshots lost", d.snapshots_lost),
+        ("cost estimates corrupted", d.estimates_corrupted),
+        ("release commands dropped", d.releases_dropped),
+        ("release commands delayed", d.releases_delayed),
+        ("watchdog starvation releases", d.starvation_releases),
+        ("controller stalls", d.controller_stalls),
+        ("solver failures", d.solver_failures),
+        ("stale monitoring intervals", d.stale_intervals),
+        ("plan fallbacks (last known good)", d.plan_fallbacks),
+        ("implausible estimates clamped", d.estimates_implausible),
+        ("release retries", d.release_retries),
+    ]
+    .into_iter()
+    .filter(|&(_, v)| v > 0)
+    .collect();
+    let table: Vec<Vec<String>> =
+        rows.iter().map(|&(k, v)| vec![k.to_string(), v.to_string()]).collect();
+    render_table(
+        &format!("degraded-mode events ({} total)", d.total()),
+        &["event", "count"],
+        &table,
+    )
 }
 
 // ---------------------------------------------------------------------------

@@ -2,6 +2,7 @@
 //! results figure in the paper.
 
 use qsched_core::class::{Goal, ServiceClass};
+use qsched_dbms::metrics::DegradationStats;
 use qsched_dbms::query::{ClassId, QueryKind, QueryRecord};
 use qsched_sim::stats::{Histogram, Welford};
 use qsched_sim::SimTime;
@@ -133,6 +134,7 @@ impl PeriodCollector {
             periods,
             finished_at,
             warmup_periods,
+            degradation: DegradationStats::default(),
         }
     }
 }
@@ -152,6 +154,10 @@ pub struct RunReport {
     /// `periods`).
     #[serde(default)]
     pub warmup_periods: usize,
+    /// Degraded-mode accounting: faults absorbed by the DBMS plus fallbacks
+    /// taken by the controller. All-zero in healthy runs.
+    #[serde(default)]
+    pub degradation: DegradationStats,
 }
 
 impl RunReport {

@@ -107,7 +107,9 @@ impl ExpWorld {
                             self.dbms.submit(ctx, next, &mut self.notices);
                         }
                     }
-                    DbmsNotice::Intercepted(_) => {}
+                    // A starved query was force-released by the watchdog,
+                    // not rejected: its client still waits for Completed.
+                    DbmsNotice::Intercepted(_) | DbmsNotice::Starved(_) => {}
                 }
             }
         }
@@ -166,7 +168,17 @@ impl World for ExpWorld {
                 self.dbms.handle(ctx, de, &mut self.notices);
             }
             ExpEvent::Ctrl(ce) => {
-                self.controller.on_event(ctx, &mut self.dbms, ce, &mut self.notices);
+                if ctx.should_inject("ctrl.stall") {
+                    // The controller misses this timer tick; re-deliver it
+                    // after the stall so the loop degrades instead of dying.
+                    self.dbms.metrics_mut().degradation.controller_stalls += 1;
+                    let delay = ctx
+                        .fault_delay("ctrl.stall")
+                        .unwrap_or_else(|| qsched_sim::SimDuration::from_secs(5));
+                    ctx.schedule_in(delay, ExpEvent::Ctrl(ce));
+                } else {
+                    self.controller.on_event(ctx, &mut self.dbms, ce, &mut self.notices);
+                }
             }
         }
         self.process_notices(ctx);
@@ -204,6 +216,12 @@ pub struct RunOutput {
     /// Raw completion records, when `record_sample` was set (all OLAP
     /// completions, every Nth OLTP completion).
     pub records: Vec<QueryRecord>,
+    /// Merged degraded-mode accounting (DBMS faults absorbed + controller
+    /// fallbacks). Also embedded in `report.degradation`.
+    pub degradation: qsched_dbms::DegradationStats,
+    /// Per-channel fault-injection counts, for auditing against
+    /// `degradation` (empty when no faults were configured).
+    pub fault_counts: std::collections::BTreeMap<String, u64>,
 }
 
 /// Build the generator for one class.
@@ -341,11 +359,15 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> RunOutput {
         records: Vec::new(),
         oltp_seen: 0,
     });
+    if let Some(plan) = &cfg.faults {
+        engine.set_fault_plan(plan.clone());
+    }
     engine.schedule_at(SimTime::ZERO, ExpEvent::Kickoff);
     engine.run_until(horizon);
 
     let events = engine.delivered();
     let end = engine.now();
+    let fault_counts = engine.faults().counts();
     let world = engine.into_world();
     let hours = end.saturating_since(SimTime::ZERO).as_secs_f64() / 3600.0;
     let m = world.dbms.metrics();
@@ -358,16 +380,23 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> RunOutput {
         hours,
         events,
     };
-    let report = world.collector.finish(
+    let mut degradation = world.dbms.metrics().degradation;
+    if let Some(d) = world.controller.degradation_stats() {
+        degradation.merge(&d);
+    }
+    let mut report = world.collector.finish(
         cfg.controller.name(),
         cfg.classes.clone(),
         end,
         cfg.warmup_periods,
     );
+    report.degradation = degradation;
     RunOutput {
         report,
         plan_log: world.controller.plan_log().cloned(),
         summary,
         records: world.records,
+        degradation,
+        fault_counts,
     }
 }

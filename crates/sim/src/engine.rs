@@ -8,6 +8,7 @@
 //! the whole simulation `Send`-free and deterministic.
 
 use crate::event::EventQueue;
+use crate::faults::{FaultInjector, FaultPlan};
 use crate::time::{SimDuration, SimTime};
 
 /// Scheduling context handed to [`World::handle`] on every event delivery.
@@ -15,6 +16,7 @@ pub struct Ctx<'a, E> {
     now: SimTime,
     queue: &'a mut EventQueue<E>,
     stop: &'a mut bool,
+    faults: &'a mut FaultInjector,
 }
 
 impl<'a, E> Ctx<'a, E> {
@@ -48,6 +50,17 @@ impl<'a, E> Ctx<'a, E> {
     pub fn stop(&mut self) {
         *self.stop = true;
     }
+
+    /// Consult the engine's fault injector: does the current opportunity on
+    /// `channel` fire? Always `false` when no fault plan is installed.
+    pub fn should_inject(&mut self, channel: &str) -> bool {
+        self.faults.should_inject(channel)
+    }
+
+    /// The configured delay parameter of a fault channel, if any.
+    pub fn fault_delay(&self, channel: &str) -> Option<SimDuration> {
+        self.faults.delay_of(channel)
+    }
 }
 
 /// A simulated world: owns all domain state and reacts to events.
@@ -66,12 +79,31 @@ pub struct Engine<W: World> {
     queue: EventQueue<W::Event>,
     now: SimTime,
     delivered: u64,
+    faults: FaultInjector,
 }
 
 impl<W: World> Engine<W> {
-    /// Create an engine around `world` with the clock at [`SimTime::ZERO`].
+    /// Create an engine around `world` with the clock at [`SimTime::ZERO`]
+    /// and no fault plan installed.
     pub fn new(world: W) -> Self {
-        Engine { world, queue: EventQueue::new(), now: SimTime::ZERO, delivered: 0 }
+        Engine {
+            world,
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            delivered: 0,
+            faults: FaultInjector::default(),
+        }
+    }
+
+    /// Install a fault plan; subsequent event deliveries see it through
+    /// [`Ctx::should_inject`]. Replaces any prior plan and resets counts.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = FaultInjector::new(plan);
+    }
+
+    /// The fault injector (to read per-channel injection counts after a run).
+    pub fn faults(&self) -> &FaultInjector {
+        &self.faults
     }
 
     /// Current virtual time (the timestamp of the last delivered event).
@@ -136,7 +168,8 @@ impl<W: World> Engine<W> {
             debug_assert!(t >= self.now, "event queue yielded an out-of-order event");
             self.now = t;
             self.delivered += 1;
-            let mut ctx = Ctx { now: t, queue: &mut self.queue, stop: &mut stop };
+            let mut ctx =
+                Ctx { now: t, queue: &mut self.queue, stop: &mut stop, faults: &mut self.faults };
             self.world.handle(&mut ctx, ev);
             if stop {
                 break;

@@ -1,0 +1,262 @@
+//! Deterministic fault injection.
+//!
+//! A [`FaultPlan`] names *channels* — injection points identified by string
+//! ("release.drop", "solver.fail", …) — and gives each a firing rate, an
+//! optional injection cap and an optional delay parameter. The [`Engine`]
+//! owns a [`FaultInjector`] built from the plan and exposes it to every
+//! event handler through [`Ctx::should_inject`], so any layer (DBMS,
+//! controller, experiment world) can consult the same seeded schedule
+//! without explicit plumbing.
+//!
+//! Determinism: each channel draws from its own splitmix64 stream seeded
+//! from `(plan seed, channel name)`, so adding a channel or reordering
+//! queries never perturbs another channel's schedule, and the same plan
+//! replays the identical fault sequence. A channel with rate `0` (or an
+//! absent channel) never advances its stream — a zero-fault plan is
+//! behaviourally indistinguishable from no plan at all.
+//!
+//! [`Engine`]: crate::engine::Engine
+//! [`Ctx::should_inject`]: crate::engine::Ctx::should_inject
+
+use crate::time::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Configuration of one fault channel.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultSpec {
+    /// Probability that one opportunity fires, in `[0, 1]`.
+    pub rate: f64,
+    /// Stop injecting after this many firings (`None` = unbounded).
+    #[serde(default)]
+    pub max_injections: Option<u64>,
+    /// Channel-specific delay parameter (e.g. how long a delayed release or
+    /// a stalled controller tick is postponed).
+    #[serde(default)]
+    pub delay: Option<SimDuration>,
+}
+
+impl FaultSpec {
+    /// A spec firing with probability `rate`, unbounded, no delay.
+    pub fn rate(rate: f64) -> Self {
+        FaultSpec { rate, max_injections: None, delay: None }
+    }
+
+    /// Cap the number of injections.
+    pub fn limited(mut self, max: u64) -> Self {
+        self.max_injections = Some(max);
+        self
+    }
+
+    /// Attach a delay parameter.
+    pub fn with_delay(mut self, delay: SimDuration) -> Self {
+        self.delay = Some(delay);
+        self
+    }
+}
+
+/// A named set of fault channels plus the seed their schedules derive from.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Seed of every channel's schedule.
+    pub seed: u64,
+    /// Channel name → spec.
+    pub channels: BTreeMap<String, FaultSpec>,
+}
+
+impl FaultPlan {
+    /// The empty plan: no channel ever fires.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// An empty plan with the given seed.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan { seed, channels: BTreeMap::new() }
+    }
+
+    /// Add (or replace) a channel.
+    pub fn with_channel(mut self, name: &str, spec: FaultSpec) -> Self {
+        self.channels.insert(name.to_string(), spec);
+        self
+    }
+
+    /// Shorthand for `with_channel(name, FaultSpec::rate(rate))`.
+    pub fn channel(self, name: &str, rate: f64) -> Self {
+        self.with_channel(name, FaultSpec::rate(rate))
+    }
+
+    /// True if no channel can ever fire.
+    pub fn is_inert(&self) -> bool {
+        self.channels.values().all(|s| s.rate <= 0.0 || s.max_injections == Some(0))
+    }
+}
+
+/// Per-channel runtime state.
+#[derive(Debug, Clone)]
+struct ChannelState {
+    spec: FaultSpec,
+    rng: u64,
+    injected: u64,
+}
+
+/// Executes a [`FaultPlan`]: answers "does this opportunity fire?" and
+/// counts injections per channel.
+#[derive(Debug, Clone, Default)]
+pub struct FaultInjector {
+    channels: BTreeMap<String, ChannelState>,
+}
+
+impl FaultInjector {
+    /// Build the injector for `plan`.
+    pub fn new(plan: FaultPlan) -> Self {
+        let seed = plan.seed;
+        let channels = plan
+            .channels
+            .into_iter()
+            .map(|(name, spec)| {
+                let rng = stream_seed(seed, &name);
+                (name, ChannelState { spec, rng, injected: 0 })
+            })
+            .collect();
+        FaultInjector { channels }
+    }
+
+    /// Decide whether the current opportunity on `channel` fires, advancing
+    /// that channel's schedule. Unknown channels and rate-0 channels never
+    /// fire and never advance any state.
+    pub fn should_inject(&mut self, channel: &str) -> bool {
+        let Some(st) = self.channels.get_mut(channel) else {
+            return false;
+        };
+        if st.spec.rate <= 0.0 {
+            return false;
+        }
+        if st.spec.max_injections.is_some_and(|m| st.injected >= m) {
+            return false;
+        }
+        st.rng = splitmix(st.rng);
+        let draw = (st.rng >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let fire = st.spec.rate >= 1.0 || draw < st.spec.rate;
+        if fire {
+            st.injected += 1;
+        }
+        fire
+    }
+
+    /// The delay parameter of `channel`, if configured.
+    pub fn delay_of(&self, channel: &str) -> Option<SimDuration> {
+        self.channels.get(channel).and_then(|st| st.spec.delay)
+    }
+
+    /// Number of injections fired on `channel` so far.
+    pub fn injected(&self, channel: &str) -> u64 {
+        self.channels.get(channel).map_or(0, |st| st.injected)
+    }
+
+    /// Injection counts of every configured channel.
+    pub fn counts(&self) -> BTreeMap<String, u64> {
+        self.channels.iter().map(|(n, st)| (n.clone(), st.injected)).collect()
+    }
+
+    /// Total injections across all channels.
+    pub fn total_injected(&self) -> u64 {
+        self.channels.values().map(|st| st.injected).sum()
+    }
+}
+
+/// Seed for a channel stream: FNV-1a over the name folded with the plan seed,
+/// finalized through splitmix64 (mirrors [`crate::rng::RngHub`]'s scheme).
+fn stream_seed(seed: u64, name: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64 ^ seed;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    splitmix(h)
+}
+
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_never_fires() {
+        let mut inj = FaultInjector::new(FaultPlan::none());
+        for _ in 0..100 {
+            assert!(!inj.should_inject("anything"));
+        }
+        assert_eq!(inj.total_injected(), 0);
+    }
+
+    #[test]
+    fn rate_one_always_fires_and_counts() {
+        let mut inj = FaultInjector::new(FaultPlan::new(1).channel("x", 1.0));
+        for _ in 0..10 {
+            assert!(inj.should_inject("x"));
+        }
+        assert_eq!(inj.injected("x"), 10);
+        assert_eq!(inj.counts().get("x"), Some(&10));
+    }
+
+    #[test]
+    fn rate_zero_never_fires_nor_advances() {
+        let mut inj = FaultInjector::new(FaultPlan::new(1).channel("x", 0.0));
+        for _ in 0..100 {
+            assert!(!inj.should_inject("x"));
+        }
+        assert_eq!(inj.injected("x"), 0);
+    }
+
+    #[test]
+    fn schedules_are_deterministic_and_independent() {
+        let plan = FaultPlan::new(7).channel("a", 0.5).channel("b", 0.5);
+        let mut i1 = FaultInjector::new(plan.clone());
+        let mut i2 = FaultInjector::new(plan);
+        let s1: Vec<bool> = (0..64).map(|_| i1.should_inject("a")).collect();
+        // Interleave channel b on the second injector: a's schedule must not move.
+        let s2: Vec<bool> = (0..64)
+            .map(|_| {
+                i2.should_inject("b");
+                i2.should_inject("a")
+            })
+            .collect();
+        assert_eq!(s1, s2);
+        // The rate is roughly honoured.
+        let fired = s1.iter().filter(|&&f| f).count();
+        assert!((10..55).contains(&fired), "fired {fired}/64 at rate 0.5");
+    }
+
+    #[test]
+    fn max_injections_caps_firing() {
+        let mut inj =
+            FaultInjector::new(FaultPlan::new(3).with_channel("x", FaultSpec::rate(1.0).limited(2)));
+        assert!(inj.should_inject("x"));
+        assert!(inj.should_inject("x"));
+        assert!(!inj.should_inject("x"));
+        assert_eq!(inj.injected("x"), 2);
+    }
+
+    #[test]
+    fn delay_is_exposed() {
+        let plan = FaultPlan::new(0)
+            .with_channel("d", FaultSpec::rate(1.0).with_delay(SimDuration::from_secs(3)));
+        let inj = FaultInjector::new(plan);
+        assert_eq!(inj.delay_of("d"), Some(SimDuration::from_secs(3)));
+        assert_eq!(inj.delay_of("other"), None);
+    }
+
+    #[test]
+    fn inert_plans_are_detected() {
+        assert!(FaultPlan::none().is_inert());
+        assert!(FaultPlan::new(1).channel("x", 0.0).is_inert());
+        assert!(!FaultPlan::new(1).channel("x", 0.1).is_inert());
+    }
+}

@@ -51,12 +51,14 @@
 pub mod dist;
 pub mod engine;
 pub mod event;
+pub mod faults;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
 pub use engine::{Ctx, Engine, World};
 pub use event::EventQueue;
+pub use faults::{FaultInjector, FaultPlan, FaultSpec};
 pub use rng::RngHub;
 pub use time::{SimDuration, SimTime};
 
@@ -64,6 +66,7 @@ pub use time::{SimDuration, SimTime};
 pub mod prelude {
     pub use crate::dist::{Dist, Empirical, Exp, LogNormal, Pareto, Uniform};
     pub use crate::engine::{Ctx, Engine, World};
+    pub use crate::faults::{FaultInjector, FaultPlan, FaultSpec};
     pub use crate::rng::RngHub;
     pub use crate::stats::{Histogram, LinReg, Meter, Series, TimeWeighted, Welford};
     pub use crate::time::{SimDuration, SimTime};

@@ -73,6 +73,7 @@ fn main() {
         record_sample: None,
         behaviors: None,
         trace: None,
+        faults: None,
     };
     let out = run_experiment(&cfg);
 

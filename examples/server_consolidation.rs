@@ -95,6 +95,7 @@ fn main() {
         record_sample: None,
         behaviors: Some(behaviors),
         trace: None,
+        faults: None,
     };
     let out = run_experiment(&cfg);
     println!(

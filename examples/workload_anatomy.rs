@@ -37,6 +37,7 @@ fn main() {
         record_sample: Some(50),
         behaviors: None,
         trace: None,
+        faults: None,
     };
     let out = run_experiment(&cfg);
     let stats = per_template_stats(&out.records);

@@ -24,6 +24,7 @@ fn tiny_config(seed: u64, controller: ControllerSpec) -> ExperimentConfig {
         record_sample: None,
         behaviors: None,
         trace: None,
+        faults: None,
     }
 }
 

@@ -1,6 +1,9 @@
 //! Failure injection: the system must stay live and self-consistent when
 //! components misbehave — grossly wrong optimizer estimates, a controller
-//! that never releases anything, degenerate queries, and arrival storms.
+//! that never releases anything, degenerate queries, arrival storms, and
+//! every fault channel of the deterministic fault-injection harness
+//! (snapshot loss, corrupted estimates, solver failures, dropped/delayed
+//! release commands, controller stalls).
 
 use query_scheduler::core::class::ServiceClass;
 use query_scheduler::core::controller::{Controller, CtrlEvent};
@@ -8,8 +11,13 @@ use query_scheduler::core::scheduler::{QueryScheduler, SchedulerConfig};
 use query_scheduler::dbms::engine::{Dbms, DbmsEvent, DbmsNotice};
 use query_scheduler::dbms::patroller::InterceptPolicy;
 use query_scheduler::dbms::query::{ClassId, ClientId, ExecShape, Query, QueryId, QueryKind};
-use query_scheduler::dbms::{DbmsConfig, Timerons};
-use query_scheduler::sim::{Ctx, Engine, SimDuration, SimTime, World};
+use query_scheduler::dbms::{DbmsConfig, Timerons, WatchdogConfig};
+use query_scheduler::experiments::config::{ControllerSpec, ExperimentConfig};
+use query_scheduler::experiments::world::{run_experiment, RunOutput};
+use query_scheduler::sim::{
+    Ctx, Engine, FaultPlan, FaultSpec, SimDuration, SimTime, World,
+};
+use query_scheduler::workload::Schedule;
 
 /// A controller that never releases anything — a wedged operator.
 struct Wedged;
@@ -44,6 +52,7 @@ struct Rig<C> {
     to_submit: Vec<Query>,
     completed: u64,
     held_seen: u64,
+    starved_seen: u64,
 }
 
 enum Ev {
@@ -83,6 +92,7 @@ impl<C: Controller<Ev>> World for Rig<C> {
             match &n {
                 DbmsNotice::Intercepted(_) => self.held_seen += 1,
                 DbmsNotice::Completed(_) => self.completed += 1,
+                DbmsNotice::Starved(_) => self.starved_seen += 1,
                 DbmsNotice::Rejected(_) => {}
             }
             self.controller.on_notice(ctx, &mut self.dbms, &n, &mut out);
@@ -105,9 +115,11 @@ fn olap_query(id: u64, est: f64, true_cost: f64) -> Query {
 }
 
 #[test]
-fn wedged_controller_never_deadlocks_the_engine() {
-    // Every query is intercepted and nothing ever releases them: the run
-    // must terminate cleanly (no events left), with all queries held.
+fn wedged_controller_is_backstopped_by_the_watchdog() {
+    // Every query is intercepted and the controller never releases anything.
+    // The starvation watchdog must notice the held queries rotting, emit a
+    // Starved notice for each, and trickle them into execution: the run
+    // terminates with everything completed, not deadlocked.
     let dbms =
         Dbms::new(DbmsConfig::default(), InterceptPolicy::intercept_all(), SimTime::ZERO);
     let queries: Vec<Query> = (0..50).map(|i| olap_query(i, 1_000.0, 1_000.0)).collect();
@@ -117,12 +129,41 @@ fn wedged_controller_never_deadlocks_the_engine() {
         to_submit: queries,
         completed: 0,
         held_seen: 0,
+        starved_seen: 0,
+    });
+    e.schedule_at(SimTime::ZERO, Ev::Kick);
+    e.run_until(SimTime::from_secs(14_400));
+    let w = e.world();
+    assert_eq!(w.held_seen, 50);
+    assert_eq!(w.starved_seen, 50, "every held query must produce a Starved notice");
+    assert_eq!(w.completed, 50, "force-released queries must run to completion");
+    assert_eq!(w.dbms.metrics().degradation.starvation_releases, 50);
+    assert_eq!(w.dbms.patroller().held_count(), 0);
+    assert_eq!(w.dbms.executing_count(), 0);
+}
+
+#[test]
+fn wedged_controller_never_deadlocks_even_without_the_watchdog() {
+    // With the watchdog disabled nothing ever releases the held queries:
+    // the run must still terminate cleanly (no events left), all queries
+    // held — wedged, but not a livelock.
+    let cfg = DbmsConfig { watchdog: WatchdogConfig::disabled(), ..DbmsConfig::default() };
+    let dbms = Dbms::new(cfg, InterceptPolicy::intercept_all(), SimTime::ZERO);
+    let queries: Vec<Query> = (0..50).map(|i| olap_query(i, 1_000.0, 1_000.0)).collect();
+    let mut e = Engine::new(Rig {
+        dbms,
+        controller: Wedged,
+        to_submit: queries,
+        completed: 0,
+        held_seen: 0,
+        starved_seen: 0,
     });
     e.schedule_at(SimTime::ZERO, Ev::Kick);
     e.run_until(SimTime::from_secs(3_600));
     let w = e.world();
     assert_eq!(w.completed, 0);
     assert_eq!(w.held_seen, 50);
+    assert_eq!(w.starved_seen, 0);
     assert_eq!(w.dbms.patroller().held_count(), 50);
     assert_eq!(w.dbms.executing_count(), 0);
 }
@@ -160,6 +201,7 @@ fn grossly_wrong_estimates_do_not_wedge_the_scheduler() {
         to_submit: queries,
         completed: 0,
         held_seen: 0,
+        starved_seen: 0,
     });
     e.schedule_at(SimTime::ZERO, Ev::Kick);
     // The QS reschedules its ticks forever; run to a generous horizon.
@@ -195,6 +237,7 @@ fn degenerate_queries_flow_through() {
         to_submit: queries,
         completed: 0,
         held_seen: 0,
+        starved_seen: 0,
     });
     e.schedule_at(SimTime::ZERO, Ev::Kick);
     e.run_until(SimTime::from_secs(86_400));
@@ -230,9 +273,192 @@ fn submission_storm_drains_completely() {
         to_submit: queries,
         completed: 0,
         held_seen: 0,
+        starved_seen: 0,
     });
     e.schedule_at(SimTime::ZERO, Ev::Kick);
     e.run_until(SimTime::from_secs(86_400));
     assert_eq!(e.world().completed, 5_000);
     assert_eq!(e.world().dbms.executing_count(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Fault channels: one deterministic seeded scenario per fault kind. Every
+// test asserts liveness (the mixed workload keeps completing) and that the
+// DegradationStats agree exactly with the injector's own counts.
+// ---------------------------------------------------------------------------
+
+/// The end-to-end rig: the paper's three classes under the Query Scheduler
+/// on a small three-period schedule.
+fn qs_config(seed: u64) -> ExperimentConfig {
+    ExperimentConfig {
+        seed,
+        dbms: Default::default(),
+        schedule: Schedule::new(
+            SimDuration::from_secs(90),
+            vec![vec![3, 3, 15], vec![2, 5, 25], vec![5, 2, 20]],
+        ),
+        classes: ServiceClass::paper_classes(),
+        controller: ControllerSpec::QueryScheduler(SchedulerConfig {
+            control_interval: SimDuration::from_secs(30),
+            ..SchedulerConfig::default()
+        }),
+        warmup_periods: 0,
+        record_sample: None,
+        behaviors: None,
+        trace: None,
+        faults: None,
+    }
+}
+
+fn run_with_faults(seed: u64, faults: FaultPlan) -> RunOutput {
+    let mut cfg = qs_config(seed);
+    cfg.faults = Some(faults);
+    run_experiment(&cfg)
+}
+
+fn assert_live(out: &RunOutput) {
+    assert!(out.summary.olap_completed > 0, "OLAP starved under faults");
+    assert!(out.summary.oltp_completed > 0, "OLTP starved under faults");
+}
+
+fn injected(out: &RunOutput, channel: &str) -> u64 {
+    out.fault_counts.get(channel).copied().unwrap_or(0)
+}
+
+#[test]
+fn snapshot_loss_falls_back_to_the_last_known_good_plan() {
+    // Every monitor snapshot is lost: once the inputs go stale past the
+    // bound, replans must reuse the last-known-good plan instead of solving
+    // over garbage — and the workload keeps flowing.
+    let out = run_with_faults(31, FaultPlan::new(1).channel("snapshot.drop", 1.0));
+    assert_live(&out);
+    let n = injected(&out, "snapshot.drop");
+    assert!(n > 0, "snapshot ticks must have fired");
+    assert_eq!(out.degradation.snapshots_lost, n);
+    assert!(out.degradation.stale_intervals > 0, "staleness must be detected");
+    assert!(out.degradation.plan_fallbacks > 0, "stale replans must fall back");
+    assert_eq!(out.degradation.stale_intervals, out.degradation.plan_fallbacks);
+}
+
+#[test]
+fn corrupted_estimates_are_flagged_and_survived() {
+    // Every optimizer estimate is corrupted by ×1000 / ÷1000 alternately.
+    // Implausibly large estimates must be flagged (clamping the next plan
+    // delta), and the oversize-when-idle guard must keep queries flowing.
+    let out = run_with_faults(32, FaultPlan::new(2).channel("cost.corrupt", 1.0));
+    assert_live(&out);
+    let n = injected(&out, "cost.corrupt");
+    assert!(n > 0);
+    assert_eq!(out.degradation.estimates_corrupted, n);
+    assert!(
+        out.degradation.estimates_implausible > 0,
+        "×1000 OLAP estimates must trip the plausibility check"
+    );
+}
+
+#[test]
+fn dropped_release_commands_are_retried() {
+    // Half of all patroller release commands vanish in flight. The
+    // scheduler must detect each drop (the query is still held) and retry
+    // with backoff until it sticks.
+    let out = run_with_faults(33, FaultPlan::new(3).channel("release.drop", 0.5));
+    assert_live(&out);
+    let n = injected(&out, "release.drop");
+    assert!(n > 0, "drops must have fired at rate 0.5");
+    assert_eq!(out.degradation.releases_dropped, n);
+    assert!(out.degradation.release_retries > 0, "drops must trigger retries");
+}
+
+#[test]
+fn delayed_release_commands_still_complete() {
+    // Half of all release commands are delayed by 2 s instead of applying
+    // immediately. Everything still completes; the delay is only latency.
+    let out = run_with_faults(
+        34,
+        FaultPlan::new(4).with_channel(
+            "release.delay",
+            FaultSpec::rate(0.5).with_delay(SimDuration::from_secs(2)),
+        ),
+    );
+    assert_live(&out);
+    let n = injected(&out, "release.delay");
+    assert!(n > 0);
+    assert_eq!(out.degradation.releases_delayed, n);
+}
+
+#[test]
+fn solver_failures_freeze_the_plan_at_last_known_good() {
+    // The solver times out on every replan: the scheduler must keep the
+    // last-known-good plan, so the plan log stays flat at the initial plan
+    // while the workload keeps completing.
+    let out = run_with_faults(35, FaultPlan::new(5).channel("solver.fail", 1.0));
+    assert_live(&out);
+    let n = injected(&out, "solver.fail");
+    assert!(n > 0, "replans must have consulted the solver channel");
+    assert_eq!(out.degradation.solver_failures, n);
+    assert_eq!(out.degradation.plan_fallbacks, n);
+    let log = out.plan_log.as_ref().expect("the Query Scheduler keeps a plan log");
+    for (class, series) in log.all() {
+        let first = series.points().first().expect("initial plan recorded").value;
+        for p in series.points() {
+            assert_eq!(
+                p.value, first,
+                "plan for {class} moved despite a dead solver"
+            );
+        }
+    }
+}
+
+#[test]
+fn controller_stalls_degrade_but_do_not_kill_the_loop() {
+    // 30 % of controller timer deliveries stall for 3 s before being
+    // re-delivered. The control loop limps but never dies.
+    let out = run_with_faults(
+        36,
+        FaultPlan::new(6).with_channel(
+            "ctrl.stall",
+            FaultSpec::rate(0.3).with_delay(SimDuration::from_secs(3)),
+        ),
+    );
+    assert_live(&out);
+    let n = injected(&out, "ctrl.stall");
+    assert!(n > 0, "stalls must have fired at rate 0.3");
+    assert_eq!(out.degradation.controller_stalls, n);
+}
+
+#[test]
+fn zero_rate_fault_plan_is_bit_identical_to_no_plan() {
+    // The acceptance bar for the harness: a configured-but-inert fault plan
+    // must not perturb a single bit of the run — plans, SLO metrics, or
+    // event counts.
+    let healthy = run_experiment(&qs_config(77));
+    let mut cfg = qs_config(77);
+    let mut inert = FaultPlan::new(99);
+    for ch in [
+        "snapshot.drop",
+        "cost.corrupt",
+        "solver.fail",
+        "release.drop",
+        "release.delay",
+        "ctrl.stall",
+    ] {
+        inert = inert.channel(ch, 0.0);
+    }
+    assert!(inert.is_inert());
+    cfg.faults = Some(inert);
+    let guarded = run_experiment(&cfg);
+    assert_eq!(
+        serde_json::to_string(&healthy.report).unwrap(),
+        serde_json::to_string(&guarded.report).unwrap(),
+        "an inert fault plan must leave the report bit-identical"
+    );
+    assert_eq!(healthy.summary, guarded.summary);
+    assert_eq!(
+        format!("{:?}", healthy.plan_log),
+        format!("{:?}", guarded.plan_log),
+        "an inert fault plan must leave every plan bit-identical"
+    );
+    assert!(!healthy.degradation.any());
+    assert!(!guarded.degradation.any());
+    assert!(guarded.fault_counts.values().all(|&n| n == 0));
 }

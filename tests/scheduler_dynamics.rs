@@ -22,6 +22,7 @@ fn cfg(seed: u64, controller: ControllerSpec, schedule: Schedule) -> ExperimentC
         record_sample: None,
         behaviors: None,
         trace: None,
+        faults: None,
     }
 }
 

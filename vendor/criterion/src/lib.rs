@@ -1,0 +1,186 @@
+//! Vendored, dependency-free benchmark harness exposing the subset of the
+//! `criterion` API this workspace's benches use: `Criterion`,
+//! `benchmark_group` / `bench_function` / `sample_size` / `finish`,
+//! `black_box`, and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is deliberately simple — median of per-sample mean iteration
+//! times after a short warm-up — but real: benches still produce usable
+//! relative numbers offline.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benched work.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Per-iteration timing driver handed to bench closures.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<f64>,
+    sample_count: usize,
+}
+
+impl Bencher {
+    /// Time `f`, called in batches, collecting `sample_count` samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and batch sizing: target ~5 ms per sample.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let per_sample = (Duration::from_millis(5).as_nanos() / once.as_nanos()).clamp(1, 100_000);
+        self.iters_per_sample = per_sample as u64;
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(f());
+            }
+            let total = start.elapsed().as_secs_f64();
+            self.samples.push(total / self.iters_per_sample as f64);
+        }
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+fn run_one(group: &str, name: &str, sample_count: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher { iters_per_sample: 1, samples: Vec::new(), sample_count };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{group}/{name}: no samples");
+        return;
+    }
+    b.samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let median = b.samples[b.samples.len() / 2];
+    let lo = b.samples[0];
+    let hi = b.samples[b.samples.len() - 1];
+    println!(
+        "{group}/{name}: median {} (min {}, max {}, {} samples × {} iters)",
+        fmt_time(median),
+        fmt_time(lo),
+        fmt_time(hi),
+        b.samples.len(),
+        b.iters_per_sample,
+    );
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_count: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Number of samples per benchmark (criterion's `sample_size`).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_count = n.max(1);
+        self
+    }
+
+    /// Upper bound on measurement time — accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<S: Into<String>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&self.name, &id.into(), self.sample_count, &mut f);
+        self
+    }
+
+    /// End the group (no-op beyond API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// The top-level harness handle.
+pub struct Criterion {
+    sample_count: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_count: 10 }
+    }
+}
+
+impl Criterion {
+    /// Accepted for API compatibility with criterion's CLI plumbing.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Default samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_count = n.max(1);
+        self
+    }
+
+    /// Open a named group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), sample_count: self.sample_count, _criterion: self }
+    }
+
+    /// Run a stand-alone benchmark.
+    pub fn bench_function<S: Into<String>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        mut f: F,
+    ) -> &mut Self {
+        run_one("bench", &id.into(), self.sample_count, &mut f);
+        self
+    }
+
+    /// Final summary hook (no-op).
+    pub fn final_summary(&self) {}
+}
+
+/// Define a benchmark group function, as in criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define the bench `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut g = c.benchmark_group("t");
+        g.sample_size(2).bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        g.finish();
+    }
+}

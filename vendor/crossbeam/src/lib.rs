@@ -1,0 +1,79 @@
+//! Vendored shim exposing `crossbeam::thread::scope` over `std::thread::scope`.
+//!
+//! Only the scoped-spawn API the workspace uses is provided. Semantics match
+//! crossbeam's: `scope` returns `Err` with the panic payload if any spawned
+//! thread panicked and its handle was not joined; joined handles report their
+//! own panics through `join()`.
+
+pub mod thread {
+    //! Scoped threads (subset of `crossbeam::thread`).
+
+    use std::any::Any;
+
+    /// Spawn handle scope passed to the closure and to each spawned thread.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the thread to finish; `Err` carries its panic payload.
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread inside the scope. As in crossbeam, the closure
+        /// receives the scope so it can spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle { inner: inner.spawn(move || f(&Scope { inner })) }
+        }
+    }
+
+    /// Run `f` with a scope; all spawned threads are joined before return.
+    ///
+    /// Unjoined-thread panics surface as `Err(payload)`; std's scope would
+    /// propagate them, so we catch to preserve crossbeam's contract.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_spawn_join_round_trip() {
+        let data = [1, 2, 3];
+        let sum = crate::thread::scope(|s| {
+            let h = s.spawn(|_| data.iter().sum::<i32>());
+            h.join().expect("no panic")
+        })
+        .expect("scope ok");
+        assert_eq!(sum, 6);
+    }
+
+    #[test]
+    fn panics_surface_via_join() {
+        let r = crate::thread::scope(|s| {
+            let h = s.spawn(|_| panic!("boom"));
+            h.join()
+        })
+        .expect("scope itself succeeds when handles are joined");
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,387 @@
+//! Vendored property-testing harness for offline builds.
+//!
+//! Provides the subset of the `proptest` surface this workspace's tests use:
+//! the `proptest!` macro, `prop_assert!` family, `any::<T>()`, numeric range
+//! strategies, tuple strategies and `prop::collection::vec`. Cases are
+//! generated from a seed derived deterministically from the test name, so
+//! every run replays the identical case sequence. Shrinking is not
+//! implemented; on failure the offending inputs are printed verbatim.
+
+use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// Number of generated cases per property.
+pub const CASES: u32 = 128;
+
+/// Deterministic case generator handed to strategies.
+pub struct TestRunner {
+    state: u64,
+}
+
+impl TestRunner {
+    /// A runner seeded from an arbitrary string (typically the test name).
+    pub fn from_name(name: &str) -> Self {
+        let mut h = 0xCBF2_9CE4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRunner { state: h | 1 }
+    }
+
+    /// Next 64 random bits (splitmix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform draw in `[0, n)`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0)");
+        // Modulo bias is irrelevant for test-case generation.
+        self.next_u64() % n
+    }
+}
+
+/// A generator of values of `Self::Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rt: &mut TestRunner) -> Self::Value;
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rt: &mut TestRunner) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rt.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rt: &mut TestRunner) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        let v = self.start + rt.next_f64() * (self.end - self.start);
+        if v < self.end {
+            v
+        } else {
+            f64::from_bits(self.end.to_bits() - 1)
+        }
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn generate(&self, rt: &mut TestRunner) -> f32 {
+        assert!(self.start < self.end, "empty strategy range");
+        let v = self.start + (rt.next_f64() as f32) * (self.end - self.start);
+        if v < self.end {
+            v
+        } else {
+            f32::from_bits(self.end.to_bits() - 1)
+        }
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident : $idx:tt),+)),* $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rt: &mut TestRunner) -> Self::Value {
+                ($(self.$idx.generate(rt),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+    (A: 0, B: 1, C: 2, D: 3, E: 4),
+);
+
+/// Full-domain strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(core::marker::PhantomData<fn() -> T>);
+
+/// The `proptest::prelude::any::<T>()` entry point.
+pub fn any<T>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+macro_rules! any_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn generate(&self, rt: &mut TestRunner) -> $t {
+                rt.next_u64() as $t
+            }
+        }
+    )*};
+}
+any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn generate(&self, rt: &mut TestRunner) -> bool {
+        rt.next_u64() & 1 == 1
+    }
+}
+
+impl Strategy for Any<f64> {
+    type Value = f64;
+    fn generate(&self, rt: &mut TestRunner) -> f64 {
+        // Finite floats over a wide range, biased toward moderate magnitudes.
+        let m = rt.next_f64() * 2.0 - 1.0;
+        let e = rt.below(61) as i32 - 30;
+        m * 2f64.powi(e)
+    }
+}
+
+pub mod collection {
+    //! `prop::collection` strategies.
+
+    use super::{Strategy, TestRunner};
+    use std::ops::Range;
+
+    /// Strategy producing `Vec`s with element strategy `S`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: Range<usize>,
+    }
+
+    /// `prop::collection::vec(element, size_range)`.
+    pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec size range");
+        VecStrategy { elem, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rt: &mut TestRunner) -> Self::Value {
+            let span = (self.size.end - self.size.start) as u64;
+            let n = self.size.start + rt.below(span) as usize;
+            (0..n).map(|_| self.elem.generate(rt)).collect()
+        }
+    }
+}
+
+/// Per-block configuration accepted via `#![proptest_config(..)]`.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of cases to generate for each property in the block.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: CASES }
+    }
+}
+
+impl ProptestConfig {
+    /// Mirror of `proptest::test_runner::Config::with_cases`.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Marker payload used by `prop_assume!` to discard a case without failing.
+#[derive(Debug)]
+pub struct Rejected;
+
+thread_local! {
+    static QUIET_PANIC: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Install (once) a panic hook that stays silent for `prop_assume!` rejects
+/// while delegating every real panic to the previous hook.
+fn install_quiet_hook() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !QUIET_PANIC.with(|q| q.get()) {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Used by `prop_assume!`: raise the discard marker without console noise.
+pub fn reject_case() -> ! {
+    QUIET_PANIC.with(|q| q.set(true));
+    std::panic::panic_any(Rejected);
+}
+
+/// Drive one property: `CASES` deterministic cases; on panic, print the
+/// case's rendered inputs and re-panic. Cases discarded by `prop_assume!`
+/// are skipped (they do not count as failures).
+pub fn run_property(name: &str, case: impl FnMut(&mut TestRunner) -> String) {
+    run_property_with(ProptestConfig::default(), name, case);
+}
+
+/// [`run_property`] with an explicit [`ProptestConfig`].
+pub fn run_property_with(
+    config: ProptestConfig,
+    name: &str,
+    mut case: impl FnMut(&mut TestRunner) -> String,
+) {
+    install_quiet_hook();
+    let cases = config.cases;
+    let mut rt = TestRunner::from_name(name);
+    for i in 0..cases {
+        let mut described = String::new();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            described = case(&mut rt);
+        }));
+        QUIET_PANIC.with(|q| q.set(false));
+        if let Err(payload) = result {
+            if payload.downcast_ref::<Rejected>().is_some() {
+                continue;
+            }
+            eprintln!("proptest '{name}' failed at case {i}/{cases}: {described}");
+            resume_unwind(payload);
+        }
+    }
+}
+
+/// The `proptest!` macro: each enclosed `fn name(arg in strategy, ...)`
+/// becomes a `#[test]` running [`CASES`] deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_property_with($cfg, stringify!($name), |__rt| {
+                    $(let $arg = $crate::Strategy::generate(&($strat), __rt);)*
+                    let __desc = {
+                        let mut s = String::new();
+                        $(
+                            s.push_str(concat!(stringify!($arg), " = "));
+                            s.push_str(&format!("{:?}, ", $arg));
+                        )*
+                        s
+                    };
+                    $body
+                    __desc
+                });
+            }
+        )*
+    };
+    ($( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_property(stringify!($name), |__rt| {
+                    $(let $arg = $crate::Strategy::generate(&($strat), __rt);)*
+                    let __desc = {
+                        let mut s = String::new();
+                        $(
+                            s.push_str(concat!(stringify!($arg), " = "));
+                            s.push_str(&format!("{:?}, ", $arg));
+                        )*
+                        s
+                    };
+                    $body
+                    __desc
+                });
+            }
+        )*
+    };
+}
+
+/// `prop_assume!` — discard the current case when the precondition fails.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($rest:tt)*)?) => {
+        if !$cond {
+            $crate::reject_case();
+        }
+    };
+}
+
+/// `prop_assert!` — plain assert (no shrinking machinery to feed).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `prop_assert_eq!` — plain assert_eq.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `prop_assert_ne!` — plain assert_ne.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+pub mod prelude {
+    //! The glob-import surface tests rely on.
+
+    pub use crate::{any, Any, ProptestConfig, Strategy, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    pub mod prop {
+        //! Mirrors `proptest::prelude::prop`.
+        pub use crate::collection;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(x in 3u32..17, y in -2.0f64..2.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y));
+        }
+
+        #[test]
+        fn vec_sizes_in_bounds(xs in prop::collection::vec(0u64..10, 2..5)) {
+            prop_assert!(xs.len() >= 2 && xs.len() < 5);
+            prop_assert!(xs.iter().all(|&v| v < 10));
+        }
+
+        #[test]
+        fn tuples_compose(pairs in prop::collection::vec((1.0f64..2.0, 5u64..6), 1..3)) {
+            for (f, u) in pairs {
+                prop_assert!((1.0..2.0).contains(&f));
+                prop_assert_eq!(u, 5);
+            }
+        }
+    }
+
+    #[test]
+    fn determinism() {
+        let mut a = TestRunner::from_name("t");
+        let mut b = TestRunner::from_name("t");
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+    }
+}

@@ -1,0 +1,327 @@
+//! Vendored, dependency-free subset of the `rand` 0.8 API.
+//!
+//! This workspace builds in offline sandboxes with no crates.io access, so
+//! the external `rand` crate is replaced by this shim. It implements exactly
+//! the surface the workspace uses — [`RngCore`], the [`Rng`] extension trait
+//! (`gen`, `gen_range`, `gen_bool`, `sample_iter`), [`SeedableRng`], and the
+//! [`distributions::Standard`] distribution — with the same value semantics
+//! as upstream `rand` (53-bit uniform floats, Lemire-style integer ranges).
+//! It is *not* a cryptographic library and must never be used as one.
+
+/// A low-level source of randomness: the object-safe core trait.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut i = 0;
+        while i < dest.len() {
+            let chunk = self.next_u64().to_le_bytes();
+            let n = (dest.len() - i).min(8);
+            dest[i..i + n].copy_from_slice(&chunk[..n]);
+            i += n;
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A generator constructible from a fixed seed.
+pub trait SeedableRng: Sized {
+    /// The seed byte array type.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Build from an explicit seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Build from a `u64`, splitmixed across the full seed width.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let bytes = seed.as_mut();
+        let mut z = state;
+        for chunk in bytes.chunks_mut(8) {
+            z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut x = z;
+            x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            x ^= x >> 31;
+            let le = x.to_le_bytes();
+            let n = chunk.len().min(8);
+            chunk.copy_from_slice(&le[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+pub mod distributions {
+    //! The subset of `rand::distributions` the workspace touches.
+
+    use super::{Rng, RngCore};
+
+    /// A distribution over values of `T`.
+    pub trait Distribution<T> {
+        /// Draw one value.
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+
+        /// Iterator of draws, consuming the generator.
+        fn sample_iter<R: Rng + Sized>(self, rng: R) -> DistIter<Self, R, T>
+        where
+            Self: Sized,
+        {
+            DistIter { dist: self, rng, _marker: core::marker::PhantomData }
+        }
+    }
+
+    /// Iterator returned by [`Distribution::sample_iter`].
+    pub struct DistIter<D, R, T> {
+        dist: D,
+        rng: R,
+        _marker: core::marker::PhantomData<fn() -> T>,
+    }
+
+    impl<D: Distribution<T>, R: Rng, T> Iterator for DistIter<D, R, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            Some(self.dist.sample(&mut self.rng))
+        }
+    }
+
+    /// The "natural" uniform distribution for a type (full integer range,
+    /// `[0, 1)` for floats) — mirrors `rand::distributions::Standard`.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Standard;
+
+    macro_rules! standard_int {
+        ($($t:ty => $via:ident),* $(,)?) => {$(
+            impl Distribution<$t> for Standard {
+                fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> $t {
+                    rng.$via() as $t
+                }
+            }
+        )*};
+    }
+    standard_int!(u8 => next_u32, u16 => next_u32, u32 => next_u32,
+                  i8 => next_u32, i16 => next_u32, i32 => next_u32,
+                  u64 => next_u64, i64 => next_u64, usize => next_u64, isize => next_u64);
+
+    impl Distribution<u128> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u128 {
+            ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+        }
+    }
+
+    impl Distribution<bool> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+            rng.next_u32() & 1 == 1
+        }
+    }
+
+    impl Distribution<f64> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+            // 53 high bits, uniform in [0, 1) — identical to upstream rand.
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    impl Distribution<f32> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+            (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+        }
+    }
+
+    impl RngCore for super::rngs::SmallRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next() >> 32) as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.next()
+        }
+    }
+}
+
+pub mod rngs {
+    //! Minimal generators, for completeness of the shim.
+
+    /// A small fast non-cryptographic generator (xorshift*-style).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        pub(crate) state: u64,
+    }
+
+    impl SmallRng {
+        pub(crate) fn next(&mut self) -> u64 {
+            // xorshift64* — adequate for simulation workloads.
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+    }
+
+    impl super::SeedableRng for SmallRng {
+        type Seed = [u8; 8];
+        fn from_seed(seed: Self::Seed) -> Self {
+            let s = u64::from_le_bytes(seed);
+            SmallRng { state: if s == 0 { 0x9E37_79B9_7F4A_7C15 } else { s } }
+        }
+    }
+}
+
+/// Types usable as the argument of [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draw a value uniformly from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty gen_range: {:?}", self);
+        let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        // Same scheme as rand's UniformFloat: scale then offset.
+        let v = u * (self.end - self.start) + self.start;
+        if v < self.end {
+            v
+        } else {
+            // Guard against rounding up to the excluded endpoint.
+            f64::from_bits(self.end.to_bits() - 1)
+        }
+    }
+}
+
+impl SampleRange<f32> for core::ops::Range<f32> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "empty gen_range: {:?}", self);
+        let u = (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32);
+        let v = u * (self.end - self.start) + self.start;
+        if v < self.end {
+            v
+        } else {
+            f32::from_bits(self.end.to_bits() - 1)
+        }
+    }
+}
+
+macro_rules! sample_range_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty gen_range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                // Unbiased via rejection on the widened multiply.
+                let zone = u128::MAX - (u128::MAX - span + 1) % span;
+                loop {
+                    let x = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+                    if x <= zone {
+                        return (self.start as i128 + (x % span) as i128) as $t;
+                    }
+                }
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty gen_range");
+                if lo == hi {
+                    return lo;
+                }
+                if let Some(end) = hi.checked_add(1) {
+                    (lo..end).sample_single(rng)
+                } else {
+                    // Full-width inclusive range: no rejection needed.
+                    let x = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+                    (lo as i128).wrapping_add((x % (hi as u128 - lo as u128 + 1)) as i128) as $t
+                }
+            }
+        }
+    )*};
+}
+sample_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// User-facing extension methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draw a value of any type `Standard` supports.
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+    {
+        use distributions::Distribution;
+        distributions::Standard.sample(self)
+    }
+
+    /// Uniform draw from `range` (half-open or inclusive).
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p out of range: {p}");
+        self.gen::<f64>() < p
+    }
+
+    /// Draw from an explicit distribution.
+    fn sample<T, D: distributions::Distribution<T>>(&mut self, dist: D) -> T {
+        dist.sample(self)
+    }
+
+    /// Iterator of draws from `dist`, consuming the generator.
+    fn sample_iter<T, D: distributions::Distribution<T>>(
+        self,
+        dist: D,
+    ) -> distributions::DistIter<D, Self, T>
+    where
+        Self: Sized,
+    {
+        dist.sample_iter(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::Standard;
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn float_draws_are_in_unit_interval() {
+        let mut r = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: f64 = r.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut r = SmallRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let x = r.gen_range(10u64..20);
+            assert!((10..20).contains(&x));
+            let y = r.gen_range(-5.0f64..5.0);
+            assert!((-5.0..5.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn sample_iter_streams() {
+        let r = SmallRng::seed_from_u64(9);
+        let v: Vec<u64> = r.sample_iter(Standard).take(4).collect();
+        assert_eq!(v.len(), 4);
+    }
+}

@@ -1,0 +1,481 @@
+//! Vendored serde facade for offline builds.
+//!
+//! Real serde streams through a `Serializer`/`Visitor` pair; this shim
+//! instead round-trips every type through a self-describing [`Value`] tree
+//! (the only consumer in this workspace is `serde_json`). The derive macros
+//! in `serde_derive` generate [`Serialize::serialize_value`] and
+//! [`Deserialize::deserialize_value`] impls with serde's externally-tagged
+//! enum representation and support for `#[serde(default)]`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+/// A self-describing JSON-shaped value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON null.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Negative integer (or any i64).
+    Int(i64),
+    /// Non-negative integer.
+    UInt(u64),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object; insertion order is preserved (struct declaration order).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Borrow the object fields, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// Look up a field of an object by name.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()?.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// A stable, compact textual form used for canonical ordering of
+    /// unordered collections (sets, map keys).
+    fn canonical(&self) -> String {
+        match self {
+            Value::Null => "null".into(),
+            Value::Bool(b) => b.to_string(),
+            Value::Int(i) => i.to_string(),
+            Value::UInt(u) => u.to_string(),
+            Value::Float(f) => format!("{f:?}"),
+            Value::Str(s) => s.clone(),
+            Value::Array(xs) => {
+                let inner: Vec<String> = xs.iter().map(Value::canonical).collect();
+                format!("[{}]", inner.join(","))
+            }
+            Value::Object(fs) => {
+                let inner: Vec<String> =
+                    fs.iter().map(|(k, v)| format!("{k}:{}", v.canonical())).collect();
+                format!("{{{}}}", inner.join(","))
+            }
+        }
+    }
+}
+
+/// Deserialization error: a human-readable message with no further structure.
+#[derive(Debug, Clone)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// "expected X, found Y while deserializing T" helper.
+    pub fn expected(what: &str, ty: &str, found: &Value) -> Self {
+        DeError(format!("expected {what} for {ty}, found {found:?}"))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Conversion into a [`Value`] tree.
+pub trait Serialize {
+    /// Serialize `self` as a value tree.
+    fn serialize_value(&self) -> Value;
+}
+
+/// Construction from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Deserialize from a value tree.
+    fn deserialize_value(v: &Value) -> Result<Self, DeError>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl Serialize for bool {
+    fn serialize_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(DeError::expected("bool", "bool", v)),
+        }
+    }
+}
+
+macro_rules! serde_uint {
+    ($($t:ty),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+                let n = match v {
+                    Value::UInt(u) => *u,
+                    Value::Int(i) if *i >= 0 => *i as u64,
+                    _ => return Err(DeError::expected("unsigned integer", stringify!($t), v)),
+                };
+                <$t>::try_from(n)
+                    .map_err(|_| DeError(format!("{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! serde_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                let i = *self as i64;
+                if i >= 0 { Value::UInt(i as u64) } else { Value::Int(i) }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+                let n = match v {
+                    Value::Int(i) => *i,
+                    Value::UInt(u) if *u <= i64::MAX as u64 => *u as i64,
+                    _ => return Err(DeError::expected("integer", stringify!($t), v)),
+                };
+                <$t>::try_from(n)
+                    .map_err(|_| DeError(format!("{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+serde_int!(i8, i16, i32, i64, isize);
+
+macro_rules! serde_float {
+    ($($t:ty),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::Float(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Float(f) => Ok(*f as $t),
+                    Value::UInt(u) => Ok(*u as $t),
+                    Value::Int(i) => Ok(*i as $t),
+                    // serde_json serializes non-finite floats as null.
+                    Value::Null => Ok(<$t>::NAN),
+                    _ => Err(DeError::expected("number", stringify!($t), v)),
+                }
+            }
+        }
+    )*};
+}
+serde_float!(f32, f64);
+
+impl Serialize for String {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(DeError::expected("string", "String", v)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for &'static str {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            // A Value tree owns its strings, so a borrowed result must leak.
+            // This path only runs for config/template loading — a handful of
+            // short names per process — so the leak is bounded and harmless.
+            Value::Str(s) => Ok(Box::leak(s.clone().into_boxed_str())),
+            _ => Err(DeError::expected("string", "&'static str", v)),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            _ => Err(DeError::expected("single-char string", "char", v)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_value(&self) -> Value {
+        match self {
+            Some(x) => x.serialize_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::deserialize_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(xs) => xs.iter().map(T::deserialize_value).collect(),
+            _ => Err(DeError::expected("array", "Vec", v)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(xs) if xs.len() == N => {
+                let items: Vec<T> =
+                    xs.iter().map(T::deserialize_value).collect::<Result<_, _>>()?;
+                items.try_into().map_err(|_| DeError("array length mismatch".into()))
+            }
+            _ => Err(DeError::expected("fixed-size array", "[T; N]", v)),
+        }
+    }
+}
+
+macro_rules! serde_tuple {
+    ($(($($name:ident : $idx:tt),+)),* $(,)?) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.serialize_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+                const LEN: usize = [$($idx),+].len();
+                match v {
+                    Value::Array(xs) if xs.len() == LEN => {
+                        Ok(($($name::deserialize_value(&xs[$idx])?,)+))
+                    }
+                    _ => Err(DeError::expected("fixed-size array", "tuple", v)),
+                }
+            }
+        }
+    )*};
+}
+serde_tuple!((A: 0), (A: 0, B: 1), (A: 0, B: 1, C: 2), (A: 0, B: 1, C: 2, D: 3));
+
+/// Render a map key: string keys pass through; any other scalar uses its
+/// canonical text (serde_json requires object keys to be strings).
+fn key_to_string<K: Serialize>(k: &K) -> String {
+    match k.serialize_value() {
+        Value::Str(s) => s,
+        other => other.canonical(),
+    }
+}
+
+/// Recover a map key from its string form, trying numeric shapes first.
+fn key_from_string<K: Deserialize>(s: &str) -> Result<K, DeError> {
+    if let Ok(u) = s.parse::<u64>() {
+        if let Ok(k) = K::deserialize_value(&Value::UInt(u)) {
+            return Ok(k);
+        }
+    }
+    if let Ok(i) = s.parse::<i64>() {
+        if let Ok(k) = K::deserialize_value(&Value::Int(i)) {
+            return Ok(k);
+        }
+    }
+    if let Ok(f) = s.parse::<f64>() {
+        if let Ok(k) = K::deserialize_value(&Value::Float(f)) {
+            return Ok(k);
+        }
+    }
+    K::deserialize_value(&Value::Str(s.to_string()))
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize_value(&self) -> Value {
+        Value::Object(
+            self.iter().map(|(k, v)| (key_to_string(k), v.serialize_value())).collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Object(fields) => fields
+                .iter()
+                .map(|(k, v)| Ok((key_from_string(k)?, V::deserialize_value(v)?)))
+                .collect(),
+            _ => Err(DeError::expected("object", "BTreeMap", v)),
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn serialize_value(&self) -> Value {
+        let mut fields: Vec<(String, Value)> =
+            self.iter().map(|(k, v)| (key_to_string(k), v.serialize_value())).collect();
+        // Hash iteration order is unstable; sort for deterministic output.
+        fields.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(fields)
+    }
+}
+
+impl<K: Deserialize + std::hash::Hash + Eq, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Object(fields) => fields
+                .iter()
+                .map(|(k, v)| Ok((key_from_string(k)?, V::deserialize_value(v)?)))
+                .collect(),
+            _ => Err(DeError::expected("object", "HashMap", v)),
+        }
+    }
+}
+
+impl<T: Serialize, S> Serialize for HashSet<T, S> {
+    fn serialize_value(&self) -> Value {
+        let mut items: Vec<Value> = self.iter().map(Serialize::serialize_value).collect();
+        items.sort_by_key(|v| v.canonical());
+        Value::Array(items)
+    }
+}
+
+impl<T: Deserialize + std::hash::Hash + Eq> Deserialize for HashSet<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(xs) => xs.iter().map(T::deserialize_value).collect(),
+            _ => Err(DeError::expected("array", "HashSet", v)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(xs) => xs.iter().map(T::deserialize_value).collect(),
+            _ => Err(DeError::expected("array", "BTreeSet", v)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        Ok(Box::new(T::deserialize_value(v)?))
+    }
+}
+
+impl Serialize for Value {
+    fn serialize_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_round_trip() {
+        let v = Some(3u32).serialize_value();
+        assert_eq!(v, Value::UInt(3));
+        assert_eq!(Option::<u32>::deserialize_value(&Value::Null).unwrap(), None);
+    }
+
+    #[test]
+    fn map_keys_stringify() {
+        let mut m = BTreeMap::new();
+        m.insert(7u16, 1.5f64);
+        let v = m.serialize_value();
+        assert_eq!(v.get("7"), Some(&Value::Float(1.5)));
+        let back: BTreeMap<u16, f64> = Deserialize::deserialize_value(&v).unwrap();
+        assert_eq!(back[&7], 1.5);
+    }
+
+    #[test]
+    fn hashset_output_is_sorted() {
+        let mut s = HashSet::new();
+        for x in [9u64, 1, 5] {
+            s.insert(x);
+        }
+        match s.serialize_value() {
+            Value::Array(xs) => {
+                assert_eq!(xs, vec![Value::UInt(1), Value::UInt(5), Value::UInt(9)])
+            }
+            other => panic!("expected array, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,509 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros.
+//!
+//! Implemented directly on `proc_macro` (no `syn`/`quote`, which are not
+//! available offline). The parser handles the shapes this workspace
+//! declares: non-generic structs (named, tuple, unit) and enums whose
+//! variants are unit, tuple, or struct-like, with `#[serde(default)]` on
+//! named fields. Enums use serde's externally-tagged representation.
+//! Anything else (generics, lifetimes, unions) produces a compile error
+//! naming the limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    default: bool,
+}
+
+enum StructShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum Item {
+    Struct(String, StructShape),
+    Enum(String, Vec<Variant>),
+}
+
+struct Cursor {
+    toks: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Self {
+        Cursor { toks: ts.into_iter().collect(), pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_punct(&mut self, c: char) -> bool {
+        if let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() == c {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn eat_ident(&mut self, s: &str) -> bool {
+        if let Some(TokenTree::Ident(i)) = self.peek() {
+            if i.to_string() == s {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_ident(&mut self) -> Result<String, String> {
+        match self.bump() {
+            Some(TokenTree::Ident(i)) => Ok(i.to_string()),
+            other => Err(format!("expected identifier, found {other:?}")),
+        }
+    }
+}
+
+/// Consume leading attributes; report whether any was `#[serde(default)]`.
+fn parse_attrs(cur: &mut Cursor) -> bool {
+    let mut default = false;
+    loop {
+        match cur.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                cur.bump();
+                if let Some(TokenTree::Group(g)) = cur.bump() {
+                    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+                    if let Some(TokenTree::Ident(head)) = toks.first() {
+                        if head.to_string() == "serde" {
+                            if let Some(TokenTree::Group(args)) = toks.get(1) {
+                                let has_default = args.stream().into_iter().any(|t| {
+                                    matches!(&t, TokenTree::Ident(i) if i.to_string() == "default")
+                                });
+                                default |= has_default;
+                            }
+                        }
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    default
+}
+
+fn skip_visibility(cur: &mut Cursor) {
+    if cur.eat_ident("pub") {
+        if let Some(TokenTree::Group(g)) = cur.peek() {
+            if g.delimiter() == Delimiter::Parenthesis {
+                cur.bump();
+            }
+        }
+    }
+}
+
+/// Skip one type expression: consume until a comma at angle-bracket depth 0.
+fn skip_type(cur: &mut Cursor) {
+    let mut depth = 0i32;
+    while let Some(t) = cur.peek() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                depth += 1;
+                cur.bump();
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                cur.bump();
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+            _ => {
+                cur.bump();
+            }
+        }
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let mut cur = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while cur.peek().is_some() {
+        let default = parse_attrs(&mut cur);
+        skip_visibility(&mut cur);
+        let name = cur.expect_ident()?;
+        if !cur.eat_punct(':') {
+            return Err(format!("expected ':' after field `{name}`"));
+        }
+        skip_type(&mut cur);
+        cur.eat_punct(',');
+        fields.push(Field { name, default });
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut cur = Cursor::new(stream);
+    let mut n = 0;
+    while cur.peek().is_some() {
+        parse_attrs(&mut cur);
+        skip_visibility(&mut cur);
+        skip_type(&mut cur);
+        cur.eat_punct(',');
+        n += 1;
+    }
+    n
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut cur = Cursor::new(input);
+    parse_attrs(&mut cur);
+    skip_visibility(&mut cur);
+    if cur.eat_ident("struct") {
+        let name = cur.expect_ident()?;
+        match cur.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                Err(format!("derive(Serialize/Deserialize) shim: generic struct `{name}` unsupported"))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                Ok(Item::Struct(name, StructShape::Named(fields)))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                Ok(Item::Struct(name, StructShape::Tuple(n)))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                Ok(Item::Struct(name, StructShape::Unit))
+            }
+            other => Err(format!("unexpected token after struct name: {other:?}")),
+        }
+    } else if cur.eat_ident("enum") {
+        let name = cur.expect_ident()?;
+        if let Some(TokenTree::Punct(p)) = cur.peek() {
+            if p.as_char() == '<' {
+                return Err(format!("derive shim: generic enum `{name}` unsupported"));
+            }
+        }
+        let body = match cur.bump() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+            other => return Err(format!("expected enum body, found {other:?}")),
+        };
+        let mut vcur = Cursor::new(body);
+        let mut variants = Vec::new();
+        while vcur.peek().is_some() {
+            parse_attrs(&mut vcur);
+            let vname = vcur.expect_ident()?;
+            let shape = match vcur.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let n = count_tuple_fields(g.stream());
+                    vcur.bump();
+                    VariantShape::Tuple(n)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    let fields = parse_named_fields(g.stream())?;
+                    vcur.bump();
+                    VariantShape::Named(fields)
+                }
+                _ => VariantShape::Unit,
+            };
+            if vcur.eat_punct('=') {
+                // Skip an explicit discriminant expression.
+                while let Some(t) = vcur.peek() {
+                    if matches!(t, TokenTree::Punct(p) if p.as_char() == ',') {
+                        break;
+                    }
+                    vcur.bump();
+                }
+            }
+            vcur.eat_punct(',');
+            variants.push(Variant { name: vname, shape });
+        }
+        Ok(Item::Enum(name, variants))
+    } else {
+        Err("derive shim supports only structs and enums".into())
+    }
+}
+
+fn ser_named_fields(fields: &[Field], access_prefix: &str) -> String {
+    let mut pushes = String::new();
+    for f in fields {
+        pushes.push_str(&format!(
+            "(::std::string::String::from(\"{n}\"), \
+             ::serde::Serialize::serialize_value({p}{n})),",
+            n = f.name,
+            p = access_prefix,
+        ));
+    }
+    format!("::serde::Value::Object(::std::vec![{pushes}])")
+}
+
+/// Deserialization of one named field set out of the object `src_expr`.
+fn de_named_fields(ty_label: &str, fields: &[Field], src_expr: &str) -> String {
+    let mut inits = String::new();
+    for f in fields {
+        let missing = if f.default {
+            "::std::default::Default::default()".to_string()
+        } else {
+            // Mirror serde: a missing field still succeeds if the type
+            // accepts "nothing" (e.g. Option<T> from null); otherwise error.
+            format!(
+                "match ::serde::Deserialize::deserialize_value(&::serde::Value::Null) {{ \
+                   ::std::result::Result::Ok(x) => x, \
+                   ::std::result::Result::Err(_) => return ::std::result::Result::Err(\
+                     ::serde::DeError(::std::format!(\
+                       \"missing field `{n}` of {t}\"))), \
+                 }}",
+                n = f.name,
+                t = ty_label,
+            )
+        };
+        inits.push_str(&format!(
+            "{n}: match ::serde::Value::get({src}, \"{n}\") {{ \
+               ::std::option::Option::Some(x) => ::serde::Deserialize::deserialize_value(x)?, \
+               ::std::option::Option::None => {missing}, \
+             }},",
+            n = f.name,
+            src = src_expr,
+        ));
+    }
+    inits
+}
+
+fn generate_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct(name, StructShape::Unit) => format!(
+            "impl ::serde::Serialize for {name} {{ \
+               fn serialize_value(&self) -> ::serde::Value {{ ::serde::Value::Null }} }}"
+        ),
+        Item::Struct(name, StructShape::Tuple(1)) => format!(
+            "impl ::serde::Serialize for {name} {{ \
+               fn serialize_value(&self) -> ::serde::Value {{ \
+                 ::serde::Serialize::serialize_value(&self.0) }} }}"
+        ),
+        Item::Struct(name, StructShape::Tuple(n)) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::serialize_value(&self.{i})"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{ \
+                   fn serialize_value(&self) -> ::serde::Value {{ \
+                     ::serde::Value::Array(::std::vec![{}]) }} }}",
+                elems.join(",")
+            )
+        }
+        Item::Struct(name, StructShape::Named(fields)) => {
+            let body = ser_named_fields(fields, "&self.");
+            format!(
+                "impl ::serde::Serialize for {name} {{ \
+                   fn serialize_value(&self) -> ::serde::Value {{ {body} }} }}"
+            )
+        }
+        Item::Enum(name, variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str(\
+                           ::std::string::String::from(\"{vn}\")),"
+                    )),
+                    VariantShape::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(x0) => ::serde::Value::Object(::std::vec![\
+                           (::std::string::String::from(\"{vn}\"), \
+                            ::serde::Serialize::serialize_value(x0))]),"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                        let elems: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Serialize::serialize_value(x{i})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({binds}) => ::serde::Value::Object(::std::vec![\
+                               (::std::string::String::from(\"{vn}\"), \
+                                ::serde::Value::Array(::std::vec![{elems}]))]),",
+                            binds = binders.join(","),
+                            elems = elems.join(","),
+                        ));
+                    }
+                    VariantShape::Named(fields) => {
+                        let binders: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        let body = ser_named_fields(fields, "");
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => \
+                               ::serde::Value::Object(::std::vec![\
+                                 (::std::string::String::from(\"{vn}\"), {body})]),",
+                            binds = binders.join(","),
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{ \
+                   fn serialize_value(&self) -> ::serde::Value {{ \
+                     match self {{ {arms} }} }} }}"
+            )
+        }
+    }
+}
+
+fn generate_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct(name, StructShape::Unit) => format!(
+            "impl ::serde::Deserialize for {name} {{ \
+               fn deserialize_value(v: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::DeError> {{ \
+                 match v {{ \
+                   ::serde::Value::Null => ::std::result::Result::Ok({name}), \
+                   other => ::std::result::Result::Err(\
+                     ::serde::DeError::expected(\"null\", \"{name}\", other)), }} }} }}"
+        ),
+        Item::Struct(name, StructShape::Tuple(1)) => format!(
+            "impl ::serde::Deserialize for {name} {{ \
+               fn deserialize_value(v: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::DeError> {{ \
+                 ::std::result::Result::Ok({name}(\
+                   ::serde::Deserialize::deserialize_value(v)?)) }} }}"
+        ),
+        Item::Struct(name, StructShape::Tuple(n)) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::deserialize_value(&xs[{i}])?"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{ \
+                   fn deserialize_value(v: &::serde::Value) \
+                     -> ::std::result::Result<Self, ::serde::DeError> {{ \
+                     match v {{ \
+                       ::serde::Value::Array(xs) if xs.len() == {n} => \
+                         ::std::result::Result::Ok({name}({elems})), \
+                       other => ::std::result::Result::Err(::serde::DeError::expected(\
+                         \"array of {n}\", \"{name}\", other)), }} }} }}",
+                elems = elems.join(","),
+            )
+        }
+        Item::Struct(name, StructShape::Named(fields)) => {
+            let inits = de_named_fields(name, fields, "v");
+            format!(
+                "impl ::serde::Deserialize for {name} {{ \
+                   fn deserialize_value(v: &::serde::Value) \
+                     -> ::std::result::Result<Self, ::serde::DeError> {{ \
+                     if ::serde::Value::as_object(v).is_none() {{ \
+                       return ::std::result::Result::Err(::serde::DeError::expected(\
+                         \"object\", \"{name}\", v)); }} \
+                     ::std::result::Result::Ok({name} {{ {inits} }}) }} }}"
+            )
+        }
+        Item::Enum(name, variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => {
+                        unit_arms.push_str(&format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),"
+                        ));
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),"
+                        ));
+                    }
+                    VariantShape::Tuple(1) => tagged_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                           ::serde::Deserialize::deserialize_value(inner)?)),"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|i| {
+                                format!("::serde::Deserialize::deserialize_value(&xs[{i}])?")
+                            })
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => match inner {{ \
+                               ::serde::Value::Array(xs) if xs.len() == {n} => \
+                                 ::std::result::Result::Ok({name}::{vn}({elems})), \
+                               other => ::std::result::Result::Err(\
+                                 ::serde::DeError::expected(\
+                                   \"array of {n}\", \"{name}::{vn}\", other)), }},",
+                            elems = elems.join(","),
+                        ));
+                    }
+                    VariantShape::Named(fields) => {
+                        let inits = de_named_fields(&format!("{name}::{vn}"), fields, "inner");
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => {{ \
+                               if ::serde::Value::as_object(inner).is_none() {{ \
+                                 return ::std::result::Result::Err(\
+                                   ::serde::DeError::expected(\
+                                     \"object\", \"{name}::{vn}\", inner)); }} \
+                               ::std::result::Result::Ok({name}::{vn} {{ {inits} }}) }},"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{ \
+                   fn deserialize_value(v: &::serde::Value) \
+                     -> ::std::result::Result<Self, ::serde::DeError> {{ \
+                     match v {{ \
+                       ::serde::Value::Str(s) => match s.as_str() {{ \
+                         {unit_arms} \
+                         other => ::std::result::Result::Err(::serde::DeError(\
+                           ::std::format!(\"unknown variant `{{other}}` of {name}\"))), }}, \
+                       ::serde::Value::Object(fields) if fields.len() == 1 => {{ \
+                         let (tag, inner) = &fields[0]; \
+                         match tag.as_str() {{ \
+                           {tagged_arms} \
+                           other => ::std::result::Result::Err(::serde::DeError(\
+                             ::std::format!(\"unknown variant `{{other}}` of {name}\"))), }} }}, \
+                       other => ::std::result::Result::Err(::serde::DeError::expected(\
+                         \"string or single-key object\", \"{name}\", other)), }} }} }}"
+            )
+        }
+    }
+}
+
+fn expand(input: TokenStream, serialize: bool) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => {
+            let escaped = msg.replace('\\', "\\\\").replace('"', "\\\"");
+            return format!("compile_error!(\"{escaped}\");").parse().unwrap()
+        }
+    };
+    let code =
+        if serialize { generate_serialize(&item) } else { generate_deserialize(&item) };
+    code.parse().expect("serde_derive shim generated invalid Rust")
+}
+
+/// Derive `serde::Serialize` (shimmed, Value-based).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, true)
+}
+
+/// Derive `serde::Deserialize` (shimmed, Value-based).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, false)
+}
