@@ -50,8 +50,7 @@ fn bench(c: &mut Criterion) {
             vec![
                 (*v).to_string(),
                 out.report.violations(ClassId(3)).to_string(),
-                (out.report.violations(ClassId(1)) + out.report.violations(ClassId(2)))
-                    .to_string(),
+                (out.report.violations(ClassId(1)) + out.report.violations(ClassId(2))).to_string(),
                 plans.to_string(),
             ]
         })

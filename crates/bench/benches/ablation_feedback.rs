@@ -60,8 +60,11 @@ fn variants(scale: f64) -> Vec<(&'static str, ControllerSpec)> {
 
 fn bench(c: &mut Criterion) {
     let vs = variants(ABLATION_SCALE);
-    let outs =
-        run_parallel(vs.iter().map(|(_, s)| scaled_config(s.clone(), ABLATION_SCALE)).collect());
+    let outs = run_parallel(
+        vs.iter()
+            .map(|(_, s)| scaled_config(s.clone(), ABLATION_SCALE))
+            .collect(),
+    );
     let rows: Vec<Vec<String>> = vs
         .iter()
         .zip(&outs)
@@ -74,8 +77,7 @@ fn bench(c: &mut Criterion) {
                 (*label).to_string(),
                 out.report.violations(ClassId(3)).to_string(),
                 format!("{mean_resp:.3}"),
-                (out.report.violations(ClassId(1)) + out.report.violations(ClassId(2)))
-                    .to_string(),
+                (out.report.violations(ClassId(1)) + out.report.violations(ClassId(2))).to_string(),
                 format!("{}", out.summary.olap_completed),
             ]
         })
@@ -84,7 +86,13 @@ fn bench(c: &mut Criterion) {
         "ABLATION: model-based optimisation vs PI feedback control",
         &render_table(
             "controller vs goal adherence (PI gains are hand-tuned; QS self-calibrates)",
-            &["controller", "c3 viol", "c3 mean resp (s)", "olap viol", "olap done"],
+            &[
+                "controller",
+                "c3 viol",
+                "c3 mean resp (s)",
+                "olap viol",
+                "olap done",
+            ],
             &rows,
         ),
     );

@@ -42,8 +42,7 @@ fn bench(c: &mut Criterion) {
                 p.to_string(),
                 format!("{:.0}s", 80.0 * 60.0 / f64::from(*p)),
                 out.report.violations(ClassId(3)).to_string(),
-                (out.report.violations(ClassId(1)) + out.report.violations(ClassId(2)))
-                    .to_string(),
+                (out.report.violations(ClassId(1)) + out.report.violations(ClassId(2))).to_string(),
                 format!("{}", out.summary.oltp_completed),
             ]
         })
@@ -52,7 +51,13 @@ fn bench(c: &mut Criterion) {
         "ABLATION: control interval (paper default: 20 plans/period ≙ 240 s)",
         &render_table(
             "re-planning frequency vs goal violations",
-            &["plans/period", "full-scale equiv", "c3 viol", "olap viol", "oltp done"],
+            &[
+                "plans/period",
+                "full-scale equiv",
+                "c3 viol",
+                "olap viol",
+                "oltp done",
+            ],
             &rows,
         ),
     );

@@ -41,7 +41,10 @@ fn bench(c: &mut Criterion) {
         "frozen, prior /10",
     ];
     let outs = run_parallel(
-        variants.iter().map(|v| scaled_config(spec(v, ABLATION_SCALE), ABLATION_SCALE)).collect(),
+        variants
+            .iter()
+            .map(|v| scaled_config(spec(v, ABLATION_SCALE), ABLATION_SCALE))
+            .collect(),
     );
     let rows: Vec<Vec<String>> = variants
         .iter()
@@ -55,8 +58,7 @@ fn bench(c: &mut Criterion) {
                 (*v).to_string(),
                 out.report.violations(ClassId(3)).to_string(),
                 format!("{mean_resp:.3}"),
-                (out.report.violations(ClassId(1)) + out.report.violations(ClassId(2)))
-                    .to_string(),
+                (out.report.violations(ClassId(1)) + out.report.violations(ClassId(2))).to_string(),
             ]
         })
         .collect();

@@ -27,7 +27,10 @@ fn variants(scale: f64) -> Vec<(&'static str, ControllerSpec)> {
         ),
         // ~8 concurrent mid-size OLAP queries carry roughly the 30 K budget,
         // so a per-class cap of 4 is the MPL analogue of the paper's limit.
-        ("mpl-static cap 4", ControllerSpec::MplStatic { per_class_cap: 4 }),
+        (
+            "mpl-static cap 4",
+            ControllerSpec::MplStatic { per_class_cap: 4 },
+        ),
         (
             "mpl-adaptive total 8",
             ControllerSpec::MplAdaptive(MplAdaptiveConfig {
@@ -41,8 +44,11 @@ fn variants(scale: f64) -> Vec<(&'static str, ControllerSpec)> {
 
 fn bench(c: &mut Criterion) {
     let vs = variants(ABLATION_SCALE);
-    let outs =
-        run_parallel(vs.iter().map(|(_, s)| scaled_config(s.clone(), ABLATION_SCALE)).collect());
+    let outs = run_parallel(
+        vs.iter()
+            .map(|(_, s)| scaled_config(s.clone(), ABLATION_SCALE))
+            .collect(),
+    );
     let rows: Vec<Vec<String>> = vs
         .iter()
         .zip(&outs)
@@ -55,8 +61,7 @@ fn bench(c: &mut Criterion) {
                 (*label).to_string(),
                 out.report.violations(ClassId(3)).to_string(),
                 format!("{mean_resp:.3}"),
-                (out.report.violations(ClassId(1)) + out.report.violations(ClassId(2)))
-                    .to_string(),
+                (out.report.violations(ClassId(1)) + out.report.violations(ClassId(2))).to_string(),
                 format!("{}", out.summary.olap_completed),
             ]
         })
@@ -65,7 +70,13 @@ fn bench(c: &mut Criterion) {
         "ABLATION: cost-based vs MPL-based admission (§1 — why timerons, not query counts)",
         &render_table(
             "admission currency vs goal adherence",
-            &["controller", "c3 viol", "c3 mean resp (s)", "olap viol", "olap done"],
+            &[
+                "controller",
+                "c3 viol",
+                "c3 mean resp (s)",
+                "olap viol",
+                "olap done",
+            ],
             &rows,
         ),
     );

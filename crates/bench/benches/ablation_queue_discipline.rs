@@ -24,10 +24,15 @@ fn spec(discipline: QueueDiscipline, scale: f64) -> ControllerSpec {
 }
 
 fn bench(c: &mut Criterion) {
-    let variants =
-        [("FIFO (paper)", QueueDiscipline::Fifo), ("SJF", QueueDiscipline::ShortestJobFirst)];
+    let variants = [
+        ("FIFO (paper)", QueueDiscipline::Fifo),
+        ("SJF", QueueDiscipline::ShortestJobFirst),
+    ];
     let outs = run_parallel(
-        variants.iter().map(|&(_, d)| scaled_config(spec(d, ABLATION_SCALE), ABLATION_SCALE)).collect(),
+        variants
+            .iter()
+            .map(|&(_, d)| scaled_config(spec(d, ABLATION_SCALE), ABLATION_SCALE))
+            .collect(),
     );
     let rows: Vec<Vec<String>> = variants
         .iter()
@@ -54,7 +59,14 @@ fn bench(c: &mut Criterion) {
         "ABLATION: queue discipline — FIFO vs shortest-job-first",
         &render_table(
             "mean OLAP velocity rises under SJF; the expensive tail (p95) pays",
-            &["discipline", "c1 vel", "c2 vel", "c1 p95(s)", "c2 p95(s)", "c3 viol"],
+            &[
+                "discipline",
+                "c1 vel",
+                "c2 vel",
+                "c1 p95(s)",
+                "c2 p95(s)",
+                "c3 viol",
+            ],
             &rows,
         ),
     );

@@ -18,8 +18,13 @@ const ABLATION_SCALE: f64 = 0.1;
 
 /// Snapshot intervals at the scaled workload, labelled by their full-scale
 /// equivalents. The paper uses 10 s (scaled: 1 s).
-const INTERVALS: [(u64, &str); 5] =
-    [(1, "10s (paper)"), (6, "60s"), (30, "300s"), (120, "1200s"), (480, "4800s")];
+const INTERVALS: [(u64, &str); 5] = [
+    (1, "10s (paper)"),
+    (6, "60s"),
+    (30, "300s"),
+    (120, "1200s"),
+    (480, "4800s"),
+];
 
 fn spec(snapshot_secs_scaled: u64, scale: f64) -> ControllerSpec {
     let mut sc = scaled_scheduler_config(scale);

@@ -16,13 +16,23 @@ use qsched_experiments::figures::run_parallel;
 const ABLATION_SCALE: f64 = 0.1;
 
 fn spec(kind: SolverKind) -> ControllerSpec {
-    ControllerSpec::QueryScheduler(SchedulerConfig { solver: kind, ..SchedulerConfig::default() })
+    ControllerSpec::QueryScheduler(SchedulerConfig {
+        solver: kind,
+        ..SchedulerConfig::default()
+    })
 }
 
 fn bench(c: &mut Criterion) {
-    let kinds = [SolverKind::Grid, SolverKind::HillClimb, SolverKind::Proportional];
+    let kinds = [
+        SolverKind::Grid,
+        SolverKind::HillClimb,
+        SolverKind::Proportional,
+    ];
     let outs = run_parallel(
-        kinds.iter().map(|&k| scaled_config(spec(k), ABLATION_SCALE)).collect(),
+        kinds
+            .iter()
+            .map(|&k| scaled_config(spec(k), ABLATION_SCALE))
+            .collect(),
     );
     let rows: Vec<Vec<String>> = kinds
         .iter()
@@ -36,7 +46,8 @@ fn bench(c: &mut Criterion) {
                 format!("{}", out.summary.oltp_completed),
                 format!(
                     "{:.2}",
-                    out.report.differentiation_fraction(ClassId(2), ClassId(1), 1)
+                    out.report
+                        .differentiation_fraction(ClassId(2), ClassId(1), 1)
                 ),
             ]
         })
@@ -45,7 +56,14 @@ fn bench(c: &mut Criterion) {
         "ABLATION: solver strategy (scaled paper workload)",
         &render_table(
             "goal violations out of 18 periods",
-            &["solver", "c1 viol", "c2 viol", "c3 viol", "oltp done", "c2>=c1"],
+            &[
+                "solver",
+                "c1 viol",
+                "c2 viol",
+                "c3 viol",
+                "oltp done",
+                "c2>=c1",
+            ],
             &rows,
         ),
     );
@@ -55,10 +73,7 @@ fn bench(c: &mut Criterion) {
     for kind in kinds {
         g.bench_function(format!("{kind:?}"), |b| {
             b.iter(|| {
-                qsched_experiments::world::run_experiment(&scaled_config(
-                    spec(kind),
-                    TIMING_SCALE,
-                ))
+                qsched_experiments::world::run_experiment(&scaled_config(spec(kind), TIMING_SCALE))
             })
         });
     }

@@ -14,7 +14,10 @@ use qsched_workload::templates::{tpcc_templates, tpch_templates};
 use qsched_workload::Schedule;
 
 fn bench(c: &mut Criterion) {
-    print_figure("FIGURE 3: workload schedule (clients per class per period)", &fig3_render());
+    print_figure(
+        "FIGURE 3: workload schedule (clients per class per period)",
+        &fig3_render(),
+    );
 
     let mut g = c.benchmark_group("fig3_workload");
     g.bench_function("schedule_figure3_lookup", |b| {

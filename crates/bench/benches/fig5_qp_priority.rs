@@ -18,11 +18,16 @@ fn bench(c: &mut Criterion) {
         "completions: {} OLAP, {} OLTP | mean admitted cost {:.0} timerons\n",
         out.summary.olap_completed, out.summary.oltp_completed, out.summary.mean_admitted_cost
     ));
-    print_figure("FIGURE 5: DB2 Query Patroller priority control (static)", &body);
+    print_figure(
+        "FIGURE 5: DB2 Query Patroller priority control (static)",
+        &body,
+    );
 
     let mut g = c.benchmark_group("fig5_qp_priority");
     g.sample_size(10);
-    g.bench_function("scaled_run", |b| b.iter(|| run_main_figure(5, TIMING_SCALE)));
+    g.bench_function("scaled_run", |b| {
+        b.iter(|| run_main_figure(5, TIMING_SCALE))
+    });
     g.finish();
 }
 

@@ -36,7 +36,9 @@ fn bench(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("fig6_qs_control");
     g.sample_size(10);
-    g.bench_function("scaled_run", |b| b.iter(|| run_main_figure(6, TIMING_SCALE)));
+    g.bench_function("scaled_run", |b| {
+        b.iter(|| run_main_figure(6, TIMING_SCALE))
+    });
     g.finish();
 }
 

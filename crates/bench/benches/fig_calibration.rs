@@ -20,7 +20,11 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             calibration(
                 SEED,
-                &CalibrationOpts { limits: vec![30_000.0], clients: 20, minutes: 20 },
+                &CalibrationOpts {
+                    limits: vec![30_000.0],
+                    clients: 20,
+                    minutes: 20,
+                },
             )
         })
     });

@@ -33,7 +33,11 @@ impl Problem {
         }
         let mut oltp_model = OltpLinearModel::new(8e-6, 0.9, Timerons::new(20_000.0));
         oltp_model.observe(Some(0.31), Timerons::new(20_000.0));
-        Problem { olap_models, oltp_model, utility: GoalUtility::default() }
+        Problem {
+            olap_models,
+            oltp_model,
+            utility: GoalUtility::default(),
+        }
     }
 
     fn problem(&self) -> PlanProblem<'_> {
@@ -105,7 +109,11 @@ fn bench_dispatcher(c: &mut Criterion) {
             let mut released = 0usize;
             for i in 0..1_000u64 {
                 let class = ClassId(1 + (i % 2) as u16);
-                q.enqueue(class, QueryId(i), Timerons::new(3_000.0 + (i % 11) as f64 * 100.0));
+                q.enqueue(
+                    class,
+                    QueryId(i),
+                    Timerons::new(3_000.0 + (i % 11) as f64 * 100.0),
+                );
                 released += d.on_enqueued(class, &mut q).len();
             }
             black_box((released, d.total_executing()))
@@ -134,8 +142,11 @@ fn bench_plan_evaluation(c: &mut Criterion) {
     let mut g = c.benchmark_group("plan_eval");
     g.bench_function("evaluate_candidate", |b| {
         let p = fixture.problem();
-        let limits =
-            vec![Timerons::new(8_000.0), Timerons::new(12_000.0), Timerons::new(10_000.0)];
+        let limits = vec![
+            Timerons::new(8_000.0),
+            Timerons::new(12_000.0),
+            Timerons::new(10_000.0),
+        ];
         b.iter(|| black_box(p.evaluate(&limits)))
     });
     g.finish();

@@ -56,8 +56,7 @@ impl NoControl {
         dbms: &mut Dbms,
     ) {
         while let Some(&(id, cost)) = self.queue.front() {
-            let fits =
-                self.executing + cost <= self.system_limit || self.released.is_empty();
+            let fits = self.executing + cost <= self.system_limit || self.released.is_empty();
             if !fits {
                 break;
             }
@@ -295,8 +294,8 @@ impl QpController {
             let mut best: Option<(usize, &Waiting)> = None;
             for (i, w) in self.waiting.iter().enumerate() {
                 let slot_free = self.running_in(w.group) < self.cfg.group_cap(w.group);
-                let cost_ok = self.executing + w.cost <= self.cfg.system_limit
-                    || self.running.is_empty();
+                let cost_ok =
+                    self.executing + w.cost <= self.cfg.system_limit || self.running.is_empty();
                 if !(slot_free && cost_ok) {
                     continue;
                 }
@@ -352,8 +351,12 @@ impl<E: From<CtrlEvent> + From<DbmsEvent>> Controller<E> for QpController {
                     }
                 }
                 let group = self.cfg.group_of(row.estimated_cost);
-                let priority =
-                    self.cfg.class_priority.get(&row.class).copied().unwrap_or(0);
+                let priority = self
+                    .cfg
+                    .class_priority
+                    .get(&row.class)
+                    .copied()
+                    .unwrap_or(0);
                 self.waiting.push(Waiting {
                     seq: self.next_seq,
                     id: row.id,

@@ -82,7 +82,13 @@ impl ServiceClass {
         importance: u8,
         goal: Goal,
     ) -> Self {
-        let sc = ServiceClass { id, name: name.into(), kind, importance, goal };
+        let sc = ServiceClass {
+            id,
+            name: name.into(),
+            kind,
+            importance,
+            goal,
+        };
         sc.validate();
         sc
     }
@@ -96,7 +102,10 @@ impl ServiceClass {
         assert!(self.importance >= 1, "importance must be at least 1");
         match (self.kind, &self.goal) {
             (QueryKind::Olap, Goal::VelocityAtLeast(v)) => {
-                assert!((0.0..=1.0).contains(v) && *v > 0.0, "velocity goal out of (0,1]: {v}")
+                assert!(
+                    (0.0..=1.0).contains(v) && *v > 0.0,
+                    "velocity goal out of (0,1]: {v}"
+                )
             }
             (QueryKind::Oltp, Goal::AvgResponseAtMost(d)) => {
                 assert!(!d.is_zero(), "response-time goal must be positive")
@@ -149,7 +158,10 @@ mod tests {
         assert_eq!(cs[2].importance, 3);
         assert_eq!(cs[0].goal, Goal::VelocityAtLeast(0.4));
         assert_eq!(cs[1].goal, Goal::VelocityAtLeast(0.6));
-        assert_eq!(cs[2].goal, Goal::AvgResponseAtMost(SimDuration::from_millis(250)));
+        assert_eq!(
+            cs[2].goal,
+            Goal::AvgResponseAtMost(SimDuration::from_millis(250))
+        );
         for c in &cs {
             c.validate();
         }

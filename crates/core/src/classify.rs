@@ -113,7 +113,12 @@ mod tests {
     #[test]
     fn rules_match_kind_and_cost_band() {
         let c = ByRule::new(vec![
-            Rule { kind: Some(QueryKind::Oltp), min_cost: None, max_cost: None, assign: ClassId(3) },
+            Rule {
+                kind: Some(QueryKind::Oltp),
+                min_cost: None,
+                max_cost: None,
+                assign: ClassId(3),
+            },
             Rule {
                 kind: Some(QueryKind::Olap),
                 min_cost: Some(Timerons::new(5_000.0)),
@@ -128,18 +133,37 @@ mod tests {
             },
         ]);
         assert_eq!(c.classify(&row(0, QueryKind::Oltp, 50.0)), Some(ClassId(3)));
-        assert_eq!(c.classify(&row(0, QueryKind::Olap, 9_000.0)), Some(ClassId(1)));
-        assert_eq!(c.classify(&row(0, QueryKind::Olap, 100.0)), Some(ClassId(2)));
+        assert_eq!(
+            c.classify(&row(0, QueryKind::Olap, 9_000.0)),
+            Some(ClassId(1))
+        );
+        assert_eq!(
+            c.classify(&row(0, QueryKind::Olap, 100.0)),
+            Some(ClassId(2))
+        );
     }
 
     #[test]
     fn first_match_wins_and_no_match_is_none() {
         let c = ByRule::new(vec![
-            Rule { kind: None, min_cost: Some(Timerons::new(10.0)), max_cost: None, assign: ClassId(1) },
-            Rule { kind: None, min_cost: Some(Timerons::new(100.0)), max_cost: None, assign: ClassId(2) },
+            Rule {
+                kind: None,
+                min_cost: Some(Timerons::new(10.0)),
+                max_cost: None,
+                assign: ClassId(1),
+            },
+            Rule {
+                kind: None,
+                min_cost: Some(Timerons::new(100.0)),
+                max_cost: None,
+                assign: ClassId(2),
+            },
         ]);
         // Cost 200 matches both; the first rule wins.
-        assert_eq!(c.classify(&row(0, QueryKind::Olap, 200.0)), Some(ClassId(1)));
+        assert_eq!(
+            c.classify(&row(0, QueryKind::Olap, 200.0)),
+            Some(ClassId(1))
+        );
         // Cost 5 matches nothing.
         assert_eq!(c.classify(&row(0, QueryKind::Olap, 5.0)), None);
     }

@@ -68,6 +68,15 @@ pub trait Controller<E: From<CtrlEvent> + From<DbmsEvent>> {
     fn degradation_stats(&self) -> Option<DegradationStats> {
         None
     }
+
+    /// Invariant-oracle hook: cross-check this controller's books against
+    /// the engine's state (queued ⊆ held, held rows reconciled against
+    /// queues/retries, plan within budget…). Called at event boundaries when
+    /// the oracle is enabled; must be read-only and consume no randomness.
+    /// Controllers without internal books have nothing to check.
+    fn oracle_audit(&self, _dbms: &Dbms) -> Result<(), String> {
+        Ok(())
+    }
 }
 
 /// A pass-through controller that releases everything immediately.

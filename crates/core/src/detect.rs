@@ -115,7 +115,12 @@ impl WorkloadDetector {
     /// A detector starting its first window at `start`.
     pub fn new(cfg: DetectorConfig, start: SimTime) -> Self {
         cfg.validate();
-        WorkloadDetector { cfg, window_start: start, tracks: BTreeMap::new(), total_changes: 0 }
+        WorkloadDetector {
+            cfg,
+            window_start: start,
+            tracks: BTreeMap::new(),
+            total_changes: 0,
+        }
     }
 
     /// Record one arrival of `class`.
@@ -210,7 +215,10 @@ mod tests {
         for w in 1..=20u64 {
             feed(&mut d, c, 10);
             let changes = d.advance(SimTime::from_secs(w * 10));
-            assert!(changes.is_empty(), "steady traffic flagged at window {w}: {changes:?}");
+            assert!(
+                changes.is_empty(),
+                "steady traffic flagged at window {w}: {changes:?}"
+            );
         }
         let rate = d.trend_rate(c).unwrap();
         assert!((rate - 1.0).abs() < 1e-9, "trend {rate} should be 1/s");
@@ -299,7 +307,10 @@ mod tests {
     #[should_panic(expected = "window must be positive")]
     fn zero_window_panics() {
         let _ = WorkloadDetector::new(
-            DetectorConfig { window: SimDuration::ZERO, ..Default::default() },
+            DetectorConfig {
+                window: SimDuration::ZERO,
+                ..Default::default()
+            },
             SimTime::ZERO,
         );
     }

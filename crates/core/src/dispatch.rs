@@ -50,6 +50,14 @@ pub struct Dispatcher {
     allow_oversize_when_idle: bool,
     /// Total queries released.
     released: u64,
+    /// Releases that only went through via the oversize-when-idle guard.
+    oversize_releases: u64,
+    /// Releases accounted on behalf of the engine (starvation watchdog).
+    external_releases: u64,
+    /// Releases whose decision-time cost bound did not actually hold — a
+    /// dispatcher logic bug. Must stay zero; the oracle promotes this from
+    /// a debug assertion to an always-on invariant.
+    release_bound_breaches: u64,
 }
 
 /// The outcome of a release scan: queries the engine should now unblock.
@@ -61,7 +69,15 @@ impl Dispatcher {
         let limits: BTreeMap<ClassId, Timerons> =
             plan.limits().iter().map(|&(c, l)| (c, l)).collect();
         let executing = limits.keys().map(|&c| (c, (Timerons::ZERO, 0))).collect();
-        Dispatcher { limits, executing, allow_oversize_when_idle: true, released: 0 }
+        Dispatcher {
+            limits,
+            executing,
+            allow_oversize_when_idle: true,
+            released: 0,
+            oversize_releases: 0,
+            external_releases: 0,
+            release_bound_breaches: 0,
+        }
     }
 
     /// Disable the oversize-when-idle starvation guard (for ablations).
@@ -82,7 +98,10 @@ impl Dispatcher {
 
     /// Estimated executing cost of a class.
     pub fn executing_cost(&self, class: ClassId) -> Timerons {
-        self.executing.get(&class).map(|&(c, _)| c).unwrap_or(Timerons::ZERO)
+        self.executing
+            .get(&class)
+            .map(|&(c, _)| c)
+            .unwrap_or(Timerons::ZERO)
     }
 
     /// Number of executing queries of a class.
@@ -113,7 +132,11 @@ impl Dispatcher {
                 .unwrap_or_else(|| panic!("plan names unknown class {c}"));
             *slot = l;
         }
-        assert_eq!(plan.limits().len(), self.limits.len(), "plan omits controlled classes");
+        assert_eq!(
+            plan.limits().len(),
+            self.limits.len(),
+            "plan omits controlled classes"
+        );
         self.scan_all(queues)
     }
 
@@ -148,7 +171,49 @@ impl Dispatcher {
         if let Some(slot) = self.executing.get_mut(&class) {
             slot.0 += cost;
             slot.1 += 1;
+            self.external_releases += 1;
         }
+    }
+
+    /// Releases accounted via [`Dispatcher::note_external_release`].
+    pub fn total_external_releases(&self) -> u64 {
+        self.external_releases
+    }
+
+    /// Releases that went through only via the oversize-when-idle guard.
+    pub fn total_oversize_releases(&self) -> u64 {
+        self.oversize_releases
+    }
+
+    /// Internal consistency check (the oracle's dispatcher surface):
+    /// idle classes carry exactly zero cost, all books are finite and
+    /// non-negative, and no release ever breached its decision-time cost
+    /// bound. O(classes).
+    pub fn audit(&self) -> Result<(), String> {
+        if self.release_bound_breaches > 0 {
+            return Err(format!(
+                "{} release(s) breached the decision-time cost bound",
+                self.release_bound_breaches
+            ));
+        }
+        for (&class, &(cost, count)) in &self.executing {
+            if !cost.get().is_finite() || cost.get() < 0.0 {
+                return Err(format!(
+                    "class {class}: executing cost {cost:?} is not sane"
+                ));
+            }
+            if count == 0 && cost != Timerons::ZERO {
+                return Err(format!(
+                    "class {class}: idle (count 0) but carries cost {cost:?}"
+                ));
+            }
+        }
+        for (&class, &limit) in &self.limits {
+            if !limit.get().is_finite() || limit.get() < 0.0 {
+                return Err(format!("class {class}: limit {limit:?} is not sane"));
+            }
+        }
+        Ok(())
     }
 
     /// Scan one class queue, releasing head queries while they fit.
@@ -158,12 +223,26 @@ impl Dispatcher {
             return out;
         };
         while let Some(head) = queues.peek(class) {
-            let (executing, count) =
-                self.executing.get(&class).copied().unwrap_or((Timerons::ZERO, 0));
-            let fits = executing + head.cost <= limit
-                || (self.allow_oversize_when_idle && count == 0);
-            if !fits {
+            let (executing, count) = self
+                .executing
+                .get(&class)
+                .copied()
+                .unwrap_or((Timerons::ZERO, 0));
+            let within_limit = executing + head.cost <= limit;
+            let oversize = self.allow_oversize_when_idle && count == 0;
+            if !within_limit && !oversize {
                 break;
+            }
+            // Decision-time invariant (the paper's §2 release rule): every
+            // release either keeps the class within its cost limit or is the
+            // oversize-when-idle starvation exception. Recorded rather than
+            // asserted so the oracle surfaces a logic bug as a violation.
+            if !within_limit {
+                if oversize {
+                    self.oversize_releases += 1;
+                } else {
+                    self.release_bound_breaches += 1;
+                }
             }
             queues.pop(class);
             let slot = self.executing.entry(class).or_insert((Timerons::ZERO, 0));
@@ -193,7 +272,12 @@ mod tests {
     use qsched_sim::SimTime;
 
     fn plan(limits: &[(u16, f64)]) -> Plan {
-        Plan::new(limits.iter().map(|&(c, l)| (ClassId(c), Timerons::new(l))).collect())
+        Plan::new(
+            limits
+                .iter()
+                .map(|&(c, l)| (ClassId(c), Timerons::new(l)))
+                .collect(),
+        )
     }
 
     fn rec(class: u16, cost: f64) -> QueryRecord {
@@ -294,6 +378,26 @@ mod tests {
             d.on_completed(&rec(1, 33.0), &mut q);
         }
         assert!(d.executing_cost(ClassId(1)).get() <= 100.0);
+    }
+
+    #[test]
+    fn audit_passes_through_a_release_complete_cycle() {
+        let mut d = Dispatcher::new(&plan(&[(1, 100.0), (2, 50.0)]));
+        let mut q = ClassQueues::new();
+        q.enqueue(ClassId(1), QueryId(1), Timerons::new(150.0)); // oversize-at-idle
+        q.enqueue(ClassId(2), QueryId(2), Timerons::new(40.0));
+        d.on_enqueued(ClassId(1), &mut q);
+        d.on_enqueued(ClassId(2), &mut q);
+        assert!(d.audit().is_ok());
+        assert_eq!(d.total_oversize_releases(), 1);
+        d.note_external_release(ClassId(2), Timerons::new(10.0));
+        assert_eq!(d.total_external_releases(), 1);
+        assert!(d.audit().is_ok());
+        d.on_completed(&rec(1, 150.0), &mut q);
+        d.on_completed(&rec(2, 40.0), &mut q);
+        d.on_completed(&rec(2, 10.0), &mut q);
+        assert!(d.audit().is_ok());
+        assert_eq!(d.executing_cost(ClassId(2)), Timerons::ZERO);
     }
 
     #[test]

@@ -76,17 +76,28 @@ impl PiController {
     /// # Panics
     /// Panics if there are no OLAP classes.
     pub fn new(classes: Vec<ServiceClass>, cfg: PiConfig) -> Self {
-        let olap_ids: Vec<ClassId> =
-            classes.iter().filter(|c| c.kind == QueryKind::Olap).map(|c| c.id).collect();
+        let olap_ids: Vec<ClassId> = classes
+            .iter()
+            .filter(|c| c.kind == QueryKind::Olap)
+            .map(|c| c.id)
+            .collect();
         assert!(!olap_ids.is_empty(), "PI control needs OLAP classes");
-        let oltp = classes.iter().find(|c| c.kind == QueryKind::Oltp).map(|c| match c.goal {
-            Goal::AvgResponseAtMost(d) => (c.id, d.as_secs_f64()),
-            _ => unreachable!("validated: OLTP goals are response times"),
-        });
+        let oltp = classes
+            .iter()
+            .find(|c| c.kind == QueryKind::Oltp)
+            .map(|c| match c.goal {
+                Goal::AvgResponseAtMost(d) => (c.id, d.as_secs_f64()),
+                _ => unreachable!("validated: OLTP goals are response times"),
+            });
         // Start with the whole budget on OLAP, split evenly.
         let olap_total = cfg.system_limit.get();
         let share = olap_total / olap_ids.len() as f64;
-        let plan = Plan::new(olap_ids.iter().map(|&c| (c, Timerons::new(share))).collect());
+        let plan = Plan::new(
+            olap_ids
+                .iter()
+                .map(|&c| (c, Timerons::new(share)))
+                .collect(),
+        );
         PiController {
             dispatcher: Dispatcher::new(&plan),
             queues: ClassQueues::new(),
@@ -129,13 +140,12 @@ impl PiController {
         if let Some((oltp_id, goal)) = self.oltp {
             if let Some(t) = meas.get(&oltp_id).and_then(|m| m.response_secs) {
                 let error = t - goal; // positive = too slow = shrink OLAP
-                // Anti-windup: never integrate *into* a saturated actuator,
-                // and bound the integral so its authority cannot exceed the
-                // whole budget.
+                                      // Anti-windup: never integrate *into* a saturated actuator,
+                                      // and bound the integral so its authority cannot exceed the
+                                      // whole budget.
                 let at_max = self.olap_total >= self.cfg.system_limit.get() - 1e-6;
                 let at_min = self.olap_total <= self.cfg.olap_floor.get() + 1e-6;
-                let winding_into_saturation =
-                    (at_max && error < 0.0) || (at_min && error > 0.0);
+                let winding_into_saturation = (at_max && error < 0.0) || (at_min && error > 0.0);
                 if !winding_into_saturation {
                     self.integral += error;
                 }
@@ -149,7 +159,11 @@ impl PiController {
         // Split the OLAP total by velocity-goal shortfall (floor 1 each so
         // nobody starves outright).
         let mut weights = Vec::with_capacity(self.olap_ids.len());
-        for sc in self.classes.iter().filter(|c| self.olap_ids.contains(&c.id)) {
+        for sc in self
+            .classes
+            .iter()
+            .filter(|c| self.olap_ids.contains(&c.id))
+        {
             let v = meas.get(&sc.id).and_then(|m| m.velocity).unwrap_or(1.0);
             let shortfall = (sc.goal.achievement(v) - 1.0).min(0.0).abs();
             weights.push((sc.id, 1.0 + 4.0 * shortfall));

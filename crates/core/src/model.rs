@@ -49,7 +49,10 @@ pub struct OlapVelocityModel {
 impl OlapVelocityModel {
     /// Start with a neutral prior: velocity 0.5 at the given initial limit.
     pub fn new(initial_limit: Timerons) -> Self {
-        OlapVelocityModel { last_velocity: 0.5, last_limit: initial_limit }
+        OlapVelocityModel {
+            last_velocity: 0.5,
+            last_limit: initial_limit,
+        }
     }
 
     /// Record the measured mean velocity for the interval that just ended,
@@ -58,7 +61,10 @@ impl OlapVelocityModel {
     /// limit baseline.
     pub fn observe(&mut self, velocity: Option<f64>, limit: Timerons) {
         if let Some(v) = velocity {
-            debug_assert!((0.0..=1.0 + 1e-9).contains(&v), "velocity out of range: {v}");
+            debug_assert!(
+                (0.0..=1.0 + 1e-9).contains(&v),
+                "velocity out of range: {v}"
+            );
             self.last_velocity = v.clamp(0.0, 1.0);
         }
         self.last_limit = limit;
@@ -242,7 +248,10 @@ mod tests {
         assert!((m.slope() - 8e-6).abs() < 1e-9, "slope {}", m.slope());
         // Prediction from the last point (C=25K, t=0.25) to C=10K.
         let pred = m.predict(t(10_000.0));
-        assert!((pred - (0.05 + 8e-6 * 10_000.0)).abs() < 1e-6, "pred {pred}");
+        assert!(
+            (pred - (0.05 + 8e-6 * 10_000.0)).abs() < 1e-6,
+            "pred {pred}"
+        );
         assert!(m.fit_r_squared().unwrap() > 0.999);
     }
 

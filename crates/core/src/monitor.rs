@@ -47,7 +47,10 @@ impl IntervalMonitor {
     pub fn on_completed(&mut self, rec: &QueryRecord) {
         *self.completions.entry(rec.class).or_insert(0) += 1;
         if rec.kind == QueryKind::Olap {
-            self.velocity.entry(rec.class).or_default().push(rec.velocity());
+            self.velocity
+                .entry(rec.class)
+                .or_default()
+                .push(rec.velocity());
         }
     }
 
@@ -76,11 +79,25 @@ impl IntervalMonitor {
     pub fn end_interval(&mut self, classes: &[ClassId]) -> BTreeMap<ClassId, ClassMeasurement> {
         let mut out = BTreeMap::new();
         for &c in classes {
-            let velocity = self.velocity.get(&c).filter(|w| !w.is_empty()).map(Welford::mean);
-            let response_secs =
-                self.response.get(&c).filter(|w| !w.is_empty()).map(Welford::mean);
+            let velocity = self
+                .velocity
+                .get(&c)
+                .filter(|w| !w.is_empty())
+                .map(Welford::mean);
+            let response_secs = self
+                .response
+                .get(&c)
+                .filter(|w| !w.is_empty())
+                .map(Welford::mean);
             let completions = self.completions.get(&c).copied().unwrap_or(0);
-            out.insert(c, ClassMeasurement { velocity, response_secs, completions });
+            out.insert(
+                c,
+                ClassMeasurement {
+                    velocity,
+                    response_secs,
+                    completions,
+                },
+            );
         }
         self.velocity.clear();
         self.response.clear();

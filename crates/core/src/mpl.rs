@@ -74,7 +74,12 @@ impl MplStatic {
     pub fn new(plan: MplPlan) -> Self {
         let running = plan.classes().map(|c| (c, 0)).collect();
         let queues = plan.classes().map(|c| (c, VecDeque::new())).collect();
-        MplStatic { plan, running, queues, released: 0 }
+        MplStatic {
+            plan,
+            running,
+            queues,
+            released: 0,
+        }
     }
 
     /// The active plan.
@@ -277,8 +282,10 @@ impl MplAdaptive {
             .map(|&(c, _, _)| c);
         if let (Some(from), Some(to)) = (donor, recipient) {
             if from != to {
-                let mut caps: Vec<(ClassId, u32)> =
-                    olap_ids.iter().map(|&c| (c, self.inner.plan.cap(c))).collect();
+                let mut caps: Vec<(ClassId, u32)> = olap_ids
+                    .iter()
+                    .map(|&c| (c, self.inner.plan.cap(c)))
+                    .collect();
                 for (c, cap) in &mut caps {
                     if *c == from {
                         *cap -= 1;
@@ -361,7 +368,10 @@ mod tests {
     fn adaptive_splits_budget_evenly_over_olap() {
         let a = MplAdaptive::new(
             ServiceClass::paper_classes(),
-            MplAdaptiveConfig { total_mpl: 10, ..Default::default() },
+            MplAdaptiveConfig {
+                total_mpl: 10,
+                ..Default::default()
+            },
         );
         assert_eq!(a.plan().cap(ClassId(1)), 5);
         assert_eq!(a.plan().cap(ClassId(2)), 5);
@@ -373,7 +383,11 @@ mod tests {
     fn budget_below_floors_panics() {
         let _ = MplAdaptive::new(
             ServiceClass::paper_classes(),
-            MplAdaptiveConfig { total_mpl: 1, floor: 1, ..Default::default() },
+            MplAdaptiveConfig {
+                total_mpl: 1,
+                floor: 1,
+                ..Default::default()
+            },
         );
     }
 }

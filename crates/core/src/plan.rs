@@ -74,7 +74,11 @@ impl Plan {
     /// Sum of limits over classes satisfying `pred` (e.g. the OLAP total
     /// that drives the OLTP model).
     pub fn total_where(&self, mut pred: impl FnMut(ClassId) -> bool) -> Timerons {
-        self.limits.iter().filter(|&&(c, _)| pred(c)).map(|&(_, l)| l).sum()
+        self.limits
+            .iter()
+            .filter(|&&(c, _)| pred(c))
+            .map(|&(_, l)| l)
+            .sum()
     }
 
     /// Check `Σ limits ≤ system_limit` (with a small tolerance).
@@ -113,7 +117,10 @@ impl PlanLog {
 
     /// The recorded series for `class`.
     pub fn series(&self, class: ClassId) -> Option<&Series> {
-        self.series.iter().find(|(c, _)| *c == class).map(|(_, s)| s)
+        self.series
+            .iter()
+            .find(|(c, _)| *c == class)
+            .map(|(_, s)| s)
     }
 
     /// All `(class, series)` pairs.
@@ -132,7 +139,12 @@ mod tests {
     use super::*;
 
     fn p(pairs: &[(u16, f64)]) -> Plan {
-        Plan::new(pairs.iter().map(|&(c, l)| (ClassId(c), Timerons::new(l))).collect())
+        Plan::new(
+            pairs
+                .iter()
+                .map(|&(c, l)| (ClassId(c), Timerons::new(l)))
+                .collect(),
+        )
     }
 
     #[test]

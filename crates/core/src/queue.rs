@@ -28,6 +28,10 @@ pub struct QueuedQuery {
     pub id: QueryId,
     /// Its estimated cost (the admission currency).
     pub cost: Timerons,
+    /// Global arrival stamp (monotone across all classes). The oracle's
+    /// FIFO-within-class invariant checks stamps are non-decreasing
+    /// head-to-tail under the FIFO discipline.
+    pub seq: u64,
 }
 
 /// Per-class queues. Classes are created lazily on first enqueue; iteration
@@ -36,6 +40,7 @@ pub struct QueuedQuery {
 pub struct ClassQueues {
     queues: BTreeMap<ClassId, VecDeque<QueuedQuery>>,
     discipline: QueueDiscipline,
+    next_seq: u64,
 }
 
 impl ClassQueues {
@@ -46,7 +51,11 @@ impl ClassQueues {
 
     /// Empty queues with an explicit discipline.
     pub fn with_discipline(discipline: QueueDiscipline) -> Self {
-        ClassQueues { queues: BTreeMap::new(), discipline }
+        ClassQueues {
+            queues: BTreeMap::new(),
+            discipline,
+            next_seq: 0,
+        }
     }
 
     /// The active discipline.
@@ -56,14 +65,16 @@ impl ClassQueues {
 
     /// Enqueue a held query according to the discipline.
     pub fn enqueue(&mut self, class: ClassId, id: QueryId, cost: Timerons) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
         let q = self.queues.entry(class).or_default();
         match self.discipline {
-            QueueDiscipline::Fifo => q.push_back(QueuedQuery { id, cost }),
+            QueueDiscipline::Fifo => q.push_back(QueuedQuery { id, cost, seq }),
             QueueDiscipline::ShortestJobFirst => {
                 // Insert before the first strictly more expensive entry
                 // (ties keep arrival order).
                 let pos = q.partition_point(|e| e.cost <= cost);
-                q.insert(pos, QueuedQuery { id, cost });
+                q.insert(pos, QueuedQuery { id, cost, seq });
             }
         }
     }
@@ -122,6 +133,38 @@ impl ClassQueues {
         let pos = q.iter().position(|e| e.id == id)?;
         q.remove(pos)
     }
+
+    /// Iterate every waiting query across all classes, class id order then
+    /// queue order (oracle reconciliation surface).
+    pub fn iter_all(&self) -> impl Iterator<Item = (ClassId, &QueuedQuery)> {
+        self.queues
+            .iter()
+            .flat_map(|(&c, q)| q.iter().map(move |e| (c, e)))
+    }
+
+    /// Check the intra-class ordering invariant: FIFO queues must have
+    /// non-decreasing arrival stamps head-to-tail; SJF queues non-decreasing
+    /// cost with FIFO stamps within equal cost.
+    pub fn check_order(&self) -> Result<(), String> {
+        for (&class, q) in &self.queues {
+            for pair in q.iter().zip(q.iter().skip(1)) {
+                let (a, b) = pair;
+                let ok = match self.discipline {
+                    QueueDiscipline::Fifo => a.seq < b.seq,
+                    QueueDiscipline::ShortestJobFirst => {
+                        a.cost < b.cost || (a.cost == b.cost && a.seq < b.seq)
+                    }
+                };
+                if !ok {
+                    return Err(format!(
+                        "queue order breach in {class:?} ({:?}): {:?} before {:?}",
+                        self.discipline, a, b
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -179,7 +222,9 @@ mod tests {
         qs.enqueue(ClassId(1), QueryId(2), Timerons::new(10.0));
         qs.enqueue(ClassId(1), QueryId(3), Timerons::new(50.0));
         qs.enqueue(ClassId(1), QueryId(4), Timerons::new(30.0));
-        let order: Vec<u64> = std::iter::from_fn(|| qs.pop(ClassId(1))).map(|e| e.id.0).collect();
+        let order: Vec<u64> = std::iter::from_fn(|| qs.pop(ClassId(1)))
+            .map(|e| e.id.0)
+            .collect();
         // Cheapest first; the two 50s keep arrival order (1 before 3).
         assert_eq!(order, vec![2, 4, 1, 3]);
     }
@@ -188,6 +233,23 @@ mod tests {
     fn fifo_is_the_default_discipline() {
         let qs = ClassQueues::new();
         assert_eq!(qs.discipline(), QueueDiscipline::Fifo);
+    }
+
+    #[test]
+    fn order_check_accepts_both_disciplines_and_sees_all_entries() {
+        let mut fifo = ClassQueues::new();
+        let mut sjf = ClassQueues::with_discipline(QueueDiscipline::ShortestJobFirst);
+        for (i, cost) in [50.0, 10.0, 50.0, 30.0].iter().enumerate() {
+            fifo.enqueue(ClassId(1), QueryId(i as u64), Timerons::new(*cost));
+            sjf.enqueue(ClassId(1), QueryId(i as u64), Timerons::new(*cost));
+        }
+        fifo.enqueue(ClassId(2), QueryId(9), Timerons::new(1.0));
+        assert!(fifo.check_order().is_ok());
+        assert!(sjf.check_order().is_ok());
+        assert_eq!(fifo.iter_all().count(), 5);
+        // Stamps are globally monotone in arrival order.
+        let stamps: Vec<u64> = fifo.iter_class(ClassId(1)).map(|e| e.seq).collect();
+        assert_eq!(stamps, vec![0, 1, 2, 3]);
     }
 
     #[test]

@@ -10,8 +10,8 @@
 
 use crate::class::ServiceClass;
 use crate::classify::{ByClassTag, Classifier};
-use crate::detect::{DetectorConfig, WorkloadDetector};
 use crate::controller::{Controller, CtrlEvent};
+use crate::detect::{DetectorConfig, WorkloadDetector};
 use crate::dispatch::Dispatcher;
 use crate::model::{OlapVelocityModel, OltpLinearModel};
 use crate::monitor::IntervalMonitor;
@@ -25,7 +25,7 @@ use qsched_dbms::query::{ClassId, QueryId, QueryKind};
 use qsched_dbms::Timerons;
 use qsched_sim::{Ctx, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Tunables of the Query Scheduler.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -156,6 +156,11 @@ pub struct QueryScheduler {
     has_oltp: bool,
     /// An implausible estimate arrived since the last replan.
     implausible_seen: bool,
+    /// Queries whose release command was lost in flight and that have a
+    /// `RetryRelease` pending. Part of the oracle's fault-book
+    /// reconciliation: every held row is queued, retry-pending, or has a
+    /// delayed release in flight.
+    pending_retries: BTreeSet<QueryId>,
 }
 
 impl QueryScheduler {
@@ -189,7 +194,10 @@ impl QueryScheduler {
             .iter()
             .filter(|c| c.kind == QueryKind::Olap)
             .map(|c| {
-                (c.id, OlapVelocityModel::new(plan.limit(c.id).expect("class in plan")))
+                (
+                    c.id,
+                    OlapVelocityModel::new(plan.limit(c.id).expect("class in plan")),
+                )
             })
             .collect();
         let olap_total = Self::olap_total_of(&classes, &plan);
@@ -239,6 +247,7 @@ impl QueryScheduler {
             degradation: DegradationStats::default(),
             has_oltp,
             implausible_seen: false,
+            pending_retries: BTreeSet::new(),
         }
     }
 
@@ -246,12 +255,21 @@ impl QueryScheduler {
     /// class-tag classifier, goal utility.
     pub fn paper_default(classes: Vec<ServiceClass>, cfg: SchedulerConfig) -> Self {
         let solver = cfg.solver.build();
-        Self::new(classes, cfg, solver, Box::new(ByClassTag), Box::new(GoalUtility::default()))
+        Self::new(
+            classes,
+            cfg,
+            solver,
+            Box::new(ByClassTag),
+            Box::new(GoalUtility::default()),
+        )
     }
 
     fn olap_total_of(classes: &[ServiceClass], plan: &Plan) -> Timerons {
-        let olap: Vec<ClassId> =
-            classes.iter().filter(|c| c.kind == QueryKind::Olap).map(|c| c.id).collect();
+        let olap: Vec<ClassId> = classes
+            .iter()
+            .filter(|c| c.kind == QueryKind::Olap)
+            .map(|c| c.id)
+            .collect();
         plan.total_where(|c| olap.contains(&c))
     }
 
@@ -323,6 +341,7 @@ impl QueryScheduler {
         id: QueryId,
         attempt: u32,
     ) {
+        self.pending_retries.remove(&id);
         if dbms.release(ctx, id) || !dbms.patroller().is_held(id) {
             return;
         }
@@ -332,16 +351,24 @@ impl QueryScheduler {
             .mul_f64(2f64.powi(attempt.min(16) as i32))
             .min(rb.release_retry_cap);
         self.degradation.release_retries += 1;
+        self.pending_retries.insert(id);
         ctx.schedule_in(
             backoff,
-            CtrlEvent::RetryRelease { id, attempt: attempt.saturating_add(1) }.into(),
+            CtrlEvent::RetryRelease {
+                id,
+                attempt: attempt.saturating_add(1),
+            }
+            .into(),
         );
     }
 
     /// Clamp each class's movement to `frac · system_limit`, then re-project
     /// onto the budget simplex so the smoothed plan still sums exactly.
     fn smooth_towards(&self, target: &Plan, frac: f64) -> Plan {
-        assert!(frac > 0.0 && frac <= 1.0, "invalid max_step_fraction {frac}");
+        assert!(
+            frac > 0.0 && frac <= 1.0,
+            "invalid max_step_fraction {frac}"
+        );
         let step = self.cfg.system_limit.get() * frac;
         let clamped: Vec<Timerons> = self
             .plan
@@ -354,8 +381,7 @@ impl QueryScheduler {
             })
             .collect();
         let floor = self.cfg.system_limit * self.cfg.floor_fraction;
-        let projected =
-            crate::solver::project_to_simplex(&clamped, self.cfg.system_limit, floor);
+        let projected = crate::solver::project_to_simplex(&clamped, self.cfg.system_limit, floor);
         Plan::new(self.plan.classes().zip(projected).collect())
     }
 
@@ -439,6 +465,20 @@ impl QueryScheduler {
                 self.smooth_towards(&new_plan, self.cfg.robustness.implausible_step_fraction);
         }
         debug_assert!(new_plan.respects(self.cfg.system_limit));
+        // Flight-recorder annotation: the control decision, alongside the
+        // event stream, so a replay artifact shows *why* releases followed.
+        ctx.annotate(|| {
+            let limits: Vec<String> = new_plan
+                .limits()
+                .iter()
+                .map(|(c, l)| format!("{c}={:.1}", l.get()))
+                .collect();
+            format!(
+                "replan#{} stale={stale} solver_failed={solver_failed} plan=[{}]",
+                self.control_intervals,
+                limits.join(" ")
+            )
+        });
         self.plan_log.record(&new_plan, now);
         self.plan = new_plan;
         self.control_intervals += 1;
@@ -450,6 +490,59 @@ impl QueryScheduler {
         };
         let releases = self.dispatcher.apply_plan(&sub, &mut self.queues);
         self.perform_releases(ctx, dbms, releases);
+    }
+
+    /// Full controller-book audit (the oracle's scheduler surface). This is
+    /// the always-on promotion of the scheduler's debug assertions:
+    ///
+    /// * the active plan's limits are non-negative, finite, and sum to the
+    ///   system limit within float tolerance (§2: the plan re-divides, never
+    ///   grows, the admission budget);
+    /// * class queues keep their discipline order (FIFO within class);
+    /// * every queued query is actually held in the engine's control table;
+    /// * every held row is covered by a book: queued here, retry-pending
+    ///   here, or release-delayed in the engine — so nothing the watchdog
+    ///   would have to rescue is untracked (fault-book reconciliation);
+    /// * the dispatcher's executing books are internally consistent.
+    pub fn audit(&self, dbms: &Dbms) -> Result<(), String> {
+        let total = self.plan.total().get();
+        let budget = self.cfg.system_limit.get();
+        if !(total.is_finite() && (total - budget).abs() <= budget * 1e-9 + 1e-9) {
+            return Err(format!(
+                "plan total {total} drifted from system limit {budget}"
+            ));
+        }
+        if let Some((c, l)) = self
+            .plan
+            .limits()
+            .iter()
+            .find(|(_, l)| !l.get().is_finite() || l.get() < 0.0)
+        {
+            return Err(format!("plan limit for {c} is not sane: {l:?}"));
+        }
+        self.queues.check_order()?;
+        self.dispatcher.audit()?;
+        let queued: BTreeSet<QueryId> = self.queues.iter_all().map(|(_, e)| e.id).collect();
+        for id in &queued {
+            if !dbms.patroller().is_held(*id) {
+                return Err(format!(
+                    "{id:?} is queued but not held in the control table"
+                ));
+            }
+        }
+        for row in dbms.patroller().held_rows() {
+            let covered = queued.contains(&row.id)
+                || self.pending_retries.contains(&row.id)
+                || dbms.delayed_release_pending(row.id);
+            if !covered {
+                return Err(format!(
+                    "held row {:?} (class {}) is in no book: not queued, no retry \
+                     pending, no delayed release in flight",
+                    row.id, row.class
+                ));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -480,8 +573,7 @@ impl<E: From<CtrlEvent> + From<DbmsEvent>> Controller<E> for QueryScheduler {
                 // query should exceed a multiple of the whole system limit.
                 // The query is still queued (its real resource draw is what
                 // it is), but the next plan's movement gets clamped.
-                let cap =
-                    self.cfg.system_limit.get() * self.cfg.robustness.implausible_factor;
+                let cap = self.cfg.system_limit.get() * self.cfg.robustness.implausible_factor;
                 if row.estimated_cost.get() > cap {
                     self.degradation.estimates_implausible += 1;
                     self.implausible_seen = true;
@@ -501,6 +593,9 @@ impl<E: From<CtrlEvent> + From<DbmsEvent>> Controller<E> for QueryScheduler {
                 if let Some(q) = self.queues.remove(class, row.id) {
                     self.dispatcher.note_external_release(class, q.cost);
                 }
+                // A pending retry for it is now moot (it will no-op when it
+                // fires); drop the book entry eagerly.
+                self.pending_retries.remove(&row.id);
             }
             DbmsNotice::Completed(rec) => {
                 self.monitor.on_completed(rec);
@@ -559,6 +654,10 @@ impl<E: From<CtrlEvent> + From<DbmsEvent>> Controller<E> for QueryScheduler {
 
     fn degradation_stats(&self) -> Option<DegradationStats> {
         Some(self.degradation)
+    }
+
+    fn oracle_audit(&self, dbms: &Dbms) -> Result<(), String> {
+        self.audit(dbms)
     }
 }
 

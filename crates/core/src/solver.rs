@@ -87,7 +87,11 @@ impl PlanProblem<'_> {
     /// The vector of current limits, projected onto the feasible simplex.
     pub fn current_limits(&self) -> Vec<Timerons> {
         project_to_simplex(
-            &self.classes.iter().map(|c| c.current_limit).collect::<Vec<_>>(),
+            &self
+                .classes
+                .iter()
+                .map(|c| c.current_limit)
+                .collect::<Vec<_>>(),
             self.system_limit,
             self.floor,
         )
@@ -116,7 +120,10 @@ pub fn project_to_simplex(x: &[Timerons], total: Timerons, floor: Timerons) -> V
     let surplus: f64 = x.iter().map(|v| (v.get() - floor.get()).max(0.0)).sum();
     if surplus <= 1e-12 {
         // Nothing above the floor: split the spare evenly.
-        return x.iter().map(|_| Timerons::new(floor.get() + spare / n as f64)).collect();
+        return x
+            .iter()
+            .map(|_| Timerons::new(floor.get() + spare / n as f64))
+            .collect();
     }
     x.iter()
         .map(|v| {
@@ -247,7 +254,11 @@ pub struct HillClimbSolver {
 
 impl Default for HillClimbSolver {
     fn default() -> Self {
-        HillClimbSolver { max_rounds: 200, initial_step_frac: 0.10, min_step_frac: 0.002 }
+        HillClimbSolver {
+            max_rounds: 200,
+            initial_step_frac: 0.10,
+            min_step_frac: 0.002,
+        }
     }
 }
 
@@ -311,13 +322,21 @@ impl Solver for ProportionalSolver {
     }
 
     fn solve(&self, problem: &PlanProblem<'_>) -> Plan {
-        let total_imp: f64 = problem.classes.iter().map(|c| f64::from(c.importance)).sum();
+        let total_imp: f64 = problem
+            .classes
+            .iter()
+            .map(|c| f64::from(c.importance))
+            .sum();
         let raw: Vec<Timerons> = problem
             .classes
             .iter()
             .map(|c| problem.system_limit * (f64::from(c.importance) / total_imp))
             .collect();
-        problem.plan_from(project_to_simplex(&raw, problem.system_limit, problem.floor))
+        problem.plan_from(project_to_simplex(
+            &raw,
+            problem.system_limit,
+            problem.floor,
+        ))
     }
 }
 
@@ -348,7 +367,11 @@ mod tests {
             olap_models.insert(ClassId(2), m2);
             let mut oltp_model = OltpLinearModel::new(s, 1.0, Timerons::new(20_000.0));
             oltp_model.observe(Some(t), Timerons::new(20_000.0));
-            Fixture { olap_models, oltp_model, utility: GoalUtility::default() }
+            Fixture {
+                olap_models,
+                oltp_model,
+                utility: GoalUtility::default(),
+            }
         }
 
         fn problem(&self) -> PlanProblem<'_> {
@@ -386,12 +409,20 @@ mod tests {
     }
 
     fn assert_sums_to_system(plan: &Plan) {
-        assert!((plan.total().get() - 30_000.0).abs() < 1.0, "total {}", plan.total().get());
+        assert!(
+            (plan.total().get() - 30_000.0).abs() < 1.0,
+            "total {}",
+            plan.total().get()
+        );
     }
 
     #[test]
     fn projection_respects_floor_and_total() {
-        let x = vec![Timerons::new(0.0), Timerons::new(100.0), Timerons::new(300.0)];
+        let x = vec![
+            Timerons::new(0.0),
+            Timerons::new(100.0),
+            Timerons::new(300.0),
+        ];
         let p = project_to_simplex(&x, Timerons::new(1_000.0), Timerons::new(50.0));
         let total: f64 = p.iter().map(|v| v.get()).sum();
         assert!((total - 1_000.0).abs() < 1e-6);
@@ -465,12 +496,8 @@ mod tests {
         let p = f.problem();
         let grid = GridSolver::default().solve(&p);
         let hill = HillClimbSolver::default().solve(&p);
-        let gu = p.evaluate(
-            &grid.limits().iter().map(|&(_, l)| l).collect::<Vec<_>>(),
-        );
-        let hu = p.evaluate(
-            &hill.limits().iter().map(|&(_, l)| l).collect::<Vec<_>>(),
-        );
+        let gu = p.evaluate(&grid.limits().iter().map(|&(_, l)| l).collect::<Vec<_>>());
+        let hu = p.evaluate(&hill.limits().iter().map(|&(_, l)| l).collect::<Vec<_>>());
         // Hill climbing must reach within a small margin of the grid optimum.
         assert!(hu >= gu - 0.05, "hill {hu} far below grid {gu}");
         assert_sums_to_system(&hill);
@@ -484,7 +511,11 @@ mod tests {
         assert_sums_to_system(&plan);
         let c1 = plan.limit(ClassId(1)).unwrap().get();
         let c3 = plan.limit(ClassId(3)).unwrap().get();
-        assert!((c3 / c1 - 3.0).abs() < 0.2, "importance ratio should be ~3, got {}", c3 / c1);
+        assert!(
+            (c3 / c1 - 3.0).abs() < 0.2,
+            "importance ratio should be ~3, got {}",
+            c3 / c1
+        );
     }
 
     #[test]

@@ -80,7 +80,10 @@ pub struct StepUtility {
 
 impl Default for StepUtility {
     fn default() -> Self {
-        StepUtility { penalty: 1.0, tilt: 0.01 }
+        StepUtility {
+            penalty: 1.0,
+            tilt: 0.01,
+        }
     }
 }
 

@@ -8,8 +8,8 @@ use qsched_core::model::{OlapVelocityModel, OltpLinearModel};
 use qsched_core::plan::Plan;
 use qsched_core::queue::ClassQueues;
 use qsched_core::solver::{
-    project_to_simplex, ClassState, GridSolver, HillClimbSolver, PlanProblem,
-    ProportionalSolver, Solver,
+    project_to_simplex, ClassState, GridSolver, HillClimbSolver, PlanProblem, ProportionalSolver,
+    Solver,
 };
 use qsched_core::utility::{GoalUtility, UtilityFn};
 use qsched_dbms::query::{ClassId, ClientId, QueryId, QueryKind, QueryRecord};

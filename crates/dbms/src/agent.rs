@@ -25,7 +25,12 @@ impl AgentPool {
     /// Panics if `capacity == 0`.
     pub fn new(capacity: u32) -> Self {
         assert!(capacity >= 1, "need at least one agent");
-        AgentPool { capacity, in_use: 0, waiters: VecDeque::new(), peak_in_use: 0 }
+        AgentPool {
+            capacity,
+            in_use: 0,
+            waiters: VecDeque::new(),
+            peak_in_use: 0,
+        }
     }
 
     /// Try to acquire an agent for `q`. Returns `true` on success; on

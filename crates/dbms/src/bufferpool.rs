@@ -30,7 +30,11 @@ impl Default for BufferPoolConfig {
     fn default() -> Self {
         // Calibrated so the paper-scale workload (≈ 30 K timerons admitted,
         // ~75 % I/O) just fits: contention appears only beyond it.
-        BufferPoolConfig { pages: 24_000.0, pages_per_io_timeron: 1.0, miss_penalty: 2.0 }
+        BufferPoolConfig {
+            pages: 24_000.0,
+            pages_per_io_timeron: 1.0,
+            miss_penalty: 2.0,
+        }
     }
 }
 
@@ -41,7 +45,10 @@ impl BufferPoolConfig {
     /// Panics on nonsensical values.
     pub fn validate(&self) {
         assert!(self.pages > 0.0, "pool must have pages");
-        assert!(self.pages_per_io_timeron >= 0.0, "pages per timeron must be non-negative");
+        assert!(
+            self.pages_per_io_timeron >= 0.0,
+            "pages per timeron must be non-negative"
+        );
         assert!(self.miss_penalty >= 0.0, "penalty must be non-negative");
     }
 }
@@ -57,7 +64,10 @@ impl BufferPool {
     /// An empty pool.
     pub fn new(cfg: BufferPoolConfig) -> Self {
         cfg.validate();
-        BufferPool { cfg, working_set: 0.0 }
+        BufferPool {
+            cfg,
+            working_set: 0.0,
+        }
     }
 
     /// Working-set pages of a query with this I/O-attributed cost.

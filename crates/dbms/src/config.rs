@@ -93,7 +93,10 @@ impl WatchdogConfig {
     /// A watchdog that never fires (for tests that assert held-forever
     /// semantics).
     pub fn disabled() -> Self {
-        WatchdogConfig { enabled: false, ..WatchdogConfig::default() }
+        WatchdogConfig {
+            enabled: false,
+            ..WatchdogConfig::default()
+        }
     }
 
     /// Validate invariants.
@@ -102,9 +105,18 @@ impl WatchdogConfig {
     /// Panics on a nonsensical configuration.
     pub fn validate(&self) {
         if self.enabled {
-            assert!(!self.check_interval.is_zero(), "watchdog check interval must be positive");
-            assert!(!self.starvation_timeout.is_zero(), "starvation timeout must be positive");
-            assert!(self.max_releases_per_check >= 1, "watchdog must release at least one query");
+            assert!(
+                !self.check_interval.is_zero(),
+                "watchdog check interval must be positive"
+            );
+            assert!(
+                !self.starvation_timeout.is_zero(),
+                "starvation timeout must be positive"
+            );
+            assert!(
+                self.max_releases_per_check >= 1,
+                "watchdog must release at least one query"
+            );
         }
     }
 }
@@ -148,7 +160,10 @@ impl DbmsConfig {
         assert!(self.agents >= 1, "need at least one agent");
         assert!(self.saturation_knee > 0.0, "knee must be positive");
         assert!(self.thrash_alpha >= 0.0, "alpha must be non-negative");
-        assert!(self.cost_per_weight > 0.0, "cost_per_weight must be positive");
+        assert!(
+            self.cost_per_weight > 0.0,
+            "cost_per_weight must be positive"
+        );
         if let Some(bp) = &self.buffer_pool {
             bp.validate();
         }
@@ -172,8 +187,13 @@ impl DbmsConfig {
         io_fraction: f64,
         cycles: u32,
     ) -> crate::query::ExecShape {
-        assert!((0.0..=1.0).contains(&io_fraction), "io_fraction out of range: {io_fraction}");
-        let cpu = self.cpu_per_timeron.mul_f64(true_cost.get() * (1.0 - io_fraction));
+        assert!(
+            (0.0..=1.0).contains(&io_fraction),
+            "io_fraction out of range: {io_fraction}"
+        );
+        let cpu = self
+            .cpu_per_timeron
+            .mul_f64(true_cost.get() * (1.0 - io_fraction));
         let io = self.io_per_timeron.mul_f64(true_cost.get() * io_fraction);
         let weight = (true_cost.get() / self.cost_per_weight).max(1.0);
         crate::query::ExecShape::new(cpu, io, cycles).with_weight(weight)
@@ -232,7 +252,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one core")]
     fn zero_cores_invalid() {
-        let cfg = DbmsConfig { cores: 0, ..DbmsConfig::default() };
+        let cfg = DbmsConfig {
+            cores: 0,
+            ..DbmsConfig::default()
+        };
         cfg.validate();
     }
 }

@@ -25,10 +25,10 @@ use crate::locklist::LockList;
 use crate::metrics::EngineMetrics;
 use crate::patroller::{ControlRow, InterceptPolicy, Patroller};
 use crate::query::{Query, QueryId, QueryKind, QueryRecord};
-use crate::snapshot::{ClientSample, SnapshotRegistry};
 use crate::resource::{DiskArray, PsCpu};
+use crate::snapshot::{ClientSample, SnapshotRegistry};
 use qsched_sim::{Ctx, SimDuration, SimTime};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 /// Events internal to the DBMS. The enclosing world must route these back to
 /// [`Dbms::handle`].
@@ -88,6 +88,80 @@ enum Phase {
     Io,
 }
 
+/// O(1) per-phase population counters, maintained at every phase
+/// transition. The invariant oracle reads these through
+/// [`Dbms::accounting`] on every event; [`Dbms::deep_audit`] cross-checks
+/// them against a full `inflight` iteration.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct PhaseTally {
+    waiting_agent: u64,
+    intercepting: u64,
+    held: u64,
+    cpu: u64,
+    io: u64,
+}
+
+impl PhaseTally {
+    fn slot(&mut self, phase: Phase) -> &mut u64 {
+        match phase {
+            Phase::WaitingAgent => &mut self.waiting_agent,
+            Phase::Intercepting => &mut self.intercepting,
+            Phase::Held => &mut self.held,
+            Phase::Cpu => &mut self.cpu,
+            Phase::Io => &mut self.io,
+        }
+    }
+
+    fn inc(&mut self, phase: Phase) {
+        *self.slot(phase) += 1;
+    }
+
+    fn dec(&mut self, phase: Phase) {
+        let slot = self.slot(phase);
+        debug_assert!(*slot > 0, "phase tally underflow: {phase:?}");
+        *slot = slot.saturating_sub(1);
+    }
+
+    fn moved(&mut self, from: Phase, to: Phase) {
+        self.dec(from);
+        self.inc(to);
+    }
+}
+
+/// Read-only accounting snapshot for the invariant oracle: lifecycle
+/// counters that must reconcile (conservation) at every event boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DbmsAccounting {
+    /// Queries ever submitted.
+    pub submitted: u64,
+    /// Queries rejected by policy (left without executing).
+    pub rejected: u64,
+    /// Queries completed (OLAP + OLTP).
+    pub completed: u64,
+    /// In flight, waiting for an agent.
+    pub waiting_agent: u64,
+    /// In flight, interception latency in progress.
+    pub intercepting: u64,
+    /// In flight, held in the control table.
+    pub held: u64,
+    /// In flight, in a CPU burst.
+    pub cpu: u64,
+    /// In flight, in an I/O burst.
+    pub io: u64,
+}
+
+impl DbmsAccounting {
+    /// All queries currently in flight, whatever the phase.
+    pub fn in_flight(&self) -> u64 {
+        self.waiting_agent + self.intercepting + self.held + self.cpu + self.io
+    }
+
+    /// Queries currently executing (admitted, not finished).
+    pub fn executing(&self) -> u64 {
+        self.cpu + self.io
+    }
+}
+
 /// Book-keeping for one in-flight query.
 #[derive(Debug, Clone)]
 struct Inflight {
@@ -124,6 +198,16 @@ pub struct Dbms {
     /// Watchdog force-releases deliberately do not count, so a wedged
     /// controller stays detected across checks.
     last_release_activity: SimTime,
+    /// Per-phase population counters (oracle conservation surface).
+    tally: PhaseTally,
+    /// Queries ever submitted.
+    submitted_total: u64,
+    /// Queries rejected without executing.
+    rejected_total: u64,
+    /// Release commands delayed in flight ("release.delay"): the query is
+    /// still held, but a `ReleaseDue` event is pending for it. The oracle's
+    /// fault-book reconciliation treats these as covered.
+    delayed_release: BTreeSet<QueryId>,
 }
 
 impl Dbms {
@@ -146,6 +230,10 @@ impl Dbms {
             metrics: EngineMetrics::new(start),
             watchdog_armed: false,
             last_release_activity: start,
+            tally: PhaseTally::default(),
+            submitted_total: 0,
+            rejected_total: 0,
+            delayed_release: BTreeSet::new(),
             cfg,
         }
     }
@@ -188,6 +276,58 @@ impl Dbms {
         self.admitted_true_cost
     }
 
+    /// O(1) lifecycle accounting snapshot (the oracle's conservation
+    /// surface): every submitted query is in exactly one phase bucket or
+    /// has completed or been rejected.
+    pub fn accounting(&self) -> DbmsAccounting {
+        DbmsAccounting {
+            submitted: self.submitted_total,
+            rejected: self.rejected_total,
+            completed: self.metrics.olap_completed + self.metrics.oltp_completed,
+            waiting_agent: self.tally.waiting_agent,
+            intercepting: self.tally.intercepting,
+            held: self.tally.held,
+            cpu: self.tally.cpu,
+            io: self.tally.io,
+        }
+    }
+
+    /// Full cross-check of the O(1) tallies against an `inflight` iteration
+    /// and the patroller's held set. O(in-flight); the oracle runs this on
+    /// a stride rather than at every event.
+    pub fn deep_audit(&self) -> Result<(), String> {
+        let mut recount = PhaseTally::default();
+        for f in self.inflight.values() {
+            recount.inc(f.phase);
+        }
+        if recount != self.tally {
+            return Err(format!(
+                "phase tally drift: counted {recount:?}, maintained {:?}",
+                self.tally
+            ));
+        }
+        let held = self.patroller.held_count() as u64;
+        if held != self.tally.held {
+            return Err(format!(
+                "patroller holds {held} rows but {} queries are in phase Held",
+                self.tally.held
+            ));
+        }
+        for row in self.patroller.held_rows() {
+            if !self.inflight.contains_key(&row.id) {
+                return Err(format!("held row {:?} is not in flight", row.id));
+            }
+        }
+        Ok(())
+    }
+
+    /// True when a delayed release command ("release.delay" fault) is still
+    /// in flight for this query — the query is held, but a `ReleaseDue`
+    /// event will arrive for it.
+    pub fn delayed_release_pending(&self, id: QueryId) -> bool {
+        self.delayed_release.contains(&id)
+    }
+
     /// Submit a query. Interception and admission happen according to the
     /// patroller policy; notices are appended to `out`.
     pub fn submit<E: From<DbmsEvent>>(
@@ -206,6 +346,8 @@ impl Dbms {
         }
         let id = query.id;
         debug_assert!(!self.inflight.contains_key(&id), "duplicate submit: {id:?}");
+        self.submitted_total += 1;
+        self.tally.inc(Phase::WaitingAgent);
         self.inflight.insert(
             id,
             Inflight {
@@ -236,9 +378,11 @@ impl Dbms {
             return false;
         }
         if ctx.should_inject("release.delay") {
-            let delay =
-                ctx.fault_delay("release.delay").unwrap_or_else(|| SimDuration::from_secs(5));
+            let delay = ctx
+                .fault_delay("release.delay")
+                .unwrap_or_else(|| SimDuration::from_secs(5));
             self.metrics.degradation.releases_delayed += 1;
+            self.delayed_release.insert(id);
             ctx.schedule_in(delay, DbmsEvent::ReleaseDue(id).into());
             return true;
         }
@@ -272,6 +416,8 @@ impl Dbms {
         self.last_release_activity = ctx.now();
         let removed = self.inflight.remove(&id);
         debug_assert!(removed.is_some(), "held query must be in flight");
+        self.tally.dec(Phase::Held);
+        self.rejected_total += 1;
         // The blocked agent is freed; a waiting submission may take it.
         if let Some(next) = self.agents.release() {
             self.proceed_with_agent(ctx, next, out);
@@ -294,6 +440,7 @@ impl Dbms {
             DbmsEvent::ReleaseDue(id) => {
                 // A delayed release command finally arrives. The query may
                 // already be gone (watchdog or a retry won the race).
+                self.delayed_release.remove(&id);
                 self.do_release(ctx, id);
             }
             DbmsEvent::WatchdogCheck => self.on_watchdog_check(ctx, out),
@@ -350,7 +497,11 @@ impl Dbms {
             let f = self.inflight.get_mut(&id).expect("in-flight query");
             f.phase = Phase::Intercepting;
             f.was_intercepted = true;
-            ctx.schedule_in(self.cfg.interception_latency, DbmsEvent::InterceptReady(id).into());
+            self.tally.moved(Phase::WaitingAgent, Phase::Intercepting);
+            ctx.schedule_in(
+                self.cfg.interception_latency,
+                DbmsEvent::InterceptReady(id).into(),
+            );
         } else {
             self.admit(ctx, id);
         }
@@ -367,13 +518,17 @@ impl Dbms {
         let f = self.inflight.get_mut(&id).expect("in-flight query");
         debug_assert_eq!(f.phase, Phase::Intercepting);
         f.phase = Phase::Held;
+        self.tally.moved(Phase::Intercepting, Phase::Held);
         let row = self.patroller.hold(&f.query, now);
         out.push(DbmsNotice::Intercepted(row));
         // Arm the starvation watchdog: while anything is held, exactly one
         // WatchdogCheck is in flight.
         if self.cfg.watchdog.enabled && !self.watchdog_armed {
             self.watchdog_armed = true;
-            ctx.schedule_in(self.cfg.watchdog.check_interval, DbmsEvent::WatchdogCheck.into());
+            ctx.schedule_in(
+                self.cfg.watchdog.check_interval,
+                DbmsEvent::WatchdogCheck.into(),
+            );
         }
     }
 
@@ -413,7 +568,10 @@ impl Dbms {
                 out.push(DbmsNotice::Starved(row));
             }
         }
-        ctx.schedule_in(self.cfg.watchdog.check_interval, DbmsEvent::WatchdogCheck.into());
+        ctx.schedule_in(
+            self.cfg.watchdog.check_interval,
+            DbmsEvent::WatchdogCheck.into(),
+        );
     }
 
     /// Start executing: first CPU burst, saturation update.
@@ -422,12 +580,16 @@ impl Dbms {
         let (burst, true_cost) = {
             let f = self.inflight.get_mut(&id).expect("in-flight query");
             debug_assert!(
-                matches!(f.phase, Phase::Held | Phase::WaitingAgent | Phase::Intercepting),
+                matches!(
+                    f.phase,
+                    Phase::Held | Phase::WaitingAgent | Phase::Intercepting
+                ),
                 "admit from bad phase {:?}",
                 f.phase
             );
             f.admitted = Some(now);
             f.cycles_left = f.query.shape.cycles;
+            self.tally.moved(f.phase, Phase::Cpu);
             f.phase = Phase::Cpu;
             let mut burst = f.query.shape.cpu_per_cycle();
             if f.was_intercepted {
@@ -463,7 +625,8 @@ impl Dbms {
     /// Recompute the saturation efficiency from the admitted cost.
     /// Caller must have advanced the CPU to `now` first.
     fn apply_efficiency(&mut self) {
-        self.cpu.set_speed(self.cfg.efficiency(self.admitted_true_cost.max(0.0)));
+        self.cpu
+            .set_speed(self.cfg.efficiency(self.admitted_true_cost.max(0.0)));
     }
 
     /// Bump the CPU generation and schedule the next wake-up.
@@ -525,6 +688,7 @@ impl Dbms {
             };
             let f = self.inflight.get_mut(&id).expect("in-flight query");
             f.phase = Phase::Io;
+            self.tally.moved(Phase::Cpu, Phase::Io);
             if let Some(t) = self.disks.request(now, id, io) {
                 ctx.schedule_at(t, DbmsEvent::DiskDone(id).into());
             }
@@ -558,6 +722,7 @@ impl Dbms {
             debug_assert!(f.cycles_left >= 1);
             f.cycles_left -= 1;
             if f.cycles_left > 0 {
+                self.tally.moved(f.phase, Phase::Cpu);
                 f.phase = Phase::Cpu;
                 Some(f.query.shape.cpu_per_cycle())
             } else {
@@ -588,6 +753,7 @@ impl Dbms {
     ) {
         let now = ctx.now();
         let f = self.inflight.remove(&id).expect("in-flight query");
+        self.tally.dec(f.phase);
         let record = QueryRecord {
             id,
             client: f.query.client,
@@ -611,15 +777,27 @@ impl Dbms {
                 ll.release(f.query.true_cost.get());
             }
         }
-        self.metrics.mpl.add(now, -1.0);
-        self.metrics.admitted_cost.add(now, -f.query.true_cost.get());
+        // Fault channel "test.mpl_leak": a deliberately broken accounting
+        // path that skips the MPL decrement. Exists purely so the invariant
+        // oracle can be proven to catch real accounting bugs end-to-end; no
+        // production configuration ever enables it.
+        if !ctx.should_inject("test.mpl_leak") {
+            self.metrics.mpl.add(now, -1.0);
+        }
+        self.metrics
+            .admitted_cost
+            .add(now, -f.query.true_cost.get());
         self.metrics.throughput.tick();
         match f.query.kind {
             QueryKind::Olap => self.metrics.olap_completed += 1,
             QueryKind::Oltp => self.metrics.oltp_completed += 1,
         }
-        self.metrics.execution_times.push(record.execution_time().as_secs_f64());
-        self.metrics.response_times.push(record.response_time().as_secs_f64());
+        self.metrics
+            .execution_times
+            .push(record.execution_time().as_secs_f64());
+        self.metrics
+            .response_times
+            .push(record.response_time().as_secs_f64());
         // Efficiency improves as admitted cost falls.
         self.cpu.advance(now);
         self.apply_efficiency();
@@ -681,7 +859,10 @@ mod tests {
     /// Run a closure that submits into a fresh engine, then run to quiescence.
     fn run_with(policy: InterceptPolicy, f: impl FnOnce(&mut Engine<Db>)) -> Db {
         let dbms = Dbms::new(DbmsConfig::default(), policy, SimTime::ZERO);
-        let mut engine = Engine::new(Db { dbms, notices: Vec::new() });
+        let mut engine = Engine::new(Db {
+            dbms,
+            notices: Vec::new(),
+        });
         f(&mut engine);
         engine.run();
         engine.into_world()
@@ -791,7 +972,11 @@ mod tests {
     #[test]
     fn uncontrolled_query_runs_solo_time() {
         let q = mk_query(1, QueryKind::Oltp, 12, 4, 2);
-        let db = run_queries(InterceptPolicy::intercept_none(), false, vec![(SimTime::ZERO, q)]);
+        let db = run_queries(
+            InterceptPolicy::intercept_none(),
+            false,
+            vec![(SimTime::ZERO, q)],
+        );
         let recs = completions(&db);
         assert_eq!(recs.len(), 1);
         let r = recs[0];
@@ -806,11 +991,16 @@ mod tests {
         use crate::config::WatchdogConfig;
         let q = mk_query(1, QueryKind::Olap, 100, 100, 2);
         // No auto-release and no watchdog: the query must stay held forever.
-        let cfg = DbmsConfig { watchdog: WatchdogConfig::disabled(), ..DbmsConfig::default() };
-        let db = run_queries_cfg(cfg, InterceptPolicy::intercept_all(), false, vec![(
-            SimTime::ZERO,
-            q,
-        )]);
+        let cfg = DbmsConfig {
+            watchdog: WatchdogConfig::disabled(),
+            ..DbmsConfig::default()
+        };
+        let db = run_queries_cfg(
+            cfg,
+            InterceptPolicy::intercept_all(),
+            false,
+            vec![(SimTime::ZERO, q)],
+        );
         assert!(completions(&db).is_empty());
         assert_eq!(db.dbms.patroller().held_count(), 1);
         let intercepted = db
@@ -825,13 +1015,23 @@ mod tests {
         // Default config, no auto-release: the watchdog detects the dead
         // controller and force-releases, so the query still completes.
         let q = mk_query(1, QueryKind::Olap, 100, 100, 2);
-        let db = run_queries(InterceptPolicy::intercept_all(), false, vec![(SimTime::ZERO, q)]);
+        let db = run_queries(
+            InterceptPolicy::intercept_all(),
+            false,
+            vec![(SimTime::ZERO, q)],
+        );
         let recs = completions(&db);
         assert_eq!(recs.len(), 1, "the watchdog must rescue the held query");
         let wd = DbmsConfig::default().watchdog;
-        assert!(recs[0].held_time() > wd.starvation_timeout, "held past the timeout");
+        assert!(
+            recs[0].held_time() > wd.starvation_timeout,
+            "held past the timeout"
+        );
         assert_eq!(db.dbms.metrics().degradation.starvation_releases, 1);
-        let starved = db.notices.iter().any(|(_, n)| matches!(n, DbmsNotice::Starved(_)));
+        let starved = db
+            .notices
+            .iter()
+            .any(|(_, n)| matches!(n, DbmsNotice::Starved(_)));
         assert!(starved, "a Starved notice must be emitted");
         assert_eq!(db.dbms.patroller().held_count(), 0);
     }
@@ -841,18 +1041,30 @@ mod tests {
         // Auto-release on interception: every hold is released immediately,
         // so the watchdog must never act.
         let queries: Vec<(SimTime, Query)> = (0..20)
-            .map(|i| (SimTime::from_secs(i * 90), mk_query(i, QueryKind::Olap, 100, 100, 2)))
+            .map(|i| {
+                (
+                    SimTime::from_secs(i * 90),
+                    mk_query(i, QueryKind::Olap, 100, 100, 2),
+                )
+            })
             .collect();
         let db = run_queries(InterceptPolicy::intercept_all(), true, queries);
         assert_eq!(completions(&db).len(), 20);
         assert_eq!(db.dbms.metrics().degradation.starvation_releases, 0);
-        assert!(!db.notices.iter().any(|(_, n)| matches!(n, DbmsNotice::Starved(_))));
+        assert!(!db
+            .notices
+            .iter()
+            .any(|(_, n)| matches!(n, DbmsNotice::Starved(_))));
     }
 
     #[test]
     fn released_query_completes_with_interception_overhead() {
         let q = mk_query(1, QueryKind::Olap, 100, 100, 2);
-        let db = run_queries(InterceptPolicy::intercept_all(), true, vec![(SimTime::ZERO, q)]);
+        let db = run_queries(
+            InterceptPolicy::intercept_all(),
+            true,
+            vec![(SimTime::ZERO, q)],
+        );
         let recs = completions(&db);
         assert_eq!(recs.len(), 1);
         let r = recs[0];
@@ -869,7 +1081,11 @@ mod tests {
         // The paper's §3 argument: a sub-second OLTP statement pays more in
         // interception than in execution.
         let q = mk_query(1, QueryKind::Oltp, 12, 4, 2);
-        let db = run_queries(InterceptPolicy::intercept_all(), true, vec![(SimTime::ZERO, q)]);
+        let db = run_queries(
+            InterceptPolicy::intercept_all(),
+            true,
+            vec![(SimTime::ZERO, q)],
+        );
         let r = completions(&db)[0];
         let solo = SimDuration::from_millis(16);
         assert!(
@@ -922,7 +1138,11 @@ mod tests {
     fn cycles_alternate_cpu_and_io() {
         // 4 cycles of (10 ms CPU + 20 ms I/O): solo time 120 ms.
         let q = mk_query(1, QueryKind::Olap, 40, 80, 4);
-        let db = run_queries(InterceptPolicy::intercept_none(), false, vec![(SimTime::ZERO, q)]);
+        let db = run_queries(
+            InterceptPolicy::intercept_none(),
+            false,
+            vec![(SimTime::ZERO, q)],
+        );
         let r = completions(&db)[0];
         assert_eq!(r.execution_time(), SimDuration::from_millis(120));
     }
@@ -977,7 +1197,10 @@ mod tests {
             false,
             vec![
                 (SimTime::ZERO, mk_query(1, QueryKind::Oltp, 10, 0, 1)),
-                (SimTime::from_secs(1), mk_query(2, QueryKind::Oltp, 20, 0, 1)),
+                (
+                    SimTime::from_secs(1),
+                    mk_query(2, QueryKind::Oltp, 20, 0, 1),
+                ),
             ],
         );
         let reg = db.dbms.snapshot_registry();
@@ -996,7 +1219,11 @@ mod tests {
         drop(db);
         // Release of an unknown id must be rejected (covered via auto_release
         // worlds above for the accept path).
-        let mut dbms = Dbms::new(DbmsConfig::default(), InterceptPolicy::intercept_all(), SimTime::ZERO);
+        let mut dbms = Dbms::new(
+            DbmsConfig::default(),
+            InterceptPolicy::intercept_all(),
+            SimTime::ZERO,
+        );
         // A Ctx is only available inside a world; use a throwaway engine.
         struct Once {
             dbms: Option<Dbms>,
@@ -1011,7 +1238,10 @@ mod tests {
             }
         }
         dbms.cpu_gen += 1; // silence unused warnings through state touch
-        let mut e = Engine::new(Once { dbms: Some(dbms), ok: false });
+        let mut e = Engine::new(Once {
+            dbms: Some(dbms),
+            ok: false,
+        });
         e.schedule_at(SimTime::ZERO, DbmsEvent::CpuTick { gen: 0 });
         e.run();
         assert!(e.world().ok, "releasing an unknown query must return false");

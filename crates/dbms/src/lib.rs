@@ -39,10 +39,10 @@
 
 pub mod agent;
 pub mod bufferpool;
-pub mod locklist;
 pub mod config;
 pub mod cost;
 pub mod engine;
+pub mod locklist;
 pub mod metrics;
 pub mod patroller;
 pub mod query;
@@ -51,6 +51,6 @@ pub mod snapshot;
 
 pub use config::{DbmsConfig, WatchdogConfig};
 pub use cost::Timerons;
-pub use engine::{Dbms, DbmsEvent, DbmsNotice};
+pub use engine::{Dbms, DbmsAccounting, DbmsEvent, DbmsNotice};
 pub use metrics::DegradationStats;
 pub use query::{ClassId, ClientId, Query, QueryId, QueryKind, QueryRecord};

@@ -29,7 +29,11 @@ pub struct LockListConfig {
 impl Default for LockListConfig {
     fn default() -> Self {
         // ~25 concurrent mid-size transactions fit; beyond that, waits grow.
-        LockListConfig { entries: 1_200.0, locks_per_timeron: 1.0, wait_penalty: 3.0 }
+        LockListConfig {
+            entries: 1_200.0,
+            locks_per_timeron: 1.0,
+            wait_penalty: 3.0,
+        }
     }
 }
 
@@ -40,7 +44,10 @@ impl LockListConfig {
     /// Panics on nonsensical values.
     pub fn validate(&self) {
         assert!(self.entries > 0.0, "lock list must have entries");
-        assert!(self.locks_per_timeron >= 0.0, "locks per timeron must be non-negative");
+        assert!(
+            self.locks_per_timeron >= 0.0,
+            "locks per timeron must be non-negative"
+        );
         assert!(self.wait_penalty >= 0.0, "penalty must be non-negative");
     }
 }

@@ -49,12 +49,18 @@ pub struct InterceptPolicy {
 impl InterceptPolicy {
     /// Intercept every class (the paper's QP configuration for OLAP).
     pub fn intercept_all() -> Self {
-        InterceptPolicy { bypass: HashSet::new(), intercept_all: true }
+        InterceptPolicy {
+            bypass: HashSet::new(),
+            intercept_all: true,
+        }
     }
 
     /// Intercept nothing (the "no class control" baseline).
     pub fn intercept_none() -> Self {
-        InterceptPolicy { bypass: HashSet::new(), intercept_all: false }
+        InterceptPolicy {
+            bypass: HashSet::new(),
+            intercept_all: false,
+        }
     }
 
     /// Exempt `class` from interception (e.g. the OLTP class).

@@ -56,7 +56,12 @@ impl ExecShape {
     /// Panics if `cycles == 0`.
     pub fn new(cpu_work: SimDuration, io_work: SimDuration, cycles: u32) -> Self {
         assert!(cycles >= 1, "a query needs at least one execution cycle");
-        ExecShape { cpu_work, io_work, cycles, weight: 1.0 }
+        ExecShape {
+            cpu_work,
+            io_work,
+            cycles,
+            weight: 1.0,
+        }
     }
 
     /// Set the CPU resource intensity.
@@ -64,7 +69,10 @@ impl ExecShape {
     /// # Panics
     /// Panics unless `weight >= 1`.
     pub fn with_weight(mut self, weight: f64) -> Self {
-        assert!(weight >= 1.0 && weight.is_finite(), "invalid shape weight {weight}");
+        assert!(
+            weight >= 1.0 && weight.is_finite(),
+            "invalid shape weight {weight}"
+        );
         self.weight = weight;
         self
     }

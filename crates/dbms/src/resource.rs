@@ -96,7 +96,10 @@ impl<J: Copy + Eq + Hash> PsCpu<J> {
     /// Panics unless `weight >= 1`; in debug builds also if the job is
     /// already resident.
     pub fn add_weighted(&mut self, id: J, weight: f64, work: SimDuration) {
-        assert!(weight >= 1.0 && weight.is_finite(), "invalid job weight {weight}");
+        assert!(
+            weight >= 1.0 && weight.is_finite(),
+            "invalid job weight {weight}"
+        );
         debug_assert!(
             !self.jobs.iter().any(|(j, _, _)| *j == id),
             "job added to CPU twice"
@@ -360,8 +363,14 @@ mod tests {
     fn disk_array_serves_up_to_n_concurrently() {
         let mut d: DiskArray<u32> = DiskArray::new(2);
         let t0 = SimTime::ZERO;
-        assert_eq!(d.request(t0, 1, SimDuration::from_secs(1)), Some(SimTime::from_secs(1)));
-        assert_eq!(d.request(t0, 2, SimDuration::from_secs(2)), Some(SimTime::from_secs(2)));
+        assert_eq!(
+            d.request(t0, 1, SimDuration::from_secs(1)),
+            Some(SimTime::from_secs(1))
+        );
+        assert_eq!(
+            d.request(t0, 2, SimDuration::from_secs(2)),
+            Some(SimTime::from_secs(2))
+        );
         // Third request queues.
         assert_eq!(d.request(t0, 3, SimDuration::from_secs(3)), None);
         assert_eq!(d.busy(), 2);

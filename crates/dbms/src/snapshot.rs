@@ -77,11 +77,7 @@ impl SnapshotRegistry {
     /// samples that finished before `not_before` (stale registers from a
     /// previous control interval would bias the average). `None` when no
     /// fresh sample exists.
-    pub fn avg_response_time(
-        &self,
-        class: ClassId,
-        not_before: SimTime,
-    ) -> Option<SimDuration> {
+    pub fn avg_response_time(&self, class: ClassId, not_before: SimTime) -> Option<SimDuration> {
         let mut n = 0u64;
         let mut sum = 0.0;
         for s in self.samples_of_class(class) {
@@ -137,10 +133,14 @@ mod tests {
         let avg = reg.avg_response_time(ClassId(3), SimTime::ZERO).unwrap();
         assert!((avg.as_secs_f64() - 4.0).abs() < 1e-9);
         // Only the t=6 sample is fresh after t=5.
-        let avg = reg.avg_response_time(ClassId(3), SimTime::from_secs(5)).unwrap();
+        let avg = reg
+            .avg_response_time(ClassId(3), SimTime::from_secs(5))
+            .unwrap();
         assert!((avg.as_secs_f64() - 6.0).abs() < 1e-9);
         // Nothing fresh after t=50.
-        assert!(reg.avg_response_time(ClassId(3), SimTime::from_secs(50)).is_none());
+        assert!(reg
+            .avg_response_time(ClassId(3), SimTime::from_secs(50))
+            .is_none());
     }
 
     #[test]

@@ -128,7 +128,10 @@ fn run(
 fn agent_pool_exhaustion_serialises_admissions() {
     // Two agents, four identical CPU-only queries: the engine admits two,
     // queues two at the pool, and hands agents over as work finishes.
-    let cfg = DbmsConfig { agents: 2, ..DbmsConfig::default() };
+    let cfg = DbmsConfig {
+        agents: 2,
+        ..DbmsConfig::default()
+    };
     let subs = (0..4).map(|i| (SimTime::ZERO, query(i, 1000, 0))).collect();
     let w = run(
         cfg,
@@ -177,7 +180,8 @@ fn intercept_policy_can_change_at_runtime() {
                     self.phase = 1;
                 }
                 FEv::FlipAndSubmitSecond => {
-                    self.dbms.set_intercept_policy(InterceptPolicy::intercept_none());
+                    self.dbms
+                        .set_intercept_policy(InterceptPolicy::intercept_none());
                     self.dbms.submit(ctx, query(2, 100, 0), &mut out);
                     self.phase = 2;
                 }
@@ -193,7 +197,11 @@ fn intercept_policy_can_change_at_runtime() {
         }
     }
     let mut e = Engine::new(Flip {
-        dbms: Dbms::new(DbmsConfig::default(), InterceptPolicy::intercept_all(), SimTime::ZERO),
+        dbms: Dbms::new(
+            DbmsConfig::default(),
+            InterceptPolicy::intercept_all(),
+            SimTime::ZERO,
+        ),
         phase: 0,
         completed: 0,
         held: 0,
@@ -204,7 +212,11 @@ fn intercept_policy_can_change_at_runtime() {
     let w = e.world();
     assert_eq!(w.held, 1, "the first query was intercepted");
     assert_eq!(w.completed, 1, "only the post-flip query completed");
-    assert_eq!(e.world().dbms.patroller().held_count(), 1, "the first is still held");
+    assert_eq!(
+        e.world().dbms.patroller().held_count(),
+        1,
+        "the first is still held"
+    );
 }
 
 #[test]
@@ -215,8 +227,9 @@ fn snapshot_sampling_consumes_cpu() {
     // Five quick queries populate the snapshot registry (5 client
     // registers), then the measured batch arrives at t=1 s.
     let mk_subs = || {
-        let mut subs: Vec<(SimTime, Query)> =
-            (0..5).map(|i| (SimTime::ZERO, query(100 + i, 10, 0))).collect();
+        let mut subs: Vec<(SimTime, Query)> = (0..5)
+            .map(|i| (SimTime::ZERO, query(100 + i, 10, 0)))
+            .collect();
         subs.extend((0..8).map(|i| (SimTime::from_secs(1), query(i, 2_000, 0))));
         subs
     };
@@ -278,7 +291,11 @@ fn saturation_recovers_when_load_drains() {
     // Alone on an idle machine: exactly its solo time (0.5 s CPU, 1 core).
     assert_eq!(late.1.execution_time(), SimDuration::from_millis(500));
     // The burst queries, by contrast, were slowed by thrashing.
-    let burst = w.completed.iter().find(|(_, r)| r.id == QueryId(0)).unwrap();
+    let burst = w
+        .completed
+        .iter()
+        .find(|(_, r)| r.id == QueryId(0))
+        .unwrap();
     assert!(burst.1.execution_time() > SimDuration::from_millis(800));
 }
 
@@ -300,9 +317,17 @@ fn interception_bypass_only_affects_listed_classes() {
     );
     assert_eq!(w.intercepted, 1, "only the OLAP query is intercepted");
     assert_eq!(w.completed.len(), 2);
-    let oltp = w.completed.iter().find(|(_, r)| r.class == ClassId(3)).unwrap();
+    let oltp = w
+        .completed
+        .iter()
+        .find(|(_, r)| r.class == ClassId(3))
+        .unwrap();
     assert_eq!(oltp.1.held_time(), SimDuration::ZERO);
-    let olap = w.completed.iter().find(|(_, r)| r.class == ClassId(1)).unwrap();
+    let olap = w
+        .completed
+        .iter()
+        .find(|(_, r)| r.class == ClassId(1))
+        .unwrap();
     assert!(olap.1.held_time() > SimDuration::ZERO);
 }
 

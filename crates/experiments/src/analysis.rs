@@ -44,7 +44,10 @@ pub fn seed_sensitivity(base: &ExperimentConfig, seeds: &[u64]) -> SeedStats {
         .unwrap_or(ClassId(3));
     let configs: Vec<ExperimentConfig> = seeds
         .iter()
-        .map(|&seed| ExperimentConfig { seed, ..base.clone() })
+        .map(|&seed| ExperimentConfig {
+            seed,
+            ..base.clone()
+        })
         .collect();
     let outs = run_parallel(configs);
 
@@ -58,7 +61,10 @@ pub fn seed_sensitivity(base: &ExperimentConfig, seeds: &[u64]) -> SeedStats {
         violations.push(v as f64);
         lo = lo.min(v);
         hi = hi.max(v);
-        differentiation.push(out.report.differentiation_fraction(ClassId(2), ClassId(1), 1));
+        differentiation.push(
+            out.report
+                .differentiation_fraction(ClassId(2), ClassId(1), 1),
+        );
         completed.push(out.summary.oltp_completed as f64);
     }
     SeedStats {
@@ -79,7 +85,10 @@ pub fn render_seed_stats(title: &str, stats: &[SeedStats]) -> String {
             vec![
                 s.controller.clone(),
                 format!("{:.1}", s.mean_oltp_violations),
-                format!("{}..{}", s.oltp_violations_range.0, s.oltp_violations_range.1),
+                format!(
+                    "{}..{}",
+                    s.oltp_violations_range.0, s.oltp_violations_range.1
+                ),
                 format!("{:.0}%", 100.0 * s.mean_differentiation),
                 format!("{:.0}", s.mean_oltp_completed),
             ]
@@ -87,7 +96,13 @@ pub fn render_seed_stats(title: &str, stats: &[SeedStats]) -> String {
         .collect();
     render_table(
         title,
-        &["controller", "c3 viol (mean)", "range", "c2>=c1", "oltp done (mean)"],
+        &[
+            "controller",
+            "c3 viol (mean)",
+            "range",
+            "c2>=c1",
+            "oltp done (mean)",
+        ],
         &rows,
     )
 }
@@ -131,7 +146,9 @@ mod tests {
     fn empty_seed_list_panics() {
         let base = main_config(
             0,
-            ControllerSpec::NoControl { system_limit: Timerons::new(30_000.0) },
+            ControllerSpec::NoControl {
+                system_limit: Timerons::new(30_000.0),
+            },
             0.01,
         );
         let _ = seed_sensitivity(&base, &[]);
@@ -201,7 +218,11 @@ pub fn render_template_stats(title: &str, stats: &[TemplateStats]) -> String {
             vec![
                 format!(
                     "{}{}",
-                    if t.kind == QueryKind::Olap { "TPC-H Q" } else { "TPC-C #" },
+                    if t.kind == QueryKind::Olap {
+                        "TPC-H Q"
+                    } else {
+                        "TPC-C #"
+                    },
                     t.template
                 ),
                 t.count.to_string(),
@@ -214,7 +235,9 @@ pub fn render_template_stats(title: &str, stats: &[TemplateStats]) -> String {
         .collect();
     render_table(
         title,
-        &["template", "n", "cost(tm)", "exec(s)", "resp(s)", "velocity"],
+        &[
+            "template", "n", "cost(tm)", "exec(s)", "resp(s)", "velocity",
+        ],
         &rows,
     )
 }
@@ -242,8 +265,12 @@ mod template_tests {
 
     #[test]
     fn groups_by_template_and_sorts_by_cost() {
-        let records =
-            vec![rec(1, 5_000.0, 4), rec(1, 5_200.0, 6), rec(9, 7_400.0, 8), rec(2, 900.0, 1)];
+        let records = vec![
+            rec(1, 5_000.0, 4),
+            rec(1, 5_200.0, 6),
+            rec(9, 7_400.0, 8),
+            rec(2, 900.0, 1),
+        ];
         let stats = per_template_stats(&records);
         assert_eq!(stats.len(), 3);
         let q1 = stats.iter().find(|t| t.template == 1).unwrap();
@@ -268,7 +295,11 @@ mod template_tests {
         let olap = rec(1, 5_000.0, 4);
         let stats = per_template_stats(&[oltp, olap]);
         assert_eq!(stats.len(), 2, "TPC-H Q1 and TPC-C #1 must not merge");
-        assert!(stats.iter().any(|t| t.kind == QueryKind::Oltp && t.mean_cost < 100.0));
-        assert!(stats.iter().any(|t| t.kind == QueryKind::Olap && t.mean_cost > 1_000.0));
+        assert!(stats
+            .iter()
+            .any(|t| t.kind == QueryKind::Oltp && t.mean_cost < 100.0));
+        assert!(stats
+            .iter()
+            .any(|t| t.kind == QueryKind::Olap && t.mean_cost > 1_000.0));
     }
 }

@@ -9,6 +9,9 @@
 //!
 //! # Run several configs (in parallel) and print a comparison table:
 //! qsched-run compare a.json b.json c.json
+//!
+//! # Reproduce an oracle violation from its replay artifact:
+//! qsched-run replay target/oracle/replay-seed42-0123456789abcdef.json
 //! ```
 //!
 //! The config file is a serialized
@@ -27,7 +30,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  qsched-run template              print a template config to stdout\n  \
          qsched-run <config.json> [--csv <out.csv>] [--json <out.json>] [--trace <in.csv>]\n  \
-         qsched-run compare <a.json> <b.json> [...]   run configs in parallel, compare"
+         qsched-run compare <a.json> <b.json> [...]   run configs in parallel, compare\n  \
+         qsched-run replay <artifact.json>    re-run a violation's replay artifact"
     );
     ExitCode::FAILURE
 }
@@ -58,11 +62,7 @@ fn compare(paths: &[String]) -> ExitCode {
         .map(|(path, out)| {
             let mut violations = Vec::new();
             for class in &out.report.classes {
-                violations.push(format!(
-                    "{}:{}",
-                    class.id,
-                    out.report.violations(class.id)
-                ));
+                violations.push(format!("{}:{}", class.id, out.report.violations(class.id)));
             }
             vec![
                 path.clone(),
@@ -77,11 +77,64 @@ fn compare(paths: &[String]) -> ExitCode {
         "{}",
         render_table(
             "comparison (goal violations per class; periods vary per config)",
-            &["config", "controller", "violations", "olap done", "oltp done"],
+            &[
+                "config",
+                "controller",
+                "violations",
+                "olap done",
+                "oltp done"
+            ],
             &rows,
         )
     );
     ExitCode::SUCCESS
+}
+
+/// Re-run a dumped replay artifact and report whether it reproduces.
+fn replay(path: &str) -> ExitCode {
+    let artifact = match qsched_experiments::oracle::load_artifact(std::path::Path::new(path)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "replaying seed {} (config digest {:016x}): {} recorded violation(s), {} events",
+        artifact.seed,
+        artifact.config_digest,
+        artifact.violations.len(),
+        artifact.delivered,
+    );
+    for v in &artifact.violations {
+        println!(
+            "  expect [{}] at {:?} (event #{}): {}",
+            v.invariant, v.at, v.event_index, v.message
+        );
+    }
+    let outcome = qsched_experiments::oracle::replay_artifact(&artifact);
+    match &outcome.report {
+        Some(rep) => {
+            for v in &rep.violations {
+                println!(
+                    "  replay [{}] at {:?} (event #{}): {}",
+                    v.invariant, v.at, v.event_index, v.message
+                );
+            }
+            println!(
+                "replay: {} checks, {} violation(s), recorder digest {:016x}",
+                rep.stats.checks_run, rep.stats.violations, rep.recorder_digest
+            );
+        }
+        None => println!("replay ran without an oracle (feature disabled?)"),
+    }
+    if outcome.reproduced {
+        println!("REPRODUCED: the replay hit the recorded violation");
+        ExitCode::SUCCESS
+    } else {
+        println!("NOT reproduced: the replay diverged from the artifact");
+        ExitCode::FAILURE
+    }
 }
 
 fn template() -> ExperimentConfig {
@@ -105,6 +158,12 @@ fn main() -> ExitCode {
     }
     if first == "compare" {
         return compare(&args[1..]);
+    }
+    if first == "replay" {
+        let Some(path) = args.get(1) else {
+            return usage();
+        };
+        return replay(path);
     }
     if first.starts_with('-') {
         return usage();
@@ -178,6 +237,17 @@ fn main() -> ExitCode {
         out.summary.hours,
         started.elapsed()
     );
+    if let Some(oracle) = &out.oracle {
+        println!(
+            "oracle: {} invariants, {} checks over {} events, {} violation(s) | recorder digest {:016x} ({} entries)",
+            oracle.stats.invariants,
+            oracle.stats.checks_run,
+            oracle.stats.events_observed,
+            oracle.stats.violations,
+            oracle.recorder_digest,
+            oracle.events_recorded,
+        );
+    }
 
     if let Some(path) = csv_out {
         let mut headers = vec!["period".to_string()];
@@ -222,9 +292,12 @@ fn main() -> ExitCode {
             "summary": out.summary,
             "degradation": out.degradation,
             "fault_counts": out.fault_counts,
+            "oracle": out.oracle,
         });
-        match std::fs::write(&path, serde_json::to_string_pretty(&payload).expect("serializes"))
-        {
+        match std::fs::write(
+            &path,
+            serde_json::to_string_pretty(&payload).expect("serializes"),
+        ) {
             Ok(()) => println!("wrote {path}"),
             Err(e) => {
                 eprintln!("cannot write {path}: {e}");

@@ -41,10 +41,21 @@ pub fn render_csv(headers: &[&str], rows: &[Vec<String>]) -> String {
         }
     }
     let mut out = String::new();
-    let _ = writeln!(out, "{}", headers.iter().map(|h| field(h)).collect::<Vec<_>>().join(","));
+    let _ = writeln!(
+        out,
+        "{}",
+        headers
+            .iter()
+            .map(|h| field(h))
+            .collect::<Vec<_>>()
+            .join(",")
+    );
     for row in rows {
-        let _ =
-            writeln!(out, "{}", row.iter().map(|c| field(c)).collect::<Vec<_>>().join(","));
+        let _ = writeln!(
+            out,
+            "{}",
+            row.iter().map(|c| field(c)).collect::<Vec<_>>().join(",")
+        );
     }
     out
 }
@@ -95,7 +106,13 @@ pub fn render_chart(
         let _ = writeln!(out, "{y_here:>10.3} |{}", row.iter().collect::<String>());
     }
     let _ = writeln!(out, "{:>10} +{}", "", "-".repeat(width));
-    let _ = writeln!(out, "{:>10}  {x_min:<10.1}{:>width$.1}", "", x_max, width = width - 10);
+    let _ = writeln!(
+        out,
+        "{:>10}  {x_min:<10.1}{:>width$.1}",
+        "",
+        x_max,
+        width = width - 10
+    );
     let _ = writeln!(out, "{:>10}  x: {x_label}", "");
     for (si, (name, _)) in series.iter().enumerate() {
         let _ = writeln!(out, "{:>10}  {} = {name}", "", GLYPHS[si % GLYPHS.len()]);

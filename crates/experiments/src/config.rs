@@ -47,7 +47,9 @@ impl ControllerSpec {
             ControllerSpec::Uncontrolled => "uncontrolled",
             ControllerSpec::NoControl { .. } => "no-control",
             ControllerSpec::QpStatic { priority: true, .. } => "qp-priority",
-            ControllerSpec::QpStatic { priority: false, .. } => "qp-no-priority",
+            ControllerSpec::QpStatic {
+                priority: false, ..
+            } => "qp-no-priority",
             ControllerSpec::QueryScheduler(_) => "query-scheduler",
             ControllerSpec::MplStatic { .. } => "mpl-static",
             ControllerSpec::MplAdaptive(_) => "mpl-adaptive",
@@ -92,6 +94,10 @@ pub struct ExperimentConfig {
     /// inert plan is bit-identical to `None`).
     #[serde(default)]
     pub faults: Option<FaultPlan>,
+    /// Invariant-oracle settings (always-on by default; read-only checks,
+    /// so enabling the oracle never changes a run's results).
+    #[serde(default)]
+    pub oracle: crate::oracle::OracleSettings,
 }
 
 impl ExperimentConfig {
@@ -109,6 +115,7 @@ impl ExperimentConfig {
             behaviors: None,
             trace: None,
             faults: None,
+            oracle: crate::oracle::OracleSettings::default(),
         }
     }
 
@@ -144,9 +151,19 @@ mod tests {
     fn names_are_distinct() {
         let specs = [
             ControllerSpec::Uncontrolled,
-            ControllerSpec::NoControl { system_limit: Timerons::new(30_000.0) },
-            ControllerSpec::QpStatic { system_limit: Timerons::new(30_000.0), priority: true, max_cost: None },
-            ControllerSpec::QpStatic { system_limit: Timerons::new(30_000.0), priority: false, max_cost: None },
+            ControllerSpec::NoControl {
+                system_limit: Timerons::new(30_000.0),
+            },
+            ControllerSpec::QpStatic {
+                system_limit: Timerons::new(30_000.0),
+                priority: true,
+                max_cost: None,
+            },
+            ControllerSpec::QpStatic {
+                system_limit: Timerons::new(30_000.0),
+                priority: false,
+                max_cost: None,
+            },
             ControllerSpec::QueryScheduler(SchedulerConfig::default()),
         ];
         let names: std::collections::HashSet<_> = specs.iter().map(|s| s.name()).collect();

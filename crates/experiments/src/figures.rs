@@ -20,9 +20,22 @@ use qsched_workload::Schedule;
 use serde::{Deserialize, Serialize};
 
 /// Run a set of independent experiment configurations in parallel,
-/// preserving input order.
+/// preserving input order. Thread count follows the host's parallelism;
+/// results are bit-identical regardless (see [`run_parallel_with`]).
 pub fn run_parallel(configs: Vec<ExperimentConfig>) -> Vec<RunOutput> {
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    run_parallel_with(configs, threads)
+}
+
+/// [`run_parallel`] with an explicit worker count. Each run is an
+/// independent deterministic simulation, so the outputs — reports, plan
+/// logs, flight-recorder digests — are bit-identical for any `threads`
+/// (the determinism regression suite runs the same configs at different
+/// worker counts and asserts exactly that).
+pub fn run_parallel_with(configs: Vec<ExperimentConfig>, threads: usize) -> Vec<RunOutput> {
+    let threads = threads.max(1);
     let mut out: Vec<Option<RunOutput>> = (0..configs.len()).map(|_| None).collect();
     let jobs: Vec<(usize, ExperimentConfig)> = configs.into_iter().enumerate().collect();
     let chunk = jobs.len().div_ceil(threads).max(1);
@@ -43,7 +56,9 @@ pub fn run_parallel(configs: Vec<ExperimentConfig>) -> Vec<RunOutput> {
         }
     })
     .expect("experiment scope panicked");
-    out.into_iter().map(|r| r.expect("all slots filled")).collect()
+    out.into_iter()
+        .map(|r| r.expect("all slots filled"))
+        .collect()
 }
 
 /// A single OLAP service class for calibration workloads.
@@ -60,7 +75,13 @@ fn olap_only_class() -> Vec<ServiceClass> {
 /// OLAP + OLTP class pair for the Figure 2 workload.
 fn fig2_classes() -> Vec<ServiceClass> {
     vec![
-        ServiceClass::new(ClassId(1), "OLAP", QueryKind::Olap, 1, Goal::VelocityAtLeast(0.4)),
+        ServiceClass::new(
+            ClassId(1),
+            "OLAP",
+            QueryKind::Olap,
+            1,
+            Goal::VelocityAtLeast(0.4),
+        ),
         ServiceClass::new(
             ClassId(3),
             "OLTP",
@@ -122,17 +143,17 @@ pub fn calibration(seed: u64, opts: &CalibrationOpts) -> CalibrationCurve {
         .map(|&limit| ExperimentConfig {
             seed,
             dbms: DbmsConfig::default(),
-            schedule: Schedule::constant(
-                SimDuration::from_mins(opts.minutes),
-                vec![opts.clients],
-            ),
+            schedule: Schedule::constant(SimDuration::from_mins(opts.minutes), vec![opts.clients]),
             classes: olap_only_class(),
-            controller: ControllerSpec::NoControl { system_limit: Timerons::new(limit) },
+            controller: ControllerSpec::NoControl {
+                system_limit: Timerons::new(limit),
+            },
             warmup_periods: 0,
             record_sample: None,
             behaviors: None,
             trace: None,
             faults: None,
+            oracle: Default::default(),
         })
         .collect();
     let outputs = run_parallel(configs);
@@ -156,7 +177,11 @@ impl CalibrationCurve {
     pub fn knee(&self) -> f64 {
         self.points
             .iter()
-            .max_by(|a, b| a.olap_per_hour.partial_cmp(&b.olap_per_hour).expect("finite"))
+            .max_by(|a, b| {
+                a.olap_per_hour
+                    .partial_cmp(&b.olap_per_hour)
+                    .expect("finite")
+            })
             .map(|p| p.system_limit)
             .unwrap_or(0.0)
     }
@@ -184,7 +209,10 @@ impl CalibrationCurve {
             "system cost limit (timerons)",
             &[(
                 "olap/hour",
-                self.points.iter().map(|p| (p.system_limit, p.olap_per_hour)).collect(),
+                self.points
+                    .iter()
+                    .map(|p| (p.system_limit, p.olap_per_hour))
+                    .collect(),
             )],
             14,
         ));
@@ -260,12 +288,15 @@ pub fn fig2(seed: u64, opts: &Fig2Opts) -> Fig2 {
                     vec![vec![olap, oltp], vec![olap, oltp]],
                 ),
                 classes: fig2_classes(),
-                controller: ControllerSpec::NoControl { system_limit: Timerons::new(limit) },
+                controller: ControllerSpec::NoControl {
+                    system_limit: Timerons::new(limit),
+                },
                 warmup_periods: 1,
                 record_sample: None,
                 behaviors: None,
                 trace: None,
                 faults: None,
+                oracle: Default::default(),
             });
         }
     }
@@ -284,7 +315,11 @@ pub fn fig2(seed: u64, opts: &Fig2Opts) -> Fig2 {
                 .unwrap_or(f64::NAN);
             points.push((limit, resp));
         }
-        series.push(Fig2Series { oltp_clients: oltp, olap_clients: olap, points });
+        series.push(Fig2Series {
+            oltp_clients: oltp,
+            olap_clients: olap,
+            points,
+        });
     }
     Fig2 { series }
 }
@@ -328,11 +363,16 @@ impl Fig2 {
             .series
             .iter()
             .map(|s| {
-                (format!("({},{})", s.oltp_clients, s.olap_clients), s.points.clone())
+                (
+                    format!("({},{})", s.oltp_clients, s.olap_clients),
+                    s.points.clone(),
+                )
             })
             .collect();
-        let chart_refs: Vec<(&str, Vec<(f64, f64)>)> =
-            chart_series.iter().map(|(n, p)| (n.as_str(), p.clone())).collect();
+        let chart_refs: Vec<(&str, Vec<(f64, f64)>)> = chart_series
+            .iter()
+            .map(|(n, p)| (n.as_str(), p.clone()))
+            .collect();
         out.push_str(&render_chart(
             "OLTP response time vs OLAP cost limit",
             "OLAP cost limit (timerons)",
@@ -366,7 +406,10 @@ pub fn fig3_render() -> String {
         &["period", "class1 (OLAP)", "class2 (OLAP)", "class3 (OLTP)"],
         &rows,
     );
-    out.push_str(&render_csv(&["period", "class1", "class2", "class3"], &rows));
+    out.push_str(&render_csv(
+        &["period", "class1", "class2", "class3"],
+        &rows,
+    ));
     out
 }
 
@@ -384,10 +427,10 @@ pub fn main_config(seed: u64, controller: ControllerSpec, scale: f64) -> Experim
     let mut cfg = ExperimentConfig::paper(seed, controller);
     if (scale - 1.0).abs() > 1e-9 {
         let base = Schedule::figure3();
-        let period = SimDuration::from_secs_f64(
-            base.period_len().as_secs_f64() * scale,
-        );
-        let counts = (0..base.periods()).map(|p| base.counts_at(p).to_vec()).collect();
+        let period = SimDuration::from_secs_f64(base.period_len().as_secs_f64() * scale);
+        let counts = (0..base.periods())
+            .map(|p| base.counts_at(p).to_vec())
+            .collect();
         cfg.schedule = Schedule::new(period, counts);
         if let ControllerSpec::QueryScheduler(sc) = &mut cfg.controller {
             sc.control_interval =
@@ -402,7 +445,9 @@ pub fn main_config(seed: u64, controller: ControllerSpec, scale: f64) -> Experim
 /// The controller spec for each of the paper's three result figures.
 pub fn figure_controller(figure: u8) -> ControllerSpec {
     match figure {
-        4 => ControllerSpec::NoControl { system_limit: Timerons::new(30_000.0) },
+        4 => ControllerSpec::NoControl {
+            system_limit: Timerons::new(30_000.0),
+        },
         5 => ControllerSpec::QpStatic {
             system_limit: Timerons::new(30_000.0),
             priority: true,
@@ -479,7 +524,10 @@ pub fn render_main_report(title: &str, report: &RunReport) -> String {
             } else {
                 format!(
                     " (periods {})",
-                    viol.iter().map(|p| (p + 1).to_string()).collect::<Vec<_>>().join(", ")
+                    viol.iter()
+                        .map(|p| (p + 1).to_string())
+                        .collect::<Vec<_>>()
+                        .join(", ")
                 )
             }
         ));
@@ -509,8 +557,10 @@ pub fn render_degradation(d: &qsched_dbms::DegradationStats) -> String {
     .into_iter()
     .filter(|&(_, v)| v > 0)
     .collect();
-    let table: Vec<Vec<String>> =
-        rows.iter().map(|&(k, v)| vec![k.to_string(), v.to_string()]).collect();
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|&(k, v)| vec![k.to_string(), v.to_string()])
+        .collect();
     render_table(
         &format!("degraded-mode events ({} total)", d.total()),
         &["event", "count"],
@@ -543,7 +593,10 @@ pub fn fig7(plan_log: &PlanLog, schedule: &Schedule) -> Fig7 {
         }
         per_class.push((*class, means));
     }
-    Fig7 { per_class, period_len: schedule.period_len() }
+    Fig7 {
+        per_class,
+        period_len: schedule.period_len(),
+    }
 }
 
 impl Fig7 {
@@ -584,8 +637,10 @@ impl Fig7 {
                 )
             })
             .collect();
-        let chart_refs: Vec<(&str, Vec<(f64, f64)>)> =
-            chart_series.iter().map(|(n, p)| (n.as_str(), p.clone())).collect();
+        let chart_refs: Vec<(&str, Vec<(f64, f64)>)> = chart_series
+            .iter()
+            .map(|(n, p)| (n.as_str(), p.clone()))
+            .collect();
         out.push_str(&render_chart(
             "cost-limit adjustment over time",
             "period",

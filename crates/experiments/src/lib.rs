@@ -13,6 +13,8 @@
 //! * [`analysis`] — cross-run analysis: seed-sensitivity replication of the
 //!   headline comparisons.
 //! * [`chart`] — ASCII charts and CSV output for the bench harness.
+//! * [`oracle`] — runtime invariant oracle: domain invariants checked at
+//!   every event boundary, plus the replayable violation artifact.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -21,9 +23,11 @@ pub mod analysis;
 pub mod chart;
 pub mod config;
 pub mod figures;
+pub mod oracle;
 pub mod report;
 pub mod world;
 
 pub use config::{ControllerSpec, ExperimentConfig};
+pub use oracle::{OracleReport, OracleSettings, ReplayArtifact};
 pub use report::{ClassPeriod, RunReport};
 pub use world::run_experiment;

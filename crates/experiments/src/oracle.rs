@@ -1,0 +1,483 @@
+//! Experiment-level invariants, oracle configuration, and replay artifacts.
+//!
+//! The sim crate provides the oracle *harness* ([`qsched_sim::oracle`]);
+//! this module provides the *domain* invariants over the composed
+//! [`ExpWorld`](crate::world::ExpWorld) — conservation of queries,
+//! controller-book reconciliation, metric sanity, and plan-step bounds —
+//! plus the self-contained replay artifact dumped when a violation fires.
+//!
+//! Every invariant is read-only and consumes no randomness, so an
+//! oracle-enabled run is bit-identical to an oracle-disabled one (proven by
+//! `tests/oracle_swarm.rs`).
+
+use crate::config::{ControllerSpec, ExperimentConfig};
+use crate::world::ExpWorld;
+use qsched_core::scheduler::SchedulerConfig;
+use qsched_sim::oracle::{Invariant, OracleStats, Violation};
+use qsched_sim::recorder::TapeEntry;
+use qsched_sim::SimTime;
+use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
+
+/// Oracle configuration carried by [`ExperimentConfig`]. The defaults run
+/// every invariant at every event boundary and panic on the first
+/// violation — the CI posture. Production-scale sweeps can stride checks
+/// or disable the oracle entirely.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OracleSettings {
+    /// Master switch. With the `oracle` cargo feature off this is ignored
+    /// (the hooks do not exist).
+    pub enabled: bool,
+    /// Evaluate invariants only at every Nth event boundary (1 = always).
+    pub check_every: u64,
+    /// Run the O(in-flight) deep cross-checks only at every Nth oracle
+    /// check (the O(1) checks still run at every check).
+    pub deep_every: u64,
+    /// Flight-recorder ring capacity (entries retained for the artifact).
+    pub recorder_cap: usize,
+    /// Panic (after dumping a replay artifact) when a violation fires.
+    /// Tests that deliberately break invariants set this to false and
+    /// inspect the report instead.
+    pub panic_on_violation: bool,
+    /// Directory for replay artifacts (`None` = `$QSCHED_ORACLE_DIR`,
+    /// falling back to `target/oracle`).
+    pub dump_dir: Option<String>,
+}
+
+impl Default for OracleSettings {
+    fn default() -> Self {
+        OracleSettings {
+            enabled: true,
+            check_every: 1,
+            deep_every: 64,
+            recorder_cap: 256,
+            panic_on_violation: true,
+            dump_dir: None,
+        }
+    }
+}
+
+impl OracleSettings {
+    /// Settings that collect violations instead of panicking (for tests
+    /// that expect the oracle to fire).
+    pub fn collecting() -> Self {
+        OracleSettings {
+            panic_on_violation: false,
+            ..OracleSettings::default()
+        }
+    }
+
+    /// Disabled oracle (still compiled in; simply never installed).
+    pub fn disabled() -> Self {
+        OracleSettings {
+            enabled: false,
+            ..OracleSettings::default()
+        }
+    }
+}
+
+/// Oracle accounting attached to a finished run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OracleReport {
+    /// Check/violation totals.
+    pub stats: OracleStats,
+    /// Recorded violations (bounded; `stats.violations` is exact).
+    pub violations: Vec<Violation>,
+    /// Whether the engine halted early on a violation.
+    pub halted: bool,
+    /// Whole-stream flight-recorder digest (the determinism surface).
+    pub recorder_digest: u64,
+    /// Entries the recorder observed over the run.
+    pub events_recorded: u64,
+}
+
+/// A self-contained reproduction package for one oracle violation: the
+/// full experiment configuration (seed and fault plan included), the
+/// violations, and the recorder tail leading up to the breach. Replaying
+/// the embedded config reproduces the violation bit-for-bit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplayArtifact {
+    /// Artifact schema tag.
+    pub schema: String,
+    /// The seed the run derived all randomness from.
+    pub seed: u64,
+    /// FNV-1a digest of the canonical JSON of `config` (artifact identity).
+    pub config_digest: u64,
+    /// The complete experiment configuration (self-contained: includes the
+    /// fault plan and oracle settings).
+    pub config: ExperimentConfig,
+    /// The violations the run recorded.
+    pub violations: Vec<Violation>,
+    /// The flight-recorder tail at the moment the run ended.
+    pub event_tail: Vec<TapeEntry>,
+    /// Events the engine had delivered.
+    pub delivered: u64,
+}
+
+/// Schema tag for [`ReplayArtifact`].
+pub const REPLAY_SCHEMA: &str = "qsched-replay-v1";
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a digest of a byte string (artifact/config identity).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// Digest of a config's canonical JSON encoding.
+pub fn config_digest(cfg: &ExperimentConfig) -> u64 {
+    let json = serde_json::to_string(cfg).expect("config serializes");
+    fnv1a(json.as_bytes())
+}
+
+impl ReplayArtifact {
+    /// Package a violating run for replay.
+    pub fn new(
+        cfg: &ExperimentConfig,
+        violations: Vec<Violation>,
+        event_tail: Vec<TapeEntry>,
+        delivered: u64,
+    ) -> Self {
+        ReplayArtifact {
+            schema: REPLAY_SCHEMA.to_string(),
+            seed: cfg.seed,
+            config_digest: config_digest(cfg),
+            config: cfg.clone(),
+            violations,
+            event_tail,
+            delivered,
+        }
+    }
+
+    /// Deterministic artifact filename (no timestamps: same violation, same
+    /// name — replays overwrite rather than accumulate).
+    pub fn file_name(&self) -> String {
+        format!("replay-seed{}-{:016x}.json", self.seed, self.config_digest)
+    }
+}
+
+/// Resolve the artifact directory: explicit setting, else
+/// `$QSCHED_ORACLE_DIR`, else `target/oracle`.
+pub fn artifact_dir(setting: Option<&str>) -> PathBuf {
+    if let Some(dir) = setting {
+        return PathBuf::from(dir);
+    }
+    match std::env::var("QSCHED_ORACLE_DIR") {
+        Ok(dir) if !dir.is_empty() => PathBuf::from(dir),
+        _ => PathBuf::from("target/oracle"),
+    }
+}
+
+/// Write an artifact to the resolved directory, returning the path. Errors
+/// are reported, not panicked on — the caller is already handling a
+/// violation and must not lose it to a full disk.
+pub fn dump_artifact(
+    artifact: &ReplayArtifact,
+    dir_setting: Option<&str>,
+) -> Result<PathBuf, String> {
+    let dir = artifact_dir(dir_setting);
+    std::fs::create_dir_all(&dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    let path = dir.join(artifact.file_name());
+    let json = serde_json::to_string_pretty(artifact).map_err(|e| e.to_string())?;
+    std::fs::write(&path, json).map_err(|e| format!("write {}: {e}", path.display()))?;
+    Ok(path)
+}
+
+/// Load an artifact from disk.
+pub fn load_artifact(path: &std::path::Path) -> Result<ReplayArtifact, String> {
+    let json =
+        std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    let art: ReplayArtifact = serde_json::from_str(&json).map_err(|e| e.to_string())?;
+    if art.schema != REPLAY_SCHEMA {
+        return Err(format!("unknown artifact schema {:?}", art.schema));
+    }
+    Ok(art)
+}
+
+/// The outcome of replaying an artifact.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplayOutcome {
+    /// The replay reproduced (at least) the artifact's first violation:
+    /// same invariant, same event index, same virtual time.
+    pub reproduced: bool,
+    /// The replay's oracle report.
+    pub report: Option<OracleReport>,
+}
+
+/// Re-run the embedded configuration and check the violation reproduces.
+/// The replay collects instead of panicking, whatever the artifact's
+/// settings said — the caller wants the comparison, not an abort.
+pub fn replay_artifact(artifact: &ReplayArtifact) -> ReplayOutcome {
+    let mut cfg = artifact.config.clone();
+    cfg.oracle.enabled = true;
+    cfg.oracle.panic_on_violation = false;
+    let out = crate::world::run_experiment(&cfg);
+    let report = out.oracle;
+    let reproduced = match (&report, artifact.violations.first()) {
+        (Some(rep), Some(expect)) => rep.violations.iter().any(|v| {
+            v.invariant == expect.invariant
+                && v.event_index == expect.event_index
+                && v.at == expect.at
+        }),
+        (Some(rep), None) => rep.violations.is_empty(),
+        (None, _) => false,
+    };
+    ReplayOutcome { reproduced, report }
+}
+
+// ---- invariants over the composed world --------------------------------
+
+/// Query conservation: every submitted query is in exactly one lifecycle
+/// bucket (`submitted = waiting + intercepting + held + executing +
+/// completed + rejected`), with a periodic deep cross-check of the O(1)
+/// tallies against a full in-flight iteration.
+#[derive(Debug)]
+pub struct Conservation {
+    deep_every: u64,
+    checks: u64,
+}
+
+impl Conservation {
+    /// Deep-audit every `deep_every`-th check (0 = never deep-audit).
+    pub fn new(deep_every: u64) -> Self {
+        Conservation {
+            deep_every,
+            checks: 0,
+        }
+    }
+}
+
+impl Invariant<ExpWorld> for Conservation {
+    fn name(&self) -> &'static str {
+        "query-conservation"
+    }
+
+    fn check(&mut self, world: &ExpWorld, _now: SimTime) -> Result<(), String> {
+        self.checks += 1;
+        let acc = world.dbms().accounting();
+        let accounted = acc.in_flight() + acc.completed + acc.rejected;
+        if acc.submitted != accounted {
+            return Err(format!(
+                "{} submitted but {} accounted for ({acc:?})",
+                acc.submitted, accounted
+            ));
+        }
+        if self.deep_every > 0 && self.checks.is_multiple_of(self.deep_every) {
+            world.dbms().deep_audit()?;
+        }
+        Ok(())
+    }
+}
+
+/// Controller-book reconciliation, delegated to the controller's own
+/// [`oracle_audit`](qsched_core::controller::Controller::oracle_audit):
+/// queued ⊆ held, every held row covered by a book (queue, pending retry,
+/// or delayed release), plan within budget, dispatcher books consistent.
+#[derive(Debug, Default)]
+pub struct ControllerBooks;
+
+impl Invariant<ExpWorld> for ControllerBooks {
+    fn name(&self) -> &'static str {
+        "controller-books"
+    }
+
+    fn check(&mut self, world: &ExpWorld, _now: SimTime) -> Result<(), String> {
+        world.controller().oracle_audit(world.dbms())
+    }
+}
+
+/// Metric sanity: the MPL gauge tracks the number of executing queries
+/// exactly, admitted cost stays finite and non-negative, and every sampled
+/// completion record has `0 < velocity ≤ 1` and non-negative times.
+#[derive(Debug, Default)]
+pub struct MetricSanity {
+    records_seen: usize,
+}
+
+impl Invariant<ExpWorld> for MetricSanity {
+    fn name(&self) -> &'static str {
+        "metric-sanity"
+    }
+
+    fn check(&mut self, world: &ExpWorld, _now: SimTime) -> Result<(), String> {
+        let dbms = world.dbms();
+        let acc = dbms.accounting();
+        let mpl = dbms.metrics().mpl.current();
+        if !mpl.is_finite() || (mpl - acc.executing() as f64).abs() > 0.5 {
+            return Err(format!(
+                "MPL gauge {mpl} drifted from executing count {}",
+                acc.executing()
+            ));
+        }
+        let cost = dbms.admitted_true_cost();
+        if !cost.is_finite() || cost < 0.0 {
+            return Err(format!("admitted true cost {cost} is not sane"));
+        }
+        let gauge = dbms.metrics().admitted_cost.current();
+        if !gauge.is_finite() || gauge < -1e-6 {
+            return Err(format!("admitted cost gauge {gauge} is not sane"));
+        }
+        let records = world.records();
+        for rec in &records[self.records_seen.min(records.len())..] {
+            let v = rec.velocity();
+            if !(v > 0.0 && v <= 1.0 + 1e-9) {
+                return Err(format!("record {:?}: velocity {v} outside (0, 1]", rec.id));
+            }
+            if rec.response_time() < rec.execution_time() {
+                return Err(format!(
+                    "record {:?}: response {:?} < execution {:?}",
+                    rec.id,
+                    rec.response_time(),
+                    rec.execution_time()
+                ));
+            }
+        }
+        self.records_seen = records.len();
+        Ok(())
+    }
+}
+
+/// Plan-step discipline for the Query Scheduler: every plan in the log
+/// keeps each class at or above the floor and sums to the system limit
+/// within float tolerance; with `max_step_fraction` configured, per-class
+/// movement between consecutive plans stays within the provable bound
+/// `(classes + 1) × step` (the simplex re-projection after clamping can
+/// move a class by up to `classes × step` beyond its own clamp — see
+/// DESIGN.md §9 for the derivation — so a strict `step` bound is unsound).
+#[derive(Debug)]
+pub struct PlanStep {
+    system_limit: f64,
+    floor: f64,
+    step: Option<f64>,
+    classes: usize,
+    seen: usize,
+}
+
+impl PlanStep {
+    /// Bounds derived from the scheduler configuration.
+    pub fn new(sc: &SchedulerConfig, classes: usize) -> Self {
+        PlanStep {
+            system_limit: sc.system_limit.get(),
+            floor: sc.system_limit.get() * sc.floor_fraction,
+            step: sc.max_step_fraction.map(|f| sc.system_limit.get() * f),
+            classes,
+            seen: 0,
+        }
+    }
+}
+
+impl Invariant<ExpWorld> for PlanStep {
+    fn name(&self) -> &'static str {
+        "plan-step"
+    }
+
+    fn check(&mut self, world: &ExpWorld, _now: SimTime) -> Result<(), String> {
+        let Some(log) = world.controller().plan_log() else {
+            return Ok(());
+        };
+        let series = log.all();
+        let len = series
+            .iter()
+            .map(|(_, s)| s.points().len())
+            .min()
+            .unwrap_or(0);
+        let eps = self.system_limit * 1e-9 + 1e-9;
+        for i in self.seen.min(len)..len {
+            let mut total = 0.0;
+            for (class, s) in series {
+                let v = s.points()[i].value;
+                if !v.is_finite() || v < self.floor - eps {
+                    return Err(format!(
+                        "plan #{i}: class {class} limit {v} below floor {}",
+                        self.floor
+                    ));
+                }
+                total += v;
+                if let (Some(step), true) = (self.step, i > 0) {
+                    let prev = s.points()[i - 1].value;
+                    let bound = step * (self.classes as f64 + 1.0) + eps;
+                    if (v - prev).abs() > bound {
+                        return Err(format!(
+                            "plan #{i}: class {class} moved {:.1} > bound {:.1}",
+                            (v - prev).abs(),
+                            bound
+                        ));
+                    }
+                }
+            }
+            if (total - self.system_limit).abs() > self.system_limit * 1e-6 + 1e-6 {
+                return Err(format!(
+                    "plan #{i}: limits sum {total} != system limit {}",
+                    self.system_limit
+                ));
+            }
+        }
+        self.seen = len;
+        Ok(())
+    }
+}
+
+/// Build the standard invariant set for a configuration.
+pub fn standard_invariants(cfg: &ExperimentConfig) -> Vec<Box<dyn Invariant<ExpWorld>>> {
+    let mut invs: Vec<Box<dyn Invariant<ExpWorld>>> = vec![
+        Box::new(qsched_sim::oracle::MonotoneTime::new()),
+        Box::new(Conservation::new(cfg.oracle.deep_every)),
+        Box::new(ControllerBooks),
+        Box::new(MetricSanity::default()),
+    ];
+    if let ControllerSpec::QueryScheduler(sc) = &cfg.controller {
+        invs.push(Box::new(PlanStep::new(sc, cfg.classes.len())));
+    }
+    invs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn settings_default_to_always_on_panic() {
+        let s = OracleSettings::default();
+        assert!(s.enabled && s.panic_on_violation);
+        assert_eq!(s.check_every, 1);
+        assert!(!OracleSettings::collecting().panic_on_violation);
+        assert!(!OracleSettings::disabled().enabled);
+    }
+
+    #[test]
+    fn artifact_round_trips_and_names_deterministically() {
+        let cfg = ExperimentConfig::paper(11, ControllerSpec::Uncontrolled);
+        let art = ReplayArtifact::new(&cfg, Vec::new(), Vec::new(), 42);
+        assert_eq!(art.schema, REPLAY_SCHEMA);
+        assert_eq!(art.seed, 11);
+        let json = serde_json::to_string(&art).unwrap();
+        let back: ReplayArtifact = serde_json::from_str(&json).unwrap();
+        assert_eq!(art, back);
+        // Same config, same digest, same filename.
+        let again = ReplayArtifact::new(&cfg, Vec::new(), Vec::new(), 42);
+        assert_eq!(art.file_name(), again.file_name());
+        // Different seed, different name.
+        let other = ExperimentConfig::paper(12, ControllerSpec::Uncontrolled);
+        assert_ne!(
+            art.file_name(),
+            ReplayArtifact::new(&other, Vec::new(), Vec::new(), 0).file_name()
+        );
+    }
+
+    #[test]
+    fn fnv_digest_is_content_sensitive() {
+        assert_ne!(fnv1a(b"a"), fnv1a(b"b"));
+        assert_eq!(fnv1a(b""), FNV_OFFSET);
+    }
+
+    #[test]
+    fn artifact_dir_resolution_prefers_explicit_setting() {
+        assert_eq!(artifact_dir(Some("/tmp/x")), PathBuf::from("/tmp/x"));
+    }
+}

@@ -101,8 +101,7 @@ impl PeriodCollector {
 
     /// Record one completion (attributed to the period it finished in).
     pub fn record(&mut self, rec: &QueryRecord) {
-        let p =
-            ((rec.finished.as_micros() / self.period_len_us) as usize).min(self.n_periods - 1);
+        let p = ((rec.finished.as_micros() / self.period_len_us) as usize).min(self.n_periods - 1);
         let a = self.cells[p].entry(rec.class).or_default();
         a.velocity.push(rec.velocity());
         let resp = rec.response_time().as_secs_f64();
@@ -124,7 +123,9 @@ impl PeriodCollector {
             .cells
             .iter()
             .map(|cell| {
-                cell.iter().map(|(&c, a)| (c, a.finish())).collect::<BTreeMap<_, _>>()
+                cell.iter()
+                    .map(|(&c, a)| (c, a.finish()))
+                    .collect::<BTreeMap<_, _>>()
             })
             .collect();
         let warmup_periods = warmup_periods.min(periods.len());
@@ -135,6 +136,7 @@ impl PeriodCollector {
             finished_at,
             warmup_periods,
             degradation: DegradationStats::default(),
+            oracle: None,
         }
     }
 }
@@ -158,6 +160,10 @@ pub struct RunReport {
     /// taken by the controller. All-zero in healthy runs.
     #[serde(default)]
     pub degradation: DegradationStats,
+    /// Invariant-oracle check totals, when the oracle observed the run
+    /// (`None` with the `oracle` feature off or the oracle disabled).
+    #[serde(default)]
+    pub oracle: Option<qsched_sim::oracle::OracleStats>,
 }
 
 impl RunReport {
@@ -185,7 +191,9 @@ impl RunReport {
 
     /// Post-warm-up periods (0-based) in which `class` violated its goal.
     pub fn violated_periods(&self, class: ClassId) -> Vec<usize> {
-        let Some(sc) = self.class(class) else { return Vec::new() };
+        let Some(sc) = self.class(class) else {
+            return Vec::new();
+        };
         self.periods
             .iter()
             .enumerate()
@@ -254,13 +262,18 @@ mod tests {
         for r in records {
             c.record(r);
         }
-        c.finish("test", ServiceClass::paper_classes(), SimTime::from_secs(300), 0)
+        c.finish(
+            "test",
+            ServiceClass::paper_classes(),
+            SimTime::from_secs(300),
+            0,
+        )
     }
 
     #[test]
     fn records_land_in_the_right_period() {
         let report = mk_report(&[
-            rec(1, QueryKind::Olap, 0, 0, 50),    // period 0, velocity 1.0
+            rec(1, QueryKind::Olap, 0, 0, 50),      // period 0, velocity 1.0
             rec(1, QueryKind::Olap, 100, 150, 199), // period 1, velocity ~0.49
             rec(1, QueryKind::Olap, 250, 250, 299), // period 2
         ]);
@@ -289,14 +302,18 @@ mod tests {
         let report = mk_report(&records);
         let cell = report.cell(0, ClassId(3)).unwrap();
         assert!(cell.mean_response_secs < 5.0);
-        assert!(cell.p95_response_secs > 10.0, "p95 {}", cell.p95_response_secs);
+        assert!(
+            cell.p95_response_secs > 10.0,
+            "p95 {}",
+            cell.p95_response_secs
+        );
     }
 
     #[test]
     fn violations_count_goal_misses() {
         // Class 3 goal: ≤ 0.25 s. Two periods violate, one meets.
         let report = mk_report(&[
-            rec(3, QueryKind::Oltp, 0, 0, 1),     // 1 s    — violation
+            rec(3, QueryKind::Oltp, 0, 0, 1),       // 1 s    — violation
             rec(3, QueryKind::Oltp, 100, 100, 102), // 2 s  — violation
             rec(3, QueryKind::Oltp, 290, 290, 290), // 0 s  — met
         ]);
@@ -321,10 +338,20 @@ mod tests {
         for p in 0..3u64 {
             c.record(&rec(3, QueryKind::Oltp, p * 100, p * 100, p * 100 + 2));
         }
-        let all = c.finish("t", ServiceClass::paper_classes(), SimTime::from_secs(300), 0);
+        let all = c.finish(
+            "t",
+            ServiceClass::paper_classes(),
+            SimTime::from_secs(300),
+            0,
+        );
         assert_eq!(all.violations(ClassId(3)), 3);
         // ...but with one warm-up period, only two count.
-        let warm = c.finish("t", ServiceClass::paper_classes(), SimTime::from_secs(300), 1);
+        let warm = c.finish(
+            "t",
+            ServiceClass::paper_classes(),
+            SimTime::from_secs(300),
+            1,
+        );
         assert_eq!(warm.violations(ClassId(3)), 2);
         assert_eq!(warm.violated_periods(ClassId(3)), vec![1, 2]);
         // The data itself is retained.

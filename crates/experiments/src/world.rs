@@ -3,9 +3,9 @@
 use crate::config::{ControllerSpec, ExperimentConfig};
 use crate::report::{PeriodCollector, RunReport};
 use qsched_core::baseline::{NoControl, QpConfig, QpController};
+use qsched_core::controller::{Controller, CtrlEvent, ReleaseAll};
 use qsched_core::feedback::PiController;
 use qsched_core::mpl::{MplAdaptive, MplPlan, MplStatic};
-use qsched_core::controller::{Controller, CtrlEvent, ReleaseAll};
 use qsched_core::plan::PlanLog;
 use qsched_core::scheduler::QueryScheduler;
 use qsched_dbms::engine::{Dbms, DbmsEvent, DbmsNotice};
@@ -72,6 +72,23 @@ pub struct ExpWorld {
 }
 
 impl ExpWorld {
+    /// The simulated DBMS (read-only; oracle invariants cross-check its
+    /// books against the controller's).
+    pub fn dbms(&self) -> &Dbms {
+        &self.dbms
+    }
+
+    /// The active controller (read-only; oracle invariants delegate to its
+    /// [`oracle_audit`](Controller::oracle_audit)).
+    pub fn controller(&self) -> &dyn Controller<ExpEvent> {
+        &*self.controller
+    }
+
+    /// Completion records sampled so far (oracle metric-sanity input).
+    pub fn records(&self) -> &[QueryRecord] {
+        &self.records
+    }
+
     /// Route every pending notice: record completions, inform the
     /// controller, and close the client loop. Submissions triggered here can
     /// append further notices; the index loop drains them all.
@@ -94,7 +111,8 @@ impl ExpWorld {
                     }
                 }
             }
-            self.controller.on_notice(ctx, &mut self.dbms, &notice, &mut self.notices);
+            self.controller
+                .on_notice(ctx, &mut self.dbms, &notice, &mut self.notices);
             if let Load::Clients(clients) = &mut self.load {
                 match &notice {
                     DbmsNotice::Completed(rec) => {
@@ -147,7 +165,12 @@ impl World for ExpWorld {
                 }
             }
             ExpEvent::TraceNext => {
-                if let Load::Trace { trace, next, next_query_id } = &mut self.load {
+                if let Load::Trace {
+                    trace,
+                    next,
+                    next_query_id,
+                } = &mut self.load
+                {
                     let due_at = trace.events()[*next].at;
                     // Submit every arrival that shares this timestamp.
                     while *next < trace.len() && trace.events()[*next].at == due_at {
@@ -177,7 +200,8 @@ impl World for ExpWorld {
                         .unwrap_or_else(|| qsched_sim::SimDuration::from_secs(5));
                     ctx.schedule_in(delay, ExpEvent::Ctrl(ce));
                 } else {
-                    self.controller.on_event(ctx, &mut self.dbms, ce, &mut self.notices);
+                    self.controller
+                        .on_event(ctx, &mut self.dbms, ce, &mut self.notices);
                 }
             }
         }
@@ -222,6 +246,10 @@ pub struct RunOutput {
     /// Per-channel fault-injection counts, for auditing against
     /// `degradation` (empty when no faults were configured).
     pub fault_counts: std::collections::BTreeMap<String, u64>,
+    /// Invariant-oracle accounting: check totals, violations, and the
+    /// flight-recorder digest. `None` when the `oracle` feature is off or
+    /// the oracle was disabled in the configuration.
+    pub oracle: Option<crate::oracle::OracleReport>,
 }
 
 /// Build the generator for one class.
@@ -253,9 +281,7 @@ fn generator_for(
 fn intercept_policy_for(cfg: &ExperimentConfig) -> InterceptPolicy {
     match &cfg.controller {
         ControllerSpec::Uncontrolled => InterceptPolicy::intercept_none(),
-        ControllerSpec::QueryScheduler(sc) if sc.direct_oltp => {
-            InterceptPolicy::intercept_all()
-        }
+        ControllerSpec::QueryScheduler(sc) if sc.direct_oltp => InterceptPolicy::intercept_all(),
         _ => {
             let mut p = InterceptPolicy::intercept_all();
             for c in cfg.classes.iter().filter(|c| c.kind == QueryKind::Oltp) {
@@ -278,7 +304,11 @@ fn olap_cost_sample(cfg: &ExperimentConfig, hub: &RngHub) -> Vec<f64> {
         hub.stream("qp-threshold-sample"),
     );
     for i in 0..2_000u64 {
-        sample.push(gen.next_query(QueryId(u64::MAX - i), ClientId(0)).estimated_cost.get());
+        sample.push(
+            gen.next_query(QueryId(u64::MAX - i), ClientId(0))
+                .estimated_cost
+                .get(),
+        );
     }
     sample
 }
@@ -287,7 +317,11 @@ fn build_controller(cfg: &ExperimentConfig, hub: &RngHub) -> Box<dyn Controller<
     match &cfg.controller {
         ControllerSpec::Uncontrolled => Box::new(ReleaseAll),
         ControllerSpec::NoControl { system_limit } => Box::new(NoControl::new(*system_limit)),
-        ControllerSpec::QpStatic { system_limit, priority, max_cost } => {
+        ControllerSpec::QpStatic {
+            system_limit,
+            priority,
+            max_cost,
+        } => {
             let mut qp = QpConfig::from_cost_sample(olap_cost_sample(cfg, hub), *system_limit);
             if let Some(mc) = max_cost {
                 qp = qp.with_max_cost(*mc);
@@ -302,9 +336,10 @@ fn build_controller(cfg: &ExperimentConfig, hub: &RngHub) -> Box<dyn Controller<
             }
             Box::new(QpController::new(qp))
         }
-        ControllerSpec::QueryScheduler(sc) => {
-            Box::new(QueryScheduler::paper_default(cfg.classes.clone(), sc.clone()))
-        }
+        ControllerSpec::QueryScheduler(sc) => Box::new(QueryScheduler::paper_default(
+            cfg.classes.clone(),
+            sc.clone(),
+        )),
         ControllerSpec::MplStatic { per_class_cap } => {
             let caps: Vec<_> = cfg
                 .classes
@@ -328,10 +363,17 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> RunOutput {
     cfg.validate();
     let hub = RngHub::new(cfg.seed);
     let load = match &cfg.trace {
-        Some(trace) => Load::Trace { trace: trace.clone(), next: 0, next_query_id: 0 },
+        Some(trace) => Load::Trace {
+            trace: trace.clone(),
+            next: 0,
+            next_query_id: 0,
+        },
         None => {
-            let generators: Vec<Box<dyn QueryGen>> =
-                cfg.classes.iter().map(|c| generator_for(c, cfg, &hub)).collect();
+            let generators: Vec<Box<dyn QueryGen>> = cfg
+                .classes
+                .iter()
+                .map(|c| generator_for(c, cfg, &hub))
+                .collect();
             let behaviors = cfg
                 .behaviors
                 .clone()
@@ -362,8 +404,32 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> RunOutput {
     if let Some(plan) = &cfg.faults {
         engine.set_fault_plan(plan.clone());
     }
+    #[cfg(feature = "oracle")]
+    if cfg.oracle.enabled {
+        engine.enable_recorder(cfg.oracle.recorder_cap);
+        let mut oracle = qsched_sim::Oracle::new().with_check_every(cfg.oracle.check_every);
+        for inv in crate::oracle::standard_invariants(cfg) {
+            oracle.register(inv);
+        }
+        engine.install_oracle(oracle);
+    }
     engine.schedule_at(SimTime::ZERO, ExpEvent::Kickoff);
     engine.run_until(horizon);
+
+    #[cfg(feature = "oracle")]
+    engine.oracle_final_check();
+    #[cfg(feature = "oracle")]
+    let oracle_report = engine.oracle().map(|o| crate::oracle::OracleReport {
+        stats: o.stats(),
+        violations: o.violations().to_vec(),
+        halted: engine.halted_by_oracle(),
+        recorder_digest: engine.recorder().map_or(0, |r| r.digest()),
+        events_recorded: engine.recorder().map_or(0, |r| r.recorded()),
+    });
+    #[cfg(feature = "oracle")]
+    let event_tail = engine.recorder().map(|r| r.tail()).unwrap_or_default();
+    #[cfg(not(feature = "oracle"))]
+    let oracle_report: Option<crate::oracle::OracleReport> = None;
 
     let events = engine.delivered();
     let end = engine.now();
@@ -374,7 +440,11 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> RunOutput {
     let summary = EngineSummary {
         olap_completed: m.olap_completed,
         oltp_completed: m.oltp_completed,
-        olap_per_hour: if hours > 0.0 { m.olap_completed as f64 / hours } else { 0.0 },
+        olap_per_hour: if hours > 0.0 {
+            m.olap_completed as f64 / hours
+        } else {
+            0.0
+        },
         mean_mpl: m.mpl.mean_at(end),
         mean_admitted_cost: m.admitted_cost.mean_at(end),
         hours,
@@ -391,6 +461,33 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> RunOutput {
         cfg.warmup_periods,
     );
     report.degradation = degradation;
+    report.oracle = oracle_report.as_ref().map(|r| r.stats);
+
+    // A violating run dumps a self-contained replay artifact before (maybe)
+    // panicking: the artifact must survive even an aborted process.
+    #[cfg(feature = "oracle")]
+    if let Some(rep) = &oracle_report {
+        if !rep.violations.is_empty() {
+            let artifact =
+                crate::oracle::ReplayArtifact::new(cfg, rep.violations.clone(), event_tail, events);
+            let dumped = crate::oracle::dump_artifact(&artifact, cfg.oracle.dump_dir.as_deref());
+            if cfg.oracle.panic_on_violation {
+                let first = &rep.violations[0];
+                panic!(
+                    "oracle violation [{}] at {:?} (event #{}): {} — replay artifact: {}",
+                    first.invariant,
+                    first.at,
+                    first.event_index,
+                    first.message,
+                    match &dumped {
+                        Ok(p) => p.display().to_string(),
+                        Err(e) => format!("<dump failed: {e}>"),
+                    }
+                );
+            }
+        }
+    }
+
     RunOutput {
         report,
         plan_log: world.controller.plan_log().cloned(),
@@ -398,5 +495,6 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> RunOutput {
         records: world.records,
         degradation,
         fault_counts,
+        oracle: oracle_report,
     }
 }

@@ -33,7 +33,10 @@ impl Uniform {
     /// # Panics
     /// Panics if `lo > hi` or either bound is not finite.
     pub fn new(lo: f64, hi: f64) -> Self {
-        assert!(lo.is_finite() && hi.is_finite() && lo <= hi, "invalid Uniform({lo}, {hi})");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo <= hi,
+            "invalid Uniform({lo}, {hi})"
+        );
         Uniform { lo, hi }
     }
 }
@@ -104,10 +107,19 @@ impl LogNormal {
     /// # Panics
     /// Panics unless `mean > 0` and `sigma >= 0`, both finite.
     pub fn with_mean(mean: f64, sigma: f64) -> Self {
-        assert!(mean.is_finite() && mean > 0.0, "invalid LogNormal mean {mean}");
-        assert!(sigma.is_finite() && sigma >= 0.0, "invalid LogNormal sigma {sigma}");
+        assert!(
+            mean.is_finite() && mean > 0.0,
+            "invalid LogNormal mean {mean}"
+        );
+        assert!(
+            sigma.is_finite() && sigma >= 0.0,
+            "invalid LogNormal sigma {sigma}"
+        );
         // E[exp(N(mu, sigma^2))] = exp(mu + sigma^2/2)  =>  mu = ln(mean) - sigma^2/2.
-        LogNormal { mu: mean.ln() - sigma * sigma / 2.0, sigma }
+        LogNormal {
+            mu: mean.ln() - sigma * sigma / 2.0,
+            sigma,
+        }
     }
 
     /// Sample the underlying standard normal via Box–Muller.
@@ -148,8 +160,14 @@ impl Pareto {
     /// # Panics
     /// Panics unless `0 < lo < hi` and `alpha > 0`, all finite.
     pub fn bounded(lo: f64, hi: f64, alpha: f64) -> Self {
-        assert!(lo.is_finite() && hi.is_finite() && 0.0 < lo && lo < hi, "invalid Pareto bounds");
-        assert!(alpha.is_finite() && alpha > 0.0, "invalid Pareto alpha {alpha}");
+        assert!(
+            lo.is_finite() && hi.is_finite() && 0.0 < lo && lo < hi,
+            "invalid Pareto bounds"
+        );
+        assert!(
+            alpha.is_finite() && alpha > 0.0,
+            "invalid Pareto alpha {alpha}"
+        );
         Pareto { lo, hi, alpha }
     }
 }
@@ -170,7 +188,8 @@ impl Dist for Pareto {
             // alpha == 1 limit: mean = ln(h/l) * l*h/(h-l)
             (h / l).ln() * l * h / (h - l)
         } else {
-            (l.powf(a) / (1.0 - (l / h).powf(a))) * (a / (a - 1.0))
+            (l.powf(a) / (1.0 - (l / h).powf(a)))
+                * (a / (a - 1.0))
                 * (1.0 / l.powf(a - 1.0) - 1.0 / h.powf(a - 1.0))
         }
     }
@@ -208,14 +227,19 @@ impl Empirical {
         }
         // Guard against floating-point shortfall at the top.
         *cdf.last_mut().expect("non-empty") = 1.0;
-        Empirical { values: pairs.iter().map(|&(v, _)| v).collect(), cdf }
+        Empirical {
+            values: pairs.iter().map(|&(v, _)| v).collect(),
+            cdf,
+        }
     }
 
     /// Draw the *index* of a value (useful when values identify templates).
     pub fn sample_index<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         let u: f64 = rng.gen();
         // partition_point returns the first index whose cdf >= u.
-        self.cdf.partition_point(|&c| c < u).min(self.values.len() - 1)
+        self.cdf
+            .partition_point(|&c| c < u)
+            .min(self.values.len() - 1)
     }
 }
 
@@ -298,7 +322,11 @@ mod tests {
             assert!((1.0..=1000.0).contains(&x), "out of bounds: {x}");
         }
         let m = sample_mean(&d, 200_000);
-        assert!((m - d.mean()).abs() / d.mean() < 0.1, "mean {m} vs {}", d.mean());
+        assert!(
+            (m - d.mean()).abs() / d.mean() < 0.1,
+            "mean {m} vs {}",
+            d.mean()
+        );
     }
 
     #[test]

@@ -9,6 +9,10 @@
 
 use crate::event::EventQueue;
 use crate::faults::{FaultInjector, FaultPlan};
+#[cfg(feature = "oracle")]
+use crate::oracle::Oracle;
+#[cfg(feature = "oracle")]
+use crate::recorder::FlightRecorder;
 use crate::time::{SimDuration, SimTime};
 
 /// Scheduling context handed to [`World::handle`] on every event delivery.
@@ -17,6 +21,8 @@ pub struct Ctx<'a, E> {
     queue: &'a mut EventQueue<E>,
     stop: &'a mut bool,
     faults: &'a mut FaultInjector,
+    #[cfg(feature = "oracle")]
+    recorder: &'a mut Option<FlightRecorder>,
 }
 
 impl<'a, E> Ctx<'a, E> {
@@ -31,7 +37,11 @@ impl<'a, E> Ctx<'a, E> {
     /// # Panics
     /// Panics if `at` is in the past (before the event being handled).
     pub fn schedule_at(&mut self, at: SimTime, event: E) {
-        assert!(at >= self.now, "cannot schedule into the past: {at:?} < {:?}", self.now);
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: {at:?} < {:?}",
+            self.now
+        );
         self.queue.push(at, event);
     }
 
@@ -61,6 +71,20 @@ impl<'a, E> Ctx<'a, E> {
     pub fn fault_delay(&self, channel: &str) -> Option<SimDuration> {
         self.faults.delay_of(channel)
     }
+
+    /// Append a control-decision annotation to the engine's flight recorder.
+    /// The closure is only evaluated while a recorder is active, so callers
+    /// can format freely without paying for it in unrecorded runs. A no-op
+    /// (and fully compiled away) without the `oracle` feature.
+    #[inline]
+    pub fn annotate(&mut self, label: impl FnOnce() -> String) {
+        #[cfg(feature = "oracle")]
+        if let Some(rec) = self.recorder.as_mut() {
+            rec.record(self.now, label());
+        }
+        #[cfg(not(feature = "oracle"))]
+        let _ = label;
+    }
 }
 
 /// A simulated world: owns all domain state and reacts to events.
@@ -80,6 +104,14 @@ pub struct Engine<W: World> {
     now: SimTime,
     delivered: u64,
     faults: FaultInjector,
+    #[cfg(feature = "oracle")]
+    oracle: Option<Oracle<W>>,
+    #[cfg(feature = "oracle")]
+    recorder: Option<FlightRecorder>,
+    #[cfg(feature = "oracle")]
+    record_fmt: Option<fn(&W::Event) -> String>,
+    #[cfg(feature = "oracle")]
+    halted_by_oracle: bool,
 }
 
 impl<W: World> Engine<W> {
@@ -92,6 +124,14 @@ impl<W: World> Engine<W> {
             now: SimTime::ZERO,
             delivered: 0,
             faults: FaultInjector::default(),
+            #[cfg(feature = "oracle")]
+            oracle: None,
+            #[cfg(feature = "oracle")]
+            recorder: None,
+            #[cfg(feature = "oracle")]
+            record_fmt: None,
+            #[cfg(feature = "oracle")]
+            halted_by_oracle: false,
         }
     }
 
@@ -104,6 +144,51 @@ impl<W: World> Engine<W> {
     /// The fault injector (to read per-channel injection counts after a run).
     pub fn faults(&self) -> &FaultInjector {
         &self.faults
+    }
+
+    /// Install an invariant oracle; it observes the world after every
+    /// delivered event. Replaces any prior oracle.
+    #[cfg(feature = "oracle")]
+    pub fn install_oracle(&mut self, oracle: Oracle<W>) {
+        self.oracle = Some(oracle);
+    }
+
+    /// The installed oracle, if any (to read violations after a run).
+    #[cfg(feature = "oracle")]
+    pub fn oracle(&self) -> Option<&Oracle<W>> {
+        self.oracle.as_ref()
+    }
+
+    /// Run the oracle's end-of-run pass against the current world state
+    /// (checks once even when a `check_every` stride is configured).
+    #[cfg(feature = "oracle")]
+    pub fn oracle_final_check(&mut self) {
+        if let Some(o) = self.oracle.as_mut() {
+            o.final_check(&self.world, self.now, self.delivered);
+        }
+    }
+
+    /// True when a run was halted early by an oracle violation.
+    #[cfg(feature = "oracle")]
+    pub fn halted_by_oracle(&self) -> bool {
+        self.halted_by_oracle
+    }
+
+    /// Enable the flight recorder, retaining the last `cap` entries.
+    /// Recording formats events via `Debug`; it never perturbs the run.
+    #[cfg(feature = "oracle")]
+    pub fn enable_recorder(&mut self, cap: usize)
+    where
+        W::Event: std::fmt::Debug,
+    {
+        self.recorder = Some(FlightRecorder::new(cap));
+        self.record_fmt = Some(|ev| format!("{ev:?}"));
+    }
+
+    /// The flight recorder, if enabled (digest + retained tail).
+    #[cfg(feature = "oracle")]
+    pub fn recorder(&self) -> Option<&FlightRecorder> {
+        self.recorder.as_ref()
     }
 
     /// Current virtual time (the timestamp of the last delivered event).
@@ -168,9 +253,28 @@ impl<W: World> Engine<W> {
             debug_assert!(t >= self.now, "event queue yielded an out-of-order event");
             self.now = t;
             self.delivered += 1;
-            let mut ctx =
-                Ctx { now: t, queue: &mut self.queue, stop: &mut stop, faults: &mut self.faults };
+            #[cfg(feature = "oracle")]
+            if let (Some(rec), Some(fmt)) = (self.recorder.as_mut(), self.record_fmt) {
+                rec.record(t, fmt(&ev));
+            }
+            let mut ctx = Ctx {
+                now: t,
+                queue: &mut self.queue,
+                stop: &mut stop,
+                faults: &mut self.faults,
+                #[cfg(feature = "oracle")]
+                recorder: &mut self.recorder,
+            };
             self.world.handle(&mut ctx, ev);
+            #[cfg(feature = "oracle")]
+            if let Some(oracle) = self.oracle.as_mut() {
+                if !oracle.observe(&self.world, t, self.delivered) {
+                    // Halt at the violating event: world state and the
+                    // recorder tail stay frozen for the replay artifact.
+                    self.halted_by_oracle = true;
+                    stop = true;
+                }
+            }
             if stop {
                 break;
             }

@@ -39,7 +39,11 @@ pub struct FaultSpec {
 impl FaultSpec {
     /// A spec firing with probability `rate`, unbounded, no delay.
     pub fn rate(rate: f64) -> Self {
-        FaultSpec { rate, max_injections: None, delay: None }
+        FaultSpec {
+            rate,
+            max_injections: None,
+            delay: None,
+        }
     }
 
     /// Cap the number of injections.
@@ -72,7 +76,10 @@ impl FaultPlan {
 
     /// An empty plan with the given seed.
     pub fn new(seed: u64) -> Self {
-        FaultPlan { seed, channels: BTreeMap::new() }
+        FaultPlan {
+            seed,
+            channels: BTreeMap::new(),
+        }
     }
 
     /// Add (or replace) a channel.
@@ -88,7 +95,9 @@ impl FaultPlan {
 
     /// True if no channel can ever fire.
     pub fn is_inert(&self) -> bool {
-        self.channels.values().all(|s| s.rate <= 0.0 || s.max_injections == Some(0))
+        self.channels
+            .values()
+            .all(|s| s.rate <= 0.0 || s.max_injections == Some(0))
     }
 }
 
@@ -116,7 +125,14 @@ impl FaultInjector {
             .into_iter()
             .map(|(name, spec)| {
                 let rng = stream_seed(seed, &name);
-                (name, ChannelState { spec, rng, injected: 0 })
+                (
+                    name,
+                    ChannelState {
+                        spec,
+                        rng,
+                        injected: 0,
+                    },
+                )
             })
             .collect();
         FaultInjector { channels }
@@ -156,7 +172,10 @@ impl FaultInjector {
 
     /// Injection counts of every configured channel.
     pub fn counts(&self) -> BTreeMap<String, u64> {
-        self.channels.iter().map(|(n, st)| (n.clone(), st.injected)).collect()
+        self.channels
+            .iter()
+            .map(|(n, st)| (n.clone(), st.injected))
+            .collect()
     }
 
     /// Total injections across all channels.
@@ -236,8 +255,9 @@ mod tests {
 
     #[test]
     fn max_injections_caps_firing() {
-        let mut inj =
-            FaultInjector::new(FaultPlan::new(3).with_channel("x", FaultSpec::rate(1.0).limited(2)));
+        let mut inj = FaultInjector::new(
+            FaultPlan::new(3).with_channel("x", FaultSpec::rate(1.0).limited(2)),
+        );
         assert!(inj.should_inject("x"));
         assert!(inj.should_inject("x"));
         assert!(!inj.should_inject("x"));
@@ -246,8 +266,10 @@ mod tests {
 
     #[test]
     fn delay_is_exposed() {
-        let plan = FaultPlan::new(0)
-            .with_channel("d", FaultSpec::rate(1.0).with_delay(SimDuration::from_secs(3)));
+        let plan = FaultPlan::new(0).with_channel(
+            "d",
+            FaultSpec::rate(1.0).with_delay(SimDuration::from_secs(3)),
+        );
         let inj = FaultInjector::new(plan);
         assert_eq!(inj.delay_of("d"), Some(SimDuration::from_secs(3)));
         assert_eq!(inj.delay_of("other"), None);

@@ -52,6 +52,8 @@ pub mod dist;
 pub mod engine;
 pub mod event;
 pub mod faults;
+pub mod oracle;
+pub mod recorder;
 pub mod rng;
 pub mod stats;
 pub mod time;
@@ -59,6 +61,8 @@ pub mod time;
 pub use engine::{Ctx, Engine, World};
 pub use event::EventQueue;
 pub use faults::{FaultInjector, FaultPlan, FaultSpec};
+pub use oracle::{Invariant, MonotoneTime, Oracle, OracleStats, Violation};
+pub use recorder::{FlightRecorder, TapeEntry};
 pub use rng::RngHub;
 pub use time::{SimDuration, SimTime};
 

@@ -1,0 +1,294 @@
+//! The invariant oracle: machine-checked correctness properties evaluated
+//! at every event boundary.
+//!
+//! The simulation is deterministic, so any property the model claims to
+//! hold *by construction* can instead be *checked* continuously while the
+//! simulation runs — the FoundationDB style of testing. An [`Oracle`] owns a
+//! set of [`Invariant`] checkers; the [`Engine`](crate::engine::Engine)
+//! calls [`Oracle::observe`] after each delivered event (when the `oracle`
+//! cargo feature is enabled; with the feature off the hook compiles away
+//! entirely).
+//!
+//! Invariants are generic over the world type: this crate knows nothing
+//! about DBMSs or schedulers, it only provides the harness plus the one
+//! world-independent invariant ([`MonotoneTime`]). Domain crates implement
+//! `Invariant<TheirWorld>` over their own accounting surfaces.
+//!
+//! A violation never panics inside the engine: the run is halted at the
+//! violating event (preserving world state and the flight-recorder tail for
+//! a replay artifact) and the violations are surfaced to the caller.
+
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// One invariant breach, pinned to the event that caused it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Violation {
+    /// Name of the invariant that fired.
+    pub invariant: String,
+    /// Virtual time of the violating event.
+    pub at: SimTime,
+    /// 1-based index of the violating event in the delivery order (equal to
+    /// [`Engine::delivered`](crate::engine::Engine::delivered) at the time
+    /// of the check) — the replay coordinate.
+    pub event_index: u64,
+    /// Human-readable description of the breached property.
+    pub message: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{}] at {:?} (event #{}): {}",
+            self.invariant, self.at, self.event_index, self.message
+        )
+    }
+}
+
+/// Aggregate oracle accounting for run reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OracleStats {
+    /// Registered invariants.
+    pub invariants: u64,
+    /// Event boundaries observed.
+    pub events_observed: u64,
+    /// Individual invariant evaluations (`events / check_every × invariants`).
+    pub checks_run: u64,
+    /// Violations recorded.
+    pub violations: u64,
+}
+
+/// A single machine-checkable property of a world.
+///
+/// Checkers may keep state between calls (last timestamp, previous plan…),
+/// which is why `check` takes `&mut self`. A checker must never mutate the
+/// world — it sees it read-only — and must not consume randomness, so that
+/// an oracle-on run is bit-identical to an oracle-off run.
+pub trait Invariant<W> {
+    /// Stable name used in violations and reports.
+    fn name(&self) -> &'static str;
+
+    /// Evaluate the property against the world after an event at `now`.
+    /// Return `Err(description)` when the property is breached.
+    fn check(&mut self, world: &W, now: SimTime) -> Result<(), String>;
+}
+
+/// A registry of invariants evaluated at event boundaries.
+pub struct Oracle<W> {
+    invariants: Vec<Box<dyn Invariant<W>>>,
+    check_every: u64,
+    halt_on_violation: bool,
+    max_violations: usize,
+    stats: OracleStats,
+    violations: Vec<Violation>,
+}
+
+impl<W> Default for Oracle<W> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<W> Oracle<W> {
+    /// An empty oracle that checks every event and halts on first violation.
+    pub fn new() -> Self {
+        Oracle {
+            invariants: Vec::new(),
+            check_every: 1,
+            halt_on_violation: true,
+            max_violations: 64,
+            stats: OracleStats::default(),
+            violations: Vec::new(),
+        }
+    }
+
+    /// Check only every `n`-th event boundary (n ≥ 1). Violations between
+    /// strides are caught at the next stride — a recall/overhead trade-off.
+    pub fn with_check_every(mut self, n: u64) -> Self {
+        self.check_every = n.max(1);
+        self
+    }
+
+    /// Keep running after a violation instead of halting the engine
+    /// (violations are still recorded, up to an internal cap).
+    pub fn without_halt(mut self) -> Self {
+        self.halt_on_violation = false;
+        self
+    }
+
+    /// Register an invariant.
+    pub fn register(&mut self, invariant: Box<dyn Invariant<W>>) {
+        self.stats.invariants += 1;
+        self.invariants.push(invariant);
+    }
+
+    /// Observe one event boundary. Returns `false` when the engine should
+    /// halt (a violation occurred and halt-on-violation is set).
+    pub fn observe(&mut self, world: &W, now: SimTime, event_index: u64) -> bool {
+        self.stats.events_observed += 1;
+        if !self.stats.events_observed.is_multiple_of(self.check_every) {
+            return true;
+        }
+        let mut clean = true;
+        for inv in &mut self.invariants {
+            self.stats.checks_run += 1;
+            if let Err(message) = inv.check(world, now) {
+                clean = false;
+                self.stats.violations += 1;
+                if self.violations.len() < self.max_violations {
+                    self.violations.push(Violation {
+                        invariant: inv.name().to_string(),
+                        at: now,
+                        event_index,
+                        message,
+                    });
+                }
+            }
+        }
+        clean || !self.halt_on_violation
+    }
+
+    /// Run a final end-of-run pass (same checks, after the horizon).
+    pub fn final_check(&mut self, world: &W, now: SimTime, event_index: u64) {
+        let stride = std::mem::replace(&mut self.check_every, 1);
+        let halt = std::mem::replace(&mut self.halt_on_violation, false);
+        self.observe(world, now, event_index);
+        self.check_every = stride;
+        self.halt_on_violation = halt;
+    }
+
+    /// Violations recorded so far (bounded; `stats().violations` is exact).
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// Aggregate accounting.
+    pub fn stats(&self) -> OracleStats {
+        self.stats
+    }
+}
+
+/// World-independent invariant: virtual time never runs backwards across
+/// event boundaries.
+#[derive(Debug, Default)]
+pub struct MonotoneTime {
+    last: Option<SimTime>,
+}
+
+impl MonotoneTime {
+    /// A fresh checker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl<W> Invariant<W> for MonotoneTime {
+    fn name(&self) -> &'static str {
+        "monotone-time"
+    }
+
+    fn check(&mut self, _world: &W, now: SimTime) -> Result<(), String> {
+        if let Some(last) = self.last {
+            if now < last {
+                return Err(format!("clock moved backwards: {last:?} -> {now:?}"));
+            }
+        }
+        self.last = Some(now);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct AlwaysOk;
+    impl Invariant<u32> for AlwaysOk {
+        fn name(&self) -> &'static str {
+            "always-ok"
+        }
+        fn check(&mut self, _w: &u32, _now: SimTime) -> Result<(), String> {
+            Ok(())
+        }
+    }
+
+    struct FailWhenOdd;
+    impl Invariant<u32> for FailWhenOdd {
+        fn name(&self) -> &'static str {
+            "fail-when-odd"
+        }
+        fn check(&mut self, w: &u32, _now: SimTime) -> Result<(), String> {
+            if w % 2 == 1 {
+                Err(format!("world is odd: {w}"))
+            } else {
+                Ok(())
+            }
+        }
+    }
+
+    #[test]
+    fn clean_world_records_no_violations() {
+        let mut o: Oracle<u32> = Oracle::new();
+        o.register(Box::new(AlwaysOk));
+        o.register(Box::new(FailWhenOdd));
+        for i in 0..10 {
+            assert!(o.observe(&2, SimTime::from_secs(i), i));
+        }
+        assert!(o.violations().is_empty());
+        assert_eq!(o.stats().checks_run, 20);
+        assert_eq!(o.stats().events_observed, 10);
+    }
+
+    #[test]
+    fn violation_is_recorded_and_halts() {
+        let mut o: Oracle<u32> = Oracle::new();
+        o.register(Box::new(FailWhenOdd));
+        assert!(o.observe(&2, SimTime::ZERO, 1));
+        assert!(!o.observe(&3, SimTime::from_secs(1), 2));
+        let v = &o.violations()[0];
+        assert_eq!(v.invariant, "fail-when-odd");
+        assert_eq!(v.event_index, 2);
+        assert!(v.message.contains("odd"));
+        assert_eq!(o.stats().violations, 1);
+    }
+
+    #[test]
+    fn without_halt_keeps_collecting() {
+        let mut o: Oracle<u32> = Oracle::new().without_halt();
+        o.register(Box::new(FailWhenOdd));
+        for i in 0..5 {
+            assert!(o.observe(&1, SimTime::from_secs(i), i));
+        }
+        assert_eq!(o.stats().violations, 5);
+    }
+
+    #[test]
+    fn check_every_strides_checks() {
+        let mut o: Oracle<u32> = Oracle::new().with_check_every(3);
+        o.register(Box::new(AlwaysOk));
+        for i in 0..9 {
+            o.observe(&0, SimTime::from_secs(i), i);
+        }
+        assert_eq!(o.stats().events_observed, 9);
+        assert_eq!(o.stats().checks_run, 3);
+    }
+
+    #[test]
+    fn monotone_time_flags_regression() {
+        let mut m = MonotoneTime::new();
+        assert!(Invariant::<u32>::check(&mut m, &0, SimTime::from_secs(5)).is_ok());
+        assert!(Invariant::<u32>::check(&mut m, &0, SimTime::from_secs(5)).is_ok());
+        assert!(Invariant::<u32>::check(&mut m, &0, SimTime::from_secs(4)).is_err());
+    }
+
+    #[test]
+    fn final_check_runs_regardless_of_stride() {
+        let mut o: Oracle<u32> = Oracle::new().with_check_every(100);
+        o.register(Box::new(FailWhenOdd));
+        o.observe(&1, SimTime::ZERO, 1); // strided out: no check
+        assert_eq!(o.stats().checks_run, 0);
+        o.final_check(&1, SimTime::from_secs(1), 2);
+        assert_eq!(o.stats().violations, 1);
+    }
+}

@@ -1,0 +1,145 @@
+//! The flight recorder: a bounded ring buffer of recent events and control
+//! decisions, plus a streaming digest of the *entire* event stream.
+//!
+//! The recorder serves two purposes:
+//!
+//! * **Post-mortem**: when the [`oracle`](crate::oracle) flags a violation,
+//!   the ring buffer holds the last N entries — enough context to read what
+//!   led up to the breach — and is embedded in the replay artifact.
+//! * **Bit-identity**: the [`digest`](FlightRecorder::digest) folds every
+//!   entry ever recorded (not just the retained tail) into an FNV-1a hash,
+//!   so two runs produced the same event stream iff their digests match.
+//!   This is the regression surface for determinism tests: any
+//!   `HashMap`-iteration or threading nondeterminism shows up as a digest
+//!   mismatch long before it corrupts aggregate numbers.
+//!
+//! Recording formats events with `Debug`, which never consumes randomness
+//! or mutates the world, so enabling the recorder cannot perturb a run.
+
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// One recorded entry: a delivered event or an annotation (control
+/// decision) made while handling it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TapeEntry {
+    /// 0-based sequence number in recording order (over the whole run, not
+    /// just the retained tail).
+    pub seq: u64,
+    /// Virtual time of the entry.
+    pub at: SimTime,
+    /// `Debug` rendering of the event, or the annotation text.
+    pub label: String,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// Bounded ring buffer of [`TapeEntry`]s with a whole-stream digest.
+#[derive(Debug, Clone)]
+pub struct FlightRecorder {
+    cap: usize,
+    ring: VecDeque<TapeEntry>,
+    seq: u64,
+    digest: u64,
+}
+
+impl FlightRecorder {
+    /// A recorder retaining the last `cap` entries (cap ≥ 1).
+    pub fn new(cap: usize) -> Self {
+        let cap = cap.max(1);
+        FlightRecorder {
+            cap,
+            ring: VecDeque::with_capacity(cap),
+            seq: 0,
+            digest: FNV_OFFSET,
+        }
+    }
+
+    /// Record one entry. The digest covers every entry; the ring only the
+    /// last `cap`.
+    pub fn record(&mut self, at: SimTime, label: String) {
+        self.digest = fnv1a(self.digest, &at.as_micros().to_le_bytes());
+        self.digest = fnv1a(self.digest, label.as_bytes());
+        if self.ring.len() == self.cap {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(TapeEntry {
+            seq: self.seq,
+            at,
+            label,
+        });
+        self.seq += 1;
+    }
+
+    /// Total entries recorded over the run (≥ the retained tail length).
+    pub fn recorded(&self) -> u64 {
+        self.seq
+    }
+
+    /// Streaming FNV-1a digest of every `(time, label)` pair ever recorded.
+    /// Independent of the ring capacity.
+    pub fn digest(&self) -> u64 {
+        self.digest
+    }
+
+    /// The retained tail, oldest first.
+    pub fn tail(&self) -> Vec<TapeEntry> {
+        self.ring.iter().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_retains_only_the_tail_but_digest_covers_all() {
+        let mut a = FlightRecorder::new(3);
+        let mut b = FlightRecorder::new(100);
+        for i in 0..10u64 {
+            a.record(SimTime::from_secs(i), format!("ev{i}"));
+            b.record(SimTime::from_secs(i), format!("ev{i}"));
+        }
+        assert_eq!(a.tail().len(), 3);
+        assert_eq!(b.tail().len(), 10);
+        assert_eq!(a.recorded(), 10);
+        // Capacity must not change the digest.
+        assert_eq!(a.digest(), b.digest());
+        let tail = a.tail();
+        assert_eq!(tail[0].seq, 7);
+        assert_eq!(tail[2].label, "ev9");
+    }
+
+    #[test]
+    fn digest_is_order_and_content_sensitive() {
+        let mut a = FlightRecorder::new(8);
+        let mut b = FlightRecorder::new(8);
+        a.record(SimTime::ZERO, "x".into());
+        a.record(SimTime::from_secs(1), "y".into());
+        b.record(SimTime::from_secs(1), "y".into());
+        b.record(SimTime::ZERO, "x".into());
+        assert_ne!(a.digest(), b.digest());
+        let mut c = FlightRecorder::new(8);
+        c.record(SimTime::ZERO, "x".into());
+        c.record(SimTime::from_secs(1), "z".into());
+        assert_ne!(a.digest(), c.digest());
+    }
+
+    #[test]
+    fn empty_recorders_agree() {
+        assert_eq!(
+            FlightRecorder::new(4).digest(),
+            FlightRecorder::new(9).digest()
+        );
+    }
+}

@@ -46,7 +46,10 @@ impl RngHub {
     pub fn stream_indexed(&self, name: &str, index: u64) -> Stream {
         let mut seed = [0u8; 32];
         let h0 = fnv1a(self.master_seed ^ 0x243F_6A88_85A3_08D3, name.as_bytes());
-        let h1 = fnv1a(h0 ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15), name.as_bytes());
+        let h1 = fnv1a(
+            h0 ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            name.as_bytes(),
+        );
         let h2 = splitmix(h0 ^ h1);
         let h3 = splitmix(h2 ^ self.master_seed);
         seed[0..8].copy_from_slice(&h0.to_le_bytes());
@@ -83,8 +86,16 @@ mod tests {
     #[test]
     fn same_name_same_stream() {
         let hub = RngHub::new(42);
-        let a: Vec<u64> = hub.stream("x").sample_iter(rand::distributions::Standard).take(8).collect();
-        let b: Vec<u64> = hub.stream("x").sample_iter(rand::distributions::Standard).take(8).collect();
+        let a: Vec<u64> = hub
+            .stream("x")
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
+        let b: Vec<u64> = hub
+            .stream("x")
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
         assert_eq!(a, b);
     }
 

@@ -26,11 +26,20 @@ impl Histogram {
     /// # Panics
     /// Panics unless `0 < floor < ceil` and `bins_per_decade >= 1`.
     pub fn new(floor: f64, ceil: f64, bins_per_decade: u32) -> Self {
-        assert!(floor > 0.0 && ceil > floor, "invalid histogram range [{floor}, {ceil}]");
+        assert!(
+            floor > 0.0 && ceil > floor,
+            "invalid histogram range [{floor}, {ceil}]"
+        );
         assert!(bins_per_decade >= 1, "need at least one bin per decade");
         let log_ratio = std::f64::consts::LN_10 / bins_per_decade as f64;
         let n_bins = ((ceil / floor).ln() / log_ratio).ceil() as usize + 1;
-        Histogram { floor, log_ratio, counts: vec![0; n_bins], total: 0, underflow_zeroes: 0 }
+        Histogram {
+            floor,
+            log_ratio,
+            counts: vec![0; n_bins],
+            total: 0,
+            underflow_zeroes: 0,
+        }
     }
 
     /// Default histogram for response times: 100 µs to 10 000 s, 20 bins/decade.

@@ -15,7 +15,12 @@ pub struct Meter {
 impl Meter {
     /// Start metering at `start`.
     pub fn new(start: SimTime) -> Self {
-        Meter { window_start: start, window_count: 0, total_count: 0, origin: start }
+        Meter {
+            window_start: start,
+            window_count: 0,
+            total_count: 0,
+            origin: start,
+        }
     }
 
     /// Record `n` completions.

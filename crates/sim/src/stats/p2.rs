@@ -53,7 +53,8 @@ impl P2Quantile {
             self.heights[self.count as usize] = x;
             self.count += 1;
             if self.count == 5 {
-                self.heights.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                self.heights
+                    .sort_by(|a, b| a.partial_cmp(b).expect("finite"));
             }
             return;
         }

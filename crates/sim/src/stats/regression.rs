@@ -44,13 +44,28 @@ impl LinReg {
     /// # Panics
     /// Panics unless `0 < decay <= 1`.
     pub fn with_decay(decay: f64) -> Self {
-        assert!(decay > 0.0 && decay <= 1.0, "decay must be in (0, 1]: {decay}");
-        LinReg { decay, sw: 0.0, swx: 0.0, swy: 0.0, swxx: 0.0, swxy: 0.0, swyy: 0.0, n: 0 }
+        assert!(
+            decay > 0.0 && decay <= 1.0,
+            "decay must be in (0, 1]: {decay}"
+        );
+        LinReg {
+            decay,
+            sw: 0.0,
+            swx: 0.0,
+            swy: 0.0,
+            swxx: 0.0,
+            swxy: 0.0,
+            swyy: 0.0,
+            n: 0,
+        }
     }
 
     /// Add an `(x, y)` observation.
     pub fn push(&mut self, x: f64, y: f64) {
-        debug_assert!(x.is_finite() && y.is_finite(), "non-finite observation ({x}, {y})");
+        debug_assert!(
+            x.is_finite() && y.is_finite(),
+            "non-finite observation ({x}, {y})"
+        );
         if self.decay < 1.0 {
             self.sw *= self.decay;
             self.swx *= self.decay;
@@ -102,7 +117,8 @@ impl LinReg {
 
     /// Fitted intercept; `None` whenever [`LinReg::slope`] is `None`.
     pub fn intercept(&self) -> Option<f64> {
-        self.slope().map(|s| self.swy / self.sw - s * self.swx / self.sw)
+        self.slope()
+            .map(|s| self.swy / self.sw - s * self.swx / self.sw)
     }
 
     /// Predict `y` at `x`; `None` until the fit is defined.
@@ -162,7 +178,9 @@ mod tests {
         // Deterministic "noise" via a simple LCG so no rand dependency here.
         let mut state = 12345u64;
         let mut noise = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64 / (u32::MAX as f64) - 0.5) * 0.2
         };
         for i in 0..2000 {
@@ -184,7 +202,10 @@ mod tests {
             r.push((i % 20) as f64, 10.0 + 4.0 * (i % 20) as f64);
         }
         let s = r.slope().unwrap();
-        assert!((s - 4.0).abs() < 0.1, "decayed slope {s} should track the new regime");
+        assert!(
+            (s - 4.0).abs() < 0.1,
+            "decayed slope {s} should track the new regime"
+        );
 
         // Undecayed OLS would sit near the middle.
         let mut o = LinReg::new();
@@ -195,7 +216,10 @@ mod tests {
             o.push((i % 20) as f64, 10.0 + 4.0 * (i % 20) as f64);
         }
         let so = o.slope().unwrap();
-        assert!((so - 2.5).abs() < 0.1, "OLS slope {so} should average regimes");
+        assert!(
+            (so - 2.5).abs() < 0.1,
+            "OLS slope {so} should average regimes"
+        );
     }
 
     #[test]

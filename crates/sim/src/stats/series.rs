@@ -28,12 +28,23 @@ pub struct Series {
 impl Series {
     /// A series recording every pushed point.
     pub fn new(name: impl Into<String>) -> Self {
-        Series { name: name.into(), points: Vec::new(), min_spacing_us: 0 }
+        Series {
+            name: name.into(),
+            points: Vec::new(),
+            min_spacing_us: 0,
+        }
     }
 
     /// A series that keeps at most one point per `min_spacing` of sim time.
-    pub fn with_min_spacing(name: impl Into<String>, min_spacing: crate::time::SimDuration) -> Self {
-        Series { name: name.into(), points: Vec::new(), min_spacing_us: min_spacing.as_micros() }
+    pub fn with_min_spacing(
+        name: impl Into<String>,
+        min_spacing: crate::time::SimDuration,
+    ) -> Self {
+        Series {
+            name: name.into(),
+            points: Vec::new(),
+            min_spacing_us: min_spacing.as_micros(),
+        }
     }
 
     /// Series name (used as a CSV column header).
@@ -128,8 +139,12 @@ mod tests {
         for i in 0..10 {
             s.push(SimTime::from_secs(i), i as f64);
         }
-        let m = s.mean_in(SimTime::from_secs(2), SimTime::from_secs(5)).unwrap();
+        let m = s
+            .mean_in(SimTime::from_secs(2), SimTime::from_secs(5))
+            .unwrap();
         assert!((m - 3.0).abs() < 1e-12); // values 2, 3, 4
-        assert!(s.mean_in(SimTime::from_secs(50), SimTime::from_secs(60)).is_none());
+        assert!(s
+            .mean_in(SimTime::from_secs(50), SimTime::from_secs(60))
+            .is_none());
     }
 }

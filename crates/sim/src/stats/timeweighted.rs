@@ -47,7 +47,10 @@ impl TimeWeighted {
     /// # Panics
     /// Panics in debug builds if `now` precedes the previous update.
     pub fn set(&mut self, now: SimTime, value: f64) {
-        debug_assert!(now >= self.last_change, "TimeWeighted updates must be monotone");
+        debug_assert!(
+            now >= self.last_change,
+            "TimeWeighted updates must be monotone"
+        );
         self.weighted_sum += self.current * (now.saturating_since(self.last_change)).as_secs_f64();
         self.last_change = now;
         self.current = value;

@@ -117,7 +117,10 @@ impl SimDuration {
     /// Panics if `s` is negative or not finite.
     #[inline]
     pub fn from_secs_f64(s: f64) -> Self {
-        assert!(s.is_finite() && s >= 0.0, "invalid SimDuration seconds: {s}");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "invalid SimDuration seconds: {s}"
+        );
         SimDuration((s * 1e6).round() as u64)
     }
 

@@ -177,3 +177,163 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Metamorphic properties of the stats kernels (the oracle's measurement
+// substrate): estimators must agree with exact references within bounded
+// error, and merge/order must not matter.
+// ---------------------------------------------------------------------------
+
+use qsched_sim::stats::P2Quantile;
+
+/// Rank of `v` in sorted data: how many samples lie strictly below it.
+fn rank_of(sorted: &[f64], v: f64) -> usize {
+    sorted.iter().filter(|&&x| x < v).count()
+}
+
+proptest! {
+    /// The P² estimate sits within a bounded *rank* distance of the exact
+    /// sample quantile: the number of samples below the estimate is within
+    /// max(3, 15% of n) ranks of q·n. (P² has no hard error guarantee, so
+    /// the bound is deliberately loose; what matters is that the estimate
+    /// cannot drift to an arbitrary position in the distribution.)
+    #[test]
+    fn p2_quantile_has_bounded_rank_error(
+        xs in prop::collection::vec(0.0f64..1e4, 30..400),
+        qi in 1usize..10,
+    ) {
+        let q = qi as f64 / 10.0;
+        let mut p2 = P2Quantile::new(q);
+        for &x in &xs {
+            p2.push(x);
+        }
+        let mut sorted = xs.clone();
+        sorted.sort_by(f64::total_cmp);
+        let n = sorted.len();
+        let target = q * n as f64;
+        let tolerance = (0.15 * n as f64).max(3.0);
+        let rank = rank_of(&sorted, p2.value()) as f64;
+        prop_assert!(
+            (rank - target).abs() <= tolerance,
+            "P²({q}) = {} lands at rank {rank} of {n}, expected {target} ± {tolerance}",
+            p2.value()
+        );
+        // And the estimate never escapes the sample range.
+        prop_assert!(p2.value() >= sorted[0] && p2.value() <= sorted[n - 1]);
+    }
+
+    /// Welford merging is insensitive to chunk order: splitting a stream
+    /// into arbitrary chunks and merging them in any rotation gives the
+    /// same moments as the sequential pass.
+    #[test]
+    fn welford_merge_is_order_insensitive(
+        xs in prop::collection::vec(-1e3f64..1e3, 3..200),
+        cuts in prop::collection::vec(0usize..200, 1..4),
+        rotate in 0usize..4,
+    ) {
+        let mut whole = Welford::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        // Split at the (deduplicated, sorted) cut points.
+        let mut bounds: Vec<usize> = cuts.iter().map(|&c| c % xs.len()).collect();
+        bounds.push(0);
+        bounds.push(xs.len());
+        bounds.sort_unstable();
+        bounds.dedup();
+        let mut chunks: Vec<Welford> = bounds
+            .windows(2)
+            .map(|w| {
+                let mut acc = Welford::new();
+                for &x in &xs[w[0]..w[1]] {
+                    acc.push(x);
+                }
+                acc
+            })
+            .collect();
+        let n_chunks = chunks.len();
+        chunks.rotate_left(rotate % n_chunks);
+        let mut merged = Welford::new();
+        for c in &chunks {
+            merged.merge(c);
+        }
+        prop_assert_eq!(merged.count(), whole.count());
+        prop_assert!((merged.mean() - whole.mean()).abs() < 1e-9 * (1.0 + whole.mean().abs()));
+        prop_assert!(
+            (merged.population_variance() - whole.population_variance()).abs()
+                < 1e-6 * (1.0 + whole.population_variance())
+        );
+        prop_assert_eq!(merged.min(), whole.min());
+        prop_assert_eq!(merged.max(), whole.max());
+    }
+
+    /// Re-stating the current value of a time-weighted signal — at any
+    /// point, any number of times — never changes its integral: only value
+    /// *changes* carry weight.
+    #[test]
+    fn time_weighted_redundant_sets_are_identity(
+        steps in prop::collection::vec((1u64..1_000, -100f64..100.0), 1..40),
+        redundant_at in prop::collection::vec(0usize..40, 0..8),
+    ) {
+        let total: u64 = steps.iter().map(|&(dt, _)| dt).sum();
+        let end = SimTime::from_micros(total + 1_000);
+
+        let mut plain = TimeWeighted::new(SimTime::ZERO, 0.0);
+        let mut noisy = TimeWeighted::new(SimTime::ZERO, 0.0);
+        let mut t = 0u64;
+        for (i, &(dt, v)) in steps.iter().enumerate() {
+            t += dt;
+            plain.set(SimTime::from_micros(t), v);
+            noisy.set(SimTime::from_micros(t), v);
+            // Immediately re-assert the same value for chosen steps.
+            if redundant_at.contains(&i) {
+                noisy.set(SimTime::from_micros(t), v);
+                noisy.add(SimTime::from_micros(t), 0.0);
+            }
+        }
+        prop_assert_eq!(plain.current(), noisy.current());
+        prop_assert!((plain.mean_at(end) - noisy.mean_at(end)).abs() < 1e-12);
+        prop_assert_eq!(plain.max(), noisy.max());
+        prop_assert_eq!(plain.min(), noisy.min());
+    }
+
+    /// Merging per-shard histograms equals recording the whole stream into
+    /// one: identical counts and identical quantiles at every grid point.
+    #[test]
+    fn histogram_merge_matches_whole_stream(
+        xs in prop::collection::vec(1e-4f64..1e4, 1..400),
+        split in 0usize..400,
+        swap in any::<bool>(),
+    ) {
+        let k = split % (xs.len() + 1);
+        let mut whole = Histogram::for_response_times();
+        for &x in &xs {
+            whole.record(x);
+        }
+        let mut a = Histogram::for_response_times();
+        let mut b = Histogram::for_response_times();
+        for &x in &xs[..k] {
+            a.record(x);
+        }
+        for &x in &xs[k..] {
+            b.record(x);
+        }
+        // Merge in either direction: the result must be the same.
+        let merged = if swap {
+            b.merge(&a);
+            b
+        } else {
+            a.merge(&b);
+            a
+        };
+        prop_assert_eq!(merged.count(), whole.count());
+        for i in 0..=20 {
+            let q = i as f64 / 20.0;
+            prop_assert_eq!(
+                merged.quantile(q),
+                whole.quantile(q),
+                "quantile({}) diverged after merge", q
+            );
+        }
+    }
+}

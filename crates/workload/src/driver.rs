@@ -40,7 +40,9 @@ pub enum Behavior {
 impl Behavior {
     /// The paper's behaviour: closed loop, zero think time.
     pub fn paper() -> Self {
-        Behavior::ClosedLoop { mean_think: SimDuration::ZERO }
+        Behavior::ClosedLoop {
+            mean_think: SimDuration::ZERO,
+        }
     }
 }
 
@@ -152,7 +154,10 @@ impl Clients {
             .enumerate()
             .map(|(gi, (gen, behavior))| {
                 let max = schedule.max_count(gi);
-                assert!(max < CLIENT_STRIDE, "period population exceeds client stride");
+                assert!(
+                    max < CLIENT_STRIDE,
+                    "period population exceeds client stride"
+                );
                 Group {
                     gen,
                     behavior,
@@ -164,7 +169,12 @@ impl Clients {
                 }
             })
             .collect();
-        Clients { schedule, groups, next_query_id: 0, total_generated: 0 }
+        Clients {
+            schedule,
+            groups,
+            next_query_id: 0,
+            total_generated: 0,
+        }
     }
 
     /// The schedule driving the populations.
@@ -188,21 +198,29 @@ impl Clients {
     }
 
     fn locate(client: ClientId) -> (usize, usize) {
-        ((client.0 / CLIENT_STRIDE) as usize, (client.0 % CLIENT_STRIDE) as usize)
+        (
+            (client.0 / CLIENT_STRIDE) as usize,
+            (client.0 % CLIENT_STRIDE) as usize,
+        )
     }
 
     fn fresh_query(&mut self, gi: usize, slot: usize) -> Query {
         let id = QueryId(self.next_query_id);
         self.next_query_id += 1;
         self.total_generated += 1;
-        self.groups[gi].gen.next_query(id, Self::client_id(gi, slot))
+        self.groups[gi]
+            .gen
+            .next_query(id, Self::client_id(gi, slot))
     }
 
     /// Begin the run: schedules every period-boundary event and applies
     /// period 0. Returns the initial queries to submit.
     pub fn start<E: From<ClientEvent>>(&mut self, ctx: &mut Ctx<'_, E>) -> Vec<Query> {
         for p in 1..self.schedule.periods() {
-            ctx.schedule_at(self.schedule.period_start(p), ClientEvent::PeriodStart(p).into());
+            ctx.schedule_at(
+                self.schedule.period_start(p),
+                ClientEvent::PeriodStart(p).into(),
+            );
         }
         self.apply_period(ctx, 0)
     }
@@ -216,9 +234,10 @@ impl Clients {
         match ev {
             ClientEvent::PeriodStart(p) => self.apply_period(ctx, p),
             ClientEvent::Resubmit(client) => self.on_resubmit(client).into_iter().collect(),
-            ClientEvent::Arrival { group, generation } => {
-                self.on_arrival(ctx, group as usize, generation).into_iter().collect()
-            }
+            ClientEvent::Arrival { group, generation } => self
+                .on_arrival(ctx, group as usize, generation)
+                .into_iter()
+                .collect(),
         }
     }
 
@@ -237,7 +256,11 @@ impl Clients {
         let generation = group.arrival_generation;
         ctx.schedule_in(
             SimDuration::from_secs_f64(gap),
-            ClientEvent::Arrival { group: gi as u16, generation }.into(),
+            ClientEvent::Arrival {
+                group: gi as u16,
+                generation,
+            }
+            .into(),
         );
     }
 
@@ -278,11 +301,7 @@ impl Clients {
     /// Adjust populations to period `p`'s counts; newly activated
     /// closed-loop clients submit immediately, open-loop groups restart
     /// their arrival process at the new rate.
-    fn apply_period<E: From<ClientEvent>>(
-        &mut self,
-        ctx: &mut Ctx<'_, E>,
-        p: usize,
-    ) -> Vec<Query> {
+    fn apply_period<E: From<ClientEvent>>(&mut self, ctx: &mut Ctx<'_, E>, p: usize) -> Vec<Query> {
         let mut to_submit = Vec::new();
         for gi in 0..self.groups.len() {
             let target = self.schedule.count(p, gi);
@@ -413,7 +432,12 @@ mod tests {
                 cfg.clone(),
                 hub.stream("c2"),
             )),
-            Box::new(TemplateSetGen::new(ClassId(3), tpcc_templates(), cfg, hub.stream("c3"))),
+            Box::new(TemplateSetGen::new(
+                ClassId(3),
+                tpcc_templates(),
+                cfg,
+                hub.stream("c3"),
+            )),
         ]
     }
 
@@ -489,12 +513,12 @@ mod tests {
         }
     }
 
-    fn run_loopback_clients(
-        clients: Clients,
-        delay: SimDuration,
-        horizon: SimTime,
-    ) -> Loopback {
-        let mut e = Engine::new(Loopback { clients, delay, submitted: Vec::new() });
+    fn run_loopback_clients(clients: Clients, delay: SimDuration, horizon: SimTime) -> Loopback {
+        let mut e = Engine::new(Loopback {
+            clients,
+            delay,
+            submitted: Vec::new(),
+        });
         e.schedule_at(SimTime::ZERO, Ev::Kickoff);
         e.run_until(horizon);
         e.into_world()
@@ -509,7 +533,11 @@ mod tests {
         let s = Schedule::figure3();
         let w = run_loopback(s, SimDuration::from_secs(3600), SimTime::from_secs(1));
         // Period 0 counts: (2, 4, 15) → 21 initial submissions at t=0.
-        let initial: Vec<_> = w.submitted.iter().filter(|(t, _)| *t == SimTime::ZERO).collect();
+        let initial: Vec<_> = w
+            .submitted
+            .iter()
+            .filter(|(t, _)| *t == SimTime::ZERO)
+            .collect();
         assert_eq!(initial.len(), 21);
         assert_eq!(w.clients.active_count(0), 2);
         assert_eq!(w.clients.active_count(1), 4);
@@ -525,8 +553,12 @@ mod tests {
         assert!((10..=11).contains(&per_client), "got {per_client}");
         // Consecutive submissions of one client are exactly `delay` apart.
         let c0 = w.submitted[0].1.client;
-        let times: Vec<SimTime> =
-            w.submitted.iter().filter(|(_, q)| q.client == c0).map(|(t, _)| *t).collect();
+        let times: Vec<SimTime> = w
+            .submitted
+            .iter()
+            .filter(|(_, q)| q.client == c0)
+            .map(|(t, _)| *t)
+            .collect();
         for pair in times.windows(2) {
             assert_eq!(pair[1] - pair[0], SimDuration::from_secs(10));
         }
@@ -536,7 +568,9 @@ mod tests {
     fn think_time_spaces_submissions_beyond_service() {
         let s = Schedule::constant(SimDuration::from_hours(1), vec![1, 1, 1]);
         let behaviors = vec![
-            Behavior::ClosedLoop { mean_think: SimDuration::from_secs(20) },
+            Behavior::ClosedLoop {
+                mean_think: SimDuration::from_secs(20),
+            },
             Behavior::paper(),
             Behavior::paper(),
         ];
@@ -548,7 +582,10 @@ mod tests {
         // Class 1 cycles take ~30 s (10 service + ~20 think) vs 10 s for the
         // zero-think classes.
         let count = |class: u16| {
-            w.submitted.iter().filter(|(_, q)| q.class == ClassId(class)).count()
+            w.submitted
+                .iter()
+                .filter(|(_, q)| q.class == ClassId(class))
+                .count()
         };
         let thinking = count(1);
         let eager = count(2);
@@ -568,7 +605,9 @@ mod tests {
             vec![vec![6, 1, 1], vec![12, 1, 1]],
         );
         let behaviors = vec![
-            Behavior::OpenLoop { mean_interarrival: SimDuration::from_secs(60) },
+            Behavior::OpenLoop {
+                mean_interarrival: SimDuration::from_secs(60),
+            },
             Behavior::paper(),
             Behavior::paper(),
         ];
@@ -604,7 +643,9 @@ mod tests {
             vec![vec![5, 1, 1], vec![0, 1, 1]],
         );
         let behaviors = vec![
-            Behavior::OpenLoop { mean_interarrival: SimDuration::from_secs(30) },
+            Behavior::OpenLoop {
+                mean_interarrival: SimDuration::from_secs(30),
+            },
             Behavior::paper(),
             Behavior::paper(),
         ];
@@ -618,7 +659,10 @@ mod tests {
             .iter()
             .filter(|(t, q)| q.class == ClassId(1) && *t > SimTime::from_secs(310))
             .count();
-        assert_eq!(late, 0, "arrivals must stop when the population drops to zero");
+        assert_eq!(
+            late, 0,
+            "arrivals must stop when the population drops to zero"
+        );
     }
 
     #[test]

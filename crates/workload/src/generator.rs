@@ -40,13 +40,22 @@ impl TemplateSetGen {
     /// # Panics
     /// Panics if `templates` is empty.
     pub fn new(class: ClassId, templates: Vec<Template>, cfg: DbmsConfig, rng: Stream) -> Self {
-        assert!(!templates.is_empty(), "generator needs at least one template");
+        assert!(
+            !templates.is_empty(),
+            "generator needs at least one template"
+        );
         let pairs: Vec<(f64, f64)> = templates
             .iter()
             .enumerate()
             .map(|(i, t)| (i as f64, t.weight))
             .collect();
-        TemplateSetGen { class, templates, chooser: Empirical::new(&pairs), cfg, rng }
+        TemplateSetGen {
+            class,
+            templates,
+            chooser: Empirical::new(&pairs),
+            cfg,
+            rng,
+        }
     }
 
     /// The template set backing this generator.
@@ -67,7 +76,11 @@ impl QueryGen for TemplateSetGen {
 
     fn mean_cost(&self) -> f64 {
         let total_w: f64 = self.templates.iter().map(|t| t.weight).sum();
-        self.templates.iter().map(|t| t.mean_cost * t.weight).sum::<f64>() / total_w
+        self.templates
+            .iter()
+            .map(|t| t.mean_cost * t.weight)
+            .sum::<f64>()
+            / total_w
     }
 }
 

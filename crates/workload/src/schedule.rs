@@ -50,7 +50,9 @@ impl Schedule {
     pub fn figure3() -> Self {
         const C1: [u32; 18] = [2, 4, 4, 6, 2, 4, 2, 6, 4, 2, 6, 2, 4, 2, 6, 4, 6, 2];
         const C2: [u32; 18] = [4, 2, 6, 2, 4, 4, 6, 2, 2, 4, 2, 6, 2, 6, 4, 2, 6, 6];
-        const C3: [u32; 18] = [15, 20, 25, 15, 20, 25, 15, 20, 25, 15, 20, 25, 15, 20, 25, 15, 20, 25];
+        const C3: [u32; 18] = [
+            15, 20, 25, 15, 20, 25, 15, 20, 25, 15, 20, 25, 15, 20, 25, 15, 20, 25,
+        ];
         let counts = (0..18).map(|p| vec![C1[p], C2[p], C3[p]]).collect();
         Schedule::new(SimDuration::from_mins(80), counts)
     }
@@ -97,7 +99,11 @@ impl Schedule {
 
     /// Maximum client count any period asks of `class_index`.
     pub fn max_count(&self, class_index: usize) -> u32 {
-        self.counts.iter().map(|p| p[class_index]).max().unwrap_or(0)
+        self.counts
+            .iter()
+            .map(|p| p[class_index])
+            .max()
+            .unwrap_or(0)
     }
 }
 

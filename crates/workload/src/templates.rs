@@ -101,28 +101,28 @@ pub fn tpch_all_templates() -> Vec<Template> {
     // exerts the CPU pressure that couples OLAP admission to OLTP response
     // (the paper's Figure 2 linearity).
     const ROWS: [(u16, f64, f64); 22] = [
-        (1, 5200.0, 0.78),  // pricing summary: full lineitem scan
-        (2, 900.0, 0.66),   // minimum cost supplier
-        (3, 3400.0, 0.76),  // shipping priority
-        (4, 2600.0, 0.75),  // order priority check
-        (5, 3800.0, 0.77),  // local supplier volume
-        (6, 2100.0, 0.84),  // revenue forecast: scan + filter
-        (7, 4100.0, 0.76),  // volume shipping
-        (8, 3600.0, 0.75),  // market share
-        (9, 7400.0, 0.78),  // product type profit
-        (10, 3300.0, 0.75), // returned items
-        (11, 1100.0, 0.68), // important stock
-        (12, 2500.0, 0.79), // ship-mode priority
-        (13, 2900.0, 0.70), // customer distribution
-        (14, 2200.0, 0.81), // promotion effect
-        (15, 2400.0, 0.79), // top supplier
+        (1, 5200.0, 0.78),    // pricing summary: full lineitem scan
+        (2, 900.0, 0.66),     // minimum cost supplier
+        (3, 3400.0, 0.76),    // shipping priority
+        (4, 2600.0, 0.75),    // order priority check
+        (5, 3800.0, 0.77),    // local supplier volume
+        (6, 2100.0, 0.84),    // revenue forecast: scan + filter
+        (7, 4100.0, 0.76),    // volume shipping
+        (8, 3600.0, 0.75),    // market share
+        (9, 7400.0, 0.78),    // product type profit
+        (10, 3300.0, 0.75),   // returned items
+        (11, 1100.0, 0.68),   // important stock
+        (12, 2500.0, 0.79),   // ship-mode priority
+        (13, 2900.0, 0.70),   // customer distribution
+        (14, 2200.0, 0.81),   // promotion effect
+        (15, 2400.0, 0.79),   // top supplier
         (16, 26_000.0, 0.66), // parts/supplier relation — EXCLUDED
-        (17, 4800.0, 0.74), // small-quantity-order revenue
-        (18, 6800.0, 0.77), // large volume customer
+        (17, 4800.0, 0.74),   // small-quantity-order revenue
+        (18, 6800.0, 0.77),   // large volume customer
         (19, 31_000.0, 0.72), // discounted revenue — EXCLUDED
         (20, 38_000.0, 0.74), // potential part promotion — EXCLUDED
         (21, 44_000.0, 0.71), // suppliers who kept orders waiting — EXCLUDED
-        (22, 1300.0, 0.67), // global sales opportunity
+        (22, 1300.0, 0.67),   // global sales opportunity
     ];
     ROWS.iter()
         .map(|&(qnum, cost, io)| Template {
@@ -148,9 +148,27 @@ pub fn tpch_templates() -> Vec<Template> {
 
 fn tpch_name(q: u16) -> &'static str {
     const NAMES: [&str; 22] = [
-        "TPC-H Q1", "TPC-H Q2", "TPC-H Q3", "TPC-H Q4", "TPC-H Q5", "TPC-H Q6", "TPC-H Q7",
-        "TPC-H Q8", "TPC-H Q9", "TPC-H Q10", "TPC-H Q11", "TPC-H Q12", "TPC-H Q13", "TPC-H Q14",
-        "TPC-H Q15", "TPC-H Q16", "TPC-H Q17", "TPC-H Q18", "TPC-H Q19", "TPC-H Q20", "TPC-H Q21",
+        "TPC-H Q1",
+        "TPC-H Q2",
+        "TPC-H Q3",
+        "TPC-H Q4",
+        "TPC-H Q5",
+        "TPC-H Q6",
+        "TPC-H Q7",
+        "TPC-H Q8",
+        "TPC-H Q9",
+        "TPC-H Q10",
+        "TPC-H Q11",
+        "TPC-H Q12",
+        "TPC-H Q13",
+        "TPC-H Q14",
+        "TPC-H Q15",
+        "TPC-H Q16",
+        "TPC-H Q17",
+        "TPC-H Q18",
+        "TPC-H Q19",
+        "TPC-H Q20",
+        "TPC-H Q21",
         "TPC-H Q22",
     ];
     NAMES[(q - 1) as usize]
@@ -206,7 +224,10 @@ mod tests {
             .filter(|t| !TPCH_EXCLUDED.contains(&t.template_id))
             .map(|t| t.mean_cost)
             .fold(0.0, f64::max);
-        for t in all.iter().filter(|t| TPCH_EXCLUDED.contains(&t.template_id)) {
+        for t in all
+            .iter()
+            .filter(|t| TPCH_EXCLUDED.contains(&t.template_id))
+        {
             assert!(
                 t.mean_cost > 2.0 * max_included,
                 "{} should be far heavier than included queries",
@@ -278,10 +299,16 @@ mod tests {
             })
             .collect();
         let mean = costs.iter().sum::<f64>() / costs.len() as f64;
-        assert!((mean - t.mean_cost).abs() / t.mean_cost < 0.1, "mean {mean}");
+        assert!(
+            (mean - t.mean_cost).abs() / t.mean_cost < 0.1,
+            "mean {mean}"
+        );
         let min = costs.iter().copied().fold(f64::INFINITY, f64::min);
         let max = costs.iter().copied().fold(0.0, f64::max);
-        assert!(max / min > 3.0, "instances should vary widely: {min}..{max}");
+        assert!(
+            max / min > 3.0,
+            "instances should vary widely: {min}..{max}"
+        );
     }
 
     #[test]
@@ -300,7 +327,10 @@ mod tests {
             }
         }
         let mean_ratio = ratio_sum / 2000.0;
-        assert!((mean_ratio - 1.0).abs() < 0.05, "estimation bias {mean_ratio}");
+        assert!(
+            (mean_ratio - 1.0).abs() < 0.05,
+            "estimation bias {mean_ratio}"
+        );
         assert!(any_off, "estimates should actually be noisy");
     }
 }

@@ -53,7 +53,11 @@ impl Trace {
                 "invalid estimate {}",
                 e.estimated_cost
             );
-            assert!(e.true_cost.is_finite() && e.true_cost > 0.0, "invalid cost {}", e.true_cost);
+            assert!(
+                e.true_cost.is_finite() && e.true_cost > 0.0,
+                "invalid cost {}",
+                e.true_cost
+            );
             assert!((0.0..=1.0).contains(&e.io_fraction), "invalid io fraction");
         }
         events.sort_by_key(|e| e.at);
@@ -104,7 +108,8 @@ impl Trace {
 
     /// Serialise to CSV (`at_us,class,kind,client,template,est,true,io`).
     pub fn to_csv(&self) -> String {
-        let mut out = String::from("at_us,class,kind,client,template,estimated_cost,true_cost,io_fraction\n");
+        let mut out =
+            String::from("at_us,class,kind,client,template,estimated_cost,true_cost,io_fraction\n");
         for e in &self.events {
             out.push_str(&format!(
                 "{},{},{},{},{},{},{},{}\n",
@@ -133,13 +138,23 @@ impl Trace {
             }
             let fields: Vec<&str> = line.split(',').collect();
             if fields.len() != 8 {
-                return Err(format!("line {}: expected 8 fields, got {}", lineno + 1, fields.len()));
+                return Err(format!(
+                    "line {}: expected 8 fields, got {}",
+                    lineno + 1,
+                    fields.len()
+                ));
             }
             let parse_f = |i: usize| -> Result<f64, String> {
-                fields[i].trim().parse().map_err(|e| format!("line {}: {e}", lineno + 1))
+                fields[i]
+                    .trim()
+                    .parse()
+                    .map_err(|e| format!("line {}: {e}", lineno + 1))
             };
             let parse_u = |i: usize| -> Result<u64, String> {
-                fields[i].trim().parse().map_err(|e| format!("line {}: {e}", lineno + 1))
+                fields[i]
+                    .trim()
+                    .parse()
+                    .map_err(|e| format!("line {}: {e}", lineno + 1))
             };
             let kind = match fields[2].trim() {
                 "olap" => QueryKind::Olap,
@@ -215,8 +230,12 @@ mod tests {
 
     #[test]
     fn csv_errors_are_reported_with_lines() {
-        assert!(Trace::from_csv("header\n1,2,3").unwrap_err().contains("line 2"));
-        assert!(Trace::from_csv("h\n1,1,alien,1,1,1,1,0.5").unwrap_err().contains("unknown kind"));
+        assert!(Trace::from_csv("header\n1,2,3")
+            .unwrap_err()
+            .contains("line 2"));
+        assert!(Trace::from_csv("h\n1,1,alien,1,1,1,1,0.5")
+            .unwrap_err()
+            .contains("unknown kind"));
     }
 
     #[test]

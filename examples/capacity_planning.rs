@@ -14,9 +14,7 @@
 //! cargo run --release --example capacity_planning -- quick   # reduced
 //! ```
 
-use query_scheduler::experiments::figures::{
-    calibration, fig2, CalibrationOpts, Fig2Opts,
-};
+use query_scheduler::experiments::figures::{calibration, fig2, CalibrationOpts, Fig2Opts};
 
 fn main() {
     let quick = std::env::args().nth(1).as_deref() == Some("quick");

@@ -17,8 +17,14 @@ use query_scheduler::experiments::figures::{
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let scale: f64 = args.next().map(|s| s.parse().expect("scale must be a number")).unwrap_or(1.0);
-    let seed: u64 = args.next().map(|s| s.parse().expect("seed must be an integer")).unwrap_or(42);
+    let scale: f64 = args
+        .next()
+        .map(|s| s.parse().expect("scale must be a number"))
+        .unwrap_or(1.0);
+    let seed: u64 = args
+        .next()
+        .map(|s| s.parse().expect("seed must be an integer"))
+        .unwrap_or(42);
 
     println!("{}", fig3_render());
 
@@ -37,7 +43,10 @@ fn main() {
             out.summary.olap_completed,
             out.summary.oltp_completed,
             out.summary.mean_admitted_cost,
-            100.0 * out.report.differentiation_fraction(ClassId(2), ClassId(1), 1),
+            100.0
+                * out
+                    .report
+                    .differentiation_fraction(ClassId(2), ClassId(1), 1),
             started.elapsed()
         );
         if fig == 6 {

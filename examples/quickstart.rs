@@ -74,6 +74,7 @@ fn main() {
         behaviors: None,
         trace: None,
         faults: None,
+        oracle: Default::default(),
     };
     let out = run_experiment(&cfg);
 
@@ -81,7 +82,10 @@ fn main() {
     //    scheduler moved cost limits between classes.
     println!(
         "{}",
-        render_main_report("Quickstart: Query Scheduler on a mixed workload", &out.report)
+        render_main_report(
+            "Quickstart: Query Scheduler on a mixed workload",
+            &out.report
+        )
     );
     if let Some(log) = &out.plan_log {
         println!("final plan:");
@@ -94,6 +98,9 @@ fn main() {
     }
     println!(
         "\n{} OLAP + {} OLTP queries completed in {:.1} virtual hours ({} events).",
-        out.summary.olap_completed, out.summary.oltp_completed, out.summary.hours, out.summary.events
+        out.summary.olap_completed,
+        out.summary.oltp_completed,
+        out.summary.hours,
+        out.summary.events
     );
 }

@@ -29,7 +29,13 @@ use query_scheduler::workload::{Behavior, Schedule};
 
 fn main() {
     let classes = vec![
-        ServiceClass::new(ClassId(1), "BI team", QueryKind::Olap, 1, Goal::VelocityAtLeast(0.3)),
+        ServiceClass::new(
+            ClassId(1),
+            "BI team",
+            QueryKind::Olap,
+            1,
+            Goal::VelocityAtLeast(0.3),
+        ),
         ServiceClass::new(
             ClassId(2),
             "analytics customer",
@@ -76,9 +82,13 @@ fn main() {
 
     let behaviors = vec![
         Behavior::paper(),
-        Behavior::ClosedLoop { mean_think: SimDuration::from_secs(5) },
+        Behavior::ClosedLoop {
+            mean_think: SimDuration::from_secs(5),
+        },
         Behavior::paper(),
-        Behavior::OpenLoop { mean_interarrival: SimDuration::from_secs(20) },
+        Behavior::OpenLoop {
+            mean_interarrival: SimDuration::from_secs(20),
+        },
         Behavior::paper(),
     ];
 
@@ -96,11 +106,15 @@ fn main() {
         behaviors: Some(behaviors),
         trace: None,
         faults: None,
+        oracle: Default::default(),
     };
     let out = run_experiment(&cfg);
     println!(
         "{}",
-        render_main_report("Five consolidated tenants under one Query Scheduler", &out.report)
+        render_main_report(
+            "Five consolidated tenants under one Query Scheduler",
+            &out.report
+        )
     );
     if let Some(log) = &out.plan_log {
         println!("final cost limits:");

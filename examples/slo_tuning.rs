@@ -36,7 +36,9 @@ fn base_config(classes: Vec<ServiceClass>) -> ExperimentConfig {
     let period = SimDuration::from_secs_f64(schedule.period_len().as_secs_f64() * SCALE);
     cfg.schedule = query_scheduler::workload::Schedule::new(
         period,
-        (0..schedule.periods()).map(|p| schedule.counts_at(p).to_vec()).collect(),
+        (0..schedule.periods())
+            .map(|p| schedule.counts_at(p).to_vec())
+            .collect(),
     );
     cfg.classes = classes;
     cfg
@@ -81,10 +83,17 @@ fn main() {
     inverted[0].goal = Goal::VelocityAtLeast(0.6);
     inverted[1].importance = 1;
     inverted[1].goal = Goal::VelocityAtLeast(0.4);
-    summarize("OLAP importance inverted (Class 1 now matters more)", &base_config(inverted));
+    summarize(
+        "OLAP importance inverted (Class 1 now matters more)",
+        &base_config(inverted),
+    );
 
     // Study 3: solver strategies on the same workload, end to end.
-    for kind in [SolverKind::Grid, SolverKind::HillClimb, SolverKind::Proportional] {
+    for kind in [
+        SolverKind::Grid,
+        SolverKind::HillClimb,
+        SolverKind::Proportional,
+    ] {
         let mut cfg = base_config(ServiceClass::paper_classes());
         cfg.controller = ControllerSpec::QueryScheduler(SchedulerConfig {
             solver: kind,

@@ -38,12 +38,21 @@ fn main() {
         behaviors: None,
         trace: None,
         faults: None,
+        oracle: Default::default(),
     };
     let out = run_experiment(&cfg);
     let stats = per_template_stats(&out.records);
 
-    let olap: Vec<_> = stats.iter().filter(|t| t.kind == QueryKind::Olap).cloned().collect();
-    let oltp: Vec<_> = stats.iter().filter(|t| t.kind == QueryKind::Oltp).cloned().collect();
+    let olap: Vec<_> = stats
+        .iter()
+        .filter(|t| t.kind == QueryKind::Olap)
+        .cloned()
+        .collect();
+    let oltp: Vec<_> = stats
+        .iter()
+        .filter(|t| t.kind == QueryKind::Oltp)
+        .cloned()
+        .collect();
     println!(
         "{}",
         render_template_stats(

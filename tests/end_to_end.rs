@@ -25,15 +25,26 @@ fn tiny_config(seed: u64, controller: ControllerSpec) -> ExperimentConfig {
         behaviors: None,
         trace: None,
         faults: None,
+        oracle: Default::default(),
     }
 }
 
 fn all_controllers() -> Vec<ControllerSpec> {
     vec![
         ControllerSpec::Uncontrolled,
-        ControllerSpec::NoControl { system_limit: Timerons::new(30_000.0) },
-        ControllerSpec::QpStatic { system_limit: Timerons::new(30_000.0), priority: true, max_cost: None },
-        ControllerSpec::QpStatic { system_limit: Timerons::new(30_000.0), priority: false, max_cost: None },
+        ControllerSpec::NoControl {
+            system_limit: Timerons::new(30_000.0),
+        },
+        ControllerSpec::QpStatic {
+            system_limit: Timerons::new(30_000.0),
+            priority: true,
+            max_cost: None,
+        },
+        ControllerSpec::QpStatic {
+            system_limit: Timerons::new(30_000.0),
+            priority: false,
+            max_cost: None,
+        },
         ControllerSpec::QueryScheduler(SchedulerConfig {
             control_interval: SimDuration::from_secs(30),
             ..SchedulerConfig::default()
@@ -75,11 +86,7 @@ fn check_invariants(out: &RunOutput) {
         }
     }
     // Engine totals agree with the per-period breakdown.
-    let total: u64 = r
-        .classes
-        .iter()
-        .map(|c| r.total_completions(c.id))
-        .sum();
+    let total: u64 = r.classes.iter().map(|c| r.total_completions(c.id)).sum();
     assert_eq!(
         total,
         out.summary.olap_completed + out.summary.oltp_completed,
@@ -102,7 +109,9 @@ fn every_controller_runs_the_mixed_workload() {
 #[test]
 fn runs_are_bit_reproducible() {
     for spec in [
-        ControllerSpec::NoControl { system_limit: Timerons::new(30_000.0) },
+        ControllerSpec::NoControl {
+            system_limit: Timerons::new(30_000.0),
+        },
         ControllerSpec::QueryScheduler(SchedulerConfig::default()),
     ] {
         let a = run_experiment(&tiny_config(77, spec.clone()));
@@ -118,7 +127,9 @@ fn runs_are_bit_reproducible() {
 
 #[test]
 fn different_seeds_produce_different_runs() {
-    let spec = ControllerSpec::NoControl { system_limit: Timerons::new(30_000.0) };
+    let spec = ControllerSpec::NoControl {
+        system_limit: Timerons::new(30_000.0),
+    };
     let a = run_experiment(&tiny_config(1, spec.clone()));
     let b = run_experiment(&tiny_config(2, spec));
     assert_ne!(
@@ -162,18 +173,29 @@ fn interception_controllers_delay_olap_but_not_oltp() {
             .iter()
             .any(|c| cell.get(c).is_some_and(|cp| cp.mean_velocity < 0.999))
     });
-    assert!(queued, "cost-based control should delay at least some OLAP queries");
+    assert!(
+        queued,
+        "cost-based control should delay at least some OLAP queries"
+    );
 }
 
 #[test]
 fn qp_priority_beats_no_priority_for_the_favoured_class() {
     let with = run_experiment(&tiny_config(
         9,
-        ControllerSpec::QpStatic { system_limit: Timerons::new(30_000.0), priority: true, max_cost: None },
+        ControllerSpec::QpStatic {
+            system_limit: Timerons::new(30_000.0),
+            priority: true,
+            max_cost: None,
+        },
     ));
     let without = run_experiment(&tiny_config(
         9,
-        ControllerSpec::QpStatic { system_limit: Timerons::new(30_000.0), priority: false, max_cost: None },
+        ControllerSpec::QpStatic {
+            system_limit: Timerons::new(30_000.0),
+            priority: false,
+            max_cost: None,
+        },
     ));
     let mean_v2 = |out: &RunOutput| {
         let vals: Vec<f64> = (0..out.report.periods.len())
@@ -199,7 +221,9 @@ fn configured_behaviors_shape_the_load() {
     relaxed.behaviors = Some(vec![
         Behavior::paper(),
         Behavior::paper(),
-        Behavior::ClosedLoop { mean_think: SimDuration::from_millis(400) },
+        Behavior::ClosedLoop {
+            mean_think: SimDuration::from_millis(400),
+        },
     ]);
     eager.seed = 21;
     let fast = run_experiment(&eager);
@@ -222,7 +246,9 @@ fn open_loop_class_submits_independently_of_completions() {
     use query_scheduler::workload::Behavior;
     let mut cfg = tiny_config(33, ControllerSpec::Uncontrolled);
     cfg.behaviors = Some(vec![
-        Behavior::OpenLoop { mean_interarrival: SimDuration::from_secs(30) },
+        Behavior::OpenLoop {
+            mean_interarrival: SimDuration::from_secs(30),
+        },
         Behavior::paper(),
         Behavior::paper(),
     ]);
@@ -237,8 +263,8 @@ fn open_loop_class_submits_independently_of_completions() {
 
 #[test]
 fn trace_replay_reproduces_the_recorded_arrivals() {
-    use query_scheduler::workload::{Trace, TraceEvent};
     use query_scheduler::dbms::query::{ClientId, QueryKind};
+    use query_scheduler::workload::{Trace, TraceEvent};
     // A hand-written trace: 20 OLTP arrivals at 100 ms spacing and 3 OLAP
     // queries, replayed against the uncontrolled engine.
     let mut events = Vec::new();
@@ -286,8 +312,8 @@ fn trace_replay_reproduces_the_recorded_arrivals() {
 
 #[test]
 fn trace_replay_respects_controllers() {
-    use query_scheduler::workload::{Trace, TraceEvent};
     use query_scheduler::dbms::query::{ClientId, QueryKind};
+    use query_scheduler::workload::{Trace, TraceEvent};
     // A burst of expensive OLAP queries at t=0: the no-control budget admits
     // only ~30 K timerons at a time, so completions serialise.
     let events: Vec<TraceEvent> = (0..10u64)
@@ -304,16 +330,17 @@ fn trace_replay_respects_controllers() {
         .collect();
     let mut cfg = tiny_config(
         1,
-        ControllerSpec::NoControl { system_limit: Timerons::new(30_000.0) },
+        ControllerSpec::NoControl {
+            system_limit: Timerons::new(30_000.0),
+        },
     );
     cfg.trace = Some(Trace::new(events));
     let out = run_experiment(&cfg);
     assert_eq!(out.summary.olap_completed, 10);
     // Velocity < 1 proves the controller actually held trace queries.
-    let any_held = out
-        .report
-        .periods
-        .iter()
-        .any(|cell| cell.get(&ClassId(1)).is_some_and(|c| c.mean_velocity < 0.999));
+    let any_held = out.report.periods.iter().any(|cell| {
+        cell.get(&ClassId(1))
+            .is_some_and(|c| c.mean_velocity < 0.999)
+    });
     assert!(any_held, "the cost limit must delay part of the burst");
 }

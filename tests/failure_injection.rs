@@ -14,9 +14,7 @@ use query_scheduler::dbms::query::{ClassId, ClientId, ExecShape, Query, QueryId,
 use query_scheduler::dbms::{DbmsConfig, Timerons, WatchdogConfig};
 use query_scheduler::experiments::config::{ControllerSpec, ExperimentConfig};
 use query_scheduler::experiments::world::{run_experiment, RunOutput};
-use query_scheduler::sim::{
-    Ctx, Engine, FaultPlan, FaultSpec, SimDuration, SimTime, World,
-};
+use query_scheduler::sim::{Ctx, Engine, FaultPlan, FaultSpec, SimDuration, SimTime, World};
 use query_scheduler::workload::Schedule;
 
 /// A controller that never releases anything — a wedged operator.
@@ -120,8 +118,11 @@ fn wedged_controller_is_backstopped_by_the_watchdog() {
     // The starvation watchdog must notice the held queries rotting, emit a
     // Starved notice for each, and trickle them into execution: the run
     // terminates with everything completed, not deadlocked.
-    let dbms =
-        Dbms::new(DbmsConfig::default(), InterceptPolicy::intercept_all(), SimTime::ZERO);
+    let dbms = Dbms::new(
+        DbmsConfig::default(),
+        InterceptPolicy::intercept_all(),
+        SimTime::ZERO,
+    );
     let queries: Vec<Query> = (0..50).map(|i| olap_query(i, 1_000.0, 1_000.0)).collect();
     let mut e = Engine::new(Rig {
         dbms,
@@ -135,8 +136,14 @@ fn wedged_controller_is_backstopped_by_the_watchdog() {
     e.run_until(SimTime::from_secs(14_400));
     let w = e.world();
     assert_eq!(w.held_seen, 50);
-    assert_eq!(w.starved_seen, 50, "every held query must produce a Starved notice");
-    assert_eq!(w.completed, 50, "force-released queries must run to completion");
+    assert_eq!(
+        w.starved_seen, 50,
+        "every held query must produce a Starved notice"
+    );
+    assert_eq!(
+        w.completed, 50,
+        "force-released queries must run to completion"
+    );
     assert_eq!(w.dbms.metrics().degradation.starvation_releases, 50);
     assert_eq!(w.dbms.patroller().held_count(), 0);
     assert_eq!(w.dbms.executing_count(), 0);
@@ -147,7 +154,10 @@ fn wedged_controller_never_deadlocks_even_without_the_watchdog() {
     // With the watchdog disabled nothing ever releases the held queries:
     // the run must still terminate cleanly (no events left), all queries
     // held — wedged, but not a livelock.
-    let cfg = DbmsConfig { watchdog: WatchdogConfig::disabled(), ..DbmsConfig::default() };
+    let cfg = DbmsConfig {
+        watchdog: WatchdogConfig::disabled(),
+        ..DbmsConfig::default()
+    };
     let dbms = Dbms::new(cfg, InterceptPolicy::intercept_all(), SimTime::ZERO);
     let queries: Vec<Query> = (0..50).map(|i| olap_query(i, 1_000.0, 1_000.0)).collect();
     let mut e = Engine::new(Rig {
@@ -207,8 +217,15 @@ fn grossly_wrong_estimates_do_not_wedge_the_scheduler() {
     // The QS reschedules its ticks forever; run to a generous horizon.
     e.run_until(SimTime::from_secs(7_200));
     let w = e.world();
-    assert_eq!(w.completed, 40, "all queries complete despite bogus estimates");
-    assert_eq!(w.controller.queued(), 0, "no query left behind in class queues");
+    assert_eq!(
+        w.completed, 40,
+        "all queries complete despite bogus estimates"
+    );
+    assert_eq!(
+        w.controller.queued(),
+        0,
+        "no query left behind in class queues"
+    );
     assert_eq!(w.dbms.executing_count(), 0);
 }
 
@@ -216,8 +233,11 @@ fn grossly_wrong_estimates_do_not_wedge_the_scheduler() {
 fn degenerate_queries_flow_through() {
     // Minimum-cost queries with 1 cycle, zero I/O, weight 1 — and a single
     // enormous one — on the same engine.
-    let dbms =
-        Dbms::new(DbmsConfig::default(), InterceptPolicy::intercept_none(), SimTime::ZERO);
+    let dbms = Dbms::new(
+        DbmsConfig::default(),
+        InterceptPolicy::intercept_none(),
+        SimTime::ZERO,
+    );
     let mut queries: Vec<Query> = (0..100)
         .map(|i| Query {
             id: QueryId(i),
@@ -249,8 +269,11 @@ fn degenerate_queries_flow_through() {
 fn submission_storm_drains_completely() {
     // 5 000 simultaneous OLTP submissions (agent pool is 512): the pool
     // queue must hand agents over until everything drains.
-    let dbms =
-        Dbms::new(DbmsConfig::default(), InterceptPolicy::intercept_none(), SimTime::ZERO);
+    let dbms = Dbms::new(
+        DbmsConfig::default(),
+        InterceptPolicy::intercept_none(),
+        SimTime::ZERO,
+    );
     let queries: Vec<Query> = (0..5_000)
         .map(|i| Query {
             id: QueryId(i),
@@ -260,11 +283,7 @@ fn submission_storm_drains_completely() {
             template: 1,
             estimated_cost: Timerons::new(50.0),
             true_cost: Timerons::new(50.0),
-            shape: ExecShape::new(
-                SimDuration::from_millis(5),
-                SimDuration::from_millis(2),
-                2,
-            ),
+            shape: ExecShape::new(SimDuration::from_millis(5), SimDuration::from_millis(2), 2),
         })
         .collect();
     let mut e = Engine::new(Rig {
@@ -307,6 +326,7 @@ fn qs_config(seed: u64) -> ExperimentConfig {
         behaviors: None,
         trace: None,
         faults: None,
+        oracle: Default::default(),
     }
 }
 
@@ -335,9 +355,18 @@ fn snapshot_loss_falls_back_to_the_last_known_good_plan() {
     let n = injected(&out, "snapshot.drop");
     assert!(n > 0, "snapshot ticks must have fired");
     assert_eq!(out.degradation.snapshots_lost, n);
-    assert!(out.degradation.stale_intervals > 0, "staleness must be detected");
-    assert!(out.degradation.plan_fallbacks > 0, "stale replans must fall back");
-    assert_eq!(out.degradation.stale_intervals, out.degradation.plan_fallbacks);
+    assert!(
+        out.degradation.stale_intervals > 0,
+        "staleness must be detected"
+    );
+    assert!(
+        out.degradation.plan_fallbacks > 0,
+        "stale replans must fall back"
+    );
+    assert_eq!(
+        out.degradation.stale_intervals,
+        out.degradation.plan_fallbacks
+    );
 }
 
 #[test]
@@ -366,7 +395,10 @@ fn dropped_release_commands_are_retried() {
     let n = injected(&out, "release.drop");
     assert!(n > 0, "drops must have fired at rate 0.5");
     assert_eq!(out.degradation.releases_dropped, n);
-    assert!(out.degradation.release_retries > 0, "drops must trigger retries");
+    assert!(
+        out.degradation.release_retries > 0,
+        "drops must trigger retries"
+    );
 }
 
 #[test]
@@ -397,9 +429,16 @@ fn solver_failures_freeze_the_plan_at_last_known_good() {
     assert!(n > 0, "replans must have consulted the solver channel");
     assert_eq!(out.degradation.solver_failures, n);
     assert_eq!(out.degradation.plan_fallbacks, n);
-    let log = out.plan_log.as_ref().expect("the Query Scheduler keeps a plan log");
+    let log = out
+        .plan_log
+        .as_ref()
+        .expect("the Query Scheduler keeps a plan log");
     for (class, series) in log.all() {
-        let first = series.points().first().expect("initial plan recorded").value;
+        let first = series
+            .points()
+            .first()
+            .expect("initial plan recorded")
+            .value;
         for p in series.points() {
             assert_eq!(
                 p.value, first,
@@ -461,4 +500,15 @@ fn zero_rate_fault_plan_is_bit_identical_to_no_plan() {
     assert!(!healthy.degradation.any());
     assert!(!guarded.degradation.any());
     assert!(guarded.fault_counts.values().all(|&n| n == 0));
+    // The strongest form of "bit-identical": the flight recorder digests
+    // every delivered event and every control decision, and the two streams
+    // must agree byte for byte.
+    let h = healthy.oracle.as_ref().expect("oracle on by default");
+    let g = guarded.oracle.as_ref().expect("oracle on by default");
+    assert_eq!(h.events_recorded, g.events_recorded);
+    assert_eq!(
+        h.recorder_digest, g.recorder_digest,
+        "an inert fault plan must leave the full event stream bit-identical"
+    );
+    assert_eq!(h.stats, g.stats, "and the oracle sees identical runs");
 }

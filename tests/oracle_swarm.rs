@@ -1,0 +1,261 @@
+//! The oracle swarm: every invariant, on, across a seed × fault-plan
+//! matrix — the acceptance bar for the runtime invariant oracle.
+//!
+//! Three claims are proven here:
+//!
+//! 1. **Soundness on healthy and faulty runs** — across ≥ 32 seed ×
+//!    fault-plan combinations (including every fault channel at aggressive
+//!    rates) the oracle runs its full invariant set at every event boundary
+//!    and reports zero violations: the system upholds its own books under
+//!    fire, and the invariants produce no false positives.
+//! 2. **The oracle is an observer** — an oracle-enabled run is
+//!    bit-identical to an oracle-disabled run (reports, summaries, plans).
+//! 3. **It catches real bugs, reproducibly** — a deliberately broken
+//!    accounting path (the test-only `test.mpl_leak` channel, which skips
+//!    the MPL gauge decrement on completion) trips the oracle, halts the
+//!    run, dumps a self-contained replay artifact, and replaying that
+//!    artifact reproduces the violation from the seed alone.
+
+use query_scheduler::core::class::ServiceClass;
+use query_scheduler::core::scheduler::SchedulerConfig;
+use query_scheduler::experiments::config::{ControllerSpec, ExperimentConfig};
+use query_scheduler::experiments::figures::run_parallel;
+use query_scheduler::experiments::oracle::{
+    config_digest, load_artifact, replay_artifact, OracleSettings, ReplayArtifact,
+};
+use query_scheduler::experiments::world::run_experiment;
+use query_scheduler::sim::{FaultPlan, FaultSpec, SimDuration};
+use query_scheduler::workload::Schedule;
+
+/// A small but non-trivial end-to-end rig: the paper's three classes under
+/// the Query Scheduler over three periods of shifting load.
+fn swarm_config(seed: u64) -> ExperimentConfig {
+    ExperimentConfig {
+        seed,
+        dbms: Default::default(),
+        schedule: Schedule::new(
+            SimDuration::from_secs(90),
+            vec![vec![3, 3, 15], vec![2, 5, 25], vec![5, 2, 20]],
+        ),
+        classes: ServiceClass::paper_classes(),
+        controller: ControllerSpec::QueryScheduler(SchedulerConfig {
+            control_interval: SimDuration::from_secs(30),
+            ..SchedulerConfig::default()
+        }),
+        warmup_periods: 0,
+        record_sample: Some(1),
+        behaviors: None,
+        trace: None,
+        faults: None,
+        oracle: Default::default(),
+    }
+}
+
+/// The fault-plan matrix: healthy, every channel alone at an aggressive
+/// rate, and everything at once.
+fn fault_plans() -> Vec<(&'static str, Option<FaultPlan>)> {
+    vec![
+        ("healthy", None),
+        (
+            "snapshot.drop",
+            Some(FaultPlan::new(1).channel("snapshot.drop", 0.7)),
+        ),
+        (
+            "cost.corrupt",
+            Some(FaultPlan::new(2).channel("cost.corrupt", 0.5)),
+        ),
+        (
+            "solver.fail",
+            Some(FaultPlan::new(3).channel("solver.fail", 0.5)),
+        ),
+        (
+            "release.drop",
+            Some(FaultPlan::new(4).channel("release.drop", 0.4)),
+        ),
+        (
+            "release.delay",
+            Some(FaultPlan::new(5).with_channel(
+                "release.delay",
+                FaultSpec::rate(0.4).with_delay(SimDuration::from_secs(2)),
+            )),
+        ),
+        (
+            "ctrl.stall",
+            Some(FaultPlan::new(6).with_channel(
+                "ctrl.stall",
+                FaultSpec::rate(0.25).with_delay(SimDuration::from_secs(3)),
+            )),
+        ),
+        (
+            "everything",
+            Some(
+                FaultPlan::new(7)
+                    .channel("snapshot.drop", 0.3)
+                    .channel("cost.corrupt", 0.3)
+                    .channel("solver.fail", 0.3)
+                    .channel("release.drop", 0.2)
+                    .with_channel(
+                        "release.delay",
+                        FaultSpec::rate(0.2).with_delay(SimDuration::from_secs(1)),
+                    )
+                    .with_channel(
+                        "ctrl.stall",
+                        FaultSpec::rate(0.1).with_delay(SimDuration::from_secs(2)),
+                    ),
+            ),
+        ),
+    ]
+}
+
+#[test]
+fn swarm_runs_every_invariant_with_zero_violations() {
+    // 4 seeds × 8 fault plans = 32 combinations, all with the oracle at
+    // check_every = 1 (every event boundary) and panic-on-violation: a
+    // single invariant breach anywhere in the matrix aborts the test.
+    let mut configs = Vec::new();
+    let mut labels = Vec::new();
+    for seed in [11, 42, 1007, 65_535] {
+        for (label, plan) in fault_plans() {
+            let mut cfg = swarm_config(seed);
+            cfg.faults = plan;
+            configs.push(cfg);
+            labels.push(format!("seed {seed} / {label}"));
+        }
+    }
+    assert!(
+        configs.len() >= 32,
+        "the swarm must cover at least 32 combos"
+    );
+    let outs = run_parallel(configs);
+    for (out, label) in outs.iter().zip(&labels) {
+        let oracle = out
+            .oracle
+            .as_ref()
+            .unwrap_or_else(|| panic!("{label}: oracle must observe the run"));
+        assert_eq!(oracle.stats.violations, 0, "{label}: oracle violations");
+        assert!(!oracle.halted, "{label}: run must not halt");
+        assert!(oracle.stats.invariants >= 5, "{label}: full invariant set");
+        assert!(
+            oracle.stats.checks_run >= oracle.stats.events_observed,
+            "{label}: every boundary must be checked (check_every = 1)"
+        );
+        assert!(oracle.events_recorded > 0, "{label}: recorder must be live");
+        assert_eq!(
+            out.report.oracle.map(|s| s.violations),
+            Some(0),
+            "{label}: report must surface oracle stats"
+        );
+        assert!(out.summary.oltp_completed > 0, "{label}: OLTP must flow");
+    }
+}
+
+#[test]
+fn swarm_holds_under_strided_checks_too() {
+    // A strided oracle (check_every = 7, sparser deep audits) sees the same
+    // clean runs — the invariants hold at arbitrary boundaries, not only at
+    // the ones the default stride happens to sample.
+    let mut configs = Vec::new();
+    for seed in [5, 99] {
+        for (_, plan) in fault_plans() {
+            let mut cfg = swarm_config(seed);
+            cfg.faults = plan;
+            cfg.oracle.check_every = 7;
+            cfg.oracle.deep_every = 11;
+            configs.push(cfg);
+        }
+    }
+    for (i, out) in run_parallel(configs).into_iter().enumerate() {
+        let oracle = out.oracle.expect("oracle must observe the run");
+        assert_eq!(oracle.stats.violations, 0, "combo #{i} violated");
+    }
+}
+
+#[test]
+fn oracle_is_a_pure_observer() {
+    // Metamorphic: enabling the oracle must not change a single bit of the
+    // run's results — it reads, it never writes, it consumes no randomness.
+    let on = run_experiment(&swarm_config(4242));
+    let mut cfg = swarm_config(4242);
+    cfg.oracle = OracleSettings::disabled();
+    let off = run_experiment(&cfg);
+
+    assert!(on.oracle.is_some() && off.oracle.is_none());
+    assert_eq!(on.summary, off.summary, "summaries must be bit-identical");
+    let mut on_report = on.report.clone();
+    on_report.oracle = None; // the only permitted difference
+    assert_eq!(
+        serde_json::to_string(&on_report).unwrap(),
+        serde_json::to_string(&off.report).unwrap(),
+        "reports must be bit-identical"
+    );
+    assert_eq!(
+        format!("{:?}", on.plan_log),
+        format!("{:?}", off.plan_log),
+        "plans must be bit-identical"
+    );
+}
+
+#[test]
+fn broken_accounting_trips_the_oracle_and_replays_from_seed_alone() {
+    // The deliberately-broken path: `test.mpl_leak` makes `Dbms::complete`
+    // skip the MPL gauge decrement, so the gauge drifts away from the true
+    // executing count — exactly the class of silent accounting bug the
+    // oracle exists to catch.
+    let dump_dir = "target/oracle-swarm-test";
+    let _ = std::fs::remove_dir_all(dump_dir);
+
+    let mut cfg = swarm_config(7);
+    cfg.faults = Some(FaultPlan::new(70).channel("test.mpl_leak", 1.0));
+    cfg.oracle = OracleSettings {
+        panic_on_violation: false,
+        dump_dir: Some(dump_dir.to_string()),
+        ..OracleSettings::default()
+    };
+
+    let out = run_experiment(&cfg);
+    let oracle = out.oracle.as_ref().expect("oracle must observe the run");
+    assert!(oracle.stats.violations > 0, "the leak must trip the oracle");
+    assert!(oracle.halted, "the engine must halt on the violation");
+    let first = &oracle.violations[0];
+    assert_eq!(
+        first.invariant, "metric-sanity",
+        "the MPL gauge check fires"
+    );
+
+    // The run dumped a self-contained replay artifact at a deterministic
+    // path derived from the seed and the config digest.
+    let path = std::path::Path::new(dump_dir).join(format!(
+        "replay-seed{}-{:016x}.json",
+        cfg.seed,
+        config_digest(&cfg)
+    ));
+    let artifact = load_artifact(&path).expect("artifact must exist and parse");
+    assert_eq!(artifact.seed, cfg.seed);
+    assert_eq!(artifact.config, cfg, "the artifact embeds the full config");
+    assert_eq!(artifact.violations, oracle.violations);
+    assert!(
+        !artifact.event_tail.is_empty(),
+        "the recorder tail is attached"
+    );
+
+    // Replaying the artifact re-runs the embedded config — nothing else —
+    // and must land on the same violation at the same event index and time.
+    let outcome = replay_artifact(&artifact);
+    assert!(
+        outcome.reproduced,
+        "the violation must reproduce from seed alone"
+    );
+    let replay = outcome.report.expect("replay runs with the oracle on");
+    assert_eq!(replay.violations[0], artifact.violations[0]);
+
+    // And the artifact round-trips losslessly through construction.
+    let rebuilt = ReplayArtifact::new(
+        &cfg,
+        artifact.violations.clone(),
+        artifact.event_tail.clone(),
+        artifact.delivered,
+    );
+    assert_eq!(rebuilt.file_name(), artifact.file_name());
+
+    let _ = std::fs::remove_dir_all(dump_dir);
+}

@@ -41,11 +41,23 @@ fn calibration_curve_rises_then_falls_with_knee_near_30k() {
     );
     let t: Vec<f64> = curve.points.iter().map(|p| p.olap_per_hour).collect();
     // Rising into the knee…
-    assert!(t[1] > t[0] * 1.05, "throughput should rise toward the knee: {t:?}");
-    assert!(t[2] > t[1] * 1.02, "throughput should still rise at 30K: {t:?}");
+    assert!(
+        t[1] > t[0] * 1.05,
+        "throughput should rise toward the knee: {t:?}"
+    );
+    assert!(
+        t[2] > t[1] * 1.02,
+        "throughput should still rise at 30K: {t:?}"
+    );
     // …and falling past it (thrashing).
-    assert!(t[3] < t[2] * 0.95, "throughput should fall past the knee: {t:?}");
-    assert!(t[4] < t[3], "throughput keeps falling when oversaturated: {t:?}");
+    assert!(
+        t[3] < t[2] * 0.95,
+        "throughput should fall past the knee: {t:?}"
+    );
+    assert!(
+        t[4] < t[3],
+        "throughput keeps falling when oversaturated: {t:?}"
+    );
     let knee = curve.knee();
     assert!(
         (15_000.0..=45_000.0).contains(&knee),
@@ -65,8 +77,14 @@ fn fig2_oltp_response_is_linear_in_olap_cost_limit() {
     );
     // Series 0 (30 OLTP, 8 OLAP): linear under-saturated with positive slope.
     let (slope, r2) = f2.linear_fit(0, 28_000.0).expect("fit defined");
-    assert!(slope > 1e-6, "OLTP response must grow with the OLAP limit: slope {slope}");
-    assert!(r2 > 0.9, "the under-saturated relation should be near-linear: R² {r2}");
+    assert!(
+        slope > 1e-6,
+        "OLTP response must grow with the OLAP limit: slope {slope}"
+    );
+    assert!(
+        r2 > 0.9,
+        "the under-saturated relation should be near-linear: R² {r2}"
+    );
     // More OLTP clients shift the whole line upward.
     for (p30, p50) in f2.series[0].points.iter().zip(&f2.series[1].points) {
         assert!(
@@ -96,7 +114,10 @@ fn figures_4_5_6_reproduce_the_papers_comparison() {
     // --- Figure 4 (no class control): the OLTP class misses its goal under
     // load, and the OLAP classes are undifferentiated.
     let v4 = fig4.violations(c3);
-    assert!(v4 >= 6, "no-control should violate the OLTP goal often, got {v4}");
+    assert!(
+        v4 >= 6,
+        "no-control should violate the OLTP goal often, got {v4}"
+    );
     let diff4 = fig4.differentiation_fraction(c2, c1, 1);
     assert!(
         (0.2..=0.8).contains(&diff4),
@@ -122,8 +143,14 @@ fn figures_4_5_6_reproduce_the_papers_comparison() {
     // both baselines, goals met in the light periods, and differentiated
     // OLAP service.
     let v6 = fig6.violations(c3);
-    assert!(v6 < v4, "QS ({v6}) must beat no-control ({v4}) on OLTP violations");
-    assert!(v6 < fig5.violations(c3), "QS must beat QP on OLTP violations");
+    assert!(
+        v6 < v4,
+        "QS ({v6}) must beat no-control ({v4}) on OLTP violations"
+    );
+    assert!(
+        v6 < fig5.violations(c3),
+        "QS must beat QP on OLTP violations"
+    );
     let v6p = fig6.violated_periods(c3);
     for light in [0usize, 3, 6, 9, 12, 15] {
         assert!(
@@ -133,13 +160,17 @@ fn figures_4_5_6_reproduce_the_papers_comparison() {
         );
     }
     let diff6 = fig6.differentiation_fraction(c2, c1, 1);
-    assert!(diff6 >= 0.55, "QS should favour class 2 in most periods: {diff6}");
+    assert!(
+        diff6 >= 0.55,
+        "QS should favour class 2 in most periods: {diff6}"
+    );
 
     // QS trades OLAP velocity for the OLTP goal: its OLAP classes should be
     // slower than under no control, while completing more OLTP work.
     let mean_velocity = |r: &RunReport, c: ClassId| {
-        let vals: Vec<f64> =
-            (0..r.periods.len()).filter_map(|p| r.metric(p, c)).collect();
+        let vals: Vec<f64> = (0..r.periods.len())
+            .filter_map(|p| r.metric(p, c))
+            .collect();
         vals.iter().sum::<f64>() / vals.len() as f64
     };
     assert!(mean_velocity(&fig6, c1) < mean_velocity(&fig4, c1) + 0.05);
@@ -190,8 +221,16 @@ fn fig7_oltp_reservation_grows_in_heavy_periods() {
         .find(|(c, _)| *c == ClassId(3))
         .map(|(_, m)| m.clone())
         .expect("class 3 trajectory");
-    let heavy: f64 = [2usize, 5, 8, 11, 14].iter().map(|&p| class3[p]).sum::<f64>() / 5.0;
-    let light: f64 = [0usize, 3, 6, 9, 12].iter().map(|&p| class3[p]).sum::<f64>() / 5.0;
+    let heavy: f64 = [2usize, 5, 8, 11, 14]
+        .iter()
+        .map(|&p| class3[p])
+        .sum::<f64>()
+        / 5.0;
+    let light: f64 = [0usize, 3, 6, 9, 12]
+        .iter()
+        .map(|&p| class3[p])
+        .sum::<f64>()
+        / 5.0;
     assert!(
         heavy > light * 1.3,
         "the OLTP reservation should grow when its load is heavy: heavy {heavy:.0} vs light {light:.0}"

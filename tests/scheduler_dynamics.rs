@@ -23,6 +23,7 @@ fn cfg(seed: u64, controller: ControllerSpec, schedule: Schedule) -> ExperimentC
         behaviors: None,
         trace: None,
         faults: None,
+        oracle: Default::default(),
     }
 }
 
@@ -125,7 +126,11 @@ fn reactive_replanning_reacts_faster_than_the_interval() {
         },
         ..slow.clone()
     };
-    let base = run_experiment(&cfg(5, ControllerSpec::QueryScheduler(slow), schedule.clone()));
+    let base = run_experiment(&cfg(
+        5,
+        ControllerSpec::QueryScheduler(slow),
+        schedule.clone(),
+    ));
     let fast = run_experiment(&cfg(5, ControllerSpec::QueryScheduler(reactive), schedule));
     let plans = |out: &query_scheduler::experiments::world::RunOutput| {
         out.plan_log.as_ref().expect("plan log").all()[0].1.len()
@@ -139,7 +144,9 @@ fn reactive_replanning_reacts_faster_than_the_interval() {
     // OLTP response in the heavy period must not be worse under reactive
     // control.
     let heavy_resp = |out: &query_scheduler::experiments::world::RunOutput| {
-        out.report.metric(1, ClassId(3)).expect("heavy period metric")
+        out.report
+            .metric(1, ClassId(3))
+            .expect("heavy period metric")
     };
     assert!(
         heavy_resp(&fast) <= heavy_resp(&base) + 0.03,
@@ -172,7 +179,10 @@ fn detector_counts_changes_across_the_run() {
     // (The detector itself is only reachable through the plan log length
     // here; more re-plans than the 15 interval ticks implies detections.)
     let plan_points = out.plan_log.expect("plan log").all()[0].1.len();
-    assert!(plan_points > 15, "expected reactive re-plans, got {plan_points}");
+    assert!(
+        plan_points > 15,
+        "expected reactive re-plans, got {plan_points}"
+    );
 }
 
 #[test]
@@ -250,7 +260,10 @@ fn qp_max_cost_rule_rejects_but_clients_continue() {
     // Completed OLAP queries under the strict rule are all cheap-to-mid cost,
     // so their mean execution time drops well below the baseline's.
     let mean_exec = |o: &query_scheduler::experiments::world::RunOutput| {
-        o.report.cell(0, ClassId(1)).map(|c| c.mean_execution_secs).unwrap_or(f64::NAN)
+        o.report
+            .cell(0, ClassId(1))
+            .map(|c| c.mean_execution_secs)
+            .unwrap_or(f64::NAN)
     };
     assert!(
         mean_exec(&strict) < mean_exec(&base),

@@ -56,13 +56,18 @@ fn fmt_time(secs: f64) -> String {
 }
 
 fn run_one(group: &str, name: &str, sample_count: usize, f: &mut dyn FnMut(&mut Bencher)) {
-    let mut b = Bencher { iters_per_sample: 1, samples: Vec::new(), sample_count };
+    let mut b = Bencher {
+        iters_per_sample: 1,
+        samples: Vec::new(),
+        sample_count,
+    };
     f(&mut b);
     if b.samples.is_empty() {
         println!("{group}/{name}: no samples");
         return;
     }
-    b.samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    b.samples
+        .sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
     let median = b.samples[b.samples.len() / 2];
     let lo = b.samples[0];
     let hi = b.samples[b.samples.len() - 1];
@@ -134,7 +139,11 @@ impl Criterion {
 
     /// Open a named group.
     pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { name: name.into(), sample_count: self.sample_count, _criterion: self }
+        BenchmarkGroup {
+            name: name.into(),
+            sample_count: self.sample_count,
+            _criterion: self,
+        }
     }
 
     /// Run a stand-alone benchmark.
@@ -180,7 +189,8 @@ mod tests {
     fn bencher_collects_samples() {
         let mut c = Criterion::default().sample_size(3);
         let mut g = c.benchmark_group("t");
-        g.sample_size(2).bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        g.sample_size(2)
+            .bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
         g.finish();
     }
 }

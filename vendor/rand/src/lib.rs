@@ -80,7 +80,11 @@ pub mod distributions {
         where
             Self: Sized,
         {
-            DistIter { dist: self, rng, _marker: core::marker::PhantomData }
+            DistIter {
+                dist: self,
+                rng,
+                _marker: core::marker::PhantomData,
+            }
         }
     }
 
@@ -176,7 +180,9 @@ pub mod rngs {
         type Seed = [u8; 8];
         fn from_seed(seed: Self::Seed) -> Self {
             let s = u64::from_le_bytes(seed);
-            SmallRng { state: if s == 0 { 0x9E37_79B9_7F4A_7C15 } else { s } }
+            SmallRng {
+                state: if s == 0 { 0x9E37_79B9_7F4A_7C15 } else { s },
+            }
         }
     }
 }

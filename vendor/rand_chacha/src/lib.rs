@@ -89,7 +89,12 @@ impl SeedableRng for ChaCha12Rng {
         for (i, k) in key.iter_mut().enumerate() {
             *k = u32::from_le_bytes(seed[i * 4..i * 4 + 4].try_into().unwrap());
         }
-        ChaCha12Rng { key, counter: 0, block: [0; 16], idx: 16 }
+        ChaCha12Rng {
+            key,
+            counter: 0,
+            block: [0; 16],
+            idx: 16,
+        }
     }
 }
 
@@ -129,9 +134,10 @@ mod tests {
     fn words_are_well_distributed() {
         // Crude sanity: mean of scaled u64 draws near 0.5.
         let mut r = ChaCha12Rng::from_seed([9u8; 32]);
-        let mean: f64 =
-            (0..10_000).map(|_| (r.next_u64() >> 11) as f64 / (1u64 << 53) as f64).sum::<f64>()
-                / 10_000.0;
+        let mean: f64 = (0..10_000)
+            .map(|_| (r.next_u64() >> 11) as f64 / (1u64 << 53) as f64)
+            .sum::<f64>()
+            / 10_000.0;
         assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
     }
 }

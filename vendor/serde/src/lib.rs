@@ -43,7 +43,10 @@ impl Value {
 
     /// Look up a field of an object by name.
     pub fn get(&self, key: &str) -> Option<&Value> {
-        self.as_object()?.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+        self.as_object()?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
     }
 
     /// A stable, compact textual form used for canonical ordering of
@@ -61,8 +64,10 @@ impl Value {
                 format!("[{}]", inner.join(","))
             }
             Value::Object(fs) => {
-                let inner: Vec<String> =
-                    fs.iter().map(|(k, v)| format!("{k}:{}", v.canonical())).collect();
+                let inner: Vec<String> = fs
+                    .iter()
+                    .map(|(k, v)| format!("{k}:{}", v.canonical()))
+                    .collect();
                 format!("{{{}}}", inner.join(","))
             }
         }
@@ -286,9 +291,13 @@ impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
     fn deserialize_value(v: &Value) -> Result<Self, DeError> {
         match v {
             Value::Array(xs) if xs.len() == N => {
-                let items: Vec<T> =
-                    xs.iter().map(T::deserialize_value).collect::<Result<_, _>>()?;
-                items.try_into().map_err(|_| DeError("array length mismatch".into()))
+                let items: Vec<T> = xs
+                    .iter()
+                    .map(T::deserialize_value)
+                    .collect::<Result<_, _>>()?;
+                items
+                    .try_into()
+                    .map_err(|_| DeError("array length mismatch".into()))
             }
             _ => Err(DeError::expected("fixed-size array", "[T; N]", v)),
         }
@@ -349,7 +358,9 @@ fn key_from_string<K: Deserialize>(s: &str) -> Result<K, DeError> {
 impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
     fn serialize_value(&self) -> Value {
         Value::Object(
-            self.iter().map(|(k, v)| (key_to_string(k), v.serialize_value())).collect(),
+            self.iter()
+                .map(|(k, v)| (key_to_string(k), v.serialize_value()))
+                .collect(),
         )
     }
 }
@@ -368,8 +379,10 @@ impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
 
 impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
     fn serialize_value(&self) -> Value {
-        let mut fields: Vec<(String, Value)> =
-            self.iter().map(|(k, v)| (key_to_string(k), v.serialize_value())).collect();
+        let mut fields: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (key_to_string(k), v.serialize_value()))
+            .collect();
         // Hash iteration order is unstable; sort for deterministic output.
         fields.sort_by(|a, b| a.0.cmp(&b.0));
         Value::Object(fields)
@@ -452,7 +465,10 @@ mod tests {
     fn option_round_trip() {
         let v = Some(3u32).serialize_value();
         assert_eq!(v, Value::UInt(3));
-        assert_eq!(Option::<u32>::deserialize_value(&Value::Null).unwrap(), None);
+        assert_eq!(
+            Option::<u32>::deserialize_value(&Value::Null).unwrap(),
+            None
+        );
     }
 
     #[test]

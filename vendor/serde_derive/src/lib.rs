@@ -44,7 +44,10 @@ struct Cursor {
 
 impl Cursor {
     fn new(ts: TokenStream) -> Self {
-        Cursor { toks: ts.into_iter().collect(), pos: 0 }
+        Cursor {
+            toks: ts.into_iter().collect(),
+            pos: 0,
+        }
     }
 
     fn peek(&self) -> Option<&TokenTree> {
@@ -182,9 +185,9 @@ fn parse_item(input: TokenStream) -> Result<Item, String> {
     if cur.eat_ident("struct") {
         let name = cur.expect_ident()?;
         match cur.peek() {
-            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
-                Err(format!("derive(Serialize/Deserialize) shim: generic struct `{name}` unsupported"))
-            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => Err(format!(
+                "derive(Serialize/Deserialize) shim: generic struct `{name}` unsupported"
+            )),
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
                 let fields = parse_named_fields(g.stream())?;
                 Ok(Item::Struct(name, StructShape::Named(fields)))
@@ -347,8 +350,7 @@ fn generate_serialize(item: &Item) -> String {
                         ));
                     }
                     VariantShape::Named(fields) => {
-                        let binders: Vec<String> =
-                            fields.iter().map(|f| f.name.clone()).collect();
+                        let binders: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
                         let body = ser_named_fields(fields, "");
                         arms.push_str(&format!(
                             "{name}::{vn} {{ {binds} }} => \
@@ -434,9 +436,7 @@ fn generate_deserialize(item: &Item) -> String {
                     )),
                     VariantShape::Tuple(n) => {
                         let elems: Vec<String> = (0..*n)
-                            .map(|i| {
-                                format!("::serde::Deserialize::deserialize_value(&xs[{i}])?")
-                            })
+                            .map(|i| format!("::serde::Deserialize::deserialize_value(&xs[{i}])?"))
                             .collect();
                         tagged_arms.push_str(&format!(
                             "\"{vn}\" => match inner {{ \
@@ -488,12 +488,16 @@ fn expand(input: TokenStream, serialize: bool) -> TokenStream {
         Ok(item) => item,
         Err(msg) => {
             let escaped = msg.replace('\\', "\\\\").replace('"', "\\\"");
-            return format!("compile_error!(\"{escaped}\");").parse().unwrap()
+            return format!("compile_error!(\"{escaped}\");").parse().unwrap();
         }
     };
-    let code =
-        if serialize { generate_serialize(&item) } else { generate_deserialize(&item) };
-    code.parse().expect("serde_derive shim generated invalid Rust")
+    let code = if serialize {
+        generate_serialize(&item)
+    } else {
+        generate_deserialize(&item)
+    };
+    code.parse()
+        .expect("serde_derive shim generated invalid Rust")
 }
 
 /// Derive `serde::Serialize` (shimmed, Value-based).

@@ -244,8 +244,7 @@ impl<'a> Parser<'a> {
                                 code
                             };
                             out.push(
-                                char::from_u32(c)
-                                    .ok_or_else(|| self.err("invalid codepoint"))?,
+                                char::from_u32(c).ok_or_else(|| self.err("invalid codepoint"))?,
                             );
                         }
                         _ => return Err(self.err("unknown escape")),
@@ -306,7 +305,9 @@ impl<'a> Parser<'a> {
                 return Ok(Value::Int(i));
             }
         }
-        text.parse::<f64>().map(Value::Float).map_err(|_| self.err("bad number"))
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| self.err("bad number"))
     }
 
     fn parse_value(&mut self, depth: usize) -> Result<Value, Error> {
@@ -379,7 +380,10 @@ impl<'a> Parser<'a> {
 
 /// Parse a JSON document into any deserializable type.
 pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
-    let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
     let v = p.parse_value(0)?;
     p.skip_ws();
     if p.pos != p.bytes.len() {
