@@ -1,0 +1,264 @@
+//! Scaling sweep of the resource kernels: virtual-time `PsCpu` vs the
+//! retained `NaivePsCpu` reference, plus the indexed `DiskArray`, across
+//! concurrent-job populations 32 → 2048.
+//!
+//! Not a criterion bench: a plain harness that emits a machine-readable
+//! `BENCH_scaling.json` at the repo root so the perf trajectory is tracked
+//! from commit to commit.
+//!
+//! Environment knobs:
+//! - `QSCHED_BENCH_SCALE=tiny` — CI smoke scale (3 populations, fewer
+//!   events) instead of the full 32→2048 sweep.
+//! - `QSCHED_BENCH_ASSERT=1` — fail unless the virtual-time kernel is no
+//!   slower than naive at n=32 and ≥5× faster at n=1024.
+
+use qsched_dbms::resource::{DiskArray, NaivePsCpu, PsCpu};
+use qsched_sim::{SimDuration, SimTime};
+use std::time::Instant;
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn unit(state: &mut u64) -> f64 {
+    (splitmix(state) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Steady-state churn on a CPU kernel: keep `n` jobs resident, and for
+/// every completion admit a replacement. Returns ns per churn event
+/// (completion + replacement admission + wake-up query).
+///
+/// `K` is abstracted by closures so the identical workload drives both
+/// kernels without a trait.
+struct CpuOps<K> {
+    add: fn(&mut K, u64, f64, SimDuration),
+    advance: fn(&mut K, SimTime),
+    next: fn(&K) -> Option<SimTime>,
+    take: fn(&mut K, &mut Vec<u64>),
+}
+
+fn churn_cpu<K>(kernel: &mut K, ops: &CpuOps<K>, n: usize, events: usize, seed: u64) -> f64 {
+    let mut rng = seed | 1;
+    let mut next_id = 0u64;
+    let admit = |k: &mut K, rng: &mut u64, id: &mut u64| {
+        let weight = 1.0 + unit(rng) * 6.5;
+        let work = 0.0005 + unit(rng) * 0.005;
+        (ops.add)(k, *id, weight, SimDuration::from_secs_f64(work));
+        *id += 1;
+    };
+    for _ in 0..n {
+        admit(kernel, &mut rng, &mut next_id);
+    }
+    let mut done = Vec::new();
+    let mut processed = 0usize;
+    let start = Instant::now();
+    while processed < events {
+        let t = (ops.next)(kernel).expect("busy kernel");
+        (ops.advance)(kernel, t);
+        done.clear();
+        (ops.take)(kernel, &mut done);
+        processed += done.len();
+        // Replace every completion to hold the population at n.
+        for _ in 0..done.len() {
+            admit(kernel, &mut rng, &mut next_id);
+        }
+    }
+    start.elapsed().as_nanos() as f64 / processed as f64
+}
+
+const VIRT_OPS: CpuOps<PsCpu<u64>> = CpuOps {
+    add: |k, id, w, work| k.add_weighted(id, w, work),
+    advance: PsCpu::advance,
+    next: PsCpu::next_completion,
+    take: PsCpu::take_finished,
+};
+
+const NAIVE_OPS: CpuOps<NaivePsCpu<u64>> = CpuOps {
+    add: |k, id, w, work| k.add_weighted(id, w, work),
+    advance: NaivePsCpu::advance,
+    next: NaivePsCpu::next_completion,
+    take: NaivePsCpu::take_finished,
+};
+
+/// FCFS disk churn with a standing queue of ~`n`: request floods, then
+/// complete/request interleave, with a slice of mid-queue cancellations to
+/// exercise the tombstone path. Returns ns per operation.
+fn churn_disk(n: usize, events: usize, seed: u64) -> f64 {
+    let mut rng = seed | 1;
+    let mut d: DiskArray<u64> = DiskArray::new(8);
+    let mut now = SimTime::ZERO;
+    let mut next_id = 0u64;
+    let mut in_service: Vec<SimTime> = Vec::new();
+    // Build the standing queue (8 in service, the rest waiting).
+    for _ in 0..(n + 8) {
+        let svc = SimDuration::from_micros(200 + splitmix(&mut rng) % 800);
+        if let Some(t) = d.request(now, next_id, svc) {
+            in_service.push(t);
+        }
+        next_id += 1;
+    }
+    let mut processed = 0usize;
+    let start = Instant::now();
+    while processed < events {
+        // Earliest in-service burst finishes...
+        let (i, &t) = in_service
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, t)| **t)
+            .expect("busy disk");
+        in_service.swap_remove(i);
+        now = t;
+        if let Some((_, t_next)) = d.complete(now) {
+            in_service.push(t_next);
+        }
+        // ...one new burst arrives to keep the queue standing...
+        let svc = SimDuration::from_micros(200 + splitmix(&mut rng) % 800);
+        if let Some(t) = d.request(now, next_id, svc) {
+            in_service.push(t);
+        }
+        // ...and occasionally a queued burst is cancelled + replaced.
+        if splitmix(&mut rng) % 8 == 0 {
+            let victim = next_id - 1 - splitmix(&mut rng) % (n as u64 / 2).max(1);
+            if d.cancel_queued(victim).is_some() {
+                next_id += 1;
+                let svc = SimDuration::from_micros(200 + splitmix(&mut rng) % 800);
+                if let Some(t) = d.request(now, next_id, svc) {
+                    in_service.push(t);
+                }
+            }
+        }
+        next_id += 1;
+        processed += 1;
+    }
+    start.elapsed().as_nanos() as f64 / processed as f64
+}
+
+fn min_of<F: FnMut() -> f64>(reps: usize, mut f: F) -> f64 {
+    (0..reps).map(|_| f()).fold(f64::INFINITY, f64::min)
+}
+
+struct CpuRow {
+    n: usize,
+    virtual_ns: f64,
+    naive_ns: f64,
+}
+
+fn main() {
+    let scale = std::env::var("QSCHED_BENCH_SCALE").unwrap_or_default();
+    let tiny = scale == "tiny";
+    let populations: &[usize] = if tiny {
+        &[32, 256, 1024]
+    } else {
+        &[32, 64, 128, 256, 512, 1024, 2048]
+    };
+    let (events, reps) = if tiny { (1_500, 5) } else { (4_000, 3) };
+    let cores = 4;
+
+    println!(
+        "scaling sweep ({} scale): {} churn events, min of {} reps",
+        if tiny { "tiny" } else { "full" },
+        events,
+        reps
+    );
+    println!(
+        "{:>6} {:>16} {:>16} {:>9}",
+        "n", "virtual ns/ev", "naive ns/ev", "speedup"
+    );
+
+    let mut cpu_rows = Vec::new();
+    for &n in populations {
+        let virtual_ns = min_of(reps, || {
+            let mut k: PsCpu<u64> = PsCpu::new(cores, SimTime::ZERO);
+            churn_cpu(&mut k, &VIRT_OPS, n, events, 0xA5A5 + n as u64)
+        });
+        let naive_ns = min_of(reps, || {
+            let mut k: NaivePsCpu<u64> = NaivePsCpu::new(cores, SimTime::ZERO);
+            churn_cpu(&mut k, &NAIVE_OPS, n, events, 0xA5A5 + n as u64)
+        });
+        println!(
+            "{:>6} {:>16.1} {:>16.1} {:>8.1}x",
+            n,
+            virtual_ns,
+            naive_ns,
+            naive_ns / virtual_ns
+        );
+        cpu_rows.push(CpuRow {
+            n,
+            virtual_ns,
+            naive_ns,
+        });
+    }
+
+    let mut disk_rows = Vec::new();
+    for &n in populations {
+        let ns = min_of(reps, || churn_disk(n, events, 0x5A5A + n as u64));
+        println!("{:>6} {:>16.1} (disk, indexed FCFS)", n, ns);
+        disk_rows.push((n, ns));
+    }
+
+    // Machine-readable trajectory at the repo root.
+    let mut json = String::new();
+    json.push_str("{\n  \"schema\": \"qsched-bench-scaling/v1\",\n");
+    json.push_str(&format!(
+        "  \"scale\": \"{}\",\n",
+        if tiny { "tiny" } else { "full" }
+    ));
+    json.push_str(&format!(
+        "  \"cores\": {cores},\n  \"churn_events\": {events},\n  \"reps\": {reps},\n"
+    ));
+    json.push_str("  \"cpu\": [\n");
+    for (i, r) in cpu_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"n\": {}, \"virtual_ns_per_event\": {:.1}, \"naive_ns_per_event\": {:.1}, \"speedup\": {:.2}}}{}\n",
+            r.n,
+            r.virtual_ns,
+            r.naive_ns,
+            r.naive_ns / r.virtual_ns,
+            if i + 1 < cpu_rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n  \"disk\": [\n");
+    for (i, (n, ns)) in disk_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"n\": {}, \"ns_per_op\": {:.1}}}{}\n",
+            n,
+            ns,
+            if i + 1 < disk_rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let out_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scaling.json");
+    std::fs::write(out_path, &json).expect("write BENCH_scaling.json");
+    println!("wrote {out_path}");
+
+    if std::env::var("QSCHED_BENCH_ASSERT").as_deref() == Ok("1") {
+        let at = |n: usize| {
+            cpu_rows
+                .iter()
+                .find(|r| r.n == n)
+                .unwrap_or_else(|| panic!("population {n} missing from sweep"))
+        };
+        let small = at(32);
+        // 10% tolerance absorbs timer jitter at sub-µs event costs.
+        assert!(
+            small.virtual_ns <= small.naive_ns * 1.10,
+            "virtual-time kernel slower than naive at n=32: {:.1} ns vs {:.1} ns",
+            small.virtual_ns,
+            small.naive_ns
+        );
+        let big = at(1024);
+        let speedup = big.naive_ns / big.virtual_ns;
+        assert!(
+            speedup >= 5.0,
+            "virtual-time kernel only {speedup:.1}x faster at n=1024 (need >= 5x)"
+        );
+        println!(
+            "assertions passed: n=32 parity ({:.1} vs {:.1} ns), n=1024 speedup {speedup:.1}x",
+            small.virtual_ns, small.naive_ns
+        );
+    }
+}

@@ -190,6 +190,10 @@ pub struct Dbms {
     buffer_pool: Option<BufferPool>,
     lock_list: Option<LockList>,
     cpu_gen: u64,
+    /// Instant of the currently pending (latest-generation) CpuTick, if any.
+    /// Lets `reschedule_cpu` skip re-scheduling when the next completion is
+    /// unchanged instead of flooding the event queue with stale ticks.
+    cpu_wakeup: Option<SimTime>,
     overhead_seq: u64,
     metrics: EngineMetrics,
     /// True while a WatchdogCheck event is pending (exactly one at a time).
@@ -226,6 +230,7 @@ impl Dbms {
             buffer_pool: cfg.buffer_pool.clone().map(BufferPool::new),
             lock_list: cfg.lock_list.clone().map(LockList::new),
             cpu_gen: 0,
+            cpu_wakeup: None,
             overhead_seq: 0,
             metrics: EngineMetrics::new(start),
             watchdog_armed: false,
@@ -274,6 +279,17 @@ impl Dbms {
     /// Total *true* cost of currently executing queries.
     pub fn admitted_true_cost(&self) -> f64 {
         self.admitted_true_cost
+    }
+
+    /// Most jobs (query bursts + overhead tasks) ever resident on the CPU
+    /// at once — the scale the O(log n) kernel actually faced.
+    pub fn peak_cpu_jobs(&self) -> usize {
+        self.cpu.peak_jobs()
+    }
+
+    /// Longest the shared disk queue ever got.
+    pub fn peak_disk_queue(&self) -> usize {
+        self.disks.peak_queue()
     }
 
     /// O(1) lifecycle accounting snapshot (the oracle's conservation
@@ -629,10 +645,21 @@ impl Dbms {
             .set_speed(self.cfg.efficiency(self.admitted_true_cost.max(0.0)));
     }
 
-    /// Bump the CPU generation and schedule the next wake-up.
+    /// Schedule the next CPU wake-up, if it moved.
+    ///
+    /// With the virtual-time kernel a membership change only alters the head
+    /// completion when the new job's finish tag undercuts it (or the head
+    /// itself left), so most calls find `next_completion` unchanged and
+    /// return without invalidating the pending tick — the event queue no
+    /// longer accumulates a stale CpuTick per admission.
     fn reschedule_cpu<E: From<DbmsEvent>>(&mut self, ctx: &mut Ctx<'_, E>) {
+        let next = self.cpu.next_completion();
+        if next == self.cpu_wakeup {
+            return; // pending tick (or idle state) still accurate
+        }
         self.cpu_gen += 1;
-        if let Some(t) = self.cpu.next_completion() {
+        self.cpu_wakeup = next;
+        if let Some(t) = next {
             ctx.schedule_at(t, DbmsEvent::CpuTick { gen: self.cpu_gen }.into());
         }
     }
@@ -646,6 +673,7 @@ impl Dbms {
         if gen != self.cpu_gen {
             return; // stale wake-up; membership changed since scheduling
         }
+        self.cpu_wakeup = None; // the pending tick is being consumed
         let now = ctx.now();
         self.cpu.advance(now);
         let mut finished = Vec::new();

@@ -1,13 +1,103 @@
 //! The simulated hardware: a processor-sharing multi-core CPU and a FCFS
 //! multi-disk I/O subsystem — the two stations of the classic central-server
 //! DBMS performance model.
+//!
+//! ## Virtual-time scheduling (why the CPU kernel is O(log n))
+//!
+//! Under weighted processor sharing every resident job drains at
+//!
+//! ```text
+//! rate_j = speed · min(w_j, cores) · min(1, cores / Σw)
+//! ```
+//!
+//! The rate is *separable*: `rate_j = shared_factor · cap_j` where
+//! `shared_factor = speed · min(1, cores/Σw)` depends only on the mix and
+//! `cap_j = min(w_j, cores)` is a per-job **constant** (weights never change
+//! after admission and `cores` is fixed). So instead of draining every job on
+//! every clock advance (O(n)), the kernel keeps one global virtual-service
+//! accumulator `V` with `dV/dt = shared_factor`: a job admitted with `work`
+//! core-seconds finishes exactly when `V` reaches the constant *finish tag*
+//! `V_admit + work / cap_j`. Membership and speed changes alter `dV/dt`, not
+//! the tags, so
+//!
+//! * `advance` is O(1) + O(log n) per completion actually crossed,
+//! * `next_completion` is a heap peek (the minimum tag),
+//! * add/remove are O(log n) via an indexed binary min-heap.
+//!
+//! The straightforward O(n)-per-event kernel is retained as
+//! [`NaivePsCpu`] (tests and the `naive-ps` feature) and the equivalence
+//! swarm below proves the two produce identical completion orders and
+//! completion times within 1e-9 relative tolerance.
 
 use qsched_sim::{SimDuration, SimTime};
-use std::collections::VecDeque;
-use std::hash::Hash;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::hash::{BuildHasherDefault, Hash, Hasher};
 
 /// Smallest remaining work (in seconds) still considered unfinished.
 const WORK_EPSILON: f64 = 1e-9;
+
+/// A minimal FxHash-style hasher: the id→slot maps sit on the per-event hot
+/// path, and SipHash dominates their cost for integer-like keys. Folding
+/// multiply hashing is deterministic and plenty for job ids.
+#[derive(Default)]
+pub(crate) struct FxHasher {
+    hash: u64,
+}
+
+const FX_SEED: u64 = 0x517c_c1b7_2722_0a95;
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(u64::from(b));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.write_u64(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.write_u64(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ n).wrapping_mul(FX_SEED);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.write_u64(n as u64);
+    }
+}
+
+type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+type FastSet<K> = HashSet<K, BuildHasherDefault<FxHasher>>;
+
+/// One resident job in the virtual-time kernel.
+#[derive(Debug, Clone)]
+struct Slot<J> {
+    id: J,
+    weight: f64,
+    /// `min(weight, cores)`: the job's constant service multiplier.
+    cap: f64,
+    /// Virtual finish tag: `V_admit + work / cap`. Constant for the job's
+    /// whole residency.
+    tag: f64,
+    /// Admission sequence number — FIFO tie-break between equal tags.
+    seq: u64,
+    /// Position of this slot's arena index inside `heap`.
+    heap_pos: usize,
+}
 
 /// A multi-core CPU under **weighted** processor sharing.
 ///
@@ -28,18 +118,41 @@ const WORK_EPSILON: f64 = 1e-9;
 /// job degenerates to egalitarian processor sharing. `speed ∈ (0, 1]` is
 /// the engine's thrashing efficiency factor.
 ///
+/// Internally the kernel runs on virtual time (see the module docs): all
+/// operations are O(log n) or better in the number of resident jobs.
+///
 /// The owner is responsible for draining time (`advance`) before any
 /// mutation and for (re)scheduling a wake-up at [`PsCpu::next_completion`].
 #[derive(Debug, Clone)]
 pub struct PsCpu<J> {
     cores: f64,
     speed: f64,
-    /// `(job, weight, remaining core-seconds)`.
-    jobs: Vec<(J, f64, f64)>,
+    /// Slot storage; freed entries are recycled through `free`.
+    arena: Vec<Slot<J>>,
+    free: Vec<u32>,
+    /// Indexed binary min-heap of arena indices, keyed by `(tag, seq)`.
+    heap: Vec<u32>,
+    /// Job id → arena index: O(1) lookup, O(log n) targeted removal.
+    pos: FastMap<J, u32>,
+    /// Jobs whose tag was crossed during `advance`, awaiting
+    /// [`PsCpu::take_finished`]. Their weight still counts toward
+    /// `total_weight` — exactly like the naive kernel, where a finished but
+    /// not-yet-collected job keeps slowing the mix.
+    finished: Vec<(J, f64)>,
     total_weight: f64,
+    /// Σ cap over heap-resident (unfinished) jobs: the delivered-work rate
+    /// per unit of virtual time.
+    active_cap: f64,
+    /// The virtual-service accumulator `V`, with `dV/dt = shared_factor`.
+    /// Re-anchored to 0 whenever the CPU idles so tags never lose precision
+    /// over long runs.
+    vtime: f64,
+    next_seq: u64,
     last: SimTime,
     /// Cumulative core-seconds of useful work delivered (for utilization).
     delivered: f64,
+    /// Most jobs ever resident at once (diagnostics).
+    peak_jobs: usize,
 }
 
 impl<J: Copy + Eq + Hash> PsCpu<J> {
@@ -52,35 +165,150 @@ impl<J: Copy + Eq + Hash> PsCpu<J> {
         PsCpu {
             cores: f64::from(cores),
             speed: 1.0,
-            jobs: Vec::new(),
+            arena: Vec::new(),
+            free: Vec::new(),
+            heap: Vec::new(),
+            pos: FastMap::default(),
+            finished: Vec::new(),
             total_weight: 0.0,
+            active_cap: 0.0,
+            vtime: 0.0,
+            next_seq: 0,
             last: start,
             delivered: 0.0,
+            peak_jobs: 0,
         }
     }
 
-    /// Service rate of a job with weight `w` under the current mix.
-    fn rate_of(&self, w: f64) -> f64 {
+    /// `dV/dt`: the mix-dependent part of every job's service rate.
+    #[inline]
+    fn shared_factor(&self) -> f64 {
         if self.total_weight <= 0.0 {
-            return 0.0;
+            0.0
+        } else {
+            self.speed * (self.cores / self.total_weight).min(1.0)
         }
-        self.speed * w.min(self.cores) * (self.cores / self.total_weight).min(1.0)
+    }
+
+    /// Min-heap order: `(tag, seq)` ascending. Tags are finite by
+    /// construction.
+    #[inline]
+    fn less(&self, a: u32, b: u32) -> bool {
+        let (sa, sb) = (&self.arena[a as usize], &self.arena[b as usize]);
+        match sa.tag.partial_cmp(&sb.tag) {
+            Some(std::cmp::Ordering::Less) => true,
+            Some(std::cmp::Ordering::Greater) => false,
+            _ => sa.seq < sb.seq,
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if !self.less(self.heap[i], self.heap[parent]) {
+                break;
+            }
+            self.heap.swap(i, parent);
+            self.arena[self.heap[i] as usize].heap_pos = i;
+            self.arena[self.heap[parent] as usize].heap_pos = parent;
+            i = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        loop {
+            let l = 2 * i + 1;
+            let r = l + 1;
+            let mut smallest = i;
+            if l < self.heap.len() && self.less(self.heap[l], self.heap[smallest]) {
+                smallest = l;
+            }
+            if r < self.heap.len() && self.less(self.heap[r], self.heap[smallest]) {
+                smallest = r;
+            }
+            if smallest == i {
+                break;
+            }
+            self.heap.swap(i, smallest);
+            self.arena[self.heap[i] as usize].heap_pos = i;
+            self.arena[self.heap[smallest] as usize].heap_pos = smallest;
+            i = smallest;
+        }
+    }
+
+    /// Remove the heap entry at heap position `i`, returning its arena
+    /// index. O(log n).
+    fn heap_remove_at(&mut self, i: usize) -> u32 {
+        let idx = self.heap[i];
+        let last = self.heap.len() - 1;
+        self.heap.swap(i, last);
+        self.heap.pop();
+        if i < self.heap.len() {
+            self.arena[self.heap[i] as usize].heap_pos = i;
+            if i > 0 && self.less(self.heap[i], self.heap[(i - 1) / 2]) {
+                self.sift_up(i);
+            } else {
+                self.sift_down(i);
+            }
+        }
+        idx
+    }
+
+    /// Pop the heap top into the finished list (weight stays accounted
+    /// until [`PsCpu::take_finished`]).
+    fn cross_top(&mut self) {
+        let idx = self.heap_remove_at(0);
+        let s = &self.arena[idx as usize];
+        let (id, weight, cap) = (s.id, s.weight, s.cap);
+        self.active_cap -= cap;
+        self.pos.remove(&id);
+        self.finished.push((id, weight));
+        self.free.push(idx);
+    }
+
+    /// Clean float residue and re-anchor virtual time when nothing is
+    /// resident.
+    fn reset_if_idle(&mut self) {
+        if self.heap.is_empty() && self.finished.is_empty() {
+            self.total_weight = 0.0;
+            self.active_cap = 0.0;
+            self.vtime = 0.0;
+        }
     }
 
     /// Advance the clock to `now`, draining work from every resident job.
+    /// O(1) plus O(log n) per completion whose tag is crossed.
     pub fn advance(&mut self, now: SimTime) {
         debug_assert!(now >= self.last, "PsCpu time must be monotone");
         let dt = now.saturating_since(self.last).as_secs_f64();
         self.last = now;
-        if dt <= 0.0 || self.jobs.is_empty() {
+        if dt <= 0.0 || (self.heap.is_empty() && self.finished.is_empty()) {
             return;
         }
-        let share = (self.cores / self.total_weight).min(1.0) * self.speed;
-        for (_, w, rem) in &mut self.jobs {
-            let drained = (w.min(self.cores) * share * dt).min(*rem);
-            self.delivered += drained;
-            *rem -= drained;
+        let shared = self.shared_factor();
+        if shared <= 0.0 {
+            return; // unreachable while jobs are resident (weights ≥ 1)
         }
+        let v_end = self.vtime + shared * dt;
+        // Cross completions in tag order. Each crossed job stops draining
+        // (leaves `active_cap`) at its own tag — matching the naive kernel's
+        // per-job `min(drain, remaining)` clamp exactly, including jobs
+        // whose sub-epsilon residue lands just past `v_end`.
+        while let Some(&top) = self.heap.first() {
+            let (tag, cap) = {
+                let s = &self.arena[top as usize];
+                (s.tag, s.cap)
+            };
+            if (tag - v_end) * cap > WORK_EPSILON {
+                break;
+            }
+            let cross = tag.clamp(self.vtime, v_end);
+            self.delivered += (cross - self.vtime) * self.active_cap;
+            self.vtime = cross;
+            self.cross_top();
+        }
+        self.delivered += (v_end - self.vtime).max(0.0) * self.active_cap;
+        self.vtime = v_end;
     }
 
     /// Add a unit-weight job with `work` core-seconds of demand. Call
@@ -90,22 +318,47 @@ impl<J: Copy + Eq + Hash> PsCpu<J> {
     }
 
     /// Add a job with resource-intensity `weight` and `work` core-seconds of
-    /// demand. Call [`PsCpu::advance`] to `now` first.
+    /// demand. Call [`PsCpu::advance`] to `now` first. O(log n).
     ///
     /// # Panics
     /// Panics unless `weight >= 1`; in debug builds also if the job is
-    /// already resident.
+    /// already resident (O(1) via the index map).
     pub fn add_weighted(&mut self, id: J, weight: f64, work: SimDuration) {
         assert!(
             weight >= 1.0 && weight.is_finite(),
             "invalid job weight {weight}"
         );
         debug_assert!(
-            !self.jobs.iter().any(|(j, _, _)| *j == id),
+            !self.pos.contains_key(&id) && !self.finished.iter().any(|(j, _)| *j == id),
             "job added to CPU twice"
         );
-        self.jobs.push((id, weight, work.as_secs_f64()));
+        let cap = weight.min(self.cores);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let slot = Slot {
+            id,
+            weight,
+            cap,
+            tag: self.vtime + work.as_secs_f64() / cap,
+            seq,
+            heap_pos: self.heap.len(),
+        };
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.arena[i as usize] = slot;
+                i
+            }
+            None => {
+                self.arena.push(slot);
+                (self.arena.len() - 1) as u32
+            }
+        };
+        self.heap.push(idx);
+        self.pos.insert(id, idx);
         self.total_weight += weight;
+        self.active_cap += cap;
+        self.sift_up(self.heap.len() - 1);
+        self.peak_jobs = self.peak_jobs.max(self.len());
     }
 
     /// Change the efficiency factor. Call [`PsCpu::advance`] first.
@@ -124,6 +377,182 @@ impl<J: Copy + Eq + Hash> PsCpu<J> {
 
     /// Number of resident jobs.
     pub fn len(&self) -> usize {
+        self.heap.len() + self.finished.len()
+    }
+
+    /// True if no job is resident.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty() && self.finished.is_empty()
+    }
+
+    /// Most jobs ever resident at once.
+    pub fn peak_jobs(&self) -> usize {
+        self.peak_jobs
+    }
+
+    /// When the next job will finish (absolute time), given current
+    /// membership and speed. A heap peek — O(1). `None` when idle.
+    pub fn next_completion(&self) -> Option<SimTime> {
+        if !self.finished.is_empty() {
+            return Some(self.last);
+        }
+        let &top = self.heap.first()?;
+        let slot = &self.arena[top as usize];
+        let shared = self.shared_factor();
+        debug_assert!(shared > 0.0);
+        let dt = ((slot.tag - self.vtime) / shared).max(0.0);
+        // Round *up* to the next microsecond so the job is guaranteed done
+        // when the wake-up fires.
+        Some(self.last + SimDuration::from_micros((dt * 1e6).ceil() as u64))
+    }
+
+    /// Remove and return every finished job. Call [`PsCpu::advance`] first.
+    /// O(1) per job collected.
+    pub fn take_finished(&mut self, out: &mut Vec<J>) {
+        for (id, w) in self.finished.drain(..) {
+            self.total_weight = (self.total_weight - w).max(0.0);
+            out.push(id);
+        }
+        // Jobs finishing exactly at the current instant (zero-work bursts,
+        // or an advance that landed precisely on a tag).
+        while let Some(&top) = self.heap.first() {
+            let (tag, cap) = {
+                let s = &self.arena[top as usize];
+                (s.tag, s.cap)
+            };
+            if (tag - self.vtime) * cap > WORK_EPSILON {
+                break;
+            }
+            let idx = self.heap_remove_at(0);
+            let s = &self.arena[idx as usize];
+            let (id, weight) = (s.id, s.weight);
+            self.active_cap -= s.cap;
+            self.total_weight = (self.total_weight - weight).max(0.0);
+            self.pos.remove(&id);
+            out.push(id);
+            self.free.push(idx);
+        }
+        self.reset_if_idle();
+    }
+
+    /// Remove a specific job (e.g. cancellation), returning its remaining
+    /// work. O(log n) via the index map — no linear scan.
+    pub fn remove(&mut self, id: J) -> Option<SimDuration> {
+        if let Some(idx) = self.pos.remove(&id) {
+            let heap_pos = self.arena[idx as usize].heap_pos;
+            let removed = self.heap_remove_at(heap_pos);
+            debug_assert_eq!(removed, idx);
+            let s = &self.arena[idx as usize];
+            let (weight, cap, tag) = (s.weight, s.cap, s.tag);
+            self.free.push(idx);
+            self.active_cap -= cap;
+            self.total_weight = (self.total_weight - weight).max(0.0);
+            // Compute remaining work *before* the idle reset re-anchors the
+            // virtual clock.
+            let remaining = ((tag - self.vtime) * cap).max(0.0);
+            self.reset_if_idle();
+            return Some(SimDuration::from_secs_f64(remaining));
+        }
+        // Crossed during `advance` but not collected yet: remaining work is
+        // sub-epsilon zero.
+        let k = self.finished.iter().position(|(j, _)| *j == id)?;
+        let (_, w) = self.finished.remove(k);
+        self.total_weight = (self.total_weight - w).max(0.0);
+        self.reset_if_idle();
+        Some(SimDuration::ZERO)
+    }
+
+    /// Total useful core-seconds delivered so far.
+    pub fn delivered_core_seconds(&self) -> f64 {
+        self.delivered
+    }
+}
+
+/// The original O(n)-per-event weighted processor-sharing kernel, kept as
+/// the executable specification for [`PsCpu`]: the equivalence swarm drives
+/// both through identical schedules and demands identical completion orders
+/// and ≤1e-9 relative completion-time error. Compiled for tests and behind
+/// the `naive-ps` feature (scaling benches).
+#[cfg(any(test, feature = "naive-ps"))]
+#[derive(Debug, Clone)]
+pub struct NaivePsCpu<J> {
+    cores: f64,
+    speed: f64,
+    /// `(job, weight, remaining core-seconds)`.
+    jobs: Vec<(J, f64, f64)>,
+    total_weight: f64,
+    last: SimTime,
+    delivered: f64,
+}
+
+#[cfg(any(test, feature = "naive-ps"))]
+impl<J: Copy + Eq + Hash> NaivePsCpu<J> {
+    /// A CPU with `cores` cores, starting idle at `start` with speed 1.
+    pub fn new(cores: u32, start: SimTime) -> Self {
+        assert!(cores >= 1, "need at least one core");
+        NaivePsCpu {
+            cores: f64::from(cores),
+            speed: 1.0,
+            jobs: Vec::new(),
+            total_weight: 0.0,
+            last: start,
+            delivered: 0.0,
+        }
+    }
+
+    /// Service rate of a job with weight `w` under the current mix.
+    fn rate_of(&self, w: f64) -> f64 {
+        if self.total_weight <= 0.0 {
+            return 0.0;
+        }
+        self.speed * w.min(self.cores) * (self.cores / self.total_weight).min(1.0)
+    }
+
+    /// Advance the clock to `now`, draining work from every resident job.
+    /// O(n).
+    pub fn advance(&mut self, now: SimTime) {
+        debug_assert!(now >= self.last, "NaivePsCpu time must be monotone");
+        let dt = now.saturating_since(self.last).as_secs_f64();
+        self.last = now;
+        if dt <= 0.0 || self.jobs.is_empty() {
+            return;
+        }
+        let share = (self.cores / self.total_weight).min(1.0) * self.speed;
+        for (_, w, rem) in &mut self.jobs {
+            let drained = (w.min(self.cores) * share * dt).min(*rem);
+            self.delivered += drained;
+            *rem -= drained;
+        }
+    }
+
+    /// Add a unit-weight job with `work` core-seconds of demand.
+    pub fn add(&mut self, id: J, work: SimDuration) {
+        self.add_weighted(id, 1.0, work);
+    }
+
+    /// Add a job with resource-intensity `weight`. O(1) (amortized), but the
+    /// debug duplicate scan is O(n).
+    pub fn add_weighted(&mut self, id: J, weight: f64, work: SimDuration) {
+        assert!(
+            weight >= 1.0 && weight.is_finite(),
+            "invalid job weight {weight}"
+        );
+        debug_assert!(
+            !self.jobs.iter().any(|(j, _, _)| *j == id),
+            "job added to CPU twice"
+        );
+        self.jobs.push((id, weight, work.as_secs_f64()));
+        self.total_weight += weight;
+    }
+
+    /// Change the efficiency factor.
+    pub fn set_speed(&mut self, speed: f64) {
+        assert!(speed > 0.0 && speed <= 1.0, "invalid CPU speed {speed}");
+        self.speed = speed;
+    }
+
+    /// Number of resident jobs.
+    pub fn len(&self) -> usize {
         self.jobs.len()
     }
 
@@ -132,8 +561,7 @@ impl<J: Copy + Eq + Hash> PsCpu<J> {
         self.jobs.is_empty()
     }
 
-    /// When the next job will finish (absolute time), given current
-    /// membership and speed. `None` when idle.
+    /// When the next job will finish (absolute time). O(n).
     pub fn next_completion(&self) -> Option<SimTime> {
         let mut min_dt = f64::INFINITY;
         for &(_, w, rem) in &self.jobs {
@@ -144,12 +572,10 @@ impl<J: Copy + Eq + Hash> PsCpu<J> {
         if !min_dt.is_finite() {
             return None;
         }
-        // Round *up* to the next microsecond so the job is guaranteed done
-        // when the wake-up fires.
         Some(self.last + SimDuration::from_micros((min_dt.max(0.0) * 1e6).ceil() as u64))
     }
 
-    /// Remove and return every finished job. Call [`PsCpu::advance`] first.
+    /// Remove and return every finished job. O(n).
     pub fn take_finished(&mut self, out: &mut Vec<J>) {
         let mut i = 0;
         while i < self.jobs.len() {
@@ -166,7 +592,7 @@ impl<J: Copy + Eq + Hash> PsCpu<J> {
         }
     }
 
-    /// Remove a specific job (e.g. cancellation), returning its remaining work.
+    /// Remove a specific job, returning its remaining work. O(n).
     pub fn remove(&mut self, id: J) -> Option<SimDuration> {
         let pos = self.jobs.iter().position(|(j, _, _)| *j == id)?;
         let (_, w, rem) = self.jobs.remove(pos);
@@ -187,18 +613,29 @@ impl<J: Copy + Eq + Hash> PsCpu<J> {
 ///
 /// Service times are fixed at request time, so no draining is needed; the
 /// owner schedules a completion event at the returned instant.
+///
+/// The shared queue is indexed: a job-id map gives O(1) membership and
+/// duplicate detection, and mid-queue cancellation tombstones the entry
+/// instead of shifting the deque, so every operation is O(1) amortized.
 #[derive(Debug, Clone)]
 pub struct DiskArray<J> {
     n_disks: usize,
     busy: usize,
-    queue: VecDeque<(J, SimDuration)>,
+    /// FCFS queue of `(seq, job, service)`. Cancelled entries stay in place
+    /// (tombstoned in `cancelled`) and are skipped lazily on pop.
+    queue: VecDeque<(u64, J, SimDuration)>,
+    /// Live queued job → `(seq, service)`.
+    index: FastMap<J, (u64, SimDuration)>,
+    /// Sequence numbers of cancelled entries awaiting lazy removal.
+    cancelled: FastSet<u64>,
+    next_seq: u64,
     /// Cumulative disk-seconds of service delivered.
     delivered: f64,
-    /// Peak queue length observed (diagnostics).
+    /// Peak (live) queue length observed (diagnostics).
     peak_queue: usize,
 }
 
-impl<J: Copy> DiskArray<J> {
+impl<J: Copy + Eq + Hash> DiskArray<J> {
     /// An idle array of `n_disks` disks.
     ///
     /// # Panics
@@ -209,6 +646,9 @@ impl<J: Copy> DiskArray<J> {
             n_disks: n_disks as usize,
             busy: 0,
             queue: VecDeque::new(),
+            index: FastMap::default(),
+            cancelled: FastSet::default(),
+            next_seq: 0,
             delivered: 0.0,
             peak_queue: 0,
         }
@@ -224,8 +664,12 @@ impl<J: Copy> DiskArray<J> {
             self.delivered += service.as_secs_f64();
             Some(now + service)
         } else {
-            self.queue.push_back((id, service));
-            self.peak_queue = self.peak_queue.max(self.queue.len());
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            let prev = self.index.insert(id, (seq, service));
+            debug_assert!(prev.is_none(), "burst queued twice for one job");
+            self.queue.push_back((seq, id, service));
+            self.peak_queue = self.peak_queue.max(self.index.len());
             None
         }
     }
@@ -238,13 +682,31 @@ impl<J: Copy> DiskArray<J> {
     pub fn complete(&mut self, now: SimTime) -> Option<(J, SimTime)> {
         assert!(self.busy > 0, "disk completion with no busy disk");
         self.busy -= 1;
-        if let Some((id, svc)) = self.queue.pop_front() {
+        while let Some((seq, id, svc)) = self.queue.pop_front() {
+            if self.cancelled.remove(&seq) {
+                continue; // tombstone of a cancelled burst
+            }
+            self.index.remove(&id);
             self.busy += 1;
             self.delivered += svc.as_secs_f64();
-            Some((id, now + svc))
-        } else {
-            None
+            return Some((id, now + svc));
         }
+        None
+    }
+
+    /// Cancel a *queued* burst (e.g. query cancellation while waiting for a
+    /// disk), returning its service demand. O(1): the entry is tombstoned in
+    /// place and skipped when it reaches the queue head. Bursts already in
+    /// service cannot be cancelled. Returns `None` if the job is not queued.
+    pub fn cancel_queued(&mut self, id: J) -> Option<SimDuration> {
+        let (seq, svc) = self.index.remove(&id)?;
+        self.cancelled.insert(seq);
+        Some(svc)
+    }
+
+    /// True when a burst for `id` is waiting in the shared queue.
+    pub fn is_queued(&self, id: J) -> bool {
+        self.index.contains_key(&id)
     }
 
     /// Number of bursts currently in service.
@@ -252,9 +714,9 @@ impl<J: Copy> DiskArray<J> {
         self.busy
     }
 
-    /// Number of bursts waiting for a disk.
+    /// Number of bursts waiting for a disk (live entries only).
     pub fn queued(&self) -> usize {
-        self.queue.len()
+        self.index.len()
     }
 
     /// Peak queue length seen so far.
@@ -360,6 +822,56 @@ mod tests {
     }
 
     #[test]
+    fn peak_jobs_tracks_high_water_mark() {
+        let mut cpu: PsCpu<u32> = PsCpu::new(2, SimTime::ZERO);
+        assert_eq!(cpu.peak_jobs(), 0);
+        for id in 0..5 {
+            cpu.add(id, SimDuration::from_secs(1));
+        }
+        cpu.remove(0);
+        cpu.remove(1);
+        assert_eq!(cpu.len(), 3);
+        assert_eq!(cpu.peak_jobs(), 5);
+    }
+
+    #[test]
+    fn total_weight_residue_cleans_to_zero_at_idle() {
+        // Fractional weights guarantee float residue from repeated
+        // subtraction; idling must reset the accumulator (and the virtual
+        // clock) to exactly zero, or shared_factor drifts across busy
+        // periods.
+        let mut cpu: PsCpu<u32> = PsCpu::new(2, SimTime::ZERO);
+        for i in 0..10u32 {
+            cpu.add_weighted(
+                i,
+                1.0 + 0.1 * f64::from(i),
+                SimDuration::from_secs_f64(0.123 + f64::from(i) * 0.077),
+            );
+        }
+        let mut done = Vec::new();
+        while !cpu.is_empty() {
+            let t = cpu.next_completion().expect("busy CPU");
+            cpu.advance(t);
+            cpu.take_finished(&mut done);
+        }
+        assert_eq!(done.len(), 10);
+        assert_eq!(cpu.total_weight, 0.0, "take_finished idle reset");
+        assert_eq!(cpu.vtime, 0.0, "virtual clock re-anchors at idle");
+
+        // The remove path must clean up identically.
+        let t0 = cpu.next_completion().map_or(SimTime::from_secs(100), |t| t);
+        cpu.advance(t0);
+        for i in 0..5u32 {
+            cpu.add_weighted(100 + i, 1.3 + 0.7 * f64::from(i), SimDuration::from_secs(1));
+        }
+        for i in 0..5u32 {
+            cpu.remove(100 + i).expect("resident");
+        }
+        assert_eq!(cpu.total_weight, 0.0, "remove idle reset");
+        assert_eq!(cpu.vtime, 0.0);
+    }
+
+    #[test]
     fn disk_array_serves_up_to_n_concurrently() {
         let mut d: DiskArray<u32> = DiskArray::new(2);
         let t0 = SimTime::ZERO;
@@ -400,9 +912,297 @@ mod tests {
     }
 
     #[test]
+    fn disk_cancel_mid_queue_is_skipped_fifo_preserved() {
+        let mut d: DiskArray<u32> = DiskArray::new(1);
+        let t0 = SimTime::ZERO;
+        d.request(t0, 1, SimDuration::from_secs(1));
+        for id in 2..=5 {
+            assert!(d.request(t0, id, SimDuration::from_secs(1)).is_none());
+        }
+        assert_eq!(d.queued(), 4);
+        // Cancel a middle entry and the head entry.
+        assert_eq!(d.cancel_queued(3), Some(SimDuration::from_secs(1)));
+        assert_eq!(d.cancel_queued(2), Some(SimDuration::from_secs(1)));
+        assert_eq!(d.cancel_queued(3), None, "double cancel returns None");
+        assert!(!d.is_queued(3));
+        assert!(d.is_queued(4));
+        assert_eq!(d.queued(), 2);
+        // FIFO among survivors: 4 then 5.
+        let (a, _) = d.complete(SimTime::from_secs(1)).unwrap();
+        let (b, _) = d.complete(SimTime::from_secs(2)).unwrap();
+        assert_eq!((a, b), (4, 5));
+        assert!(d.complete(SimTime::from_secs(3)).is_none());
+        assert_eq!(d.busy(), 0);
+        assert_eq!(d.queued(), 0);
+    }
+
+    #[test]
+    fn cancelled_burst_does_not_consume_a_disk() {
+        let mut d: DiskArray<u32> = DiskArray::new(1);
+        let t0 = SimTime::ZERO;
+        d.request(t0, 1, SimDuration::from_secs(1));
+        assert!(d.request(t0, 2, SimDuration::from_secs(7)).is_none());
+        d.cancel_queued(2);
+        // The only queued entry was cancelled: completion finds nothing.
+        assert!(d.complete(SimTime::from_secs(1)).is_none());
+        // Its service time was never added to delivered.
+        assert!((d.delivered_disk_seconds() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
     #[should_panic(expected = "no busy disk")]
     fn completing_idle_disk_panics() {
         let mut d: DiskArray<u32> = DiskArray::new(1);
         let _ = d.complete(SimTime::ZERO);
+    }
+}
+
+/// Equivalence swarm: the virtual-time kernel against the naive reference
+/// across randomized add/advance/remove/set-speed schedules.
+#[cfg(test)]
+mod equivalence {
+    use super::*;
+
+    /// Unified driver surface over both kernels.
+    trait Kernel {
+        fn add(&mut self, id: u64, weight: f64, work: SimDuration);
+        fn advance(&mut self, now: SimTime);
+        fn next_completion(&self) -> Option<SimTime>;
+        fn take_finished(&mut self, out: &mut Vec<u64>);
+        fn remove(&mut self, id: u64) -> Option<SimDuration>;
+        fn set_speed(&mut self, speed: f64);
+        fn delivered(&self) -> f64;
+    }
+
+    impl Kernel for PsCpu<u64> {
+        fn add(&mut self, id: u64, weight: f64, work: SimDuration) {
+            self.add_weighted(id, weight, work);
+        }
+        fn advance(&mut self, now: SimTime) {
+            PsCpu::advance(self, now);
+        }
+        fn next_completion(&self) -> Option<SimTime> {
+            PsCpu::next_completion(self)
+        }
+        fn take_finished(&mut self, out: &mut Vec<u64>) {
+            PsCpu::take_finished(self, out);
+        }
+        fn remove(&mut self, id: u64) -> Option<SimDuration> {
+            PsCpu::remove(self, id)
+        }
+        fn set_speed(&mut self, speed: f64) {
+            PsCpu::set_speed(self, speed);
+        }
+        fn delivered(&self) -> f64 {
+            self.delivered_core_seconds()
+        }
+    }
+
+    impl Kernel for NaivePsCpu<u64> {
+        fn add(&mut self, id: u64, weight: f64, work: SimDuration) {
+            self.add_weighted(id, weight, work);
+        }
+        fn advance(&mut self, now: SimTime) {
+            NaivePsCpu::advance(self, now);
+        }
+        fn next_completion(&self) -> Option<SimTime> {
+            NaivePsCpu::next_completion(self)
+        }
+        fn take_finished(&mut self, out: &mut Vec<u64>) {
+            NaivePsCpu::take_finished(self, out);
+        }
+        fn remove(&mut self, id: u64) -> Option<SimDuration> {
+            NaivePsCpu::remove(self, id)
+        }
+        fn set_speed(&mut self, speed: f64) {
+            NaivePsCpu::set_speed(self, speed);
+        }
+        fn delivered(&self) -> f64 {
+            self.delivered_core_seconds()
+        }
+    }
+
+    #[derive(Debug, Clone, Copy)]
+    enum Op {
+        Add { id: u64, weight: f64, work: f64 },
+        Remove { id: u64 },
+        SetSpeed { speed: f64 },
+    }
+
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn unit(state: &mut u64) -> f64 {
+        (splitmix(state) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A random op script: `(time, op)` sorted by time. Random fractional
+    /// weights (including > cores), non-round work values, occasional speed
+    /// changes, removes, and long idle gaps (idle-residue resets).
+    fn random_script(seed: u64, ops: usize) -> Vec<(SimTime, Op)> {
+        let mut rng = seed.wrapping_mul(0x5851_F42D_4C95_7F2D) | 1;
+        let mut t_us: u64 = 0;
+        let mut issued: Vec<u64> = Vec::new();
+        let mut next_id = 0u64;
+        let mut script = Vec::with_capacity(ops);
+        for _ in 0..ops {
+            // Mostly short gaps; occasionally a long one that drains the CPU.
+            t_us += if splitmix(&mut rng) % 10 == 0 {
+                10_000_000 + splitmix(&mut rng) % 10_000_000
+            } else {
+                splitmix(&mut rng) % 400_000
+            };
+            let roll = splitmix(&mut rng) % 100;
+            let op = if roll < 60 || issued.is_empty() {
+                let id = next_id;
+                next_id += 1;
+                issued.push(id);
+                Op::Add {
+                    id,
+                    weight: 1.0 + unit(&mut rng) * 6.5,
+                    work: 0.001 + unit(&mut rng) * 2.5,
+                }
+            } else if roll < 85 {
+                let k = (splitmix(&mut rng) as usize) % issued.len();
+                Op::Remove { id: issued[k] }
+            } else {
+                Op::SetSpeed {
+                    speed: 0.1 + unit(&mut rng) * 0.9,
+                }
+            };
+            script.push((SimTime::from_micros(t_us), op));
+        }
+        script
+    }
+
+    /// Run a kernel through a script, collecting `(time, id)` completions
+    /// (same-instant batches sorted by id, as the engine does) and the
+    /// remaining work reported by each successful remove.
+    fn run_script<K: Kernel>(
+        k: &mut K,
+        script: &[(SimTime, Op)],
+    ) -> (Vec<(SimTime, u64)>, Vec<(u64, f64)>) {
+        let mut completions = Vec::new();
+        let mut removals = Vec::new();
+        let mut i = 0;
+        let mut out = Vec::new();
+        loop {
+            let next_op = script.get(i).map(|(t, _)| *t);
+            let next_done = k.next_completion();
+            let (t, is_done) = match (next_op, next_done) {
+                (None, None) => break,
+                (Some(ot), None) => (ot, false),
+                (None, Some(dt)) => (dt, true),
+                // Completions processed first on ties, like CpuTick events
+                // scheduled before same-instant mutations.
+                (Some(ot), Some(dt)) => {
+                    if dt <= ot {
+                        (dt, true)
+                    } else {
+                        (ot, false)
+                    }
+                }
+            };
+            k.advance(t);
+            if is_done {
+                out.clear();
+                k.take_finished(&mut out);
+                out.sort_unstable();
+                for &id in &out {
+                    completions.push((t, id));
+                }
+            } else {
+                match script[i].1 {
+                    Op::Add { id, weight, work } => {
+                        k.add(id, weight, SimDuration::from_secs_f64(work))
+                    }
+                    Op::Remove { id } => {
+                        if let Some(rem) = k.remove(id) {
+                            removals.push((id, rem.as_secs_f64()));
+                        }
+                    }
+                    Op::SetSpeed { speed } => k.set_speed(speed),
+                }
+                i += 1;
+            }
+        }
+        (completions, removals)
+    }
+
+    /// `|a - b|` within 1 µs of rounding slack plus 1e-9 relative error.
+    fn times_close(a: SimTime, b: SimTime) -> bool {
+        let (au, bu) = (a.as_micros() as i128, b.as_micros() as i128);
+        let tol = 1 + (1e-9 * au.max(bu) as f64).ceil() as i128;
+        (au - bu).abs() <= tol
+    }
+
+    fn assert_equivalent(seed: u64, cores: u32, ops: usize) {
+        let script = random_script(seed, ops);
+        let mut virt: PsCpu<u64> = PsCpu::new(cores, SimTime::ZERO);
+        let mut naive: NaivePsCpu<u64> = NaivePsCpu::new(cores, SimTime::ZERO);
+        let (cv, rv) = run_script(&mut virt, &script);
+        let (cn, rn) = run_script(&mut naive, &script);
+        assert_eq!(cv.len(), cn.len(), "seed {seed}: completion counts diverge");
+        for (k, ((tv, iv), (tn, jn))) in cv.iter().zip(&cn).enumerate() {
+            assert_eq!(iv, jn, "seed {seed}: completion order diverges at #{k}");
+            assert!(
+                times_close(*tv, *tn),
+                "seed {seed}: job {iv} completes at {tv:?} (virtual) vs {tn:?} (naive)"
+            );
+        }
+        assert_eq!(rv.len(), rn.len(), "seed {seed}: removal counts diverge");
+        for ((iv, wv), (jn, wn)) in rv.iter().zip(&rn) {
+            assert_eq!(iv, jn, "seed {seed}: removal order diverges");
+            assert!(
+                (wv - wn).abs() <= 1e-9 * (1.0 + wv.abs()),
+                "seed {seed}: job {iv} remaining {wv} vs {wn}"
+            );
+        }
+        let (dv, dn) = (virt.delivered(), naive.delivered());
+        assert!(
+            (dv - dn).abs() <= 1e-6 * (1.0 + dn.abs()),
+            "seed {seed}: delivered work {dv} vs {dn}"
+        );
+    }
+
+    #[test]
+    fn swarm_matches_naive_reference() {
+        for seed in 0..24u64 {
+            // Cores 1, 2 and 4; weights go up to 7.5, so weight > cores is
+            // exercised at every size.
+            assert_equivalent(seed, [1u32, 2, 4][(seed % 3) as usize], 300);
+        }
+    }
+
+    #[test]
+    fn long_busy_period_stays_in_lockstep() {
+        // One long, heavily contended busy period (few idle resets): tag
+        // arithmetic must not drift from the reference's repeated
+        // subtraction.
+        assert_equivalent(0xDEAD_BEEF, 2, 1_500);
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Random (op-kind, magnitude) streams — weights above the core
+            /// count, fractional works, speed changes, removes and idle
+            /// gaps — never separate the two kernels.
+            #[test]
+            fn virtual_time_kernel_matches_naive(
+                seed in 0u64..1u64 << 48,
+                cores in 1u32..5,
+                ops in 20usize..160,
+            ) {
+                assert_equivalent(seed, cores, ops);
+            }
+        }
     }
 }

@@ -237,6 +237,14 @@ fn main() -> ExitCode {
         out.summary.hours,
         started.elapsed()
     );
+    println!(
+        "perf: {} events in {:.2}s wall = {:.0} events/sec | peak {} cpu jobs, {} disk queue",
+        out.perf.events,
+        out.perf.wall_secs,
+        out.perf.events_per_sec,
+        out.perf.peak_cpu_jobs,
+        out.perf.peak_disk_queue,
+    );
     if let Some(oracle) = &out.oracle {
         println!(
             "oracle: {} invariants, {} checks over {} events, {} violation(s) | recorder digest {:016x} ({} entries)",
@@ -293,6 +301,7 @@ fn main() -> ExitCode {
             "degradation": out.degradation,
             "fault_counts": out.fault_counts,
             "oracle": out.oracle,
+            "perf": out.perf,
         });
         match std::fs::write(
             &path,

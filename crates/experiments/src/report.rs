@@ -137,8 +137,27 @@ impl PeriodCollector {
             warmup_periods,
             degradation: DegradationStats::default(),
             oracle: None,
+            perf: None,
         }
     }
+}
+
+/// Host-side performance of one run: how fast the simulator itself chewed
+/// through the event stream. Purely diagnostic — wall-clock varies by
+/// machine, so it is excluded from serialization (`#[serde(skip)]` at the
+/// use site) and from all determinism digests.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct PerfStats {
+    /// Host wall-clock seconds spent inside the event loop.
+    pub wall_secs: f64,
+    /// Events delivered by the engine.
+    pub events: u64,
+    /// Delivered events per host second.
+    pub events_per_sec: f64,
+    /// Most jobs ever resident on the simulated CPU at once.
+    pub peak_cpu_jobs: usize,
+    /// Longest the simulated disk queue ever got.
+    pub peak_disk_queue: usize,
 }
 
 /// The result of one experiment run.
@@ -164,6 +183,11 @@ pub struct RunReport {
     /// (`None` with the `oracle` feature off or the oracle disabled).
     #[serde(default)]
     pub oracle: Option<qsched_sim::oracle::OracleStats>,
+    /// Host-side throughput of the run. Skipped in serialization: wall-clock
+    /// is machine-dependent and must never enter determinism digests or
+    /// golden files.
+    #[serde(skip)]
+    pub perf: Option<PerfStats>,
 }
 
 impl RunReport {
@@ -356,6 +380,26 @@ mod tests {
         assert_eq!(warm.violated_periods(ClassId(3)), vec![1, 2]);
         // The data itself is retained.
         assert!(warm.cell(0, ClassId(3)).is_some());
+    }
+
+    #[test]
+    fn perf_stats_never_serialize() {
+        // Wall-clock is machine-dependent; if it leaked into the report JSON
+        // it would poison determinism digests and golden files.
+        let mut report = mk_report(&[rec(1, QueryKind::Olap, 0, 0, 50)]);
+        report.perf = Some(PerfStats {
+            wall_secs: 1.23,
+            events: 42,
+            events_per_sec: 34.1,
+            peak_cpu_jobs: 7,
+            peak_disk_queue: 3,
+        });
+        let json = serde_json::to_string(&report).expect("serializes");
+        assert!(!json.contains("perf"), "perf leaked into report JSON");
+        assert!(!json.contains("wall_secs"));
+        // And a report deserialized from disk simply has no perf data.
+        let back: RunReport = serde_json::from_str(&json).expect("round-trips");
+        assert!(back.perf.is_none());
     }
 
     #[test]

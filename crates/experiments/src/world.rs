@@ -1,7 +1,7 @@
 //! The composed experiment world: DBMS + clients + controller.
 
 use crate::config::{ControllerSpec, ExperimentConfig};
-use crate::report::{PeriodCollector, RunReport};
+use crate::report::{PerfStats, PeriodCollector, RunReport};
 use qsched_core::baseline::{NoControl, QpConfig, QpController};
 use qsched_core::controller::{Controller, CtrlEvent, ReleaseAll};
 use qsched_core::feedback::PiController;
@@ -250,6 +250,9 @@ pub struct RunOutput {
     /// flight-recorder digest. `None` when the `oracle` feature is off or
     /// the oracle was disabled in the configuration.
     pub oracle: Option<crate::oracle::OracleReport>,
+    /// Host-side throughput (wall-clock, events/sec, peak populations).
+    /// Machine-dependent: excluded from `summary` and from every digest.
+    pub perf: PerfStats,
 }
 
 /// Build the generator for one class.
@@ -358,8 +361,20 @@ fn build_controller(cfg: &ExperimentConfig, hub: &RngHub) -> Box<dyn Controller<
     }
 }
 
+/// Rough bound on concurrently pending events: each resident client
+/// contributes only a handful (its own timer plus in-flight DBMS events), so
+/// a small multiple of the peak population pre-sizes the queue for the whole
+/// run.
+fn event_capacity_hint(cfg: &ExperimentConfig) -> usize {
+    let peak_clients: u64 = (0..cfg.schedule.classes())
+        .map(|i| u64::from(cfg.schedule.max_count(i)))
+        .sum();
+    (peak_clients as usize) * 4 + 256
+}
+
 /// Run one experiment to completion and aggregate its results.
 pub fn run_experiment(cfg: &ExperimentConfig) -> RunOutput {
+    let wall_start = std::time::Instant::now();
     cfg.validate();
     let hub = RngHub::new(cfg.seed);
     let load = match &cfg.trace {
@@ -391,16 +406,20 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> RunOutput {
     let collector = PeriodCollector::new(cfg.schedule.period_len(), cfg.schedule.periods());
 
     let horizon = SimTime::ZERO + cfg.schedule.total_duration();
-    let mut engine = Engine::new(ExpWorld {
-        dbms,
-        load,
-        controller,
-        collector,
-        notices: Vec::new(),
-        record_sample: cfg.record_sample,
-        records: Vec::new(),
-        oltp_seen: 0,
-    });
+    let capacity = event_capacity_hint(cfg);
+    let mut engine = Engine::with_capacity(
+        ExpWorld {
+            dbms,
+            load,
+            controller,
+            collector,
+            notices: Vec::new(),
+            record_sample: cfg.record_sample,
+            records: Vec::new(),
+            oltp_seen: 0,
+        },
+        capacity,
+    );
     if let Some(plan) = &cfg.faults {
         engine.set_fault_plan(plan.clone());
     }
@@ -463,6 +482,20 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> RunOutput {
     report.degradation = degradation;
     report.oracle = oracle_report.as_ref().map(|r| r.stats);
 
+    let wall_secs = wall_start.elapsed().as_secs_f64();
+    let perf = PerfStats {
+        wall_secs,
+        events,
+        events_per_sec: if wall_secs > 0.0 {
+            events as f64 / wall_secs
+        } else {
+            0.0
+        },
+        peak_cpu_jobs: world.dbms.peak_cpu_jobs(),
+        peak_disk_queue: world.dbms.peak_disk_queue(),
+    };
+    report.perf = Some(perf);
+
     // A violating run dumps a self-contained replay artifact before (maybe)
     // panicking: the artifact must survive even an aborted process.
     #[cfg(feature = "oracle")]
@@ -496,5 +529,6 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> RunOutput {
         degradation,
         fault_counts,
         oracle: oracle_report,
+        perf,
     }
 }

@@ -135,6 +135,15 @@ impl<W: World> Engine<W> {
         }
     }
 
+    /// Like [`Engine::new`], but pre-allocates the event queue for roughly
+    /// `capacity` concurrently pending events, so steady-state operation
+    /// never regrows the heap mid-run.
+    pub fn with_capacity(world: W, capacity: usize) -> Self {
+        let mut engine = Engine::new(world);
+        engine.queue = EventQueue::with_capacity(capacity);
+        engine
+    }
+
     /// Install a fault plan; subsequent event deliveries see it through
     /// [`Ctx::should_inject`]. Replaces any prior plan and resets counts.
     pub fn set_fault_plan(&mut self, plan: FaultPlan) {
@@ -349,6 +358,17 @@ mod tests {
         e.run_until(SimTime::from_secs(20));
         assert_eq!(e.now(), SimTime::from_secs(20));
         assert_eq!(e.pending(), 0);
+    }
+
+    #[test]
+    fn with_capacity_runs_identically() {
+        let mut a = Engine::new(Recorder::default());
+        let mut b = Engine::with_capacity(Recorder::default(), 1024);
+        for e in [&mut a, &mut b] {
+            e.schedule_at(SimTime::from_secs(10), Ev::Ping(0));
+            e.run();
+        }
+        assert_eq!(a.world().seen, b.world().seen);
     }
 
     #[test]

@@ -99,6 +99,16 @@ impl<E> EventQueue<E> {
         self.heap.len()
     }
 
+    /// Number of events the queue can hold without reallocating.
+    pub fn capacity(&self) -> usize {
+        self.heap.capacity()
+    }
+
+    /// Reserve room for at least `additional` more events.
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
+    }
+
     /// True if no events are pending.
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
@@ -151,6 +161,27 @@ mod tests {
         assert_eq!(q.peek_time(), Some(SimTime::from_secs(1)));
         q.clear();
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn with_capacity_preallocates_and_keeps_fifo_ties() {
+        let mut q = EventQueue::with_capacity(256);
+        assert!(q.capacity() >= 256);
+        assert_eq!(q.len(), 0);
+        // Pre-allocation must not disturb same-instant FIFO stability.
+        let t = SimTime::from_secs(9);
+        q.push(SimTime::from_secs(10), 1_000u64);
+        for i in 0..200 {
+            q.push(t, i);
+        }
+        for i in 0..200 {
+            assert_eq!(q.pop(), Some((t, i)));
+        }
+        assert_eq!(q.pop(), Some((SimTime::from_secs(10), 1_000)));
+        // Everything above fit in the initial allocation.
+        assert!(q.capacity() >= 256);
+        q.reserve(1_000);
+        assert!(q.capacity() >= 1_000);
     }
 
     #[test]

@@ -3,8 +3,10 @@
 //! Implemented directly on `proc_macro` (no `syn`/`quote`, which are not
 //! available offline). The parser handles the shapes this workspace
 //! declares: non-generic structs (named, tuple, unit) and enums whose
-//! variants are unit, tuple, or struct-like, with `#[serde(default)]` on
-//! named fields. Enums use serde's externally-tagged representation.
+//! variants are unit, tuple, or struct-like, with `#[serde(default)]` and
+//! `#[serde(skip)]` on named fields (a skipped field is omitted when
+//! serializing and filled from `Default` when deserializing, like real
+//! serde). Enums use serde's externally-tagged representation.
 //! Anything else (generics, lifetimes, unions) produces a compile error
 //! naming the limitation.
 
@@ -13,6 +15,7 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 struct Field {
     name: String,
     default: bool,
+    skip: bool,
 }
 
 enum StructShape {
@@ -90,9 +93,17 @@ impl Cursor {
     }
 }
 
-/// Consume leading attributes; report whether any was `#[serde(default)]`.
-fn parse_attrs(cur: &mut Cursor) -> bool {
-    let mut default = false;
+/// Attribute flags recognized on a named field.
+#[derive(Default, Clone, Copy)]
+struct FieldAttrs {
+    default: bool,
+    skip: bool,
+}
+
+/// Consume leading attributes; report any `#[serde(default)]` /
+/// `#[serde(skip)]` markers.
+fn parse_attrs(cur: &mut Cursor) -> FieldAttrs {
+    let mut attrs = FieldAttrs::default();
     loop {
         match cur.peek() {
             Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
@@ -102,10 +113,15 @@ fn parse_attrs(cur: &mut Cursor) -> bool {
                     if let Some(TokenTree::Ident(head)) = toks.first() {
                         if head.to_string() == "serde" {
                             if let Some(TokenTree::Group(args)) = toks.get(1) {
-                                let has_default = args.stream().into_iter().any(|t| {
-                                    matches!(&t, TokenTree::Ident(i) if i.to_string() == "default")
-                                });
-                                default |= has_default;
+                                for t in args.stream() {
+                                    if let TokenTree::Ident(i) = &t {
+                                        match i.to_string().as_str() {
+                                            "default" => attrs.default = true,
+                                            "skip" => attrs.skip = true,
+                                            _ => {}
+                                        }
+                                    }
+                                }
                             }
                         }
                     }
@@ -114,7 +130,7 @@ fn parse_attrs(cur: &mut Cursor) -> bool {
             _ => break,
         }
     }
-    default
+    attrs
 }
 
 fn skip_visibility(cur: &mut Cursor) {
@@ -152,7 +168,7 @@ fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
     let mut cur = Cursor::new(stream);
     let mut fields = Vec::new();
     while cur.peek().is_some() {
-        let default = parse_attrs(&mut cur);
+        let attrs = parse_attrs(&mut cur);
         skip_visibility(&mut cur);
         let name = cur.expect_ident()?;
         if !cur.eat_punct(':') {
@@ -160,7 +176,11 @@ fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
         }
         skip_type(&mut cur);
         cur.eat_punct(',');
-        fields.push(Field { name, default });
+        fields.push(Field {
+            name,
+            default: attrs.default,
+            skip: attrs.skip,
+        });
     }
     Ok(fields)
 }
@@ -251,6 +271,9 @@ fn parse_item(input: TokenStream) -> Result<Item, String> {
 fn ser_named_fields(fields: &[Field], access_prefix: &str) -> String {
     let mut pushes = String::new();
     for f in fields {
+        if f.skip {
+            continue; // skipped fields never appear in the output
+        }
         pushes.push_str(&format!(
             "(::std::string::String::from(\"{n}\"), \
              ::serde::Serialize::serialize_value({p}{n})),",
@@ -265,6 +288,14 @@ fn ser_named_fields(fields: &[Field], access_prefix: &str) -> String {
 fn de_named_fields(ty_label: &str, fields: &[Field], src_expr: &str) -> String {
     let mut inits = String::new();
     for f in fields {
+        if f.skip {
+            // A skipped field is never read from the input.
+            inits.push_str(&format!(
+                "{n}: ::std::default::Default::default(),",
+                n = f.name,
+            ));
+            continue;
+        }
         let missing = if f.default {
             "::std::default::Default::default()".to_string()
         } else {
