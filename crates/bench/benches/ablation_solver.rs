@@ -1,8 +1,8 @@
 //! Ablation: Performance Solver strategy (DESIGN.md §5).
 //!
-//! Runs the scaled paper workload with the grid, hill-climbing and
-//! proportional solvers, prints the resulting goal adherence, and times one
-//! control-heavy run per strategy.
+//! Runs the scaled paper workload with the grid, marginal, hill-climbing
+//! and proportional solvers, prints the resulting goal adherence, and times
+//! one control-heavy run per strategy.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use qsched_bench::{print_figure, scaled_config, TIMING_SCALE};
@@ -25,6 +25,7 @@ fn spec(kind: SolverKind) -> ControllerSpec {
 fn bench(c: &mut Criterion) {
     let kinds = [
         SolverKind::Grid,
+        SolverKind::Marginal,
         SolverKind::HillClimb,
         SolverKind::Proportional,
     ];

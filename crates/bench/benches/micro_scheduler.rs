@@ -8,7 +8,8 @@ use qsched_core::model::{OlapVelocityModel, OltpLinearModel};
 use qsched_core::plan::Plan;
 use qsched_core::queue::ClassQueues;
 use qsched_core::solver::{
-    ClassState, GridSolver, HillClimbSolver, PlanProblem, ProportionalSolver, Solver,
+    ClassState, GridSolver, HillClimbSolver, MarginalSolver, PlanProblem, ProportionalSolver,
+    Solver,
 };
 use qsched_core::utility::{GoalUtility, UtilityFn};
 use qsched_dbms::query::{ClassId, QueryId, QueryKind};
@@ -18,6 +19,7 @@ use std::collections::BTreeMap;
 
 /// The paper's 3-class problem with mid-run measurements.
 struct Problem {
+    classes: Vec<ClassState>,
     olap_models: BTreeMap<ClassId, OlapVelocityModel>,
     oltp_model: OltpLinearModel,
     utility: GoalUtility,
@@ -34,16 +36,6 @@ impl Problem {
         let mut oltp_model = OltpLinearModel::new(8e-6, 0.9, Timerons::new(20_000.0));
         oltp_model.observe(Some(0.31), Timerons::new(20_000.0));
         Problem {
-            olap_models,
-            oltp_model,
-            utility: GoalUtility::default(),
-        }
-    }
-
-    fn problem(&self) -> PlanProblem<'_> {
-        PlanProblem {
-            system_limit: Timerons::new(30_000.0),
-            floor: Timerons::new(600.0),
             classes: vec![
                 ClassState {
                     class: ClassId(1),
@@ -67,6 +59,17 @@ impl Problem {
                     current_limit: Timerons::new(10_000.0),
                 },
             ],
+            olap_models,
+            oltp_model,
+            utility: GoalUtility::default(),
+        }
+    }
+
+    fn problem(&self) -> PlanProblem<'_> {
+        PlanProblem {
+            system_limit: Timerons::new(30_000.0),
+            floor: Timerons::new(600.0),
+            classes: &self.classes,
             olap_models: &self.olap_models,
             oltp_model: &self.oltp_model,
             utility: &self.utility,
@@ -83,6 +86,10 @@ fn bench_solvers(c: &mut Criterion) {
     });
     g.bench_function("grid_120_steps", |b| {
         let s = GridSolver { steps: 120 };
+        b.iter(|| black_box(s.solve(&fixture.problem())))
+    });
+    g.bench_function("marginal_480_units", |b| {
+        let s = MarginalSolver::default();
         b.iter(|| black_box(s.solve(&fixture.problem())))
     });
     g.bench_function("hill_climb", |b| {

@@ -121,7 +121,7 @@ fn churn_disk(n: usize, events: usize, seed: u64) -> f64 {
             in_service.push(t);
         }
         // ...and occasionally a queued burst is cancelled + replaced.
-        if splitmix(&mut rng) % 8 == 0 {
+        if splitmix(&mut rng).is_multiple_of(8) {
             let victim = next_id - 1 - splitmix(&mut rng) % (n as u64 / 2).max(1);
             if d.cancel_queued(victim).is_some() {
                 next_id += 1;

@@ -1,0 +1,234 @@
+//! Solver scaling sweep: class counts 3 → 64 over the exhaustive
+//! `GridSolver` (capped at the class counts where enumeration stays
+//! feasible, with the reduced step count recorded), `HillClimbSolver` and
+//! the many-class `MarginalSolver`.
+//!
+//! Not a criterion bench: a plain harness that emits a machine-readable
+//! `BENCH_solver.json` at the repo root with ns-per-solve and
+//! achieved-utility-vs-grid columns, so the control-plane cost trajectory
+//! is tracked from commit to commit.
+//!
+//! Environment knobs:
+//! - `QSCHED_BENCH_SCALE=tiny` — CI smoke scale (3 class counts, fewer
+//!   seeds/iterations) instead of the full 3→64 sweep.
+//! - `QSCHED_BENCH_ASSERT=1` — fail unless the marginal solver matches the
+//!   grid utility at n=3 and beats grid latency by ≥10× (tiny) / ≥100×
+//!   (full) at n=8.
+
+use qsched_core::probgen::GenProblem;
+use qsched_core::solver::{GridSolver, HillClimbSolver, MarginalSolver, Solver};
+use qsched_dbms::Timerons;
+use std::time::Instant;
+
+/// Utility achieved by `solver` on `gen`'s problem, via the problem's own
+/// objective (limits read back in class order).
+fn achieved_utility(solver: &dyn Solver, gen: &GenProblem) -> f64 {
+    let problem = gen.problem();
+    let plan = solver.solve(&problem);
+    let limits: Vec<Timerons> = problem
+        .classes
+        .iter()
+        .map(|c| plan.limit(c.class).expect("plan covers every class"))
+        .collect();
+    problem.evaluate(&limits)
+}
+
+/// Number of lattice points the grid solver enumerates:
+/// C(steps + n − 1, n − 1), computed in f64 (monotone overestimates are
+/// fine — this only gates feasibility).
+fn grid_points(steps: u32, n: usize) -> f64 {
+    let mut c = 1.0f64;
+    for i in 1..n {
+        c = c * (f64::from(steps) + i as f64) / i as f64;
+        if c > 1e12 {
+            return c;
+        }
+    }
+    c
+}
+
+/// Largest step count (≤ the default 60) whose enumeration stays under
+/// 200k lattice points, or `None` when even a 6-step grid blows past it.
+fn grid_steps_for(n: usize) -> Option<u32> {
+    [60u32, 30, 24, 16, 12, 8, 6]
+        .into_iter()
+        .find(|&s| grid_points(s, n) <= 200_000.0)
+}
+
+/// Mean ns per solve across `problems`, repeated `iters` times after one
+/// warm-up pass (the marginal solver's scratch and warm start reach steady
+/// state, matching the per-interval replan it models).
+fn time_solver(solver: &dyn Solver, problems: &[GenProblem], iters: usize) -> f64 {
+    for g in problems {
+        std::hint::black_box(solver.solve(&g.problem()));
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        for g in problems {
+            std::hint::black_box(solver.solve(&g.problem()));
+        }
+    }
+    start.elapsed().as_nanos() as f64 / (iters * problems.len()) as f64
+}
+
+fn min_of<F: FnMut() -> f64>(reps: usize, mut f: F) -> f64 {
+    (0..reps).map(|_| f()).fold(f64::INFINITY, f64::min)
+}
+
+struct Row {
+    n: usize,
+    grid_steps: Option<u32>,
+    grid_ns: Option<f64>,
+    hill_ns: f64,
+    marginal_ns: f64,
+    grid_utility: Option<f64>,
+    hill_utility: f64,
+    marginal_utility: f64,
+}
+
+fn main() {
+    let scale = std::env::var("QSCHED_BENCH_SCALE").unwrap_or_default();
+    let tiny = scale == "tiny";
+    let class_counts: &[usize] = if tiny {
+        &[3, 8, 16]
+    } else {
+        &[3, 4, 6, 8, 12, 16, 24, 32, 48, 64]
+    };
+    let (seeds, iters, reps) = if tiny { (2, 20, 2) } else { (4, 50, 3) };
+
+    println!(
+        "solver sweep ({} scale): {} seeds per n, min of {} reps",
+        if tiny { "tiny" } else { "full" },
+        seeds,
+        reps
+    );
+    println!(
+        "{:>4} {:>6} {:>14} {:>14} {:>14} {:>10} {:>10}",
+        "n", "gsteps", "grid ns", "hill ns", "marginal ns", "m-g util", "h-g util"
+    );
+
+    let mut rows = Vec::new();
+    for &n in class_counts {
+        let problems: Vec<GenProblem> = (0..seeds)
+            .map(|s| GenProblem::generate(n, true, 0xBEEF + 1000 * n as u64 + s))
+            .collect();
+
+        let hill = HillClimbSolver::default();
+        let marginal = MarginalSolver::default();
+
+        let mean =
+            |f: &dyn Fn(&GenProblem) -> f64| problems.iter().map(f).sum::<f64>() / seeds as f64;
+        let hill_utility = mean(&|g| achieved_utility(&hill, g));
+        let marginal_utility = mean(&|g| achieved_utility(&marginal, g));
+
+        let hill_ns = min_of(reps, || time_solver(&hill, &problems, iters));
+        let marginal_ns = min_of(reps, || time_solver(&marginal, &problems, iters));
+
+        let grid_steps = grid_steps_for(n);
+        let (grid_ns, grid_utility) = match grid_steps {
+            Some(steps) => {
+                let grid = GridSolver { steps };
+                let u = mean(&|g| achieved_utility(&grid, g));
+                // The grid is orders of magnitude slower: one timed pass.
+                let ns = min_of(reps.min(2), || time_solver(&grid, &problems, 1));
+                (Some(ns), Some(u))
+            }
+            None => (None, None),
+        };
+
+        let fmt_opt = |v: Option<f64>| v.map_or_else(|| "-".into(), |v| format!("{v:.0}"));
+        println!(
+            "{:>4} {:>6} {:>14} {:>14.0} {:>14.0} {:>10} {:>10}",
+            n,
+            grid_steps.map_or_else(|| "-".into(), |s| s.to_string()),
+            fmt_opt(grid_ns),
+            hill_ns,
+            marginal_ns,
+            grid_utility.map_or_else(|| "-".into(), |g| format!("{:+.4}", marginal_utility - g)),
+            grid_utility.map_or_else(|| "-".into(), |g| format!("{:+.4}", hill_utility - g)),
+        );
+        rows.push(Row {
+            n,
+            grid_steps,
+            grid_ns,
+            hill_ns,
+            marginal_ns,
+            grid_utility,
+            hill_utility,
+            marginal_utility,
+        });
+    }
+
+    // Machine-readable trajectory at the repo root.
+    let num = |v: Option<f64>, digits: usize| {
+        v.map_or_else(|| "null".into(), |v| format!("{v:.digits$}"))
+    };
+    let mut json = String::new();
+    json.push_str("{\n  \"schema\": \"qsched-bench-solver/v1\",\n");
+    json.push_str(&format!(
+        "  \"scale\": \"{}\",\n",
+        if tiny { "tiny" } else { "full" }
+    ));
+    json.push_str(&format!(
+        "  \"seeds_per_n\": {seeds},\n  \"iters\": {iters},\n  \"reps\": {reps},\n"
+    ));
+    json.push_str("  \"sweep\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"n\": {}, \"grid_steps\": {}, \"grid_ns_per_solve\": {}, \
+             \"hill_ns_per_solve\": {:.1}, \"marginal_ns_per_solve\": {:.1}, \
+             \"grid_utility\": {}, \"hill_utility\": {:.6}, \"marginal_utility\": {:.6}, \
+             \"marginal_minus_grid_utility\": {}, \"marginal_speedup_vs_grid\": {}}}{}\n",
+            r.n,
+            r.grid_steps
+                .map_or_else(|| "null".into(), |s| s.to_string()),
+            num(r.grid_ns, 1),
+            r.hill_ns,
+            r.marginal_ns,
+            num(r.grid_utility, 6),
+            r.hill_utility,
+            r.marginal_utility,
+            num(r.grid_utility.map(|g| r.marginal_utility - g), 6),
+            num(r.grid_ns.map(|g| g / r.marginal_ns), 1),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let out_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_solver.json");
+    std::fs::write(out_path, &json).expect("write BENCH_solver.json");
+    println!("wrote {out_path}");
+
+    if std::env::var("QSCHED_BENCH_ASSERT").as_deref() == Ok("1") {
+        let at = |n: usize| {
+            rows.iter()
+                .find(|r| r.n == n)
+                .unwrap_or_else(|| panic!("class count {n} missing from sweep"))
+        };
+        // Utility parity with the full-resolution grid at n=3: the marginal
+        // lattice embeds the grid lattice, so marginal must not lose.
+        let small = at(3);
+        let (gu, _gns) = (
+            small.grid_utility.expect("grid runs at n=3"),
+            small.grid_ns.expect("grid timed at n=3"),
+        );
+        assert!(
+            small.marginal_utility >= gu - 1e-6,
+            "marginal lost utility to grid at n=3: {:.6} vs {:.6}",
+            small.marginal_utility,
+            gu
+        );
+        // Latency: the incremental solver must clear the exhaustive grid by
+        // a wide margin at n=8 (coarsened grid, so this is conservative).
+        let mid = at(8);
+        let speedup = mid.grid_ns.expect("grid runs at n=8") / mid.marginal_ns;
+        let need = if tiny { 10.0 } else { 100.0 };
+        assert!(
+            speedup >= need,
+            "marginal only {speedup:.1}x faster than grid at n=8 (need >= {need}x)"
+        );
+        println!(
+            "assertions passed: n=3 utility parity ({:.6} vs {:.6}), n=8 speedup {speedup:.1}x",
+            small.marginal_utility, gu
+        );
+    }
+}

@@ -41,6 +41,9 @@ use std::collections::BTreeMap;
 pub struct Dispatcher {
     /// Current class cost limits (the active scheduling plan).
     limits: BTreeMap<ClassId, Timerons>,
+    /// The controlled classes, sorted — cached at construction so the
+    /// after-plan-change scan is O(classes) with no allocation.
+    controlled: Vec<ClassId>,
     /// Per class: estimated cost and integer count of executing queries.
     /// The count is authoritative for idleness — cost sums accrue float
     /// residue when added and subtracted in different orders, so the cost is
@@ -69,8 +72,10 @@ impl Dispatcher {
         let limits: BTreeMap<ClassId, Timerons> =
             plan.limits().iter().map(|&(c, l)| (c, l)).collect();
         let executing = limits.keys().map(|&c| (c, (Timerons::ZERO, 0))).collect();
+        let controlled = limits.keys().copied().collect();
         Dispatcher {
             limits,
+            controlled,
             executing,
             allow_oversize_when_idle: true,
             released: 0,
@@ -125,6 +130,19 @@ impl Dispatcher {
     /// Panics if the plan names a different class set than the dispatcher
     /// was built with (plans must be a re-division of the same classes).
     pub fn apply_plan(&mut self, plan: &Plan, queues: &mut ClassQueues) -> ReleaseList {
+        let mut out = Vec::new();
+        self.apply_plan_into(plan, queues, &mut out);
+        out
+    }
+
+    /// [`Dispatcher::apply_plan`], appending releases to a caller-owned
+    /// buffer so the steady-state replan path allocates nothing.
+    pub fn apply_plan_into(
+        &mut self,
+        plan: &Plan,
+        queues: &mut ClassQueues,
+        out: &mut ReleaseList,
+    ) {
         for &(c, l) in plan.limits() {
             let slot = self
                 .limits
@@ -137,17 +155,45 @@ impl Dispatcher {
             self.limits.len(),
             "plan omits controlled classes"
         );
-        self.scan_all(queues)
+        // Scan every controlled class: headroom can appear anywhere.
+        for i in 0..self.controlled.len() {
+            let c = self.controlled[i];
+            self.scan_class_into(c, queues, out);
+        }
     }
 
     /// A query of a controlled class was enqueued; release it if it fits.
     pub fn on_enqueued(&mut self, class: ClassId, queues: &mut ClassQueues) -> ReleaseList {
-        self.scan_class(class, queues)
+        let mut out = Vec::new();
+        self.on_enqueued_into(class, queues, &mut out);
+        out
+    }
+
+    /// [`Dispatcher::on_enqueued`] into a caller-owned buffer.
+    pub fn on_enqueued_into(
+        &mut self,
+        class: ClassId,
+        queues: &mut ClassQueues,
+        out: &mut ReleaseList,
+    ) {
+        self.scan_class_into(class, queues, out);
     }
 
     /// A query completed. If it belonged to a controlled class its cost is
     /// returned to the class budget and the queue is re-scanned.
     pub fn on_completed(&mut self, rec: &QueryRecord, queues: &mut ClassQueues) -> ReleaseList {
+        let mut out = Vec::new();
+        self.on_completed_into(rec, queues, &mut out);
+        out
+    }
+
+    /// [`Dispatcher::on_completed`] into a caller-owned buffer.
+    pub fn on_completed_into(
+        &mut self,
+        rec: &QueryRecord,
+        queues: &mut ClassQueues,
+        out: &mut ReleaseList,
+    ) {
         if let Some((cost, count)) = self.executing.get_mut(&rec.class) {
             debug_assert!(*count > 0, "completion for a class with nothing executing");
             *count = count.saturating_sub(1);
@@ -156,9 +202,7 @@ impl Dispatcher {
             } else {
                 cost.saturating_sub(rec.estimated_cost)
             };
-            self.scan_class(rec.class, queues)
-        } else {
-            Vec::new()
+            self.scan_class_into(rec.class, queues, out);
         }
     }
 
@@ -217,10 +261,9 @@ impl Dispatcher {
     }
 
     /// Scan one class queue, releasing head queries while they fit.
-    fn scan_class(&mut self, class: ClassId, queues: &mut ClassQueues) -> ReleaseList {
-        let mut out = Vec::new();
+    fn scan_class_into(&mut self, class: ClassId, queues: &mut ClassQueues, out: &mut ReleaseList) {
         let Some(&limit) = self.limits.get(&class) else {
-            return out;
+            return;
         };
         while let Some(head) = queues.peek(class) {
             let (executing, count) = self
@@ -251,17 +294,6 @@ impl Dispatcher {
             self.released += 1;
             out.push((class, head.id));
         }
-        out
-    }
-
-    /// Scan every controlled class (after a plan change).
-    fn scan_all(&mut self, queues: &mut ClassQueues) -> ReleaseList {
-        let classes: Vec<ClassId> = self.limits.keys().copied().collect();
-        let mut out = Vec::new();
-        for c in classes {
-            out.extend(self.scan_class(c, queues));
-        }
-        out
     }
 }
 

@@ -38,8 +38,11 @@
 //!   importance matters only under goal violation (§4.2 "Importance of
 //!   classes").
 //! * [`solver`] — the Performance Solver: maximizes total utility over the
-//!   cost-limit simplex (grid search, hill climbing, or a naive
-//!   proportional baseline for ablations).
+//!   cost-limit simplex (exhaustive grid search as the executable spec,
+//!   marginal-utility water-filling for many classes, hill climbing, and a
+//!   naive proportional baseline for ablations).
+//! * [`probgen`] — seeded random plan-problem generation, shared by the
+//!   solver equivalence swarm and the solver scaling bench.
 //! * [`plan`] — scheduling plans (cost-limit vectors) and plan logs.
 //! * [`monitor`] — per-control-interval measurement: class velocities from
 //!   completions and OLTP response times from snapshot samples.
@@ -71,6 +74,7 @@ pub mod model;
 pub mod monitor;
 pub mod mpl;
 pub mod plan;
+pub mod probgen;
 pub mod queue;
 pub mod scheduler;
 pub mod solver;

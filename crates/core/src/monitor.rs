@@ -23,12 +23,41 @@ pub struct ClassMeasurement {
     pub completions: u64,
 }
 
+/// Per-class running aggregates for the current interval.
+#[derive(Debug, Clone, Default)]
+struct ClassSlot {
+    velocity: Welford,
+    response: Welford,
+    completions: u64,
+}
+
+impl ClassSlot {
+    fn measurement(&self) -> ClassMeasurement {
+        ClassMeasurement {
+            velocity: (!self.velocity.is_empty()).then(|| self.velocity.mean()),
+            response_secs: (!self.response.is_empty()).then(|| self.response.mean()),
+            completions: self.completions,
+        }
+    }
+
+    fn reset(&mut self) {
+        self.velocity.reset();
+        self.response.reset();
+        self.completions = 0;
+    }
+}
+
 /// Accumulates measurements between control ticks.
+///
+/// Aggregates are updated incrementally per completion/snapshot into a
+/// sorted per-class slot vector that is *reset in place* at each interval
+/// boundary, so the steady-state measurement path is O(active classes) per
+/// interval with no allocation (slots are only allocated the first time a
+/// class is observed).
 #[derive(Debug, Clone)]
 pub struct IntervalMonitor {
-    velocity: BTreeMap<ClassId, Welford>,
-    response: BTreeMap<ClassId, Welford>,
-    completions: BTreeMap<ClassId, u64>,
+    /// Per-class aggregates, sorted by class for O(log n) lookup.
+    slots: Vec<(ClassId, ClassSlot)>,
     last_snapshot: SimTime,
 }
 
@@ -36,21 +65,36 @@ impl IntervalMonitor {
     /// A monitor starting its first interval at `start`.
     pub fn new(start: SimTime) -> Self {
         IntervalMonitor {
-            velocity: BTreeMap::new(),
-            response: BTreeMap::new(),
-            completions: BTreeMap::new(),
+            slots: Vec::new(),
             last_snapshot: start,
         }
     }
 
+    fn slot_mut(&mut self, class: ClassId) -> &mut ClassSlot {
+        let i = match self.slots.binary_search_by_key(&class, |&(c, _)| c) {
+            Ok(i) => i,
+            Err(i) => {
+                self.slots.insert(i, (class, ClassSlot::default()));
+                i
+            }
+        };
+        &mut self.slots[i].1
+    }
+
+    fn slot(&self, class: ClassId) -> Option<&ClassSlot> {
+        self.slots
+            .binary_search_by_key(&class, |&(c, _)| c)
+            .ok()
+            .map(|i| &self.slots[i].1)
+    }
+
     /// Feed one completed query (velocity measurement for OLAP classes).
     pub fn on_completed(&mut self, rec: &QueryRecord) {
-        *self.completions.entry(rec.class).or_insert(0) += 1;
+        let velocity = rec.velocity();
+        let slot = self.slot_mut(rec.class);
+        slot.completions += 1;
         if rec.kind == QueryKind::Olap {
-            self.velocity
-                .entry(rec.class)
-                .or_default()
-                .push(rec.velocity());
+            slot.velocity.push(velocity);
         }
     }
 
@@ -60,9 +104,8 @@ impl IntervalMonitor {
     pub fn on_snapshot(&mut self, now: SimTime, samples: &[ClientSample]) {
         for s in samples {
             if s.kind == QueryKind::Oltp && s.finished_at >= self.last_snapshot {
-                self.response
-                    .entry(s.class)
-                    .or_default()
+                self.slot_mut(s.class)
+                    .response
                     .push(s.response_time.as_secs_f64());
             }
         }
@@ -75,34 +118,41 @@ impl IntervalMonitor {
         self.last_snapshot
     }
 
+    /// Close the interval: push per-class measurements (in `classes` order)
+    /// into a caller-owned buffer, then reset every slot in place. The
+    /// allocation-free path for the scheduler's replan loop.
+    pub fn end_interval_into(
+        &mut self,
+        classes: &[ClassId],
+        out: &mut Vec<(ClassId, ClassMeasurement)>,
+    ) {
+        out.clear();
+        for &c in classes {
+            let m = self
+                .slot(c)
+                .map_or_else(ClassSlot::default_measurement, ClassSlot::measurement);
+            out.push((c, m));
+        }
+        for (_, slot) in &mut self.slots {
+            slot.reset();
+        }
+    }
+
     /// Close the interval: return per-class measurements and reset.
     pub fn end_interval(&mut self, classes: &[ClassId]) -> BTreeMap<ClassId, ClassMeasurement> {
-        let mut out = BTreeMap::new();
-        for &c in classes {
-            let velocity = self
-                .velocity
-                .get(&c)
-                .filter(|w| !w.is_empty())
-                .map(Welford::mean);
-            let response_secs = self
-                .response
-                .get(&c)
-                .filter(|w| !w.is_empty())
-                .map(Welford::mean);
-            let completions = self.completions.get(&c).copied().unwrap_or(0);
-            out.insert(
-                c,
-                ClassMeasurement {
-                    velocity,
-                    response_secs,
-                    completions,
-                },
-            );
+        let mut buf = Vec::with_capacity(classes.len());
+        self.end_interval_into(classes, &mut buf);
+        buf.into_iter().collect()
+    }
+}
+
+impl ClassSlot {
+    fn default_measurement() -> ClassMeasurement {
+        ClassMeasurement {
+            velocity: None,
+            response_secs: None,
+            completions: 0,
         }
-        self.velocity.clear();
-        self.response.clear();
-        self.completions.clear();
-        out
     }
 }
 

@@ -85,6 +85,21 @@ impl Plan {
     pub fn respects(&self, system_limit: Timerons) -> bool {
         self.total().get() <= system_limit.get() * (1.0 + 1e-9)
     }
+
+    /// Overwrite this plan's limits with the matching classes' limits from
+    /// `source`, which may cover a superset of classes. In place, so a
+    /// steady-state caller (the scheduler's dispatch sub-plan) reuses one
+    /// allocation across control intervals.
+    ///
+    /// # Panics
+    /// Panics if `source` lacks one of this plan's classes.
+    pub fn copy_limits_from(&mut self, source: &Plan) {
+        for (c, l) in &mut self.limits {
+            *l = source
+                .limit(*c)
+                .unwrap_or_else(|| panic!("source plan lacks {c}"));
+        }
+    }
 }
 
 /// Time-stamped history of plans — the data behind the paper's Figure 7.

@@ -1,0 +1,165 @@
+//! Seeded random [`PlanProblem`](crate::solver::PlanProblem) generation.
+//!
+//! Shared by the solver equivalence swarm (tests) and the solver scaling
+//! bench: both need many-class problems with realistic measurement spreads,
+//! produced deterministically from a seed so failures replay.
+
+use crate::class::Goal;
+use crate::model::{OlapVelocityModel, OltpLinearModel};
+use crate::solver::{ClassState, PlanProblem};
+use crate::utility::GoalUtility;
+use qsched_dbms::query::{ClassId, QueryKind};
+use qsched_dbms::Timerons;
+use qsched_sim::SimDuration;
+use std::collections::BTreeMap;
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn unit(state: &mut u64) -> f64 {
+    (splitmix(state) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// An owned, randomly generated plan problem: `n − 1` (or `n`) OLAP classes
+/// plus at most one OLTP class, with per-class models observed at plausible
+/// operating points.
+#[derive(Debug)]
+pub struct GenProblem {
+    /// Total admission budget.
+    pub system_limit: Timerons,
+    /// Per-class floor; shrinks with `n` so large class counts stay feasible.
+    pub floor: Timerons,
+    /// Class states, in `ClassId` order (ids `1..=n`).
+    pub classes: Vec<ClassState>,
+    /// One velocity model per OLAP class.
+    pub olap_models: BTreeMap<ClassId, OlapVelocityModel>,
+    /// The OLTP regression (observed even when no OLTP class exists; unused
+    /// by the objective in that case).
+    pub oltp_model: OltpLinearModel,
+    /// The paper's goal utility.
+    pub utility: GoalUtility,
+}
+
+impl GenProblem {
+    /// Generate an `n`-class problem from `seed`. With `with_oltp`, class
+    /// `n` is the (single) OLTP class, indirectly controlled as in the
+    /// paper; otherwise every class is OLAP.
+    pub fn generate(n: usize, with_oltp: bool, seed: u64) -> Self {
+        assert!(n >= 1);
+        let mut rng = seed | 1;
+        let system_limit = 30_000.0;
+        // The paper's 600-timeron floor, shrunk when many classes would
+        // otherwise exceed the budget (keep half the budget re-assignable).
+        let floor = (0.5 * system_limit / n as f64).min(600.0);
+        let even = system_limit / n as f64;
+
+        let mut classes = Vec::with_capacity(n);
+        let mut olap_models = BTreeMap::new();
+        for i in 1..=n {
+            let class = ClassId(i as u16);
+            let importance = 1 + (splitmix(&mut rng) % 5) as u8;
+            // Current limits spread around the even split so warm starts are
+            // non-trivial (they get projected onto the simplex anyway).
+            let current_limit = Timerons::new(even * (0.3 + 1.4 * unit(&mut rng)));
+            if with_oltp && i == n {
+                classes.push(ClassState {
+                    class,
+                    kind: QueryKind::Oltp,
+                    importance,
+                    goal: Goal::AvgResponseAtMost(SimDuration::from_millis(
+                        50 + splitmix(&mut rng) % 450,
+                    )),
+                    current_limit,
+                });
+            } else {
+                let mut m = OlapVelocityModel::new(Timerons::new(even));
+                m.observe(Some(0.05 + 0.95 * unit(&mut rng)), Timerons::new(even));
+                olap_models.insert(class, m);
+                classes.push(ClassState {
+                    class,
+                    kind: QueryKind::Olap,
+                    importance,
+                    goal: Goal::VelocityAtLeast(0.1 + 0.8 * unit(&mut rng)),
+                    current_limit,
+                });
+            }
+        }
+        // The OLTP regression observed at the current OLAP total, with a
+        // slope spanning "insensitive" to "one timeron ≈ 50 µs".
+        let olap_total: f64 = classes
+            .iter()
+            .filter(|c| c.kind == QueryKind::Olap)
+            .map(|c| c.current_limit.get())
+            .sum();
+        let slope = 5e-5 * unit(&mut rng);
+        let mut oltp_model = OltpLinearModel::new(slope, 1.0, Timerons::new(olap_total.max(1.0)));
+        oltp_model.observe(
+            Some(0.01 + 2.0 * unit(&mut rng)),
+            Timerons::new(olap_total.max(1.0)),
+        );
+
+        GenProblem {
+            system_limit: Timerons::new(system_limit),
+            floor: Timerons::new(floor),
+            classes,
+            olap_models,
+            oltp_model,
+            utility: GoalUtility::default(),
+        }
+    }
+
+    /// Borrow as a solver problem.
+    pub fn problem(&self) -> PlanProblem<'_> {
+        PlanProblem {
+            system_limit: self.system_limit,
+            floor: self.floor,
+            classes: &self.classes,
+            olap_models: &self.olap_models,
+            oltp_model: &self.oltp_model,
+            utility: &self.utility,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_feasible() {
+        for n in [1, 2, 3, 4, 8, 64] {
+            let a = GenProblem::generate(n, n > 1, 42);
+            let b = GenProblem::generate(n, n > 1, 42);
+            assert_eq!(a.classes.len(), n);
+            assert_eq!(
+                a.classes.iter().map(|c| c.current_limit.get()).sum::<f64>(),
+                b.classes.iter().map(|c| c.current_limit.get()).sum::<f64>(),
+                "same seed must give the same problem"
+            );
+            assert!(
+                a.floor.get() * n as f64 <= a.system_limit.get() * 0.5 + 1e-9,
+                "floors must leave half the budget re-assignable at n={n}"
+            );
+            let oltp = a
+                .classes
+                .iter()
+                .filter(|c| c.kind == QueryKind::Oltp)
+                .count();
+            assert!(oltp <= 1);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = GenProblem::generate(4, true, 1);
+        let b = GenProblem::generate(4, true, 2);
+        let la: Vec<f64> = a.classes.iter().map(|c| c.current_limit.get()).collect();
+        let lb: Vec<f64> = b.classes.iter().map(|c| c.current_limit.get()).collect();
+        assert_ne!(la, lb);
+    }
+}

@@ -12,9 +12,9 @@ use crate::class::ServiceClass;
 use crate::classify::{ByClassTag, Classifier};
 use crate::controller::{Controller, CtrlEvent};
 use crate::detect::{DetectorConfig, WorkloadDetector};
-use crate::dispatch::Dispatcher;
+use crate::dispatch::{Dispatcher, ReleaseList};
 use crate::model::{OlapVelocityModel, OltpLinearModel};
-use crate::monitor::IntervalMonitor;
+use crate::monitor::{ClassMeasurement, IntervalMonitor};
 use crate::plan::{Plan, PlanLog};
 use crate::queue::{ClassQueues, QueueDiscipline};
 use crate::solver::{ClassState, PlanProblem, Solver};
@@ -138,6 +138,8 @@ pub struct QueryScheduler {
     cfg: SchedulerConfig,
     classes: Vec<ServiceClass>,
     class_ids: Vec<ClassId>,
+    /// The OLAP class ids, sorted (membership tests in O(log n)).
+    olap_ids: Vec<ClassId>,
     queues: ClassQueues,
     dispatcher: Dispatcher,
     monitor: IntervalMonitor,
@@ -161,6 +163,14 @@ pub struct QueryScheduler {
     /// reconciliation: every held row is queued, retry-pending, or has a
     /// delayed release in flight.
     pending_retries: BTreeSet<QueryId>,
+    /// The dispatcher's sub-plan (OLAP classes, or all classes under direct
+    /// OLTP control), updated in place at each replan.
+    dispatch_plan: Plan,
+    /// Scratch reused across control intervals so the steady-state replan
+    /// path is O(active classes) with no per-interval allocation.
+    scratch_states: Vec<ClassState>,
+    meas_buf: Vec<(ClassId, ClassMeasurement)>,
+    release_buf: ReleaseList,
 }
 
 impl QueryScheduler {
@@ -228,12 +238,21 @@ impl QueryScheduler {
             .reactive_replanning
             .then(|| WorkloadDetector::new(cfg.detector.clone(), SimTime::ZERO));
         let has_oltp = oltp_count > 0;
+        let mut olap_ids: Vec<ClassId> = classes
+            .iter()
+            .filter(|c| c.kind == QueryKind::Olap)
+            .map(|c| c.id)
+            .collect();
+        olap_ids.sort_unstable();
+        let n_classes = classes.len();
         QueryScheduler {
             dispatcher: Dispatcher::new(&dispatch_plan),
+            dispatch_plan,
             monitor: IntervalMonitor::new(SimTime::ZERO),
             plan_log: PlanLog::new(&plan, SimTime::ZERO),
             queues: ClassQueues::with_discipline(cfg.queue_discipline),
             class_ids: ids,
+            olap_ids,
             olap_models,
             oltp_model,
             solver,
@@ -248,6 +267,9 @@ impl QueryScheduler {
             has_oltp,
             implausible_seen: false,
             pending_retries: BTreeSet::new(),
+            scratch_states: Vec::with_capacity(n_classes),
+            meas_buf: Vec::with_capacity(n_classes),
+            release_buf: Vec::new(),
         }
     }
 
@@ -322,11 +344,27 @@ impl QueryScheduler {
         &mut self,
         ctx: &mut Ctx<'_, E>,
         dbms: &mut Dbms,
-        releases: Vec<(ClassId, QueryId)>,
+        releases: &[(ClassId, QueryId)],
     ) {
-        for (_, id) in releases {
+        for &(_, id) in releases {
             self.attempt_release(ctx, dbms, id, 0);
         }
+    }
+
+    /// Run a dispatcher scan through the reusable release buffer, then issue
+    /// the release commands. Keeps the hot enqueue/complete/replan paths
+    /// free of per-event allocation.
+    fn dispatch_and_release<E: From<CtrlEvent> + From<DbmsEvent>>(
+        &mut self,
+        ctx: &mut Ctx<'_, E>,
+        dbms: &mut Dbms,
+        scan: impl FnOnce(&mut Dispatcher, &mut ClassQueues, &mut ReleaseList),
+    ) {
+        let mut releases = std::mem::take(&mut self.release_buf);
+        releases.clear();
+        scan(&mut self.dispatcher, &mut self.queues, &mut releases);
+        self.perform_releases(ctx, dbms, &releases);
+        self.release_buf = releases;
     }
 
     /// Issue (or re-issue) one release command. A command can be lost in
@@ -391,26 +429,37 @@ impl QueryScheduler {
         dbms: &mut Dbms,
     ) {
         let now = ctx.now();
-        // 1. Measure the interval that just ended.
-        let meas = self.monitor.end_interval(&self.class_ids);
+        // 1. Measure the interval that just ended (reusable buffer, sorted
+        // by class id because `class_ids` is sorted).
+        let mut meas = std::mem::take(&mut self.meas_buf);
+        self.monitor.end_interval_into(&self.class_ids, &mut meas);
+        let meas_of = |buf: &[(ClassId, ClassMeasurement)], id: ClassId| {
+            buf.binary_search_by_key(&id, |&(c, _)| c)
+                .ok()
+                .map(|i| buf[i].1)
+        };
         // 2. Update the models against the limits that were in effect.
-        let olap_total = Self::olap_total_of(&self.classes, &self.plan);
+        let olap_total = self
+            .plan
+            .total_where(|c| self.olap_ids.binary_search(&c).is_ok());
         for c in &self.classes {
             match c.kind {
                 QueryKind::Olap => {
                     let limit = self.plan.limit(c.id).expect("class in plan");
-                    let v = meas.get(&c.id).and_then(|m| m.velocity);
+                    let v = meas_of(&meas, c.id).and_then(|m| m.velocity);
                     self.olap_models
                         .get_mut(&c.id)
                         .expect("model per OLAP class")
                         .observe(v, limit);
                 }
                 QueryKind::Oltp => {
-                    let t = meas.get(&c.id).and_then(|m| m.response_secs);
+                    let t = meas_of(&meas, c.id).and_then(|m| m.response_secs);
                     self.oltp_model.observe(t, olap_total);
                 }
             }
         }
+        meas.clear();
+        self.meas_buf = meas;
         // 3. Solve for a new plan — or fall back to the last-known-good one
         // when the inputs are stale (monitor dead past the staleness bound)
         // or the solver fails (fault channel "solver.fail": timeout /
@@ -435,20 +484,22 @@ impl QueryScheduler {
             self.degradation.plan_fallbacks += 1;
             self.plan.clone()
         } else {
+            // Refill the scratch class-state buffer (warm start: the solver
+            // sees the active limits as the incumbent plan).
+            self.scratch_states.clear();
+            for c in &self.classes {
+                self.scratch_states.push(ClassState {
+                    class: c.id,
+                    kind: c.kind,
+                    importance: c.importance,
+                    goal: c.goal,
+                    current_limit: self.plan.limit(c.id).expect("class in plan"),
+                });
+            }
             let problem = PlanProblem {
                 system_limit: self.cfg.system_limit,
                 floor: self.cfg.system_limit * self.cfg.floor_fraction,
-                classes: self
-                    .classes
-                    .iter()
-                    .map(|c| ClassState {
-                        class: c.id,
-                        kind: c.kind,
-                        importance: c.importance,
-                        goal: c.goal,
-                        current_limit: self.plan.limit(c.id).expect("class in plan"),
-                    })
-                    .collect(),
+                classes: &self.scratch_states,
                 olap_models: &self.olap_models,
                 oltp_model: &self.oltp_model,
                 utility: self.utility.as_ref(),
@@ -482,14 +533,15 @@ impl QueryScheduler {
         self.plan_log.record(&new_plan, now);
         self.plan = new_plan;
         self.control_intervals += 1;
-        // 4. Let the dispatcher act on the new limits.
-        let sub = if self.cfg.direct_oltp {
-            self.plan.clone()
-        } else {
-            Self::olap_subplan(&self.classes, &self.plan)
-        };
-        let releases = self.dispatcher.apply_plan(&sub, &mut self.queues);
-        self.perform_releases(ctx, dbms, releases);
+        // 4. Let the dispatcher act on the new limits. The sub-plan covers
+        // the controlled classes and is refreshed in place — no allocation.
+        self.dispatch_plan.copy_limits_from(&self.plan);
+        let mut releases = std::mem::take(&mut self.release_buf);
+        releases.clear();
+        self.dispatcher
+            .apply_plan_into(&self.dispatch_plan, &mut self.queues, &mut releases);
+        self.perform_releases(ctx, dbms, &releases);
+        self.release_buf = releases;
     }
 
     /// Full controller-book audit (the oracle's scheduler surface). This is
@@ -579,8 +631,9 @@ impl<E: From<CtrlEvent> + From<DbmsEvent>> Controller<E> for QueryScheduler {
                     self.implausible_seen = true;
                 }
                 self.queues.enqueue(class, row.id, row.estimated_cost);
-                let releases = self.dispatcher.on_enqueued(class, &mut self.queues);
-                self.perform_releases(ctx, dbms, releases);
+                self.dispatch_and_release(ctx, dbms, |d, q, out| {
+                    d.on_enqueued_into(class, q, out);
+                });
             }
             DbmsNotice::Rejected(_) => {}
             DbmsNotice::Starved(row) => {
@@ -606,8 +659,9 @@ impl<E: From<CtrlEvent> + From<DbmsEvent>> Controller<E> for QueryScheduler {
                         d.on_arrival(rec.class);
                     }
                 }
-                let releases = self.dispatcher.on_completed(rec, &mut self.queues);
-                self.perform_releases(ctx, dbms, releases);
+                self.dispatch_and_release(ctx, dbms, |d, q, out| {
+                    d.on_completed_into(rec, q, out);
+                });
             }
         }
     }

@@ -8,8 +8,8 @@ use qsched_core::model::{OlapVelocityModel, OltpLinearModel};
 use qsched_core::plan::Plan;
 use qsched_core::queue::ClassQueues;
 use qsched_core::solver::{
-    project_to_simplex, ClassState, GridSolver, HillClimbSolver, PlanProblem, ProportionalSolver,
-    Solver,
+    project_to_simplex, ClassState, GridSolver, HillClimbSolver, MarginalSolver, PlanProblem,
+    ProportionalSolver, Solver,
 };
 use qsched_core::utility::{GoalUtility, UtilityFn};
 use qsched_dbms::query::{ClassId, ClientId, QueryId, QueryKind, QueryRecord};
@@ -68,10 +68,11 @@ fn classes() -> Vec<ClassState> {
 fn check_solvers_feasible_and_grid_dominates(v1: f64, v2: f64, t3: f64, slope: f64) {
     let (olap_models, oltp_model) = problem_fixture(v1, v2, t3, slope);
     let utility = GoalUtility::default();
+    let class_states = classes();
     let problem = PlanProblem {
         system_limit: Timerons::new(30_000.0),
         floor: Timerons::new(600.0),
-        classes: classes(),
+        classes: &class_states,
         olap_models: &olap_models,
         oltp_model: &oltp_model,
         utility: &utility,
@@ -80,6 +81,7 @@ fn check_solvers_feasible_and_grid_dominates(v1: f64, v2: f64, t3: f64, slope: f
         |plan: &Plan| problem.evaluate(&plan.limits().iter().map(|&(_, l)| l).collect::<Vec<_>>());
     for solver in [
         Box::new(GridSolver::default()) as Box<dyn Solver>,
+        Box::new(MarginalSolver::default()),
         Box::new(HillClimbSolver::default()),
         Box::new(ProportionalSolver),
     ] {
@@ -166,6 +168,54 @@ proptest! {
                     prop_assert!(p[i].get() >= p[j].get() - 1e-9, "order inverted");
                 }
             }
+        }
+    }
+
+    /// Projecting twice is the same as projecting once: the projection's
+    /// image is inside the feasible simplex, and points already on the
+    /// simplex are (approximately) fixed.
+    #[test]
+    fn projection_is_idempotent(
+        xs in prop::collection::vec(0.0f64..50_000.0, 1..8),
+        total in 10_000.0f64..100_000.0,
+    ) {
+        let floor = total / (xs.len() as f64) / 10.0;
+        let v: Vec<Timerons> = xs.iter().map(|&x| Timerons::new(x)).collect();
+        let once = project_to_simplex(&v, Timerons::new(total), Timerons::new(floor));
+        let twice = project_to_simplex(&once, Timerons::new(total), Timerons::new(floor));
+        for (a, b) in once.iter().zip(&twice) {
+            prop_assert!(
+                (a.get() - b.get()).abs() < 1e-6 * total,
+                "re-projection moved {} -> {}",
+                a.get(),
+                b.get()
+            );
+        }
+    }
+
+    /// Permutation equivariance: projecting a shuffled vector equals
+    /// shuffling the projection — no coordinate is privileged.
+    #[test]
+    fn projection_is_permutation_equivariant(
+        xs in prop::collection::vec(0.0f64..50_000.0, 2..8),
+        total in 10_000.0f64..100_000.0,
+        rot in 1usize..8,
+    ) {
+        let n = xs.len();
+        let rot = rot % n;
+        let floor = total / (n as f64) / 10.0;
+        let v: Vec<Timerons> = xs.iter().map(|&x| Timerons::new(x)).collect();
+        let p = project_to_simplex(&v, Timerons::new(total), Timerons::new(floor));
+        // Rotate the input, project, rotate the result back.
+        let rotated: Vec<Timerons> = (0..n).map(|i| v[(i + rot) % n]).collect();
+        let pr = project_to_simplex(&rotated, Timerons::new(total), Timerons::new(floor));
+        for i in 0..n {
+            let direct = p[(i + rot) % n].get();
+            let via = pr[i].get();
+            prop_assert!(
+                (direct - via).abs() < 1e-9 * total,
+                "coordinate {i}: {direct} vs {via} after rotation {rot}"
+            );
         }
     }
 

@@ -695,12 +695,26 @@ impl<J: Copy + Eq + Hash> DiskArray<J> {
     }
 
     /// Cancel a *queued* burst (e.g. query cancellation while waiting for a
-    /// disk), returning its service demand. O(1): the entry is tombstoned in
-    /// place and skipped when it reaches the queue head. Bursts already in
-    /// service cannot be cancelled. Returns `None` if the job is not queued.
+    /// disk), returning its service demand. O(1) amortized: the entry is
+    /// tombstoned in place and skipped when it reaches the queue head.
+    /// Bursts already in service cannot be cancelled. Returns `None` if the
+    /// job is not queued.
+    ///
+    /// When tombstones come to outnumber live entries the queue is compacted
+    /// in one O(queue) sweep — paid for by the ≥ queue/2 cancellations that
+    /// accumulated them, so the amortized cost stays O(1) and a
+    /// cancellation-heavy workload cannot grow the deque (and its pop-side
+    /// skip cost) without bound.
     pub fn cancel_queued(&mut self, id: J) -> Option<SimDuration> {
         let (seq, svc) = self.index.remove(&id)?;
         self.cancelled.insert(seq);
+        if self.cancelled.len() > self.index.len() {
+            let cancelled = std::mem::take(&mut self.cancelled);
+            self.queue.retain(|(s, _, _)| !cancelled.contains(s));
+            debug_assert_eq!(self.queue.len(), self.index.len());
+            self.cancelled = cancelled;
+            self.cancelled.clear();
+        }
         Some(svc)
     }
 
@@ -937,6 +951,43 @@ mod tests {
     }
 
     #[test]
+    fn disk_tombstones_are_compacted_when_they_outnumber_live_entries() {
+        let mut d: DiskArray<u32> = DiskArray::new(1);
+        let t0 = SimTime::ZERO;
+        d.request(t0, 0, SimDuration::from_secs(1));
+        for id in 1..=100 {
+            assert!(d.request(t0, id, SimDuration::from_secs(1)).is_none());
+        }
+        // Cancel 60 of the 100 queued bursts: tombstones outnumber live
+        // entries mid-way, so the deque must have been swept rather than
+        // keeping all 100 slots.
+        for id in 1..=60 {
+            assert_eq!(d.cancel_queued(id), Some(SimDuration::from_secs(1)));
+        }
+        assert_eq!(d.queued(), 40);
+        assert!(
+            d.queue.len() <= 2 * d.index.len(),
+            "deque kept {} slots for {} live entries",
+            d.queue.len(),
+            d.index.len()
+        );
+        // FIFO among survivors is intact and completion never sees a stale
+        // tombstone.
+        let mut order = Vec::new();
+        let mut now = SimTime::from_secs(1);
+        while let Some((id, t)) = d.complete(now) {
+            order.push(id);
+            now = t;
+        }
+        assert_eq!(order, (61..=100).collect::<Vec<u32>>());
+        // Cancel-after-compaction still works (seq survived the sweep).
+        d.request(now, 200, SimDuration::from_secs(1));
+        assert!(d.request(now, 201, SimDuration::from_secs(1)).is_none());
+        assert_eq!(d.cancel_queued(201), Some(SimDuration::from_secs(1)));
+        assert_eq!(d.queued(), 0);
+    }
+
+    #[test]
     fn cancelled_burst_does_not_consume_a_disk() {
         let mut d: DiskArray<u32> = DiskArray::new(1);
         let t0 = SimTime::ZERO;
@@ -1052,7 +1103,7 @@ mod equivalence {
         let mut script = Vec::with_capacity(ops);
         for _ in 0..ops {
             // Mostly short gaps; occasionally a long one that drains the CPU.
-            t_us += if splitmix(&mut rng) % 10 == 0 {
+            t_us += if splitmix(&mut rng).is_multiple_of(10) {
                 10_000_000 + splitmix(&mut rng) % 10_000_000
             } else {
                 splitmix(&mut rng) % 400_000
@@ -1080,13 +1131,13 @@ mod equivalence {
         script
     }
 
+    /// `(time, id)` completions plus `(id, remaining work)` removals.
+    type ScriptTrace = (Vec<(SimTime, u64)>, Vec<(u64, f64)>);
+
     /// Run a kernel through a script, collecting `(time, id)` completions
     /// (same-instant batches sorted by id, as the engine does) and the
     /// remaining work reported by each successful remove.
-    fn run_script<K: Kernel>(
-        k: &mut K,
-        script: &[(SimTime, Op)],
-    ) -> (Vec<(SimTime, u64)>, Vec<(u64, f64)>) {
+    fn run_script<K: Kernel>(k: &mut K, script: &[(SimTime, Op)]) -> ScriptTrace {
         let mut completions = Vec::new();
         let mut removals = Vec::new();
         let mut i = 0;

@@ -34,19 +34,30 @@ pub fn run_parallel(configs: Vec<ExperimentConfig>) -> Vec<RunOutput> {
 /// logs, flight-recorder digests — are bit-identical for any `threads`
 /// (the determinism regression suite runs the same configs at different
 /// worker counts and asserts exactly that).
+///
+/// Work is handed out through a shared atomic index rather than static
+/// chunks: one slow config (a long horizon, a heavy controller) no longer
+/// straggles a whole chunk's worth of followers behind it — each worker
+/// pulls the next unclaimed config the moment it finishes its last.
 pub fn run_parallel_with(configs: Vec<ExperimentConfig>, threads: usize) -> Vec<RunOutput> {
-    let threads = threads.max(1);
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    let threads = threads.max(1).min(configs.len().max(1));
     let mut out: Vec<Option<RunOutput>> = (0..configs.len()).map(|_| None).collect();
     let jobs: Vec<(usize, ExperimentConfig)> = configs.into_iter().enumerate().collect();
-    let chunk = jobs.len().div_ceil(threads).max(1);
+    let next = AtomicUsize::new(0);
     crossbeam::thread::scope(|s| {
         let mut handles = Vec::new();
-        for batch in jobs.chunks(chunk) {
+        for _ in 0..threads {
+            let (jobs, next) = (&jobs, &next);
             handles.push(s.spawn(move |_| {
-                batch
-                    .iter()
-                    .map(|(i, cfg)| (*i, run_experiment(cfg)))
-                    .collect::<Vec<_>>()
+                let mut done = Vec::new();
+                loop {
+                    let at = next.fetch_add(1, Ordering::Relaxed);
+                    let Some((i, cfg)) = jobs.get(at) else { break };
+                    done.push((*i, run_experiment(cfg)));
+                }
+                done
             }));
         }
         for h in handles {

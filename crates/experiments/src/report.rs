@@ -137,6 +137,7 @@ impl PeriodCollector {
             warmup_periods,
             degradation: DegradationStats::default(),
             oracle: None,
+            solver: None,
             perf: None,
         }
     }
@@ -183,6 +184,11 @@ pub struct RunReport {
     /// (`None` with the `oracle` feature off or the oracle disabled).
     #[serde(default)]
     pub oracle: Option<qsched_sim::oracle::OracleStats>,
+    /// Which Performance Solver produced the plans, for controllers that
+    /// have one (`None` otherwise). Lets solver-ablation reports name their
+    /// strategy without re-deriving it from the config.
+    #[serde(default)]
+    pub solver: Option<String>,
     /// Host-side throughput of the run. Skipped in serialization: wall-clock
     /// is machine-dependent and must never enter determinism digests or
     /// golden files.

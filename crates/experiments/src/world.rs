@@ -481,6 +481,9 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> RunOutput {
     );
     report.degradation = degradation;
     report.oracle = oracle_report.as_ref().map(|r| r.stats);
+    if let ControllerSpec::QueryScheduler(sc) = &cfg.controller {
+        report.solver = Some(sc.solver.name().to_string());
+    }
 
     let wall_secs = wall_start.elapsed().as_secs_f64();
     let perf = PerfStats {
