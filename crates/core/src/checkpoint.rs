@@ -1,0 +1,137 @@
+//! Controller crash recovery: serializable checkpoints and restart
+//! statistics.
+//!
+//! The Query Scheduler is an *external* process sitting between clients and
+//! the DBMS — it can crash while queries are queued, blocked, or executing.
+//! A [`Checkpoint`] captures the slow-moving controller state worth
+//! persisting (the plan, the learned performance models, the queue and
+//! fault books); everything else is deliberately *volatile* and rebuilt at
+//! restart by reconciling against the Patroller's authoritative control
+//! table (the queries themselves never lived in the controller). The
+//! monitor's in-interval aggregates are likewise not persisted: they are
+//! seconds of partial sums that re-warm within one control interval, and
+//! restoring half an interval's worth of completions would double-count
+//! against the post-restart snapshot cursor.
+//!
+//! See `Controller::checkpoint` / `Controller::restart_from` in
+//! [`crate::controller`] for the lifecycle, and `QueryScheduler` for the
+//! full reconciliation protocol.
+
+use crate::model::{OlapVelocityModel, OltpLinearModel};
+use crate::plan::Plan;
+use qsched_dbms::cost::Timerons;
+use qsched_dbms::query::{ClassId, QueryId};
+use qsched_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Schema tag written into every checkpoint (versioned for forward
+/// compatibility of persisted snapshots).
+pub const CHECKPOINT_SCHEMA: &str = "qsched-ckpt-v1";
+
+/// A serializable snapshot of a controller's durable state, taken
+/// periodically so a crash loses at most one checkpoint interval of
+/// learning.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Schema tag ([`CHECKPOINT_SCHEMA`]).
+    pub schema: String,
+    /// Sim time the snapshot was taken.
+    pub at: SimTime,
+    /// The active scheduling plan (per-class cost limits).
+    pub plan: Plan,
+    /// Control intervals completed so far.
+    pub control_intervals: u64,
+    /// Queue contents at snapshot time, in queue order: `(class, id,
+    /// estimated cost)`. Used at restart to classify reconciled queries as
+    /// recovered (known) vs adopted (arrived inside the crash window).
+    pub queued: Vec<(ClassId, QueryId, Timerons)>,
+    /// The pending-release fault book: queries whose release command was
+    /// issued but unacknowledged. If one of these is still blocked after
+    /// the restart, its release was lost in the crash window.
+    pub pending_retries: Vec<QueryId>,
+    /// Learned OLAP velocity models, keyed by class.
+    pub olap_models: Vec<(ClassId, OlapVelocityModel)>,
+    /// The learned OLTP response-time model.
+    pub oltp_model: OltpLinearModel,
+}
+
+impl Checkpoint {
+    /// True when the schema tag matches what this build writes.
+    pub fn schema_ok(&self) -> bool {
+        self.schema == CHECKPOINT_SCHEMA
+    }
+}
+
+/// What a restart found while reconciling against the Patroller's control
+/// table — the per-crash recovery ledger surfaced in resilience reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RestartStats {
+    /// True when a checkpoint was restored; false for a cold start (the
+    /// controller fell back to the baseline plan until the monitor
+    /// re-warmed).
+    pub warm: bool,
+    /// Blocked queries present in the checkpoint's queue book and still
+    /// blocked: re-queued where they left off.
+    pub recovered: u64,
+    /// Blocked queries the checkpoint never saw (they arrived, or were
+    /// being released, inside the crash window): adopted into the queues.
+    pub adopted: u64,
+    /// Release commands the old incarnation issued that never reached the
+    /// Patroller — detected because the query is still blocked despite
+    /// sitting in the checkpoint's pending-release book; re-issued.
+    pub lost_releases: u64,
+    /// Checkpointed queue entries no longer blocked at restart: their
+    /// release won the race with the crash (or a watchdog freed them), so
+    /// there is nothing to redo.
+    pub resolved_externally: u64,
+    /// Until this instant the controller runs in degraded mode: it keeps
+    /// the baseline plan instead of solving, because a cold start has no
+    /// learned models and the monitor needs a full interval to re-warm.
+    /// `None` after a warm restart (the checkpointed models resume
+    /// immediately).
+    pub degraded_until: Option<SimTime>,
+}
+
+impl RestartStats {
+    /// Total blocked queries the reconciliation re-queued (including those
+    /// whose lost release was detected and re-issued).
+    pub fn requeued(&self) -> u64 {
+        self.recovered + self.adopted + self.lost_releases
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkpoint_serde_round_trip() {
+        let ckpt = Checkpoint {
+            schema: CHECKPOINT_SCHEMA.to_string(),
+            at: SimTime::from_secs(120),
+            plan: Plan::even_split(&[ClassId(1), ClassId(2)], Timerons::new(1000.0)),
+            control_intervals: 4,
+            queued: vec![(ClassId(1), QueryId(7), Timerons::new(250.0))],
+            pending_retries: vec![QueryId(9)],
+            olap_models: vec![(ClassId(1), OlapVelocityModel::new(Timerons::new(500.0)))],
+            oltp_model: OltpLinearModel::new(0.001, 0.9, Timerons::new(500.0)),
+        };
+        let json = serde_json::to_string(&ckpt).expect("serialize");
+        let back: Checkpoint = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, ckpt);
+        assert!(back.schema_ok());
+    }
+
+    #[test]
+    fn restart_stats_tally() {
+        let st = RestartStats {
+            warm: true,
+            recovered: 3,
+            adopted: 2,
+            lost_releases: 1,
+            resolved_externally: 4,
+            degraded_until: None,
+        };
+        assert_eq!(st.requeued(), 6);
+    }
+}

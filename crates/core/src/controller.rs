@@ -4,6 +4,7 @@
 //! intercepted queries and decides when to release them. The experiment
 //! world routes DBMS notices and controller timer events here.
 
+use crate::checkpoint::{Checkpoint, RestartStats};
 use qsched_dbms::engine::{Dbms, DbmsEvent, DbmsNotice};
 use qsched_dbms::metrics::DegradationStats;
 use qsched_dbms::query::QueryId;
@@ -67,6 +68,32 @@ pub trait Controller<E: From<CtrlEvent> + From<DbmsEvent>> {
     /// the engine-side counters in experiment reports).
     fn degradation_stats(&self) -> Option<DegradationStats> {
         None
+    }
+
+    /// Snapshot the durable state worth persisting across a crash. `None`
+    /// (the default) means this controller is stateless — a crash loses
+    /// nothing and [`Controller::restart_from`] is a no-op.
+    fn checkpoint(&self, _now: qsched_sim::SimTime) -> Option<Checkpoint> {
+        None
+    }
+
+    /// The controller process crashed and restarted: wipe all volatile
+    /// state, restore what `ckpt` carries (or fall back to a cold start),
+    /// and *reconcile* against the DBMS — the Patroller's control table is
+    /// the authoritative record of blocked queries, and the engine knows
+    /// which released queries are still executing. Implementations must
+    /// leave the controller in a state where its usual timer events can
+    /// simply keep arriving (the enclosing world does not re-run
+    /// [`Controller::start`]). Side notices go to `out`. The default is a
+    /// no-op for stateless controllers.
+    fn restart_from(
+        &mut self,
+        _ctx: &mut Ctx<'_, E>,
+        _dbms: &mut Dbms,
+        _ckpt: Option<Checkpoint>,
+        _out: &mut Vec<DbmsNotice>,
+    ) -> RestartStats {
+        RestartStats::default()
     }
 
     /// Invariant-oracle hook: cross-check this controller's books against

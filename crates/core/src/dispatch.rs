@@ -224,6 +224,20 @@ impl Dispatcher {
         self.external_releases
     }
 
+    /// Seed the executing books at controller restart (crash
+    /// reconciliation): the query is already running in the engine,
+    /// released by a previous controller incarnation, so its cost must
+    /// occupy the class budget for the eventual completion to balance.
+    /// Unlike [`Dispatcher::note_external_release`] this is book *restore*,
+    /// not a new event — no release counter moves. Uncontrolled classes are
+    /// ignored.
+    pub fn restore_executing(&mut self, class: ClassId, cost: Timerons) {
+        if let Some(slot) = self.executing.get_mut(&class) {
+            slot.0 += cost;
+            slot.1 += 1;
+        }
+    }
+
     /// Releases that went through only via the oversize-when-idle guard.
     pub fn total_oversize_releases(&self) -> u64 {
         self.oversize_releases

@@ -59,11 +59,14 @@
 //!   paper's models and utility machinery buy over plain feedback control.
 //! * [`controller`] — the common [`controller::Controller`] interface that
 //!   experiments drive.
+//! * [`checkpoint`] — crash recovery: serializable controller checkpoints
+//!   ([`checkpoint::Checkpoint`]) and the restart/reconciliation ledger.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
 pub mod baseline;
+pub mod checkpoint;
 pub mod class;
 pub mod classify;
 pub mod controller;
@@ -80,6 +83,7 @@ pub mod scheduler;
 pub mod solver;
 pub mod utility;
 
+pub use checkpoint::{Checkpoint, RestartStats};
 pub use class::{Goal, ServiceClass};
 pub use controller::{Controller, CtrlEvent};
 pub use plan::Plan;

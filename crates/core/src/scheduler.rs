@@ -8,6 +8,7 @@
 //! its "cost limit" is the budget withheld from the OLAP classes, and its
 //! performance is observed through snapshot sampling.
 
+use crate::checkpoint::{Checkpoint, RestartStats, CHECKPOINT_SCHEMA};
 use crate::class::ServiceClass;
 use crate::classify::{ByClassTag, Classifier};
 use crate::controller::{Controller, CtrlEvent};
@@ -166,6 +167,11 @@ pub struct QueryScheduler {
     /// The dispatcher's sub-plan (OLAP classes, or all classes under direct
     /// OLTP control), updated in place at each replan.
     dispatch_plan: Plan,
+    /// After a cold restart (crash with no checkpoint) the controller runs
+    /// the baseline plan without solving until this instant — the models
+    /// are priors and the monitor has nothing yet, so a solve would react
+    /// to noise. Cleared at the first replan past the deadline.
+    cold_until: Option<SimTime>,
     /// Scratch reused across control intervals so the steady-state replan
     /// path is O(active classes) with no per-interval allocation.
     scratch_states: Vec<ClassState>,
@@ -211,21 +217,7 @@ impl QueryScheduler {
             })
             .collect();
         let olap_total = Self::olap_total_of(&classes, &plan);
-        let default_slope = classes
-            .iter()
-            .find(|c| c.kind == QueryKind::Oltp)
-            .map(|c| match c.goal {
-                crate::class::Goal::AvgResponseAtMost(d) => {
-                    d.as_secs_f64() / cfg.system_limit.get()
-                }
-                _ => 1e-5,
-            })
-            .unwrap_or(0.0)
-            * cfg.oltp_prior_scale;
-        let mut oltp_model = OltpLinearModel::new(default_slope, cfg.model_decay, olap_total);
-        if !cfg.learn_oltp_slope {
-            oltp_model = oltp_model.frozen();
-        }
+        let oltp_model = Self::fresh_oltp_model(&classes, &cfg, olap_total);
         // The dispatcher controls the intercepted classes: only the OLAP
         // classes under the paper's indirect scheme, every class under
         // direct OLTP control.
@@ -270,7 +262,34 @@ impl QueryScheduler {
             scratch_states: Vec::with_capacity(n_classes),
             meas_buf: Vec::with_capacity(n_classes),
             release_buf: Vec::new(),
+            cold_until: None,
         }
+    }
+
+    /// A constructor-fresh OLTP model: the calibrated prior slope
+    /// (`goal / system_limit`, scaled), frozen when online learning is
+    /// disabled. Shared between construction and cold restart.
+    fn fresh_oltp_model(
+        classes: &[ServiceClass],
+        cfg: &SchedulerConfig,
+        olap_total: Timerons,
+    ) -> OltpLinearModel {
+        let default_slope = classes
+            .iter()
+            .find(|c| c.kind == QueryKind::Oltp)
+            .map(|c| match c.goal {
+                crate::class::Goal::AvgResponseAtMost(d) => {
+                    d.as_secs_f64() / cfg.system_limit.get()
+                }
+                _ => 1e-5,
+            })
+            .unwrap_or(0.0)
+            * cfg.oltp_prior_scale;
+        let mut oltp_model = OltpLinearModel::new(default_slope, cfg.model_decay, olap_total);
+        if !cfg.learn_oltp_slope {
+            oltp_model = oltp_model.frozen();
+        }
+        oltp_model
     }
 
     /// The paper's configuration: the solver named by `cfg.solver`,
@@ -473,6 +492,17 @@ impl QueryScheduler {
                 now.saturating_since(self.monitor.last_snapshot_time()) > bound
             });
         let solver_failed = ctx.should_inject("solver.fail");
+        // Degraded cold-restart mode: hold the baseline plan until the
+        // monitor has had time to re-warm (the models are bare priors, so a
+        // solve would chase noise).
+        let cold = match self.cold_until {
+            Some(t) if now < t => true,
+            Some(_) => {
+                self.cold_until = None;
+                false
+            }
+            None => false,
+        };
         if stale {
             self.degradation.stale_intervals += 1;
         }
@@ -480,7 +510,7 @@ impl QueryScheduler {
             self.degradation.solver_failures += 1;
         }
         let implausible_seen = std::mem::take(&mut self.implausible_seen);
-        let mut new_plan = if stale || solver_failed {
+        let mut new_plan = if stale || solver_failed || cold {
             self.degradation.plan_fallbacks += 1;
             self.plan.clone()
         } else {
@@ -525,7 +555,7 @@ impl QueryScheduler {
                 .map(|(c, l)| format!("{c}={:.1}", l.get()))
                 .collect();
             format!(
-                "replan#{} stale={stale} solver_failed={solver_failed} plan=[{}]",
+                "replan#{} stale={stale} solver_failed={solver_failed} cold={cold} plan=[{}]",
                 self.control_intervals,
                 limits.join(" ")
             )
@@ -542,6 +572,187 @@ impl QueryScheduler {
             .apply_plan_into(&self.dispatch_plan, &mut self.queues, &mut releases);
         self.perform_releases(ctx, dbms, &releases);
         self.release_buf = releases;
+    }
+
+    /// Snapshot the durable state: plan, learned models, queue book and
+    /// pending-release fault book. Volatile state (monitor partial sums,
+    /// dispatcher books, detector history) is deliberately left out — it is
+    /// rebuilt at restart from the engine's authoritative view.
+    fn make_checkpoint(&self, now: SimTime) -> Checkpoint {
+        Checkpoint {
+            schema: CHECKPOINT_SCHEMA.to_string(),
+            at: now,
+            plan: self.plan.clone(),
+            control_intervals: self.control_intervals,
+            queued: self
+                .queues
+                .iter_all()
+                .map(|(c, e)| (c, e.id, e.cost))
+                .collect(),
+            pending_retries: self.pending_retries.iter().copied().collect(),
+            olap_models: self
+                .olap_models
+                .iter()
+                .map(|(&c, m)| (c, m.clone()))
+                .collect(),
+            oltp_model: self.oltp_model.clone(),
+        }
+    }
+
+    /// A usable checkpoint restores the plan only if it still describes
+    /// this scheduler: same schema, same class set, within budget.
+    fn checkpoint_plan_ok(&self, ckpt: &Checkpoint) -> bool {
+        ckpt.schema_ok()
+            && ckpt.plan.respects(self.cfg.system_limit)
+            && ckpt.plan.classes().eq(self.class_ids.iter().copied())
+    }
+
+    /// The crash–restart path (see `Controller::restart_from`): wipe every
+    /// volatile structure, restore the checkpointed plan and models (or
+    /// fall back to the baseline even split and enter degraded cold mode),
+    /// then **reconcile** with the engine:
+    ///
+    /// 1. the Patroller's control-table enumeration is the authoritative
+    ///    list of blocked queries — each is re-queued in interception
+    ///    order, classified against the checkpoint's books as recovered
+    ///    (was queued), lost-release (was pending release: the command
+    ///    never arrived), or adopted (arrived inside the crash window);
+    /// 2. the engine's executing-intercepted enumeration re-seeds the
+    ///    dispatcher's cost books, so completions balance and admission
+    ///    headroom is correct from the first post-restart scan;
+    /// 3. held rows with a release command still in transit (delayed by
+    ///    the fault plan) are charged as executing — the `ReleaseDue`
+    ///    event will admit them without any further controller action.
+    ///
+    /// Finally the restored plan is logged and a dispatcher scan re-issues
+    /// whatever now fits — including the detected lost releases.
+    fn restart<E: From<CtrlEvent> + From<DbmsEvent>>(
+        &mut self,
+        ctx: &mut Ctx<'_, E>,
+        dbms: &mut Dbms,
+        ckpt: Option<Checkpoint>,
+    ) -> RestartStats {
+        let now = ctx.now();
+        let mut stats = RestartStats::default();
+
+        // -- wipe volatile state ------------------------------------------
+        self.queues = ClassQueues::with_discipline(self.cfg.queue_discipline);
+        self.pending_retries.clear();
+        self.monitor = IntervalMonitor::new(now);
+        self.implausible_seen = false;
+        self.detector = self
+            .cfg
+            .reactive_replanning
+            .then(|| WorkloadDetector::new(self.cfg.detector.clone(), now));
+        self.cold_until = None;
+
+        // -- restore durable state (or cold-start) ------------------------
+        let warm = ckpt.as_ref().is_some_and(|c| self.checkpoint_plan_ok(c));
+        stats.warm = warm;
+        let (ckpt_queued, ckpt_pending) = match ckpt {
+            Some(c) if warm => {
+                self.plan = c.plan;
+                self.control_intervals = c.control_intervals;
+                // Models: start fresh, then overlay what the checkpoint
+                // carries (a class missing from the snapshot keeps its
+                // prior rather than stale garbage).
+                self.olap_models = self
+                    .classes
+                    .iter()
+                    .filter(|cl| cl.kind == QueryKind::Olap)
+                    .map(|cl| {
+                        (
+                            cl.id,
+                            OlapVelocityModel::new(self.plan.limit(cl.id).expect("class in plan")),
+                        )
+                    })
+                    .collect();
+                for (id, m) in c.olap_models {
+                    if let Some(slot) = self.olap_models.get_mut(&id) {
+                        *slot = m;
+                    }
+                }
+                self.oltp_model = c.oltp_model;
+                (
+                    c.queued
+                        .iter()
+                        .map(|&(_, id, _)| id)
+                        .collect::<BTreeSet<QueryId>>(),
+                    c.pending_retries.into_iter().collect::<BTreeSet<QueryId>>(),
+                )
+            }
+            _ => {
+                // Cold start: baseline even split, prior models, and a
+                // degraded window one control interval long for the
+                // monitor to re-warm before the solver runs again.
+                self.plan = Plan::even_split(&self.class_ids, self.cfg.system_limit);
+                self.control_intervals = 0;
+                self.olap_models = self
+                    .classes
+                    .iter()
+                    .filter(|cl| cl.kind == QueryKind::Olap)
+                    .map(|cl| {
+                        (
+                            cl.id,
+                            OlapVelocityModel::new(self.plan.limit(cl.id).expect("class in plan")),
+                        )
+                    })
+                    .collect();
+                let olap_total = Self::olap_total_of(&self.classes, &self.plan);
+                self.oltp_model = Self::fresh_oltp_model(&self.classes, &self.cfg, olap_total);
+                let deadline = now + self.cfg.control_interval;
+                self.cold_until = Some(deadline);
+                stats.degraded_until = Some(deadline);
+                (BTreeSet::new(), BTreeSet::new())
+            }
+        };
+
+        // -- rebuild the dispatcher from the engine's view ----------------
+        self.dispatch_plan.copy_limits_from(&self.plan);
+        self.dispatcher = Dispatcher::new(&self.dispatch_plan);
+        for (_, class, cost) in dbms.resync_executing() {
+            self.dispatcher.restore_executing(class, cost);
+        }
+
+        // -- reconcile blocked queries against the control table ----------
+        for row in dbms.patroller().resync_rows() {
+            if dbms.delayed_release_pending(row.id) {
+                // Release in transit: already counted against the books at
+                // the original scan; ReleaseDue will admit it.
+                let class = self.classifier.classify(&row).unwrap_or(row.class);
+                self.dispatcher.restore_executing(class, row.estimated_cost);
+                continue;
+            }
+            if ckpt_pending.contains(&row.id) {
+                stats.lost_releases += 1; // issued, never arrived: re-queue + re-issue
+            } else if ckpt_queued.contains(&row.id) {
+                stats.recovered += 1;
+            } else {
+                stats.adopted += 1; // arrived inside the crash window
+            }
+            let class = self.classifier.classify(&row).unwrap_or(row.class);
+            self.queues.enqueue(class, row.id, row.estimated_cost);
+        }
+        stats.resolved_externally = ckpt_queued
+            .iter()
+            .filter(|&&id| !dbms.patroller().is_held(id))
+            .count() as u64;
+
+        // -- log the restored plan and let the dispatcher act -------------
+        self.plan_log.record(&self.plan, now);
+        ctx.annotate(|| {
+            format!(
+                "restart warm={warm} recovered={} adopted={} lost_releases={} resolved={}",
+                stats.recovered, stats.adopted, stats.lost_releases, stats.resolved_externally
+            )
+        });
+        let mut releases = std::mem::take(&mut self.release_buf);
+        releases.clear();
+        self.dispatcher
+            .apply_plan_into(&self.dispatch_plan, &mut self.queues, &mut releases);
+        self.perform_releases(ctx, dbms, &releases);
+        self.release_buf = releases;
+        stats
     }
 
     /// Full controller-book audit (the oracle's scheduler surface). This is
@@ -697,9 +908,30 @@ impl<E: From<CtrlEvent> + From<DbmsEvent>> Controller<E> for QueryScheduler {
                 ctx.schedule_in(self.cfg.control_interval, CtrlEvent::ControlTick.into());
             }
             CtrlEvent::RetryRelease { id, attempt } => {
-                self.attempt_release(ctx, dbms, id, attempt);
+                // Only act if the retry is still booked. A crash–restart
+                // wipes the book and re-queues the query through normal
+                // admission; a pre-crash retry timer firing afterwards must
+                // not bypass that (and a moot retry must not touch the
+                // engine's fault stream).
+                if self.pending_retries.contains(&id) {
+                    self.attempt_release(ctx, dbms, id, attempt);
+                }
             }
         }
+    }
+
+    fn checkpoint(&self, now: SimTime) -> Option<Checkpoint> {
+        Some(self.make_checkpoint(now))
+    }
+
+    fn restart_from(
+        &mut self,
+        ctx: &mut Ctx<'_, E>,
+        dbms: &mut Dbms,
+        ckpt: Option<Checkpoint>,
+        _out: &mut Vec<DbmsNotice>,
+    ) -> RestartStats {
+        self.restart(ctx, dbms, ckpt)
     }
 
     fn plan_log(&self) -> Option<&PlanLog> {
@@ -740,6 +972,55 @@ mod tests {
         );
         let s = qs.oltp_model().slope();
         assert!((s - 0.25 / 30_000.0).abs() < 1e-12, "slope {s}");
+    }
+
+    #[test]
+    fn checkpoint_captures_plan_and_queue_books() {
+        let mut qs = QueryScheduler::paper_default(
+            ServiceClass::paper_classes(),
+            SchedulerConfig::default(),
+        );
+        qs.queues
+            .enqueue(ClassId(1), QueryId(41), Timerons::new(900.0));
+        qs.queues
+            .enqueue(ClassId(2), QueryId(42), Timerons::new(500.0));
+        qs.pending_retries.insert(QueryId(7));
+        let ckpt = qs.make_checkpoint(SimTime::from_secs(90));
+        assert!(ckpt.schema_ok());
+        assert_eq!(ckpt.at, SimTime::from_secs(90));
+        assert_eq!(ckpt.plan, *qs.current_plan());
+        assert_eq!(
+            ckpt.queued,
+            vec![
+                (ClassId(1), QueryId(41), Timerons::new(900.0)),
+                (ClassId(2), QueryId(42), Timerons::new(500.0)),
+            ]
+        );
+        assert_eq!(ckpt.pending_retries, vec![QueryId(7)]);
+        assert!(qs.checkpoint_plan_ok(&ckpt));
+    }
+
+    #[test]
+    fn mismatched_checkpoints_are_rejected_for_warm_restore() {
+        let qs = QueryScheduler::paper_default(
+            ServiceClass::paper_classes(),
+            SchedulerConfig::default(),
+        );
+        let mut ckpt = qs.make_checkpoint(SimTime::ZERO);
+
+        let mut stale_schema = ckpt.clone();
+        stale_schema.schema = "qsched-ckpt-v0".into();
+        assert!(!qs.checkpoint_plan_ok(&stale_schema));
+
+        let mut wrong_classes = ckpt.clone();
+        wrong_classes.plan = Plan::even_split(&[ClassId(1)], Timerons::new(30_000.0));
+        assert!(!qs.checkpoint_plan_ok(&wrong_classes));
+
+        ckpt.plan = Plan::even_split(
+            &[ClassId(1), ClassId(2), ClassId(3)],
+            Timerons::new(90_000.0),
+        );
+        assert!(!qs.checkpoint_plan_ok(&ckpt), "over-budget plan rejected");
     }
 
     #[test]

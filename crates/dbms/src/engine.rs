@@ -21,10 +21,11 @@
 use crate::agent::AgentPool;
 use crate::bufferpool::BufferPool;
 use crate::config::DbmsConfig;
+use crate::cost::Timerons;
 use crate::locklist::LockList;
 use crate::metrics::EngineMetrics;
 use crate::patroller::{ControlRow, InterceptPolicy, Patroller};
-use crate::query::{Query, QueryId, QueryKind, QueryRecord};
+use crate::query::{ClassId, Query, QueryId, QueryKind, QueryRecord};
 use crate::resource::{DiskArray, PsCpu};
 use crate::snapshot::{ClientSample, SnapshotRegistry};
 use qsched_sim::{Ctx, SimDuration, SimTime};
@@ -342,6 +343,24 @@ impl Dbms {
     /// event will arrive for it.
     pub fn delayed_release_pending(&self, id: QueryId) -> bool {
         self.delayed_release.contains(&id)
+    }
+
+    /// Enumerate the *executing* queries that passed through interception
+    /// (admitted via a release, so they count against the releasing
+    /// controller's cost books), as `(id, class, estimated cost)` sorted by
+    /// id. This is the authoritative view a restarted controller charges
+    /// its dispatcher from — the estimated cost is what admission control
+    /// works in, and the deterministic order keeps floating-point sums
+    /// bit-identical across replays (`inflight` itself is a `HashMap`).
+    pub fn resync_executing(&self) -> Vec<(QueryId, ClassId, Timerons)> {
+        let mut rows: Vec<(QueryId, ClassId, Timerons)> = self
+            .inflight
+            .iter()
+            .filter(|(_, f)| f.was_intercepted && matches!(f.phase, Phase::Cpu | Phase::Io))
+            .map(|(&id, f)| (id, f.query.class, f.query.estimated_cost))
+            .collect();
+        rows.sort_by_key(|&(id, _, _)| id);
+        rows
     }
 
     /// Submit a query. Interception and admission happen according to the

@@ -175,6 +175,20 @@ impl Patroller {
     pub fn total_intercepted(&self) -> u64 {
         self.total_intercepted
     }
+
+    /// Enumerate the control table for crash recovery — the "list blocked
+    /// queries" call of the real QP unblock interface. Returns every held
+    /// row ordered by interception time (ties broken by id), i.e. the order
+    /// in which the queries originally queued, so a restarted controller
+    /// can rebuild its class queues without reordering anyone. Comparing
+    /// this enumeration against a pre-crash checkpoint is also how lost
+    /// release commands are detected: a query the old incarnation believed
+    /// released but which still appears here never left the control table.
+    pub fn resync_rows(&self) -> Vec<ControlRow> {
+        let mut rows: Vec<ControlRow> = self.held.values().copied().collect();
+        rows.sort_by_key(|r| (r.intercepted_at, r.id));
+        rows
+    }
 }
 
 #[cfg(test)]
@@ -238,6 +252,21 @@ mod tests {
         }
         let ids: Vec<u64> = p.held_rows().map(|r| r.id.0).collect();
         assert_eq!(ids, vec![1, 3, 5, 9]);
+    }
+
+    #[test]
+    fn resync_rows_order_by_interception_time() {
+        let mut p = Patroller::new(InterceptPolicy::intercept_all());
+        p.hold(&query(9, 1), SimTime::from_secs(1));
+        p.hold(&query(2, 1), SimTime::from_secs(3));
+        p.hold(&query(5, 2), SimTime::from_secs(2));
+        p.hold(&query(1, 2), SimTime::from_secs(3)); // tie with id 2 → id order
+        let ids: Vec<u64> = p.resync_rows().iter().map(|r| r.id.0).collect();
+        assert_eq!(ids, vec![9, 5, 1, 2]);
+        // A released query leaves the enumeration.
+        p.release(QueryId(5));
+        let ids: Vec<u64> = p.resync_rows().iter().map(|r| r.id.0).collect();
+        assert_eq!(ids, vec![9, 1, 2]);
     }
 
     #[test]

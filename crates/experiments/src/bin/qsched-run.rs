@@ -128,6 +128,18 @@ fn replay(path: &str) -> ExitCode {
         }
         None => println!("replay ran without an oracle (feature disabled?)"),
     }
+    // Digest comparison is stricter than violation reproduction: the whole
+    // event stream must be bit-identical, not just the breach.
+    if let (Some(expect), Some(rep)) = (artifact.recorder_digest, &outcome.report) {
+        println!(
+            "digest: artifact {expect:016x} vs replay {:016x}",
+            rep.recorder_digest
+        );
+    }
+    if outcome.digest_match == Some(false) {
+        println!("DIGEST MISMATCH: the replay's event stream diverged from the artifact");
+        return ExitCode::FAILURE;
+    }
     if outcome.reproduced {
         println!("REPRODUCED: the replay hit the recorded violation");
         ExitCode::SUCCESS
@@ -245,6 +257,33 @@ fn main() -> ExitCode {
         out.perf.peak_cpu_jobs,
         out.perf.peak_disk_queue,
     );
+    if let Some(res) = &out.report.resilience {
+        for c in &res.crashes {
+            println!(
+                "crash at {:?}: {} restart, {} requeued ({} recovered, {} adopted, {} lost releases re-issued), degraded {:.0}s, MTTR {}",
+                c.at,
+                if c.warm { "warm" } else { "cold" },
+                c.requeued,
+                c.recovered,
+                c.adopted,
+                c.lost_releases,
+                c.degraded_secs,
+                match c.mttr_secs {
+                    Some(s) => format!("{s:.0}s"),
+                    None => "∞ (never reconverged)".to_string(),
+                },
+            );
+        }
+        println!(
+            "resilience: {} crash(es), {} checkpoint(s), max MTTR {}",
+            res.crashes.len(),
+            res.checkpoints_taken,
+            match res.max_mttr_secs() {
+                Some(s) => format!("{s:.0}s"),
+                None => "∞".to_string(),
+            },
+        );
+    }
     if let Some(oracle) = &out.oracle {
         println!(
             "oracle: {} invariants, {} checks over {} events, {} violation(s) | recorder digest {:016x} ({} entries)",

@@ -3,9 +3,23 @@
 use qsched_core::scheduler::SchedulerConfig;
 use qsched_dbms::query::ClassId;
 use qsched_dbms::{DbmsConfig, Timerons};
-use qsched_sim::FaultPlan;
+use qsched_sim::{FaultPlan, SimDuration};
 use qsched_workload::Schedule;
 use serde::{Deserialize, Serialize};
+
+/// Every fault channel the composed experiment world actually polls. A
+/// fault plan naming any other channel is almost certainly a typo;
+/// [`ExperimentConfig::validate`] warns about it.
+pub const POLLED_CHANNELS: &[&str] = &[
+    "release.drop",
+    "release.delay",
+    "snapshot.drop",
+    "cost.corrupt",
+    "solver.fail",
+    "ctrl.stall",
+    "controller.crash",
+    "test.mpl_leak",
+];
 
 /// Which controller to put in front of the DBMS.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -58,6 +72,32 @@ impl ControllerSpec {
     }
 }
 
+/// Crash–restart resilience knobs: how often the controller's durable
+/// state is checkpointed, and how reconvergence after a crash is judged.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResilienceSettings {
+    /// Checkpoint the controller's durable state this often (`None` = never
+    /// checkpoint: every `controller.crash` becomes a cold restart).
+    pub checkpoint_interval: Option<SimDuration>,
+    /// A class limit counts as reconverged when it is within this fraction
+    /// of the system limit of the crash-free reference run's limit.
+    pub plan_epsilon_fraction: f64,
+    /// Measure MTTR by running a crash-free reference of the same
+    /// configuration when crashes occurred (doubles the run's cost; turn
+    /// off for sweeps that only need the recovery ledgers).
+    pub measure_mttr: bool,
+}
+
+impl Default for ResilienceSettings {
+    fn default() -> Self {
+        ResilienceSettings {
+            checkpoint_interval: None,
+            plan_epsilon_fraction: 0.25,
+            measure_mttr: true,
+        }
+    }
+}
+
 /// A complete, self-contained experiment description. Everything a run
 /// needs flows from here, so runs are reproducible and can execute on any
 /// thread.
@@ -98,6 +138,10 @@ pub struct ExperimentConfig {
     /// so enabling the oracle never changes a run's results).
     #[serde(default)]
     pub oracle: crate::oracle::OracleSettings,
+    /// Crash–restart resilience settings (checkpoint cadence, MTTR
+    /// measurement).
+    #[serde(default)]
+    pub resilience: ResilienceSettings,
 }
 
 impl ExperimentConfig {
@@ -116,6 +160,7 @@ impl ExperimentConfig {
             trace: None,
             faults: None,
             oracle: crate::oracle::OracleSettings::default(),
+            resilience: ResilienceSettings::default(),
         }
     }
 
@@ -124,10 +169,13 @@ impl ExperimentConfig {
         self.classes.iter().map(|c| c.id).collect()
     }
 
-    /// Validate schedule/class alignment.
+    /// Validate schedule/class alignment and the fault plan.
     ///
     /// # Panics
-    /// Panics if the schedule's class count differs from `classes`.
+    /// Panics if the schedule's class count differs from `classes`, or if
+    /// the fault plan is malformed (non-finite rates, inverted chaos
+    /// windows…). Suspicious-but-legal fault plans (channels nothing
+    /// polls) produce warnings on stderr instead.
     pub fn validate(&self) {
         assert_eq!(
             self.schedule.classes(),
@@ -140,6 +188,21 @@ impl ExperimentConfig {
         for c in &self.classes {
             c.validate();
         }
+        if let Some(fp) = &self.faults {
+            match fp.validate(POLLED_CHANNELS) {
+                Ok(warnings) => {
+                    for w in warnings {
+                        eprintln!("fault-plan warning: {w}");
+                    }
+                }
+                Err(e) => panic!("invalid fault plan: {e}"),
+            }
+        }
+        assert!(
+            self.resilience.plan_epsilon_fraction.is_finite()
+                && self.resilience.plan_epsilon_fraction > 0.0,
+            "plan_epsilon_fraction must be positive and finite"
+        );
     }
 }
 

@@ -165,6 +165,7 @@ pub fn calibration(seed: u64, opts: &CalibrationOpts) -> CalibrationCurve {
             trace: None,
             faults: None,
             oracle: Default::default(),
+            resilience: Default::default(),
         })
         .collect();
     let outputs = run_parallel(configs);
@@ -308,6 +309,7 @@ pub fn fig2(seed: u64, opts: &Fig2Opts) -> Fig2 {
                 trace: None,
                 faults: None,
                 oracle: Default::default(),
+                resilience: Default::default(),
             });
         }
     }

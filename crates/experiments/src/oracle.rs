@@ -42,6 +42,11 @@ pub struct OracleSettings {
     /// Directory for replay artifacts (`None` = `$QSCHED_ORACLE_DIR`,
     /// falling back to `target/oracle`).
     pub dump_dir: Option<String>,
+    /// Also dump the raw flight-recorder ring as a standalone JSON artifact
+    /// when a violation halts the run (`None` = only the replay artifact,
+    /// which carries the same tail embedded).
+    #[serde(default)]
+    pub ring_dump_dir: Option<String>,
 }
 
 impl Default for OracleSettings {
@@ -53,6 +58,7 @@ impl Default for OracleSettings {
             recorder_cap: 256,
             panic_on_violation: true,
             dump_dir: None,
+            ring_dump_dir: None,
         }
     }
 }
@@ -112,6 +118,11 @@ pub struct ReplayArtifact {
     pub event_tail: Vec<TapeEntry>,
     /// Events the engine had delivered.
     pub delivered: u64,
+    /// Whole-stream recorder digest of the violating run. A replay that
+    /// diverges from it has a determinism bug even if the violation itself
+    /// reproduces. `None` in artifacts written before this field existed.
+    #[serde(default)]
+    pub recorder_digest: Option<u64>,
 }
 
 /// Schema tag for [`ReplayArtifact`].
@@ -143,6 +154,7 @@ impl ReplayArtifact {
         violations: Vec<Violation>,
         event_tail: Vec<TapeEntry>,
         delivered: u64,
+        recorder_digest: Option<u64>,
     ) -> Self {
         ReplayArtifact {
             schema: REPLAY_SCHEMA.to_string(),
@@ -152,6 +164,7 @@ impl ReplayArtifact {
             violations,
             event_tail,
             delivered,
+            recorder_digest,
         }
     }
 
@@ -206,6 +219,11 @@ pub struct ReplayOutcome {
     /// The replay reproduced (at least) the artifact's first violation:
     /// same invariant, same event index, same virtual time.
     pub reproduced: bool,
+    /// Whether the replay's recorder digest matched the artifact's
+    /// (`None` when the artifact predates digests or the replay had no
+    /// recorder). A mismatch means the replay diverged bit-wise even if the
+    /// violation itself reproduced.
+    pub digest_match: Option<bool>,
     /// The replay's oracle report.
     pub report: Option<OracleReport>,
 }
@@ -228,7 +246,55 @@ pub fn replay_artifact(artifact: &ReplayArtifact) -> ReplayOutcome {
         (Some(rep), None) => rep.violations.is_empty(),
         (None, _) => false,
     };
-    ReplayOutcome { reproduced, report }
+    let digest_match = match (&report, artifact.recorder_digest) {
+        (Some(rep), Some(expect)) => Some(rep.recorder_digest == expect),
+        _ => None,
+    };
+    ReplayOutcome {
+        reproduced,
+        digest_match,
+        report,
+    }
+}
+
+/// Schema tag for flight-recorder ring dumps.
+pub const RING_SCHEMA: &str = "qsched-ring-v1";
+
+/// A standalone dump of the flight-recorder ring, written (alongside the
+/// replay artifact) when a violation halts an oracle-enabled run and
+/// [`OracleSettings::ring_dump_dir`] is set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RingDump {
+    /// Dump schema tag ([`RING_SCHEMA`]).
+    pub schema: String,
+    /// The run's master seed.
+    pub seed: u64,
+    /// Whole-stream recorder digest at dump time.
+    pub digest: u64,
+    /// The retained ring entries, oldest first.
+    pub entries: Vec<TapeEntry>,
+}
+
+/// Write the recorder ring to `<dir>/ring-seed<seed>-<digest>.json`.
+/// Errors are reported, not panicked on, for the same reason as
+/// [`dump_artifact`].
+pub fn dump_ring(
+    dir: &str,
+    seed: u64,
+    digest: u64,
+    entries: Vec<TapeEntry>,
+) -> Result<PathBuf, String> {
+    let dump = RingDump {
+        schema: RING_SCHEMA.to_string(),
+        seed,
+        digest,
+        entries,
+    };
+    std::fs::create_dir_all(dir).map_err(|e| format!("create {dir}: {e}"))?;
+    let path = PathBuf::from(dir).join(format!("ring-seed{seed}-{digest:016x}.json"));
+    let json = serde_json::to_string_pretty(&dump).map_err(|e| e.to_string())?;
+    std::fs::write(&path, json).map_err(|e| format!("write {}: {e}", path.display()))?;
+    Ok(path)
 }
 
 // ---- invariants over the composed world --------------------------------
@@ -399,7 +465,12 @@ impl Invariant<ExpWorld> for PlanStep {
                     ));
                 }
                 total += v;
-                if let (Some(step), true) = (self.step, i > 0) {
+                // A crash restart writes the restored plan straight into the
+                // log; movement *into* it is exempt from the step bound (a
+                // cold restart jumps to the even split, a warm restore can
+                // be several replans old). Budget and floor still apply.
+                let restart = world.restart_log_marks().contains(&i);
+                if let (Some(step), true, false) = (self.step, i > 0, restart) {
                     let prev = s.points()[i - 1].value;
                     let bound = step * (self.classes as f64 + 1.0) + eps;
                     if (v - prev).abs() > bound {
@@ -453,20 +524,21 @@ mod tests {
     #[test]
     fn artifact_round_trips_and_names_deterministically() {
         let cfg = ExperimentConfig::paper(11, ControllerSpec::Uncontrolled);
-        let art = ReplayArtifact::new(&cfg, Vec::new(), Vec::new(), 42);
+        let art = ReplayArtifact::new(&cfg, Vec::new(), Vec::new(), 42, Some(7));
         assert_eq!(art.schema, REPLAY_SCHEMA);
         assert_eq!(art.seed, 11);
+        assert_eq!(art.recorder_digest, Some(7));
         let json = serde_json::to_string(&art).unwrap();
         let back: ReplayArtifact = serde_json::from_str(&json).unwrap();
         assert_eq!(art, back);
         // Same config, same digest, same filename.
-        let again = ReplayArtifact::new(&cfg, Vec::new(), Vec::new(), 42);
+        let again = ReplayArtifact::new(&cfg, Vec::new(), Vec::new(), 42, Some(7));
         assert_eq!(art.file_name(), again.file_name());
         // Different seed, different name.
         let other = ExperimentConfig::paper(12, ControllerSpec::Uncontrolled);
         assert_ne!(
             art.file_name(),
-            ReplayArtifact::new(&other, Vec::new(), Vec::new(), 0).file_name()
+            ReplayArtifact::new(&other, Vec::new(), Vec::new(), 0, None).file_name()
         );
     }
 

@@ -138,8 +138,74 @@ impl PeriodCollector {
             degradation: DegradationStats::default(),
             oracle: None,
             solver: None,
+            resilience: None,
             perf: None,
         }
+    }
+}
+
+/// Recovery trajectory of one controller crash, measured against a
+/// crash-free reference run of the same configuration (same seed, same
+/// faults minus the `controller.crash` channel).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CrashRecovery {
+    /// When the crash–restart happened.
+    pub at: SimTime,
+    /// Whether a checkpoint was restored (`false` = cold start from the
+    /// baseline plan).
+    pub warm: bool,
+    /// Blocked queries the reconciliation re-queued (recovered + adopted +
+    /// re-issued lost releases).
+    pub requeued: u64,
+    /// Queries known to the checkpoint and still blocked.
+    pub recovered: u64,
+    /// Queries the checkpoint never saw (arrived in the crash window).
+    pub adopted: u64,
+    /// Release commands detected as lost in the crash window and re-issued.
+    pub lost_releases: u64,
+    /// Checkpointed queue entries already freed when the restart ran.
+    pub resolved_externally: u64,
+    /// Seconds spent in degraded cold mode (baseline plan, no solving).
+    pub degraded_secs: f64,
+    /// First plan-log instant after the restart where every class limit is
+    /// within the epsilon band of the reference run's plan (`None` = never
+    /// reconverged; `Some(at)` for controllers without a plan log).
+    pub plan_reconverged_at: Option<SimTime>,
+    /// End of the first period at or after the crash from which the run
+    /// meets every class goal the reference run meets (`None` = never).
+    pub slo_remet_at: Option<SimTime>,
+    /// Mean time to recovery: seconds from the crash until *both* the plan
+    /// and the SLOs re-converged. `None` when either never did.
+    pub mttr_secs: Option<f64>,
+}
+
+/// Crash–restart resilience accounting for one run: every crash's recovery
+/// ledger plus the checkpoint cadence that bounded its data loss.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ResilienceReport {
+    /// Checkpoints the world captured over the run.
+    pub checkpoints_taken: u64,
+    /// Plan-reconvergence tolerance, as a fraction of the system limit.
+    pub plan_epsilon_fraction: f64,
+    /// One entry per crash, in crash order.
+    pub crashes: Vec<CrashRecovery>,
+}
+
+impl ResilienceReport {
+    /// Largest MTTR across crashes; `None` if any crash never reconverged
+    /// (or there were no crashes).
+    pub fn max_mttr_secs(&self) -> Option<f64> {
+        let mut max: Option<f64> = None;
+        for c in &self.crashes {
+            let m = c.mttr_secs?;
+            max = Some(max.map_or(m, |x: f64| x.max(m)));
+        }
+        max
+    }
+
+    /// True when every crash has a finite MTTR.
+    pub fn all_reconverged(&self) -> bool {
+        self.crashes.iter().all(|c| c.mttr_secs.is_some())
     }
 }
 
@@ -189,6 +255,10 @@ pub struct RunReport {
     /// strategy without re-deriving it from the config.
     #[serde(default)]
     pub solver: Option<String>,
+    /// Crash–restart resilience accounting (`None` when no crash channel
+    /// was configured or no crash fired).
+    #[serde(default)]
+    pub resilience: Option<ResilienceReport>,
     /// Host-side throughput of the run. Skipped in serialization: wall-clock
     /// is machine-dependent and must never enter determinism digests or
     /// golden files.

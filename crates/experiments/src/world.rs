@@ -1,8 +1,9 @@
 //! The composed experiment world: DBMS + clients + controller.
 
 use crate::config::{ControllerSpec, ExperimentConfig};
-use crate::report::{PerfStats, PeriodCollector, RunReport};
+use crate::report::{CrashRecovery, PerfStats, PeriodCollector, ResilienceReport, RunReport};
 use qsched_core::baseline::{NoControl, QpConfig, QpController};
+use qsched_core::checkpoint::{Checkpoint, RestartStats};
 use qsched_core::controller::{Controller, CtrlEvent, ReleaseAll};
 use qsched_core::feedback::PiController;
 use qsched_core::mpl::{MplAdaptive, MplPlan, MplStatic};
@@ -10,8 +11,8 @@ use qsched_core::plan::PlanLog;
 use qsched_core::scheduler::QueryScheduler;
 use qsched_dbms::engine::{Dbms, DbmsEvent, DbmsNotice};
 use qsched_dbms::patroller::InterceptPolicy;
-use qsched_dbms::query::{ClientId, QueryId, QueryKind, QueryRecord};
-use qsched_sim::{Ctx, Engine, RngHub, SimTime, World};
+use qsched_dbms::query::{ClassId, ClientId, QueryId, QueryKind, QueryRecord};
+use qsched_sim::{Ctx, Engine, RngHub, SimDuration, SimTime, World};
 use qsched_workload::driver::{Behavior, ClientEvent, Clients};
 use qsched_workload::generator::{QueryGen, TemplateSetGen};
 use qsched_workload::templates::{tpcc_templates, tpch_templates};
@@ -30,6 +31,8 @@ pub enum ExpEvent {
     Ctrl(CtrlEvent),
     /// The next trace arrival is due (trace-replay runs only).
     TraceNext,
+    /// Snapshot the controller's durable state (crash-resilience cadence).
+    CheckpointTick,
 }
 
 impl From<DbmsEvent> for ExpEvent {
@@ -69,6 +72,18 @@ pub struct ExpWorld {
     record_sample: Option<u32>,
     records: Vec<QueryRecord>,
     oltp_seen: u64,
+    /// Checkpoint cadence (`None` = never; crashes restart cold).
+    checkpoint_interval: Option<SimDuration>,
+    /// The latest durable snapshot of the controller, handed back to it at
+    /// the next `controller.crash`.
+    saved_checkpoint: Option<Checkpoint>,
+    checkpoints_taken: u64,
+    /// One entry per `controller.crash`: when it fired and what the
+    /// reconciliation found.
+    crashes: Vec<(SimTime, RestartStats)>,
+    /// Plan-log indices occupied by restart entries (the plan-step
+    /// invariant must not bound movement *into* a restored plan).
+    restart_log_marks: Vec<usize>,
 }
 
 impl ExpWorld {
@@ -87,6 +102,14 @@ impl ExpWorld {
     /// Completion records sampled so far (oracle metric-sanity input).
     pub fn records(&self) -> &[QueryRecord] {
         &self.records
+    }
+
+    /// Plan-log indices written by crash restarts. The plan-step invariant
+    /// exempts these from the movement bound: a restored plan may legally
+    /// jump (cold restart falls back to the even split; a warm restore can
+    /// be several replans old).
+    pub fn restart_log_marks(&self) -> &[usize] {
+        &self.restart_log_marks
     }
 
     /// Route every pending notice: record completions, inform the
@@ -142,6 +165,9 @@ impl World for ExpWorld {
         match ev {
             ExpEvent::Kickoff => {
                 self.controller.start(ctx, &mut self.dbms);
+                if let Some(every) = self.checkpoint_interval {
+                    ctx.schedule_in(every, ExpEvent::CheckpointTick);
+                }
                 match &mut self.load {
                     Load::Clients(clients) => {
                         let initial = clients.start(ctx);
@@ -190,7 +216,36 @@ impl World for ExpWorld {
             ExpEvent::Db(de) => {
                 self.dbms.handle(ctx, de, &mut self.notices);
             }
+            ExpEvent::CheckpointTick => {
+                if let Some(every) = self.checkpoint_interval {
+                    // Stateless controllers return None; nothing is saved
+                    // and their crashes are (trivially correct) cold starts.
+                    if let Some(ckpt) = self.controller.checkpoint(ctx.now()) {
+                        self.saved_checkpoint = Some(ckpt);
+                        self.checkpoints_taken += 1;
+                    }
+                    ctx.schedule_in(every, ExpEvent::CheckpointTick);
+                }
+            }
             ExpEvent::Ctrl(ce) => {
+                if ctx.should_inject("controller.crash") {
+                    // The controller process dies and is restarted by its
+                    // supervisor. It loses everything since the last
+                    // checkpoint and must reconcile against the DBMS. The
+                    // triggering timer event is then delivered to the new
+                    // incarnation below — the recurring timers survive the
+                    // crash (they live in the supervisor, not the process).
+                    ctx.annotate(|| "controller.crash".to_string());
+                    if let Some(log) = self.controller.plan_log() {
+                        let mark = log.all().first().map_or(0, |(_, s)| s.len());
+                        self.restart_log_marks.push(mark);
+                    }
+                    let ckpt = self.saved_checkpoint.clone();
+                    let stats =
+                        self.controller
+                            .restart_from(ctx, &mut self.dbms, ckpt, &mut self.notices);
+                    self.crashes.push((ctx.now(), stats));
+                }
                 if ctx.should_inject("ctrl.stall") {
                     // The controller misses this timer tick; re-deliver it
                     // after the stall so the loop degrades instead of dying.
@@ -361,6 +416,127 @@ fn build_controller(cfg: &ExperimentConfig, hub: &RngHub) -> Box<dyn Controller<
     }
 }
 
+/// The crash-free reference configuration used to judge reconvergence:
+/// identical in every respect except that `controller.crash` never fires.
+/// The channel keeps a rate-0 spec (instead of being removed) so the fault
+/// plan stays structurally identical — chaos-track indices, and therefore
+/// every other channel's gating streams, are untouched.
+fn reference_config(cfg: &ExperimentConfig) -> ExperimentConfig {
+    let mut rc = cfg.clone();
+    if let Some(fp) = &mut rc.faults {
+        if fp.channels.contains_key("controller.crash") {
+            fp.channels.insert(
+                "controller.crash".to_string(),
+                qsched_sim::FaultSpec::rate(0.0),
+            );
+        }
+    }
+    rc.oracle = crate::oracle::OracleSettings::disabled();
+    rc.record_sample = None;
+    rc.resilience.measure_mttr = false;
+    rc
+}
+
+/// The reference run's plan value for `class` at time `t`: the last plan
+/// recorded at or before `t` (plans hold between replans).
+fn ref_plan_value_at(log: &PlanLog, class: ClassId, t: SimTime) -> Option<f64> {
+    let s = log.series(class)?;
+    s.points()
+        .iter()
+        .take_while(|p| p.time <= t)
+        .last()
+        .map(|p| p.value)
+}
+
+/// Goal status of `(period, class)` under the report's silent-period
+/// convention: an empty OLAP cell is a miss (starvation), an empty OLTP
+/// cell is met (no demand).
+fn period_meets(
+    report: &RunReport,
+    period: usize,
+    class: &qsched_core::class::ServiceClass,
+) -> bool {
+    match report.cell(period, class.id) {
+        Some(cell) => cell.meets(class),
+        None => class.kind == QueryKind::Oltp,
+    }
+}
+
+/// Judge one crash's recovery against the crash-free reference run.
+fn recovery_for(
+    crash_at: SimTime,
+    stats: &RestartStats,
+    main_report: &RunReport,
+    main_log: Option<&PlanLog>,
+    reference: Option<&RunOutput>,
+    cfg: &ExperimentConfig,
+) -> CrashRecovery {
+    // Plan criterion: first logged plan at or after the crash where every
+    // class limit sits within ε·system_limit of the reference plan.
+    // Controllers without a plan log have no plan to reconverge — the
+    // criterion is met at the crash itself.
+    let plan_reconverged_at = match (main_log, reference.and_then(|r| r.plan_log.as_ref())) {
+        (Some(main), Some(reference_log)) => {
+            let eps = match &cfg.controller {
+                ControllerSpec::QueryScheduler(sc) => {
+                    sc.system_limit.get() * cfg.resilience.plan_epsilon_fraction
+                }
+                _ => f64::INFINITY,
+            };
+            let series = main.all();
+            let len = series.iter().map(|(_, s)| s.len()).min().unwrap_or(0);
+            (0..len)
+                .filter_map(|i| {
+                    let t = series[0].1.points()[i].time;
+                    if t < crash_at {
+                        return None;
+                    }
+                    let all_close = series.iter().all(|(c, s)| {
+                        ref_plan_value_at(reference_log, *c, t)
+                            .is_some_and(|rv| (s.points()[i].value - rv).abs() <= eps)
+                    });
+                    all_close.then_some(t)
+                })
+                .next()
+        }
+        _ => reference.map(|_| crash_at),
+    };
+    // SLO criterion: end of the first period at or after the crash from
+    // which this run meets every class goal the reference run meets.
+    let slo_remet_at = reference.and_then(|r| {
+        let period_us = cfg.schedule.period_len().as_micros();
+        let crash_period = (crash_at.as_micros() / period_us) as usize;
+        let periods = main_report.periods.len().min(r.report.periods.len());
+        (crash_period..periods)
+            .find(|&p| {
+                main_report
+                    .classes
+                    .iter()
+                    .all(|c| !period_meets(&r.report, p, c) || period_meets(main_report, p, c))
+            })
+            .map(|p| SimTime::ZERO + SimDuration::from_micros(period_us * (p as u64 + 1)))
+    });
+    let mttr_secs = match (plan_reconverged_at, slo_remet_at) {
+        (Some(a), Some(b)) => Some(a.max(b).saturating_since(crash_at).as_secs_f64()),
+        _ => None,
+    };
+    CrashRecovery {
+        at: crash_at,
+        warm: stats.warm,
+        requeued: stats.requeued(),
+        recovered: stats.recovered,
+        adopted: stats.adopted,
+        lost_releases: stats.lost_releases,
+        resolved_externally: stats.resolved_externally,
+        degraded_secs: stats
+            .degraded_until
+            .map_or(0.0, |d| d.saturating_since(crash_at).as_secs_f64()),
+        plan_reconverged_at,
+        slo_remet_at,
+        mttr_secs,
+    }
+}
+
 /// Rough bound on concurrently pending events: each resident client
 /// contributes only a handful (its own timer plus in-flight DBMS events), so
 /// a small multiple of the peak population pre-sizes the queue for the whole
@@ -417,6 +593,11 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> RunOutput {
             record_sample: cfg.record_sample,
             records: Vec::new(),
             oltp_seen: 0,
+            checkpoint_interval: cfg.resilience.checkpoint_interval,
+            saved_checkpoint: None,
+            checkpoints_taken: 0,
+            crashes: Vec::new(),
+            restart_log_marks: Vec::new(),
         },
         capacity,
     );
@@ -499,13 +680,48 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> RunOutput {
     };
     report.perf = Some(perf);
 
+    // Crash–restart resilience: judge every crash's recovery against a
+    // crash-free reference run of the same configuration (only when crashes
+    // actually fired — the reference run doubles the cost).
+    if !world.crashes.is_empty() {
+        let reference = cfg
+            .resilience
+            .measure_mttr
+            .then(|| run_experiment(&reference_config(cfg)));
+        let main_log = world.controller.plan_log();
+        let crashes: Vec<CrashRecovery> = world
+            .crashes
+            .iter()
+            .map(|(at, stats)| recovery_for(*at, stats, &report, main_log, reference.as_ref(), cfg))
+            .collect();
+        report.resilience = Some(ResilienceReport {
+            checkpoints_taken: world.checkpoints_taken,
+            plan_epsilon_fraction: cfg.resilience.plan_epsilon_fraction,
+            crashes,
+        });
+    }
+
     // A violating run dumps a self-contained replay artifact before (maybe)
     // panicking: the artifact must survive even an aborted process.
     #[cfg(feature = "oracle")]
     if let Some(rep) = &oracle_report {
         if !rep.violations.is_empty() {
-            let artifact =
-                crate::oracle::ReplayArtifact::new(cfg, rep.violations.clone(), event_tail, events);
+            // When asked, dump the raw recorder ring alongside the replay
+            // artifact — a flat, greppable view of the final event window.
+            if let Some(dir) = cfg.oracle.ring_dump_dir.as_deref() {
+                if let Err(e) =
+                    crate::oracle::dump_ring(dir, cfg.seed, rep.recorder_digest, event_tail.clone())
+                {
+                    eprintln!("ring dump failed: {e}");
+                }
+            }
+            let artifact = crate::oracle::ReplayArtifact::new(
+                cfg,
+                rep.violations.clone(),
+                event_tail,
+                events,
+                Some(rep.recorder_digest),
+            );
             let dumped = crate::oracle::dump_artifact(&artifact, cfg.oracle.dump_dir.as_deref());
             if cfg.oracle.panic_on_violation {
                 let first = &rep.violations[0];

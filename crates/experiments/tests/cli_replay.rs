@@ -1,0 +1,140 @@
+//! End-to-end CLI tests for `qsched-run replay`: a violating run dumps a
+//! replay artifact (and a flight-recorder ring dump), the replay subcommand
+//! reproduces it with a matching digest and exits zero, and a tampered
+//! digest makes the replay exit nonzero with both digests printed.
+
+use qsched_core::class::ServiceClass;
+use qsched_core::scheduler::SchedulerConfig;
+use qsched_experiments::config::{ControllerSpec, ExperimentConfig};
+use qsched_experiments::oracle::{config_digest, OracleSettings};
+use qsched_sim::{FaultPlan, SimDuration};
+use qsched_workload::Schedule;
+use std::path::Path;
+use std::process::Command;
+
+const BIN: &str = env!("CARGO_BIN_EXE_qsched-run");
+
+/// A config whose run trips the oracle (the test-only `test.mpl_leak`
+/// channel breaks MPL accounting) and dumps both a replay artifact and a
+/// flight-recorder ring dump into `dir`.
+fn violating_config(dir: &str) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig {
+        seed: 7,
+        dbms: Default::default(),
+        schedule: Schedule::new(
+            SimDuration::from_secs(90),
+            vec![vec![3, 3, 15], vec![2, 5, 25], vec![5, 2, 20]],
+        ),
+        classes: ServiceClass::paper_classes(),
+        controller: ControllerSpec::QueryScheduler(SchedulerConfig {
+            control_interval: SimDuration::from_secs(30),
+            ..SchedulerConfig::default()
+        }),
+        warmup_periods: 0,
+        record_sample: Some(1),
+        behaviors: None,
+        trace: None,
+        faults: Some(FaultPlan::new(70).channel("test.mpl_leak", 1.0)),
+        oracle: OracleSettings {
+            panic_on_violation: false,
+            dump_dir: Some(dir.to_string()),
+            ring_dump_dir: Some(dir.to_string()),
+            ..OracleSettings::default()
+        },
+        resilience: Default::default(),
+    };
+    cfg.resilience.measure_mttr = false;
+    cfg
+}
+
+fn run(args: &[&str]) -> (bool, String) {
+    let out = Command::new(BIN)
+        .args(args)
+        .output()
+        .expect("qsched-run binary runs");
+    let text = format!(
+        "{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (out.status.success(), text)
+}
+
+#[test]
+fn replay_cli_reproduces_and_rejects_tampered_digests() {
+    let dir = "target/cli-replay-test";
+    let _ = std::fs::remove_dir_all(dir);
+    std::fs::create_dir_all(dir).expect("create test dir");
+
+    // 1. Run a violating config through the CLI; it dumps the artifact.
+    let cfg = violating_config(dir);
+    let cfg_path = format!("{dir}/config.json");
+    std::fs::write(&cfg_path, serde_json::to_string_pretty(&cfg).unwrap()).expect("write config");
+    let (ok, text) = run(&[&cfg_path]);
+    assert!(ok, "the violating run itself exits zero:\n{text}");
+    assert!(
+        text.contains("violation"),
+        "the run reports oracle violations:\n{text}"
+    );
+
+    let artifact_path = format!(
+        "{dir}/replay-seed{}-{:016x}.json",
+        cfg.seed,
+        config_digest(&cfg)
+    );
+    assert!(
+        Path::new(&artifact_path).exists(),
+        "the run dumps a replay artifact at a deterministic path"
+    );
+    // The halted run also dumps the flight-recorder ring alongside it.
+    let ring_dumped = std::fs::read_dir(dir)
+        .unwrap()
+        .filter_map(Result::ok)
+        .any(|e| {
+            let name = e.file_name().to_string_lossy().into_owned();
+            name.starts_with("ring-seed7-") && name.ends_with(".json")
+        });
+    assert!(ring_dumped, "the halted run dumps the recorder ring");
+
+    // 2. Replaying the artifact reproduces the violation, digests match,
+    //    and the subcommand exits zero.
+    let (ok, text) = run(&["replay", &artifact_path]);
+    assert!(ok, "faithful replay exits zero:\n{text}");
+    assert!(text.contains("REPRODUCED"), "replay reproduces:\n{text}");
+    assert!(
+        text.contains("digest: artifact"),
+        "replay prints both digests:\n{text}"
+    );
+    assert!(!text.contains("DIGEST MISMATCH"), "digests agree:\n{text}");
+
+    // 3. Tampering with the recorded digest makes the replay fail loudly:
+    //    nonzero exit, both digests printed, and an explicit mismatch line.
+    let mut artifact: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&artifact_path).unwrap()).unwrap();
+    let serde_json::Value::Object(ref mut fields) = artifact else {
+        panic!("artifact is a JSON object");
+    };
+    let slot = fields
+        .iter_mut()
+        .find(|(k, _)| k == "recorder_digest")
+        .expect("artifact carries the recorder digest");
+    let serde_json::Value::UInt(recorded) = slot.1 else {
+        panic!("recorder digest is an integer");
+    };
+    slot.1 = serde_json::Value::UInt(recorded ^ 1);
+    let tampered_path = format!("{dir}/tampered.json");
+    std::fs::write(&tampered_path, serde_json::to_string(&artifact).unwrap()).unwrap();
+
+    let (ok, text) = run(&["replay", &tampered_path]);
+    assert!(!ok, "tampered digest must exit nonzero:\n{text}");
+    assert!(
+        text.contains("DIGEST MISMATCH"),
+        "mismatch is reported explicitly:\n{text}"
+    );
+    assert!(
+        text.contains("digest: artifact"),
+        "both digests are printed for diffing:\n{text}"
+    );
+
+    let _ = std::fs::remove_dir_all(dir);
+}

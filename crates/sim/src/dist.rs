@@ -363,6 +363,46 @@ mod tests {
     }
 
     #[test]
+    fn empirical_single_point_always_index_zero() {
+        let d = Empirical::new(&[(7.5, 3.0)]);
+        let mut rng = RngHub::new(8).stream("emp1");
+        for _ in 0..1_000 {
+            assert_eq!(d.sample_index(&mut rng), 0);
+            assert_eq!(d.sample(&mut rng), 7.5);
+        }
+        assert!((d.mean() - 7.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empirical_zero_weight_tail_never_sampled() {
+        // A trailing zero-weight entry shares its cdf value (1.0) with the
+        // previous entry; partition_point must resolve to the *first* entry
+        // reaching the draw, so the dead tail never appears.
+        let d = Empirical::new(&[(1.0, 1.0), (2.0, 0.0)]);
+        let mut rng = RngHub::new(9).stream("emp-tail");
+        for _ in 0..10_000 {
+            assert_eq!(d.sample_index(&mut rng), 0, "zero-weight tail sampled");
+        }
+        assert!((d.mean() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empirical_zero_weight_head_skipped() {
+        // A leading zero-weight entry has cdf 0.0; only a draw of exactly
+        // 0.0 could land on it, so in practice everything goes to index 1.
+        let d = Empirical::new(&[(1.0, 0.0), (2.0, 5.0)]);
+        let mut rng = RngHub::new(10).stream("emp-head");
+        let mut head = 0usize;
+        for _ in 0..10_000 {
+            if d.sample_index(&mut rng) == 0 {
+                head += 1;
+            }
+        }
+        assert_eq!(head, 0, "zero-weight head sampled {head} times");
+        assert!((d.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
     #[should_panic(expected = "invalid Exp mean")]
     fn nonpositive_exp_mean_panics() {
         let _ = Exp::with_mean(0.0);

@@ -63,8 +63,10 @@ impl<'a, E> Ctx<'a, E> {
 
     /// Consult the engine's fault injector: does the current opportunity on
     /// `channel` fire? Always `false` when no fault plan is installed.
+    /// Evaluated at the current virtual time, so chaos tracks (outage
+    /// windows, Markov bursts) gate the channel correctly.
     pub fn should_inject(&mut self, channel: &str) -> bool {
-        self.faults.should_inject(channel)
+        self.faults.should_inject_at(channel, self.now)
     }
 
     /// The configured delay parameter of a fault channel, if any.

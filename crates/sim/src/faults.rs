@@ -18,7 +18,7 @@
 //! [`Engine`]: crate::engine::Engine
 //! [`Ctx::should_inject`]: crate::engine::Ctx::should_inject
 
-use crate::time::SimDuration;
+use crate::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -59,6 +59,61 @@ impl FaultSpec {
     }
 }
 
+/// The temporal shape of a [`ChaosTrack`]: when its channels are *active*.
+///
+/// Times are measured as sim durations since the simulation origin
+/// ([`SimTime::ZERO`]), which is where every experiment starts its clock.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ChaosShape {
+    /// Explicit outage windows `[start, end)`. Deterministic by
+    /// construction: a rate-1 channel gated by a narrow window fires at the
+    /// first opportunity inside it, at a reproducible sim time.
+    Windows(Vec<(SimDuration, SimDuration)>),
+    /// A two-state Markov on/off process with exponentially distributed
+    /// residence times. The track starts *off*; state flips are drawn from
+    /// the track's own seeded stream, so bursts replay identically.
+    Bursts {
+        /// Mean duration of an *on* (faults active) burst.
+        mean_on: SimDuration,
+        /// Mean duration of an *off* (faults suppressed) gap.
+        mean_off: SimDuration,
+    },
+}
+
+/// A chaos scenario track: a temporal gate layered over one or more fault
+/// channels. A channel named by at least one track only sees injection
+/// opportunities while *some* naming track is open; while every naming
+/// track is closed, opportunities neither fire nor advance the channel's
+/// Bernoulli stream. Naming several channels in a single track makes their
+/// outages *correlated* — they share the same windows or the same Markov
+/// burst process.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChaosTrack {
+    /// The fault channels this track gates.
+    pub channels: Vec<String>,
+    /// When the gate is open.
+    pub shape: ChaosShape,
+}
+
+impl ChaosTrack {
+    /// A track opening the given channels during explicit `[start, end)`
+    /// windows (durations since the simulation origin).
+    pub fn windows(channels: &[&str], windows: &[(SimDuration, SimDuration)]) -> Self {
+        ChaosTrack {
+            channels: channels.iter().map(|c| c.to_string()).collect(),
+            shape: ChaosShape::Windows(windows.to_vec()),
+        }
+    }
+
+    /// A track opening the given channels in Markov on/off bursts.
+    pub fn bursts(channels: &[&str], mean_on: SimDuration, mean_off: SimDuration) -> Self {
+        ChaosTrack {
+            channels: channels.iter().map(|c| c.to_string()).collect(),
+            shape: ChaosShape::Bursts { mean_on, mean_off },
+        }
+    }
+}
+
 /// A named set of fault channels plus the seed their schedules derive from.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct FaultPlan {
@@ -66,6 +121,10 @@ pub struct FaultPlan {
     pub seed: u64,
     /// Channel name → spec.
     pub channels: BTreeMap<String, FaultSpec>,
+    /// Chaos tracks gating channels in time (empty = every channel is
+    /// always eligible, the pre-chaos behaviour).
+    #[serde(default)]
+    pub tracks: Vec<ChaosTrack>,
 }
 
 impl FaultPlan {
@@ -79,6 +138,7 @@ impl FaultPlan {
         FaultPlan {
             seed,
             channels: BTreeMap::new(),
+            tracks: Vec::new(),
         }
     }
 
@@ -93,11 +153,79 @@ impl FaultPlan {
         self.with_channel(name, FaultSpec::rate(rate))
     }
 
+    /// Add a chaos track gating one or more channels in time.
+    pub fn with_track(mut self, track: ChaosTrack) -> Self {
+        self.tracks.push(track);
+        self
+    }
+
     /// True if no channel can ever fire.
     pub fn is_inert(&self) -> bool {
         self.channels
             .values()
             .all(|s| s.rate <= 0.0 || s.max_injections == Some(0))
+    }
+
+    /// Validate the plan.
+    ///
+    /// Returns `Err` on malformed input: non-finite or negative rates,
+    /// empty or inverted chaos windows, non-positive burst means, or a
+    /// track naming no channels. Returns `Ok(warnings)` otherwise, where
+    /// the warnings flag channel names that appear in the plan but not in
+    /// `polled` — the set of channels some component actually consults —
+    /// and track entries gating channels the plan never configures. Both
+    /// are silently inert today, which is almost always a typo.
+    pub fn validate(&self, polled: &[&str]) -> Result<Vec<String>, String> {
+        for (name, spec) in &self.channels {
+            if !spec.rate.is_finite() || spec.rate < 0.0 {
+                return Err(format!(
+                    "fault channel {name:?} has invalid rate {}",
+                    spec.rate
+                ));
+            }
+        }
+        for (i, track) in self.tracks.iter().enumerate() {
+            if track.channels.is_empty() {
+                return Err(format!("chaos track #{i} names no channels"));
+            }
+            match &track.shape {
+                ChaosShape::Windows(ws) => {
+                    if ws.is_empty() {
+                        return Err(format!("chaos track #{i} has no windows"));
+                    }
+                    for &(start, end) in ws {
+                        if start >= end {
+                            return Err(format!(
+                                "chaos track #{i} window [{start}, {end}) is empty or inverted"
+                            ));
+                        }
+                    }
+                }
+                ChaosShape::Bursts { mean_on, mean_off } => {
+                    if mean_on.is_zero() || mean_off.is_zero() {
+                        return Err(format!("chaos track #{i} burst means must be positive"));
+                    }
+                }
+            }
+        }
+        let mut warnings = Vec::new();
+        for name in self.channels.keys() {
+            if !polled.contains(&name.as_str()) {
+                warnings.push(format!(
+                    "fault channel {name:?} is not polled by any component and will never fire"
+                ));
+            }
+        }
+        for (i, track) in self.tracks.iter().enumerate() {
+            for ch in &track.channels {
+                if !self.channels.contains_key(ch) {
+                    warnings.push(format!(
+                        "chaos track #{i} gates channel {ch:?}, which has no spec — the gate is inert"
+                    ));
+                }
+            }
+        }
+        Ok(warnings)
     }
 }
 
@@ -109,18 +237,33 @@ struct ChannelState {
     injected: u64,
 }
 
+/// Runtime state of one chaos track. For [`ChaosShape::Bursts`] the Markov
+/// process is advanced lazily, one exponential residence time at a time, up
+/// to the query instant — deterministic because the engine only ever asks
+/// with non-decreasing `now`.
+#[derive(Debug, Clone)]
+struct TrackState {
+    shape: ChaosShape,
+    rng: u64,
+    on: bool,
+    until: SimDuration,
+}
+
 /// Executes a [`FaultPlan`]: answers "does this opportunity fire?" and
 /// counts injections per channel.
 #[derive(Debug, Clone, Default)]
 pub struct FaultInjector {
     channels: BTreeMap<String, ChannelState>,
+    tracks: Vec<TrackState>,
+    /// Channel name → indices of the tracks gating it.
+    gates: BTreeMap<String, Vec<usize>>,
 }
 
 impl FaultInjector {
     /// Build the injector for `plan`.
     pub fn new(plan: FaultPlan) -> Self {
         let seed = plan.seed;
-        let channels = plan
+        let channels: BTreeMap<String, ChannelState> = plan
             .channels
             .into_iter()
             .map(|(name, spec)| {
@@ -135,13 +278,43 @@ impl FaultInjector {
                 )
             })
             .collect();
-        FaultInjector { channels }
+        let mut gates: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        let mut tracks = Vec::with_capacity(plan.tracks.len());
+        for (i, track) in plan.tracks.into_iter().enumerate() {
+            for ch in &track.channels {
+                gates.entry(ch.clone()).or_default().push(i);
+            }
+            // Each track draws from its own seeded stream (keyed by index),
+            // so reordering channels inside a track changes nothing.
+            let mut st = TrackState {
+                shape: track.shape,
+                rng: stream_seed(seed, &format!("chaos-track#{i}")),
+                on: false,
+                until: SimDuration::ZERO,
+            };
+            if let ChaosShape::Bursts { mean_off, .. } = st.shape {
+                // Draw the initial off-period so the process starts closed.
+                st.until = exp_residence(&mut st.rng, mean_off);
+            }
+            tracks.push(st);
+        }
+        FaultInjector {
+            channels,
+            tracks,
+            gates,
+        }
     }
 
-    /// Decide whether the current opportunity on `channel` fires, advancing
-    /// that channel's schedule. Unknown channels and rate-0 channels never
-    /// fire and never advance any state.
-    pub fn should_inject(&mut self, channel: &str) -> bool {
+    /// Decide whether the current opportunity on `channel` fires at sim
+    /// time `now`, advancing that channel's schedule. Unknown channels and
+    /// rate-0 channels never fire and never advance any state; a channel
+    /// gated by chaos tracks is only eligible while at least one naming
+    /// track is open (a closed gate consumes no randomness, so schedules
+    /// inside a window never depend on how long the gate stayed shut).
+    pub fn should_inject_at(&mut self, channel: &str, now: SimTime) -> bool {
+        if !self.gate_open(channel, now) {
+            return false;
+        }
         let Some(st) = self.channels.get_mut(channel) else {
             return false;
         };
@@ -158,6 +331,27 @@ impl FaultInjector {
             st.injected += 1;
         }
         fire
+    }
+
+    /// Time-free convenience wrapper: evaluates the opportunity at
+    /// [`SimTime::ZERO`]. Chaos-gated channels are only eligible through
+    /// this path if a gate happens to be open at the origin; engine-driven
+    /// callers always go through [`Self::should_inject_at`] with the real
+    /// clock. Kept for tests and plans without tracks, where the two are
+    /// identical.
+    pub fn should_inject(&mut self, channel: &str) -> bool {
+        self.should_inject_at(channel, SimTime::ZERO)
+    }
+
+    /// True when no track gates `channel`, or at least one gating track is
+    /// open at `now`.
+    fn gate_open(&mut self, channel: &str, now: SimTime) -> bool {
+        let FaultInjector { tracks, gates, .. } = self;
+        let Some(idxs) = gates.get(channel) else {
+            return true;
+        };
+        let t = now.saturating_since(SimTime::ZERO);
+        idxs.iter().any(|&i| track_open(&mut tracks[i], t))
     }
 
     /// The delay parameter of `channel`, if configured.
@@ -182,6 +376,32 @@ impl FaultInjector {
     pub fn total_injected(&self) -> u64 {
         self.channels.values().map(|st| st.injected).sum()
     }
+}
+
+/// Whether a track's gate is open at elapsed time `t` since the origin,
+/// advancing Markov burst state as needed.
+fn track_open(tr: &mut TrackState, t: SimDuration) -> bool {
+    match &tr.shape {
+        ChaosShape::Windows(ws) => ws.iter().any(|&(start, end)| start <= t && t < end),
+        ChaosShape::Bursts { mean_on, mean_off } => {
+            let (mean_on, mean_off) = (*mean_on, *mean_off);
+            while tr.until <= t {
+                tr.on = !tr.on;
+                let mean = if tr.on { mean_on } else { mean_off };
+                tr.until += exp_residence(&mut tr.rng, mean);
+            }
+            tr.on
+        }
+    }
+}
+
+/// One exponentially distributed residence time with the given mean, drawn
+/// from `rng` (splitmix64 advanced in place). Floored away from zero so the
+/// lazy burst loop always makes progress.
+fn exp_residence(rng: &mut u64, mean: SimDuration) -> SimDuration {
+    *rng = splitmix(*rng);
+    let u = (*rng >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+    mean.mul_f64((-(1.0 - u).ln()).max(1e-9))
 }
 
 /// Seed for a channel stream: FNV-1a over the name folded with the plan seed,
@@ -280,5 +500,167 @@ mod tests {
         assert!(FaultPlan::none().is_inert());
         assert!(FaultPlan::new(1).channel("x", 0.0).is_inert());
         assert!(!FaultPlan::new(1).channel("x", 0.1).is_inert());
+    }
+
+    #[test]
+    fn limited_and_delay_compose() {
+        // The cap and the delay parameter are orthogonal: the delay stays
+        // readable after the cap exhausts, and builder order is irrelevant.
+        let d = SimDuration::from_secs(2);
+        let a = FaultSpec::rate(1.0).limited(2).with_delay(d);
+        let b = FaultSpec::rate(1.0).with_delay(d).limited(2);
+        assert_eq!(a, b);
+        let mut inj = FaultInjector::new(FaultPlan::new(9).with_channel("x", a));
+        assert!(inj.should_inject("x"));
+        assert!(inj.should_inject("x"));
+        assert!(!inj.should_inject("x"), "cap of 2 must hold");
+        assert_eq!(inj.injected("x"), 2);
+        assert_eq!(inj.delay_of("x"), Some(d), "delay survives the cap");
+    }
+
+    #[test]
+    fn window_track_gates_channel() {
+        let plan = FaultPlan::new(5)
+            .channel("x", 1.0)
+            .with_track(ChaosTrack::windows(
+                &["x"],
+                &[(SimDuration::from_secs(10), SimDuration::from_secs(20))],
+            ));
+        let mut inj = FaultInjector::new(plan);
+        assert!(!inj.should_inject_at("x", SimTime::from_secs(5)));
+        assert!(!inj.should_inject_at("x", SimTime::from_secs(9)));
+        assert!(
+            inj.should_inject_at("x", SimTime::from_secs(10)),
+            "window is closed-open"
+        );
+        assert!(inj.should_inject_at("x", SimTime::from_secs(19)));
+        assert!(!inj.should_inject_at("x", SimTime::from_secs(20)));
+        assert!(!inj.should_inject_at("x", SimTime::from_secs(100)));
+        assert_eq!(inj.injected("x"), 2, "closed gate consumes no opportunity");
+    }
+
+    #[test]
+    fn closed_gate_does_not_advance_stream() {
+        // Querying outside the window must not perturb the schedule inside
+        // it: the in-window firing sequence is identical whether or not the
+        // channel was probed while the gate was shut.
+        let plan = || {
+            FaultPlan::new(11)
+                .channel("x", 0.5)
+                .with_track(ChaosTrack::windows(
+                    &["x"],
+                    &[(SimDuration::from_secs(50), SimDuration::from_secs(60))],
+                ))
+        };
+        let mut a = FaultInjector::new(plan());
+        let mut b = FaultInjector::new(plan());
+        for s in 0..50 {
+            assert!(!a.should_inject_at("x", SimTime::from_secs(s)));
+        }
+        let in_a: Vec<bool> = (50..60)
+            .map(|s| a.should_inject_at("x", SimTime::from_secs(s)))
+            .collect();
+        let in_b: Vec<bool> = (50..60)
+            .map(|s| b.should_inject_at("x", SimTime::from_secs(s)))
+            .collect();
+        assert_eq!(in_a, in_b);
+    }
+
+    #[test]
+    fn shared_track_correlates_channels() {
+        // Two channels on one burst track are open and shut *together*.
+        let plan = FaultPlan::new(21)
+            .channel("a", 1.0)
+            .channel("b", 1.0)
+            .with_track(ChaosTrack::bursts(
+                &["a", "b"],
+                SimDuration::from_secs(5),
+                SimDuration::from_secs(5),
+            ));
+        let mut inj = FaultInjector::new(plan);
+        let mut opened = 0;
+        for s in 0..200 {
+            let t = SimTime::from_secs(s);
+            let fa = inj.should_inject_at("a", t);
+            let fb = inj.should_inject_at("b", t);
+            assert_eq!(fa, fb, "correlated channels disagree at t={s}");
+            if fa {
+                opened += 1;
+            }
+        }
+        assert!(opened > 0, "burst track never opened in 200 s");
+        assert!(opened < 200, "burst track never closed in 200 s");
+    }
+
+    #[test]
+    fn burst_track_is_deterministic() {
+        let plan = || {
+            FaultPlan::new(33)
+                .channel("x", 1.0)
+                .with_track(ChaosTrack::bursts(
+                    &["x"],
+                    SimDuration::from_secs(3),
+                    SimDuration::from_secs(7),
+                ))
+        };
+        let mut a = FaultInjector::new(plan());
+        let mut b = FaultInjector::new(plan());
+        for s in 0..500 {
+            let t = SimTime::from_secs_f64(s as f64 * 0.7);
+            assert_eq!(a.should_inject_at("x", t), b.should_inject_at("x", t));
+        }
+    }
+
+    #[test]
+    fn validate_rejects_bad_rates_and_shapes() {
+        let polled = ["x"];
+        assert!(FaultPlan::new(1)
+            .channel("x", f64::NAN)
+            .validate(&polled)
+            .is_err());
+        assert!(FaultPlan::new(1)
+            .channel("x", -0.1)
+            .validate(&polled)
+            .is_err());
+        let inverted = FaultPlan::new(1)
+            .channel("x", 0.5)
+            .with_track(ChaosTrack::windows(
+                &["x"],
+                &[(SimDuration::from_secs(9), SimDuration::from_secs(4))],
+            ));
+        assert!(inverted.validate(&polled).is_err());
+        let empty_track = FaultPlan::new(1)
+            .channel("x", 0.5)
+            .with_track(ChaosTrack::windows(
+                &[],
+                &[(SimDuration::ZERO, SimDuration::from_secs(1))],
+            ));
+        assert!(empty_track.validate(&polled).is_err());
+        let zero_mean = FaultPlan::new(1)
+            .channel("x", 0.5)
+            .with_track(ChaosTrack::bursts(
+                &["x"],
+                SimDuration::ZERO,
+                SimDuration::from_secs(1),
+            ));
+        assert!(zero_mean.validate(&polled).is_err());
+    }
+
+    #[test]
+    fn validate_warns_on_unpolled_and_ungated_channels() {
+        let polled = ["release.drop"];
+        let plan = FaultPlan::new(1)
+            .channel("release.drop", 0.1)
+            .channel("release.dorp", 0.1) // typo: silently inert today
+            .with_track(ChaosTrack::windows(
+                &["solver.fail"], // gates a channel with no spec
+                &[(SimDuration::ZERO, SimDuration::from_secs(1))],
+            ));
+        let warnings = plan.validate(&polled).expect("plan is well-formed");
+        assert_eq!(warnings.len(), 2, "warnings: {warnings:?}");
+        assert!(warnings.iter().any(|w| w.contains("release.dorp")));
+        assert!(warnings.iter().any(|w| w.contains("solver.fail")));
+        let clean = FaultPlan::new(1).channel("release.drop", 0.1);
+        assert!(clean.validate(&polled).expect("valid").is_empty());
     }
 }

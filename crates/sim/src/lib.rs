@@ -60,7 +60,7 @@ pub mod time;
 
 pub use engine::{Ctx, Engine, World};
 pub use event::EventQueue;
-pub use faults::{FaultInjector, FaultPlan, FaultSpec};
+pub use faults::{ChaosShape, ChaosTrack, FaultInjector, FaultPlan, FaultSpec};
 pub use oracle::{Invariant, MonotoneTime, Oracle, OracleStats, Violation};
 pub use recorder::{FlightRecorder, TapeEntry};
 pub use rng::RngHub;
@@ -70,7 +70,7 @@ pub use time::{SimDuration, SimTime};
 pub mod prelude {
     pub use crate::dist::{Dist, Empirical, Exp, LogNormal, Pareto, Uniform};
     pub use crate::engine::{Ctx, Engine, World};
-    pub use crate::faults::{FaultInjector, FaultPlan, FaultSpec};
+    pub use crate::faults::{ChaosShape, ChaosTrack, FaultInjector, FaultPlan, FaultSpec};
     pub use crate::rng::RngHub;
     pub use crate::stats::{Histogram, LinReg, Meter, Series, TimeWeighted, Welford};
     pub use crate::time::{SimDuration, SimTime};

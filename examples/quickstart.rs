@@ -75,6 +75,7 @@ fn main() {
         trace: None,
         faults: None,
         oracle: Default::default(),
+        resilience: Default::default(),
     };
     let out = run_experiment(&cfg);
 

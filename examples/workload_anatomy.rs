@@ -39,6 +39,7 @@ fn main() {
         trace: None,
         faults: None,
         oracle: Default::default(),
+        resilience: Default::default(),
     };
     let out = run_experiment(&cfg);
     let stats = per_template_stats(&out.records);

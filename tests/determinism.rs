@@ -29,6 +29,7 @@ fn config(seed: u64, controller: ControllerSpec) -> ExperimentConfig {
         trace: None,
         faults: None,
         oracle: Default::default(),
+        resilience: Default::default(),
     }
 }
 

@@ -26,6 +26,7 @@ fn tiny_config(seed: u64, controller: ControllerSpec) -> ExperimentConfig {
         trace: None,
         faults: None,
         oracle: Default::default(),
+        resilience: Default::default(),
     }
 }
 

@@ -327,6 +327,7 @@ fn qs_config(seed: u64) -> ExperimentConfig {
         trace: None,
         faults: None,
         oracle: Default::default(),
+        resilience: Default::default(),
     }
 }
 

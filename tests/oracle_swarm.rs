@@ -48,6 +48,7 @@ fn swarm_config(seed: u64) -> ExperimentConfig {
         trace: None,
         faults: None,
         oracle: Default::default(),
+        resilience: Default::default(),
     }
 }
 
@@ -247,6 +248,10 @@ fn broken_accounting_trips_the_oracle_and_replays_from_seed_alone() {
     );
     let replay = outcome.report.expect("replay runs with the oracle on");
     assert_eq!(replay.violations[0], artifact.violations[0]);
+    // The artifact carries the violating run's digest, and the replay's
+    // whole event stream matches it bit-for-bit.
+    assert_eq!(artifact.recorder_digest, Some(oracle.recorder_digest));
+    assert_eq!(outcome.digest_match, Some(true), "replay digest must match");
 
     // And the artifact round-trips losslessly through construction.
     let rebuilt = ReplayArtifact::new(
@@ -254,6 +259,7 @@ fn broken_accounting_trips_the_oracle_and_replays_from_seed_alone() {
         artifact.violations.clone(),
         artifact.event_tail.clone(),
         artifact.delivered,
+        artifact.recorder_digest,
     );
     assert_eq!(rebuilt.file_name(), artifact.file_name());
 

@@ -24,6 +24,7 @@ fn cfg(seed: u64, controller: ControllerSpec, schedule: Schedule) -> ExperimentC
         trace: None,
         faults: None,
         oracle: Default::default(),
+        resilience: Default::default(),
     }
 }
 
