@@ -49,6 +49,12 @@ pub struct Checkpoint {
     /// issued but unacknowledged. If one of these is still blocked after
     /// the restart, its release was lost in the crash window.
     pub pending_retries: Vec<QueryId>,
+    /// The incarnation's transport epoch at snapshot time. The restarted
+    /// process resumes strictly above this, so release envelopes the dead
+    /// incarnation left in flight can never be mistaken for its own.
+    /// Defaults to 0 when reading pre-transport checkpoints (same schema).
+    #[serde(default)]
+    pub epoch: u64,
     /// Learned OLAP velocity models, keyed by class.
     pub olap_models: Vec<(ClassId, OlapVelocityModel)>,
     /// The learned OLTP response-time model.
@@ -113,6 +119,7 @@ mod tests {
             control_intervals: 4,
             queued: vec![(ClassId(1), QueryId(7), Timerons::new(250.0))],
             pending_retries: vec![QueryId(9)],
+            epoch: 2,
             olap_models: vec![(ClassId(1), OlapVelocityModel::new(Timerons::new(500.0)))],
             oltp_model: OltpLinearModel::new(0.001, 0.9, Timerons::new(500.0)),
         };

@@ -25,6 +25,14 @@ pub enum CtrlEvent {
         /// Failed attempts so far.
         attempt: u32,
     },
+    /// A transported release envelope was applied by the receiver; the ack
+    /// travelled back over the (equally unreliable) reverse channel.
+    ReleaseAcked {
+        /// The released query.
+        id: QueryId,
+        /// Sequence number of the envelope that was applied.
+        seq: u64,
+    },
 }
 
 /// A workload-control policy. Generic over the enclosing world's event type
@@ -94,6 +102,22 @@ pub trait Controller<E: From<CtrlEvent> + From<DbmsEvent>> {
         _out: &mut Vec<DbmsNotice>,
     ) -> RestartStats {
         RestartStats::default()
+    }
+
+    /// The controller's transport epoch (its restart incarnation number,
+    /// stamped into every release envelope). The enclosing world fences the
+    /// DBMS-side receiver to this epoch right after a restart, so commands
+    /// from the dead incarnation are rejected. Stateless controllers stay
+    /// in epoch 0 forever.
+    fn transport_epoch(&self) -> u64 {
+        0
+    }
+
+    /// Send-side transport books for the run report's resilience ledger.
+    /// `None` (the default) means this controller releases over the perfect
+    /// inline channel and has nothing to report.
+    fn transport_stats(&self) -> Option<crate::transport::SenderSnapshot> {
+        None
     }
 
     /// Invariant-oracle hook: cross-check this controller's books against

@@ -61,6 +61,10 @@
 //!   experiments drive.
 //! * [`checkpoint`] — crash recovery: serializable controller checkpoints
 //!   ([`checkpoint::Checkpoint`]) and the restart/reconciliation ledger.
+//! * [`transport`] — the controller↔Patroller message boundary: a perfect
+//!   inline channel by default, or enveloped messages through the DES
+//!   engine with loss/delay/duplication/reordering faults and an
+//!   idempotent, epoch-fenced release protocol.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -81,6 +85,7 @@ pub mod probgen;
 pub mod queue;
 pub mod scheduler;
 pub mod solver;
+pub mod transport;
 pub mod utility;
 
 pub use checkpoint::{Checkpoint, RestartStats};
@@ -88,3 +93,4 @@ pub use class::{Goal, ServiceClass};
 pub use controller::{Controller, CtrlEvent};
 pub use plan::Plan;
 pub use scheduler::{QueryScheduler, RobustnessConfig, SchedulerConfig};
+pub use transport::{RetryPolicy, TransportConfig, TransportMode};

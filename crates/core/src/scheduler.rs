@@ -19,6 +19,10 @@ use crate::monitor::{ClassMeasurement, IntervalMonitor};
 use crate::plan::{Plan, PlanLog};
 use crate::queue::{ClassQueues, QueueDiscipline};
 use crate::solver::{ClassState, PlanProblem, Solver};
+use crate::transport::{
+    ReleaseTransport, RetryPolicy, SendOutcome, SenderSnapshot, Transport, TransportConfig,
+    TransportMode,
+};
 use crate::utility::{GoalUtility, UtilityFn};
 use qsched_dbms::engine::{Dbms, DbmsEvent, DbmsNotice};
 use qsched_dbms::metrics::DegradationStats;
@@ -72,6 +76,11 @@ pub struct SchedulerConfig {
     /// Graceful-degradation tuning (see [`RobustnessConfig`]).
     #[serde(default)]
     pub robustness: RobustnessConfig,
+    /// How release commands travel to the Patroller (see
+    /// [`TransportConfig`]): a perfect inline call by default, or enveloped
+    /// messages over the DES engine with `transport.*` fault channels.
+    #[serde(default)]
+    pub transport: TransportConfig,
 }
 
 /// Tunables of the scheduler's degraded modes. All of these only change
@@ -85,10 +94,11 @@ pub struct RobustnessConfig {
     /// configurations check this; OLAP-only schedulers measure through
     /// completions, not snapshots.
     pub staleness_bound: Option<SimDuration>,
-    /// First retry delay after a release command is lost in flight.
-    pub release_retry_base: SimDuration,
-    /// Upper bound of the exponential retry backoff.
-    pub release_retry_cap: SimDuration,
+    /// Backoff schedule for re-issuing a release command the engine lost in
+    /// flight (the transport's ack-timeout schedule is configured
+    /// separately, in [`TransportConfig::retry`]).
+    #[serde(default)]
+    pub release_retry: RetryPolicy,
     /// An intercepted query's cost estimate is *implausible* when it exceeds
     /// `implausible_factor × system_limit` — no single query should dwarf
     /// the whole machine's admission budget.
@@ -105,8 +115,7 @@ impl Default for RobustnessConfig {
         RobustnessConfig {
             // Six missed 10 s snapshots in a row ≈ a dead monitor.
             staleness_bound: Some(SimDuration::from_secs(60)),
-            release_retry_base: SimDuration::from_millis(500),
-            release_retry_cap: SimDuration::from_secs(30),
+            release_retry: RetryPolicy::default(),
             implausible_factor: 2.0,
             implausible_step_fraction: 0.2,
         }
@@ -130,6 +139,7 @@ impl Default for SchedulerConfig {
             reactive_replanning: false,
             detector: DetectorConfig::default(),
             robustness: RobustnessConfig::default(),
+            transport: TransportConfig::default(),
         }
     }
 }
@@ -172,6 +182,14 @@ pub struct QueryScheduler {
     /// are priors and the monitor has nothing yet, so a solve would react
     /// to noise. Cleared at the first replan past the deadline.
     cold_until: Option<SimTime>,
+    /// The channel release commands travel over: a direct call (inline) or
+    /// enveloped messages through the DES engine (sim).
+    transport: ReleaseTransport,
+    /// Restart incarnation number, stamped into every release envelope and
+    /// persisted in checkpoints. The DBMS-side receiver rejects envelopes
+    /// from dead epochs, so a pre-crash command cannot resurrect after a
+    /// restart has re-queued its query.
+    epoch: u64,
     /// Scratch reused across control intervals so the steady-state replan
     /// path is O(active classes) with no per-interval allocation.
     scratch_states: Vec<ClassState>,
@@ -203,6 +221,12 @@ impl QueryScheduler {
         assert!(oltp_count <= 1, "at most one OLTP class is supported");
         for c in &classes {
             c.validate();
+        }
+        if let Err(e) = cfg.robustness.release_retry.validate() {
+            panic!("release retry policy: {e}");
+        }
+        if let Err(e) = cfg.transport.validate() {
+            panic!("{e}");
         }
 
         let plan = Plan::even_split(&ids, cfg.system_limit);
@@ -237,6 +261,7 @@ impl QueryScheduler {
             .collect();
         olap_ids.sort_unstable();
         let n_classes = classes.len();
+        let transport = ReleaseTransport::from_config(&cfg.transport);
         QueryScheduler {
             dispatcher: Dispatcher::new(&dispatch_plan),
             dispatch_plan,
@@ -259,6 +284,8 @@ impl QueryScheduler {
             has_oltp,
             implausible_seen: false,
             pending_retries: BTreeSet::new(),
+            transport,
+            epoch: 0,
             scratch_states: Vec::with_capacity(n_classes),
             meas_buf: Vec::with_capacity(n_classes),
             release_buf: Vec::new(),
@@ -386,11 +413,20 @@ impl QueryScheduler {
         self.release_buf = releases;
     }
 
-    /// Issue (or re-issue) one release command. A command can be lost in
-    /// flight — the query is then still held — in which case a retry is
-    /// scheduled with capped exponential backoff. A query that is no longer
-    /// held needs nothing: it completed, or the watchdog force-released it
-    /// (the [`DbmsNotice::Starved`] handler reconciled the books).
+    /// Issue (or re-issue) one release command through the configured
+    /// transport. Three things can keep the effect from landing now:
+    ///
+    /// * the engine lost the command (`Failed`) — re-send on the
+    ///   release-retry backoff, as before the transport existed;
+    /// * the envelope is in the network (`InFlight`: delayed, duplicated,
+    ///   or silently dropped — the sender cannot tell) — an ack resolves
+    ///   it, and an ack timeout on the transport retry schedule re-sends;
+    /// * the query is no longer held (`Gone`) — it completed, the watchdog
+    ///   force-released it, or a previous envelope landed without its ack:
+    ///   nothing to do.
+    ///
+    /// Either retry path books the query in `pending_retries`, so the
+    /// oracle's fault-book reconciliation covers it while unresolved.
     fn attempt_release<E: From<CtrlEvent> + From<DbmsEvent>>(
         &mut self,
         ctx: &mut Ctx<'_, E>,
@@ -399,15 +435,14 @@ impl QueryScheduler {
         attempt: u32,
     ) {
         self.pending_retries.remove(&id);
-        if dbms.release(ctx, id) || !dbms.patroller().is_held(id) {
-            return;
-        }
-        let rb = &self.cfg.robustness;
-        let backoff = rb
-            .release_retry_base
-            .mul_f64(2f64.powi(attempt.min(16) as i32))
-            .min(rb.release_retry_cap);
-        self.degradation.release_retries += 1;
+        let backoff = match self.transport.send_release(ctx, dbms, id) {
+            SendOutcome::Delivered | SendOutcome::Gone => return,
+            SendOutcome::Failed => {
+                self.degradation.release_retries += 1;
+                self.cfg.robustness.release_retry.delay_for(attempt)
+            }
+            SendOutcome::InFlight => self.cfg.transport.retry.delay_for(attempt),
+        };
         self.pending_retries.insert(id);
         ctx.schedule_in(
             backoff,
@@ -590,6 +625,7 @@ impl QueryScheduler {
                 .map(|(c, e)| (c, e.id, e.cost))
                 .collect(),
             pending_retries: self.pending_retries.iter().copied().collect(),
+            epoch: self.epoch,
             olap_models: self
                 .olap_models
                 .iter()
@@ -634,6 +670,17 @@ impl QueryScheduler {
     ) -> RestartStats {
         let now = ctx.now();
         let mut stats = RestartStats::default();
+
+        // -- new incarnation: fence off the dead epoch's envelopes --------
+        // The supervisor hands the restarted process an incarnation number
+        // strictly above anything it ever used (checkpointed or not); every
+        // in-flight pre-crash envelope becomes stale the moment the world
+        // fences the receiver to it.
+        self.epoch = self
+            .epoch
+            .max(ckpt.as_ref().map_or(0, |c| c.epoch))
+            .saturating_add(1);
+        self.transport.set_epoch(self.epoch);
 
         // -- wipe volatile state ------------------------------------------
         self.queues = ClassQueues::with_discipline(self.cfg.queue_discipline);
@@ -742,8 +789,12 @@ impl QueryScheduler {
         self.plan_log.record(&self.plan, now);
         ctx.annotate(|| {
             format!(
-                "restart warm={warm} recovered={} adopted={} lost_releases={} resolved={}",
-                stats.recovered, stats.adopted, stats.lost_releases, stats.resolved_externally
+                "restart warm={warm} epoch={} recovered={} adopted={} lost_releases={} resolved={}",
+                self.epoch,
+                stats.recovered,
+                stats.adopted,
+                stats.lost_releases,
+                stats.resolved_externally
             )
         });
         let mut releases = std::mem::take(&mut self.release_buf);
@@ -917,6 +968,15 @@ impl<E: From<CtrlEvent> + From<DbmsEvent>> Controller<E> for QueryScheduler {
                     self.attempt_release(ctx, dbms, id, attempt);
                 }
             }
+            CtrlEvent::ReleaseAcked { id, seq } => {
+                // The envelope's effect is applied; close the in-flight
+                // book. The armed retry timer is now moot and will be
+                // swallowed by the `pending_retries` gate above. Acks from
+                // a dead incarnation find no book entry and change nothing.
+                if self.transport.on_ack(id, seq) {
+                    self.pending_retries.remove(&id);
+                }
+            }
         }
     }
 
@@ -940,6 +1000,17 @@ impl<E: From<CtrlEvent> + From<DbmsEvent>> Controller<E> for QueryScheduler {
 
     fn degradation_stats(&self) -> Option<DegradationStats> {
         Some(self.degradation)
+    }
+
+    fn transport_epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    fn transport_stats(&self) -> Option<SenderSnapshot> {
+        match self.cfg.transport.mode {
+            TransportMode::Inline => None,
+            TransportMode::Sim => self.transport.snapshot(),
+        }
     }
 
     fn oracle_audit(&self, dbms: &Dbms) -> Result<(), String> {

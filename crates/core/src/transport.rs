@@ -1,0 +1,484 @@
+//! Sender half of the control-plane transport: the message boundary between
+//! the controller and the Patroller/DBMS.
+//!
+//! The paper's control loop calls the Query Patroller's unblock API as a
+//! plain function call. A daemonized controller (ROADMAP item 4) talks to
+//! the engine over a link that can drop, delay, duplicate, and reorder
+//! commands instead. This module makes that boundary explicit:
+//!
+//! * [`Transport`] — the send-side abstraction the scheduler releases
+//!   through. Implementations return a [`SendOutcome`] that tells the caller
+//!   whether the effect landed synchronously, is in flight, or failed.
+//! * [`InlineTransport`] — the perfect in-process channel: a direct call to
+//!   [`Dbms::release`], byte-for-byte the pre-transport behaviour. This is
+//!   the default; every existing digest is reproduced under it.
+//! * [`SimTransport`] — routes each release as a [`ReleaseEnvelope`] through
+//!   the DES engine, subject to the deterministic fault channels
+//!   `transport.drop`, `transport.delay`, `transport.dup`, and
+//!   `transport.reorder` (gate them with [`ChaosTrack`] windows to model
+//!   partitions). Envelopes carry a monotone sequence number and the
+//!   sender's restart epoch; delivery is acked, and unacked sends are
+//!   retried by the scheduler under a bounded [`RetryPolicy`].
+//!
+//! With every `transport.*` channel absent or at rate zero, `SimTransport`
+//! delivers synchronously through the receiver's (pure-state) dedup book and
+//! consumes no randomness — its event stream is bit-identical to
+//! `InlineTransport`'s, which the metamorphic swarm in
+//! `tests/transport_swarm.rs` pins down across seeds.
+//!
+//! [`Dbms::release`]: qsched_dbms::engine::Dbms::release
+//! [`ChaosTrack`]: qsched_sim::ChaosTrack
+
+use qsched_dbms::engine::{Dbms, DbmsEvent};
+use qsched_dbms::query::QueryId;
+use qsched_dbms::transport::ReleaseEnvelope;
+use qsched_sim::{Ctx, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A validated retry schedule: capped exponential backoff with a bounded
+/// exponent. Shared by the release-retry path (lost in-engine commands) and
+/// the transport ack-timeout path, so the two cannot drift apart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Delay before the first retry.
+    pub base: SimDuration,
+    /// Upper bound of the exponential backoff.
+    pub cap: SimDuration,
+    /// Exponent clamp: attempt `n` backs off by `base · 2^min(n, budget)`,
+    /// so the schedule stops growing after `budget` doublings.
+    pub budget: u32,
+}
+
+impl RetryPolicy {
+    /// A policy with explicit knobs.
+    pub fn new(base: SimDuration, cap: SimDuration, budget: u32) -> Self {
+        RetryPolicy { base, cap, budget }
+    }
+
+    /// The delay to wait after the given (0-based) failed attempt.
+    pub fn delay_for(&self, attempt: u32) -> SimDuration {
+        self.base
+            .mul_f64(2f64.powi(attempt.min(self.budget) as i32))
+            .min(self.cap)
+    }
+
+    /// Reject degenerate schedules: a zero base or cap would retry in a
+    /// busy-loop at the same instant; a zero budget is a misconfiguration
+    /// (use `cap == base` for constant backoff instead).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.base.is_zero() {
+            return Err(
+                "retry base must be positive (zero would retry at the same instant)".into(),
+            );
+        }
+        if self.cap < self.base {
+            return Err(format!(
+                "retry cap {:?} is below the base {:?}",
+                self.cap, self.base
+            ));
+        }
+        if self.budget == 0 {
+            return Err("retry budget must be at least 1 doubling".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for RetryPolicy {
+    /// The release-retry schedule introduced with graceful degradation:
+    /// 500 ms first retry, doubling to a 30 s cap.
+    fn default() -> Self {
+        RetryPolicy::new(
+            SimDuration::from_millis(500),
+            SimDuration::from_secs(30),
+            16,
+        )
+    }
+}
+
+/// Which transport carries Controller→Patroller commands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TransportMode {
+    /// Direct in-process call (perfect channel, the default).
+    Inline,
+    /// Enveloped messages through the DES engine, subject to `transport.*`
+    /// fault channels.
+    Sim,
+}
+
+/// Transport configuration carried by the scheduler config.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransportConfig {
+    /// Which channel implementation to use.
+    pub mode: TransportMode,
+    /// Ack-timeout schedule for in-flight envelopes: an unacked send is
+    /// re-sent after `retry.delay_for(attempt)`.
+    #[serde(default = "TransportConfig::default_retry")]
+    pub retry: RetryPolicy,
+}
+
+impl TransportConfig {
+    fn default_retry() -> RetryPolicy {
+        // Ack timeouts start above the typical round trip (the default
+        // `transport.delay` holds an envelope for ~2 s), not at the
+        // in-engine retry base.
+        RetryPolicy::new(SimDuration::from_secs(2), SimDuration::from_secs(30), 16)
+    }
+
+    /// Validate the retry schedule.
+    pub fn validate(&self) -> Result<(), String> {
+        self.retry
+            .validate()
+            .map_err(|e| format!("transport retry policy: {e}"))
+    }
+}
+
+impl Default for TransportConfig {
+    fn default() -> Self {
+        TransportConfig {
+            mode: TransportMode::Inline,
+            retry: Self::default_retry(),
+        }
+    }
+}
+
+/// What happened to a release send, as far as the sender can tell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendOutcome {
+    /// The release effect was applied synchronously.
+    Delivered,
+    /// The target query is no longer held — nothing to deliver.
+    Gone,
+    /// The command failed inside the engine (e.g. the in-engine
+    /// `release.drop` channel ate it) and the query is still held; the
+    /// caller should retry on the release-retry schedule.
+    Failed,
+    /// The envelope is somewhere in the network (delayed, duplicated, or
+    /// silently dropped — the sender cannot tell). An ack resolves it; an
+    /// ack timeout re-sends it.
+    InFlight,
+}
+
+/// Send-side transport counters (embedded in the run report's ledger).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SenderStats {
+    /// Envelopes handed to the transport (including re-sends).
+    pub sent: u64,
+    /// Envelopes applied synchronously (healthy channel).
+    pub sync_delivered: u64,
+    /// Envelopes the `transport.drop` channel swallowed.
+    pub dropped: u64,
+    /// Envelopes held back by `transport.delay`.
+    pub delayed: u64,
+    /// Envelopes the `transport.dup` channel cloned.
+    pub duplicated: u64,
+    /// Envelopes jittered by `transport.reorder`.
+    pub reordered: u64,
+    /// Acks accepted (each closes one in-flight envelope).
+    pub acked: u64,
+    /// Re-sends of a query that still had an unacked envelope outstanding.
+    pub retries: u64,
+}
+
+/// A copy of the sender's books for ledger assembly after a run.
+#[derive(Debug, Clone, Default)]
+pub struct SenderSnapshot {
+    /// The counters above.
+    pub stats: SenderStats,
+    /// Envelopes still unacked when the run ended.
+    pub in_flight: usize,
+    /// Instants at which `transport.drop` swallowed an envelope — the raw
+    /// series behind per-partition-window drop counts.
+    pub drop_times: Vec<SimTime>,
+}
+
+/// The send-side channel abstraction.
+pub trait Transport {
+    /// Issue one release command for `id`. The generic event bound mirrors
+    /// [`Dbms::release`]: async deliveries are scheduled as
+    /// [`DbmsEvent::TransportDeliver`] through the world's event enum.
+    fn send_release<E: From<DbmsEvent>>(
+        &mut self,
+        ctx: &mut Ctx<'_, E>,
+        dbms: &mut Dbms,
+        id: QueryId,
+    ) -> SendOutcome;
+
+    /// An ack arrived for `(id, seq)`. Returns `true` if it closed an
+    /// in-flight envelope (stale acks — a newer envelope is outstanding, or
+    /// none is — return `false`).
+    fn on_ack(&mut self, id: QueryId, seq: u64) -> bool;
+
+    /// Adopt a new sender epoch (controller restart). Pre-restart in-flight
+    /// envelopes are abandoned: the receiver fences them out, and restart
+    /// reconciliation re-issues releases for whatever is still held.
+    fn set_epoch(&mut self, epoch: u64);
+
+    /// Ledger snapshot; `None` for transports with nothing to report.
+    fn snapshot(&self) -> Option<SenderSnapshot>;
+}
+
+/// The perfect in-process channel: a direct call, no envelope, no state.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct InlineTransport;
+
+impl Transport for InlineTransport {
+    fn send_release<E: From<DbmsEvent>>(
+        &mut self,
+        ctx: &mut Ctx<'_, E>,
+        dbms: &mut Dbms,
+        id: QueryId,
+    ) -> SendOutcome {
+        // Same call order as the pre-transport scheduler: `release` first
+        // (it polls the in-engine fault channels), then the held check.
+        if dbms.release(ctx, id) {
+            SendOutcome::Delivered
+        } else if !dbms.patroller().is_held(id) {
+            SendOutcome::Gone
+        } else {
+            SendOutcome::Failed
+        }
+    }
+
+    fn on_ack(&mut self, _id: QueryId, _seq: u64) -> bool {
+        false
+    }
+
+    fn set_epoch(&mut self, _epoch: u64) {}
+
+    fn snapshot(&self) -> Option<SenderSnapshot> {
+        None
+    }
+}
+
+/// The unreliable channel: envelopes through the DES engine.
+#[derive(Debug, Clone, Default)]
+pub struct SimTransport {
+    epoch: u64,
+    next_seq: u64,
+    /// Newest unacked envelope per query. A re-send supersedes the previous
+    /// seq; acks for superseded seqs still resolve the query (the effect is
+    /// applied — acks are only emitted on application).
+    unacked: BTreeMap<QueryId, u64>,
+    stats: SenderStats,
+    drop_times: Vec<SimTime>,
+}
+
+impl SimTransport {
+    /// Channel names, in poll order. Exactly one of the first three fires
+    /// per send (drop ⊃ delay ⊃ reorder precedence); `transport.dup` rides
+    /// on top of an otherwise-synchronous delivery.
+    pub const CHANNELS: [&'static str; 4] = [
+        "transport.drop",
+        "transport.delay",
+        "transport.dup",
+        "transport.reorder",
+    ];
+
+    fn envelope(&mut self, id: QueryId, now: SimTime) -> ReleaseEnvelope {
+        self.next_seq += 1;
+        ReleaseEnvelope {
+            epoch: self.epoch,
+            seq: self.next_seq,
+            id,
+            sent_at: now,
+        }
+    }
+}
+
+impl Transport for SimTransport {
+    fn send_release<E: From<DbmsEvent>>(
+        &mut self,
+        ctx: &mut Ctx<'_, E>,
+        dbms: &mut Dbms,
+        id: QueryId,
+    ) -> SendOutcome {
+        // A re-send for a query that already left the control table (the
+        // effect landed but the ack did not) needs no envelope — and must
+        // not advance any fault stream.
+        if !dbms.patroller().is_held(id) {
+            self.unacked.remove(&id);
+            return SendOutcome::Gone;
+        }
+        let env = self.envelope(id, ctx.now());
+        self.stats.sent += 1;
+        if self.unacked.insert(id, env.seq).is_some() {
+            self.stats.retries += 1;
+        }
+        if ctx.should_inject("transport.drop") {
+            // Silent loss: the sender learns nothing until the ack times out.
+            self.stats.dropped += 1;
+            self.drop_times.push(ctx.now());
+            return SendOutcome::InFlight;
+        }
+        if ctx.should_inject("transport.delay") {
+            let delay = ctx
+                .fault_delay("transport.delay")
+                .unwrap_or_else(|| SimDuration::from_secs(2));
+            self.stats.delayed += 1;
+            ctx.schedule_in(delay, DbmsEvent::TransportDeliver(env).into());
+            return SendOutcome::InFlight;
+        }
+        if ctx.should_inject("transport.reorder") {
+            // A short jitter lets later sends overtake this one.
+            let jitter = ctx
+                .fault_delay("transport.reorder")
+                .unwrap_or_else(|| SimDuration::from_millis(500));
+            self.stats.reordered += 1;
+            ctx.schedule_in(jitter, DbmsEvent::TransportDeliver(env).into());
+            return SendOutcome::InFlight;
+        }
+        if ctx.should_inject("transport.dup") {
+            // The primary copy arrives now; a clone arrives later and is
+            // suppressed by the receiver's seq book.
+            let lag = ctx
+                .fault_delay("transport.dup")
+                .unwrap_or_else(|| SimDuration::from_secs(1));
+            self.stats.duplicated += 1;
+            ctx.schedule_in(lag, DbmsEvent::TransportDeliver(env).into());
+        }
+        if dbms.deliver_release(ctx, env) {
+            self.unacked.remove(&id);
+            self.stats.sync_delivered += 1;
+            SendOutcome::Delivered
+        } else if !dbms.patroller().is_held(id) {
+            self.unacked.remove(&id);
+            SendOutcome::Gone
+        } else {
+            // The envelope arrived but the in-engine channel ate the
+            // release; the seq is burnt, the next attempt sends a fresh one.
+            self.unacked.remove(&id);
+            SendOutcome::Failed
+        }
+    }
+
+    fn on_ack(&mut self, id: QueryId, seq: u64) -> bool {
+        match self.unacked.get(&id) {
+            Some(&cur) if seq <= cur => {
+                self.unacked.remove(&id);
+                self.stats.acked += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn set_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
+        self.unacked.clear();
+    }
+
+    fn snapshot(&self) -> Option<SenderSnapshot> {
+        Some(SenderSnapshot {
+            stats: self.stats.clone(),
+            in_flight: self.unacked.len(),
+            drop_times: self.drop_times.clone(),
+        })
+    }
+}
+
+/// Statically-dispatched transport choice (the scheduler's field type), so
+/// the inline path stays a direct call with no vtable between the control
+/// loop and the engine.
+#[derive(Debug, Clone)]
+pub enum ReleaseTransport {
+    /// Direct call.
+    Inline(InlineTransport),
+    /// Enveloped through the DES engine.
+    Sim(SimTransport),
+}
+
+impl ReleaseTransport {
+    /// Build the transport an experiment config asks for.
+    pub fn from_config(cfg: &TransportConfig) -> Self {
+        match cfg.mode {
+            TransportMode::Inline => ReleaseTransport::Inline(InlineTransport),
+            TransportMode::Sim => ReleaseTransport::Sim(SimTransport::default()),
+        }
+    }
+}
+
+impl Transport for ReleaseTransport {
+    fn send_release<E: From<DbmsEvent>>(
+        &mut self,
+        ctx: &mut Ctx<'_, E>,
+        dbms: &mut Dbms,
+        id: QueryId,
+    ) -> SendOutcome {
+        match self {
+            ReleaseTransport::Inline(t) => t.send_release(ctx, dbms, id),
+            ReleaseTransport::Sim(t) => t.send_release(ctx, dbms, id),
+        }
+    }
+
+    fn on_ack(&mut self, id: QueryId, seq: u64) -> bool {
+        match self {
+            ReleaseTransport::Inline(t) => t.on_ack(id, seq),
+            ReleaseTransport::Sim(t) => t.on_ack(id, seq),
+        }
+    }
+
+    fn set_epoch(&mut self, epoch: u64) {
+        match self {
+            ReleaseTransport::Inline(t) => t.set_epoch(epoch),
+            ReleaseTransport::Sim(t) => t.set_epoch(epoch),
+        }
+    }
+
+    fn snapshot(&self) -> Option<SenderSnapshot> {
+        match self {
+            ReleaseTransport::Inline(t) => t.snapshot(),
+            ReleaseTransport::Sim(t) => t.snapshot(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retry_policy_reproduces_the_degradation_schedule() {
+        // The shared policy must match the original hardcoded backoff:
+        // base · 2^min(n, 16), capped.
+        let p = RetryPolicy::default();
+        assert_eq!(p.delay_for(0), SimDuration::from_millis(500));
+        assert_eq!(p.delay_for(1), SimDuration::from_secs(1));
+        assert_eq!(p.delay_for(6), SimDuration::from_secs(30), "capped");
+        assert_eq!(p.delay_for(40), SimDuration::from_secs(30), "clamped");
+    }
+
+    #[test]
+    fn retry_policy_rejects_degenerate_schedules() {
+        assert!(RetryPolicy::default().validate().is_ok());
+        let zero_base = RetryPolicy::new(SimDuration::ZERO, SimDuration::from_secs(1), 4);
+        assert!(zero_base.validate().is_err());
+        let cap_below_base =
+            RetryPolicy::new(SimDuration::from_secs(2), SimDuration::from_secs(1), 4);
+        assert!(cap_below_base.validate().is_err());
+        let zero_budget =
+            RetryPolicy::new(SimDuration::from_millis(100), SimDuration::from_secs(1), 0);
+        assert!(zero_budget.validate().is_err());
+    }
+
+    #[test]
+    fn acks_resolve_current_and_superseded_seqs_only() {
+        let mut t = SimTransport::default();
+        t.unacked.insert(QueryId(7), 5);
+        assert!(!t.on_ack(QueryId(7), 6), "future seq is not ours");
+        assert!(t.on_ack(QueryId(7), 5));
+        assert!(!t.on_ack(QueryId(7), 5), "already resolved");
+        t.unacked.insert(QueryId(9), 8);
+        assert!(t.on_ack(QueryId(9), 3), "superseded seq still resolves");
+    }
+
+    #[test]
+    fn epoch_change_abandons_in_flight_envelopes() {
+        let mut t = SimTransport::default();
+        t.unacked.insert(QueryId(7), 5);
+        t.set_epoch(3);
+        assert_eq!(t.snapshot().unwrap().in_flight, 0);
+        assert_eq!(t.epoch, 3);
+    }
+}

@@ -28,6 +28,7 @@ use crate::patroller::{ControlRow, InterceptPolicy, Patroller};
 use crate::query::{ClassId, Query, QueryId, QueryKind, QueryRecord};
 use crate::resource::{DiskArray, PsCpu};
 use crate::snapshot::{ClientSample, SnapshotRegistry};
+use crate::transport::{Admit, ReleaseEnvelope, ReleaseReceiver};
 use qsched_sim::{Ctx, SimDuration, SimTime};
 use std::collections::{BTreeSet, HashMap};
 
@@ -46,6 +47,9 @@ pub enum DbmsEvent {
     DiskDone(QueryId),
     /// A release command that was delayed in flight is now due.
     ReleaseDue(QueryId),
+    /// A transported release envelope arrives at the Patroller (sim
+    /// transport only; the envelope passes the dedup/epoch book first).
+    TransportDeliver(ReleaseEnvelope),
     /// Periodic starvation-watchdog check (scheduled while queries are held).
     WatchdogCheck,
 }
@@ -213,6 +217,9 @@ pub struct Dbms {
     /// still held, but a `ReleaseDue` event is pending for it. The oracle's
     /// fault-book reconciliation treats these as covered.
     delayed_release: BTreeSet<QueryId>,
+    /// Transport receiver book: duplicate suppression and epoch fencing for
+    /// release envelopes arriving over the sim transport.
+    transport_rx: ReleaseReceiver,
 }
 
 impl Dbms {
@@ -240,6 +247,7 @@ impl Dbms {
             submitted_total: 0,
             rejected_total: 0,
             delayed_release: BTreeSet::new(),
+            transport_rx: ReleaseReceiver::default(),
             cfg,
         }
     }
@@ -424,6 +432,38 @@ impl Dbms {
         self.do_release(ctx, id)
     }
 
+    /// Deliver a transported release envelope: run it through the receiver's
+    /// duplicate-suppression and epoch-fence book, and only if it is fresh
+    /// hand it to [`Dbms::release`] (so in-engine release faults still
+    /// compose underneath the transport). Returns `true` iff the release
+    /// effect was applied by *this* envelope — duplicates, stale epochs, and
+    /// no-longer-held queries all return `false`.
+    pub fn deliver_release<E: From<DbmsEvent>>(
+        &mut self,
+        ctx: &mut Ctx<'_, E>,
+        env: ReleaseEnvelope,
+    ) -> bool {
+        match self.transport_rx.admit(&env) {
+            Admit::Stale | Admit::Duplicate => false,
+            Admit::Fresh => {
+                let applied = self.release(ctx, env.id);
+                self.transport_rx.note_outcome(&env, ctx.now(), applied);
+                applied
+            }
+        }
+    }
+
+    /// Read access to the transport receiver book (ledger + oracle).
+    pub fn transport_rx(&self) -> &ReleaseReceiver {
+        &self.transport_rx
+    }
+
+    /// Fence the transport receiver to a new sender epoch (called by the
+    /// world immediately after a controller restart).
+    pub fn observe_transport_epoch(&mut self, epoch: u64) {
+        self.transport_rx.observe_epoch(epoch);
+    }
+
     /// Actually unblock a held query (no fault interposition). A success is
     /// controller release activity — the watchdog's liveness signal.
     fn do_release<E: From<DbmsEvent>>(&mut self, ctx: &mut Ctx<'_, E>, id: QueryId) -> bool {
@@ -477,6 +517,12 @@ impl Dbms {
                 // already be gone (watchdog or a retry won the race).
                 self.delayed_release.remove(&id);
                 self.do_release(ctx, id);
+            }
+            DbmsEvent::TransportDeliver(env) => {
+                // Worlds that want to ack intercept this variant before
+                // calling `handle`; routing it here is still correct (the
+                // sender's retry timer covers the missing ack).
+                self.deliver_release(ctx, env);
             }
             DbmsEvent::WatchdogCheck => self.on_watchdog_check(ctx, out),
         }

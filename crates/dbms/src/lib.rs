@@ -48,9 +48,11 @@ pub mod patroller;
 pub mod query;
 pub mod resource;
 pub mod snapshot;
+pub mod transport;
 
 pub use config::{DbmsConfig, WatchdogConfig};
 pub use cost::Timerons;
 pub use engine::{Dbms, DbmsAccounting, DbmsEvent, DbmsNotice};
 pub use metrics::DegradationStats;
 pub use query::{ClassId, ClientId, Query, QueryId, QueryKind, QueryRecord};
+pub use transport::{Admit, ReceiverStats, ReleaseEnvelope, ReleaseReceiver};

@@ -1,0 +1,232 @@
+//! Receiver half of the control-plane transport: the envelope that carries a
+//! release command over an unreliable channel, and the Patroller-side state
+//! that makes applying it idempotent.
+//!
+//! The controller (in `qsched-core`) owns the sender half — sequence-number
+//! assignment, ack timeouts, retries. This module owns what the DBMS needs to
+//! survive the channel's misbehavior:
+//!
+//! * **Duplicate suppression.** Every envelope carries a per-sender-epoch
+//!   monotone sequence number; an already-seen `(epoch, seq)` is dropped
+//!   before it can touch the Patroller. Retries and network duplicates are
+//!   therefore indistinguishable and equally harmless.
+//! * **Stale-message rejection.** The sender stamps each envelope with its
+//!   restart epoch (incremented on every controller restart, persisted via
+//!   checkpoints). After a restart the world fences the receiver to the new
+//!   epoch; commands still in flight from the dead incarnation are rejected,
+//!   so a pre-crash release cannot resurrect and unblock a query the
+//!   restarted controller has already re-queued.
+//!
+//! Both books are ordinary `BTreeMap`/`BTreeSet` state: admission decisions
+//! consume no randomness and schedule no events, so a receiver that only ever
+//! sees fresh, in-epoch envelopes (the zero-fault case) is invisible in the
+//! flight-recorder digest.
+
+use crate::query::QueryId;
+use qsched_sim::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A release command on the wire. `Copy` so it can ride inside the world's
+/// event enum like every other DBMS event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ReleaseEnvelope {
+    /// Sender incarnation: bumped on every controller restart. The receiver
+    /// rejects envelopes below its fenced epoch.
+    pub epoch: u64,
+    /// Monotone per-epoch sequence number; the duplicate-suppression key.
+    pub seq: u64,
+    /// The query this command releases.
+    pub id: QueryId,
+    /// When the sender handed the envelope to the transport (for the
+    /// release-latency ledger).
+    pub sent_at: SimTime,
+}
+
+/// Admission verdict for one envelope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admit {
+    /// First sighting of this `(epoch, seq)` in the live epoch: apply it.
+    Fresh,
+    /// Already applied or already seen: suppress.
+    Duplicate,
+    /// From a fenced-off (pre-restart) sender incarnation: reject.
+    Stale,
+}
+
+/// Receiver-side transport counters, embedded in the run report's transport
+/// ledger.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ReceiverStats {
+    /// Envelopes presented to the receiver (fresh + duplicate + stale).
+    pub received: u64,
+    /// Envelopes admitted and applied (the release actually happened).
+    pub applied: u64,
+    /// Envelopes admitted whose release was a no-op (query no longer held —
+    /// e.g. a watchdog force-release or an in-engine fault won the race).
+    pub admitted_noop: u64,
+    /// Duplicates suppressed by the `(epoch, seq)` book.
+    pub deduped: u64,
+    /// Envelopes rejected because their epoch predates the fence.
+    pub stale_rejected: u64,
+    /// Times a fresh envelope found its effect already applied — the
+    /// exactly-once tripwire. The oracle asserts this stays zero.
+    pub double_applied: u64,
+    /// Sum of (delivery − send) latency over applied envelopes, in seconds.
+    pub latency_total_secs: f64,
+    /// Worst single delivery latency among applied envelopes, in seconds.
+    pub latency_max_secs: f64,
+}
+
+impl ReceiverStats {
+    /// Mean delivery latency over applied envelopes (seconds).
+    pub fn latency_mean_secs(&self) -> f64 {
+        if self.applied == 0 {
+            0.0
+        } else {
+            self.latency_total_secs / self.applied as f64
+        }
+    }
+}
+
+/// The Patroller-side dedup/fencing book.
+#[derive(Debug, Clone, Default)]
+pub struct ReleaseReceiver {
+    /// Lowest sender epoch still accepted. Raised by [`observe_epoch`]
+    /// (typically right after a controller restart).
+    ///
+    /// [`observe_epoch`]: ReleaseReceiver::observe_epoch
+    min_epoch: u64,
+    /// Sequence numbers already seen, per live epoch. Epochs below the fence
+    /// are pruned wholesale when the fence moves.
+    seen: BTreeMap<u64, BTreeSet<u64>>,
+    /// Queries whose release effect was applied through this receiver —
+    /// backs the `double_applied` tripwire.
+    applied_ids: BTreeSet<QueryId>,
+    /// Timestamps (and latencies, in seconds) of applied deliveries, for the
+    /// per-partition-window recovery ledger.
+    deliveries: Vec<(SimTime, f64)>,
+    stats: ReceiverStats,
+}
+
+impl ReleaseReceiver {
+    /// Classify an envelope and record it in the dedup book. `Fresh` means
+    /// the caller must now apply the effect (and then call
+    /// [`note_applied`](Self::note_applied) if it took).
+    pub fn admit(&mut self, env: &ReleaseEnvelope) -> Admit {
+        self.stats.received += 1;
+        if env.epoch < self.min_epoch {
+            self.stats.stale_rejected += 1;
+            return Admit::Stale;
+        }
+        if !self.seen.entry(env.epoch).or_default().insert(env.seq) {
+            self.stats.deduped += 1;
+            return Admit::Duplicate;
+        }
+        Admit::Fresh
+    }
+
+    /// Record the outcome of applying a fresh envelope. `applied` is whether
+    /// the release actually unblocked the query.
+    pub fn note_outcome(&mut self, env: &ReleaseEnvelope, now: SimTime, applied: bool) {
+        if !applied {
+            self.stats.admitted_noop += 1;
+            return;
+        }
+        if !self.applied_ids.insert(env.id) {
+            // The same query's release took effect twice — the invariant the
+            // whole protocol exists to prevent. Count it; the oracle panics.
+            self.stats.double_applied += 1;
+        }
+        let latency = now.saturating_since(env.sent_at).as_secs_f64();
+        self.stats.applied += 1;
+        self.stats.latency_total_secs += latency;
+        self.stats.latency_max_secs = self.stats.latency_max_secs.max(latency);
+        self.deliveries.push((now, latency));
+    }
+
+    /// Fence off every sender incarnation below `epoch`: envelopes from
+    /// older epochs are rejected from now on, and their dedup books are
+    /// pruned. Called by the world right after a controller restart, within
+    /// the same event — there is no window in which a pre-crash envelope
+    /// could still be admitted.
+    pub fn observe_epoch(&mut self, epoch: u64) {
+        if epoch > self.min_epoch {
+            self.min_epoch = epoch;
+            self.seen = self.seen.split_off(&epoch);
+        }
+    }
+
+    /// The current epoch fence.
+    pub fn min_epoch(&self) -> u64 {
+        self.min_epoch
+    }
+
+    /// Receiver-side counters.
+    pub fn stats(&self) -> &ReceiverStats {
+        &self.stats
+    }
+
+    /// Applied deliveries as `(at, latency_secs)`, in delivery order — the
+    /// raw series behind partition-window recovery scoring.
+    pub fn deliveries(&self) -> &[(SimTime, f64)] {
+        &self.deliveries
+    }
+
+    /// Whether any envelope ever passed through this receiver (used to
+    /// decide if a run gets a transport ledger at all).
+    pub fn saw_traffic(&self) -> bool {
+        self.stats.received > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(epoch: u64, seq: u64, id: u64) -> ReleaseEnvelope {
+        ReleaseEnvelope {
+            epoch,
+            seq,
+            id: QueryId(id),
+            sent_at: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn duplicates_are_suppressed_per_epoch() {
+        let mut rx = ReleaseReceiver::default();
+        assert_eq!(rx.admit(&env(0, 1, 7)), Admit::Fresh);
+        assert_eq!(rx.admit(&env(0, 1, 7)), Admit::Duplicate);
+        assert_eq!(rx.admit(&env(0, 2, 8)), Admit::Fresh);
+        // A new epoch has its own sequence space.
+        assert_eq!(rx.admit(&env(1, 1, 9)), Admit::Fresh);
+        assert_eq!(rx.stats().deduped, 1);
+    }
+
+    #[test]
+    fn epoch_fence_rejects_pre_restart_envelopes() {
+        let mut rx = ReleaseReceiver::default();
+        assert_eq!(rx.admit(&env(0, 1, 7)), Admit::Fresh);
+        rx.observe_epoch(1);
+        assert_eq!(rx.admit(&env(0, 2, 8)), Admit::Stale);
+        assert_eq!(rx.admit(&env(1, 1, 8)), Admit::Fresh);
+        // Fences only move forward.
+        rx.observe_epoch(0);
+        assert_eq!(rx.min_epoch(), 1);
+        assert_eq!(rx.stats().stale_rejected, 1);
+    }
+
+    #[test]
+    fn double_apply_trips_the_counter() {
+        let mut rx = ReleaseReceiver::default();
+        let a = env(0, 1, 7);
+        let b = env(0, 2, 7); // distinct seq, same query
+        assert_eq!(rx.admit(&a), Admit::Fresh);
+        rx.note_outcome(&a, SimTime::ZERO, true);
+        assert_eq!(rx.admit(&b), Admit::Fresh);
+        rx.note_outcome(&b, SimTime::ZERO, true);
+        assert_eq!(rx.stats().double_applied, 1);
+        assert_eq!(rx.stats().applied, 2);
+    }
+}

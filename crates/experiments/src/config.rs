@@ -19,6 +19,10 @@ pub const POLLED_CHANNELS: &[&str] = &[
     "ctrl.stall",
     "controller.crash",
     "test.mpl_leak",
+    "transport.drop",
+    "transport.delay",
+    "transport.dup",
+    "transport.reorder",
 ];
 
 /// Which controller to put in front of the DBMS.
@@ -203,6 +207,14 @@ impl ExperimentConfig {
                 && self.resilience.plan_epsilon_fraction > 0.0,
             "plan_epsilon_fraction must be positive and finite"
         );
+        if let ControllerSpec::QueryScheduler(sc) = &self.controller {
+            if let Err(e) = sc.robustness.release_retry.validate() {
+                panic!("invalid release retry policy: {e}");
+            }
+            if let Err(e) = sc.transport.validate() {
+                panic!("invalid transport config: {e}");
+            }
+        }
     }
 }
 

@@ -494,6 +494,49 @@ impl Invariant<ExpWorld> for PlanStep {
     }
 }
 
+/// Exactly-once effect accounting across the control-plane transport: the
+/// Patroller's receiver book never applies the same release twice, every
+/// received envelope lands in exactly one admission bucket, and every
+/// engine completion is routed to the controller exactly once (a duplicated
+/// completion notice would be the feedback-direction twin of a double
+/// release). All O(1) reads, so the check is free to run at every boundary;
+/// on the inline transport the receiver books are identically zero and the
+/// completion equality still binds.
+#[derive(Debug, Default)]
+pub struct TransportExactlyOnce;
+
+impl Invariant<ExpWorld> for TransportExactlyOnce {
+    fn name(&self) -> &'static str {
+        "transport-exactly-once"
+    }
+
+    fn check(&mut self, world: &ExpWorld, _now: SimTime) -> Result<(), String> {
+        let rx = world.dbms().transport_rx().stats();
+        if rx.double_applied != 0 {
+            return Err(format!(
+                "{} release(s) applied twice despite the dedup book",
+                rx.double_applied
+            ));
+        }
+        let bucketed = rx.applied + rx.admitted_noop + rx.deduped + rx.stale_rejected;
+        if bucketed != rx.received {
+            return Err(format!(
+                "{} envelopes received but {bucketed} bucketed ({rx:?})",
+                rx.received
+            ));
+        }
+        let m = world.dbms().metrics();
+        let completed = m.olap_completed + m.oltp_completed;
+        if world.completions_routed() != completed {
+            return Err(format!(
+                "{} completions routed to the controller but the engine completed {completed}",
+                world.completions_routed()
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// Build the standard invariant set for a configuration.
 pub fn standard_invariants(cfg: &ExperimentConfig) -> Vec<Box<dyn Invariant<ExpWorld>>> {
     let mut invs: Vec<Box<dyn Invariant<ExpWorld>>> = vec![
@@ -501,6 +544,7 @@ pub fn standard_invariants(cfg: &ExperimentConfig) -> Vec<Box<dyn Invariant<ExpW
         Box::new(Conservation::new(cfg.oracle.deep_every)),
         Box::new(ControllerBooks),
         Box::new(MetricSanity::default()),
+        Box::new(TransportExactlyOnce),
     ];
     if let ControllerSpec::QueryScheduler(sc) = &cfg.controller {
         invs.push(Box::new(PlanStep::new(sc, cfg.classes.len())));

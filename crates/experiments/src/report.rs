@@ -139,6 +139,7 @@ impl PeriodCollector {
             oracle: None,
             solver: None,
             resilience: None,
+            transport: None,
             perf: None,
         }
     }
@@ -209,6 +210,61 @@ impl ResilienceReport {
     }
 }
 
+/// One partition window of the transport-resilience ledger: a span during
+/// which a `transport.*` fault channel was gated open by a chaos-track
+/// window, scored for release loss, recovery, and SLO attainment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PartitionWindow {
+    /// Window start (virtual time).
+    pub start: SimTime,
+    /// Window end (virtual time).
+    pub end: SimTime,
+    /// Release envelopes `transport.drop` swallowed inside the window.
+    pub drops_in_window: u64,
+    /// First applied release delivery at or after the window's end — the
+    /// moment the release pipeline demonstrably flowed again. Equal to the
+    /// window end when nothing was dropped; `None` when the channel never
+    /// recovered before the run ended.
+    pub recovered_at: Option<SimTime>,
+    /// Seconds from window end to `recovered_at`.
+    pub recovery_secs: Option<f64>,
+    /// Whether every class met its goal in the measurement periods
+    /// overlapping the window.
+    pub slo_met_during: bool,
+    /// Whether every class met its goal in the periods after the window.
+    pub slo_met_after: bool,
+}
+
+/// Transport-resilience accounting for one run over the sim transport:
+/// sender and receiver protocol counters, release-latency inflation, and a
+/// per-partition-window recovery score. `None` in reports of inline-
+/// transport runs.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct TransportLedger {
+    /// Send-side counters (envelopes sent/dropped/retried/acked…).
+    pub sender: qsched_core::transport::SenderStats,
+    /// Receiver-side counters (applied/deduped/stale-rejected…).
+    pub receiver: qsched_dbms::transport::ReceiverStats,
+    /// Envelopes still unacked when the run ended (bounded by the queries
+    /// still held at the horizon).
+    pub in_flight_at_end: usize,
+    /// Mean send→apply latency over applied envelopes, in seconds. Zero on
+    /// a healthy channel (synchronous delivery); inflation measures what
+    /// the faults cost.
+    pub release_latency_mean_secs: f64,
+    /// Worst single send→apply latency, in seconds.
+    pub release_latency_max_secs: f64,
+    /// Chaos-track windows gating `transport.*` channels, scored.
+    pub partitions: Vec<PartitionWindow>,
+}
+
+impl TransportLedger {
+    /// True when every partition window recovered before the run ended.
+    pub fn all_recovered(&self) -> bool {
+        self.partitions.iter().all(|p| p.recovery_secs.is_some())
+    }
+}
+
 /// Host-side performance of one run: how fast the simulator itself chewed
 /// through the event stream. Purely diagnostic — wall-clock varies by
 /// machine, so it is excluded from serialization (`#[serde(skip)]` at the
@@ -259,6 +315,10 @@ pub struct RunReport {
     /// was configured or no crash fired).
     #[serde(default)]
     pub resilience: Option<ResilienceReport>,
+    /// Transport-resilience ledger (`None` for inline-transport runs — the
+    /// default perfect channel has nothing to account for).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub transport: Option<TransportLedger>,
     /// Host-side throughput of the run. Skipped in serialization: wall-clock
     /// is machine-dependent and must never enter determinism digests or
     /// golden files.

@@ -1,7 +1,10 @@
 //! The composed experiment world: DBMS + clients + controller.
 
 use crate::config::{ControllerSpec, ExperimentConfig};
-use crate::report::{CrashRecovery, PerfStats, PeriodCollector, ResilienceReport, RunReport};
+use crate::report::{
+    CrashRecovery, PartitionWindow, PerfStats, PeriodCollector, ResilienceReport, RunReport,
+    TransportLedger,
+};
 use qsched_core::baseline::{NoControl, QpConfig, QpController};
 use qsched_core::checkpoint::{Checkpoint, RestartStats};
 use qsched_core::controller::{Controller, CtrlEvent, ReleaseAll};
@@ -84,6 +87,11 @@ pub struct ExpWorld {
     /// Plan-log indices occupied by restart entries (the plan-step
     /// invariant must not bound movement *into* a restored plan).
     restart_log_marks: Vec<usize>,
+    /// Completed notices routed through `process_notices`. The transport
+    /// oracle cross-checks this against the engine's completion counters:
+    /// double-routing a completion (the feedback-direction twin of a double
+    /// release) would break the equality.
+    completions_routed: u64,
 }
 
 impl ExpWorld {
@@ -112,6 +120,11 @@ impl ExpWorld {
         &self.restart_log_marks
     }
 
+    /// Completed notices routed so far (transport-oracle surface).
+    pub fn completions_routed(&self) -> u64 {
+        self.completions_routed
+    }
+
     /// Route every pending notice: record completions, inform the
     /// controller, and close the client loop. Submissions triggered here can
     /// append further notices; the index loop drains them all.
@@ -121,6 +134,7 @@ impl ExpWorld {
             let notice = self.notices[i].clone();
             i += 1;
             if let DbmsNotice::Completed(rec) = &notice {
+                self.completions_routed += 1;
                 self.collector.record(rec);
                 if let Some(n) = self.record_sample {
                     match rec.kind {
@@ -213,6 +227,28 @@ impl World for ExpWorld {
                     }
                 }
             }
+            ExpEvent::Db(DbmsEvent::TransportDeliver(env)) => {
+                // A transported release envelope arrives at the Patroller.
+                // It passes the receiver's dedup/epoch book; only an
+                // *applied* effect is acked, and the ack travels back over
+                // the same unreliable channel (drop ⇒ the sender's retry
+                // probe resolves it later; delay ⇒ a late ack).
+                if self.dbms.deliver_release(ctx, env) && !ctx.should_inject("transport.drop") {
+                    let delay = if ctx.should_inject("transport.delay") {
+                        ctx.fault_delay("transport.delay")
+                            .unwrap_or_else(|| SimDuration::from_secs(2))
+                    } else {
+                        SimDuration::ZERO
+                    };
+                    ctx.schedule_in(
+                        delay,
+                        ExpEvent::Ctrl(CtrlEvent::ReleaseAcked {
+                            id: env.id,
+                            seq: env.seq,
+                        }),
+                    );
+                }
+            }
             ExpEvent::Db(de) => {
                 self.dbms.handle(ctx, de, &mut self.notices);
             }
@@ -244,6 +280,12 @@ impl World for ExpWorld {
                     let stats =
                         self.controller
                             .restart_from(ctx, &mut self.dbms, ckpt, &mut self.notices);
+                    // Fence the transport receiver to the new incarnation
+                    // within the same event: envelopes the dead epoch left
+                    // in flight are stale from this instant, with no window
+                    // in which one could still be admitted.
+                    self.dbms
+                        .observe_transport_epoch(self.controller.transport_epoch());
                     self.crashes.push((ctx.now(), stats));
                 }
                 if ctx.should_inject("ctrl.stall") {
@@ -537,6 +579,68 @@ fn recovery_for(
     }
 }
 
+/// Chaos-track windows gating any `transport.*` channel — the partition
+/// spans the transport ledger scores. Burst-shaped tracks have no fixed
+/// spans and are covered by the aggregate counters instead.
+fn partition_windows(cfg: &ExperimentConfig) -> Vec<(SimTime, SimTime)> {
+    let mut spans = Vec::new();
+    if let Some(fp) = &cfg.faults {
+        for track in &fp.tracks {
+            if !track.channels.iter().any(|c| c.starts_with("transport.")) {
+                continue;
+            }
+            if let qsched_sim::ChaosShape::Windows(ws) = &track.shape {
+                for &(a, b) in ws {
+                    spans.push((SimTime::ZERO + a, SimTime::ZERO + b));
+                }
+            }
+        }
+    }
+    spans.sort();
+    spans.dedup();
+    spans
+}
+
+/// Score one partition window: drops inside it, when the release pipeline
+/// demonstrably flowed again, and SLO attainment during vs. after.
+fn score_partition(
+    start: SimTime,
+    end: SimTime,
+    drop_times: &[SimTime],
+    deliveries: &[(SimTime, f64)],
+    report: &RunReport,
+    cfg: &ExperimentConfig,
+) -> PartitionWindow {
+    let drops_in_window = drop_times
+        .iter()
+        .filter(|&&t| start <= t && t < end)
+        .count() as u64;
+    let recovered_at = if drops_in_window == 0 {
+        // Nothing was lost in this window (it may have only delayed or
+        // duplicated): the pipeline never stopped.
+        Some(end)
+    } else {
+        deliveries.iter().map(|&(t, _)| t).find(|&t| t >= end)
+    };
+    let recovery_secs = recovered_at.map(|t| t.saturating_since(end).as_secs_f64());
+    let period_us = cfg.schedule.period_len().as_micros();
+    let n = report.periods.len();
+    let p_start = (start.as_micros() / period_us) as usize;
+    let p_end = ((end.as_micros().saturating_sub(1)) / period_us) as usize;
+    let all_meet = |p: usize| report.classes.iter().all(|c| period_meets(report, p, c));
+    let slo_met_during = (p_start..=p_end).filter(|&p| p < n).all(all_meet);
+    let slo_met_after = (p_end + 1..n).all(all_meet);
+    PartitionWindow {
+        start,
+        end,
+        drops_in_window,
+        recovered_at,
+        recovery_secs,
+        slo_met_during,
+        slo_met_after,
+    }
+}
+
 /// Rough bound on concurrently pending events: each resident client
 /// contributes only a handful (its own timer plus in-flight DBMS events), so
 /// a small multiple of the peak population pre-sizes the queue for the whole
@@ -598,6 +702,7 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> RunOutput {
             checkpoints_taken: 0,
             crashes: Vec::new(),
             restart_log_marks: Vec::new(),
+            completions_routed: 0,
         },
         capacity,
     );
@@ -698,6 +803,34 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> RunOutput {
             checkpoints_taken: world.checkpoints_taken,
             plan_epsilon_fraction: cfg.resilience.plan_epsilon_fraction,
             crashes,
+        });
+    }
+
+    // Transport-resilience ledger: only controllers releasing over the sim
+    // transport report sender books (the inline channel has nothing to
+    // account for).
+    if let Some(sender) = world.controller.transport_stats() {
+        let rx = world.dbms.transport_rx();
+        let partitions: Vec<PartitionWindow> = partition_windows(cfg)
+            .into_iter()
+            .map(|(start, end)| {
+                score_partition(
+                    start,
+                    end,
+                    &sender.drop_times,
+                    rx.deliveries(),
+                    &report,
+                    cfg,
+                )
+            })
+            .collect();
+        report.transport = Some(TransportLedger {
+            receiver: rx.stats().clone(),
+            in_flight_at_end: sender.in_flight,
+            release_latency_mean_secs: rx.stats().latency_mean_secs(),
+            release_latency_max_secs: rx.stats().latency_max_secs,
+            partitions,
+            sender: sender.stats,
         });
     }
 

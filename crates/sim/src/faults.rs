@@ -183,6 +183,20 @@ impl FaultPlan {
                     spec.rate
                 ));
             }
+            // Transport channels use the delay parameter as a hold/jitter
+            // timeout; an explicit zero would deliver "delayed" envelopes
+            // at the same instant — a no-op fault that silently defeats
+            // what the plan is trying to inject.
+            if name.starts_with("transport.") {
+                if let Some(d) = spec.delay {
+                    if d.is_zero() {
+                        return Err(format!(
+                            "transport channel {name:?} has a zero delay — the fault would be a no-op \
+                             (omit the delay to use the channel default instead)"
+                        ));
+                    }
+                }
+            }
         }
         for (i, track) in self.tracks.iter().enumerate() {
             if track.channels.is_empty() {
@@ -644,6 +658,33 @@ mod tests {
                 SimDuration::from_secs(1),
             ));
         assert!(zero_mean.validate(&polled).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_zero_transport_delay() {
+        let polled = ["transport.delay", "transport.drop"];
+        let zero = FaultPlan::new(1).with_channel(
+            "transport.delay",
+            FaultSpec::rate(0.5).with_delay(SimDuration::ZERO),
+        );
+        assert!(
+            zero.validate(&polled).is_err(),
+            "zero delay must be rejected"
+        );
+        // A positive delay, or no delay at all (channel default), is fine —
+        // and the rule only binds transport channels.
+        let ok = FaultPlan::new(1)
+            .with_channel(
+                "transport.delay",
+                FaultSpec::rate(0.5).with_delay(SimDuration::from_secs(2)),
+            )
+            .channel("transport.drop", 0.1);
+        assert!(ok.validate(&polled).is_ok());
+        let non_transport = FaultPlan::new(1).with_channel(
+            "release.delay",
+            FaultSpec::rate(0.5).with_delay(SimDuration::ZERO),
+        );
+        assert!(non_transport.validate(&["release.delay"]).is_ok());
     }
 
     #[test]

@@ -18,6 +18,7 @@
 
 use query_scheduler::core::class::ServiceClass;
 use query_scheduler::core::scheduler::SchedulerConfig;
+use query_scheduler::core::transport::{TransportConfig, TransportMode};
 use query_scheduler::experiments::config::{ControllerSpec, ExperimentConfig};
 use query_scheduler::experiments::figures::run_parallel;
 use query_scheduler::experiments::world::run_experiment;
@@ -26,7 +27,10 @@ use query_scheduler::workload::Schedule;
 
 /// The oracle-swarm rig plus a checkpoint cadence: three classes under the
 /// Query Scheduler over three periods of shifting load, checkpointing the
-/// controller's durable state every 20 virtual seconds.
+/// controller's durable state every 20 virtual seconds. Releases ride the
+/// sim transport (fault-rate zero unless a plan says otherwise — bit-
+/// identical to the inline channel, proven by `tests/transport_swarm.rs` —
+/// so every crash combo also exercises the epoch fence for free).
 fn chaos_config(seed: u64) -> ExperimentConfig {
     let mut cfg = ExperimentConfig {
         seed,
@@ -38,6 +42,10 @@ fn chaos_config(seed: u64) -> ExperimentConfig {
         classes: ServiceClass::paper_classes(),
         controller: ControllerSpec::QueryScheduler(SchedulerConfig {
             control_interval: SimDuration::from_secs(30),
+            transport: TransportConfig {
+                mode: TransportMode::Sim,
+                ..TransportConfig::default()
+            },
             ..SchedulerConfig::default()
         }),
         warmup_periods: 0,
@@ -220,6 +228,60 @@ fn fixed_crash_schedules_replay_bit_identically() {
             "{label}: reports must match"
         );
     }
+}
+
+#[test]
+fn partition_spanning_crash_fences_stale_envelopes_and_recovers() {
+    // The nastiest transport × crash interleaving: a 30-second delay window
+    // holds every pre-crash release envelope in the network while the
+    // controller crashes and restarts, and a total-loss window spans the
+    // crash itself. The delayed envelopes arrive *after* the restart
+    // carrying the dead incarnation's epoch — the receiver's fence must
+    // reject every one of them (a ghost release applied behind the new
+    // controller's back is exactly the double-effect the protocol exists to
+    // prevent), and the run must still reconverge with a finite MTTR.
+    let plan = crash_in_windows(FaultPlan::new(7), &[(100, 110)], 1)
+        .with_channel(
+            "transport.delay",
+            FaultSpec::rate(1.0).with_delay(SimDuration::from_secs(30)),
+        )
+        .with_track(ChaosTrack::windows(
+            &["transport.delay"],
+            &[(SimDuration::from_secs(80), SimDuration::from_secs(100))],
+        ))
+        .channel("transport.drop", 1.0)
+        .with_track(ChaosTrack::windows(
+            &["transport.drop"],
+            &[(SimDuration::from_secs(95), SimDuration::from_secs(105))],
+        ));
+    let mut cfg = chaos_config(4711);
+    cfg.faults = Some(plan);
+    let out = run_experiment(&cfg);
+
+    let oracle = out.oracle.as_ref().expect("oracle observes the run");
+    assert_eq!(oracle.stats.violations, 0, "no ghost releases, no orphans");
+    assert!(!oracle.halted);
+
+    let res = out.report.resilience.as_ref().expect("the crash fired");
+    assert_eq!(res.crashes.len(), 1);
+    assert!(res.all_reconverged(), "crashes: {:?}", res.crashes);
+    assert!(res.max_mttr_secs().expect("finite MTTR").is_finite());
+
+    let ledger = out.report.transport.as_ref().expect("sim-transport ledger");
+    assert!(
+        ledger.receiver.stale_rejected > 0,
+        "delayed pre-crash envelopes must be fenced out as stale: {:?}",
+        ledger.receiver
+    );
+    assert_eq!(ledger.receiver.double_applied, 0);
+    assert_eq!(ledger.partitions.len(), 2, "both windows scored");
+    assert!(
+        ledger.all_recovered(),
+        "the pipeline must flow again after each window: {:?}",
+        ledger.partitions
+    );
+    assert!(out.summary.olap_completed > 0);
+    assert!(out.summary.oltp_completed > 0);
 }
 
 #[test]

@@ -1,0 +1,295 @@
+//! The transport swarm: exactly-once release semantics over an unreliable
+//! control-plane channel — the acceptance bar for the sim transport and the
+//! idempotent release protocol.
+//!
+//! Claims proven here:
+//!
+//! 1. **The boundary is free** — with every transport fault rate at zero,
+//!    a run over the sim transport is bit-identical to the same run over
+//!    the inline (direct-call) transport: same flight-recorder digest, same
+//!    report, same plans. The message-passing refactor costs nothing.
+//! 2. **Exactly-once under fire** — across ≥ 24 seed × fault-plan
+//!    combinations (loss, delay, duplication, reordering, partition
+//!    windows, and mixtures) the oracle's exactly-once invariant holds at
+//!    every event boundary: no release applied twice, no completion
+//!    double-counted, every envelope accounted for.
+//! 3. **Partitions heal** — every scored partition window recovers in
+//!    finite virtual time once the window closes.
+//! 4. **Faulted channels are deterministic** — a faulted transport run
+//!    replays bit-identically.
+
+use query_scheduler::core::class::ServiceClass;
+use query_scheduler::core::scheduler::SchedulerConfig;
+use query_scheduler::core::transport::{TransportConfig, TransportMode};
+use query_scheduler::experiments::config::{ControllerSpec, ExperimentConfig};
+use query_scheduler::experiments::figures::run_parallel;
+use query_scheduler::experiments::world::{run_experiment, RunOutput};
+use query_scheduler::sim::{ChaosTrack, FaultPlan, FaultSpec, SimDuration};
+use query_scheduler::workload::Schedule;
+
+/// The oracle-swarm rig: three classes under the Query Scheduler over three
+/// periods of shifting load, releases carried by the given transport.
+fn swarm_config(seed: u64, mode: TransportMode) -> ExperimentConfig {
+    ExperimentConfig {
+        seed,
+        dbms: Default::default(),
+        schedule: Schedule::new(
+            SimDuration::from_secs(90),
+            vec![vec![3, 3, 15], vec![2, 5, 25], vec![5, 2, 20]],
+        ),
+        classes: ServiceClass::paper_classes(),
+        controller: ControllerSpec::QueryScheduler(SchedulerConfig {
+            control_interval: SimDuration::from_secs(30),
+            transport: TransportConfig {
+                mode,
+                ..TransportConfig::default()
+            },
+            ..SchedulerConfig::default()
+        }),
+        warmup_periods: 0,
+        record_sample: Some(1),
+        behaviors: None,
+        trace: None,
+        faults: None,
+        oracle: Default::default(),
+        resilience: Default::default(),
+    }
+}
+
+/// Everything observable about a run, flattened to comparable strings. The
+/// transport ledger is the one *intended* difference between inline and
+/// sim-transport reports, so the caller nulls it before fingerprinting.
+fn fingerprint(out: &RunOutput) -> (u64, u64, String, String, String) {
+    let oracle = out.oracle.as_ref().expect("oracle observes these runs");
+    (
+        oracle.recorder_digest,
+        oracle.events_recorded,
+        serde_json::to_string(&out.report).unwrap(),
+        format!("{:?}", out.summary),
+        format!("{:?}", out.plan_log),
+    )
+}
+
+#[test]
+fn zero_rate_sim_transport_is_bit_identical_to_inline() {
+    // Metamorphic claim: routing releases through the transport boundary
+    // with no faults configured changes no observable bit. 16 seeds.
+    for seed in 0..16u64 {
+        let inline = run_experiment(&swarm_config(seed, TransportMode::Inline));
+        let mut sim = run_experiment(&swarm_config(seed, TransportMode::Sim));
+
+        // The sim run carries a ledger the inline run cannot have; it must
+        // describe a perfectly healthy channel.
+        let ledger = sim.report.transport.take().expect("sim run has a ledger");
+        assert!(inline.report.transport.is_none(), "inline has no ledger");
+        assert_eq!(ledger.sender.dropped, 0, "seed {seed}: nothing dropped");
+        assert_eq!(ledger.sender.retries, 0, "seed {seed}: nothing retried");
+        assert_eq!(ledger.in_flight_at_end, 0, "seed {seed}: channel drained");
+        assert_eq!(
+            ledger.receiver.received,
+            ledger.receiver.applied + ledger.receiver.admitted_noop,
+            "seed {seed}: healthy receiver book"
+        );
+        assert_eq!(ledger.release_latency_max_secs, 0.0, "seed {seed}: sync");
+
+        assert_eq!(
+            fingerprint(&inline),
+            fingerprint(&sim),
+            "seed {seed}: zero-rate sim transport diverged from inline"
+        );
+    }
+}
+
+/// The transport fault-plan matrix. The fault seed mixes in the experiment
+/// seed so loss/delay/dup streams differ across the swarm's seeds, not only
+/// its plans.
+fn transport_plans(seed: u64) -> Vec<(&'static str, FaultPlan)> {
+    vec![
+        (
+            "drop",
+            FaultPlan::new(61 ^ seed).channel("transport.drop", 0.3),
+        ),
+        (
+            "delay",
+            FaultPlan::new(62 ^ seed).with_channel(
+                "transport.delay",
+                FaultSpec::rate(0.4).with_delay(SimDuration::from_secs(3)),
+            ),
+        ),
+        (
+            "dup",
+            FaultPlan::new(63 ^ seed).channel("transport.dup", 0.4),
+        ),
+        (
+            "reorder",
+            FaultPlan::new(64 ^ seed).with_channel(
+                "transport.reorder",
+                FaultSpec::rate(0.3).with_delay(SimDuration::from_secs(1)),
+            ),
+        ),
+        (
+            // Total loss inside two fixed windows — the partition the
+            // ledger scores for recovery time.
+            "partition",
+            FaultPlan::new(65 ^ seed)
+                .channel("transport.drop", 1.0)
+                .with_track(ChaosTrack::windows(
+                    &["transport.drop"],
+                    &[
+                        (SimDuration::from_secs(60), SimDuration::from_secs(75)),
+                        (SimDuration::from_secs(150), SimDuration::from_secs(160)),
+                    ],
+                )),
+        ),
+        (
+            "mixed",
+            FaultPlan::new(66 ^ seed)
+                .channel("transport.drop", 0.15)
+                .with_channel(
+                    "transport.delay",
+                    FaultSpec::rate(0.2).with_delay(SimDuration::from_secs(2)),
+                )
+                .channel("transport.dup", 0.2)
+                .with_channel(
+                    "transport.reorder",
+                    FaultSpec::rate(0.1).with_delay(SimDuration::from_millis(500)),
+                ),
+        ),
+    ]
+}
+
+#[test]
+fn faulted_transport_swarm_keeps_exactly_once() {
+    // 4 seeds × 6 fault plans = 24 combinations, oracle at every event
+    // boundary with panic-on-violation: any double release, double-counted
+    // completion, or unaccounted envelope anywhere in the matrix aborts.
+    let mut configs = Vec::new();
+    let mut labels = Vec::new();
+    for seed in [11, 42, 1007, 65_535] {
+        for (label, plan) in transport_plans(seed) {
+            let mut cfg = swarm_config(seed, TransportMode::Sim);
+            cfg.faults = Some(plan);
+            configs.push(cfg);
+            labels.push((format!("seed {seed} / {label}"), label));
+        }
+    }
+    assert!(
+        configs.len() >= 24,
+        "the swarm must cover at least 24 combos"
+    );
+    let outs = run_parallel(configs);
+
+    let mut aggregate = Vec::new();
+    for (out, (label, kind)) in outs.iter().zip(&labels) {
+        let oracle = out
+            .oracle
+            .as_ref()
+            .unwrap_or_else(|| panic!("{label}: oracle must observe the run"));
+        assert_eq!(oracle.stats.violations, 0, "{label}: oracle violations");
+        assert!(!oracle.halted, "{label}: run must not halt");
+
+        let ledger = out
+            .report
+            .transport
+            .as_ref()
+            .unwrap_or_else(|| panic!("{label}: sim transport must report a ledger"));
+        let (tx, rx) = (&ledger.sender, &ledger.receiver);
+        // Exactly-once accounting, restated from the ledger itself.
+        assert_eq!(rx.double_applied, 0, "{label}: a release applied twice");
+        assert_eq!(
+            rx.applied + rx.admitted_noop + rx.deduped + rx.stale_rejected,
+            rx.received,
+            "{label}: receiver buckets must sum to received"
+        );
+        // Nothing arrives that was never sent: deliveries are bounded by
+        // sends plus duplicated clones.
+        assert!(
+            rx.received <= tx.sent + tx.duplicated,
+            "{label}: {} received > {} sent + {} duplicated",
+            rx.received,
+            tx.sent,
+            tx.duplicated
+        );
+        // No release is permanently lost on a live channel: every window
+        // the plan partitioned has a finite recovery, and both workloads
+        // keep completing through the faults.
+        assert!(ledger.all_recovered(), "{label}: {:?}", ledger.partitions);
+        assert!(out.summary.olap_completed > 0, "{label}: OLAP must flow");
+        assert!(out.summary.oltp_completed > 0, "{label}: OLTP must flow");
+
+        // Per-plan sanity: the configured fault actually bit.
+        match *kind {
+            "drop" | "mixed" => {
+                assert!(tx.dropped > 0, "{label}: drops must fire");
+                assert!(tx.retries > 0, "{label}: drops must force retries");
+            }
+            "delay" => {
+                assert!(tx.delayed > 0, "{label}: delays must fire");
+                assert!(
+                    ledger.release_latency_max_secs > 0.0,
+                    "{label}: delay must inflate release latency"
+                );
+            }
+            "dup" => {
+                assert!(tx.duplicated > 0, "{label}: dups must fire");
+                assert!(rx.deduped > 0, "{label}: clones must be suppressed");
+            }
+            "reorder" => {
+                assert!(tx.reordered > 0, "{label}: reorders must fire");
+            }
+            "partition" => {
+                assert_eq!(ledger.partitions.len(), 2, "{label}: two windows");
+                assert!(
+                    ledger.partitions.iter().any(|p| p.drops_in_window > 0),
+                    "{label}: a total partition must swallow releases"
+                );
+            }
+            _ => unreachable!("unknown plan kind"),
+        }
+        aggregate.push(serde_json::json!({
+            "combo": label,
+            "sender": tx,
+            "receiver": rx,
+            "in_flight_at_end": ledger.in_flight_at_end,
+            "release_latency_mean_secs": ledger.release_latency_mean_secs,
+            "release_latency_max_secs": ledger.release_latency_max_secs,
+            "partitions": ledger.partitions,
+            "recorder_digest": format!("{:016x}", oracle.recorder_digest),
+        }));
+    }
+
+    // Leave an aggregate artifact for the CI transport-chaos job to upload.
+    let dir = std::path::Path::new("target/chaos");
+    std::fs::create_dir_all(dir).expect("create target/chaos");
+    std::fs::write(
+        dir.join("transport-swarm.json"),
+        serde_json::to_string_pretty(&serde_json::json!({
+            "schema": "qsched-transport-swarm-v1",
+            "combos": aggregate,
+        }))
+        .unwrap(),
+    )
+    .expect("write transport aggregate");
+}
+
+#[test]
+fn faulted_transport_runs_replay_bit_identically() {
+    // Determinism claim: the same fault plan, run twice, produces the same
+    // digest, ledger, and report — transport faults are events in virtual
+    // time, not wall-clock luck.
+    for (label, plan) in transport_plans(4242).into_iter().take(2) {
+        let mut cfg = swarm_config(4242, TransportMode::Sim);
+        cfg.faults = Some(plan);
+        let a = run_experiment(&cfg);
+        let b = run_experiment(&cfg);
+        assert_eq!(
+            fingerprint(&a),
+            fingerprint(&b),
+            "{label}: faulted transport runs must replay bit-identically"
+        );
+        assert_eq!(
+            a.report.transport, b.report.transport,
+            "{label}: ledgers must match"
+        );
+    }
+}
