@@ -120,6 +120,13 @@ pub trait Controller<E: From<CtrlEvent> + From<DbmsEvent>> {
         None
     }
 
+    /// An operator (or scenario) re-ranked a service class mid-run: set its
+    /// importance level for all *future* planning. Importance only enters
+    /// the utility function at solve time, so implementations just update
+    /// their class table; queries already released are unaffected. The
+    /// default is a no-op for controllers without a class table.
+    fn set_class_importance(&mut self, _class: qsched_dbms::query::ClassId, _importance: u8) {}
+
     /// Invariant-oracle hook: cross-check this controller's books against
     /// the engine's state (queued ⊆ held, held rows reconciled against
     /// queues/retries, plan within budget…). Called at event boundaries when

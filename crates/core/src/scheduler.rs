@@ -356,6 +356,11 @@ impl QueryScheduler {
         &self.plan
     }
 
+    /// The service classes as currently ranked (importance flips show here).
+    pub fn service_classes(&self) -> &[ServiceClass] {
+        &self.classes
+    }
+
     /// The plan history (Figure 7 data).
     pub fn plan_history(&self) -> &PlanLog {
         &self.plan_log
@@ -1013,6 +1018,15 @@ impl<E: From<CtrlEvent> + From<DbmsEvent>> Controller<E> for QueryScheduler {
         }
     }
 
+    fn set_class_importance(&mut self, class: ClassId, importance: u8) {
+        // Importance enters only through the utility function at solve
+        // time, so updating the class table re-ranks every future plan;
+        // queries already released keep running.
+        for c in self.classes.iter_mut().filter(|c| c.id == class) {
+            c.importance = importance;
+        }
+    }
+
     fn oracle_audit(&self, dbms: &Dbms) -> Result<(), String> {
         self.audit(dbms)
     }
@@ -1110,5 +1124,39 @@ mod tests {
         let mut classes = ServiceClass::paper_classes();
         classes.push(classes[0].clone());
         let _ = QueryScheduler::paper_default(classes, SchedulerConfig::default());
+    }
+
+    #[test]
+    fn importance_flip_re_ranks_the_class_table() {
+        // A minimal concrete event type so the trait method is callable
+        // outside the experiment world.
+        #[derive(Debug)]
+        enum Ev {
+            #[allow(dead_code)]
+            Ctrl(CtrlEvent),
+            #[allow(dead_code)]
+            Dbms(DbmsEvent),
+        }
+        impl From<CtrlEvent> for Ev {
+            fn from(e: CtrlEvent) -> Self {
+                Ev::Ctrl(e)
+            }
+        }
+        impl From<DbmsEvent> for Ev {
+            fn from(e: DbmsEvent) -> Self {
+                Ev::Dbms(e)
+            }
+        }
+        let mut qs = QueryScheduler::paper_default(
+            ServiceClass::paper_classes(),
+            SchedulerConfig::default(),
+        );
+        assert_eq!(qs.service_classes()[0].importance, 1);
+        Controller::<Ev>::set_class_importance(&mut qs, ClassId(1), 5);
+        assert_eq!(qs.service_classes()[0].importance, 5);
+        // Other classes untouched; unknown ids are a no-op.
+        assert_eq!(qs.service_classes()[1].importance, 2);
+        Controller::<Ev>::set_class_importance(&mut qs, ClassId(99), 7);
+        assert!(qs.service_classes().iter().all(|c| c.importance != 7));
     }
 }

@@ -12,6 +12,9 @@
 //!
 //! # Reproduce an oracle violation from its replay artifact:
 //! qsched-run replay target/oracle/replay-seed42-0123456789abcdef.json
+//!
+//! # Run the scenario scoreboard and gate against the committed baseline:
+//! qsched-run scoreboard --baseline SCOREBOARD_baseline.json
 //! ```
 //!
 //! The config file is a serialized
@@ -31,7 +34,10 @@ fn usage() -> ExitCode {
         "usage:\n  qsched-run template              print a template config to stdout\n  \
          qsched-run <config.json> [--csv <out.csv>] [--json <out.json>] [--trace <in.csv>]\n  \
          qsched-run compare <a.json> <b.json> [...]   run configs in parallel, compare\n  \
-         qsched-run replay <artifact.json>    re-run a violation's replay artifact"
+         qsched-run replay <artifact.json>    re-run a violation's replay artifact\n  \
+         qsched-run scoreboard [--seed N] [--threads N] [--out <path.json>]\n                        \
+         [--baseline <path.json>]   run every scenario, write one JSON row each;\n                        \
+         with --baseline, exit nonzero on any regression beyond tolerance"
     );
     ExitCode::FAILURE
 }
@@ -149,6 +155,149 @@ fn replay(path: &str) -> ExitCode {
     }
 }
 
+/// Run the full scenario registry, write the scoreboard, and (optionally)
+/// gate against a committed baseline.
+fn scoreboard(args: &[String]) -> ExitCode {
+    let mut seed: u64 = 42;
+    let mut threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut out_path = "target/scoreboard/scoreboard.json".to_string();
+    let mut baseline_path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" if i + 1 < args.len() => {
+                match args[i + 1].parse() {
+                    Ok(s) => seed = s,
+                    Err(e) => {
+                        eprintln!("invalid --seed {}: {e}", args[i + 1]);
+                        return ExitCode::FAILURE;
+                    }
+                }
+                i += 2;
+            }
+            "--threads" if i + 1 < args.len() => {
+                match args[i + 1].parse() {
+                    Ok(t) if t > 0 => threads = t,
+                    _ => {
+                        eprintln!("invalid --threads {}", args[i + 1]);
+                        return ExitCode::FAILURE;
+                    }
+                }
+                i += 2;
+            }
+            "--out" if i + 1 < args.len() => {
+                out_path = args[i + 1].clone();
+                i += 2;
+            }
+            "--baseline" if i + 1 < args.len() => {
+                baseline_path = Some(args[i + 1].clone());
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown scoreboard argument: {other}");
+                return usage();
+            }
+        }
+    }
+
+    let scenarios = qsched_experiments::scenario_registry(seed);
+    println!(
+        "scoreboard: {} scenarios, seed {seed}, {threads} worker(s)",
+        scenarios.len()
+    );
+    let started = std::time::Instant::now();
+    let rows = qsched_experiments::run_scoreboard(seed, threads);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.scenario.clone(),
+                format!("{:.3}", r.slo_attainment),
+                format!("{:.3}", r.utility),
+                r.olap_completed.to_string(),
+                r.oltp_completed.to_string(),
+                if r.violation_free {
+                    "yes".into()
+                } else {
+                    format!("NO ({})", r.oracle_violations)
+                },
+                r.crashes.to_string(),
+                r.max_mttr_secs.map_or("-".into(), |s| format!("{s:.0}s")),
+                format!("{:.0}", r.events_per_sec),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &format!("scenario scoreboard (wall {:?})", started.elapsed()),
+            &[
+                "scenario",
+                "slo",
+                "utility",
+                "olap",
+                "oltp",
+                "viol-free",
+                "crashes",
+                "mttr",
+                "ev/s"
+            ],
+            &table,
+        )
+    );
+
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("cannot create {}: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    match std::fs::write(
+        &out_path,
+        serde_json::to_string_pretty(&rows).expect("rows serialize"),
+    ) {
+        Ok(()) => println!("wrote {out_path}"),
+        Err(e) => {
+            eprintln!("cannot write {out_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if let Some(bp) = baseline_path {
+        let baseline: Vec<qsched_experiments::ScenarioRow> = match std::fs::read_to_string(&bp)
+            .map_err(|e| format!("cannot read baseline {bp}: {e}"))
+            .and_then(|raw| {
+                serde_json::from_str(&raw).map_err(|e| format!("invalid baseline {bp}: {e}"))
+            }) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let problems = qsched_experiments::compare_scoreboards(
+            &rows,
+            &baseline,
+            &qsched_experiments::Tolerances::default(),
+        );
+        if problems.is_empty() {
+            println!(
+                "baseline gate: all {} scenario(s) within tolerance",
+                baseline.len()
+            );
+        } else {
+            eprintln!("baseline gate FAILED ({} regression(s)):", problems.len());
+            for p in &problems {
+                eprintln!("  {p}");
+            }
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn template() -> ExperimentConfig {
     ExperimentConfig::paper(
         42,
@@ -170,6 +319,9 @@ fn main() -> ExitCode {
     }
     if first == "compare" {
         return compare(&args[1..]);
+    }
+    if first == "scoreboard" {
+        return scoreboard(&args[1..]);
     }
     if first == "replay" {
         let Some(path) = args.get(1) else {

@@ -76,6 +76,20 @@ impl ControllerSpec {
     }
 }
 
+/// An operator re-ranking a service class mid-run: at `at`, the class's
+/// importance becomes `importance` for all future planning. The scenario
+/// scoreboard uses flips to stress the solver's utility ordering
+/// mid-experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ImportanceFlip {
+    /// When the flip takes effect.
+    pub at: qsched_sim::SimTime,
+    /// The re-ranked class.
+    pub class: ClassId,
+    /// The new importance level.
+    pub importance: u8,
+}
+
 /// Crash–restart resilience knobs: how often the controller's durable
 /// state is checkpointed, and how reconvergence after a crash is judged.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -146,6 +160,10 @@ pub struct ExperimentConfig {
     /// measurement).
     #[serde(default)]
     pub resilience: ResilienceSettings,
+    /// Mid-run importance re-rankings, applied in time order (empty = the
+    /// class list's importances hold for the whole run).
+    #[serde(default)]
+    pub flips: Vec<ImportanceFlip>,
 }
 
 impl ExperimentConfig {
@@ -165,6 +183,7 @@ impl ExperimentConfig {
             faults: None,
             oracle: crate::oracle::OracleSettings::default(),
             resilience: ResilienceSettings::default(),
+            flips: Vec::new(),
         }
     }
 
@@ -181,11 +200,23 @@ impl ExperimentConfig {
     /// windows…). Suspicious-but-legal fault plans (channels nothing
     /// polls) produce warnings on stderr instead.
     pub fn validate(&self) {
+        // Serde builds `Schedule` fields directly (bypassing `try_new`), so
+        // a config loaded from JSON must re-check the schedule invariants.
+        if let Err(e) = self.schedule.validate() {
+            panic!("invalid schedule: {e}");
+        }
         assert_eq!(
             self.schedule.classes(),
             self.classes.len(),
             "schedule columns must match the class list"
         );
+        for f in &self.flips {
+            assert!(
+                self.classes.iter().any(|c| c.id == f.class),
+                "importance flip targets unknown class {:?}",
+                f.class
+            );
+        }
         if let Some(b) = &self.behaviors {
             assert_eq!(b.len(), self.classes.len(), "one behavior per class");
         }

@@ -166,6 +166,7 @@ pub fn calibration(seed: u64, opts: &CalibrationOpts) -> CalibrationCurve {
             faults: None,
             oracle: Default::default(),
             resilience: Default::default(),
+            flips: Vec::new(),
         })
         .collect();
     let outputs = run_parallel(configs);
@@ -310,6 +311,7 @@ pub fn fig2(seed: u64, opts: &Fig2Opts) -> Fig2 {
                 faults: None,
                 oracle: Default::default(),
                 resilience: Default::default(),
+                flips: Vec::new(),
             });
         }
     }

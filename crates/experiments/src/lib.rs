@@ -15,6 +15,9 @@
 //! * [`chart`] — ASCII charts and CSV output for the bench harness.
 //! * [`oracle`] — runtime invariant oracle: domain invariants checked at
 //!   every event boundary, plus the replayable violation artifact.
+//! * [`scenarios`] — the non-stationary scenario scoreboard: named workload
+//!   scenarios (diurnal, flash crowd, churn, importance flips, faults)
+//!   scored on one row schema and gated against a committed baseline.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -25,9 +28,14 @@ pub mod config;
 pub mod figures;
 pub mod oracle;
 pub mod report;
+pub mod scenarios;
 pub mod world;
 
 pub use config::{ControllerSpec, ExperimentConfig};
 pub use oracle::{OracleReport, OracleSettings, ReplayArtifact};
 pub use report::{ClassPeriod, RunReport};
+pub use scenarios::{
+    compare as compare_scoreboards, registry as scenario_registry, run_scoreboard, Scenario,
+    ScenarioRow, Tolerances,
+};
 pub use world::run_experiment;

@@ -1,6 +1,6 @@
 //! The composed experiment world: DBMS + clients + controller.
 
-use crate::config::{ControllerSpec, ExperimentConfig};
+use crate::config::{ControllerSpec, ExperimentConfig, ImportanceFlip};
 use crate::report::{
     CrashRecovery, PartitionWindow, PerfStats, PeriodCollector, ResilienceReport, RunReport,
     TransportLedger,
@@ -36,6 +36,9 @@ pub enum ExpEvent {
     TraceNext,
     /// Snapshot the controller's durable state (crash-resilience cadence).
     CheckpointTick,
+    /// Apply the `i`-th configured importance flip (operator re-ranking a
+    /// class mid-run).
+    ImportanceFlip(usize),
 }
 
 impl From<DbmsEvent> for ExpEvent {
@@ -92,6 +95,10 @@ pub struct ExpWorld {
     /// double-routing a completion (the feedback-direction twin of a double
     /// release) would break the equality.
     completions_routed: u64,
+    /// Configured mid-run importance re-rankings, scheduled at kickoff and
+    /// re-applied (idempotently) after every crash restart so a restarted
+    /// controller keeps planning under the operator's current ranking.
+    flips: Vec<ImportanceFlip>,
 }
 
 impl ExpWorld {
@@ -182,6 +189,9 @@ impl World for ExpWorld {
                 if let Some(every) = self.checkpoint_interval {
                     ctx.schedule_in(every, ExpEvent::CheckpointTick);
                 }
+                for (i, f) in self.flips.iter().enumerate() {
+                    ctx.schedule_at(f.at, ExpEvent::ImportanceFlip(i));
+                }
                 match &mut self.load {
                     Load::Clients(clients) => {
                         let initial = clients.start(ctx);
@@ -252,6 +262,11 @@ impl World for ExpWorld {
             ExpEvent::Db(de) => {
                 self.dbms.handle(ctx, de, &mut self.notices);
             }
+            ExpEvent::ImportanceFlip(i) => {
+                let f = self.flips[i];
+                ctx.annotate(|| format!("importance-flip class {} -> {}", f.class, f.importance));
+                self.controller.set_class_importance(f.class, f.importance);
+            }
             ExpEvent::CheckpointTick => {
                 if let Some(every) = self.checkpoint_interval {
                     // Stateless controllers return None; nothing is saved
@@ -286,6 +301,14 @@ impl World for ExpWorld {
                     // in which one could still be admitted.
                     self.dbms
                         .observe_transport_epoch(self.controller.transport_epoch());
+                    // Re-apply every flip already in effect: the operator's
+                    // ranking lives outside the controller process, so the
+                    // restarted incarnation must plan under it even if its
+                    // checkpoint (or cold start) predates the flip.
+                    let now = ctx.now();
+                    for f in self.flips.iter().filter(|f| f.at <= now) {
+                        self.controller.set_class_importance(f.class, f.importance);
+                    }
                     self.crashes.push((ctx.now(), stats));
                 }
                 if ctx.should_inject("ctrl.stall") {
@@ -703,6 +726,7 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> RunOutput {
             crashes: Vec::new(),
             restart_log_marks: Vec::new(),
             completions_routed: 0,
+            flips: cfg.flips.clone(),
         },
         capacity,
     );

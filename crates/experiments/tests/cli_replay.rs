@@ -42,6 +42,7 @@ fn violating_config(dir: &str) -> ExperimentConfig {
             ..OracleSettings::default()
         },
         resilience: Default::default(),
+        flips: Vec::new(),
     };
     cfg.resilience.measure_mttr = false;
     cfg

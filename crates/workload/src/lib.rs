@@ -22,18 +22,26 @@
 //!   whose population follows the schedule).
 //! * [`trace`] — trace replay: drive the simulator with a recorded workload
 //!   (CSV round-trip) instead of the synthetic generators.
+//! * [`phases`] — non-stationary overlays (diurnal cycles, flash crowds,
+//!   tenant churn) compiled onto a base schedule.
+//! * [`fit`] — trace-fitted generators: estimate per-class rate/cost/mix
+//!   statistics from a trace and synthesize matched variants.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
 pub mod driver;
+pub mod fit;
 pub mod generator;
+pub mod phases;
 pub mod schedule;
 pub mod templates;
 pub mod trace;
 
 pub use driver::{Behavior, ClientEvent, Clients};
+pub use fit::{sample_trace, ClassFit, TraceFit};
 pub use generator::{QueryGen, TemplateSetGen};
+pub use phases::{compile as compile_phases, PhaseOverlay, PhaseWindow};
 pub use schedule::Schedule;
 pub use templates::{tpcc_templates, tpch_templates, Template};
 pub use trace::{Trace, TraceEvent};

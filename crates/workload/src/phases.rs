@@ -1,0 +1,387 @@
+//! Non-stationary workload phases: overlays compiled onto a base
+//! [`Schedule`].
+//!
+//! The paper's evaluation is one hand-tuned 24-hour mix (Figure 3). Real
+//! deployments see *shapes* on top of any baseline: diurnal demand cycles,
+//! flash crowds, tenants onboarding and churning, and operators flipping a
+//! class's importance mid-run. A [`PhaseOverlay`] describes one such shape;
+//! [`compile`] resamples the base schedule at a finer resolution with all
+//! overlays applied, producing a plain piecewise-constant [`Schedule`] that
+//! the existing closed-loop client driver consumes unchanged.
+//!
+//! Flash crowds reuse the time-gated window idiom from the simulator's
+//! `ChaosTrack` (`start <= t && t < end`, windows strictly ordered), so
+//! workload phases and fault windows can be lined up against each other in
+//! a scenario without unit mismatches.
+
+use crate::schedule::Schedule;
+use qsched_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// A half-open `[start, end)` activity window (same semantics as the fault
+/// injector's `ChaosShape::Windows`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseWindow {
+    /// Window start (inclusive).
+    pub start: SimTime,
+    /// Window end (exclusive).
+    pub end: SimTime,
+}
+
+impl PhaseWindow {
+    /// Build a window from second offsets.
+    pub fn from_secs(start: u64, end: u64) -> Self {
+        PhaseWindow {
+            start: SimTime::from_secs(start),
+            end: SimTime::from_secs(end),
+        }
+    }
+
+    /// Whether `t` falls inside the window.
+    pub fn contains(&self, t: SimTime) -> bool {
+        self.start <= t && t < self.end
+    }
+}
+
+/// One non-stationary shape applied to a single class of a base schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PhaseOverlay {
+    /// Sinusoidal demand cycle: the class's client count is scaled by
+    /// `1 + amplitude * sin(2π · t / cycle)`. Models day/night load.
+    Diurnal {
+        /// Class column in the base schedule.
+        class: usize,
+        /// Full cycle length (e.g. the schedule's total duration for one
+        /// "day").
+        cycle: SimDuration,
+        /// Peak-to-mean swing, in `[0, 1)` so the count never goes negative.
+        amplitude: f64,
+    },
+    /// Sudden surge: inside each window the class's count is multiplied by
+    /// `multiplier` (≥ 1). Models a flash crowd / viral event.
+    FlashCrowd {
+        /// Class column in the base schedule.
+        class: usize,
+        /// Surge windows; must be non-empty, each non-empty, and strictly
+        /// ordered without overlap.
+        windows: Vec<PhaseWindow>,
+        /// Client-count multiplier inside a window.
+        multiplier: f64,
+    },
+    /// Tenant lifecycle: the class contributes zero clients before
+    /// `onboard_at` and again from `churn_at` onward (`None` = never
+    /// churns). Models onboarding and departure.
+    Churn {
+        /// Class column in the base schedule.
+        class: usize,
+        /// First instant the tenant is active.
+        onboard_at: SimTime,
+        /// First instant after departure, if the tenant ever leaves.
+        churn_at: Option<SimTime>,
+    },
+}
+
+impl PhaseOverlay {
+    /// The class column this overlay targets.
+    pub fn class(&self) -> usize {
+        match *self {
+            PhaseOverlay::Diurnal { class, .. }
+            | PhaseOverlay::FlashCrowd { class, .. }
+            | PhaseOverlay::Churn { class, .. } => class,
+        }
+    }
+
+    /// Validate the overlay against a base schedule.
+    pub fn validate(&self, base: &Schedule) -> Result<(), String> {
+        if self.class() >= base.classes() {
+            return Err(format!(
+                "overlay targets class {} but the schedule has {} classes",
+                self.class(),
+                base.classes()
+            ));
+        }
+        match self {
+            PhaseOverlay::Diurnal {
+                cycle, amplitude, ..
+            } => {
+                if cycle.is_zero() {
+                    return Err("diurnal cycle must be positive".to_string());
+                }
+                if !amplitude.is_finite() || !(0.0..1.0).contains(amplitude) {
+                    return Err(format!("diurnal amplitude {amplitude} outside [0, 1)"));
+                }
+            }
+            PhaseOverlay::FlashCrowd {
+                windows,
+                multiplier,
+                ..
+            } => {
+                if windows.is_empty() {
+                    return Err("flash crowd needs at least one window".to_string());
+                }
+                let mut prev_end = SimTime::ZERO;
+                for (i, w) in windows.iter().enumerate() {
+                    if w.end <= w.start {
+                        return Err(format!("flash crowd window {i} is empty or inverted"));
+                    }
+                    if i > 0 && w.start < prev_end {
+                        return Err(format!(
+                            "flash crowd window {i} overlaps or precedes window {}",
+                            i - 1
+                        ));
+                    }
+                    prev_end = w.end;
+                }
+                if !multiplier.is_finite() || *multiplier < 1.0 {
+                    return Err(format!("flash crowd multiplier {multiplier} must be ≥ 1"));
+                }
+            }
+            PhaseOverlay::Churn {
+                onboard_at,
+                churn_at,
+                ..
+            } => {
+                if let Some(churn) = churn_at {
+                    if churn <= onboard_at {
+                        return Err("churn must happen after onboarding".to_string());
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Multiplicative factor this overlay applies to its class at `t`.
+    fn factor_at(&self, t: SimTime) -> f64 {
+        match self {
+            PhaseOverlay::Diurnal {
+                cycle, amplitude, ..
+            } => {
+                let phase = t.as_secs_f64() / cycle.as_secs_f64();
+                1.0 + amplitude * (std::f64::consts::TAU * phase).sin()
+            }
+            PhaseOverlay::FlashCrowd {
+                windows,
+                multiplier,
+                ..
+            } => {
+                if windows.iter().any(|w| w.contains(t)) {
+                    *multiplier
+                } else {
+                    1.0
+                }
+            }
+            PhaseOverlay::Churn {
+                onboard_at,
+                churn_at,
+                ..
+            } => {
+                let active = t >= *onboard_at && churn_at.is_none_or(|churn| t < churn);
+                if active {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+}
+
+/// Compile a base schedule plus overlays into a finer piecewise-constant
+/// schedule.
+///
+/// The overlaid demand is sampled at the *start* of each `resolution`-sized
+/// period (matching the `[start, end)` window semantics), multiplying the
+/// base count by every overlay factor and rounding to the nearest client.
+/// The result covers the base schedule's full duration and drives the
+/// existing client machinery with no new driver code.
+pub fn compile(
+    base: &Schedule,
+    overlays: &[PhaseOverlay],
+    resolution: SimDuration,
+) -> Result<Schedule, String> {
+    base.validate()?;
+    if resolution.is_zero() {
+        return Err("phase resolution must be positive".to_string());
+    }
+    for o in overlays {
+        o.validate(base)?;
+    }
+    let total = base.total_duration();
+    let periods = total.as_micros().div_ceil(resolution.as_micros()).max(1);
+    let mut counts = Vec::with_capacity(periods as usize);
+    for p in 0..periods {
+        let t = SimTime::ZERO + resolution * p;
+        let row = base.counts_at(base.period_at(t));
+        let mut out = Vec::with_capacity(row.len());
+        for (class, &c) in row.iter().enumerate() {
+            let mut v = f64::from(c);
+            for o in overlays.iter().filter(|o| o.class() == class) {
+                v *= o.factor_at(t);
+            }
+            out.push(v.round().max(0.0) as u32);
+        }
+        counts.push(out);
+    }
+    Schedule::try_new(resolution, counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> Schedule {
+        Schedule::constant(SimDuration::from_mins(60), vec![4, 10])
+    }
+
+    #[test]
+    fn diurnal_swings_around_the_base_count() {
+        let s = compile(
+            &base(),
+            &[PhaseOverlay::Diurnal {
+                class: 0,
+                cycle: SimDuration::from_mins(60),
+                amplitude: 0.5,
+            }],
+            SimDuration::from_mins(5),
+        )
+        .unwrap();
+        assert_eq!(s.periods(), 12);
+        // Quarter cycle (t = 15 min) is the peak, three-quarter the trough.
+        assert_eq!(s.count(3, 0), 6);
+        assert_eq!(s.count(9, 0), 2);
+        // t = 0 is the base count; the untouched class never moves.
+        assert_eq!(s.count(0, 0), 4);
+        for p in 0..12 {
+            assert_eq!(s.count(p, 1), 10);
+        }
+    }
+
+    #[test]
+    fn flash_crowd_multiplies_inside_windows_only() {
+        let s = compile(
+            &base(),
+            &[PhaseOverlay::FlashCrowd {
+                class: 1,
+                windows: vec![PhaseWindow::from_secs(600, 1200)],
+                multiplier: 3.0,
+            }],
+            SimDuration::from_mins(5),
+        )
+        .unwrap();
+        assert_eq!(s.count(1, 1), 10); // 300 s: before the window
+        assert_eq!(s.count(2, 1), 30); // 600 s: window start is inclusive
+        assert_eq!(s.count(3, 1), 30); // 900 s: inside
+        assert_eq!(s.count(4, 1), 10); // 1200 s: window end is exclusive
+    }
+
+    #[test]
+    fn churn_masks_before_onboarding_and_after_departure() {
+        let s = compile(
+            &base(),
+            &[PhaseOverlay::Churn {
+                class: 0,
+                onboard_at: SimTime::from_secs(600),
+                churn_at: Some(SimTime::from_secs(1800)),
+            }],
+            SimDuration::from_mins(5),
+        )
+        .unwrap();
+        assert_eq!(s.count(0, 0), 0);
+        assert_eq!(s.count(2, 0), 4); // onboarded
+        assert_eq!(s.count(5, 0), 4); // still active at 1500 s
+        assert_eq!(s.count(6, 0), 0); // churned at 1800 s
+    }
+
+    #[test]
+    fn overlays_compose_multiplicatively() {
+        let s = compile(
+            &base(),
+            &[
+                PhaseOverlay::FlashCrowd {
+                    class: 1,
+                    windows: vec![PhaseWindow::from_secs(0, 600)],
+                    multiplier: 2.0,
+                },
+                PhaseOverlay::Churn {
+                    class: 1,
+                    onboard_at: SimTime::from_secs(300),
+                    churn_at: None,
+                },
+            ],
+            SimDuration::from_mins(5),
+        )
+        .unwrap();
+        assert_eq!(s.count(0, 1), 0); // not yet onboarded, crowd irrelevant
+        assert_eq!(s.count(1, 1), 20); // onboarded inside the crowd window
+        assert_eq!(s.count(2, 1), 10); // crowd over
+    }
+
+    #[test]
+    fn compiled_schedule_covers_the_base_duration() {
+        let b = Schedule::new(
+            SimDuration::from_mins(7),
+            vec![vec![1, 2], vec![3, 4], vec![5, 6]],
+        );
+        let s = compile(&b, &[], SimDuration::from_mins(2)).unwrap();
+        assert!(s.total_duration() >= b.total_duration());
+        // Resampling with no overlays reproduces the base counts.
+        assert_eq!(s.counts_at(0), b.counts_at(0));
+        assert_eq!(s.counts_at(4), b.counts_at(1)); // t = 8 min → base period 1
+    }
+
+    #[test]
+    fn malformed_overlays_are_rejected() {
+        let b = base();
+        let bad = [
+            PhaseOverlay::Diurnal {
+                class: 7,
+                cycle: SimDuration::from_mins(10),
+                amplitude: 0.5,
+            },
+            PhaseOverlay::Diurnal {
+                class: 0,
+                cycle: SimDuration::ZERO,
+                amplitude: 0.5,
+            },
+            PhaseOverlay::Diurnal {
+                class: 0,
+                cycle: SimDuration::from_mins(10),
+                amplitude: 1.5,
+            },
+            PhaseOverlay::FlashCrowd {
+                class: 0,
+                windows: vec![],
+                multiplier: 2.0,
+            },
+            PhaseOverlay::FlashCrowd {
+                class: 0,
+                windows: vec![PhaseWindow::from_secs(100, 100)],
+                multiplier: 2.0,
+            },
+            PhaseOverlay::FlashCrowd {
+                class: 0,
+                windows: vec![
+                    PhaseWindow::from_secs(100, 300),
+                    PhaseWindow::from_secs(200, 400),
+                ],
+                multiplier: 2.0,
+            },
+            PhaseOverlay::FlashCrowd {
+                class: 0,
+                windows: vec![PhaseWindow::from_secs(0, 100)],
+                multiplier: 0.5,
+            },
+            PhaseOverlay::Churn {
+                class: 0,
+                onboard_at: SimTime::from_secs(100),
+                churn_at: Some(SimTime::from_secs(50)),
+            },
+        ];
+        for o in bad {
+            assert!(o.validate(&b).is_err(), "{o:?} should be rejected");
+            assert!(compile(&b, std::slice::from_ref(&o), SimDuration::from_mins(1)).is_err());
+        }
+        assert!(compile(&b, &[], SimDuration::ZERO).is_err());
+    }
+}

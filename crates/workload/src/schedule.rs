@@ -17,17 +17,50 @@ pub struct Schedule {
 }
 
 impl Schedule {
+    /// Build from explicit per-period counts, rejecting malformed input.
+    ///
+    /// Returns `Err` if `counts` is empty, any row is empty or ragged, or
+    /// `period_len` is zero — each of which would otherwise misbehave
+    /// silently at phase boundaries (`period_at` divides by the period
+    /// length; lookups index `counts[0]`).
+    pub fn try_new(period_len: SimDuration, counts: Vec<Vec<u32>>) -> Result<Self, String> {
+        let s = Schedule { period_len, counts };
+        s.validate()?;
+        Ok(s)
+    }
+
     /// Build from explicit per-period counts.
     ///
     /// # Panics
     /// Panics if `counts` is empty, ragged, or `period_len` is zero.
     pub fn new(period_len: SimDuration, counts: Vec<Vec<u32>>) -> Self {
-        assert!(!period_len.is_zero(), "period length must be positive");
-        assert!(!counts.is_empty(), "schedule needs at least one period");
-        let width = counts[0].len();
-        assert!(width > 0, "schedule needs at least one class");
-        assert!(counts.iter().all(|p| p.len() == width), "ragged schedule");
-        Schedule { period_len, counts }
+        Self::try_new(period_len, counts).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Check the structural invariants `try_new` enforces. Serde
+    /// deserialization constructs the fields directly and bypasses
+    /// `try_new`, so anything accepting a deserialized schedule (e.g. an
+    /// experiment config loaded from JSON) must re-validate it.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.period_len.is_zero() {
+            return Err("period length must be positive".to_string());
+        }
+        if self.counts.is_empty() {
+            return Err("schedule needs at least one period".to_string());
+        }
+        let width = self.counts[0].len();
+        if width == 0 {
+            return Err("schedule needs at least one class".to_string());
+        }
+        for (p, row) in self.counts.iter().enumerate() {
+            if row.len() != width {
+                return Err(format!(
+                    "ragged schedule: period {p} has {} classes, period 0 has {width}",
+                    row.len()
+                ));
+            }
+        }
+        Ok(())
     }
 
     /// A constant schedule: one period, fixed counts (useful for calibration
@@ -162,5 +195,37 @@ mod tests {
     #[should_panic(expected = "ragged")]
     fn ragged_schedule_panics() {
         let _ = Schedule::new(SimDuration::from_mins(1), vec![vec![1, 2], vec![1]]);
+    }
+
+    #[test]
+    fn try_new_rejects_malformed_schedules() {
+        let m = SimDuration::from_mins(1);
+        assert!(Schedule::try_new(SimDuration::ZERO, vec![vec![1]])
+            .unwrap_err()
+            .contains("period length"));
+        assert!(Schedule::try_new(m, vec![])
+            .unwrap_err()
+            .contains("at least one period"));
+        assert!(Schedule::try_new(m, vec![vec![]])
+            .unwrap_err()
+            .contains("at least one class"));
+        let err = Schedule::try_new(m, vec![vec![1, 2], vec![3]]).unwrap_err();
+        assert!(err.contains("ragged") && err.contains("period 1"), "{err}");
+        assert!(Schedule::try_new(m, vec![vec![1, 2], vec![3, 4]]).is_ok());
+    }
+
+    #[test]
+    fn deserialized_schedules_are_revalidated() {
+        // Serde builds the fields directly, bypassing `try_new`; a malformed
+        // JSON schedule must still be caught by `validate`.
+        let good = Schedule::constant(SimDuration::from_mins(5), vec![2, 3]);
+        let mut json = serde_json::to_string(&good).unwrap();
+        assert!(serde_json::from_str::<Schedule>(&json)
+            .unwrap()
+            .validate()
+            .is_ok());
+        json = json.replace("[[2,3]]", "[[2,3],[4]]");
+        let ragged: Schedule = serde_json::from_str(&json).expect("fields deserialize");
+        assert!(ragged.validate().unwrap_err().contains("ragged"));
     }
 }

@@ -130,8 +130,15 @@ impl Trace {
     }
 
     /// Parse the CSV format written by [`Trace::to_csv`].
+    ///
+    /// Every rejection carries the 1-based line number: malformed rows,
+    /// negative offsets (the unsigned parse fails), non-finite or
+    /// non-positive costs, out-of-range I/O fractions, and out-of-order
+    /// timestamps (a recorded trace is time-ordered by construction; an
+    /// unordered file is a corrupted or hand-edited trace, not something to
+    /// silently re-sort).
     pub fn from_csv(csv: &str) -> Result<Trace, String> {
-        let mut events = Vec::new();
+        let mut events: Vec<TraceEvent> = Vec::new();
         for (lineno, line) in csv.lines().enumerate() {
             if lineno == 0 || line.trim().is_empty() {
                 continue; // header / blank
@@ -144,32 +151,61 @@ impl Trace {
                     fields.len()
                 ));
             }
-            let parse_f = |i: usize| -> Result<f64, String> {
-                fields[i]
+            let parse_f = |i: usize, what: &str| -> Result<f64, String> {
+                let v: f64 = fields[i]
                     .trim()
                     .parse()
-                    .map_err(|e| format!("line {}: {e}", lineno + 1))
+                    .map_err(|e| format!("line {}: {what}: {e}", lineno + 1))?;
+                if !v.is_finite() {
+                    return Err(format!("line {}: non-finite {what} {v}", lineno + 1));
+                }
+                Ok(v)
             };
-            let parse_u = |i: usize| -> Result<u64, String> {
+            let parse_u = |i: usize, what: &str| -> Result<u64, String> {
                 fields[i]
                     .trim()
                     .parse()
-                    .map_err(|e| format!("line {}: {e}", lineno + 1))
+                    .map_err(|e| format!("line {}: {what}: {e}", lineno + 1))
             };
             let kind = match fields[2].trim() {
                 "olap" => QueryKind::Olap,
                 "oltp" => QueryKind::Oltp,
                 other => return Err(format!("line {}: unknown kind '{other}'", lineno + 1)),
             };
+            let at = SimDuration::from_micros(parse_u(0, "offset")?);
+            if let Some(prev) = events.last() {
+                if at < prev.at {
+                    return Err(format!(
+                        "line {}: out-of-order timestamp {} µs (previous arrival at {} µs)",
+                        lineno + 1,
+                        at.as_micros(),
+                        prev.at.as_micros()
+                    ));
+                }
+            }
+            let estimated_cost = parse_f(5, "estimated_cost")?;
+            let true_cost = parse_f(6, "true_cost")?;
+            for (what, v) in [("estimated_cost", estimated_cost), ("true_cost", true_cost)] {
+                if v <= 0.0 {
+                    return Err(format!("line {}: non-positive {what} {v}", lineno + 1));
+                }
+            }
+            let io_fraction = parse_f(7, "io_fraction")?;
+            if !(0.0..=1.0).contains(&io_fraction) {
+                return Err(format!(
+                    "line {}: io_fraction {io_fraction} outside [0, 1]",
+                    lineno + 1
+                ));
+            }
             events.push(TraceEvent {
-                at: SimDuration::from_micros(parse_u(0)?),
-                class: ClassId(parse_u(1)? as u16),
+                at,
+                class: ClassId(parse_u(1, "class")? as u16),
                 kind,
-                client: ClientId(parse_u(3)? as u32),
-                template: parse_u(4)? as u16,
-                estimated_cost: parse_f(5)?,
-                true_cost: parse_f(6)?,
-                io_fraction: parse_f(7)?,
+                client: ClientId(parse_u(3, "client")? as u32),
+                template: parse_u(4, "template")? as u16,
+                estimated_cost,
+                true_cost,
+                io_fraction,
             });
         }
         Ok(Trace::new(events))

@@ -1,6 +1,6 @@
 //! Property-based tests of workload generation: template instantiation
-//! validity, schedule arithmetic, and generator determinism, for arbitrary
-//! seeds and schedules.
+//! validity, schedule arithmetic, generator determinism, and trace CSV
+//! round-tripping, for arbitrary seeds, schedules, and traces.
 
 use proptest::prelude::*;
 use qsched_dbms::query::{ClassId, ClientId, QueryId, QueryKind};
@@ -8,7 +8,48 @@ use qsched_dbms::DbmsConfig;
 use qsched_sim::{RngHub, SimDuration, SimTime};
 use qsched_workload::generator::{QueryGen, TemplateSetGen};
 use qsched_workload::templates::{tpcc_templates, tpch_templates};
-use qsched_workload::Schedule;
+use qsched_workload::{Schedule, Trace, TraceEvent};
+
+/// Raw generated row: ((offset µs, class, olap), (client, template,
+/// estimate, true cost, io fraction)). The vendored proptest shim has no
+/// `prop_map`, so rows are assembled into a [`Trace`] inside the test body.
+type RawRow = ((u64, u16, bool), (u32, u16, f64, f64, f64));
+
+/// Strategy for a list of valid (unordered) trace rows.
+fn arb_rows(min: usize) -> impl Strategy<Value = Vec<RawRow>> {
+    prop::collection::vec(
+        (
+            (0u64..10_000_000, 0u16..8, any::<bool>()),
+            (0u32..64, 0u16..30, 1.0f64..1e6, 1.0f64..1e6, 0.0f64..1.0),
+        ),
+        min..40,
+    )
+}
+
+/// Assemble generated rows into a valid trace (sorted arrival offsets).
+fn trace_from_rows(mut rows: Vec<RawRow>) -> Trace {
+    rows.sort_by_key(|r| r.0 .0);
+    Trace::new(
+        rows.into_iter()
+            .map(
+                |((at_us, class, olap), (client, template, est, cost, io))| TraceEvent {
+                    at: SimDuration::from_micros(at_us),
+                    class: ClassId(class),
+                    kind: if olap {
+                        QueryKind::Olap
+                    } else {
+                        QueryKind::Oltp
+                    },
+                    client: ClientId(client),
+                    template,
+                    estimated_cost: est,
+                    true_cost: cost,
+                    io_fraction: io,
+                },
+            )
+            .collect(),
+    )
+}
 
 proptest! {
     /// Every instantiated query is internally consistent for any seed.
@@ -105,5 +146,56 @@ proptest! {
             }
         }
         prop_assert!(any_diff, "different seeds should differ somewhere");
+    }
+
+    /// CSV round-trip is the identity for arbitrary valid traces:
+    /// `parse(serialize(t)) == t`.
+    #[test]
+    fn trace_csv_round_trip(rows in arb_rows(0)) {
+        let t = trace_from_rows(rows);
+        let back = Trace::from_csv(&t.to_csv());
+        prop_assert_eq!(back, Ok(t));
+    }
+
+    /// Corrupting any one row with a non-finite cost, a negative offset, or
+    /// an out-of-order timestamp is rejected with that row's line number.
+    #[test]
+    fn trace_csv_rejects_corruption_with_line_numbers(
+        rows in arb_rows(2),
+        pick in any::<usize>(),
+        corruption in 0usize..4,
+    ) {
+        let t = trace_from_rows(rows);
+        let csv = t.to_csv();
+        let row = pick % t.len(); // 0-based event index
+        let lineno = row + 2; // +1 for the header, +1 for 1-based lines
+        let mut lines: Vec<String> = csv.lines().map(str::to_string).collect();
+        let mut f: Vec<String> = lines[row + 1].split(',').map(str::to_string).collect();
+        match corruption {
+            0 => f[6] = "NaN".to_string(), // non-finite true cost
+            1 => f[5] = "inf".to_string(), // non-finite estimate
+            2 => f[0] = "-17".to_string(), // negative offset
+            _ => {
+                // Push this arrival past its successor (or, for the last
+                // row, pull it before its predecessor).
+                if row + 1 < t.len() {
+                    let next = t.events()[row + 1].at.as_micros();
+                    f[0] = (next + 1).to_string();
+                    // The *successor* line is now the out-of-order one.
+                } else {
+                    let prev = t.events()[row - 1].at.as_micros();
+                    prop_assume!(prev > 0); // cannot move before offset 0
+                    f[0] = (prev - 1).to_string();
+                }
+            }
+        }
+        let moved_forward = corruption == 3 && row + 1 < t.len();
+        lines[row + 1] = f.join(",");
+        let err = Trace::from_csv(&lines.join("\n")).unwrap_err();
+        let expect_line = if moved_forward { lineno + 1 } else { lineno };
+        prop_assert!(
+            err.contains(&format!("line {expect_line}")),
+            "error '{err}' should name line {expect_line}"
+        );
     }
 }

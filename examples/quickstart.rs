@@ -76,6 +76,7 @@ fn main() {
         faults: None,
         oracle: Default::default(),
         resilience: Default::default(),
+        flips: Vec::new(),
     };
     let out = run_experiment(&cfg);
 

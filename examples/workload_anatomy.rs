@@ -40,6 +40,7 @@ fn main() {
         faults: None,
         oracle: Default::default(),
         resilience: Default::default(),
+        flips: Vec::new(),
     };
     let out = run_experiment(&cfg);
     let stats = per_template_stats(&out.records);

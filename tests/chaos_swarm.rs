@@ -55,6 +55,7 @@ fn chaos_config(seed: u64) -> ExperimentConfig {
         faults: None,
         oracle: Default::default(),
         resilience: Default::default(),
+        flips: Vec::new(),
     };
     cfg.resilience.checkpoint_interval = Some(SimDuration::from_secs(20));
     cfg

@@ -30,6 +30,7 @@ fn config(seed: u64, controller: ControllerSpec) -> ExperimentConfig {
         faults: None,
         oracle: Default::default(),
         resilience: Default::default(),
+        flips: Vec::new(),
     }
 }
 

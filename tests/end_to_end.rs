@@ -27,6 +27,7 @@ fn tiny_config(seed: u64, controller: ControllerSpec) -> ExperimentConfig {
         faults: None,
         oracle: Default::default(),
         resilience: Default::default(),
+        flips: Vec::new(),
     }
 }
 

@@ -328,6 +328,7 @@ fn qs_config(seed: u64) -> ExperimentConfig {
         faults: None,
         oracle: Default::default(),
         resilience: Default::default(),
+        flips: Vec::new(),
     }
 }
 

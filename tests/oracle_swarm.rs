@@ -49,6 +49,7 @@ fn swarm_config(seed: u64) -> ExperimentConfig {
         faults: None,
         oracle: Default::default(),
         resilience: Default::default(),
+        flips: Vec::new(),
     }
 }
 

@@ -1,0 +1,135 @@
+//! Scenario-scoreboard determinism swarm and regression-gate tests.
+//!
+//! The scoreboard is the repo's cross-regime regression gate, so it must
+//! itself be trustworthy: every scenario bit-identical across worker counts
+//! and repeated runs (same digests, same metrics), zero oracle violations
+//! anywhere, and the tolerance gate must actually fire when a metric is
+//! perturbed beyond tolerance.
+
+use qsched_experiments::scenarios::{compare, run_scoreboard, ScenarioRow, Tolerances};
+
+const SEED: u64 = 0xb0a2d;
+
+/// Every scenario must produce a bit-identical flight-recorder digest (and
+/// identical metrics) regardless of worker count and across repeated runs,
+/// and every run must be violation-free.
+#[test]
+fn scoreboard_is_deterministic_across_worker_counts_and_reruns() {
+    let serial = run_scoreboard(SEED, 1);
+    let parallel = run_scoreboard(SEED, 3);
+    let again = run_scoreboard(SEED, 1);
+
+    assert!(serial.len() >= 8, "registry shrank below 8 scenarios");
+    for ((a, b), c) in serial.iter().zip(&parallel).zip(&again) {
+        assert_eq!(
+            a.normalized(),
+            b.normalized(),
+            "{}: 1-worker and 3-worker runs diverged",
+            a.scenario
+        );
+        assert_eq!(
+            a.normalized(),
+            c.normalized(),
+            "{}: repeated runs diverged",
+            a.scenario
+        );
+        assert_ne!(
+            a.recorder_digest, "0000000000000000",
+            "{}: oracle digest missing",
+            a.scenario
+        );
+        assert!(
+            a.violation_free,
+            "{}: {} oracle violation(s)",
+            a.scenario, a.oracle_violations
+        );
+    }
+
+    // Scenarios are genuinely distinct runs, not copies of one config.
+    let mut digests: Vec<&str> = serial.iter().map(|r| r.recorder_digest.as_str()).collect();
+    digests.sort_unstable();
+    digests.dedup();
+    assert_eq!(digests.len(), serial.len(), "duplicate scenario digests");
+
+    // The crash scenario reconverged: finite MTTR after its injected crash.
+    let crash = serial
+        .iter()
+        .find(|r| r.crashes > 0)
+        .expect("registry includes a crash scenario");
+    assert!(
+        crash.max_mttr_secs.is_some(),
+        "{}: crash never reconverged",
+        crash.scenario
+    );
+}
+
+/// The gate fails when (and only when) a metric is perturbed beyond its
+/// tolerance — a self-test of the CI regression gate against a live board.
+#[test]
+fn injected_regressions_trip_the_baseline_gate() {
+    let tol = Tolerances::default();
+    let baseline = run_scoreboard(SEED, 2);
+    assert!(
+        compare(&baseline, &baseline, &tol).is_empty(),
+        "a board must pass against itself"
+    );
+
+    // Perturb one metric per regression axis, each just beyond tolerance.
+    let perturb = |f: &dyn Fn(&mut ScenarioRow)| {
+        let mut rows: Vec<ScenarioRow> = baseline.clone();
+        f(&mut rows[0]);
+        compare(&rows, &baseline, &tol)
+    };
+    let slo = perturb(&|r| r.slo_attainment -= tol.slo_abs + 0.01);
+    assert_eq!(slo.len(), 1, "{slo:?}");
+    assert!(slo[0].contains("SLO attainment"), "{slo:?}");
+
+    let util = perturb(&|r| r.utility -= tol.utility_abs + 0.01);
+    assert_eq!(util.len(), 1, "{util:?}");
+
+    let done = perturb(&|r| {
+        r.oltp_completed = (r.oltp_completed as f64 * (1.0 - tol.completions_rel - 0.02)) as u64;
+    });
+    assert_eq!(done.len(), 1, "{done:?}");
+
+    let viol = perturb(&|r| {
+        r.violation_free = false;
+        r.oracle_violations = 2;
+    });
+    assert_eq!(viol.len(), 1, "{viol:?}");
+
+    // Within-tolerance wiggle stays green.
+    let ok = perturb(&|r| {
+        r.slo_attainment -= tol.slo_abs / 2.0;
+        r.utility -= tol.utility_abs / 2.0;
+    });
+    assert!(ok.is_empty(), "{ok:?}");
+
+    // Dropping a scenario from the current board fails the gate.
+    let dropped: Vec<ScenarioRow> = baseline[1..].to_vec();
+    assert_eq!(compare(&dropped, &baseline, &tol).len(), 1);
+}
+
+/// The committed baseline stays honest: the live board at the baseline's
+/// seed must pass the gate against `SCOREBOARD_baseline.json`, and every
+/// baseline scenario must still exist in the registry.
+#[test]
+fn committed_baseline_matches_the_live_board() {
+    let raw = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/SCOREBOARD_baseline.json"
+    ))
+    .expect("SCOREBOARD_baseline.json is committed at the repo root");
+    let baseline: Vec<ScenarioRow> = serde_json::from_str(&raw).expect("baseline parses");
+    assert!(baseline.len() >= 8, "baseline shrank below 8 scenarios");
+
+    let current = run_scoreboard(42, 2);
+    let problems = compare(&current, &baseline, &Tolerances::default());
+    assert!(
+        problems.is_empty(),
+        "live board regressed against the committed baseline (re-baseline \
+         deliberately with `qsched-run scoreboard --out SCOREBOARD_baseline.json` \
+         if the change is intended):\n{}",
+        problems.join("\n")
+    );
+}

@@ -25,6 +25,7 @@ fn cfg(seed: u64, controller: ControllerSpec, schedule: Schedule) -> ExperimentC
         faults: None,
         oracle: Default::default(),
         resilience: Default::default(),
+        flips: Vec::new(),
     }
 }
 

@@ -53,6 +53,7 @@ fn swarm_config(seed: u64, mode: TransportMode) -> ExperimentConfig {
         faults: None,
         oracle: Default::default(),
         resilience: Default::default(),
+        flips: Vec::new(),
     }
 }
 
