@@ -1,0 +1,247 @@
+//! Shard control-plane scaling sweep: weak scaling of the two-level fleet
+//! (per-backend population held constant, backends 1 → 32, 31k → 1M
+//! simulated clients) plus the global water-filling decision latency at
+//! each fleet width.
+//!
+//! Not a criterion bench: a plain harness that emits a machine-readable
+//! `BENCH_shard.json` at the repo root so the fleet's perf trajectory is
+//! tracked from commit to commit. Two claims are measured:
+//!
+//! 1. **Throughput scales with the fleet** — each backend is its own
+//!    simulated DBMS, so aggregate completions and delivered events grow
+//!    ~linearly with the backend count under weak scaling.
+//! 2. **The global decision stays flat** — one marginal water-filling
+//!    solve over N backends is microseconds even at N = 32, so the global
+//!    layer never becomes the bottleneck (the paper's per-backend solver
+//!    budget is ~seconds; the fleet layer must be negligible next to it).
+//!
+//! Environment knobs:
+//! - `QSCHED_BENCH_SCALE=tiny` — CI smoke scale (3 fleet widths, 500
+//!   clients per backend) instead of the full 1→32, 31 250-per-backend
+//!   sweep.
+//! - `QSCHED_BENCH_ASSERT=1` — fail unless the mean global solve at the
+//!   widest fleet stays ≤ 100 µs and completions scale to at least half
+//!   the ideal linear speedup.
+
+use qsched_core::class::ServiceClass;
+use qsched_core::scheduler::SchedulerConfig;
+use qsched_core::{AllocatorConfig, BackendDemand, GlobalAllocator};
+use qsched_dbms::Timerons;
+use qsched_experiments::config::{ControllerSpec, ExperimentConfig, ShardSpec};
+use qsched_experiments::world::run_experiment;
+use qsched_sim::SimDuration;
+use qsched_workload::Schedule;
+use std::time::Instant;
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn unit(state: &mut u64) -> f64 {
+    (splitmix(state) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// One weak-scaled fleet: `per_backend` clients on every backend (a thin
+/// OLAP head plus an OLTP bulk), one schedule period of `horizon` seconds,
+/// fleet budget = N × the paper's single-machine budget. The oracle and
+/// the MTTR reference twin are off — this measures the control plane, not
+/// the instrumentation.
+fn fleet_config(shards: usize, per_backend: u32, horizon: u64) -> ExperimentConfig {
+    let oltp = per_backend.saturating_sub(5).max(1) * shards as u32;
+    let mut cfg = ExperimentConfig::paper(
+        0xF1EE7 + shards as u64,
+        ControllerSpec::QueryScheduler(SchedulerConfig {
+            control_interval: SimDuration::from_secs(60),
+            system_limit: Timerons::new(30_000.0 * shards as f64),
+            ..SchedulerConfig::default()
+        }),
+    );
+    cfg.schedule = Schedule::new(
+        SimDuration::from_secs(horizon),
+        vec![vec![2 * shards as u32, 3 * shards as u32, oltp]],
+    );
+    cfg.classes = ServiceClass::paper_classes();
+    cfg.oracle.enabled = false;
+    cfg.resilience.measure_mttr = false;
+    let mut spec = ShardSpec::new(shards);
+    spec.allocation_interval = SimDuration::from_secs(120);
+    cfg.shard = Some(spec);
+    cfg
+}
+
+/// Nanoseconds per global water-filling solve over `n` backends, with
+/// demand drift every iteration so the lattice genuinely moves (a warm
+/// no-op solve would flatter the number). Returns (mean, p99, max).
+fn solve_latency(n: usize, iters: usize) -> (f64, f64, f64) {
+    let mut alloc = GlobalAllocator::new(AllocatorConfig::default());
+    let total = Timerons::new(30_000.0 * n as f64);
+    let mut rng = 0xD15C0 + n as u64;
+    let mut demands: Vec<BackendDemand> = (0..n)
+        .map(|_| BackendDemand::offered(Timerons::new(30_000.0 * unit(&mut rng))))
+        .collect();
+    let mut out = Vec::new();
+    alloc.allocate(total, &demands, &mut out); // warm start
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        for d in &mut demands {
+            d.offered = Timerons::new(30_000.0 * (0.25 + 1.5 * unit(&mut rng)));
+        }
+        let t = Instant::now();
+        alloc.allocate(total, &demands, &mut out);
+        samples.push(t.elapsed().as_nanos() as f64);
+    }
+    samples.sort_by(f64::total_cmp);
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let p99 = samples[(samples.len() * 99 / 100).min(samples.len() - 1)];
+    let max = *samples.last().expect("non-empty samples");
+    (mean, p99, max)
+}
+
+struct Row {
+    shards: usize,
+    clients: u64,
+    wall_secs: f64,
+    events: u64,
+    events_per_sec: f64,
+    olap_completed: u64,
+    oltp_completed: u64,
+    allocator_solves: u64,
+    allocator_units_moved: u64,
+    solve_ns_mean: f64,
+    solve_ns_p99: f64,
+    solve_ns_max: f64,
+}
+
+fn main() {
+    let scale = std::env::var("QSCHED_BENCH_SCALE").unwrap_or_default();
+    let tiny = scale == "tiny";
+    let widths: &[usize] = if tiny {
+        &[1, 2, 4]
+    } else {
+        &[1, 2, 4, 8, 16, 32]
+    };
+    let (per_backend, horizon, solve_iters) = if tiny {
+        (500u32, 60u64, 1_000usize)
+    } else {
+        (31_250u32, 240u64, 10_000usize)
+    };
+
+    println!(
+        "shard sweep ({} scale): {} clients/backend, {}s horizon, {} solve reps",
+        if tiny { "tiny" } else { "full" },
+        per_backend,
+        horizon,
+        solve_iters
+    );
+    println!(
+        "{:>8} {:>9} {:>9} {:>11} {:>10} {:>10} {:>12} {:>12}",
+        "backends", "clients", "wall s", "ev/s", "olap", "oltp", "solve µs", "solve p99 µs"
+    );
+
+    let mut rows = Vec::new();
+    for &n in widths {
+        let cfg = fleet_config(n, per_backend, horizon);
+        let clients = u64::from(per_backend) * n as u64;
+        let started = Instant::now();
+        let out = run_experiment(&cfg);
+        let wall = started.elapsed().as_secs_f64();
+        let fleet = out
+            .report
+            .shards
+            .as_ref()
+            .expect("sharded runs carry a fleet report");
+        let (solve_mean, solve_p99, solve_max) = solve_latency(n, solve_iters);
+        println!(
+            "{:>8} {:>9} {:>9.2} {:>11.0} {:>10} {:>10} {:>12.2} {:>12.2}",
+            n,
+            clients,
+            wall,
+            out.summary.events as f64 / wall,
+            out.summary.olap_completed,
+            out.summary.oltp_completed,
+            solve_mean / 1_000.0,
+            solve_p99 / 1_000.0
+        );
+        rows.push(Row {
+            shards: n,
+            clients,
+            wall_secs: wall,
+            events: out.summary.events,
+            events_per_sec: out.summary.events as f64 / wall,
+            olap_completed: out.summary.olap_completed,
+            oltp_completed: out.summary.oltp_completed,
+            allocator_solves: fleet.allocator.solves,
+            allocator_units_moved: fleet.allocator.units_moved,
+            solve_ns_mean: solve_mean,
+            solve_ns_p99: solve_p99,
+            solve_ns_max: solve_max,
+        });
+    }
+
+    // Machine-readable trajectory at the repo root.
+    let mut json = String::new();
+    json.push_str("{\n  \"schema\": \"qsched-bench-shard/v1\",\n");
+    json.push_str(&format!(
+        "  \"scale\": \"{}\",\n  \"clients_per_backend\": {per_backend},\n  \"horizon_secs\": {horizon},\n  \"solve_iters\": {solve_iters},\n",
+        if tiny { "tiny" } else { "full" }
+    ));
+    json.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"shards\": {}, \"clients\": {}, \"wall_secs\": {:.3}, \"events\": {}, \
+             \"events_per_sec\": {:.0}, \"olap_completed\": {}, \"oltp_completed\": {}, \
+             \"allocator_solves\": {}, \"allocator_units_moved\": {}, \
+             \"solve_ns_mean\": {:.0}, \"solve_ns_p99\": {:.0}, \"solve_ns_max\": {:.0}}}{}\n",
+            r.shards,
+            r.clients,
+            r.wall_secs,
+            r.events,
+            r.events_per_sec,
+            r.olap_completed,
+            r.oltp_completed,
+            r.allocator_solves,
+            r.allocator_units_moved,
+            r.solve_ns_mean,
+            r.solve_ns_p99,
+            r.solve_ns_max,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let out_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_shard.json");
+    std::fs::write(out_path, &json).expect("write BENCH_shard.json");
+    println!("wrote {out_path}");
+
+    if std::env::var("QSCHED_BENCH_ASSERT").as_deref() == Ok("1") {
+        let first = rows.first().expect("sweep is non-empty");
+        let last = rows.last().expect("sweep is non-empty");
+        // The global decision stays flat: one solve over the widest fleet
+        // is bounded well under the per-backend control interval.
+        assert!(
+            last.solve_ns_mean <= 100_000.0,
+            "global solve too slow at {} backends: mean {:.0} ns (need <= 100 µs)",
+            last.shards,
+            last.solve_ns_mean
+        );
+        // Weak scaling holds: aggregate completions reach at least half the
+        // ideal linear speedup over the single-backend run.
+        let ideal = (last.shards as f64 / first.shards as f64)
+            * (first.olap_completed + first.oltp_completed) as f64;
+        let got = (last.olap_completed + last.oltp_completed) as f64;
+        assert!(
+            got >= ideal * 0.5,
+            "completions did not scale: {} backends completed {got:.0} vs ideal {ideal:.0}",
+            last.shards
+        );
+        println!(
+            "assertions passed: solve mean {:.1} µs at {} backends, completion scaling {:.2}x of ideal",
+            last.solve_ns_mean / 1_000.0,
+            last.shards,
+            got / ideal
+        );
+    }
+}

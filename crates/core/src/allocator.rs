@@ -1,0 +1,427 @@
+//! The global allocator: the top level of the two-level sharded control
+//! plane.
+//!
+//! One [`GlobalAllocator`] fronts N backend pools. Each backend runs its own
+//! per-shard controller (a [`QueryScheduler`] dividing its *own* system
+//! limit across service classes); the allocator's job is to divide the
+//! *fleet-wide* cost budget across backends so capacity follows demand.
+//!
+//! The solve reuses the shape of the marginal water-filling solver from the
+//! many-class control plane: backend `b`'s utility for an allocation `x` is
+//! the concave
+//!
+//! ```text
+//! U_b(x) = w_b · d_b · x / (x + d_b)
+//! ```
+//!
+//! where `d_b` is the backend's offered load (executing + queued cost, in
+//! timerons) and `w_b` its weight. The marginal `U_b'(x) = w_b ·
+//! (d_b/(x+d_b))²` starts at `w_b` for every backend and decays with the
+//! *ratio* of allocation to demand, so equalizing marginals — what
+//! water-filling does — yields allocations proportional to weighted demand
+//! while staying strictly concave (greedy unit moves are globally optimal
+//! on the unit lattice).
+//!
+//! ## Hot-path discipline
+//!
+//! Like the per-interval scheduler path, a steady-state solve allocates
+//! nothing: the budget is discretized into [`GlobalAllocator::UNITS`] equal
+//! units held in reusable vectors, and each solve *warm-starts* from the
+//! previous unit assignment, transferring single units from the backend
+//! with the smallest marginal loss to the backend with the largest marginal
+//! gain until no transfer improves total utility. When demand barely moves
+//! between intervals (the common case), the solve is a handful of
+//! comparisons and zero moves.
+//!
+//! [`QueryScheduler`]: crate::scheduler::QueryScheduler
+
+use qsched_dbms::cost::Timerons;
+use serde::{Deserialize, Serialize};
+
+/// One backend's demand signal for a solve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BackendDemand {
+    /// Offered load: cost currently executing plus cost queued for release,
+    /// in timerons. Zero is legal (an idle backend keeps its floor).
+    pub offered: Timerons,
+    /// Relative weight (business importance of the tenant/pool this backend
+    /// serves). Must be positive; `1.0` for homogeneous fleets.
+    pub weight: f64,
+}
+
+impl BackendDemand {
+    /// Demand with unit weight.
+    pub fn offered(offered: Timerons) -> Self {
+        BackendDemand {
+            offered,
+            weight: 1.0,
+        }
+    }
+}
+
+/// Deterministic solve counters (host-time free: everything here is a pure
+/// function of the demand sequence, so it can sit in reports and digests).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct AllocatorStats {
+    /// Solves performed.
+    pub solves: u64,
+    /// Solves that moved no units (demand drift stayed inside one unit).
+    pub no_op_solves: u64,
+    /// Budget units transferred between backends over all solves.
+    pub units_moved: u64,
+}
+
+/// Configuration of the global allocation step.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AllocatorConfig {
+    /// Fraction of the even split every backend keeps regardless of demand
+    /// (`0.1` = a backend can shrink to 10% of `total/n`, never below).
+    /// Keeps an idle shard warm enough to absorb a demand swing within one
+    /// global interval, mirroring the per-class floor in the scheduler.
+    pub floor_fraction: f64,
+}
+
+impl Default for AllocatorConfig {
+    fn default() -> Self {
+        AllocatorConfig {
+            floor_fraction: 0.1,
+        }
+    }
+}
+
+impl AllocatorConfig {
+    /// Panic on malformed knobs (mirrors the other config types).
+    pub fn validate(&self) {
+        assert!(
+            self.floor_fraction.is_finite() && (0.0..=1.0).contains(&self.floor_fraction),
+            "floor_fraction {} outside [0, 1]",
+            self.floor_fraction
+        );
+    }
+}
+
+/// Warm-started marginal water-filling across backend pools.
+#[derive(Debug, Clone)]
+pub struct GlobalAllocator {
+    cfg: AllocatorConfig,
+    /// Current unit assignment, one entry per backend. Warm-start state:
+    /// survives across solves; resized (and re-seeded with the even split)
+    /// only when the backend count changes.
+    units: Vec<u32>,
+    /// Scratch: per-backend demand as f64 (demand floor applied).
+    demand: Vec<f64>,
+    /// Scratch: per-backend weight.
+    weight: Vec<f64>,
+    /// Scratch: per-backend floor in units.
+    floor: Vec<u32>,
+    stats: AllocatorStats,
+}
+
+impl GlobalAllocator {
+    /// Budget lattice resolution: the total is split into this many equal
+    /// units. 1024 units over a 30 000-timeron budget is a ~29-timeron
+    /// granule — far below the cost of a single OLAP query, so
+    /// discretization never starves a class, while keeping the worst-case
+    /// cold solve at `UNITS` unit placements.
+    pub const UNITS: u32 = 1024;
+
+    /// A fresh allocator (first solve cold-starts from the even split).
+    pub fn new(cfg: AllocatorConfig) -> Self {
+        cfg.validate();
+        GlobalAllocator {
+            cfg,
+            units: Vec::new(),
+            demand: Vec::new(),
+            weight: Vec::new(),
+            floor: Vec::new(),
+            stats: AllocatorStats::default(),
+        }
+    }
+
+    /// Solve counters.
+    pub fn stats(&self) -> AllocatorStats {
+        self.stats
+    }
+
+    /// Marginal utility of giving backend `b` one more unit when it holds
+    /// `x` units: `U_b(x+1) − U_b(x)` on the unit lattice.
+    fn gain(&self, b: usize, x: u32) -> f64 {
+        let d = self.demand[b];
+        let u = |x: f64| d * x / (x + d);
+        self.weight[b] * (u(f64::from(x) + 1.0) - u(f64::from(x)))
+    }
+
+    /// Divide `total` across `demands.len()` backends, writing one limit per
+    /// backend into `out` (cleared first). Allocation-free once `out` and
+    /// the internal scratch have grown to the fleet size.
+    ///
+    /// Guarantees:
+    /// * `out` sums to `total` exactly for `n == 1`, and to within one part
+    ///   in 2⁴⁰ of `total` otherwise (units are equal f64 slices).
+    /// * every backend receives at least `floor_fraction · total / n`.
+    /// * deterministic: ties break toward the lowest backend index, and the
+    ///   result depends only on the demand sequence since construction.
+    ///
+    /// # Panics
+    /// Panics if `demands` is empty, `total` is not positive, or any weight
+    /// is not positive and finite.
+    pub fn allocate(
+        &mut self,
+        total: Timerons,
+        demands: &[BackendDemand],
+        out: &mut Vec<Timerons>,
+    ) {
+        let n = demands.len();
+        assert!(n > 0, "allocate over zero backends");
+        assert!(
+            total.get().is_finite() && total.get() > 0.0,
+            "total budget must be positive"
+        );
+        self.stats.solves += 1;
+        out.clear();
+        if n == 1 {
+            // Degenerate fleet: hand the whole budget through exactly. The
+            // single-backend topology must be bit-identical to the
+            // unsharded path, so no lattice arithmetic is allowed here.
+            self.units.clear();
+            self.units.push(Self::UNITS);
+            out.push(total);
+            self.stats.no_op_solves += 1;
+            return;
+        }
+
+        // Refresh scratch from the demand signal. Demands are floored at
+        // one unit's worth so marginals stay finite and an idle backend
+        // still orders deterministically below any loaded one.
+        let unit = total.get() / f64::from(Self::UNITS);
+        self.demand.clear();
+        self.weight.clear();
+        for d in demands {
+            assert!(
+                d.weight.is_finite() && d.weight > 0.0,
+                "backend weight must be positive"
+            );
+            let units_wanted = (d.offered.get().max(0.0) / unit).max(1e-3);
+            self.demand.push(units_wanted);
+            self.weight.push(d.weight);
+        }
+        let floor_units =
+            ((self.cfg.floor_fraction * f64::from(Self::UNITS) / n as f64).ceil() as u32).min(
+                // Floors must remain satisfiable: n·floor ≤ UNITS.
+                Self::UNITS / n as u32,
+            );
+        self.floor.clear();
+        self.floor.resize(n, floor_units);
+
+        // (Re-)seed the warm-start assignment when the fleet size changed.
+        if self.units.len() != n {
+            self.units.clear();
+            let base = Self::UNITS / n as u32;
+            let extra = (Self::UNITS % n as u32) as usize;
+            for b in 0..n {
+                self.units.push(base + u32::from(b < extra));
+            }
+        }
+        // Lift any backend below its floor first (floors can rise when the
+        // fleet shrinks); pay from the richest backends.
+        for b in 0..n {
+            while self.units[b] < self.floor[b] {
+                let donor = (0..n)
+                    .filter(|&o| o != b && self.units[o] > self.floor[o])
+                    .max_by(|&a, &c| {
+                        self.units[a].cmp(&self.units[c]).then(c.cmp(&a)) // prefer the lowest index on ties
+                    })
+                    .expect("floors are satisfiable");
+                self.units[donor] -= 1;
+                self.units[b] += 1;
+            }
+        }
+
+        // Warm-started transfer polish: move single units from the backend
+        // with the smallest marginal loss to the one with the largest
+        // marginal gain while the move strictly improves total utility.
+        let mut moved = 0u64;
+        for _ in 0..Self::UNITS {
+            let mut best_gain = f64::NEG_INFINITY;
+            let mut best_to = usize::MAX;
+            let mut least_loss = f64::INFINITY;
+            let mut best_from = usize::MAX;
+            for b in 0..n {
+                let g = self.gain(b, self.units[b]);
+                if g > best_gain {
+                    best_gain = g;
+                    best_to = b;
+                }
+                if self.units[b] > self.floor[b] {
+                    let l = self.gain(b, self.units[b] - 1);
+                    if l < least_loss {
+                        least_loss = l;
+                        best_from = b;
+                    }
+                }
+            }
+            if best_from == usize::MAX
+                || best_from == best_to
+                || best_gain <= least_loss * (1.0 + 1e-12) + 1e-15
+            {
+                break;
+            }
+            self.units[best_from] -= 1;
+            self.units[best_to] += 1;
+            moved += 1;
+        }
+        self.stats.units_moved += moved;
+        if moved == 0 {
+            self.stats.no_op_solves += 1;
+        }
+
+        debug_assert_eq!(self.units.iter().sum::<u32>(), Self::UNITS);
+        for &u in &self.units {
+            out.push(Timerons::new(f64::from(u) * unit));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alloc(total: f64, offered: &[f64]) -> Vec<f64> {
+        let mut a = GlobalAllocator::new(AllocatorConfig::default());
+        let demands: Vec<BackendDemand> = offered
+            .iter()
+            .map(|&o| BackendDemand::offered(Timerons::new(o)))
+            .collect();
+        let mut out = Vec::new();
+        a.allocate(Timerons::new(total), &demands, &mut out);
+        out.iter().map(|t| t.get()).collect()
+    }
+
+    #[test]
+    fn single_backend_gets_the_exact_total() {
+        let out = alloc(30_000.0, &[12_345.0]);
+        assert_eq!(out, vec![30_000.0], "no lattice rounding for n == 1");
+    }
+
+    #[test]
+    fn equal_demand_splits_evenly() {
+        let out = alloc(30_000.0, &[5_000.0, 5_000.0, 5_000.0]);
+        for x in &out {
+            assert!((x - 10_000.0).abs() < 60.0, "allocation {out:?}");
+        }
+        let sum: f64 = out.iter().sum();
+        assert!((sum - 30_000.0).abs() < 1e-6, "sum {sum}");
+    }
+
+    #[test]
+    fn allocation_follows_demand_proportionally() {
+        let out = alloc(30_000.0, &[3_000.0, 9_000.0]);
+        // Water-filling on U = d·x/(x+d) equalizes x/d → x ∝ d.
+        let ratio = out[1] / out[0];
+        assert!((ratio - 3.0).abs() < 0.2, "ratio {ratio}, out {out:?}");
+    }
+
+    #[test]
+    fn weight_tilts_the_split() {
+        let mut a = GlobalAllocator::new(AllocatorConfig::default());
+        let demands = [
+            BackendDemand {
+                offered: Timerons::new(5_000.0),
+                weight: 1.0,
+            },
+            BackendDemand {
+                offered: Timerons::new(5_000.0),
+                weight: 4.0,
+            },
+        ];
+        let mut out = Vec::new();
+        a.allocate(Timerons::new(30_000.0), &demands, &mut out);
+        assert!(
+            out[1].get() > out[0].get() * 1.3,
+            "weighted backend must win: {out:?}"
+        );
+    }
+
+    #[test]
+    fn idle_backend_keeps_its_floor() {
+        let out = alloc(30_000.0, &[0.0, 20_000.0, 20_000.0]);
+        let floor = 0.1 * 30_000.0 / 3.0;
+        assert!(out[0] >= floor - 1e-6, "idle backend got {out:?}");
+        // ...and no more than a unit or two above it.
+        assert!(out[0] < floor + 200.0, "idle backend hoards: {out:?}");
+    }
+
+    #[test]
+    fn warm_start_makes_stable_demand_a_no_op() {
+        let mut a = GlobalAllocator::new(AllocatorConfig::default());
+        let demands: Vec<BackendDemand> = [4_000.0, 8_000.0, 2_000.0, 6_000.0]
+            .iter()
+            .map(|&o| BackendDemand::offered(Timerons::new(o)))
+            .collect();
+        let mut out = Vec::new();
+        a.allocate(Timerons::new(30_000.0), &demands, &mut out);
+        let first = out.clone();
+        let moved_cold = a.stats().units_moved;
+        for _ in 0..5 {
+            a.allocate(Timerons::new(30_000.0), &demands, &mut out);
+            assert_eq!(out, first, "stable demand must keep the split");
+        }
+        let s = a.stats();
+        assert_eq!(s.units_moved, moved_cold, "steady state must move nothing");
+        assert_eq!(s.no_op_solves, 5);
+    }
+
+    #[test]
+    fn reallocation_tracks_a_demand_shift() {
+        let mut a = GlobalAllocator::new(AllocatorConfig::default());
+        let mut out = Vec::new();
+        let d = |x: f64, y: f64| {
+            vec![
+                BackendDemand::offered(Timerons::new(x)),
+                BackendDemand::offered(Timerons::new(y)),
+            ]
+        };
+        a.allocate(Timerons::new(30_000.0), &d(8_000.0, 8_000.0), &mut out);
+        let even = out[0].get();
+        a.allocate(Timerons::new(30_000.0), &d(14_000.0, 2_000.0), &mut out);
+        assert!(
+            out[0].get() > even * 1.5,
+            "shifted demand must pull budget: {out:?}"
+        );
+        let sum = out[0].get() + out[1].get();
+        assert!((sum - 30_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn budget_conserved_across_fleet_sizes() {
+        for n in [2usize, 3, 5, 8, 16, 32] {
+            let offered: Vec<f64> = (0..n).map(|i| 1_000.0 * (i as f64 + 1.0)).collect();
+            let out = alloc(50_000.0, &offered);
+            let sum: f64 = out.iter().sum();
+            assert!((sum - 50_000.0).abs() < 1e-6, "n={n} sum {sum}");
+            assert_eq!(out.len(), n);
+        }
+    }
+
+    #[test]
+    fn determinism_across_instances() {
+        let run = || {
+            let mut a = GlobalAllocator::new(AllocatorConfig::default());
+            let mut out = Vec::new();
+            let mut trace = Vec::new();
+            for step in 0..10u64 {
+                let demands: Vec<BackendDemand> = (0..4)
+                    .map(|b| {
+                        BackendDemand::offered(Timerons::new(
+                            1_000.0 + 997.0 * ((step * 4 + b) % 7) as f64,
+                        ))
+                    })
+                    .collect();
+                a.allocate(Timerons::new(30_000.0), &demands, &mut out);
+                trace.extend(out.iter().map(|t| t.get().to_bits()));
+            }
+            (trace, a.stats())
+        };
+        assert_eq!(run(), run(), "solves must be bit-identical");
+    }
+}

@@ -33,6 +33,31 @@ pub enum CtrlEvent {
         /// Sequence number of the envelope that was applied.
         seq: u64,
     },
+    /// A whole release batch was applied by the receiver (batched sim
+    /// transport): one ack event covering every envelope in the batch.
+    ReleaseBatchAcked(qsched_dbms::transport::ReleaseBatch),
+    /// The global allocator of a sharded topology re-divided the fleet-wide
+    /// cost budget: adopt this system cost limit for all future planning.
+    /// The value rides as integer milli-timerons so the event stays
+    /// `Copy + Eq` like every other event in the union.
+    SetSystemLimit {
+        /// The new system cost limit, in thousandths of a timeron.
+        millitimerons: u64,
+    },
+}
+
+impl CtrlEvent {
+    /// Build a [`CtrlEvent::SetSystemLimit`] from a timeron value.
+    pub fn set_system_limit(limit: qsched_dbms::cost::Timerons) -> Self {
+        CtrlEvent::SetSystemLimit {
+            millitimerons: (limit.get().max(0.0) * 1e3).round() as u64,
+        }
+    }
+
+    /// Decode the limit carried by a [`CtrlEvent::SetSystemLimit`].
+    pub fn decoded_limit(millitimerons: u64) -> qsched_dbms::cost::Timerons {
+        qsched_dbms::cost::Timerons::new(millitimerons as f64 / 1e3)
+    }
 }
 
 /// A workload-control policy. Generic over the enclosing world's event type
@@ -126,6 +151,16 @@ pub trait Controller<E: From<CtrlEvent> + From<DbmsEvent>> {
     /// their class table; queries already released are unaffected. The
     /// default is a no-op for controllers without a class table.
     fn set_class_importance(&mut self, _class: qsched_dbms::query::ClassId, _importance: u8) {}
+
+    /// Offered load this controller is currently managing: estimated cost
+    /// executing under its released books plus cost queued for release, in
+    /// timerons. The global allocator of a sharded topology polls this at
+    /// every epoch boundary to re-divide the fleet budget. `None` (the
+    /// default) means this controller does not account in cost and its
+    /// backend is allocated by even split.
+    fn offered_load(&self) -> Option<qsched_dbms::cost::Timerons> {
+        None
+    }
 
     /// Invariant-oracle hook: cross-check this controller's books against
     /// the engine's state (queued ⊆ held, held rows reconciled against

@@ -237,7 +237,10 @@ impl<E: From<CtrlEvent> + From<DbmsEvent>> Controller<E> for PiController {
                 self.control_step(ctx, dbms);
                 ctx.schedule_in(self.cfg.control_interval, CtrlEvent::ControlTick.into());
             }
-            CtrlEvent::RetryRelease { .. } | CtrlEvent::ReleaseAcked { .. } => {}
+            CtrlEvent::RetryRelease { .. }
+            | CtrlEvent::ReleaseAcked { .. }
+            | CtrlEvent::ReleaseBatchAcked(_)
+            | CtrlEvent::SetSystemLimit { .. } => {}
         }
     }
 

@@ -61,6 +61,9 @@
 //!   experiments drive.
 //! * [`checkpoint`] — crash recovery: serializable controller checkpoints
 //!   ([`checkpoint::Checkpoint`]) and the restart/reconciliation ledger.
+//! * [`allocator`] — the global layer of the sharded control plane: marginal
+//!   water-filling of the fleet-wide cost budget across backend pools
+//!   (warm-started, allocation-free in steady state).
 //! * [`transport`] — the controller↔Patroller message boundary: a perfect
 //!   inline channel by default, or enveloped messages through the DES
 //!   engine with loss/delay/duplication/reordering faults and an
@@ -69,6 +72,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod allocator;
 pub mod baseline;
 pub mod checkpoint;
 pub mod class;
@@ -88,6 +92,7 @@ pub mod solver;
 pub mod transport;
 pub mod utility;
 
+pub use allocator::{AllocatorConfig, AllocatorStats, BackendDemand, GlobalAllocator};
 pub use checkpoint::{Checkpoint, RestartStats};
 pub use class::{Goal, ServiceClass};
 pub use controller::{Controller, CtrlEvent};

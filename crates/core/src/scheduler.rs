@@ -400,6 +400,10 @@ impl QueryScheduler {
         for &(_, id) in releases {
             self.attempt_release(ctx, dbms, id, 0);
         }
+        // Batched transports buffer the sends above into wire messages; hand
+        // them over now so a batch never straddles two control actions.
+        // No-op on the inline and unbatched channels.
+        self.transport.flush(ctx);
     }
 
     /// Run a dispatcher scan through the reusable release buffer, then issue
@@ -605,6 +609,48 @@ impl QueryScheduler {
         self.control_intervals += 1;
         // 4. Let the dispatcher act on the new limits. The sub-plan covers
         // the controlled classes and is refreshed in place — no allocation.
+        self.dispatch_plan.copy_limits_from(&self.plan);
+        let mut releases = std::mem::take(&mut self.release_buf);
+        releases.clear();
+        self.dispatcher
+            .apply_plan_into(&self.dispatch_plan, &mut self.queues, &mut releases);
+        self.perform_releases(ctx, dbms, &releases);
+        self.release_buf = releases;
+    }
+
+    /// Adopt a fleet-assigned system cost limit (sharded topologies: the
+    /// global allocator re-divides the budget every allocation epoch). The
+    /// active plan is re-projected onto the new budget simplex *in the same
+    /// event* — the audit invariant (plan total == system limit) holds at
+    /// every oracle boundary, so the rescale cannot wait for the next
+    /// replan. A grown budget releases queued work immediately; a shrunk
+    /// one lets executing queries drain down to the new limits. Checkpoints
+    /// taken under a different budget fail `checkpoint_plan_ok` and fall
+    /// back to a cold restart — by design: a dead incarnation's plan says
+    /// nothing about the budget the allocator has since assigned.
+    fn adopt_system_limit<E: From<CtrlEvent> + From<DbmsEvent>>(
+        &mut self,
+        ctx: &mut Ctx<'_, E>,
+        dbms: &mut Dbms,
+        new_limit: Timerons,
+    ) {
+        if new_limit.get() == self.cfg.system_limit.get() {
+            return;
+        }
+        assert!(
+            new_limit.get().is_finite() && new_limit.get() > 0.0,
+            "allocator assigned a degenerate system limit {new_limit:?}"
+        );
+        let now = ctx.now();
+        self.cfg.system_limit = new_limit;
+        let floor = new_limit * self.cfg.floor_fraction;
+        let limits: Vec<Timerons> = self.plan.limits().iter().map(|&(_, l)| l).collect();
+        let projected = crate::solver::project_to_simplex(&limits, new_limit, floor);
+        let new_plan = Plan::new(self.plan.classes().zip(projected).collect());
+        debug_assert!(new_plan.respects(new_limit));
+        ctx.annotate(|| format!("set-system-limit {:.1} plan rescaled", new_limit.get()));
+        self.plan_log.record(&new_plan, now);
+        self.plan = new_plan;
         self.dispatch_plan.copy_limits_from(&self.plan);
         let mut releases = std::mem::take(&mut self.release_buf);
         releases.clear();
@@ -971,6 +1017,7 @@ impl<E: From<CtrlEvent> + From<DbmsEvent>> Controller<E> for QueryScheduler {
                 // engine's fault stream).
                 if self.pending_retries.contains(&id) {
                     self.attempt_release(ctx, dbms, id, attempt);
+                    self.transport.flush(ctx);
                 }
             }
             CtrlEvent::ReleaseAcked { id, seq } => {
@@ -981,6 +1028,19 @@ impl<E: From<CtrlEvent> + From<DbmsEvent>> Controller<E> for QueryScheduler {
                 if self.transport.on_ack(id, seq) {
                     self.pending_retries.remove(&id);
                 }
+            }
+            CtrlEvent::ReleaseBatchAcked(batch) => {
+                // One wire ack covers every envelope the batch carried; each
+                // closes its own in-flight book entry exactly as a per-query
+                // ack would.
+                for env in batch.envelopes() {
+                    if self.transport.on_ack(env.id, env.seq) {
+                        self.pending_retries.remove(&env.id);
+                    }
+                }
+            }
+            CtrlEvent::SetSystemLimit { millitimerons } => {
+                self.adopt_system_limit(ctx, dbms, CtrlEvent::decoded_limit(millitimerons));
             }
         }
     }
@@ -1016,6 +1076,17 @@ impl<E: From<CtrlEvent> + From<DbmsEvent>> Controller<E> for QueryScheduler {
             TransportMode::Inline => None,
             TransportMode::Sim => self.transport.snapshot(),
         }
+    }
+
+    fn offered_load(&self) -> Option<Timerons> {
+        // Cost under management: released-and-executing plus queued for
+        // release. This is what the global allocator equalizes across
+        // backends — a backend with idle headroom reports low offered load
+        // and donates budget to loaded peers.
+        let queued: f64 = self.queues.iter_all().map(|(_, e)| e.cost.get()).sum();
+        Some(Timerons::new(
+            self.dispatcher.total_executing().get() + queued,
+        ))
     }
 
     fn set_class_importance(&mut self, class: ClassId, importance: u8) {

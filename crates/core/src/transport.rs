@@ -31,7 +31,7 @@
 
 use qsched_dbms::engine::{Dbms, DbmsEvent};
 use qsched_dbms::query::QueryId;
-use qsched_dbms::transport::ReleaseEnvelope;
+use qsched_dbms::transport::{ReleaseBatch, ReleaseEnvelope, MAX_BATCH};
 use qsched_sim::{Ctx, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -116,6 +116,15 @@ pub struct TransportConfig {
     /// re-sent after `retry.delay_for(attempt)`.
     #[serde(default = "TransportConfig::default_retry")]
     pub retry: RetryPolicy,
+    /// Releases per wire message. `1` (the default) sends each release as
+    /// its own envelope — byte-for-byte the pre-batching behaviour. Values
+    /// `2..=8` buffer consecutive releases from one control action into a
+    /// single [`ReleaseBatch`] event, amortizing per-message event overhead
+    /// on sharded topologies; the scheduler flushes the buffer at the end of
+    /// every release-producing event. `0` (what an absent field
+    /// deserializes to) normalizes to the unbatched wire.
+    #[serde(default)]
+    pub max_batch: u8,
 }
 
 impl TransportConfig {
@@ -126,11 +135,18 @@ impl TransportConfig {
         RetryPolicy::new(SimDuration::from_secs(2), SimDuration::from_secs(30), 16)
     }
 
-    /// Validate the retry schedule.
+    /// Validate the retry schedule and batching knob.
     pub fn validate(&self) -> Result<(), String> {
         self.retry
             .validate()
-            .map_err(|e| format!("transport retry policy: {e}"))
+            .map_err(|e| format!("transport retry policy: {e}"))?;
+        if usize::from(self.max_batch) > MAX_BATCH {
+            return Err(format!(
+                "transport max_batch {} exceeds the wire limit {MAX_BATCH}",
+                self.max_batch
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -139,6 +155,7 @@ impl Default for TransportConfig {
         TransportConfig {
             mode: TransportMode::Inline,
             retry: Self::default_retry(),
+            max_batch: 1,
         }
     }
 }
@@ -210,6 +227,11 @@ pub trait Transport {
     /// none is — return `false`).
     fn on_ack(&mut self, id: QueryId, seq: u64) -> bool;
 
+    /// Hand any buffered release batch to the wire. Callers must invoke this
+    /// at the end of every release-producing control action so a batch never
+    /// straddles two events. No-op for unbatched transports (the default).
+    fn flush<E: From<DbmsEvent>>(&mut self, _ctx: &mut Ctx<'_, E>) {}
+
     /// Adopt a new sender epoch (controller restart). Pre-restart in-flight
     /// envelopes are abandoned: the receiver fences them out, and restart
     /// reconciliation re-issues releases for whatever is still held.
@@ -261,6 +283,12 @@ pub struct SimTransport {
     /// seq; acks for superseded seqs still resolve the query (the effect is
     /// applied — acks are only emitted on application).
     unacked: BTreeMap<QueryId, u64>,
+    /// Releases per wire message; `1` is the classic one-envelope path.
+    max_batch: u8,
+    /// The batch under construction when `max_batch > 1`. Flushed by the
+    /// scheduler at the end of each release-producing event, or eagerly when
+    /// full.
+    pending: Option<ReleaseBatch>,
     stats: SenderStats,
     drop_times: Vec<SimTime>,
 }
@@ -268,13 +296,22 @@ pub struct SimTransport {
 impl SimTransport {
     /// Channel names, in poll order. Exactly one of the first three fires
     /// per send (drop ⊃ delay ⊃ reorder precedence); `transport.dup` rides
-    /// on top of an otherwise-synchronous delivery.
+    /// on top of an otherwise-synchronous delivery. In batched mode each
+    /// channel is polled once per *batch* — a batch is one wire message.
     pub const CHANNELS: [&'static str; 4] = [
         "transport.drop",
         "transport.delay",
         "transport.dup",
         "transport.reorder",
     ];
+
+    /// A transport that packs up to `max_batch` releases per wire message.
+    pub fn with_batching(max_batch: u8) -> Self {
+        SimTransport {
+            max_batch: max_batch.max(1),
+            ..SimTransport::default()
+        }
+    }
 
     fn envelope(&mut self, id: QueryId, now: SimTime) -> ReleaseEnvelope {
         self.next_seq += 1;
@@ -285,6 +322,86 @@ impl SimTransport {
             sent_at: now,
         }
     }
+
+    /// Batched-mode send: book the envelope and append it to the pending
+    /// batch instead of putting it on the wire. The effect lands when the
+    /// batch is flushed, so the caller always sees `InFlight` and resolves
+    /// it through the batch ack.
+    fn buffer_release<E: From<DbmsEvent>>(
+        &mut self,
+        ctx: &mut Ctx<'_, E>,
+        dbms: &mut Dbms,
+        id: QueryId,
+    ) -> SendOutcome {
+        if !dbms.patroller().is_held(id) {
+            self.unacked.remove(&id);
+            return SendOutcome::Gone;
+        }
+        if self.pending.is_some_and(|b| b.is_full()) {
+            self.flush_pending(ctx);
+        }
+        let env = self.envelope(id, ctx.now());
+        self.stats.sent += 1;
+        if self.unacked.insert(id, env.seq).is_some() {
+            self.stats.retries += 1;
+        }
+        let batch = self
+            .pending
+            .get_or_insert_with(|| ReleaseBatch::new(env.epoch, env.seq, env.sent_at));
+        let pushed = batch.push(id);
+        debug_assert!(pushed, "pending batch was flushed when full");
+        SendOutcome::InFlight
+    }
+
+    /// Put the pending batch on the wire as one message, polling each fault
+    /// channel once. Healthy batches are scheduled at the current instant:
+    /// delivery (and the ack) happens later in the same timestamp's event
+    /// cascade, keeping one code path for every batch.
+    fn flush_pending<E: From<DbmsEvent>>(&mut self, ctx: &mut Ctx<'_, E>) {
+        let Some(batch) = self.pending.take() else {
+            return;
+        };
+        if batch.is_empty() {
+            return;
+        }
+        let n = u64::from(batch.len);
+        if ctx.should_inject("transport.drop") {
+            // Silent loss of the whole message: every carried release waits
+            // for its ack timeout.
+            self.stats.dropped += n;
+            for _ in 0..batch.len {
+                self.drop_times.push(ctx.now());
+            }
+            return;
+        }
+        if ctx.should_inject("transport.delay") {
+            let delay = ctx
+                .fault_delay("transport.delay")
+                .unwrap_or_else(|| SimDuration::from_secs(2));
+            self.stats.delayed += n;
+            ctx.schedule_in(delay, DbmsEvent::TransportDeliverBatch(batch).into());
+            return;
+        }
+        if ctx.should_inject("transport.reorder") {
+            let jitter = ctx
+                .fault_delay("transport.reorder")
+                .unwrap_or_else(|| SimDuration::from_millis(500));
+            self.stats.reordered += n;
+            ctx.schedule_in(jitter, DbmsEvent::TransportDeliverBatch(batch).into());
+            return;
+        }
+        if ctx.should_inject("transport.dup") {
+            let lag = ctx
+                .fault_delay("transport.dup")
+                .unwrap_or_else(|| SimDuration::from_secs(1));
+            self.stats.duplicated += n;
+            ctx.schedule_in(lag, DbmsEvent::TransportDeliverBatch(batch).into());
+        }
+        ctx.schedule_in(
+            SimDuration::ZERO,
+            DbmsEvent::TransportDeliverBatch(batch).into(),
+        );
+    }
 }
 
 impl Transport for SimTransport {
@@ -294,6 +411,9 @@ impl Transport for SimTransport {
         dbms: &mut Dbms,
         id: QueryId,
     ) -> SendOutcome {
+        if self.max_batch > 1 {
+            return self.buffer_release(ctx, dbms, id);
+        }
         // A re-send for a query that already left the control table (the
         // effect landed but the ack did not) needs no envelope — and must
         // not advance any fault stream.
@@ -364,9 +484,16 @@ impl Transport for SimTransport {
         }
     }
 
+    fn flush<E: From<DbmsEvent>>(&mut self, ctx: &mut Ctx<'_, E>) {
+        self.flush_pending(ctx);
+    }
+
     fn set_epoch(&mut self, epoch: u64) {
         self.epoch = epoch;
         self.unacked.clear();
+        // A batch under construction belongs to the dead incarnation; the
+        // receiver would fence it anyway.
+        self.pending = None;
     }
 
     fn snapshot(&self) -> Option<SenderSnapshot> {
@@ -380,8 +507,10 @@ impl Transport for SimTransport {
 
 /// Statically-dispatched transport choice (the scheduler's field type), so
 /// the inline path stays a direct call with no vtable between the control
-/// loop and the engine.
+/// loop and the engine. One instance lives per scheduler, so the size gap
+/// between the zero-sized inline arm and the batching sim sender is moot.
 #[derive(Debug, Clone)]
+#[allow(clippy::large_enum_variant)]
 pub enum ReleaseTransport {
     /// Direct call.
     Inline(InlineTransport),
@@ -394,7 +523,7 @@ impl ReleaseTransport {
     pub fn from_config(cfg: &TransportConfig) -> Self {
         match cfg.mode {
             TransportMode::Inline => ReleaseTransport::Inline(InlineTransport),
-            TransportMode::Sim => ReleaseTransport::Sim(SimTransport::default()),
+            TransportMode::Sim => ReleaseTransport::Sim(SimTransport::with_batching(cfg.max_batch)),
         }
     }
 }
@@ -416,6 +545,13 @@ impl Transport for ReleaseTransport {
         match self {
             ReleaseTransport::Inline(t) => t.on_ack(id, seq),
             ReleaseTransport::Sim(t) => t.on_ack(id, seq),
+        }
+    }
+
+    fn flush<E: From<DbmsEvent>>(&mut self, ctx: &mut Ctx<'_, E>) {
+        match self {
+            ReleaseTransport::Inline(t) => t.flush(ctx),
+            ReleaseTransport::Sim(t) => t.flush(ctx),
         }
     }
 
@@ -480,5 +616,29 @@ mod tests {
         t.set_epoch(3);
         assert_eq!(t.snapshot().unwrap().in_flight, 0);
         assert_eq!(t.epoch, 3);
+    }
+
+    #[test]
+    fn max_batch_knob_is_validated() {
+        let mut cfg = TransportConfig::default();
+        assert_eq!(cfg.max_batch, 1, "default is the unbatched wire");
+        assert!(cfg.validate().is_ok());
+        // 0 is what an absent field deserializes to; it means "unbatched".
+        cfg.max_batch = 0;
+        assert!(cfg.validate().is_ok());
+        cfg.max_batch = (MAX_BATCH + 1) as u8;
+        assert!(cfg.validate().is_err());
+        cfg.max_batch = MAX_BATCH as u8;
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn epoch_change_abandons_the_pending_batch() {
+        let mut t = SimTransport::with_batching(4);
+        let mut batch = ReleaseBatch::new(0, 1, SimTime::ZERO);
+        batch.push(QueryId(7));
+        t.pending = Some(batch);
+        t.set_epoch(1);
+        assert!(t.pending.is_none());
     }
 }

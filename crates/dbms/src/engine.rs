@@ -28,7 +28,7 @@ use crate::patroller::{ControlRow, InterceptPolicy, Patroller};
 use crate::query::{ClassId, Query, QueryId, QueryKind, QueryRecord};
 use crate::resource::{DiskArray, PsCpu};
 use crate::snapshot::{ClientSample, SnapshotRegistry};
-use crate::transport::{Admit, ReleaseEnvelope, ReleaseReceiver};
+use crate::transport::{Admit, ReleaseBatch, ReleaseEnvelope, ReleaseReceiver};
 use qsched_sim::{Ctx, SimDuration, SimTime};
 use std::collections::{BTreeSet, HashMap};
 
@@ -50,6 +50,10 @@ pub enum DbmsEvent {
     /// A transported release envelope arrives at the Patroller (sim
     /// transport only; the envelope passes the dedup/epoch book first).
     TransportDeliver(ReleaseEnvelope),
+    /// A batched wire message arrives at the Patroller: every envelope it
+    /// carries passes the dedup/epoch book individually (batching changes
+    /// the event count, never the protocol).
+    TransportDeliverBatch(ReleaseBatch),
     /// Periodic starvation-watchdog check (scheduled while queries are held).
     WatchdogCheck,
 }
@@ -250,6 +254,22 @@ impl Dbms {
             transport_rx: ReleaseReceiver::default(),
             cfg,
         }
+    }
+
+    /// [`Dbms::new`] with the in-flight arena pre-sized for an expected
+    /// resident population (closed-loop clients each contribute at most one
+    /// in-flight query). Sharded scaling sweeps build engines through this
+    /// so 100k+-client backends don't measure hash-map rehash churn; the
+    /// hint changes no behaviour, only initial capacity.
+    pub fn with_capacity(
+        cfg: DbmsConfig,
+        policy: InterceptPolicy,
+        start: SimTime,
+        expected_clients: usize,
+    ) -> Self {
+        let mut dbms = Self::new(cfg, policy, start);
+        dbms.inflight.reserve(expected_clients);
+        dbms
     }
 
     /// The engine configuration.
@@ -453,6 +473,21 @@ impl Dbms {
         }
     }
 
+    /// Deliver a batched wire message: unpack it and run every envelope
+    /// through [`Dbms::deliver_release`]. Returns `true` iff at least one
+    /// envelope's release effect was applied by this batch.
+    pub fn deliver_release_batch<E: From<DbmsEvent>>(
+        &mut self,
+        ctx: &mut Ctx<'_, E>,
+        batch: ReleaseBatch,
+    ) -> bool {
+        let mut any = false;
+        for env in batch.envelopes() {
+            any |= self.deliver_release(ctx, env);
+        }
+        any
+    }
+
     /// Read access to the transport receiver book (ledger + oracle).
     pub fn transport_rx(&self) -> &ReleaseReceiver {
         &self.transport_rx
@@ -523,6 +558,9 @@ impl Dbms {
                 // calling `handle`; routing it here is still correct (the
                 // sender's retry timer covers the missing ack).
                 self.deliver_release(ctx, env);
+            }
+            DbmsEvent::TransportDeliverBatch(batch) => {
+                self.deliver_release_batch(ctx, batch);
             }
             DbmsEvent::WatchdogCheck => self.on_watchdog_check(ctx, out),
         }

@@ -43,6 +43,76 @@ pub struct ReleaseEnvelope {
     pub sent_at: SimTime,
 }
 
+/// Maximum envelopes one batch can carry. Fixed so a batch stays `Copy`
+/// and rides inside the world's event enum without allocation, like every
+/// other event.
+pub const MAX_BATCH: usize = 8;
+
+/// A batch of release commands on the wire: `len` envelopes with
+/// *consecutive* sequence numbers starting at `first_seq`, all stamped with
+/// the same sender epoch and handed to the transport at the same instant.
+/// One batch is one wire message and one simulation event, amortizing the
+/// per-release event overhead of the control plane; the receiver unpacks it
+/// back into individual envelopes, so the dedup/fencing books and their
+/// invariants are untouched by batching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ReleaseBatch {
+    /// Sender incarnation (see [`ReleaseEnvelope::epoch`]).
+    pub epoch: u64,
+    /// Sequence number of the first envelope; envelope `i` carries
+    /// `first_seq + i`.
+    pub first_seq: u64,
+    /// Number of live entries in `ids`.
+    pub len: u8,
+    /// The released queries, in sequence order (`ids[len..]` is padding).
+    pub ids: [QueryId; MAX_BATCH],
+    /// When the sender handed the batch to the transport.
+    pub sent_at: SimTime,
+}
+
+impl ReleaseBatch {
+    /// An empty batch whose first entry will carry `first_seq`.
+    pub fn new(epoch: u64, first_seq: u64, sent_at: SimTime) -> Self {
+        ReleaseBatch {
+            epoch,
+            first_seq,
+            len: 0,
+            ids: [QueryId(u64::MAX); MAX_BATCH],
+            sent_at,
+        }
+    }
+
+    /// Append a release. Returns `false` (and changes nothing) when full.
+    pub fn push(&mut self, id: QueryId) -> bool {
+        if usize::from(self.len) >= MAX_BATCH {
+            return false;
+        }
+        self.ids[usize::from(self.len)] = id;
+        self.len += 1;
+        true
+    }
+
+    /// No live entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// No room for another entry.
+    pub fn is_full(&self) -> bool {
+        usize::from(self.len) >= MAX_BATCH
+    }
+
+    /// Unpack into per-release envelopes (what the receiver books see).
+    pub fn envelopes(&self) -> impl Iterator<Item = ReleaseEnvelope> + '_ {
+        (0..usize::from(self.len)).map(move |i| ReleaseEnvelope {
+            epoch: self.epoch,
+            seq: self.first_seq + i as u64,
+            id: self.ids[i],
+            sent_at: self.sent_at,
+        })
+    }
+}
+
 /// Admission verdict for one envelope.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Admit {

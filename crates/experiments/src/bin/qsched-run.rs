@@ -15,6 +15,9 @@
 //!
 //! # Run the scenario scoreboard and gate against the committed baseline:
 //! qsched-run scoreboard --baseline SCOREBOARD_baseline.json
+//!
+//! # Weak-scaling sweep of the sharded control plane (backends × routing):
+//! qsched-run shard-sweep --shards 1,2,4,8 --routing all --out shard_sweep.json
 //! ```
 //!
 //! The config file is a serialized
@@ -37,7 +40,10 @@ fn usage() -> ExitCode {
          qsched-run replay <artifact.json>    re-run a violation's replay artifact\n  \
          qsched-run scoreboard [--seed N] [--threads N] [--out <path.json>]\n                        \
          [--baseline <path.json>]   run every scenario, write one JSON row each;\n                        \
-         with --baseline, exit nonzero on any regression beyond tolerance"
+         with --baseline, exit nonzero on any regression beyond tolerance\n  \
+         qsched-run shard-sweep [--seed N] [--shards 1,2,4] [--routing <policy>|all]\n                        \
+         [--interval <secs>] [--config <base.json>] [--out <path.json>]\n                        \
+         weak-scaling sweep: workload and budget grow with the backend count"
     );
     ExitCode::FAILURE
 }
@@ -298,6 +304,211 @@ fn scoreboard(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// One row of the shard sweep, serialized to `--out` as a JSON array.
+#[derive(serde::Serialize)]
+struct SweepRow {
+    shards: usize,
+    routing: &'static str,
+    slo_attainment: f64,
+    olap_completed: u64,
+    oltp_completed: u64,
+    events: u64,
+    events_per_sec: f64,
+    allocator_solves: u64,
+    allocator_no_op_solves: u64,
+    allocator_units_moved: u64,
+    min_final_limit: f64,
+    max_final_limit: f64,
+}
+
+fn parse_routing(name: &str) -> Option<Vec<qsched_experiments::config::RoutingPolicy>> {
+    use qsched_experiments::config::RoutingPolicy::*;
+    Some(match name {
+        "hash" => vec![Hash],
+        "least-loaded" => vec![LeastLoaded],
+        "class-affinity" => vec![ClassAffinity],
+        "all" => vec![Hash, LeastLoaded, ClassAffinity],
+        _ => return None,
+    })
+}
+
+/// Weak-scaling sweep of the sharded control plane: for every backend count
+/// the schedule populations *and* the fleet budget scale with `N`, so SLO
+/// attainment should hold roughly flat while completions grow with the
+/// fleet. Routing policies are swept as an inner axis.
+fn shard_sweep(args: &[String]) -> ExitCode {
+    let mut seed: u64 = 42;
+    let mut shards: Vec<usize> = vec![1, 2, 4];
+    let mut routings = parse_routing("hash").expect("hash is a policy");
+    let mut interval_secs: u64 = 60;
+    let mut out_path: Option<String> = None;
+    let mut base_path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" if i + 1 < args.len() => {
+                match args[i + 1].parse() {
+                    Ok(s) => seed = s,
+                    Err(e) => {
+                        eprintln!("invalid --seed {}: {e}", args[i + 1]);
+                        return ExitCode::FAILURE;
+                    }
+                }
+                i += 2;
+            }
+            "--shards" if i + 1 < args.len() => {
+                let parsed: Result<Vec<usize>, _> =
+                    args[i + 1].split(',').map(str::parse).collect();
+                match parsed {
+                    Ok(list) if !list.is_empty() && list.iter().all(|&n| n >= 1) => shards = list,
+                    _ => {
+                        eprintln!("invalid --shards {} (want e.g. 1,2,4)", args[i + 1]);
+                        return ExitCode::FAILURE;
+                    }
+                }
+                i += 2;
+            }
+            "--routing" if i + 1 < args.len() => {
+                match parse_routing(&args[i + 1]) {
+                    Some(r) => routings = r,
+                    None => {
+                        eprintln!(
+                            "invalid --routing {} (hash | least-loaded | class-affinity | all)",
+                            args[i + 1]
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                }
+                i += 2;
+            }
+            "--interval" if i + 1 < args.len() => {
+                match args[i + 1].parse() {
+                    Ok(s) if s > 0 => interval_secs = s,
+                    _ => {
+                        eprintln!("invalid --interval {}", args[i + 1]);
+                        return ExitCode::FAILURE;
+                    }
+                }
+                i += 2;
+            }
+            "--out" if i + 1 < args.len() => {
+                out_path = Some(args[i + 1].clone());
+                i += 2;
+            }
+            "--config" if i + 1 < args.len() => {
+                base_path = Some(args[i + 1].clone());
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown shard-sweep argument: {other}");
+                return usage();
+            }
+        }
+    }
+
+    let base = match &base_path {
+        Some(p) => match load(p) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => ExperimentConfig { seed, ..template() },
+    };
+
+    let started = std::time::Instant::now();
+    let mut rows: Vec<SweepRow> = Vec::new();
+    for &n in &shards {
+        for &routing in &routings {
+            let mut cfg = base.clone();
+            // Weak scaling: every schedule cell and the fleet budget grow
+            // with the backend count, so per-backend load stays constant.
+            let scaled: Vec<Vec<u32>> = (0..cfg.schedule.periods())
+                .map(|p| {
+                    cfg.schedule
+                        .counts_at(p)
+                        .iter()
+                        .map(|&c| c * n as u32)
+                        .collect()
+                })
+                .collect();
+            cfg.schedule = qsched_workload::Schedule::new(cfg.schedule.period_len(), scaled);
+            if let ControllerSpec::QueryScheduler(sc) = &mut cfg.controller {
+                sc.system_limit = qsched_dbms::Timerons::new(sc.system_limit.get() * n as f64);
+            }
+            let mut spec = qsched_experiments::config::ShardSpec::new(n);
+            spec.routing = routing;
+            spec.allocation_interval = qsched_sim::SimDuration::from_secs(interval_secs);
+            cfg.shard = Some(spec);
+
+            let out = run_experiment(&cfg);
+            let fleet = out
+                .report
+                .shards
+                .as_ref()
+                .expect("sharded runs always carry a fleet report");
+            let limits = fleet.rows.iter().map(|r| r.final_limit);
+            rows.push(SweepRow {
+                shards: n,
+                routing: routing.name(),
+                slo_attainment: qsched_experiments::shard::slo_fraction(&out),
+                olap_completed: out.summary.olap_completed,
+                oltp_completed: out.summary.oltp_completed,
+                events: out.summary.events,
+                events_per_sec: out.perf.events_per_sec,
+                allocator_solves: fleet.allocator.solves,
+                allocator_no_op_solves: fleet.allocator.no_op_solves,
+                allocator_units_moved: fleet.allocator.units_moved,
+                min_final_limit: limits.clone().fold(f64::INFINITY, f64::min),
+                max_final_limit: limits.fold(0.0, f64::max),
+            });
+        }
+    }
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.shards.to_string(),
+                r.routing.to_string(),
+                format!("{:.3}", r.slo_attainment),
+                r.olap_completed.to_string(),
+                r.oltp_completed.to_string(),
+                format!("{:.0}", r.events_per_sec),
+                format!("{}/{}", r.allocator_solves, r.allocator_no_op_solves),
+                r.allocator_units_moved.to_string(),
+                format!("{:.0}..{:.0}", r.min_final_limit, r.max_final_limit),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &format!(
+                "shard sweep, seed {seed}, interval {interval_secs}s (wall {:?})",
+                started.elapsed()
+            ),
+            &["backends", "routing", "slo", "olap", "oltp", "ev/s", "solves", "moved", "limits"],
+            &table,
+        )
+    );
+
+    if let Some(path) = out_path {
+        match std::fs::write(
+            &path,
+            serde_json::to_string_pretty(&rows).expect("rows serialize"),
+        ) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn template() -> ExperimentConfig {
     ExperimentConfig::paper(
         42,
@@ -322,6 +533,9 @@ fn main() -> ExitCode {
     }
     if first == "scoreboard" {
         return scoreboard(&args[1..]);
+    }
+    if first == "shard-sweep" {
+        return shard_sweep(&args[1..]);
     }
     if first == "replay" {
         let Some(path) = args.get(1) else {

@@ -116,6 +116,84 @@ impl Default for ResilienceSettings {
     }
 }
 
+/// How a sharded topology splits the client schedule across backend pools.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum RoutingPolicy {
+    /// Modulo-spread every schedule cell: each backend sees ~`count/N`
+    /// clients of every class (what a stateless hash router converges to).
+    #[default]
+    Hash,
+    /// Greedy bin-packing of whole class columns onto the backend with the
+    /// least total scheduled client-periods.
+    LeastLoaded,
+    /// Class `c` lives on shard `c mod N`: whole classes keep backend
+    /// affinity (tenant pinning).
+    ClassAffinity,
+}
+
+impl RoutingPolicy {
+    /// Stable name for reports and scenario ids.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RoutingPolicy::Hash => "hash",
+            RoutingPolicy::LeastLoaded => "least-loaded",
+            RoutingPolicy::ClassAffinity => "class-affinity",
+        }
+    }
+}
+
+/// The sharded control plane: run `shards` backend pools, each with its own
+/// DBMS + controller pair over a split of the client schedule, under a
+/// global allocator that re-divides the fleet-wide cost budget by marginal
+/// water-filling every `allocation_interval`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardSpec {
+    /// Number of backend pools. `1` is the degenerate fleet: the allocator
+    /// passes the whole budget through and the run is bit-identical to the
+    /// unsharded path (pinned by the shard swarm).
+    pub shards: usize,
+    /// How the client schedule is split across backends.
+    #[serde(default)]
+    pub routing: RoutingPolicy,
+    /// Global allocation epoch: offered loads are polled and the budget
+    /// re-divided at this cadence. Zero (what an absent field deserializes
+    /// to) means the default 240 s paper cadence — read it through
+    /// [`ShardSpec::interval`].
+    #[serde(default)]
+    pub allocation_interval: SimDuration,
+    /// Marginal water-filling tunables.
+    #[serde(default)]
+    pub allocator: qsched_core::AllocatorConfig,
+}
+
+impl ShardSpec {
+    fn default_allocation_interval() -> SimDuration {
+        // The paper's control interval: the global layer re-plans at the
+        // same cadence the per-backend schedulers do.
+        SimDuration::from_secs(240)
+    }
+
+    /// A topology of `shards` hash-routed backends with default knobs.
+    pub fn new(shards: usize) -> Self {
+        ShardSpec {
+            shards,
+            routing: RoutingPolicy::default(),
+            allocation_interval: Self::default_allocation_interval(),
+            allocator: qsched_core::AllocatorConfig::default(),
+        }
+    }
+
+    /// The effective allocation cadence (`allocation_interval`, with zero
+    /// normalized to the 240 s default).
+    pub fn interval(&self) -> SimDuration {
+        if self.allocation_interval.is_zero() {
+            Self::default_allocation_interval()
+        } else {
+            self.allocation_interval
+        }
+    }
+}
+
 /// A complete, self-contained experiment description. Everything a run
 /// needs flows from here, so runs are reproducible and can execute on any
 /// thread.
@@ -164,6 +242,11 @@ pub struct ExperimentConfig {
     /// class list's importances hold for the whole run).
     #[serde(default)]
     pub flips: Vec<ImportanceFlip>,
+    /// Sharded multi-backend topology (`None` = the classic single-backend
+    /// run). The orchestrator compiles per-shard child configs from this
+    /// one; child configs always have `shard: None`.
+    #[serde(default)]
+    pub shard: Option<ShardSpec>,
 }
 
 impl ExperimentConfig {
@@ -184,6 +267,7 @@ impl ExperimentConfig {
             oracle: crate::oracle::OracleSettings::default(),
             resilience: ResilienceSettings::default(),
             flips: Vec::new(),
+            shard: None,
         }
     }
 
@@ -245,6 +329,18 @@ impl ExperimentConfig {
             if let Err(e) = sc.transport.validate() {
                 panic!("invalid transport config: {e}");
             }
+        }
+        if let Some(spec) = &self.shard {
+            assert!(
+                spec.shards >= 1,
+                "a sharded topology needs at least one backend pool"
+            );
+            spec.allocator.validate();
+            assert!(
+                self.trace.is_none(),
+                "trace replay cannot be sharded (the trace names one backend's \
+                 arrival sequence); split the trace externally instead"
+            );
         }
     }
 }

@@ -167,6 +167,7 @@ pub fn calibration(seed: u64, opts: &CalibrationOpts) -> CalibrationCurve {
             oracle: Default::default(),
             resilience: Default::default(),
             flips: Vec::new(),
+            shard: None,
         })
         .collect();
     let outputs = run_parallel(configs);
@@ -312,6 +313,7 @@ pub fn fig2(seed: u64, opts: &Fig2Opts) -> Fig2 {
                 oracle: Default::default(),
                 resilience: Default::default(),
                 flips: Vec::new(),
+                shard: None,
             });
         }
     }

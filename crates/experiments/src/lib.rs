@@ -18,6 +18,9 @@
 //! * [`scenarios`] — the non-stationary scenario scoreboard: named workload
 //!   scenarios (diurnal, flash crowd, churn, importance flips, faults)
 //!   scored on one row schema and gated against a committed baseline.
+//! * [`shard`] — the sharded multi-backend control plane: N backend pools
+//!   under a global water-filling allocator, with batched release dispatch
+//!   and per-shard partial-failure scoring.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -29,9 +32,10 @@ pub mod figures;
 pub mod oracle;
 pub mod report;
 pub mod scenarios;
+pub mod shard;
 pub mod world;
 
-pub use config::{ControllerSpec, ExperimentConfig};
+pub use config::{ControllerSpec, ExperimentConfig, RoutingPolicy, ShardSpec};
 pub use oracle::{OracleReport, OracleSettings, ReplayArtifact};
 pub use report::{ClassPeriod, RunReport};
 pub use scenarios::{

@@ -419,22 +419,39 @@ impl Invariant<ExpWorld> for MetricSanity {
 #[derive(Debug)]
 pub struct PlanStep {
     system_limit: f64,
-    floor: f64,
-    step: Option<f64>,
+    floor_fraction: f64,
+    step_fraction: Option<f64>,
     classes: usize,
     seen: usize,
 }
 
 impl PlanStep {
-    /// Bounds derived from the scheduler configuration.
+    /// Bounds derived from the scheduler configuration. The budget is the
+    /// configured limit until a `limit_mark` (an allocator re-assignment in
+    /// a sharded topology) moves it; floor and step bounds scale with the
+    /// budget in effect at each plan entry.
     pub fn new(sc: &SchedulerConfig, classes: usize) -> Self {
         PlanStep {
             system_limit: sc.system_limit.get(),
-            floor: sc.system_limit.get() * sc.floor_fraction,
-            step: sc.max_step_fraction.map(|f| sc.system_limit.get() * f),
+            floor_fraction: sc.floor_fraction,
+            step_fraction: sc.max_step_fraction,
             classes,
             seen: 0,
         }
+    }
+
+    /// The system limit in force at plan entry `i`: the latest allocator
+    /// assignment at or before `i`, else the configured limit.
+    fn limit_at(&self, world: &ExpWorld, i: usize) -> f64 {
+        let mut limit = self.system_limit;
+        for &(mark, l) in world.limit_marks() {
+            if mark <= i {
+                limit = l;
+            } else {
+                break;
+            }
+        }
+        limit
     }
 }
 
@@ -453,26 +470,29 @@ impl Invariant<ExpWorld> for PlanStep {
             .map(|(_, s)| s.points().len())
             .min()
             .unwrap_or(0);
-        let eps = self.system_limit * 1e-9 + 1e-9;
         for i in self.seen.min(len)..len {
+            let limit = self.limit_at(world, i);
+            let floor = limit * self.floor_fraction;
+            let eps = limit * 1e-9 + 1e-9;
             let mut total = 0.0;
             for (class, s) in series {
                 let v = s.points()[i].value;
-                if !v.is_finite() || v < self.floor - eps {
+                if !v.is_finite() || v < floor - eps {
                     return Err(format!(
-                        "plan #{i}: class {class} limit {v} below floor {}",
-                        self.floor
+                        "plan #{i}: class {class} limit {v} below floor {floor}"
                     ));
                 }
                 total += v;
-                // A crash restart writes the restored plan straight into the
-                // log; movement *into* it is exempt from the step bound (a
-                // cold restart jumps to the even split, a warm restore can
-                // be several replans old). Budget and floor still apply.
+                // A crash restart (or an allocator budget move) writes its
+                // plan straight into the log; movement *into* it is exempt
+                // from the step bound (a cold restart jumps to the even
+                // split, a warm restore can be several replans old, a budget
+                // move re-projects onto a new simplex). Budget and floor
+                // still apply.
                 let restart = world.restart_log_marks().contains(&i);
-                if let (Some(step), true, false) = (self.step, i > 0, restart) {
+                if let (Some(frac), true, false) = (self.step_fraction, i > 0, restart) {
                     let prev = s.points()[i - 1].value;
-                    let bound = step * (self.classes as f64 + 1.0) + eps;
+                    let bound = limit * frac * (self.classes as f64 + 1.0) + eps;
                     if (v - prev).abs() > bound {
                         return Err(format!(
                             "plan #{i}: class {class} moved {:.1} > bound {:.1}",
@@ -482,10 +502,9 @@ impl Invariant<ExpWorld> for PlanStep {
                     }
                 }
             }
-            if (total - self.system_limit).abs() > self.system_limit * 1e-6 + 1e-6 {
+            if (total - limit).abs() > limit * 1e-6 + 1e-6 {
                 return Err(format!(
-                    "plan #{i}: limits sum {total} != system limit {}",
-                    self.system_limit
+                    "plan #{i}: limits sum {total} != system limit {limit}"
                 ));
             }
         }

@@ -69,6 +69,13 @@ impl Default for Accum {
 }
 
 impl Accum {
+    fn merge(&mut self, other: &Accum) {
+        self.velocity.merge(&other.velocity);
+        self.response.merge(&other.response);
+        self.response_hist.merge(&other.response_hist);
+        self.execution.merge(&other.execution);
+    }
+
     fn finish(&self) -> ClassPeriod {
         ClassPeriod {
             completions: self.velocity.count(),
@@ -110,6 +117,30 @@ impl PeriodCollector {
         a.execution.push(rec.execution_time().as_secs_f64());
     }
 
+    /// Fold another collector's accumulators into this one (Welford
+    /// parallel-combine plus histogram bucket addition — exactly the
+    /// aggregates a single collector over the union of records would hold,
+    /// up to float associativity). The sharded orchestrator merges
+    /// per-backend collectors into the fleet-wide report this way.
+    ///
+    /// # Panics
+    /// Panics when the period geometries differ.
+    pub fn merge(&mut self, other: &PeriodCollector) {
+        assert_eq!(
+            self.period_len_us, other.period_len_us,
+            "collector merge: period length mismatch"
+        );
+        assert_eq!(
+            self.n_periods, other.n_periods,
+            "collector merge: period count mismatch"
+        );
+        for (mine, theirs) in self.cells.iter_mut().zip(&other.cells) {
+            for (class, a) in theirs {
+                mine.entry(*class).or_default().merge(a);
+            }
+        }
+    }
+
     /// Finalize into a report. The first `warmup_periods` periods are kept
     /// in the data but excluded from goal accounting.
     pub fn finish(
@@ -140,6 +171,7 @@ impl PeriodCollector {
             solver: None,
             resilience: None,
             transport: None,
+            shards: None,
             perf: None,
         }
     }
@@ -265,6 +297,50 @@ impl TransportLedger {
     }
 }
 
+/// One backend pool's row in a sharded run's fleet report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardRow {
+    /// Shard index (0-based; shard 0 keeps the original seed).
+    pub shard: usize,
+    /// The shard's derived RNG seed.
+    pub seed: u64,
+    /// OLAP completions on this backend.
+    pub olap_completed: u64,
+    /// OLTP completions on this backend.
+    pub oltp_completed: u64,
+    /// Events this backend's engine delivered.
+    pub events: u64,
+    /// Fraction of post-warm-up `(period, class)` goals met on this shard.
+    pub slo_attainment: f64,
+    /// The system cost limit the global allocator had assigned to this
+    /// backend when the run ended, in timerons.
+    pub final_limit: f64,
+    /// Controller crashes on this shard.
+    pub crashes: usize,
+    /// Largest per-crash MTTR on this shard (`None` = no crashes, or one
+    /// never reconverged — disambiguate via `crashes`).
+    pub max_mttr_secs: Option<f64>,
+    /// This shard's flight-recorder digest (0 when the oracle was off).
+    pub recorder_digest: u64,
+}
+
+/// Fleet-level accounting of a sharded run: the global allocator's solve
+/// counters plus one row per backend pool. `None` in unsharded reports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardReport {
+    /// Number of backend pools.
+    pub shards: usize,
+    /// Routing policy that split the workload (`hash`, `least-loaded`,
+    /// `class-affinity`).
+    pub routing: String,
+    /// Global allocation interval, in seconds.
+    pub allocation_interval_secs: f64,
+    /// Water-filling solve counters (solves, no-ops, units moved).
+    pub allocator: qsched_core::AllocatorStats,
+    /// Per-backend rows, in shard order.
+    pub rows: Vec<ShardRow>,
+}
+
 /// Host-side performance of one run: how fast the simulator itself chewed
 /// through the event stream. Purely diagnostic — wall-clock varies by
 /// machine, so it is excluded from serialization (`#[serde(skip)]` at the
@@ -319,6 +395,9 @@ pub struct RunReport {
     /// default perfect channel has nothing to account for).
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub transport: Option<TransportLedger>,
+    /// Fleet accounting of a sharded run (`None` for single-backend runs).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub shards: Option<ShardReport>,
     /// Host-side throughput of the run. Skipped in serialization: wall-clock
     /// is machine-dependent and must never enter determinism digests or
     /// golden files.

@@ -229,6 +229,28 @@ pub fn registry(seed: u64) -> Vec<Scenario> {
             )),
     );
 
+    // The shard axis: the same flash crowd served by a three-backend fleet
+    // under the global water-filling allocator (fleet budget = 3× the
+    // single-machine budget), healthy and with a partial failure.
+    let mut shard_fleet = base(seed, flash.clone());
+    if let ControllerSpec::QueryScheduler(sc) = &mut shard_fleet.controller {
+        sc.system_limit = qsched_dbms::Timerons::new(sc.system_limit.get() * 3.0);
+    }
+    let mut spec = crate::config::ShardSpec::new(3);
+    spec.allocation_interval = SimDuration::from_secs(60);
+    shard_fleet.shard = Some(spec);
+
+    let mut shard_crash = shard_fleet.clone();
+    shard_crash.resilience.checkpoint_interval = Some(SimDuration::from_secs(20));
+    shard_crash.faults = Some(
+        FaultPlan::new(seed ^ 0x5a2d)
+            .with_channel("controller.crash@shard1", FaultSpec::rate(1.0).limited(1))
+            .with_track(ChaosTrack::windows(
+                &["controller.crash@shard1"],
+                &[(SimDuration::from_secs(150), SimDuration::from_secs(210))],
+            )),
+    );
+
     let mut replay_faulted = trace_config(seed, source_trace.clone());
     replay_faulted.faults =
         Some(FaultPlan::new(seed ^ 0x4ef1).with_channel("release.drop", FaultSpec::rate(0.05)));
@@ -301,6 +323,16 @@ pub fn registry(seed: u64) -> Vec<Scenario> {
             name: "trace-replay-faulted",
             description: "trace replay under sustained 5 % release loss",
             config: replay_faulted,
+        },
+        Scenario {
+            name: "shard-fleet",
+            description: "flash crowd on a 3-backend fleet under global water-filling",
+            config: shard_fleet,
+        },
+        Scenario {
+            name: "shard-partial-crash",
+            description: "shard 1's controller crashes mid-flash-crowd; peers keep serving",
+            config: shard_crash,
         },
     ]
 }

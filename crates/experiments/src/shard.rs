@@ -1,0 +1,550 @@
+//! The sharded multi-backend control plane.
+//!
+//! A config carrying a [`ShardSpec`] runs *N* backend pools, each a full
+//! single-backend world (DBMS + clients + controller/Patroller pair) over a
+//! split of the client schedule, under a two-level control plane:
+//!
+//! * **Level 1 (per backend):** the configured controller divides its own
+//!   system cost limit across service classes, exactly as in the unsharded
+//!   path.
+//! * **Level 2 (global):** every `allocation_interval`, the orchestrator
+//!   polls each backend's offered load (executing + queued cost), runs the
+//!   [`GlobalAllocator`]'s marginal water-filling solve, and pushes changed
+//!   limits down as [`CtrlEvent::SetSystemLimit`] events.
+//!
+//! ## Epoch-barrier orchestration
+//!
+//! The per-backend engines are independent discrete-event simulations; the
+//! orchestrator advances each of them to the next allocation boundary with
+//! a segmented `run_until`, reads demands, solves, and schedules limit
+//! updates *at the barrier time* before advancing further. Segmented
+//! `run_until` calls deliver the identical event stream to one long call,
+//! so the barrier itself is invisible to a backend's digest; only actual
+//! limit changes perturb a shard. With one backend the allocator passes
+//! the whole budget through exactly and no update is ever scheduled, making
+//! the `shards = 1` topology bit-identical to the unsharded path (pinned by
+//! the shard swarm test).
+//!
+//! ## Partial failure
+//!
+//! Fault channels suffixed `@shardK` (e.g. `controller.crash@shard2`) are
+//! compiled into shard `K`'s child plan only, with the suffix stripped;
+//! bare channels replicate to every shard. Each crashed shard measures its
+//! own MTTR against its own crash-free reference twin, so one backend's
+//! recovery is scored without contaminating its healthy peers.
+//!
+//! [`ShardSpec`]: crate::config::ShardSpec
+//! [`GlobalAllocator`]: qsched_core::GlobalAllocator
+//! [`CtrlEvent::SetSystemLimit`]: qsched_core::CtrlEvent
+
+use crate::config::{ControllerSpec, ExperimentConfig, RoutingPolicy, ShardSpec};
+use crate::report::{PeriodCollector, ResilienceReport, ShardReport, ShardRow};
+use crate::world::{build_engine, finish_run, EngineSummary, ExpEvent, ExpWorld, RunOutput};
+use qsched_core::controller::CtrlEvent;
+use qsched_core::{BackendDemand, GlobalAllocator};
+use qsched_dbms::query::QueryKind;
+use qsched_dbms::Timerons;
+use qsched_sim::{ChaosTrack, Engine, FaultPlan, SimTime};
+use qsched_workload::Schedule;
+use std::collections::BTreeMap;
+
+/// Run a sharded experiment to completion: compile the topology, drive all
+/// backend engines under the epoch-barrier allocation loop, and merge the
+/// per-shard results into one fleet-level [`RunOutput`] whose
+/// `report.shards` carries the per-backend rows.
+pub fn run_sharded(cfg: &ExperimentConfig) -> RunOutput {
+    let wall_start = std::time::Instant::now();
+    cfg.validate();
+    let spec = cfg.shard.as_ref().expect("run_sharded needs a shard spec");
+    let n = spec.shards;
+    let budget = fleet_budget(&cfg.controller);
+    let children = compile_topology(cfg, spec);
+
+    let mut engines: Vec<Engine<ExpWorld>> = children.iter().map(build_engine).collect();
+    let horizon = SimTime::ZERO + cfg.schedule.total_duration();
+    let mut allocator = GlobalAllocator::new(spec.allocator);
+    // Track each backend's current limit so only *changed* limits become
+    // events (an unchanged limit must leave the shard's stream untouched).
+    let mut current: Vec<Timerons> = (0..n)
+        .map(|k| initial_limit(budget, k, n).unwrap_or(Timerons::new(0.0)))
+        .collect();
+    // Only the Query Scheduler adopts pushed limits; static controllers run
+    // on the even split compiled into their child configs.
+    let dynamic = budget.is_some() && matches!(cfg.controller, ControllerSpec::QueryScheduler(_));
+
+    let interval = spec.interval();
+    let mut demands: Vec<BackendDemand> = Vec::with_capacity(n);
+    let mut next: Vec<Timerons> = Vec::with_capacity(n);
+    let mut barrier = SimTime::ZERO + interval;
+    while barrier < horizon {
+        for e in &mut engines {
+            e.run_until(barrier);
+        }
+        if dynamic {
+            demands.clear();
+            for e in &engines {
+                let offered = e
+                    .world()
+                    .controller()
+                    .offered_load()
+                    .unwrap_or(Timerons::new(0.0));
+                demands.push(BackendDemand::offered(offered));
+            }
+            allocator.allocate(budget.expect("dynamic implies budget"), &demands, &mut next);
+            for (k, e) in engines.iter_mut().enumerate() {
+                let ev = CtrlEvent::set_system_limit(next[k]);
+                if ev != CtrlEvent::set_system_limit(current[k]) {
+                    e.schedule_at(barrier, ExpEvent::Ctrl(ev));
+                    current[k] = next[k];
+                }
+            }
+        }
+        barrier += interval;
+    }
+    for e in &mut engines {
+        e.run_until(horizon);
+    }
+
+    let mut outputs: Vec<RunOutput> = Vec::with_capacity(n);
+    let mut collectors: Vec<PeriodCollector> = Vec::with_capacity(n);
+    for (child, engine) in children.iter().zip(engines) {
+        let (out, coll) = finish_run(child, engine, wall_start);
+        outputs.push(out);
+        collectors.push(coll);
+    }
+
+    let rows: Vec<ShardRow> = children
+        .iter()
+        .enumerate()
+        .zip(&outputs)
+        .map(|((k, child), out)| shard_row(k, child, out, current[k]))
+        .collect();
+    let shards = ShardReport {
+        shards: n,
+        routing: spec.routing.name().to_string(),
+        allocation_interval_secs: interval.as_secs_f64(),
+        allocator: allocator.stats(),
+        rows,
+    };
+
+    if n == 1 {
+        // Degenerate fleet: the single shard's output IS the run — verbatim,
+        // digest included — plus the fleet accounting bolted on.
+        let mut out = outputs.pop().expect("one shard");
+        out.report.shards = Some(shards);
+        return out;
+    }
+    merge_outputs(cfg, outputs, collectors, shards, wall_start)
+}
+
+/// The fleet-wide cost budget declared by the controller spec, for
+/// controllers that have one.
+fn fleet_budget(c: &ControllerSpec) -> Option<Timerons> {
+    match c {
+        ControllerSpec::NoControl { system_limit }
+        | ControllerSpec::QpStatic { system_limit, .. } => Some(*system_limit),
+        ControllerSpec::QueryScheduler(sc) => Some(sc.system_limit),
+        _ => None,
+    }
+}
+
+/// Shard `k`'s share of the budget before the first global solve: the same
+/// unit-lattice even split the allocator warm-starts from, so the first
+/// solve under stable demand moves nothing. Exact passthrough for `n == 1`
+/// (`UNITS` is a power of two, so `units · total/UNITS` is exact).
+fn initial_limit(budget: Option<Timerons>, k: usize, n: usize) -> Option<Timerons> {
+    let total = budget?;
+    if n == 1 {
+        return Some(total);
+    }
+    let base = GlobalAllocator::UNITS / n as u32;
+    let extra = (GlobalAllocator::UNITS % n as u32) as usize;
+    let units = base + u32::from(k < extra);
+    Some(Timerons::new(
+        f64::from(units) * total.get() / f64::from(GlobalAllocator::UNITS),
+    ))
+}
+
+/// Rewrite a controller spec's system limit (no-op for controllers without
+/// one).
+fn with_limit(spec: &ControllerSpec, limit: Option<Timerons>) -> ControllerSpec {
+    let Some(limit) = limit else {
+        return spec.clone();
+    };
+    let mut out = spec.clone();
+    match &mut out {
+        ControllerSpec::NoControl { system_limit }
+        | ControllerSpec::QpStatic { system_limit, .. } => *system_limit = limit,
+        ControllerSpec::QueryScheduler(sc) => sc.system_limit = limit,
+        _ => {}
+    }
+    out
+}
+
+/// Compile the per-shard child configs: split the schedule by the routing
+/// policy, derive per-shard seeds (shard 0 keeps the parent's so the
+/// single-shard topology replays the unsharded run), split the fault plan
+/// by `@shardK` suffixes, and hand each child its initial budget share.
+pub(crate) fn compile_topology(cfg: &ExperimentConfig, spec: &ShardSpec) -> Vec<ExperimentConfig> {
+    let n = spec.shards;
+    let budget = fleet_budget(&cfg.controller);
+    let counts = split_counts(&cfg.schedule, spec.routing, n);
+    (0..n)
+        .map(|k| {
+            let mut child = cfg.clone();
+            child.shard = None;
+            child.seed = if k == 0 {
+                cfg.seed
+            } else {
+                derive_seed(cfg.seed, k)
+            };
+            child.schedule = Schedule::new(cfg.schedule.period_len(), counts[k].clone());
+            child.faults = cfg.faults.as_ref().and_then(|fp| split_faults(fp, k, n));
+            child.controller = with_limit(&cfg.controller, initial_limit(budget, k, n));
+            child
+        })
+        .collect()
+}
+
+/// splitmix64 over the shard index: independent per-shard client/generator
+/// streams without perturbing shard 0.
+fn derive_seed(seed: u64, k: usize) -> u64 {
+    let mut z = seed.wrapping_add((k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Split the schedule's `counts[period][class]` matrix across `n` shards.
+/// Every policy conserves the total per cell and keeps all class columns on
+/// every shard (zero-filled where a shard owns none of a class), so goals,
+/// class lists and importance flips stay uniform across children.
+fn split_counts(schedule: &Schedule, routing: RoutingPolicy, n: usize) -> Vec<Vec<Vec<u32>>> {
+    let periods = schedule.periods();
+    let classes = schedule.classes();
+    let mut out = vec![vec![vec![0u32; classes]; periods]; n];
+    match routing {
+        RoutingPolicy::Hash => {
+            for p in 0..periods {
+                for c in 0..classes {
+                    let count = schedule.count(p, c);
+                    let base = count / n as u32;
+                    let rem = (count % n as u32) as usize;
+                    for shard in out.iter_mut() {
+                        shard[p][c] = base;
+                    }
+                    // Spread the remainder round-robin, rotating the start
+                    // cell-by-cell so no shard systematically wins.
+                    for j in 0..rem {
+                        out[(p + c + j) % n][p][c] += 1;
+                    }
+                }
+            }
+        }
+        RoutingPolicy::ClassAffinity => {
+            for c in 0..classes {
+                let shard = &mut out[c % n];
+                for (p, row) in shard.iter_mut().enumerate() {
+                    row[c] = schedule.count(p, c);
+                }
+            }
+        }
+        RoutingPolicy::LeastLoaded => {
+            // Greedy bin-packing of whole class columns: heaviest column
+            // first onto the lightest shard (ties toward the lowest index).
+            let mut totals: Vec<(usize, u64)> = (0..classes)
+                .map(|c| {
+                    (
+                        c,
+                        (0..periods).map(|p| u64::from(schedule.count(p, c))).sum(),
+                    )
+                })
+                .collect();
+            totals.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            let mut load = vec![0u64; n];
+            for (c, total) in totals {
+                let k = (0..n).min_by_key(|&k| (load[k], k)).expect("n >= 1");
+                load[k] += total;
+                for (p, row) in out[k].iter_mut().enumerate() {
+                    row[c] = schedule.count(p, c);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Parse a `shardK` channel suffix.
+fn parse_shard_tag(tag: &str) -> Option<usize> {
+    tag.strip_prefix("shard")?.parse().ok()
+}
+
+/// Compile the parent fault plan for shard `k`: bare channels replicate to
+/// every shard; `name@shardJ` channels land on shard `J` only, suffix
+/// stripped. Shard 0 keeps the parent seed (single-shard bit identity);
+/// other shards draw independent schedules.
+///
+/// # Panics
+/// Panics on a malformed suffix (`@shard` must be followed by an index
+/// below the shard count) — a plan naming a nonexistent shard is a typo
+/// that would otherwise be silently inert.
+fn split_faults(fp: &FaultPlan, k: usize, n: usize) -> Option<FaultPlan> {
+    let place = |name: &str| -> Option<String> {
+        match name.split_once('@') {
+            Some((base, tag)) => {
+                let j = parse_shard_tag(tag).unwrap_or_else(|| {
+                    panic!("fault channel {name:?}: bad shard suffix (want e.g. \"@shard2\")")
+                });
+                assert!(
+                    j < n,
+                    "fault channel {name:?} names shard {j}, but the topology has {n}"
+                );
+                (j == k).then(|| base.to_string())
+            }
+            None => Some(name.to_string()),
+        }
+    };
+    let channels: BTreeMap<String, qsched_sim::FaultSpec> = fp
+        .channels
+        .iter()
+        .filter_map(|(name, spec)| place(name).map(|base| (base, *spec)))
+        .collect();
+    let tracks: Vec<ChaosTrack> = fp
+        .tracks
+        .iter()
+        .filter_map(|t| {
+            let chans: Vec<String> = t.channels.iter().filter_map(|c| place(c)).collect();
+            (!chans.is_empty()).then(|| ChaosTrack {
+                channels: chans,
+                shape: t.shape.clone(),
+            })
+        })
+        .collect();
+    if channels.is_empty() {
+        return None;
+    }
+    Some(FaultPlan {
+        seed: if k == 0 {
+            fp.seed
+        } else {
+            derive_seed(fp.seed, k)
+        },
+        channels,
+        tracks,
+    })
+}
+
+/// Fraction of post-warm-up `(period, class)` cells meeting their goal,
+/// under the silent-period convention (empty OLAP period = starved, empty
+/// OLTP period = no demand).
+pub fn slo_fraction(out: &RunOutput) -> f64 {
+    let classes = &out.report.classes;
+    let periods = out.report.periods.len();
+    let warmup = out.report.warmup_periods.min(periods);
+    let cells = ((periods - warmup) * classes.len()).max(1) as f64;
+    let mut met = 0usize;
+    for p in warmup..periods {
+        for c in classes {
+            let ok = match out.report.cell(p, c.id) {
+                Some(cp) => cp.meets(c),
+                None => c.kind == QueryKind::Oltp,
+            };
+            if ok {
+                met += 1;
+            }
+        }
+    }
+    met as f64 / cells
+}
+
+/// One fleet-report row for a finished shard.
+fn shard_row(k: usize, child: &ExperimentConfig, out: &RunOutput, limit: Timerons) -> ShardRow {
+    ShardRow {
+        shard: k,
+        seed: child.seed,
+        olap_completed: out.summary.olap_completed,
+        oltp_completed: out.summary.oltp_completed,
+        events: out.summary.events,
+        slo_attainment: slo_fraction(out),
+        final_limit: limit.get(),
+        crashes: out
+            .report
+            .resilience
+            .as_ref()
+            .map_or(0, |r| r.crashes.len()),
+        max_mttr_secs: out
+            .report
+            .resilience
+            .as_ref()
+            .and_then(|r| r.max_mttr_secs()),
+        recorder_digest: out.oracle.as_ref().map_or(0, |o| o.recorder_digest),
+    }
+}
+
+/// FNV-1a fold of the per-shard flight-recorder digests: one stable fleet
+/// digest for scoreboards (order-sensitive, so shard order matters — rows
+/// are always in shard order).
+fn fold_digests<'a>(digests: impl Iterator<Item = &'a u64>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for d in digests {
+        for b in d.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    h
+}
+
+/// Merge per-shard outputs into one fleet-level [`RunOutput`] (the `n > 1`
+/// path; a single shard passes through verbatim). Per-shard plan logs and
+/// transport ledgers are not merged — they describe one backend's control
+/// loop and live in the per-shard rows / child runs instead.
+fn merge_outputs(
+    cfg: &ExperimentConfig,
+    outputs: Vec<RunOutput>,
+    mut collectors: Vec<PeriodCollector>,
+    shards: ShardReport,
+    wall_start: std::time::Instant,
+) -> RunOutput {
+    let mut collector = collectors.remove(0);
+    for c in &collectors {
+        collector.merge(c);
+    }
+    let end = outputs
+        .iter()
+        .map(|o| o.report.finished_at)
+        .max()
+        .expect("at least one shard");
+    let mut report = collector.finish(
+        cfg.controller.name(),
+        cfg.classes.clone(),
+        end,
+        cfg.warmup_periods,
+    );
+
+    let mut degradation = qsched_dbms::DegradationStats::default();
+    for o in &outputs {
+        degradation.merge(&o.degradation);
+    }
+    report.degradation = degradation;
+    if let ControllerSpec::QueryScheduler(sc) = &cfg.controller {
+        report.solver = Some(sc.solver.name().to_string());
+    }
+
+    // Fleet resilience: concatenate the per-shard crash ledgers (each crash
+    // was judged against its own shard's crash-free reference twin).
+    let mut crashes = Vec::new();
+    let mut checkpoints = 0u64;
+    for o in &outputs {
+        if let Some(r) = &o.report.resilience {
+            checkpoints += r.checkpoints_taken;
+            crashes.extend(r.crashes.iter().cloned());
+        }
+    }
+    if !crashes.is_empty() {
+        crashes.sort_by_key(|c| c.at);
+        report.resilience = Some(ResilienceReport {
+            checkpoints_taken: checkpoints,
+            plan_epsilon_fraction: cfg.resilience.plan_epsilon_fraction,
+            crashes,
+        });
+    }
+
+    // Fleet oracle accounting: totals summed, digests FNV-folded in shard
+    // order. `invariants` is per-engine, identical across shards — keep one.
+    let oracle = outputs.iter().any(|o| o.oracle.is_some()).then(|| {
+        let mut stats = qsched_sim::oracle::OracleStats::default();
+        let mut violations = Vec::new();
+        let mut halted = false;
+        let mut events_recorded = 0u64;
+        let mut digests = Vec::new();
+        for o in &outputs {
+            if let Some(r) = &o.oracle {
+                stats.invariants = stats.invariants.max(r.stats.invariants);
+                stats.events_observed += r.stats.events_observed;
+                stats.checks_run += r.stats.checks_run;
+                stats.violations += r.stats.violations;
+                violations.extend(r.violations.iter().cloned());
+                halted |= r.halted;
+                events_recorded += r.events_recorded;
+                digests.push(r.recorder_digest);
+            }
+        }
+        crate::oracle::OracleReport {
+            stats,
+            violations,
+            halted,
+            recorder_digest: fold_digests(digests.iter()),
+            events_recorded,
+        }
+    });
+    report.oracle = oracle.as_ref().map(|r| r.stats);
+
+    let olap_completed: u64 = outputs.iter().map(|o| o.summary.olap_completed).sum();
+    let oltp_completed: u64 = outputs.iter().map(|o| o.summary.oltp_completed).sum();
+    let events: u64 = outputs.iter().map(|o| o.summary.events).sum();
+    let hours = outputs
+        .iter()
+        .map(|o| o.summary.hours)
+        .fold(0.0f64, f64::max);
+    let summary = EngineSummary {
+        olap_completed,
+        oltp_completed,
+        olap_per_hour: if hours > 0.0 {
+            olap_completed as f64 / hours
+        } else {
+            0.0
+        },
+        // Fleet-resident totals: each backend is its own machine, so the
+        // fleet's mean MPL / admitted cost is the sum of the per-backend
+        // time-weighted means.
+        mean_mpl: outputs.iter().map(|o| o.summary.mean_mpl).sum(),
+        mean_admitted_cost: outputs.iter().map(|o| o.summary.mean_admitted_cost).sum(),
+        hours,
+        events,
+    };
+
+    let wall_secs = wall_start.elapsed().as_secs_f64();
+    let perf = crate::report::PerfStats {
+        wall_secs,
+        events,
+        events_per_sec: if wall_secs > 0.0 {
+            events as f64 / wall_secs
+        } else {
+            0.0
+        },
+        peak_cpu_jobs: outputs
+            .iter()
+            .map(|o| o.perf.peak_cpu_jobs)
+            .max()
+            .unwrap_or(0),
+        peak_disk_queue: outputs
+            .iter()
+            .map(|o| o.perf.peak_disk_queue)
+            .max()
+            .unwrap_or(0),
+    };
+    report.perf = Some(perf);
+    report.transport = None;
+    report.shards = Some(shards);
+
+    let mut fault_counts = BTreeMap::new();
+    let mut records = Vec::new();
+    for (k, o) in outputs.into_iter().enumerate() {
+        for (name, count) in o.fault_counts {
+            fault_counts.insert(format!("{name}@shard{k}"), count);
+        }
+        records.extend(o.records);
+    }
+
+    RunOutput {
+        report,
+        plan_log: None,
+        summary,
+        records,
+        degradation,
+        fault_counts,
+        oracle,
+        perf,
+    }
+}

@@ -90,6 +90,11 @@ pub struct ExpWorld {
     /// Plan-log indices occupied by restart entries (the plan-step
     /// invariant must not bound movement *into* a restored plan).
     restart_log_marks: Vec<usize>,
+    /// Budget re-assignments from the global allocator, as `(plan-log
+    /// index, new system limit)` — from that plan entry on, the plan-step
+    /// invariant checks totals against the new budget. Empty in unsharded
+    /// runs.
+    limit_marks: Vec<(usize, f64)>,
     /// Completed notices routed through `process_notices`. The transport
     /// oracle cross-checks this against the engine's completion counters:
     /// double-routing a completion (the feedback-direction twin of a double
@@ -125,6 +130,13 @@ impl ExpWorld {
     /// be several replans old).
     pub fn restart_log_marks(&self) -> &[usize] {
         &self.restart_log_marks
+    }
+
+    /// Allocator budget moves as `(plan-log index, new system limit)`, in
+    /// arrival order. The plan-step invariant's budget/floor checks track
+    /// these instead of assuming the configured limit is forever.
+    pub fn limit_marks(&self) -> &[(usize, f64)] {
+        &self.limit_marks
     }
 
     /// Completed notices routed so far (transport-oracle surface).
@@ -259,6 +271,25 @@ impl World for ExpWorld {
                     );
                 }
             }
+            ExpEvent::Db(DbmsEvent::TransportDeliverBatch(batch)) => {
+                // A batched wire message arrives: every carried envelope
+                // passes the receiver's books individually, and one ack
+                // covering the whole batch travels back (one message out,
+                // one message back — the point of batching). The reverse
+                // channel misbehaves per *message*, so drop/delay apply once
+                // to the whole ack.
+                if self.dbms.deliver_release_batch(ctx, batch)
+                    && !ctx.should_inject("transport.drop")
+                {
+                    let delay = if ctx.should_inject("transport.delay") {
+                        ctx.fault_delay("transport.delay")
+                            .unwrap_or_else(|| SimDuration::from_secs(2))
+                    } else {
+                        SimDuration::ZERO
+                    };
+                    ctx.schedule_in(delay, ExpEvent::Ctrl(CtrlEvent::ReleaseBatchAcked(batch)));
+                }
+            }
             ExpEvent::Db(de) => {
                 self.dbms.handle(ctx, de, &mut self.notices);
             }
@@ -320,6 +351,19 @@ impl World for ExpWorld {
                         .unwrap_or_else(|| qsched_sim::SimDuration::from_secs(5));
                     ctx.schedule_in(delay, ExpEvent::Ctrl(ce));
                 } else {
+                    if let CtrlEvent::SetSystemLimit { millitimerons } = ce {
+                        // The allocator re-divided the fleet budget: the
+                        // next recorded plan is a re-projection onto a new
+                        // simplex and may legally jump, and from that entry
+                        // on plan totals sum to the new limit. Mark both for
+                        // the plan-step invariant before delivery.
+                        if let Some(log) = self.controller.plan_log() {
+                            let mark = log.all().first().map_or(0, |(_, s)| s.len());
+                            self.restart_log_marks.push(mark);
+                            self.limit_marks
+                                .push((mark, CtrlEvent::decoded_limit(millitimerons).get()));
+                        }
+                    }
                     self.controller
                         .on_event(ctx, &mut self.dbms, ce, &mut self.notices);
                 }
@@ -675,9 +719,29 @@ fn event_capacity_hint(cfg: &ExperimentConfig) -> usize {
     (peak_clients as usize) * 4 + 256
 }
 
-/// Run one experiment to completion and aggregate its results.
+/// Run one experiment to completion and aggregate its results. A config
+/// with a [`ShardSpec`](crate::config::ShardSpec) is dispatched to the
+/// sharded orchestrator, which drives one of these worlds per backend pool
+/// under a global allocation barrier.
 pub fn run_experiment(cfg: &ExperimentConfig) -> RunOutput {
+    if cfg.shard.is_some() {
+        return crate::shard::run_sharded(cfg);
+    }
     let wall_start = std::time::Instant::now();
+    let mut engine = build_engine(cfg);
+    let horizon = SimTime::ZERO + cfg.schedule.total_duration();
+    engine.run_until(horizon);
+    finish_run(cfg, engine, wall_start).0
+}
+
+/// Construct a ready-to-run engine for one experiment: world built, engine
+/// queue and DBMS arenas pre-sized from the schedule's peak population,
+/// fault plan installed, oracle armed, kickoff scheduled — no events
+/// delivered yet. `run_experiment` drives exactly one of these to the
+/// horizon; the sharded orchestrator interleaves several under its
+/// epoch-barrier loop (segmented `run_until` calls deliver the same event
+/// stream as one call, so the orchestration itself is digest-invisible).
+pub(crate) fn build_engine(cfg: &ExperimentConfig) -> Engine<ExpWorld> {
     cfg.validate();
     let hub = RngHub::new(cfg.seed);
     let load = match &cfg.trace {
@@ -704,11 +768,21 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> RunOutput {
             ))
         }
     };
-    let dbms = Dbms::new(cfg.dbms.clone(), intercept_policy_for(cfg), SimTime::ZERO);
+    // Pre-size the in-flight arena from the schedule's peak population
+    // (each closed-loop client holds at most one query in flight), so
+    // 100k+-client scaling sweeps measure the simulation, not rehash churn.
+    let peak_clients: u64 = (0..cfg.schedule.classes())
+        .map(|i| u64::from(cfg.schedule.max_count(i)))
+        .sum();
+    let dbms = Dbms::with_capacity(
+        cfg.dbms.clone(),
+        intercept_policy_for(cfg),
+        SimTime::ZERO,
+        peak_clients as usize,
+    );
     let controller = build_controller(cfg, &hub);
     let collector = PeriodCollector::new(cfg.schedule.period_len(), cfg.schedule.periods());
 
-    let horizon = SimTime::ZERO + cfg.schedule.total_duration();
     let capacity = event_capacity_hint(cfg);
     let mut engine = Engine::with_capacity(
         ExpWorld {
@@ -725,6 +799,7 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> RunOutput {
             checkpoints_taken: 0,
             crashes: Vec::new(),
             restart_log_marks: Vec::new(),
+            limit_marks: Vec::new(),
             completions_routed: 0,
             flips: cfg.flips.clone(),
         },
@@ -743,8 +818,18 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> RunOutput {
         engine.install_oracle(oracle);
     }
     engine.schedule_at(SimTime::ZERO, ExpEvent::Kickoff);
-    engine.run_until(horizon);
+    engine
+}
 
+/// Drain a finished engine into a [`RunOutput`] (summary, report,
+/// resilience/transport ledgers, replay artifacts on violation) plus a
+/// clone of the period collector, so the sharded orchestrator can fold
+/// per-backend aggregates into one fleet report.
+pub(crate) fn finish_run(
+    cfg: &ExperimentConfig,
+    mut engine: Engine<ExpWorld>,
+    wall_start: std::time::Instant,
+) -> (RunOutput, PeriodCollector) {
     #[cfg(feature = "oracle")]
     engine.oracle_final_check();
     #[cfg(feature = "oracle")]
@@ -897,14 +982,18 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> RunOutput {
         }
     }
 
-    RunOutput {
-        report,
-        plan_log: world.controller.plan_log().cloned(),
-        summary,
-        records: world.records,
-        degradation,
-        fault_counts,
-        oracle: oracle_report,
-        perf,
-    }
+    let collector = world.collector.clone();
+    (
+        RunOutput {
+            report,
+            plan_log: world.controller.plan_log().cloned(),
+            summary,
+            records: world.records,
+            degradation,
+            fault_counts,
+            oracle: oracle_report,
+            perf,
+        },
+        collector,
+    )
 }

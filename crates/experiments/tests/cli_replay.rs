@@ -43,6 +43,7 @@ fn violating_config(dir: &str) -> ExperimentConfig {
         },
         resilience: Default::default(),
         flips: Vec::new(),
+        shard: None,
     };
     cfg.resilience.measure_mttr = false;
     cfg

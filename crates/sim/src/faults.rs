@@ -224,7 +224,12 @@ impl FaultPlan {
         }
         let mut warnings = Vec::new();
         for name in self.channels.keys() {
-            if !polled.contains(&name.as_str()) {
+            // A channel may be a per-instance copy of a polled base channel
+            // ("controller.crash@shard3"): the part before '@' is what a
+            // component polls, the suffix names which instance the plan
+            // targets (the sharded topology compiler splits on it).
+            let base = name.split('@').next().unwrap_or(name.as_str());
+            if !polled.contains(&base) {
                 warnings.push(format!(
                     "fault channel {name:?} is not polled by any component and will never fire"
                 ));
@@ -703,5 +708,21 @@ mod tests {
         assert!(warnings.iter().any(|w| w.contains("solver.fail")));
         let clean = FaultPlan::new(1).channel("release.drop", 0.1);
         assert!(clean.validate(&polled).expect("valid").is_empty());
+    }
+
+    #[test]
+    fn validate_accepts_per_instance_channel_suffixes() {
+        let polled = ["controller.crash", "release.drop"];
+        // Per-shard instances of a polled base channel are legitimate: the
+        // topology compiler strips the suffix when handing the channel to
+        // the owning shard's engine.
+        let scoped = FaultPlan::new(1)
+            .channel("controller.crash@shard3", 1.0)
+            .channel("release.drop@shard0", 0.1);
+        assert!(scoped.validate(&polled).expect("valid").is_empty());
+        // A typo in the base name still warns, suffix or not.
+        let typo = FaultPlan::new(1).channel("controler.crash@shard3", 1.0);
+        let warnings = typo.validate(&polled).expect("well-formed");
+        assert_eq!(warnings.len(), 1, "warnings: {warnings:?}");
     }
 }

@@ -109,6 +109,7 @@ fn main() {
         oracle: Default::default(),
         resilience: Default::default(),
         flips: Vec::new(),
+        shard: None,
     };
     let out = run_experiment(&cfg);
     println!(

@@ -41,6 +41,7 @@ fn main() {
         oracle: Default::default(),
         resilience: Default::default(),
         flips: Vec::new(),
+        shard: None,
     };
     let out = run_experiment(&cfg);
     let stats = per_template_stats(&out.records);

@@ -56,6 +56,7 @@ fn chaos_config(seed: u64) -> ExperimentConfig {
         oracle: Default::default(),
         resilience: Default::default(),
         flips: Vec::new(),
+        shard: None,
     };
     cfg.resilience.checkpoint_interval = Some(SimDuration::from_secs(20));
     cfg

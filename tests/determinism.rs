@@ -31,6 +31,7 @@ fn config(seed: u64, controller: ControllerSpec) -> ExperimentConfig {
         oracle: Default::default(),
         resilience: Default::default(),
         flips: Vec::new(),
+        shard: None,
     }
 }
 

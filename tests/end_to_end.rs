@@ -28,6 +28,7 @@ fn tiny_config(seed: u64, controller: ControllerSpec) -> ExperimentConfig {
         oracle: Default::default(),
         resilience: Default::default(),
         flips: Vec::new(),
+        shard: None,
     }
 }
 

@@ -329,6 +329,7 @@ fn qs_config(seed: u64) -> ExperimentConfig {
         oracle: Default::default(),
         resilience: Default::default(),
         flips: Vec::new(),
+        shard: None,
     }
 }
 

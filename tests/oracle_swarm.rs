@@ -50,6 +50,7 @@ fn swarm_config(seed: u64) -> ExperimentConfig {
         oracle: Default::default(),
         resilience: Default::default(),
         flips: Vec::new(),
+        shard: None,
     }
 }
 

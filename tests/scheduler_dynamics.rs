@@ -26,6 +26,7 @@ fn cfg(seed: u64, controller: ControllerSpec, schedule: Schedule) -> ExperimentC
         oracle: Default::default(),
         resilience: Default::default(),
         flips: Vec::new(),
+        shard: None,
     }
 }
 

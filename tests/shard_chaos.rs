@@ -1,0 +1,138 @@
+//! Partial-failure chaos for the sharded control plane: one backend's
+//! controller crashes mid-flash-crowd while its peers keep serving.
+//!
+//! Claims proven here:
+//!
+//! 1. **Failure stays partial** — a `controller.crash@shard1` channel
+//!    crashes exactly one backend's controller; the other shards record no
+//!    crash and their SLO attainment is unaffected (compared cell-for-cell
+//!    against the same fleet run without the fault).
+//! 2. **The crashed shard recovers** — its recovery is judged against its
+//!    own crash-free reference twin and reports a finite per-shard MTTR.
+//! 3. **The oracle stays green fleet-wide** — every shard runs the full
+//!    invariant set with panic-on-violation through crash, restart and
+//!    re-allocation.
+
+use query_scheduler::core::class::ServiceClass;
+use query_scheduler::core::scheduler::SchedulerConfig;
+use query_scheduler::dbms::Timerons;
+use query_scheduler::experiments::config::{ControllerSpec, ExperimentConfig, ShardSpec};
+use query_scheduler::experiments::world::run_experiment;
+use query_scheduler::sim::{ChaosTrack, FaultPlan, FaultSpec, SimDuration};
+use query_scheduler::workload::Schedule;
+
+/// A three-backend fleet under a flash crowd: period 2 (90–180 s) triples
+/// the OLTP population. The fleet budget is 3× the single-machine paper
+/// budget; checkpoints every 20 s bound the crash's data loss.
+fn fleet_config(seed: u64) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig {
+        seed,
+        dbms: Default::default(),
+        schedule: Schedule::new(
+            SimDuration::from_secs(90),
+            vec![vec![3, 3, 15], vec![3, 3, 45], vec![3, 3, 20]],
+        ),
+        classes: ServiceClass::paper_classes(),
+        controller: ControllerSpec::QueryScheduler(SchedulerConfig {
+            control_interval: SimDuration::from_secs(30),
+            system_limit: Timerons::new(90_000.0),
+            ..SchedulerConfig::default()
+        }),
+        warmup_periods: 0,
+        record_sample: None,
+        behaviors: None,
+        trace: None,
+        faults: None,
+        oracle: Default::default(),
+        resilience: Default::default(),
+        flips: Vec::new(),
+        shard: None,
+    };
+    let mut spec = ShardSpec::new(3);
+    spec.allocation_interval = SimDuration::from_secs(60);
+    cfg.shard = Some(spec);
+    cfg.oracle.panic_on_violation = true;
+    cfg.resilience.checkpoint_interval = Some(SimDuration::from_secs(20));
+    cfg
+}
+
+/// Crash shard 1's controller at the first controller event inside the
+/// flash-crowd window (rate 1, capped at one firing, window-gated — fully
+/// deterministic).
+fn crash_shard1_plan(seed: u64) -> FaultPlan {
+    FaultPlan::new(0x5AD ^ seed)
+        .with_channel("controller.crash@shard1", FaultSpec::rate(1.0).limited(1))
+        .with_track(ChaosTrack::windows(
+            &["controller.crash@shard1"],
+            &[(SimDuration::from_secs(100), SimDuration::from_secs(120))],
+        ))
+}
+
+#[test]
+fn one_shard_crash_mid_flash_crowd_stays_partial_and_recovers() {
+    let seed = 1234;
+    let healthy = run_experiment(&fleet_config(seed));
+    let mut crashed_cfg = fleet_config(seed);
+    crashed_cfg.faults = Some(crash_shard1_plan(seed));
+    let crashed = run_experiment(&crashed_cfg);
+
+    // Fleet-wide oracle stays green (panic_on_violation would have aborted
+    // already; the explicit check guards against silent disablement).
+    let oracle = crashed.oracle.as_ref().expect("oracle enabled");
+    assert_eq!(oracle.stats.violations, 0, "fleet oracle must stay green");
+    assert!(oracle.stats.checks_run > 0, "fleet oracle must have run");
+
+    let fleet = crashed.report.shards.as_ref().expect("fleet report");
+    let healthy_fleet = healthy.report.shards.as_ref().expect("fleet report");
+    assert_eq!(fleet.rows.len(), 3);
+
+    // The crash stayed on shard 1…
+    assert_eq!(fleet.rows[1].crashes, 1, "shard 1 crashed exactly once");
+    for k in [0usize, 2] {
+        assert_eq!(
+            fleet.rows[k].crashes, 0,
+            "shard {k} must not see shard 1's crash"
+        );
+    }
+    // …and the fault ledger names the shard explicitly.
+    assert_eq!(
+        crashed.fault_counts.get("controller.crash@shard1"),
+        Some(&1),
+        "fault counts carry per-shard channel names: {:?}",
+        crashed.fault_counts
+    );
+
+    // The crashed shard reconverged: finite per-shard MTTR against its own
+    // crash-free reference twin.
+    let mttr = fleet.rows[1]
+        .max_mttr_secs
+        .expect("crashed shard reports a finite MTTR");
+    assert!(
+        mttr.is_finite() && mttr > 0.0,
+        "MTTR must be a positive finite duration, got {mttr}"
+    );
+
+    // Surviving shards keep their SLOs: attainment matches the crash-free
+    // fleet run on the same seed (the global allocator may shuffle budget
+    // in response to the crash, so allow at most one (period, class) cell
+    // of drift out of the nine each shard scores).
+    let one_cell = 1.0 / 9.0 + 1e-9;
+    for k in [0usize, 2] {
+        assert!(
+            fleet.rows[k].slo_attainment >= healthy_fleet.rows[k].slo_attainment - one_cell,
+            "shard {k}: SLO attainment {:.3} dropped more than one cell below the \
+             crash-free fleet's {:.3}",
+            fleet.rows[k].slo_attainment,
+            healthy_fleet.rows[k].slo_attainment
+        );
+    }
+
+    // The merged resilience ledger carries shard 1's crash.
+    let res = crashed
+        .report
+        .resilience
+        .as_ref()
+        .expect("resilience report");
+    assert_eq!(res.crashes.len(), 1);
+    assert!(res.all_reconverged(), "the fleet's only crash reconverged");
+}

@@ -1,0 +1,228 @@
+//! The shard swarm: the sharded control plane's identity and conservation
+//! bars.
+//!
+//! Claims proven here:
+//!
+//! 1. **Single-shard bit identity** — a `shards = 1` topology produces a
+//!    flight-recorder digest identical to the unsharded path across 16
+//!    seeds: the epoch-barrier orchestration, the pass-through allocator
+//!    and the fleet accounting are all invisible to the event stream.
+//! 2. **Sharded runs are deterministic** — an N = 4 hash-routed fleet
+//!    replays to the identical folded digest and identical per-shard rows.
+//! 3. **Routing conserves the workload** — every policy splits each
+//!    schedule cell without losing or inventing clients, and per-shard
+//!    completions sum to the fleet summary.
+//! 4. **Batched dispatch changes no results** — `max_batch > 1` over the
+//!    sim transport completes the same queries per class as the unbatched
+//!    wire on every shard.
+
+use query_scheduler::core::class::ServiceClass;
+use query_scheduler::core::scheduler::SchedulerConfig;
+use query_scheduler::core::transport::{TransportConfig, TransportMode};
+use query_scheduler::experiments::config::{
+    ControllerSpec, ExperimentConfig, RoutingPolicy, ShardSpec,
+};
+use query_scheduler::experiments::world::{run_experiment, RunOutput};
+use query_scheduler::sim::SimDuration;
+use query_scheduler::workload::Schedule;
+
+/// Three classes over three 90 s periods of shifting load under the Query
+/// Scheduler — small enough that a 16-seed swarm stays fast, busy enough
+/// that plans actually move.
+fn base_config(seed: u64) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig {
+        seed,
+        dbms: Default::default(),
+        schedule: Schedule::new(
+            SimDuration::from_secs(90),
+            vec![vec![3, 3, 15], vec![2, 5, 25], vec![5, 2, 20]],
+        ),
+        classes: ServiceClass::paper_classes(),
+        controller: ControllerSpec::QueryScheduler(SchedulerConfig {
+            control_interval: SimDuration::from_secs(30),
+            ..SchedulerConfig::default()
+        }),
+        warmup_periods: 0,
+        record_sample: None,
+        behaviors: None,
+        trace: None,
+        faults: None,
+        oracle: Default::default(),
+        resilience: Default::default(),
+        flips: Vec::new(),
+        shard: None,
+    };
+    cfg.oracle.panic_on_violation = true;
+    cfg.resilience.measure_mttr = false;
+    cfg
+}
+
+fn digest(out: &RunOutput) -> u64 {
+    out.oracle
+        .as_ref()
+        .expect("oracle enabled in swarm configs")
+        .recorder_digest
+}
+
+#[test]
+fn single_shard_topology_is_bit_identical_to_the_unsharded_path() {
+    for seed in 0..16u64 {
+        let plain = run_experiment(&base_config(seed));
+
+        let mut sharded_cfg = base_config(seed);
+        let mut spec = ShardSpec::new(1);
+        // A barrier cadence deliberately misaligned with the control
+        // interval, so segmented run_until is exercised mid-plan.
+        spec.allocation_interval = SimDuration::from_secs(45);
+        sharded_cfg.shard = Some(spec);
+        let sharded = run_experiment(&sharded_cfg);
+
+        assert_eq!(
+            digest(&plain),
+            digest(&sharded),
+            "seed {seed}: single-shard digest diverged from the unsharded run"
+        );
+        assert_eq!(
+            plain.summary.events, sharded.summary.events,
+            "seed {seed}: event counts diverged"
+        );
+        assert_eq!(
+            (plain.summary.olap_completed, plain.summary.oltp_completed),
+            (
+                sharded.summary.olap_completed,
+                sharded.summary.oltp_completed
+            ),
+            "seed {seed}: completions diverged"
+        );
+        let fleet = sharded
+            .report
+            .shards
+            .expect("sharded run reports its fleet");
+        assert_eq!(fleet.shards, 1);
+        assert_eq!(fleet.rows.len(), 1);
+        assert_eq!(fleet.rows[0].recorder_digest, digest(&plain));
+        assert_eq!(
+            fleet.allocator.solves, fleet.allocator.no_op_solves,
+            "a single backend must make every solve a pass-through no-op"
+        );
+    }
+}
+
+#[test]
+fn sharded_runs_are_deterministic_and_conserve_completions() {
+    let mut cfg = base_config(42);
+    let mut spec = ShardSpec::new(4);
+    spec.allocation_interval = SimDuration::from_secs(60);
+    // One fleet budget across four backends.
+    if let ControllerSpec::QueryScheduler(sc) = &mut cfg.controller {
+        sc.system_limit = query_scheduler::dbms::Timerons::new(sc.system_limit.get() * 4.0);
+    }
+    cfg.shard = Some(spec);
+
+    let a = run_experiment(&cfg);
+    let b = run_experiment(&cfg);
+    assert_eq!(
+        digest(&a),
+        digest(&b),
+        "sharded replay must be bit-identical"
+    );
+
+    let fleet = a.report.shards.as_ref().expect("fleet report");
+    assert_eq!(fleet.rows.len(), 4);
+    let (mut olap, mut oltp, mut events) = (0u64, 0u64, 0u64);
+    for (row_a, row_b) in fleet
+        .rows
+        .iter()
+        .zip(b.report.shards.as_ref().expect("fleet report").rows.iter())
+    {
+        assert_eq!(row_a, row_b, "per-shard rows must replay identically");
+        olap += row_a.olap_completed;
+        oltp += row_a.oltp_completed;
+        events += row_a.events;
+        assert!(
+            row_a.final_limit > 0.0,
+            "every backend keeps a budget share"
+        );
+    }
+    assert_eq!(
+        olap, a.summary.olap_completed,
+        "fleet OLAP total is the row sum"
+    );
+    assert_eq!(
+        oltp, a.summary.oltp_completed,
+        "fleet OLTP total is the row sum"
+    );
+    assert_eq!(events, a.summary.events, "fleet event total is the row sum");
+    assert!(
+        fleet.allocator.solves > 0,
+        "the global allocator must have run at the barriers"
+    );
+    // Distinct seeds per shard: shard 0 keeps the parent's.
+    assert_eq!(fleet.rows[0].seed, 42);
+    let seeds: std::collections::HashSet<u64> = fleet.rows.iter().map(|r| r.seed).collect();
+    assert_eq!(seeds.len(), 4, "per-shard seeds must be distinct");
+}
+
+#[test]
+fn every_routing_policy_conserves_the_schedule() {
+    for routing in [
+        RoutingPolicy::Hash,
+        RoutingPolicy::LeastLoaded,
+        RoutingPolicy::ClassAffinity,
+    ] {
+        let mut cfg = base_config(7);
+        let mut spec = ShardSpec::new(3);
+        spec.routing = routing;
+        spec.allocation_interval = SimDuration::from_secs(60);
+        cfg.shard = Some(spec);
+        let out = run_experiment(&cfg);
+        let fleet = out.report.shards.expect("fleet report");
+        assert_eq!(fleet.routing, routing.name());
+        // Whatever the split, the fleet as a whole served the workload the
+        // parent schedule describes: the peak population bounds hold.
+        let total: u64 = fleet
+            .rows
+            .iter()
+            .map(|r| r.olap_completed + r.oltp_completed)
+            .sum();
+        assert!(total > 0, "{}: the fleet completed work", routing.name());
+        assert_eq!(
+            total,
+            out.summary.olap_completed + out.summary.oltp_completed,
+            "{}: merged summary matches the row sum",
+            routing.name()
+        );
+    }
+}
+
+#[test]
+fn batched_dispatch_completes_the_same_work() {
+    let run_with_batch = |max_batch: u8| {
+        let mut cfg = base_config(11);
+        if let ControllerSpec::QueryScheduler(sc) = &mut cfg.controller {
+            sc.transport = TransportConfig {
+                mode: TransportMode::Sim,
+                max_batch,
+                ..TransportConfig::default()
+            };
+        }
+        run_experiment(&cfg)
+    };
+    let unbatched = run_with_batch(1);
+    let batched = run_with_batch(8);
+    assert_eq!(
+        (
+            unbatched.summary.olap_completed,
+            unbatched.summary.oltp_completed
+        ),
+        (
+            batched.summary.olap_completed,
+            batched.summary.oltp_completed
+        ),
+        "batching the wire must not change what completes"
+    );
+    assert!(
+        batched.oracle.expect("oracle on").stats.violations == 0,
+        "batched dispatch keeps the oracle green"
+    );
+}

@@ -54,6 +54,7 @@ fn swarm_config(seed: u64, mode: TransportMode) -> ExperimentConfig {
         oracle: Default::default(),
         resilience: Default::default(),
         flips: Vec::new(),
+        shard: None,
     }
 }
 
