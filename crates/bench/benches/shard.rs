@@ -1,16 +1,24 @@
 //! Shard control-plane scaling sweep: weak scaling of the two-level fleet
 //! (per-backend population held constant, backends 1 → 32, 31k → 1M
-//! simulated clients) plus the global water-filling decision latency at
-//! each fleet width.
+//! simulated clients), the serial-vs-parallel wall-clock of the epoch
+//! pool, and the global water-filling decision latency at each fleet
+//! width.
 //!
 //! Not a criterion bench: a plain harness that emits a machine-readable
 //! `BENCH_shard.json` at the repo root so the fleet's perf trajectory is
-//! tracked from commit to commit. Two claims are measured:
+//! tracked from commit to commit. Three claims are measured:
 //!
 //! 1. **Throughput scales with the fleet** — each backend is its own
 //!    simulated DBMS, so aggregate completions and delivered events grow
 //!    ~linearly with the backend count under weak scaling.
-//! 2. **The global decision stays flat** — one marginal water-filling
+//! 2. **The epoch pool is free determinism-wise and pays off wall-clock
+//!    wise** — every width is run twice, serial and on the worker pool,
+//!    and the merged results must be identical; on a multi-core host the
+//!    parallel run should approach `min(threads, cores)`× at wide fleets.
+//!    The speedup column is always recorded, but only *asserted* when the
+//!    host actually has ≥ 4 cores (`host_cores` is in the JSON so a reader
+//!    can judge a 1-core CI number honestly).
+//! 3. **The global decision stays flat** — one marginal water-filling
 //!    solve over N backends is microseconds even at N = 32, so the global
 //!    layer never becomes the bottleneck (the paper's per-backend solver
 //!    budget is ~seconds; the fleet layer must be negligible next to it).
@@ -19,9 +27,15 @@
 //! - `QSCHED_BENCH_SCALE=tiny` — CI smoke scale (3 fleet widths, 500
 //!   clients per backend) instead of the full 1→32, 31 250-per-backend
 //!   sweep.
+//! - `QSCHED_BENCH_THREADS=N` — worker threads for the parallel column
+//!   (default: the host's available parallelism, capped at 8, floored at
+//!   2 so the pool machinery is exercised even on a 1-core host).
 //! - `QSCHED_BENCH_ASSERT=1` — fail unless the mean global solve at the
-//!   widest fleet stays ≤ 100 µs and completions scale to at least half
-//!   the ideal linear speedup.
+//!   widest fleet stays ≤ 100 µs, completions scale to at least half the
+//!   ideal linear speedup, and (on hosts with ≥ 4 cores, full scale) the
+//!   pool delivers ≥ 2× at the widest fleet. Serial/parallel equality is
+//!   asserted unconditionally — it is a correctness property, not a perf
+//!   target.
 
 use qsched_core::class::ServiceClass;
 use qsched_core::scheduler::SchedulerConfig;
@@ -50,7 +64,7 @@ fn unit(state: &mut u64) -> f64 {
 /// fleet budget = N × the paper's single-machine budget. The oracle and
 /// the MTTR reference twin are off — this measures the control plane, not
 /// the instrumentation.
-fn fleet_config(shards: usize, per_backend: u32, horizon: u64) -> ExperimentConfig {
+fn fleet_config(shards: usize, per_backend: u32, horizon: u64, threads: usize) -> ExperimentConfig {
     let oltp = per_backend.saturating_sub(5).max(1) * shards as u32;
     let mut cfg = ExperimentConfig::paper(
         0xF1EE7 + shards as u64,
@@ -69,15 +83,16 @@ fn fleet_config(shards: usize, per_backend: u32, horizon: u64) -> ExperimentConf
     cfg.resilience.measure_mttr = false;
     let mut spec = ShardSpec::new(shards);
     spec.allocation_interval = SimDuration::from_secs(120);
+    spec.worker_threads = threads;
     cfg.shard = Some(spec);
     cfg
 }
 
 /// Nanoseconds per global water-filling solve over `n` backends, with
 /// demand drift every iteration so the lattice genuinely moves (a warm
-/// no-op solve would flatter the number). Returns (mean, p99, max).
-fn solve_latency(n: usize, iters: usize) -> (f64, f64, f64) {
-    let mut alloc = GlobalAllocator::new(AllocatorConfig::default());
+/// no-op solve would flatter the number). Returns (mean, p99, p999, max).
+fn solve_latency(n: usize, iters: usize) -> (f64, f64, f64, f64) {
+    let mut alloc = GlobalAllocator::with_backends(AllocatorConfig::default(), n);
     let total = Timerons::new(30_000.0 * n as f64);
     let mut rng = 0xD15C0 + n as u64;
     let mut demands: Vec<BackendDemand> = (0..n)
@@ -97,14 +112,18 @@ fn solve_latency(n: usize, iters: usize) -> (f64, f64, f64) {
     samples.sort_by(f64::total_cmp);
     let mean = samples.iter().sum::<f64>() / samples.len() as f64;
     let p99 = samples[(samples.len() * 99 / 100).min(samples.len() - 1)];
+    let p999 = samples[(samples.len() * 999 / 1000).min(samples.len() - 1)];
     let max = *samples.last().expect("non-empty samples");
-    (mean, p99, max)
+    (mean, p99, p999, max)
 }
 
 struct Row {
     shards: usize,
     clients: u64,
-    wall_secs: f64,
+    threads: usize,
+    wall_secs_serial: f64,
+    wall_secs_parallel: f64,
+    speedup: f64,
     events: u64,
     events_per_sec: f64,
     olap_completed: u64,
@@ -113,6 +132,7 @@ struct Row {
     allocator_units_moved: u64,
     solve_ns_mean: f64,
     solve_ns_p99: f64,
+    solve_ns_p999: f64,
     solve_ns_max: f64,
 }
 
@@ -129,76 +149,136 @@ fn main() {
     } else {
         (31_250u32, 240u64, 10_000usize)
     };
+    let host_cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let threads: usize = std::env::var("QSCHED_BENCH_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| host_cores.clamp(2, 8));
 
     println!(
-        "shard sweep ({} scale): {} clients/backend, {}s horizon, {} solve reps",
+        "shard sweep ({} scale): {} clients/backend, {}s horizon, {} solve reps, \
+         {} pool threads on {} host cores",
         if tiny { "tiny" } else { "full" },
         per_backend,
         horizon,
-        solve_iters
+        solve_iters,
+        threads,
+        host_cores
     );
     println!(
-        "{:>8} {:>9} {:>9} {:>11} {:>10} {:>10} {:>12} {:>12}",
-        "backends", "clients", "wall s", "ev/s", "olap", "oltp", "solve µs", "solve p99 µs"
+        "{:>8} {:>9} {:>9} {:>9} {:>7} {:>11} {:>10} {:>10} {:>10} {:>12}",
+        "backends",
+        "clients",
+        "serial s",
+        "pool s",
+        "speedup",
+        "ev/s",
+        "olap",
+        "oltp",
+        "solve µs",
+        "solve p999 µs"
     );
 
     let mut rows = Vec::new();
     for &n in widths {
-        let cfg = fleet_config(n, per_backend, horizon);
         let clients = u64::from(per_backend) * n as u64;
+
+        let serial_cfg = fleet_config(n, per_backend, horizon, 0);
         let started = Instant::now();
-        let out = run_experiment(&cfg);
-        let wall = started.elapsed().as_secs_f64();
-        let fleet = out
+        let serial = run_experiment(&serial_cfg);
+        let wall_serial = started.elapsed().as_secs_f64();
+
+        let parallel_cfg = fleet_config(n, per_backend, horizon, threads);
+        let started = Instant::now();
+        let parallel = run_experiment(&parallel_cfg);
+        let wall_parallel = started.elapsed().as_secs_f64();
+
+        // The pool must be invisible in the results: same summary, same
+        // per-shard rows, same allocator counters (wall-clock poll time
+        // nulled on both sides). Always checked — a fast wrong answer is
+        // not a benchmark result.
+        assert_eq!(
+            serial.summary, parallel.summary,
+            "{n} backends: parallel run diverged from serial (summary)"
+        );
+        let fleet_serial = serial
             .report
             .shards
             .as_ref()
             .expect("sharded runs carry a fleet report");
-        let (solve_mean, solve_p99, solve_max) = solve_latency(n, solve_iters);
+        let fleet_parallel = parallel
+            .report
+            .shards
+            .as_ref()
+            .expect("sharded runs carry a fleet report");
+        assert_eq!(
+            fleet_serial.rows, fleet_parallel.rows,
+            "{n} backends: parallel run diverged from serial (shard rows)"
+        );
+        assert_eq!(
+            fleet_serial.allocator.normalized(),
+            fleet_parallel.allocator.normalized(),
+            "{n} backends: parallel run diverged from serial (allocator)"
+        );
+
+        let (solve_mean, solve_p99, solve_p999, solve_max) = solve_latency(n, solve_iters);
+        let speedup = wall_serial / wall_parallel.max(1e-9);
         println!(
-            "{:>8} {:>9} {:>9.2} {:>11.0} {:>10} {:>10} {:>12.2} {:>12.2}",
+            "{:>8} {:>9} {:>9.2} {:>9.2} {:>7.2} {:>11.0} {:>10} {:>10} {:>10.2} {:>12.2}",
             n,
             clients,
-            wall,
-            out.summary.events as f64 / wall,
-            out.summary.olap_completed,
-            out.summary.oltp_completed,
+            wall_serial,
+            wall_parallel,
+            speedup,
+            parallel.summary.events as f64 / wall_parallel,
+            parallel.summary.olap_completed,
+            parallel.summary.oltp_completed,
             solve_mean / 1_000.0,
-            solve_p99 / 1_000.0
+            solve_p999 / 1_000.0
         );
         rows.push(Row {
             shards: n,
             clients,
-            wall_secs: wall,
-            events: out.summary.events,
-            events_per_sec: out.summary.events as f64 / wall,
-            olap_completed: out.summary.olap_completed,
-            oltp_completed: out.summary.oltp_completed,
-            allocator_solves: fleet.allocator.solves,
-            allocator_units_moved: fleet.allocator.units_moved,
+            threads,
+            wall_secs_serial: wall_serial,
+            wall_secs_parallel: wall_parallel,
+            speedup,
+            events: parallel.summary.events,
+            events_per_sec: parallel.summary.events as f64 / wall_parallel,
+            olap_completed: parallel.summary.olap_completed,
+            oltp_completed: parallel.summary.oltp_completed,
+            allocator_solves: fleet_parallel.allocator.solves,
+            allocator_units_moved: fleet_parallel.allocator.units_moved,
             solve_ns_mean: solve_mean,
             solve_ns_p99: solve_p99,
+            solve_ns_p999: solve_p999,
             solve_ns_max: solve_max,
         });
     }
 
     // Machine-readable trajectory at the repo root.
     let mut json = String::new();
-    json.push_str("{\n  \"schema\": \"qsched-bench-shard/v1\",\n");
+    json.push_str("{\n  \"schema\": \"qsched-bench-shard/v2\",\n");
     json.push_str(&format!(
-        "  \"scale\": \"{}\",\n  \"clients_per_backend\": {per_backend},\n  \"horizon_secs\": {horizon},\n  \"solve_iters\": {solve_iters},\n",
+        "  \"scale\": \"{}\",\n  \"clients_per_backend\": {per_backend},\n  \"horizon_secs\": {horizon},\n  \"solve_iters\": {solve_iters},\n  \"host_cores\": {host_cores},\n",
         if tiny { "tiny" } else { "full" }
     ));
     json.push_str("  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"shards\": {}, \"clients\": {}, \"wall_secs\": {:.3}, \"events\": {}, \
-             \"events_per_sec\": {:.0}, \"olap_completed\": {}, \"oltp_completed\": {}, \
+            "    {{\"shards\": {}, \"clients\": {}, \"threads\": {}, \
+             \"wall_secs_serial\": {:.3}, \"wall_secs_parallel\": {:.3}, \"speedup\": {:.3}, \
+             \"events\": {}, \"events_per_sec\": {:.0}, \
+             \"olap_completed\": {}, \"oltp_completed\": {}, \
              \"allocator_solves\": {}, \"allocator_units_moved\": {}, \
-             \"solve_ns_mean\": {:.0}, \"solve_ns_p99\": {:.0}, \"solve_ns_max\": {:.0}}}{}\n",
+             \"solve_ns_mean\": {:.0}, \"solve_ns_p99\": {:.0}, \"solve_ns_p999\": {:.0}, \
+             \"solve_ns_max\": {:.0}}}{}\n",
             r.shards,
             r.clients,
-            r.wall_secs,
+            r.threads,
+            r.wall_secs_serial,
+            r.wall_secs_parallel,
+            r.speedup,
             r.events,
             r.events_per_sec,
             r.olap_completed,
@@ -207,6 +287,7 @@ fn main() {
             r.allocator_units_moved,
             r.solve_ns_mean,
             r.solve_ns_p99,
+            r.solve_ns_p999,
             r.solve_ns_max,
             if i + 1 < rows.len() { "," } else { "" }
         ));
@@ -237,11 +318,29 @@ fn main() {
             "completions did not scale: {} backends completed {got:.0} vs ideal {ideal:.0}",
             last.shards
         );
+        // The pool pays off where it can: on a host with real parallelism
+        // and a wide fleet, demand at least 2× (the target is
+        // ~min(threads, cores)× at 32 backends). A 1-core host cannot
+        // speed anything up, so the perf claim is not asserted there —
+        // only the equality claims above.
+        if !tiny && host_cores >= 4 && threads >= 4 {
+            assert!(
+                last.speedup >= 2.0,
+                "epoch pool too slow at {} backends: {:.2}x over serial (need >= 2x \
+                 on a {host_cores}-core host with {threads} threads)",
+                last.shards,
+                last.speedup
+            );
+        }
         println!(
-            "assertions passed: solve mean {:.1} µs at {} backends, completion scaling {:.2}x of ideal",
+            "assertions passed: solve mean {:.1} µs at {} backends, completion scaling {:.2}x \
+             of ideal, pool speedup {:.2}x ({} threads, {} host cores)",
             last.solve_ns_mean / 1_000.0,
             last.shards,
-            got / ideal
+            got / ideal,
+            last.speedup,
+            threads,
+            host_cores
         );
     }
 }

@@ -59,8 +59,12 @@ impl BackendDemand {
     }
 }
 
-/// Deterministic solve counters (host-time free: everything here is a pure
-/// function of the demand sequence, so it can sit in reports and digests).
+/// Solve counters. `solves`/`no_op_solves`/`units_moved` are deterministic
+/// (pure functions of the demand sequence, safe in digests); `poll_ns` is
+/// host wall-clock spent polling offered loads at the barrier — diagnostic
+/// only, and zeroed via [`AllocatorStats::normalized`] before any
+/// bit-identity comparison (the same convention as the experiment layer's
+/// `PerfStats` wall seconds).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct AllocatorStats {
     /// Solves performed.
@@ -69,6 +73,20 @@ pub struct AllocatorStats {
     pub no_op_solves: u64,
     /// Budget units transferred between backends over all solves.
     pub units_moved: u64,
+    /// Host nanoseconds spent polling per-backend offered loads across all
+    /// barriers (attributes barrier overhead: poll vs. solve vs. stepping).
+    /// Wall-clock, not virtual time — excluded from determinism checks.
+    #[serde(default)]
+    pub poll_ns: u64,
+}
+
+impl AllocatorStats {
+    /// This record with host-time fields zeroed: the deterministic part,
+    /// safe to compare bit-for-bit across runs and worker counts.
+    pub fn normalized(mut self) -> Self {
+        self.poll_ns = 0;
+        self
+    }
 }
 
 /// Configuration of the global allocation step.
@@ -127,13 +145,21 @@ impl GlobalAllocator {
 
     /// A fresh allocator (first solve cold-starts from the even split).
     pub fn new(cfg: AllocatorConfig) -> Self {
+        Self::with_backends(cfg, 0)
+    }
+
+    /// A fresh allocator with every scratch vector pre-sized for a
+    /// `backends`-wide fleet, so the first real solve of a run never
+    /// reallocates (the `solve_ns_max` outliers in the shard bench were
+    /// first-solve scratch growth, not solver work).
+    pub fn with_backends(cfg: AllocatorConfig, backends: usize) -> Self {
         cfg.validate();
         GlobalAllocator {
             cfg,
-            units: Vec::new(),
-            demand: Vec::new(),
-            weight: Vec::new(),
-            floor: Vec::new(),
+            units: Vec::with_capacity(backends),
+            demand: Vec::with_capacity(backends),
+            weight: Vec::with_capacity(backends),
+            floor: Vec::with_capacity(backends),
             stats: AllocatorStats::default(),
         }
     }
@@ -141,6 +167,12 @@ impl GlobalAllocator {
     /// Solve counters.
     pub fn stats(&self) -> AllocatorStats {
         self.stats
+    }
+
+    /// Charge `ns` host nanoseconds of offered-load polling to the stats
+    /// (the orchestrator times the poll loop around the solve).
+    pub fn note_poll_ns(&mut self, ns: u64) {
+        self.stats.poll_ns += ns;
     }
 
     /// Marginal utility of giving backend `b` one more unit when it holds

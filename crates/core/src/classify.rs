@@ -16,8 +16,9 @@ use qsched_dbms::query::{ClassId, QueryKind};
 use qsched_dbms::Timerons;
 use serde::{Deserialize, Serialize};
 
-/// Classification strategy.
-pub trait Classifier {
+/// Classification strategy. `Send` so the owning engine can migrate across
+/// worker threads between allocation barriers in a sharded run.
+pub trait Classifier: Send {
     /// The service class for this intercepted query, or `None` if no rule
     /// matches (the caller routes it to a default class).
     fn classify(&self, row: &ControlRow) -> Option<ClassId>;

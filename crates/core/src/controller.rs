@@ -63,7 +63,10 @@ impl CtrlEvent {
 /// A workload-control policy. Generic over the enclosing world's event type
 /// `E`, which must be able to carry both controller timers and DBMS events
 /// (releases schedule engine work).
-pub trait Controller<E: From<CtrlEvent> + From<DbmsEvent>> {
+///
+/// `Send` because the sharded orchestrator hands whole backend engines —
+/// controller included — to pool workers between allocation barriers.
+pub trait Controller<E: From<CtrlEvent> + From<DbmsEvent>>: Send {
     /// Short policy name for reports.
     fn name(&self) -> &'static str;
 

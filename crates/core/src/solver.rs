@@ -181,7 +181,10 @@ impl SolverKind {
 }
 
 /// A plan-search strategy.
-pub trait Solver {
+///
+/// `Send` because a controller (and the engine that owns it) may be handed
+/// to a worker thread between allocation barriers in a sharded run.
+pub trait Solver: Send {
     /// Short name for reports.
     fn name(&self) -> &'static str;
 

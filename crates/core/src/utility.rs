@@ -16,8 +16,9 @@
 use serde::{Deserialize, Serialize};
 
 /// Maps an achievement ratio (measured/goal, 1.0 = exactly at goal) and an
-/// importance level to a utility value.
-pub trait UtilityFn {
+/// importance level to a utility value. `Send` so the owning engine can
+/// migrate across worker threads between allocation barriers.
+pub trait UtilityFn: Send {
     /// Utility of one class. Must be monotonically non-decreasing in
     /// `achievement`.
     fn utility(&self, importance: u8, achievement: f64) -> f64;

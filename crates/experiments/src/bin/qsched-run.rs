@@ -42,8 +42,9 @@ fn usage() -> ExitCode {
          [--baseline <path.json>]   run every scenario, write one JSON row each;\n                        \
          with --baseline, exit nonzero on any regression beyond tolerance\n  \
          qsched-run shard-sweep [--seed N] [--shards 1,2,4] [--routing <policy>|all]\n                        \
-         [--interval <secs>] [--config <base.json>] [--out <path.json>]\n                        \
-         weak-scaling sweep: workload and budget grow with the backend count"
+         [--interval <secs>] [--threads N] [--config <base.json>] [--out <path.json>]\n                        \
+         weak-scaling sweep: workload and budget grow with the backend count;\n                        \
+         --threads steps each fleet's shards on N pool workers (same results)"
     );
     ExitCode::FAILURE
 }
@@ -309,6 +310,7 @@ fn scoreboard(args: &[String]) -> ExitCode {
 struct SweepRow {
     shards: usize,
     routing: &'static str,
+    worker_threads: usize,
     slo_attainment: f64,
     olap_completed: u64,
     oltp_completed: u64,
@@ -341,6 +343,7 @@ fn shard_sweep(args: &[String]) -> ExitCode {
     let mut shards: Vec<usize> = vec![1, 2, 4];
     let mut routings = parse_routing("hash").expect("hash is a policy");
     let mut interval_secs: u64 = 60;
+    let mut threads: usize = 0;
     let mut out_path: Option<String> = None;
     let mut base_path: Option<String> = None;
     let mut i = 0;
@@ -386,6 +389,16 @@ fn shard_sweep(args: &[String]) -> ExitCode {
                     Ok(s) if s > 0 => interval_secs = s,
                     _ => {
                         eprintln!("invalid --interval {}", args[i + 1]);
+                        return ExitCode::FAILURE;
+                    }
+                }
+                i += 2;
+            }
+            "--threads" if i + 1 < args.len() => {
+                match args[i + 1].parse() {
+                    Ok(t) if (1..=512).contains(&t) => threads = t,
+                    _ => {
+                        eprintln!("invalid --threads {} (want 1..=512)", args[i + 1]);
                         return ExitCode::FAILURE;
                     }
                 }
@@ -440,6 +453,7 @@ fn shard_sweep(args: &[String]) -> ExitCode {
             let mut spec = qsched_experiments::config::ShardSpec::new(n);
             spec.routing = routing;
             spec.allocation_interval = qsched_sim::SimDuration::from_secs(interval_secs);
+            spec.worker_threads = threads;
             cfg.shard = Some(spec);
 
             let out = run_experiment(&cfg);
@@ -452,6 +466,7 @@ fn shard_sweep(args: &[String]) -> ExitCode {
             rows.push(SweepRow {
                 shards: n,
                 routing: routing.name(),
+                worker_threads: threads.max(1),
                 slo_attainment: qsched_experiments::shard::slo_fraction(&out),
                 olap_completed: out.summary.olap_completed,
                 oltp_completed: out.summary.oltp_completed,
@@ -472,6 +487,7 @@ fn shard_sweep(args: &[String]) -> ExitCode {
             vec![
                 r.shards.to_string(),
                 r.routing.to_string(),
+                r.worker_threads.to_string(),
                 format!("{:.3}", r.slo_attainment),
                 r.olap_completed.to_string(),
                 r.oltp_completed.to_string(),
@@ -489,7 +505,10 @@ fn shard_sweep(args: &[String]) -> ExitCode {
                 "shard sweep, seed {seed}, interval {interval_secs}s (wall {:?})",
                 started.elapsed()
             ),
-            &["backends", "routing", "slo", "olap", "oltp", "ev/s", "solves", "moved", "limits"],
+            &[
+                "backends", "routing", "thr", "slo", "olap", "oltp", "ev/s", "solves", "moved",
+                "limits"
+            ],
             &table,
         )
     );

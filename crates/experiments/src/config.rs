@@ -19,6 +19,7 @@ pub const POLLED_CHANNELS: &[&str] = &[
     "ctrl.stall",
     "controller.crash",
     "test.mpl_leak",
+    "test.panic",
     "transport.drop",
     "transport.delay",
     "transport.dup",
@@ -164,6 +165,13 @@ pub struct ShardSpec {
     /// Marginal water-filling tunables.
     #[serde(default)]
     pub allocator: qsched_core::AllocatorConfig,
+    /// Worker threads advancing shard engines between allocation barriers.
+    /// Zero (what an absent field deserializes to) and one both mean the
+    /// serial path; any larger count runs the epoch segments on a
+    /// persistent scoped pool. Results are bit-identical across all values
+    /// — read it through [`ShardSpec::threads`].
+    #[serde(default)]
+    pub worker_threads: usize,
 }
 
 impl ShardSpec {
@@ -180,6 +188,7 @@ impl ShardSpec {
             routing: RoutingPolicy::default(),
             allocation_interval: Self::default_allocation_interval(),
             allocator: qsched_core::AllocatorConfig::default(),
+            worker_threads: 0,
         }
     }
 
@@ -191,6 +200,12 @@ impl ShardSpec {
         } else {
             self.allocation_interval
         }
+    }
+
+    /// The effective worker count (`worker_threads`, with the zero sentinel
+    /// normalized to the serial path).
+    pub fn threads(&self) -> usize {
+        self.worker_threads.max(1)
     }
 }
 
@@ -334,6 +349,11 @@ impl ExperimentConfig {
             assert!(
                 spec.shards >= 1,
                 "a sharded topology needs at least one backend pool"
+            );
+            assert!(
+                spec.worker_threads <= 512,
+                "worker_threads {} is absurd (want 0..=512; 0 = serial)",
+                spec.worker_threads
             );
             spec.allocator.validate();
             assert!(

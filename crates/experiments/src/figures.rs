@@ -35,41 +35,14 @@ pub fn run_parallel(configs: Vec<ExperimentConfig>) -> Vec<RunOutput> {
 /// (the determinism regression suite runs the same configs at different
 /// worker counts and asserts exactly that).
 ///
-/// Work is handed out through a shared atomic index rather than static
-/// chunks: one slow config (a long horizon, a heavy controller) no longer
-/// straggles a whole chunk's worth of followers behind it — each worker
-/// pulls the next unclaimed config the moment it finishes its last.
+/// Work is handed out through the shared atomic-index queue in
+/// `crate::pool` rather than static chunks: one slow config (a long
+/// horizon, a heavy controller) no longer straggles a whole chunk's worth
+/// of followers behind it — each worker pulls the next unclaimed config
+/// the moment it finishes its last. The sharded orchestrator's persistent
+/// epoch pool reuses the same queue idiom per allocation barrier.
 pub fn run_parallel_with(configs: Vec<ExperimentConfig>, threads: usize) -> Vec<RunOutput> {
-    use std::sync::atomic::{AtomicUsize, Ordering};
-
-    let threads = threads.max(1).min(configs.len().max(1));
-    let mut out: Vec<Option<RunOutput>> = (0..configs.len()).map(|_| None).collect();
-    let jobs: Vec<(usize, ExperimentConfig)> = configs.into_iter().enumerate().collect();
-    let next = AtomicUsize::new(0);
-    crossbeam::thread::scope(|s| {
-        let mut handles = Vec::new();
-        for _ in 0..threads {
-            let (jobs, next) = (&jobs, &next);
-            handles.push(s.spawn(move |_| {
-                let mut done = Vec::new();
-                loop {
-                    let at = next.fetch_add(1, Ordering::Relaxed);
-                    let Some((i, cfg)) = jobs.get(at) else { break };
-                    done.push((*i, run_experiment(cfg)));
-                }
-                done
-            }));
-        }
-        for h in handles {
-            for (i, r) in h.join().expect("experiment thread panicked") {
-                out[i] = Some(r);
-            }
-        }
-    })
-    .expect("experiment scope panicked");
-    out.into_iter()
-        .map(|r| r.expect("all slots filled"))
-        .collect()
+    crate::pool::run_indexed(configs, threads, run_experiment)
 }
 
 /// A single OLAP service class for calibration workloads.

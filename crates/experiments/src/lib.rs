@@ -18,6 +18,9 @@
 //! * [`scenarios`] — the non-stationary scenario scoreboard: named workload
 //!   scenarios (diurnal, flash crowd, churn, importance flips, faults)
 //!   scored on one row schema and gated against a committed baseline.
+//! * `pool` (crate-private) — the order-preserving atomic-index work queue
+//!   behind the parallel figure runner, plus the persistent epoch pool the
+//!   sharded orchestrator steps its fleet on.
 //! * [`shard`] — the sharded multi-backend control plane: N backend pools
 //!   under a global water-filling allocator, with batched release dispatch
 //!   and per-shard partial-failure scoring.
@@ -30,6 +33,7 @@ pub mod chart;
 pub mod config;
 pub mod figures;
 pub mod oracle;
+pub(crate) mod pool;
 pub mod report;
 pub mod scenarios;
 pub mod shard;

@@ -1,0 +1,288 @@
+//! Thread-pool primitives shared by the parallel experiment runner and the
+//! sharded orchestrator.
+//!
+//! Two shapes of parallelism live here, both built on the same
+//! order-preserving atomic-index work queue (workers claim the next
+//! unclaimed index with a `fetch_add`, so results never depend on the
+//! worker count or on scheduling):
+//!
+//! * [`run_indexed`] — one-shot fan-out: run a job per input, join, return
+//!   outputs in input order. This is the queue idiom the figure sweeps have
+//!   always used; it lives here so both call sites share one
+//!   implementation.
+//! * [`with_epoch_pool`] — a **persistent scoped pool** for the sharded
+//!   epoch-barrier loop: the jobs (shard engines) live across many epochs,
+//!   and each [`EpochPool::advance`] hands every job to the workers once,
+//!   blocks until all are stepped, then returns control to the
+//!   single-threaded driver (the global allocator). Spawning threads once
+//!   per run instead of once per epoch matters at fleet scale: a 24-hour
+//!   horizon at a 240 s allocation interval is 360 epochs.
+//!
+//! ## Panic discipline
+//!
+//! A panicking job must propagate, never deadlock the barrier. Workers
+//! catch job panics, park the payload in a shared slot, and still arrive at
+//! the epoch's end barrier; the driver re-raises the payload on the calling
+//! thread after releasing the pool. The deadlock-free property is pinned by
+//! a test that crashes one shard of a four-shard fleet mid-run.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Barrier, Mutex};
+
+/// Run `f` over every job on `threads` scoped workers, returning outputs in
+/// input order. Jobs are claimed through a shared atomic index, so one slow
+/// job never straggles a chunk of followers behind it, and the output is
+/// bit-identical for any thread count. A panicking job propagates to the
+/// caller after all workers drain.
+pub(crate) fn run_indexed<T, R, F>(jobs: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send + Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = threads.max(1).min(jobs.len().max(1));
+    let mut out: Vec<Option<R>> = (0..jobs.len()).map(|_| None).collect();
+    let jobs: Vec<(usize, T)> = jobs.into_iter().enumerate().collect();
+    let next = AtomicUsize::new(0);
+    crossbeam::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for _ in 0..threads {
+            let (jobs, next, f) = (&jobs, &next, &f);
+            handles.push(s.spawn(move |_| {
+                let mut done = Vec::new();
+                loop {
+                    let at = next.fetch_add(1, Ordering::Relaxed);
+                    let Some((i, job)) = jobs.get(at) else { break };
+                    done.push((*i, f(job)));
+                }
+                done
+            }));
+        }
+        for h in handles {
+            for (i, r) in h.join().expect("worker thread panicked") {
+                out[i] = Some(r);
+            }
+        }
+    })
+    .expect("worker scope panicked");
+    out.into_iter()
+        .map(|r| r.expect("all slots filled"))
+        .collect()
+}
+
+/// Shared coordination state of one persistent pool: the epoch hand-off
+/// (two barriers), the work queue (atomic index over the job slots), the
+/// current epoch's target, and the parked panic of a crashed job.
+struct PoolShared<T> {
+    jobs: Vec<Mutex<T>>,
+    /// Target of the current epoch, encoded by the driver before the start
+    /// barrier (the step function decodes it; the pool is agnostic).
+    target: AtomicU64,
+    /// Next unclaimed job index of the current epoch.
+    next: AtomicUsize,
+    /// Workers park here until the driver publishes an epoch (or shutdown).
+    start: Barrier,
+    /// Everyone arrives here when the epoch's queue is drained.
+    end: Barrier,
+    shutdown: AtomicBool,
+    /// Whether the workers have already been released into shutdown
+    /// (release must happen exactly once: a second start-barrier wait with
+    /// no workers left would deadlock the driver).
+    released: AtomicBool,
+    /// The payload of the first job panic of the epoch, re-raised by the
+    /// driver after the end barrier.
+    panicked: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+/// Driver-side handle to a running [`with_epoch_pool`] pool.
+pub(crate) struct EpochPool<'a, T> {
+    shared: &'a PoolShared<T>,
+}
+
+impl<T> EpochPool<'_, T> {
+    /// Run one epoch: every job is stepped once with `target` by the
+    /// workers; blocks until all jobs are done. Re-raises the panic of a
+    /// crashed job on this thread (workers are released first, so the pool
+    /// never deadlocks at the barrier).
+    pub(crate) fn advance(&self, target: u64) {
+        let sh = self.shared;
+        sh.target.store(target, Ordering::Relaxed);
+        sh.next.store(0, Ordering::Relaxed);
+        sh.start.wait();
+        sh.end.wait();
+        if let Some(payload) = sh.panicked.lock().unwrap_or_else(|e| e.into_inner()).take() {
+            self.release();
+            resume_unwind(payload);
+        }
+    }
+
+    /// Read access to job `i` between epochs (uncontended: workers are
+    /// parked at the start barrier).
+    pub(crate) fn with_job<R>(&self, i: usize, f: impl FnOnce(&mut T) -> R) -> R {
+        let mut guard = self.shared.jobs[i]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        f(&mut guard)
+    }
+
+    /// Number of jobs. (Production callers know their fleet width; only
+    /// the pool's own tests need to ask.)
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.shared.jobs.len()
+    }
+
+    /// Tell the parked workers to exit (they are waiting at the start
+    /// barrier; the next wait releases them into shutdown). Idempotent.
+    fn release(&self) {
+        if !self.shared.released.swap(true, Ordering::Relaxed) {
+            self.shared.shutdown.store(true, Ordering::Relaxed);
+            self.shared.start.wait();
+        }
+    }
+}
+
+/// Run `drive` with a persistent pool of `threads` workers over `jobs`.
+/// Each [`EpochPool::advance`] steps every job once via `step(job,
+/// target)`; between epochs the driver owns the jobs. Returns the driver's
+/// result and the jobs (in order) once the pool has shut down.
+pub(crate) fn with_epoch_pool<T, S, D, R>(
+    jobs: Vec<T>,
+    threads: usize,
+    step: S,
+    drive: D,
+) -> (R, Vec<T>)
+where
+    T: Send,
+    S: Fn(&mut T, u64) + Sync,
+    D: FnOnce(&EpochPool<'_, T>) -> R,
+{
+    let threads = threads.max(1).min(jobs.len().max(1));
+    let shared = PoolShared {
+        jobs: jobs.into_iter().map(Mutex::new).collect(),
+        target: AtomicU64::new(0),
+        next: AtomicUsize::new(0),
+        // Workers plus the driver meet at both barriers.
+        start: Barrier::new(threads + 1),
+        end: Barrier::new(threads + 1),
+        shutdown: AtomicBool::new(false),
+        released: AtomicBool::new(false),
+        panicked: Mutex::new(None),
+    };
+    let scope_result = crossbeam::thread::scope(|s| {
+        for _ in 0..threads {
+            let (shared, step) = (&shared, &step);
+            s.spawn(move |_| loop {
+                shared.start.wait();
+                if shared.shutdown.load(Ordering::Relaxed) {
+                    break;
+                }
+                let target = shared.target.load(Ordering::Relaxed);
+                loop {
+                    let at = shared.next.fetch_add(1, Ordering::Relaxed);
+                    let Some(slot) = shared.jobs.get(at) else {
+                        break;
+                    };
+                    // A previous epoch's panic poisons the slot's mutex;
+                    // the run is already doomed (the driver re-raises), so
+                    // plain lock-or-propagate is fine here.
+                    let mut job = slot.lock().unwrap_or_else(|e| e.into_inner());
+                    if let Err(payload) = catch_unwind(AssertUnwindSafe(|| step(&mut job, target)))
+                    {
+                        let mut parked = shared.panicked.lock().unwrap_or_else(|e| e.into_inner());
+                        // First panic wins; later ones of the same epoch
+                        // are duplicates of a doomed run.
+                        parked.get_or_insert(payload);
+                        break;
+                    }
+                }
+                shared.end.wait();
+            });
+        }
+        let pool = EpochPool { shared: &shared };
+        // Release the workers whichever way the driver exits: a panic that
+        // skipped release would leave them parked at the start barrier and
+        // deadlock the scope's join.
+        let out = catch_unwind(AssertUnwindSafe(|| drive(&pool)));
+        pool.release();
+        match out {
+            Ok(r) => r,
+            Err(payload) => resume_unwind(payload),
+        }
+    });
+    // crossbeam's scope catches the driver closure's panic and hands it
+    // back as `Err`; re-raise the original payload (a worker's parked job
+    // panic, or the driver's own) rather than wrapping it in a new one.
+    let result = match scope_result {
+        Ok(r) => r,
+        Err(payload) => resume_unwind(payload),
+    };
+    let jobs = shared
+        .jobs
+        .into_iter()
+        .map(|m| m.into_inner().unwrap_or_else(|e| e.into_inner()))
+        .collect();
+    (result, jobs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_indexed_preserves_order_at_any_thread_count() {
+        for threads in [1usize, 2, 4, 9] {
+            let jobs: Vec<u64> = (0..23).collect();
+            let out = run_indexed(jobs, threads, |&x| x * x);
+            assert_eq!(out, (0..23).map(|x| x * x).collect::<Vec<u64>>());
+        }
+    }
+
+    #[test]
+    fn epoch_pool_steps_every_job_every_epoch() {
+        let jobs: Vec<u64> = vec![0; 7];
+        let (epochs, jobs) = with_epoch_pool(
+            jobs,
+            3,
+            |job, target| *job += target,
+            |pool| {
+                for target in [5u64, 7, 11] {
+                    pool.advance(target);
+                }
+                let mut seen = 0u64;
+                for i in 0..pool.len() {
+                    seen += pool.with_job(i, |j| *j);
+                }
+                seen
+            },
+        );
+        assert_eq!(epochs, 7 * 23);
+        assert!(jobs.iter().all(|&j| j == 23), "every job saw every epoch");
+    }
+
+    #[test]
+    fn epoch_pool_propagates_a_job_panic() {
+        let jobs: Vec<u64> = (0..4).collect();
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            with_epoch_pool(
+                jobs,
+                2,
+                |job, _| {
+                    if *job == 2 {
+                        panic!("job 2 exploded");
+                    }
+                },
+                |pool| pool.advance(1),
+            )
+        }));
+        let payload = caught.expect_err("the job panic must propagate");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .map(String::from)
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(msg.contains("job 2 exploded"), "payload: {msg:?}");
+    }
+}

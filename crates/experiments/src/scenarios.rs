@@ -238,6 +238,10 @@ pub fn registry(seed: u64) -> Vec<Scenario> {
     }
     let mut spec = crate::config::ShardSpec::new(3);
     spec.allocation_interval = SimDuration::from_secs(60);
+    // Step the fleet on the worker pool: parallel execution is bit-identical
+    // to serial, so the committed baseline digests must keep matching — the
+    // scoreboard run doubles as a standing cross-check of that guarantee.
+    spec.worker_threads = 2;
     shard_fleet.shard = Some(spec);
 
     let mut shard_crash = shard_fleet.clone();

@@ -25,6 +25,25 @@
 //! the `shards = 1` topology bit-identical to the unsharded path (pinned by
 //! the shard swarm test).
 //!
+//! ## Parallel fleet execution
+//!
+//! Between consecutive barriers the shards are, by construction,
+//! independent: every RNG stream, recorder, oracle and fault schedule is
+//! shard-local, and no cross-shard state exists except the allocator —
+//! which only runs *at* the barrier, single-threaded. So with
+//! [`ShardSpec::worker_threads`] > 1 the orchestrator steps the epoch
+//! segments on a persistent scoped worker pool (`crate::pool`): workers
+//! claim shard engines through an order-preserving atomic-index queue,
+//! advance each to the common barrier, and park; the driver then polls
+//! offered loads and runs the global solve exactly as the serial path
+//! does, in shard-index order. Which worker advances which shard — and in
+//! what order — cannot affect any shard's event stream, so the merged
+//! output (digest fold, summed summaries, per-shard rows) is bit-identical
+//! across 1/2/4/8 worker threads and to the serial path; the fleet
+//! determinism swarm pins exactly that, faults and crash schedules
+//! included. A panicking shard propagates through the pool's panic slot
+//! instead of deadlocking the barrier.
+//!
 //! ## Partial failure
 //!
 //! Fault channels suffixed `@shardK` (e.g. `controller.crash@shard2`) are
@@ -62,7 +81,9 @@ pub fn run_sharded(cfg: &ExperimentConfig) -> RunOutput {
 
     let mut engines: Vec<Engine<ExpWorld>> = children.iter().map(build_engine).collect();
     let horizon = SimTime::ZERO + cfg.schedule.total_duration();
-    let mut allocator = GlobalAllocator::new(spec.allocator);
+    // Pre-size every allocator scratch vector for the fleet width, so the
+    // first real solve of the run never reallocates mid-measurement.
+    let mut allocator = GlobalAllocator::with_backends(spec.allocator, n);
     // Track each backend's current limit so only *changed* limits become
     // events (an unchanged limit must leave the shard's stream untouched).
     let mut current: Vec<Timerons> = (0..n)
@@ -73,36 +94,68 @@ pub fn run_sharded(cfg: &ExperimentConfig) -> RunOutput {
     let dynamic = budget.is_some() && matches!(cfg.controller, ControllerSpec::QueryScheduler(_));
 
     let interval = spec.interval();
+    // Persistent per-epoch buffers: polling and solving at a barrier
+    // allocates nothing once these reach the fleet size.
     let mut demands: Vec<BackendDemand> = Vec::with_capacity(n);
     let mut next: Vec<Timerons> = Vec::with_capacity(n);
-    let mut barrier = SimTime::ZERO + interval;
-    while barrier < horizon {
+    let threads = spec.threads().min(n);
+    if threads <= 1 {
+        // Serial reference path (the default): advance every shard in
+        // index order, then run the global control step at the barrier.
+        let mut barrier = SimTime::ZERO + interval;
+        while barrier < horizon {
+            for e in &mut engines {
+                e.run_until(barrier);
+            }
+            if dynamic {
+                control_step(
+                    &mut allocator,
+                    budget.expect("dynamic implies budget"),
+                    barrier,
+                    &mut current,
+                    &mut demands,
+                    &mut next,
+                    |k, f| f(&mut engines[k]),
+                );
+            }
+            barrier += interval;
+        }
         for e in &mut engines {
-            e.run_until(barrier);
+            e.run_until(horizon);
         }
-        if dynamic {
-            demands.clear();
-            for e in &engines {
-                let offered = e
-                    .world()
-                    .controller()
-                    .offered_load()
-                    .unwrap_or(Timerons::new(0.0));
-                demands.push(BackendDemand::offered(offered));
-            }
-            allocator.allocate(budget.expect("dynamic implies budget"), &demands, &mut next);
-            for (k, e) in engines.iter_mut().enumerate() {
-                let ev = CtrlEvent::set_system_limit(next[k]);
-                if ev != CtrlEvent::set_system_limit(current[k]) {
-                    e.schedule_at(barrier, ExpEvent::Ctrl(ev));
-                    current[k] = next[k];
+    } else {
+        // Parallel path: the same barrier loop, with the epoch segments
+        // stepped by a persistent worker pool. The control step still runs
+        // single-threaded on this thread, reading shards in index order,
+        // so the demand sequence — and therefore every solve — is
+        // bit-identical to the serial path.
+        let (_, finished) = crate::pool::with_epoch_pool(
+            engines,
+            threads,
+            |engine, target_micros| {
+                engine.run_until(SimTime::from_micros(target_micros));
+            },
+            |pool| {
+                let mut barrier = SimTime::ZERO + interval;
+                while barrier < horizon {
+                    pool.advance(barrier.as_micros());
+                    if dynamic {
+                        control_step(
+                            &mut allocator,
+                            budget.expect("dynamic implies budget"),
+                            barrier,
+                            &mut current,
+                            &mut demands,
+                            &mut next,
+                            |k, f| pool.with_job(k, f),
+                        );
+                    }
+                    barrier += interval;
                 }
-            }
-        }
-        barrier += interval;
-    }
-    for e in &mut engines {
-        e.run_until(horizon);
+                pool.advance(horizon.as_micros());
+            },
+        );
+        engines = finished;
     }
 
     let mut outputs: Vec<RunOutput> = Vec::with_capacity(n);
@@ -135,6 +188,47 @@ pub fn run_sharded(cfg: &ExperimentConfig) -> RunOutput {
         return out;
     }
     merge_outputs(cfg, outputs, collectors, shards, wall_start)
+}
+
+/// One barrier's global control step, identical for the serial and the
+/// pooled path: poll every backend's offered load in shard-index order
+/// (timed into [`AllocatorStats::poll_ns`]), run the water-filling solve,
+/// and schedule a `SetSystemLimit` at the barrier for every shard whose
+/// limit actually changed. `with_engine(k, f)` grants `f` access to shard
+/// `k`'s engine — a direct index for the serial loop, a (parked-worker,
+/// uncontended) lock for the pool.
+///
+/// [`AllocatorStats::poll_ns`]: qsched_core::AllocatorStats
+fn control_step(
+    allocator: &mut GlobalAllocator,
+    budget: Timerons,
+    barrier: SimTime,
+    current: &mut [Timerons],
+    demands: &mut Vec<BackendDemand>,
+    next: &mut Vec<Timerons>,
+    mut with_engine: impl FnMut(usize, &mut dyn FnMut(&mut Engine<ExpWorld>)),
+) {
+    let poll_started = std::time::Instant::now();
+    demands.clear();
+    for k in 0..current.len() {
+        with_engine(k, &mut |e| {
+            let offered = e
+                .world()
+                .controller()
+                .offered_load()
+                .unwrap_or(Timerons::new(0.0));
+            demands.push(BackendDemand::offered(offered));
+        });
+    }
+    allocator.note_poll_ns(poll_started.elapsed().as_nanos() as u64);
+    allocator.allocate(budget, demands, next);
+    for k in 0..current.len() {
+        let ev = CtrlEvent::set_system_limit(next[k]);
+        if ev != CtrlEvent::set_system_limit(current[k]) {
+            with_engine(k, &mut |e| e.schedule_at(barrier, ExpEvent::Ctrl(ev)));
+            current[k] = next[k];
+        }
+    }
 }
 
 /// The fleet-wide cost budget declared by the controller spec, for

@@ -310,6 +310,16 @@ impl World for ExpWorld {
                 }
             }
             ExpEvent::Ctrl(ce) => {
+                if ctx.should_inject("test.panic") {
+                    // Test-only channel: a hard process death (as opposed to
+                    // the supervised restart of `controller.crash`). Exists
+                    // so the sharded worker pool can prove a panicking shard
+                    // propagates instead of deadlocking the epoch barrier.
+                    panic!(
+                        "test.panic fault injected at t={}s",
+                        ctx.now().as_secs_f64()
+                    );
+                }
                 if ctx.should_inject("controller.crash") {
                     // The controller process dies and is restarted by its
                     // supervisor. It loses everything since the last

@@ -65,7 +65,10 @@ pub struct OracleStats {
 /// which is why `check` takes `&mut self`. A checker must never mutate the
 /// world — it sees it read-only — and must not consume randomness, so that
 /// an oracle-on run is bit-identical to an oracle-off run.
-pub trait Invariant<W> {
+///
+/// `Send` because the engine owning the oracle may be handed to a worker
+/// thread between allocation barriers in a sharded run.
+pub trait Invariant<W>: Send {
     /// Stable name used in violations and reports.
     fn name(&self) -> &'static str;
 

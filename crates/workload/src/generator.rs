@@ -11,8 +11,9 @@ use qsched_dbms::DbmsConfig;
 use qsched_sim::dist::Empirical;
 use qsched_sim::rng::Stream;
 
-/// Source of queries for one workload class.
-pub trait QueryGen {
+/// Source of queries for one workload class. `Send` so the owning engine
+/// can migrate across worker threads between allocation barriers.
+pub trait QueryGen: Send {
     /// Produce the next query for `client`.
     fn next_query(&mut self, id: QueryId, client: ClientId) -> Query;
 

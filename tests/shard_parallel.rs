@@ -1,0 +1,157 @@
+//! The parallel fleet swarm: the epoch worker pool must be invisible in
+//! the results and loud about failures.
+//!
+//! Claims proven here:
+//!
+//! 1. **Thread-count bit identity** — across 8 seeds, two routing
+//!    policies and a mid-run controller crash, a fleet stepped on 2 or 4
+//!    pool workers produces the identical folded flight-recorder digest,
+//!    identical per-shard rows and identical allocator counters as the
+//!    serial reference (`worker_threads = 1`). Shards are independent DES
+//!    instances between allocation barriers and the global allocator runs
+//!    single-threaded at the barrier, so worker scheduling can never leak
+//!    into the event streams — this swarm pins that argument.
+//! 2. **A panicking shard propagates** — a fault-injected panic inside
+//!    one shard's engine surfaces on the driver thread as a panic (with
+//!    the original payload), instead of deadlocking the epoch barrier or
+//!    poisoning the run silently.
+//!
+//! Wall-clock fields (`AllocatorStats::poll_ns`) are nulled via
+//! `normalized()` before comparison, the same convention as the transport
+//! ledger's wall-clock nulling in the chaos swarms.
+
+use query_scheduler::core::class::ServiceClass;
+use query_scheduler::core::scheduler::SchedulerConfig;
+use query_scheduler::experiments::config::{
+    ControllerSpec, ExperimentConfig, RoutingPolicy, ShardSpec,
+};
+use query_scheduler::experiments::world::{run_experiment, RunOutput};
+use query_scheduler::sim::{ChaosTrack, FaultPlan, FaultSpec, SimDuration};
+use query_scheduler::workload::Schedule;
+
+/// Three classes over three 90 s periods of shifting load on a
+/// four-backend fleet — small enough that the swarm stays fast, busy
+/// enough that plans move and the global allocator genuinely re-balances.
+fn fleet_config(seed: u64, routing: RoutingPolicy, worker_threads: usize) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig {
+        seed,
+        dbms: Default::default(),
+        schedule: Schedule::new(
+            SimDuration::from_secs(90),
+            vec![vec![4, 4, 20], vec![3, 6, 30], vec![6, 3, 24]],
+        ),
+        classes: ServiceClass::paper_classes(),
+        controller: ControllerSpec::QueryScheduler(SchedulerConfig {
+            control_interval: SimDuration::from_secs(30),
+            ..SchedulerConfig::default()
+        }),
+        warmup_periods: 0,
+        record_sample: None,
+        behaviors: None,
+        trace: None,
+        faults: None,
+        oracle: Default::default(),
+        resilience: Default::default(),
+        flips: Vec::new(),
+        shard: None,
+    };
+    let mut spec = ShardSpec::new(4);
+    // A barrier cadence deliberately misaligned with the 30 s control
+    // interval, so segmented run_until is exercised mid-plan.
+    spec.allocation_interval = SimDuration::from_secs(45);
+    spec.routing = routing;
+    spec.worker_threads = worker_threads;
+    cfg.shard = Some(spec);
+    cfg.oracle.panic_on_violation = true;
+    cfg.resilience.measure_mttr = false;
+    cfg
+}
+
+/// Crash shard 1's controller once inside a fixed window (rate 1, capped
+/// at one firing, window-gated — fully deterministic), so the identity
+/// claim covers crash, restart and post-crash re-allocation.
+fn crash_plan(seed: u64) -> FaultPlan {
+    FaultPlan::new(0x9A11E7 ^ seed)
+        .with_channel("controller.crash@shard1", FaultSpec::rate(1.0).limited(1))
+        .with_track(ChaosTrack::windows(
+            &["controller.crash@shard1"],
+            &[(SimDuration::from_secs(100), SimDuration::from_secs(130))],
+        ))
+}
+
+fn digest(out: &RunOutput) -> u64 {
+    out.oracle
+        .as_ref()
+        .expect("oracle enabled in swarm configs")
+        .recorder_digest
+}
+
+#[test]
+fn fleet_results_are_bit_identical_across_worker_thread_counts() {
+    for seed in 0..8u64 {
+        for routing in [RoutingPolicy::Hash, RoutingPolicy::LeastLoaded] {
+            let mut serial_cfg = fleet_config(seed, routing, 1);
+            serial_cfg.faults = Some(crash_plan(seed));
+            let serial = run_experiment(&serial_cfg);
+            let serial_fleet = serial.report.shards.as_ref().expect("fleet report");
+            assert_eq!(
+                serial_fleet.rows[1].crashes, 1,
+                "seed {seed} {routing:?}: the crash schedule must fire on shard 1"
+            );
+
+            for threads in [2usize, 4] {
+                let mut cfg = fleet_config(seed, routing, threads);
+                cfg.faults = Some(crash_plan(seed));
+                let parallel = run_experiment(&cfg);
+
+                assert_eq!(
+                    digest(&serial),
+                    digest(&parallel),
+                    "seed {seed} {routing:?} threads {threads}: merged digest diverged"
+                );
+                assert_eq!(
+                    serial.summary, parallel.summary,
+                    "seed {seed} {routing:?} threads {threads}: engine summary diverged"
+                );
+                assert_eq!(
+                    serial.fault_counts, parallel.fault_counts,
+                    "seed {seed} {routing:?} threads {threads}: fault ledger diverged"
+                );
+                let fleet = parallel.report.shards.as_ref().expect("fleet report");
+                assert_eq!(
+                    serial_fleet.rows, fleet.rows,
+                    "seed {seed} {routing:?} threads {threads}: per-shard rows diverged"
+                );
+                // poll_ns is host wall-clock, nulled before comparison;
+                // every deterministic counter must match exactly.
+                assert_eq!(
+                    serial_fleet.allocator.normalized(),
+                    fleet.allocator.normalized(),
+                    "seed {seed} {routing:?} threads {threads}: allocator counters diverged"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn panicking_shard_propagates_instead_of_deadlocking_the_pool() {
+    let mut cfg = fleet_config(7, RoutingPolicy::Hash, 2);
+    // The test-only `test.panic` channel panics inside the shard engine's
+    // event loop — on a pool worker thread, not the driver.
+    cfg.faults = Some(
+        FaultPlan::new(0xDEAD).with_channel("test.panic@shard2", FaultSpec::rate(1.0).limited(1)),
+    );
+    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_experiment(&cfg)));
+    let payload = caught.expect_err("the shard panic must reach the caller");
+    let msg = payload
+        .downcast_ref::<&str>()
+        .copied()
+        .map(String::from)
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_default();
+    assert!(
+        msg.contains("test.panic"),
+        "the original payload must survive the pool hand-off, got {msg:?}"
+    );
+}
