@@ -73,6 +73,15 @@ pub struct AllocatorStats {
     pub no_op_solves: u64,
     /// Budget units transferred between backends over all solves.
     pub units_moved: u64,
+    /// Solves run with at least one backend under the bounded-staleness
+    /// guard (its last load report was older than the staleness budget, so
+    /// its previous allocation was held instead of re-solved).
+    #[serde(default)]
+    pub stale_solves: u64,
+    /// Total backend-holds across all stale solves (two held shards in one
+    /// solve count twice).
+    #[serde(default)]
+    pub stale_holds: u64,
     /// Host nanoseconds spent polling per-backend offered loads across all
     /// barriers (attributes barrier overhead: poll vs. solve vs. stepping).
     /// Wall-clock, not virtual time — excluded from determinism checks.
@@ -312,6 +321,220 @@ impl GlobalAllocator {
             out.push(Timerons::new(f64::from(u) * unit));
         }
     }
+
+    /// Like [`GlobalAllocator::allocate`], but with a bounded-staleness
+    /// guard: backends flagged in `holds` keep their current unit count
+    /// untouched (the allocator has no trustworthy demand signal for them —
+    /// their last load report is older than the staleness budget), and the
+    /// water-filling polish redistributes only among the free backends.
+    ///
+    /// With no hold set this delegates to [`GlobalAllocator::allocate`] and
+    /// is bit-identical to it, counters included — the zero-fault leased
+    /// control plane must not perturb the solve sequence.
+    ///
+    /// # Panics
+    /// Panics if `holds` and `demands` disagree in length, plus everything
+    /// [`GlobalAllocator::allocate`] panics on.
+    pub fn allocate_with_holds(
+        &mut self,
+        total: Timerons,
+        demands: &[BackendDemand],
+        holds: &[bool],
+        out: &mut Vec<Timerons>,
+    ) {
+        assert_eq!(demands.len(), holds.len(), "one hold flag per backend");
+        if !holds.iter().any(|&h| h) {
+            self.allocate(total, demands, out);
+            return;
+        }
+        let n = demands.len();
+        assert!(n > 0, "allocate over zero backends");
+        assert!(
+            total.get().is_finite() && total.get() > 0.0,
+            "total budget must be positive"
+        );
+        self.stats.solves += 1;
+        self.stats.stale_solves += 1;
+        self.stats.stale_holds += holds.iter().filter(|&&h| h).count() as u64;
+        out.clear();
+        let unit = total.get() / f64::from(Self::UNITS);
+        // (Re-)seed before freezing, so a held backend of a fresh allocator
+        // holds its even share rather than garbage.
+        if self.units.len() != n {
+            self.units.clear();
+            let base = Self::UNITS / n as u32;
+            let extra = (Self::UNITS % n as u32) as usize;
+            for b in 0..n {
+                self.units.push(base + u32::from(b < extra));
+            }
+        }
+        if n == 1 {
+            // A lone held backend keeps whatever it holds (the whole lattice).
+            out.push(Timerons::new(f64::from(self.units[0]) * unit));
+            self.stats.no_op_solves += 1;
+            return;
+        }
+        self.demand.clear();
+        self.weight.clear();
+        for d in demands {
+            assert!(
+                d.weight.is_finite() && d.weight > 0.0,
+                "backend weight must be positive"
+            );
+            let units_wanted = (d.offered.get().max(0.0) / unit).max(1e-3);
+            self.demand.push(units_wanted);
+            self.weight.push(d.weight);
+        }
+        let floor_units = ((self.cfg.floor_fraction * f64::from(Self::UNITS) / n as f64).ceil()
+            as u32)
+            .min(Self::UNITS / n as u32);
+        self.floor.clear();
+        for (b, &held) in holds.iter().enumerate().take(n) {
+            // A held backend is frozen in place: floor == current units, and
+            // it sits out both sides of every transfer below.
+            self.floor
+                .push(if held { self.units[b] } else { floor_units });
+        }
+        for b in 0..n {
+            if holds[b] {
+                continue;
+            }
+            while self.units[b] < self.floor[b] {
+                // Unlike the unheld solve, free floors may be unsatisfiable
+                // here (held backends can pin most of the lattice); settle
+                // for whatever the free donors can spare.
+                let Some(donor) = (0..n)
+                    .filter(|&o| o != b && !holds[o] && self.units[o] > self.floor[o])
+                    .max_by(|&a, &c| self.units[a].cmp(&self.units[c]).then(c.cmp(&a)))
+                else {
+                    break;
+                };
+                self.units[donor] -= 1;
+                self.units[b] += 1;
+            }
+        }
+        let mut moved = 0u64;
+        for _ in 0..Self::UNITS {
+            let mut best_gain = f64::NEG_INFINITY;
+            let mut best_to = usize::MAX;
+            let mut least_loss = f64::INFINITY;
+            let mut best_from = usize::MAX;
+            for (b, &held) in holds.iter().enumerate().take(n) {
+                if held {
+                    continue;
+                }
+                let g = self.gain(b, self.units[b]);
+                if g > best_gain {
+                    best_gain = g;
+                    best_to = b;
+                }
+                if self.units[b] > self.floor[b] {
+                    let l = self.gain(b, self.units[b] - 1);
+                    if l < least_loss {
+                        least_loss = l;
+                        best_from = b;
+                    }
+                }
+            }
+            if best_from == usize::MAX
+                || best_from == best_to
+                || best_gain <= least_loss * (1.0 + 1e-12) + 1e-15
+            {
+                break;
+            }
+            self.units[best_from] -= 1;
+            self.units[best_to] += 1;
+            moved += 1;
+        }
+        self.stats.units_moved += moved;
+        if moved == 0 {
+            self.stats.no_op_solves += 1;
+        }
+
+        debug_assert_eq!(self.units.iter().sum::<u32>(), Self::UNITS);
+        for &u in &self.units {
+            out.push(Timerons::new(f64::from(u) * unit));
+        }
+    }
+
+    /// Cold-restart reconstruction: re-seed the warm-start unit assignment
+    /// from the applied limits the shards echo back in their load reports
+    /// (`None` = that shard has not reported since the restart; the silent
+    /// shards share whatever part of the lattice the reports leave
+    /// unclaimed, evenly). Targets are normalized to exactly
+    /// [`GlobalAllocator::UNITS`] by largest-remainder rounding (ties toward
+    /// the lowest index), so the rebuilt lattice is a valid assignment
+    /// whatever mixture of leased, fallback and stale limits the fleet
+    /// reports.
+    ///
+    /// # Panics
+    /// Panics if `reported` is empty or `total` is not positive.
+    pub fn reconstruct(&mut self, total: Timerons, reported: &[Option<Timerons>]) {
+        let n = reported.len();
+        assert!(n > 0, "reconstruct over zero backends");
+        assert!(
+            total.get().is_finite() && total.get() > 0.0,
+            "total budget must be positive"
+        );
+        let unit = total.get() / f64::from(Self::UNITS);
+        let mut target: Vec<f64> = Vec::with_capacity(n);
+        let mut reported_units = 0.0f64;
+        let mut silent = 0usize;
+        for r in reported {
+            match r {
+                Some(t) => {
+                    let u = (t.get().max(0.0) / unit).min(f64::from(Self::UNITS));
+                    reported_units += u;
+                    target.push(u);
+                }
+                None => {
+                    silent += 1;
+                    target.push(f64::NAN); // placeholder, filled below
+                }
+            }
+        }
+        if silent > 0 {
+            let share = (f64::from(Self::UNITS) - reported_units).max(0.0) / silent as f64;
+            for t in &mut target {
+                if t.is_nan() {
+                    *t = share;
+                }
+            }
+        }
+        let sum: f64 = target.iter().sum();
+        if sum > 0.0 {
+            let scale = f64::from(Self::UNITS) / sum;
+            for t in &mut target {
+                *t *= scale;
+            }
+        } else {
+            let even = f64::from(Self::UNITS) / n as f64;
+            target.fill(even);
+        }
+        self.units.clear();
+        let mut assigned = 0u32;
+        let mut remainders: Vec<(usize, f64)> = Vec::with_capacity(n);
+        for (b, t) in target.iter().enumerate() {
+            let fl = t.floor() as u32;
+            self.units.push(fl);
+            assigned += fl;
+            remainders.push((b, t - f64::from(fl)));
+        }
+        remainders.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        let mut leftover = Self::UNITS.saturating_sub(assigned);
+        for (b, _) in remainders {
+            if leftover == 0 {
+                break;
+            }
+            self.units[b] += 1;
+            leftover -= 1;
+        }
+        debug_assert_eq!(self.units.iter().sum::<u32>(), Self::UNITS);
+    }
 }
 
 #[cfg(test)]
@@ -433,6 +656,137 @@ mod tests {
             assert!((sum - 50_000.0).abs() < 1e-6, "n={n} sum {sum}");
             assert_eq!(out.len(), n);
         }
+    }
+
+    #[test]
+    fn hold_free_solve_is_bit_identical_to_allocate() {
+        let demands: Vec<BackendDemand> = [4_000.0, 9_000.0, 1_000.0]
+            .iter()
+            .map(|&o| BackendDemand::offered(Timerons::new(o)))
+            .collect();
+        let mut plain = GlobalAllocator::new(AllocatorConfig::default());
+        let mut guarded = GlobalAllocator::new(AllocatorConfig::default());
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        for _ in 0..4 {
+            plain.allocate(Timerons::new(30_000.0), &demands, &mut a);
+            guarded.allocate_with_holds(
+                Timerons::new(30_000.0),
+                &demands,
+                &[false, false, false],
+                &mut b,
+            );
+            let bits = |v: &[Timerons]| v.iter().map(|t| t.get().to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&a), bits(&b), "delegation must be exact");
+        }
+        assert_eq!(plain.stats(), guarded.stats(), "counters must match too");
+        assert_eq!(guarded.stats().stale_solves, 0);
+    }
+
+    #[test]
+    fn held_backend_keeps_its_allocation_through_a_demand_shift() {
+        let mut a = GlobalAllocator::new(AllocatorConfig::default());
+        let d = |x: f64, y: f64, z: f64| {
+            vec![
+                BackendDemand::offered(Timerons::new(x)),
+                BackendDemand::offered(Timerons::new(y)),
+                BackendDemand::offered(Timerons::new(z)),
+            ]
+        };
+        let mut out = Vec::new();
+        a.allocate(
+            Timerons::new(30_000.0),
+            &d(8_000.0, 8_000.0, 8_000.0),
+            &mut out,
+        );
+        let held_before = out[1];
+        // Backend 1's report went stale; its demand signal here is garbage
+        // (zero) but the hold must pin its allocation anyway.
+        a.allocate_with_holds(
+            Timerons::new(30_000.0),
+            &d(14_000.0, 0.0, 2_000.0),
+            &[false, true, false],
+            &mut out,
+        );
+        assert_eq!(
+            out[1].get().to_bits(),
+            held_before.get().to_bits(),
+            "held backend moved: {out:?}"
+        );
+        assert!(
+            out[0] > out[2],
+            "free backends must still track demand: {out:?}"
+        );
+        let sum: f64 = out.iter().map(|t| t.get()).sum();
+        assert!((sum - 30_000.0).abs() < 1e-6, "sum {sum}");
+        assert_eq!(a.stats().stale_solves, 1);
+        assert_eq!(a.stats().stale_holds, 1);
+    }
+
+    #[test]
+    fn all_held_solve_moves_nothing() {
+        let mut a = GlobalAllocator::new(AllocatorConfig::default());
+        let demands = vec![
+            BackendDemand::offered(Timerons::new(1_000.0)),
+            BackendDemand::offered(Timerons::new(20_000.0)),
+        ];
+        let mut out = Vec::new();
+        a.allocate(Timerons::new(30_000.0), &demands, &mut out);
+        let before = out.clone();
+        let moved = a.stats().units_moved;
+        a.allocate_with_holds(Timerons::new(30_000.0), &demands, &[true, true], &mut out);
+        assert_eq!(out, before, "everything frozen, nothing may move");
+        assert_eq!(a.stats().units_moved, moved);
+        assert_eq!(a.stats().stale_holds, 2);
+    }
+
+    #[test]
+    fn reconstruct_recovers_a_reported_split() {
+        let mut a = GlobalAllocator::new(AllocatorConfig::default());
+        let demands: Vec<BackendDemand> = [3_000.0, 9_000.0, 6_000.0, 1_000.0]
+            .iter()
+            .map(|&o| BackendDemand::offered(Timerons::new(o)))
+            .collect();
+        let mut out = Vec::new();
+        a.allocate(Timerons::new(30_000.0), &demands, &mut out);
+        let reported: Vec<Option<Timerons>> = out.iter().copied().map(Some).collect();
+
+        // A cold allocator rebuilt from the reports must land on the same
+        // lattice: its next solve under unchanged demand is a no-op.
+        let mut rebuilt = GlobalAllocator::new(AllocatorConfig::default());
+        rebuilt.reconstruct(Timerons::new(30_000.0), &reported);
+        let mut again = Vec::new();
+        rebuilt.allocate(Timerons::new(30_000.0), &demands, &mut again);
+        assert_eq!(
+            out.iter().map(|t| t.get().to_bits()).collect::<Vec<_>>(),
+            again.iter().map(|t| t.get().to_bits()).collect::<Vec<_>>(),
+            "reconstructed allocator must resume the old split"
+        );
+        assert_eq!(rebuilt.stats().units_moved, 0, "resume must be a no-op");
+    }
+
+    #[test]
+    fn reconstruct_fills_missing_reports_with_even_shares() {
+        let mut a = GlobalAllocator::new(AllocatorConfig::default());
+        a.reconstruct(
+            Timerons::new(30_000.0),
+            &[Some(Timerons::new(15_000.0)), None, None],
+        );
+        // One loud shard, two silent ones: the silent pair splits the rest
+        // evenly (up to largest-remainder rounding on the 1024 lattice).
+        let mut out = Vec::new();
+        a.allocate_with_holds(
+            Timerons::new(30_000.0),
+            &[
+                BackendDemand::offered(Timerons::new(1.0)),
+                BackendDemand::offered(Timerons::new(1.0)),
+                BackendDemand::offered(Timerons::new(1.0)),
+            ],
+            &[true, true, true],
+            &mut out,
+        );
+        assert!((out[0].get() - 15_000.0).abs() < 60.0, "{out:?}");
+        assert!((out[1].get() - 7_500.0).abs() < 60.0, "{out:?}");
+        assert!((out[1].get() - out[2].get()).abs() < 60.0, "{out:?}");
     }
 
     #[test]

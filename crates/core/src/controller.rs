@@ -165,6 +165,15 @@ pub trait Controller<E: From<CtrlEvent> + From<DbmsEvent>>: Send {
         None
     }
 
+    /// The system cost limit this controller currently enforces. The fleet
+    /// oracle reads it at every allocation barrier to check that a shard's
+    /// applied limit always traces to a live lease or its declared
+    /// fallback. `None` (the default) means this controller has no cost
+    /// budget to trace.
+    fn system_limit(&self) -> Option<qsched_dbms::cost::Timerons> {
+        None
+    }
+
     /// Invariant-oracle hook: cross-check this controller's books against
     /// the engine's state (queued ⊆ held, held rows reconciled against
     /// queues/retries, plan within budget…). Called at event boundaries when

@@ -1,0 +1,197 @@
+//! Fleet control-plane envelopes: the epoch-stamped messages exchanged
+//! between the global allocator and its backend shards, plus the
+//! allocator-side report book the bounded-staleness guard reads.
+//!
+//! The sharded orchestrator used to poll every shard's offered load
+//! synchronously and apply `SetSystemLimit` directly at each epoch barrier —
+//! an omniscient, immortal allocator. This module makes both directions of
+//! that loop explicit wire messages:
+//!
+//! * **Up:** [`ShardReportMsg`] — a shard's load report. Besides the offered
+//!   load it echoes the shard's *applied* system limit and the highest
+//!   allocator epoch it has accepted, which is exactly what a cold-restarted
+//!   allocator needs to reconstruct its warm-start lattice, its lease table
+//!   and a safe new epoch purely from incoming reports.
+//! * **Down:** [`LimitDirective`] — a granted allocation with a lease TTL,
+//!   fenced at the shard by a [`LeaseReceiver`].
+//!
+//! Both are plain `Copy` values; constructing, dropping or delaying them
+//! consumes no randomness, so a fault-free control plane is invisible in
+//! every digest.
+//!
+//! [`LeaseReceiver`]: qsched_dbms::transport::LeaseReceiver
+
+use qsched_dbms::cost::Timerons;
+use qsched_dbms::transport::LeaseDirective;
+use qsched_sim::{SimDuration, SimTime};
+
+/// One shard's load report to the global allocator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardReportMsg {
+    /// The reporting shard's index.
+    pub shard: usize,
+    /// Monotone per-shard report sequence number.
+    pub seq: u64,
+    /// Highest allocator epoch this shard has accepted (its lease fence).
+    /// A restarted allocator sets its own epoch past the maximum echoed
+    /// here, so its directives are never fenced as stale.
+    pub epoch_seen: u64,
+    /// Offered load: cost executing plus cost queued for release.
+    pub offered: Timerons,
+    /// The system cost limit the shard is actually running under — leased
+    /// or autonomous fallback. Feeds warm-start reconstruction after an
+    /// allocator crash.
+    pub applied_limit: Timerons,
+    /// When the shard handed the report to the transport.
+    pub sent_at: SimTime,
+}
+
+/// A granted allocation on the wire, addressed to one shard.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LimitDirective {
+    /// The addressed shard's index.
+    pub shard: usize,
+    /// Allocator incarnation (see [`LeaseDirective::epoch`]).
+    pub epoch: u64,
+    /// Monotone sequence number (unique fleet-wide per epoch).
+    pub seq: u64,
+    /// The granted system cost limit.
+    pub limit: Timerons,
+    /// The lease runs out at this instant unless renewed.
+    pub lease_until: SimTime,
+    /// When the allocator handed the directive to the transport.
+    pub sent_at: SimTime,
+}
+
+impl LimitDirective {
+    /// The shard-side view of this directive (what the [`LeaseReceiver`]
+    /// book admits).
+    ///
+    /// [`LeaseReceiver`]: qsched_dbms::transport::LeaseReceiver
+    pub fn lease(&self) -> LeaseDirective {
+        LeaseDirective {
+            epoch: self.epoch,
+            seq: self.seq,
+            limit: self.limit,
+            lease_until: self.lease_until,
+            sent_at: self.sent_at,
+        }
+    }
+}
+
+/// The allocator-side report book: the last *received* report per shard and
+/// when it arrived. The solve reads demand from here (not from a live poll),
+/// so a dropped or delayed report simply leaves the previous entry in place
+/// with a growing age — which the bounded-staleness guard turns into a hold.
+#[derive(Debug, Clone)]
+pub struct ReportBook {
+    last: Vec<Option<(ShardReportMsg, SimTime)>>,
+}
+
+impl ReportBook {
+    /// An empty book for an `n`-shard fleet (every shard unreported).
+    pub fn new(n: usize) -> Self {
+        ReportBook {
+            last: vec![None; n],
+        }
+    }
+
+    /// Record a delivered report. Out-of-order deliveries are resolved by
+    /// sequence number: an older report never overwrites a newer one.
+    pub fn record(&mut self, report: ShardReportMsg, received_at: SimTime) {
+        let slot = &mut self.last[report.shard];
+        if let Some((prev, _)) = slot {
+            if prev.seq >= report.seq {
+                return;
+            }
+        }
+        *slot = Some((report, received_at));
+    }
+
+    /// Age of the *data* in shard `k`'s newest received report at `now`:
+    /// time since the shard sent it, not since it arrived — a long-delayed
+    /// report is stale the moment it lands (`None` = the shard has never
+    /// reported into this book).
+    pub fn staleness(&self, k: usize, now: SimTime) -> Option<SimDuration> {
+        self.last[k].map(|(r, _)| now.saturating_since(r.sent_at))
+    }
+
+    /// Shard `k`'s last reported offered load.
+    pub fn offered(&self, k: usize) -> Option<Timerons> {
+        self.last[k].map(|(r, _)| r.offered)
+    }
+
+    /// Highest allocator epoch echoed by any received report (0 for an
+    /// empty book). A restarting allocator resumes at this plus one.
+    pub fn max_epoch_seen(&self) -> u64 {
+        self.last
+            .iter()
+            .flatten()
+            .map(|(r, _)| r.epoch_seen)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Per-shard applied limits as reported (`None` for silent shards) —
+    /// the input to warm-start reconstruction.
+    pub fn applied_limits(&self) -> Vec<Option<Timerons>> {
+        self.last
+            .iter()
+            .map(|s| s.map(|(r, _)| r.applied_limit))
+            .collect()
+    }
+
+    /// Forget everything (an allocator crash loses the book with the
+    /// process; the cold restart refills it from incoming reports).
+    pub fn clear(&mut self) {
+        self.last.iter_mut().for_each(|s| *s = None);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(shard: usize, seq: u64, epoch_seen: u64, offered: f64) -> ShardReportMsg {
+        ShardReportMsg {
+            shard,
+            seq,
+            epoch_seen,
+            offered: Timerons::new(offered),
+            applied_limit: Timerons::new(offered / 2.0),
+            sent_at: SimTime::from_secs(10 * seq),
+        }
+    }
+
+    #[test]
+    fn book_tracks_the_newest_report_per_shard() {
+        let mut book = ReportBook::new(2);
+        assert_eq!(book.staleness(0, SimTime::from_secs(10)), None);
+        book.record(report(0, 1, 1, 100.0), SimTime::from_secs(10));
+        book.record(report(0, 2, 1, 200.0), SimTime::from_secs(20));
+        // A delayed older report must not clobber the newer one.
+        book.record(report(0, 1, 1, 100.0), SimTime::from_secs(25));
+        assert_eq!(book.offered(0), Some(Timerons::new(200.0)));
+        // Staleness is the age of the data: seq 2 was sent at t = 20 s.
+        assert_eq!(
+            book.staleness(0, SimTime::from_secs(50)),
+            Some(SimDuration::from_secs(30))
+        );
+        assert_eq!(book.offered(1), None);
+    }
+
+    #[test]
+    fn epoch_and_limits_feed_reconstruction() {
+        let mut book = ReportBook::new(3);
+        book.record(report(0, 1, 4, 100.0), SimTime::from_secs(5));
+        book.record(report(2, 7, 6, 300.0), SimTime::from_secs(5));
+        assert_eq!(book.max_epoch_seen(), 6);
+        let limits = book.applied_limits();
+        assert_eq!(limits[0], Some(Timerons::new(50.0)));
+        assert_eq!(limits[1], None);
+        assert_eq!(limits[2], Some(Timerons::new(150.0)));
+        book.clear();
+        assert_eq!(book.max_epoch_seen(), 0);
+        assert!(book.applied_limits().iter().all(Option::is_none));
+    }
+}

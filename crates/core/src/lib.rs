@@ -81,6 +81,7 @@ pub mod controller;
 pub mod detect;
 pub mod dispatch;
 pub mod feedback;
+pub mod fleet;
 pub mod model;
 pub mod monitor;
 pub mod mpl;
@@ -96,6 +97,7 @@ pub use allocator::{AllocatorConfig, AllocatorStats, BackendDemand, GlobalAlloca
 pub use checkpoint::{Checkpoint, RestartStats};
 pub use class::{Goal, ServiceClass};
 pub use controller::{Controller, CtrlEvent};
+pub use fleet::{LimitDirective, ReportBook, ShardReportMsg};
 pub use plan::Plan;
 pub use scheduler::{QueryScheduler, RobustnessConfig, SchedulerConfig};
 pub use transport::{RetryPolicy, TransportConfig, TransportMode};

@@ -1089,6 +1089,10 @@ impl<E: From<CtrlEvent> + From<DbmsEvent>> Controller<E> for QueryScheduler {
         ))
     }
 
+    fn system_limit(&self) -> Option<Timerons> {
+        Some(self.cfg.system_limit)
+    }
+
     fn set_class_importance(&mut self, class: ClassId, importance: u8) {
         // Importance enters only through the utility function at solve
         // time, so updating the class table re-ranks every future plan;

@@ -55,4 +55,7 @@ pub use cost::Timerons;
 pub use engine::{Dbms, DbmsAccounting, DbmsEvent, DbmsNotice};
 pub use metrics::DegradationStats;
 pub use query::{ClassId, ClientId, Query, QueryId, QueryKind, QueryRecord};
-pub use transport::{Admit, ReceiverStats, ReleaseEnvelope, ReleaseReceiver};
+pub use transport::{
+    Admit, LeaseDirective, LeaseReceiver, LeaseState, LeaseStats, ReceiverStats, ReleaseEnvelope,
+    ReleaseReceiver,
+};

@@ -22,6 +22,7 @@
 //! sees fresh, in-epoch envelopes (the zero-fault case) is invisible in the
 //! flight-recorder digest.
 
+use crate::cost::Timerons;
 use crate::query::QueryId;
 use qsched_sim::SimTime;
 use serde::{Deserialize, Serialize};
@@ -250,6 +251,163 @@ impl ReleaseReceiver {
     }
 }
 
+/// A fleet `SetSystemLimit` directive on the wire: one granted allocation
+/// with a lease TTL, stamped with the global allocator's restart epoch.
+/// The shard-side [`LeaseReceiver`] fences stale allocator incarnations
+/// with exactly the discipline [`ReleaseReceiver`] applies to pre-crash
+/// releases.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LeaseDirective {
+    /// Allocator incarnation: bumped past the highest fenced epoch on every
+    /// allocator cold restart. The receiver rejects directives below its
+    /// fenced epoch.
+    pub epoch: u64,
+    /// Monotone sequence number; the duplicate-suppression key (unique per
+    /// receiver within an epoch).
+    pub seq: u64,
+    /// The granted system cost limit.
+    pub limit: Timerons,
+    /// The lease runs out at this instant unless a fresh directive arrives
+    /// first; an unrenewed shard autonomously degrades to its fallback.
+    pub lease_until: SimTime,
+    /// When the allocator handed the directive to the transport.
+    pub sent_at: SimTime,
+}
+
+/// The lease a shard currently operates under.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LeaseState {
+    /// The leased system cost limit.
+    pub limit: Timerons,
+    /// When the lease runs out unrenewed.
+    pub lease_until: SimTime,
+    /// Epoch of the allocator incarnation that granted it.
+    pub epoch: u64,
+}
+
+/// Shard-side lease-book counters, surfaced in the fleet resilience ledger.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LeaseStats {
+    /// Directives presented to the receiver (fresh + duplicate + stale).
+    pub received: u64,
+    /// Fresh directives that armed or renewed the lease.
+    pub renewed: u64,
+    /// Duplicates suppressed by the `(epoch, seq)` book.
+    pub deduped: u64,
+    /// Directives rejected because their epoch predates the fence.
+    pub stale_rejected: u64,
+    /// Times the lease ran out unrenewed and the shard entered autonomous
+    /// fallback.
+    pub expiries: u64,
+}
+
+/// The shard-side lease book: duplicate suppression, stale-epoch fencing
+/// and TTL expiry for fleet limit directives.
+///
+/// Mirrors [`ReleaseReceiver`]'s admission discipline — same `(epoch, seq)`
+/// dedup book, same forward-only epoch fence — plus the lease state machine:
+/// only a [`Admit::Fresh`] directive ever arms (or re-arms) the lease, so an
+/// expired lease can never be resurrected by a duplicate or by a stale
+/// incarnation's directive still in flight. Pure `BTreeMap`/`BTreeSet`
+/// state: admission consumes no randomness, and a receiver that only ever
+/// sees fresh in-epoch directives (the zero-fault case) is invisible in the
+/// flight-recorder digest.
+#[derive(Debug, Clone, Default)]
+pub struct LeaseReceiver {
+    /// Lowest allocator epoch still accepted; raised by every fresh
+    /// directive from a newer incarnation (and by
+    /// [`LeaseReceiver::observe_epoch`]).
+    min_epoch: u64,
+    /// Sequence numbers already seen, per live epoch.
+    seen: BTreeMap<u64, BTreeSet<u64>>,
+    lease: Option<LeaseState>,
+    /// The current lease ran out unrenewed (the shard is in autonomous
+    /// fallback until a fresh directive arrives).
+    expired: bool,
+    stats: LeaseStats,
+}
+
+impl LeaseReceiver {
+    /// Classify a directive at its arrival instant. [`Admit::Fresh`] means
+    /// the lease is now armed with the directive's limit and TTL (the
+    /// caller applies the limit and leaves autonomy if it was in it);
+    /// duplicates and stale-epoch directives change no lease state at all.
+    pub fn admit(&mut self, d: &LeaseDirective) -> Admit {
+        self.stats.received += 1;
+        if d.epoch < self.min_epoch {
+            self.stats.stale_rejected += 1;
+            return Admit::Stale;
+        }
+        if !self.seen.entry(d.epoch).or_default().insert(d.seq) {
+            self.stats.deduped += 1;
+            return Admit::Duplicate;
+        }
+        // Fresh: a directive from a newer incarnation is itself the fence
+        // signal (there is no shard-side restart event to observe), so the
+        // fence moves forward and the dead incarnations' books are pruned.
+        if d.epoch > self.min_epoch {
+            self.min_epoch = d.epoch;
+            self.seen = self.seen.split_off(&d.epoch);
+        }
+        self.lease = Some(LeaseState {
+            limit: d.limit,
+            lease_until: d.lease_until,
+            epoch: d.epoch,
+        });
+        self.expired = false;
+        self.stats.renewed += 1;
+        Admit::Fresh
+    }
+
+    /// Expire the lease if its TTL has run out by `now` and it has not
+    /// already expired. Returns the lapsed lease exactly once per expiry
+    /// (the caller degrades to its fallback limit and logs the autonomy
+    /// window); subsequent calls return `None` until a fresh directive
+    /// re-arms the lease. Callers processing an instant where a renewal
+    /// arrives *at* `lease_until` must admit the renewal first — the
+    /// renewal wins the tie.
+    pub fn expire_due(&mut self, now: SimTime) -> Option<LeaseState> {
+        let lease = self.lease?;
+        if self.expired || now < lease.lease_until {
+            return None;
+        }
+        self.expired = true;
+        self.stats.expiries += 1;
+        Some(lease)
+    }
+
+    /// Fence off every allocator incarnation below `epoch` without waiting
+    /// for a directive from it.
+    pub fn observe_epoch(&mut self, epoch: u64) {
+        if epoch > self.min_epoch {
+            self.min_epoch = epoch;
+            self.seen = self.seen.split_off(&epoch);
+        }
+    }
+
+    /// The lease currently armed (it may already have expired — see
+    /// [`LeaseReceiver::is_expired`]).
+    pub fn lease(&self) -> Option<&LeaseState> {
+        self.lease.as_ref()
+    }
+
+    /// Whether the armed lease has lapsed unrenewed (the shard is running
+    /// on its autonomous fallback limit).
+    pub fn is_expired(&self) -> bool {
+        self.expired
+    }
+
+    /// The current epoch fence.
+    pub fn min_epoch(&self) -> u64 {
+        self.min_epoch
+    }
+
+    /// Lease-book counters.
+    pub fn stats(&self) -> &LeaseStats {
+        &self.stats
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -298,5 +456,68 @@ mod tests {
         rx.note_outcome(&b, SimTime::ZERO, true);
         assert_eq!(rx.stats().double_applied, 1);
         assert_eq!(rx.stats().applied, 2);
+    }
+
+    fn lease(epoch: u64, seq: u64, limit: f64, until_secs: u64) -> LeaseDirective {
+        LeaseDirective {
+            epoch,
+            seq,
+            limit: Timerons::new(limit),
+            lease_until: SimTime::from_secs(until_secs),
+            sent_at: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn fresh_directives_arm_and_renew_the_lease() {
+        let mut rx = LeaseReceiver::default();
+        assert_eq!(rx.admit(&lease(1, 0, 10_000.0, 60)), Admit::Fresh);
+        assert_eq!(rx.lease().unwrap().limit, Timerons::new(10_000.0));
+        assert_eq!(rx.admit(&lease(1, 1, 12_000.0, 120)), Admit::Fresh);
+        let st = rx.lease().unwrap();
+        assert_eq!(st.limit, Timerons::new(12_000.0));
+        assert_eq!(st.lease_until, SimTime::from_secs(120));
+        // Renewed in time: no expiry at t = 60.
+        assert_eq!(rx.expire_due(SimTime::from_secs(60)), None);
+        assert_eq!(rx.stats().renewed, 2);
+    }
+
+    #[test]
+    fn expiry_fires_once_and_only_fresh_rearms() {
+        let mut rx = LeaseReceiver::default();
+        assert_eq!(rx.admit(&lease(1, 0, 10_000.0, 60)), Admit::Fresh);
+        let lapsed = rx
+            .expire_due(SimTime::from_secs(60))
+            .expect("lapses at TTL");
+        assert_eq!(lapsed.limit, Timerons::new(10_000.0));
+        assert!(rx.is_expired());
+        // Idempotent: one expiry event per lapse.
+        assert_eq!(rx.expire_due(SimTime::from_secs(90)), None);
+        // A duplicate of the old grant must NOT resurrect the lease...
+        assert_eq!(rx.admit(&lease(1, 0, 10_000.0, 60)), Admit::Duplicate);
+        assert!(rx.is_expired(), "duplicate resurrected an expired lease");
+        // ...but a fresh renewal does.
+        assert_eq!(rx.admit(&lease(1, 1, 9_000.0, 180)), Admit::Fresh);
+        assert!(!rx.is_expired());
+        assert_eq!(rx.stats().expiries, 1);
+    }
+
+    #[test]
+    fn stale_allocator_epochs_are_fenced() {
+        let mut rx = LeaseReceiver::default();
+        assert_eq!(rx.admit(&lease(1, 0, 10_000.0, 60)), Admit::Fresh);
+        // A directive from the restarted allocator fences the old epoch...
+        assert_eq!(rx.admit(&lease(2, 0, 8_000.0, 120)), Admit::Fresh);
+        assert_eq!(rx.min_epoch(), 2);
+        // ...so the dead incarnation's in-flight directive is rejected and
+        // touches nothing.
+        assert_eq!(rx.admit(&lease(1, 1, 99_999.0, 999)), Admit::Stale);
+        let st = rx.lease().unwrap();
+        assert_eq!(st.limit, Timerons::new(8_000.0));
+        assert_eq!(st.epoch, 2);
+        assert_eq!(rx.stats().stale_rejected, 1);
+        // observe_epoch only moves forward.
+        rx.observe_epoch(1);
+        assert_eq!(rx.min_epoch(), 2);
     }
 }

@@ -287,4 +287,110 @@ proptest! {
             s
         );
     }
+
+    /// The shard-side lease book is idempotent under arbitrary duplication,
+    /// reordering and stale-epoch replay, interleaved with TTL expiries:
+    /// each distinct `(epoch, seq)` directive arms the lease `Fresh` at most
+    /// once, every directive beneath the fence is `Stale`, an expired lease
+    /// is never resurrected by anything but a `Fresh` directive, expiry
+    /// fires exactly once per lapse, the stats buckets always sum to
+    /// `received`, and replaying the entire delivery history afterwards
+    /// admits nothing and leaves the lease state (armed, expired, fence)
+    /// untouched. Each op tuple is `(kind, directive index, fence epoch)`:
+    /// kind 0 fences (an allocator restart observed out-of-band), kind 1
+    /// runs the TTL clock, anything else delivers a directive.
+    #[test]
+    fn lease_receiver_fencing_is_idempotent(
+        ops in prop::collection::vec((0u64..8, 0usize..16, 0u64..5), 1..200),
+    ) {
+        use qsched_dbms::transport::{Admit, LeaseDirective, LeaseReceiver, LeaseState};
+        // 16 distinct directives over 4 allocator incarnations, with TTLs
+        // short enough that the advancing per-step clock lapses them.
+        let pool: Vec<LeaseDirective> = (0..16u64)
+            .map(|k| LeaseDirective {
+                epoch: k / 4,
+                seq: k,
+                limit: Timerons::new(100.0 + k as f64),
+                lease_until: SimTime::from_secs((k % 7 + 1) * 20),
+                sent_at: SimTime::ZERO,
+            })
+            .collect();
+        let mut rx = LeaseReceiver::default();
+        let mut min_epoch = 0u64;
+        let mut fresh_seen = std::collections::HashSet::new();
+        let mut lease: Option<LeaseState> = None;
+        let mut expired = false;
+        let mut expiries = 0u64;
+        for (step, &(kind, k, fence)) in ops.iter().enumerate() {
+            let now = SimTime::from_secs(step as u64 + 1);
+            if kind == 0 {
+                rx.observe_epoch(fence);
+                min_epoch = min_epoch.max(fence);
+            } else if kind == 1 {
+                let lapse_due = lease
+                    .filter(|_| !expired)
+                    .filter(|l| now >= l.lease_until);
+                let lapsed = rx.expire_due(now);
+                prop_assert_eq!(lapsed, lapse_due, "step {}: expiry verdict", step);
+                if lapse_due.is_some() {
+                    expired = true;
+                    expiries += 1;
+                }
+            } else {
+                let d = pool[k];
+                let expect = if d.epoch < min_epoch {
+                    Admit::Stale
+                } else if fresh_seen.contains(&k) {
+                    Admit::Duplicate
+                } else {
+                    Admit::Fresh
+                };
+                prop_assert_eq!(rx.admit(&d), expect, "step {}: {:?}", step, d);
+                if expect == Admit::Fresh {
+                    fresh_seen.insert(k);
+                    min_epoch = min_epoch.max(d.epoch);
+                    lease = Some(LeaseState {
+                        limit: d.limit,
+                        lease_until: d.lease_until,
+                        epoch: d.epoch,
+                    });
+                    expired = false;
+                } else {
+                    // A duplicate or stale directive changes no lease state:
+                    // in particular it never resurrects an expired lease.
+                    prop_assert_eq!(rx.is_expired(), expired, "step {}", step);
+                    prop_assert_eq!(rx.lease().copied(), lease, "step {}", step);
+                }
+            }
+        }
+        prop_assert_eq!(rx.min_epoch(), min_epoch);
+        prop_assert_eq!(rx.is_expired(), expired);
+        prop_assert_eq!(rx.lease().copied(), lease);
+        // Replaying every directive the receiver ever saw admits nothing
+        // and leaves the whole lease state machine untouched — whatever the
+        // network re-offers, an expired shard stays in fallback until a
+        // genuinely fresh grant arrives.
+        for &(kind, k, _) in &ops {
+            if kind > 1 {
+                let d = pool[k];
+                let verdict = rx.admit(&d);
+                prop_assert!(
+                    verdict == Admit::Duplicate || verdict == Admit::Stale,
+                    "replayed {:?} admitted as {:?}",
+                    d,
+                    verdict
+                );
+                prop_assert_eq!(rx.is_expired(), expired, "replay resurrected the lease");
+                prop_assert_eq!(rx.lease().copied(), lease);
+            }
+        }
+        let s = rx.stats();
+        prop_assert_eq!(s.expiries, expiries);
+        prop_assert_eq!(
+            s.renewed + s.deduped + s.stale_rejected,
+            s.received,
+            "every directive lands in exactly one bucket: {:?}",
+            s
+        );
+    }
 }

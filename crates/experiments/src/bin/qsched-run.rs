@@ -39,8 +39,9 @@ fn usage() -> ExitCode {
          qsched-run compare <a.json> <b.json> [...]   run configs in parallel, compare\n  \
          qsched-run replay <artifact.json>    re-run a violation's replay artifact\n  \
          qsched-run scoreboard [--seed N] [--threads N] [--out <path.json>]\n                        \
-         [--baseline <path.json>]   run every scenario, write one JSON row each;\n                        \
-         with --baseline, exit nonzero on any regression beyond tolerance\n  \
+         [--baseline <path.json>] [--only <substr>]   run every scenario (or the\n                        \
+         name-matching subset), write one JSON row each; with --baseline, exit\n                        \
+         nonzero on any regression beyond tolerance\n  \
          qsched-run shard-sweep [--seed N] [--shards 1,2,4] [--routing <policy>|all]\n                        \
          [--interval <secs>] [--threads N] [--config <base.json>] [--out <path.json>]\n                        \
          weak-scaling sweep: workload and budget grow with the backend count;\n                        \
@@ -169,6 +170,7 @@ fn scoreboard(args: &[String]) -> ExitCode {
     let mut threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut out_path = "target/scoreboard/scoreboard.json".to_string();
     let mut baseline_path: Option<String> = None;
+    let mut only = String::new();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -200,6 +202,10 @@ fn scoreboard(args: &[String]) -> ExitCode {
                 baseline_path = Some(args[i + 1].clone());
                 i += 2;
             }
+            "--only" if i + 1 < args.len() => {
+                only = args[i + 1].clone();
+                i += 2;
+            }
             other => {
                 eprintln!("unknown scoreboard argument: {other}");
                 return usage();
@@ -207,13 +213,17 @@ fn scoreboard(args: &[String]) -> ExitCode {
         }
     }
 
-    let scenarios = qsched_experiments::scenario_registry(seed);
-    println!(
-        "scoreboard: {} scenarios, seed {seed}, {threads} worker(s)",
-        scenarios.len()
-    );
+    let selected = qsched_experiments::scenario_registry(seed)
+        .iter()
+        .filter(|s| s.name.contains(only.as_str()))
+        .count();
+    if selected == 0 {
+        eprintln!("--only {only:?} matches no scenario");
+        return ExitCode::FAILURE;
+    }
+    println!("scoreboard: {selected} scenario(s), seed {seed}, {threads} worker(s)");
     let started = std::time::Instant::now();
-    let rows = qsched_experiments::run_scoreboard(seed, threads);
+    let rows = qsched_experiments::run_scoreboard_only(seed, threads, &only);
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -284,6 +294,12 @@ fn scoreboard(args: &[String]) -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
+        // With --only, gate only the rows that actually ran — a skipped
+        // scenario is not a dropped one.
+        let baseline: Vec<qsched_experiments::ScenarioRow> = baseline
+            .into_iter()
+            .filter(|b| b.scenario.contains(only.as_str()))
+            .collect();
         let problems = qsched_experiments::compare_scoreboards(
             &rows,
             &baseline,

@@ -24,6 +24,10 @@ pub const POLLED_CHANNELS: &[&str] = &[
     "transport.delay",
     "transport.dup",
     "transport.reorder",
+    "alloc.report_drop",
+    "alloc.directive_drop",
+    "alloc.delay",
+    "allocator.crash",
 ];
 
 /// Which controller to put in front of the DBMS.
@@ -172,6 +176,30 @@ pub struct ShardSpec {
     /// — read it through [`ShardSpec::threads`].
     #[serde(default)]
     pub worker_threads: usize,
+    /// Lease TTL stamped on every granted allocation: a shard whose lease
+    /// runs out unrenewed (partitioned or orphaned) autonomously degrades
+    /// to its fallback limit. Zero (what an absent field deserializes to)
+    /// means the default of twice the allocation interval — read it through
+    /// [`ShardSpec::lease_ttl`]. Must be at least the allocation interval,
+    /// so a healthy control plane renews every lease before it can lapse.
+    #[serde(default)]
+    pub lease_ttl: SimDuration,
+    /// Bounded-staleness budget: at a solve, any shard whose newest
+    /// received load report is older than this keeps its previous
+    /// allocation (a hold) instead of being re-solved on garbage demand.
+    /// Zero means the default of one allocation interval — read it through
+    /// [`ShardSpec::staleness_budget`].
+    #[serde(default)]
+    pub staleness_budget: SimDuration,
+    /// Autonomous fallback floor as a fraction of the even budget split:
+    /// an orphaned shard degrades to `min(last leased limit,
+    /// fallback_fraction · budget / shards)` — never above what it was last
+    /// granted, and low enough that a partitioned fleet cannot
+    /// oversubscribe the budget for long. Zero (what an absent field
+    /// deserializes to) means the default 0.5 — read it through
+    /// [`ShardSpec::fallback`].
+    #[serde(default)]
+    pub fallback_fraction: f64,
 }
 
 impl ShardSpec {
@@ -189,6 +217,9 @@ impl ShardSpec {
             allocation_interval: Self::default_allocation_interval(),
             allocator: qsched_core::AllocatorConfig::default(),
             worker_threads: 0,
+            lease_ttl: SimDuration::ZERO,
+            staleness_budget: SimDuration::ZERO,
+            fallback_fraction: 0.0,
         }
     }
 
@@ -206,6 +237,38 @@ impl ShardSpec {
     /// normalized to the serial path).
     pub fn threads(&self) -> usize {
         self.worker_threads.max(1)
+    }
+
+    /// The effective lease TTL (`lease_ttl`, with the zero sentinel
+    /// normalized to twice the allocation interval: one renewal may be
+    /// lost before a healthy shard's lease lapses).
+    pub fn lease_ttl(&self) -> SimDuration {
+        if self.lease_ttl.is_zero() {
+            self.interval() * 2u64
+        } else {
+            self.lease_ttl
+        }
+    }
+
+    /// The effective staleness budget (`staleness_budget`, with the zero
+    /// sentinel normalized to one allocation interval: a shard is held
+    /// once it has missed at least one whole reporting cycle).
+    pub fn staleness_budget(&self) -> SimDuration {
+        if self.staleness_budget.is_zero() {
+            self.interval()
+        } else {
+            self.staleness_budget
+        }
+    }
+
+    /// The effective fallback fraction (`fallback_fraction`, with the zero
+    /// sentinel normalized to 0.5).
+    pub fn fallback(&self) -> f64 {
+        if self.fallback_fraction == 0.0 {
+            0.5
+        } else {
+            self.fallback_fraction
+        }
     }
 }
 
@@ -357,10 +420,40 @@ impl ExperimentConfig {
             );
             spec.allocator.validate();
             assert!(
+                spec.lease_ttl() >= spec.interval(),
+                "lease_ttl {:?} is shorter than the allocation interval {:?}: \
+                 every healthy shard's lease would lapse between renewals",
+                spec.lease_ttl(),
+                spec.interval()
+            );
+            assert!(
+                spec.fallback_fraction.is_finite() && (0.0..=1.0).contains(&spec.fallback_fraction),
+                "fallback_fraction {} outside [0, 1] (0 = the 0.5 default)",
+                spec.fallback_fraction
+            );
+            assert!(
                 self.trace.is_none(),
                 "trace replay cannot be sharded (the trace names one backend's \
                  arrival sequence); split the trace externally instead"
             );
+            // `@shardK` suffixes must name a shard the topology actually
+            // has; validate() already rejected malformed suffixes, so only
+            // the range is left to check here, where the width is known.
+            if let Some(fp) = &self.faults {
+                for name in fp.channels.keys() {
+                    if let Some((_, tag)) = name.split_once('@') {
+                        if let Some(j) = tag.strip_prefix("shard").and_then(|s| s.parse().ok()) {
+                            let j: usize = j;
+                            assert!(
+                                j < spec.shards,
+                                "fault channel {name:?} names shard {j}, but the topology \
+                                 has {} shards",
+                                spec.shards
+                            );
+                        }
+                    }
+                }
+            }
         }
     }
 }
@@ -408,5 +501,54 @@ mod tests {
         let s = serde_json::to_string(&c).unwrap();
         let back: ExperimentConfig = serde_json::from_str(&s).unwrap();
         assert_eq!(c, back);
+    }
+
+    #[test]
+    fn shard_spec_lease_defaults_follow_the_interval() {
+        let mut spec = ShardSpec::new(3);
+        spec.allocation_interval = SimDuration::from_secs(60);
+        assert_eq!(spec.lease_ttl(), SimDuration::from_secs(120));
+        assert_eq!(spec.staleness_budget(), SimDuration::from_secs(60));
+        assert!((spec.fallback() - 0.5).abs() < 1e-12);
+        spec.lease_ttl = SimDuration::from_secs(90);
+        spec.staleness_budget = SimDuration::from_secs(150);
+        spec.fallback_fraction = 0.25;
+        assert_eq!(spec.lease_ttl(), SimDuration::from_secs(90));
+        assert_eq!(spec.staleness_budget(), SimDuration::from_secs(150));
+        assert!((spec.fallback() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sharded_validate_rejects_bad_lease_and_shard_suffixes() {
+        let base = || {
+            let mut c = ExperimentConfig::paper(
+                7,
+                ControllerSpec::QueryScheduler(SchedulerConfig::default()),
+            );
+            c.shard = Some(ShardSpec::new(2));
+            c
+        };
+        base().validate(); // healthy topology passes
+
+        let mut short_ttl = base();
+        if let Some(s) = &mut short_ttl.shard {
+            s.allocation_interval = SimDuration::from_secs(120);
+            s.lease_ttl = SimDuration::from_secs(30);
+        }
+        assert!(
+            std::panic::catch_unwind(|| short_ttl.validate()).is_err(),
+            "a lease shorter than the allocation interval must be rejected"
+        );
+
+        let mut out_of_range = base();
+        out_of_range.faults = Some(FaultPlan::new(1).channel("controller.crash@shard5", 1.0));
+        assert!(
+            std::panic::catch_unwind(|| out_of_range.validate()).is_err(),
+            "a fault channel naming a nonexistent shard must be rejected"
+        );
+
+        let mut in_range = base();
+        in_range.faults = Some(FaultPlan::new(1).channel("alloc.report_drop@shard1", 1.0));
+        in_range.validate();
     }
 }

@@ -1,0 +1,731 @@
+//! The fault-tolerant fleet control plane.
+//!
+//! [`FleetControl`] is the driver-side half of the leased allocation
+//! protocol: it runs at every epoch barrier of a sharded run and plays both
+//! the global allocator (solving, leasing, crashing and cold-restarting)
+//! and the per-shard control-plane endpoints (reporting load upward,
+//! admitting directives through each shard's [`LeaseReceiver`] book,
+//! expiring lapsed leases into autonomous fallback).
+//!
+//! ## Message plane
+//!
+//! Everything the old synchronous `control_step` did implicitly is an
+//! explicit message here:
+//!
+//! * **Up** — at every barrier each shard emits a [`ShardReportMsg`] with
+//!   its offered load, applied limit and highest accepted epoch. Reports
+//!   travel through the deterministic fault channels `alloc.report_drop`
+//!   and `alloc.delay` (plus `@shardK` variants) into the allocator's
+//!   [`ReportBook`]; the solve reads demand from the book — the *last
+//!   received* report per shard — never from a live poll.
+//! * **Down** — every solve issues one [`LimitDirective`] per shard,
+//!   stamped with the allocator epoch, a fleet-wide sequence number and a
+//!   lease TTL, through `alloc.directive_drop` / `alloc.delay`. Arrivals
+//!   are admitted by the shard's [`LeaseReceiver`]: duplicates are
+//!   suppressed, directives from dead allocator incarnations are fenced as
+//!   stale, and only a `Fresh` admit (re-)arms the lease.
+//!
+//! ## Staleness, leases, failover
+//!
+//! * A shard whose newest received report is older than the staleness
+//!   budget is **held**: [`GlobalAllocator::allocate_with_holds`] keeps its
+//!   previous allocation and redistributes only among fresh shards.
+//! * A shard whose lease lapses unrenewed degrades autonomously to
+//!   `min(last leased limit, fallback floor)` and the ledger opens an
+//!   autonomy window; the next fresh directive closes it.
+//! * The `allocator.crash` channel kills the allocator at a barrier: the
+//!   report book and epoch die with it, in-flight directives stay in
+//!   flight, reports arriving during downtime are lost. The next barrier
+//!   cold-restarts it: the epoch resumes past the highest epoch echoed by
+//!   incoming reports and the warm-start lattice is rebuilt from their
+//!   applied limits ([`GlobalAllocator::reconstruct`]).
+//!
+//! ## Determinism and the zero-fault identity
+//!
+//! All control-plane state is plain integers/floats over virtual time;
+//! only fault-channel polls consume randomness, and a run without fleet
+//! fault channels polls nothing. With no faults every report and directive
+//! arrives at its own barrier: staleness is zero, no shard is ever held
+//! (`allocate_with_holds` delegates to `allocate`, counters included),
+//! every directive is `Fresh`, and an engine event fires exactly when the
+//! encoded limit changed — precisely the decisions the synchronous plane
+//! made, so the event stream, digests and allocator stats are bit-identical
+//! to it at every worker-thread count.
+//!
+//! [`LeaseReceiver`]: qsched_dbms::transport::LeaseReceiver
+//! [`ShardReportMsg`]: qsched_core::fleet::ShardReportMsg
+//! [`LimitDirective`]: qsched_core::fleet::LimitDirective
+//! [`ReportBook`]: qsched_core::fleet::ReportBook
+//! [`GlobalAllocator::allocate_with_holds`]: qsched_core::GlobalAllocator::allocate_with_holds
+//! [`GlobalAllocator::reconstruct`]: qsched_core::GlobalAllocator::reconstruct
+
+use crate::config::{ExperimentConfig, ShardSpec};
+use crate::report::{AutonomyWindow, FleetCrash, FleetResilience};
+use crate::world::{ExpEvent, ExpWorld};
+use qsched_core::controller::CtrlEvent;
+use qsched_core::fleet::{LimitDirective, ReportBook, ShardReportMsg};
+use qsched_core::{AllocatorStats, BackendDemand, GlobalAllocator};
+use qsched_dbms::transport::{Admit, LeaseDirective, LeaseReceiver};
+use qsched_dbms::Timerons;
+use qsched_sim::{ChaosTrack, Engine, FaultInjector, FaultPlan, SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+/// The deterministic fault channels owned by the fleet control plane (bare
+/// names; each also accepts an `@shardK` instance suffix, except
+/// `allocator.crash` which targets the singleton allocator).
+pub(crate) const FLEET_CHANNELS: [&str; 4] = [
+    "alloc.report_drop",
+    "alloc.directive_drop",
+    "alloc.delay",
+    "allocator.crash",
+];
+
+/// Whether `name` (possibly `@shardK`-suffixed) is a fleet control-plane
+/// channel — routed to the orchestrator's injector, never into a child
+/// shard's plan.
+pub(crate) fn is_fleet_channel(name: &str) -> bool {
+    let base = name.split('@').next().unwrap_or(name);
+    FLEET_CHANNELS.contains(&base)
+}
+
+/// The fleet slice of a parent fault plan: fleet channels (suffixes kept
+/// verbatim — the orchestrator polls per-shard instances itself) and the
+/// chaos tracks gating them. `None` when the plan has no fleet channels,
+/// so a fault-free control plane carries no injector at all.
+pub(crate) fn fleet_plan(fp: &FaultPlan) -> Option<FaultPlan> {
+    let channels: BTreeMap<String, qsched_sim::FaultSpec> = fp
+        .channels
+        .iter()
+        .filter(|(name, _)| is_fleet_channel(name))
+        .map(|(name, spec)| (name.clone(), *spec))
+        .collect();
+    if channels.is_empty() {
+        return None;
+    }
+    let tracks: Vec<ChaosTrack> = fp
+        .tracks
+        .iter()
+        .filter_map(|t| {
+            let chans: Vec<String> = t
+                .channels
+                .iter()
+                .filter(|c| is_fleet_channel(c))
+                .cloned()
+                .collect();
+            (!chans.is_empty()).then(|| ChaosTrack {
+                channels: chans,
+                shape: t.shape.clone(),
+            })
+        })
+        .collect();
+    Some(FaultPlan {
+        seed: fp.seed,
+        channels,
+        tracks,
+    })
+}
+
+/// Everything a finished control plane hands back to the orchestrator.
+pub(crate) struct FleetFinish {
+    /// Final allocator solve counters (for the `ShardReport`).
+    pub stats: AllocatorStats,
+    /// The fleet-resilience ledger (attached to the run report).
+    pub ledger: FleetResilience,
+    /// Fleet fault-channel injection counts, under their raw plan names.
+    pub fault_counts: BTreeMap<String, u64>,
+    /// `(barrier, granted limits)` of every solve, for MTTR scoring
+    /// against the fault-free twin.
+    pub grants_log: Vec<(SimTime, Vec<Timerons>)>,
+    /// Each shard's applied limit at run end (the fleet rows' final
+    /// limits).
+    pub applied: Vec<Timerons>,
+}
+
+/// Driver-side state of the leased fleet control plane for one run. See
+/// the module docs for the protocol; [`FleetControl::step`] executes one
+/// epoch barrier.
+pub(crate) struct FleetControl {
+    n: usize,
+    budget: Timerons,
+    interval: SimDuration,
+    lease_ttl: SimDuration,
+    staleness_budget: SimDuration,
+    /// The configured autonomy floor, `fallback_fraction · budget / n`.
+    floor: Timerons,
+    injector: Option<FaultInjector>,
+    allocator: GlobalAllocator,
+    /// Allocator incarnation stamped into directives; bumped past the
+    /// highest fenced epoch on restart and whenever a report echoes a
+    /// fence from a future incarnation.
+    epoch: u64,
+    /// Fleet-wide directive sequence (bootstrap leases used `0..n`).
+    next_seq: u64,
+    alive: bool,
+    /// Crashed at an earlier barrier; cold-restart at the next one.
+    restart_pending: bool,
+    /// Shard-side lease books (the receiver endpoints).
+    books: Vec<LeaseReceiver>,
+    /// Allocator-side last-received report per shard.
+    reports: ReportBook,
+    report_seq: Vec<u64>,
+    /// Upward in flight: `(arrival, shard, report)`.
+    inbox: Vec<(SimTime, usize, ShardReportMsg)>,
+    /// Downward in flight, per shard, sorted by `(arrival, seq)`.
+    inflight: Vec<Vec<(SimTime, LimitDirective)>>,
+    /// Encoded mirror of each shard's applied limit — updated exactly when
+    /// an engine event is scheduled, so it tracks the engine bit-for-bit.
+    applied_ev: Vec<CtrlEvent>,
+    /// Decoded mirror of `applied_ev` (bootstrap: the exact initial split).
+    applied: Vec<Timerons>,
+    /// The allocator's current grant per shard (last solve's output).
+    granted: Vec<Timerons>,
+    /// The limit each shard was last *leased* (fallbacks never raise it).
+    last_leased: Vec<Timerons>,
+    /// Index into `ledger.autonomy` of each shard's open window.
+    open_autonomy: Vec<Option<usize>>,
+    demands: Vec<BackendDemand>,
+    holds: Vec<bool>,
+    next: Vec<Timerons>,
+    grants_log: Vec<(SimTime, Vec<Timerons>)>,
+    ledger: FleetResilience,
+    oracle_enabled: bool,
+    panic_on_violation: bool,
+}
+
+impl FleetControl {
+    /// A control plane for `spec.shards` backends over `budget`, bootstrapped
+    /// as if an epoch-1 allocator had just leased every shard its initial
+    /// split (book-only: no engine events, no ledger counting — the child
+    /// configs already carry these limits).
+    pub(crate) fn new(
+        spec: &ShardSpec,
+        cfg: &ExperimentConfig,
+        budget: Timerons,
+        initial: &[Timerons],
+    ) -> Self {
+        let n = spec.shards;
+        let lease_ttl = spec.lease_ttl();
+        let mut books = vec![LeaseReceiver::default(); n];
+        for (k, book) in books.iter_mut().enumerate() {
+            let boot = LeaseDirective {
+                epoch: 1,
+                seq: k as u64,
+                limit: initial[k],
+                lease_until: SimTime::ZERO + lease_ttl,
+                sent_at: SimTime::ZERO,
+            };
+            let admitted = book.admit(&boot);
+            debug_assert!(matches!(admitted, Admit::Fresh), "bootstrap lease");
+        }
+        FleetControl {
+            n,
+            budget,
+            interval: spec.interval(),
+            lease_ttl,
+            staleness_budget: spec.staleness_budget(),
+            floor: Timerons::new(spec.fallback() * budget.get() / n as f64),
+            injector: cfg
+                .faults
+                .as_ref()
+                .and_then(fleet_plan)
+                .map(FaultInjector::new),
+            allocator: GlobalAllocator::with_backends(spec.allocator, n),
+            epoch: 1,
+            next_seq: n as u64,
+            alive: true,
+            restart_pending: false,
+            books,
+            reports: ReportBook::new(n),
+            report_seq: vec![0; n],
+            inbox: Vec::new(),
+            inflight: vec![Vec::new(); n],
+            applied_ev: initial
+                .iter()
+                .map(|&l| CtrlEvent::set_system_limit(l))
+                .collect(),
+            applied: initial.to_vec(),
+            granted: initial.to_vec(),
+            last_leased: initial.to_vec(),
+            open_autonomy: vec![None; n],
+            demands: Vec::with_capacity(n),
+            holds: Vec::with_capacity(n),
+            next: Vec::with_capacity(n),
+            grants_log: Vec::new(),
+            ledger: FleetResilience::default(),
+            oracle_enabled: cfg.oracle.enabled,
+            panic_on_violation: cfg.oracle.panic_on_violation,
+        }
+    }
+
+    /// One epoch barrier at `barrier`: oracle check, allocator liveness,
+    /// upward reports, delivery, solve + downward directives, then each
+    /// shard's window `[barrier, barrier + interval)` of arrivals and lease
+    /// expiries. `with_engine(k, f)` grants `f` access to shard `k`'s
+    /// parked engine, exactly like the old synchronous control step.
+    pub(crate) fn step<F>(&mut self, barrier: SimTime, mut with_engine: F)
+    where
+        F: FnMut(usize, &mut dyn FnMut(&mut Engine<ExpWorld>)),
+    {
+        self.oracle_check(barrier, &mut with_engine);
+
+        // A crash takes the allocator down for exactly one barrier: dead at
+        // the crash barrier, process-restarted at the next (reconstruction
+        // happens below, after this barrier's reports are delivered).
+        let restarted = self.restart_pending;
+        if restarted {
+            self.alive = true;
+            self.restart_pending = false;
+        }
+        if self.alive {
+            if let Some(inj) = &mut self.injector {
+                if inj.should_inject_at("allocator.crash", barrier) {
+                    self.alive = false;
+                    self.restart_pending = true;
+                    self.ledger.allocator_crashes += 1;
+                    self.ledger.crashes.push(FleetCrash {
+                        at: barrier,
+                        restarted_at: None,
+                        reconverged_at: None,
+                        mttr_secs: None,
+                    });
+                    // The report book and the epoch die with the process;
+                    // in-flight directives stay in flight (the network
+                    // outlives the allocator) and are fenced on arrival if
+                    // the restarted incarnation has moved past their epoch.
+                    self.reports.clear();
+                }
+            }
+        }
+
+        // -- upward: every shard reports its load at every barrier --------
+        let poll_started = std::time::Instant::now();
+        for k in 0..self.n {
+            let mut offered = Timerons::new(0.0);
+            with_engine(k, &mut |e| {
+                offered = e
+                    .world()
+                    .controller()
+                    .offered_load()
+                    .unwrap_or(Timerons::new(0.0));
+            });
+            let msg = ShardReportMsg {
+                shard: k,
+                seq: self.report_seq[k],
+                epoch_seen: self.books[k].min_epoch(),
+                offered,
+                applied_limit: self.applied[k],
+                sent_at: barrier,
+            };
+            self.report_seq[k] += 1;
+            self.ledger.reports_sent += 1;
+            let mut arrival = barrier;
+            let mut dropped = false;
+            if let Some(inj) = &mut self.injector {
+                // Poll the shard-instance channel, then the bare one; `|`
+                // keeps both streams advancing whichever fires.
+                let sfx = format!("alloc.report_drop@shard{k}");
+                dropped = inj.should_inject_at(&sfx, barrier)
+                    | inj.should_inject_at("alloc.report_drop", barrier);
+                let dsfx = format!("alloc.delay@shard{k}");
+                let delay_sfx = inj.should_inject_at(&dsfx, barrier);
+                let delay_bare = inj.should_inject_at("alloc.delay", barrier);
+                if dropped {
+                    self.ledger.reports_dropped += 1;
+                } else if delay_sfx {
+                    arrival = barrier + inj.delay_of(&dsfx).unwrap_or(self.interval);
+                    self.ledger.reports_delayed += 1;
+                } else if delay_bare {
+                    arrival = barrier + inj.delay_of("alloc.delay").unwrap_or(self.interval);
+                    self.ledger.reports_delayed += 1;
+                }
+            }
+            if !dropped {
+                self.inbox.push((arrival, k, msg));
+            }
+        }
+        self.allocator
+            .note_poll_ns(poll_started.elapsed().as_nanos() as u64);
+
+        // -- deliver reports due by this barrier --------------------------
+        self.inbox.sort_by_key(|a| (a.0, a.1, a.2.seq));
+        let due = self.inbox.partition_point(|(t, _, _)| *t <= barrier);
+        for (at, _, msg) in self.inbox.drain(..due) {
+            if self.alive {
+                self.reports.record(msg, at);
+            } else {
+                // Nobody home: reports addressed to a dead allocator are
+                // lost with it, not queued for the next incarnation.
+                self.ledger.reports_lost_downtime += 1;
+            }
+        }
+
+        // -- cold restart: state purely from what just arrived ------------
+        if restarted && self.alive {
+            self.epoch = self.reports.max_epoch_seen() + 1;
+            self.allocator
+                .reconstruct(self.budget, &self.reports.applied_limits());
+            if let Some(c) = self.ledger.crashes.last_mut() {
+                if c.restarted_at.is_none() {
+                    c.restarted_at = Some(barrier);
+                }
+            }
+        }
+
+        // -- solve from the book and lease the grants out ------------------
+        if self.alive {
+            // A report echoing a fence above our epoch means some shard
+            // already obeys a newer incarnation (it fenced us while we were
+            // presumed dead): leap past it or every directive we send is
+            // stale on arrival. Equality is the steady state.
+            let max_seen = self.reports.max_epoch_seen();
+            if max_seen > self.epoch {
+                self.epoch = max_seen + 1;
+            }
+            self.demands.clear();
+            self.holds.clear();
+            for k in 0..self.n {
+                self.demands.push(BackendDemand::offered(
+                    self.reports.offered(k).unwrap_or(Timerons::new(0.0)),
+                ));
+                let hold = match self.reports.staleness(k, barrier) {
+                    None => true,
+                    Some(age) => age > self.staleness_budget,
+                };
+                self.holds.push(hold);
+            }
+            self.allocator.allocate_with_holds(
+                self.budget,
+                &self.demands,
+                &self.holds,
+                &mut self.next,
+            );
+            self.granted.copy_from_slice(&self.next);
+            self.grants_log.push((barrier, self.next.clone()));
+
+            for k in 0..self.n {
+                let d = LimitDirective {
+                    shard: k,
+                    epoch: self.epoch,
+                    seq: self.next_seq,
+                    limit: self.next[k],
+                    lease_until: barrier + self.lease_ttl,
+                    sent_at: barrier,
+                };
+                self.next_seq += 1;
+                self.ledger.directives_sent += 1;
+                let mut arrival = barrier;
+                let mut dropped = false;
+                if let Some(inj) = &mut self.injector {
+                    let sfx = format!("alloc.directive_drop@shard{k}");
+                    dropped = inj.should_inject_at(&sfx, barrier)
+                        | inj.should_inject_at("alloc.directive_drop", barrier);
+                    let dsfx = format!("alloc.delay@shard{k}");
+                    let delay_sfx = inj.should_inject_at(&dsfx, barrier);
+                    let delay_bare = inj.should_inject_at("alloc.delay", barrier);
+                    if dropped {
+                        self.ledger.directives_dropped += 1;
+                    } else if delay_sfx {
+                        arrival = barrier + inj.delay_of(&dsfx).unwrap_or(self.interval);
+                        self.ledger.directives_delayed += 1;
+                    } else if delay_bare {
+                        arrival = barrier + inj.delay_of("alloc.delay").unwrap_or(self.interval);
+                        self.ledger.directives_delayed += 1;
+                    }
+                }
+                if !dropped {
+                    self.inflight[k].push((arrival, d));
+                }
+            }
+        }
+
+        // -- shard-side window [barrier, barrier + interval) --------------
+        let window_end = barrier + self.interval;
+        for k in 0..self.n {
+            self.inflight[k].sort_by_key(|a| (a.0, a.1.seq));
+            loop {
+                let next_arrival = self.inflight[k]
+                    .first()
+                    .map(|(t, _)| *t)
+                    .filter(|t| *t < window_end);
+                let next_expiry = if self.books[k].is_expired() {
+                    None
+                } else {
+                    self.books[k]
+                        .lease()
+                        .map(|l| l.lease_until)
+                        .filter(|t| *t < window_end)
+                };
+                // A renewal arriving at the expiry instant wins the tie.
+                let take_arrival = match (next_arrival, next_expiry) {
+                    (None, None) => break,
+                    (Some(a), Some(e)) => a <= e,
+                    (Some(_), None) => true,
+                    (None, Some(_)) => false,
+                };
+                if take_arrival {
+                    let (t, d) = self.inflight[k].remove(0);
+                    if let Admit::Fresh = self.books[k].admit(&d.lease()) {
+                        self.last_leased[k] = d.limit;
+                        if let Some(i) = self.open_autonomy[k].take() {
+                            self.ledger.autonomy[i].end = Some(t);
+                        }
+                        self.apply_limit(k, t, d.limit, &mut with_engine);
+                    }
+                } else {
+                    let e = next_expiry.expect("expiry arm requires a due lease");
+                    let lapsed = self.books[k].expire_due(e);
+                    debug_assert!(lapsed.is_some(), "due lease expires once");
+                    let fb = self.fallback_limit(k);
+                    self.open_autonomy[k] = Some(self.ledger.autonomy.len());
+                    self.ledger.autonomy.push(AutonomyWindow {
+                        shard: k,
+                        start: e,
+                        end: None,
+                        fallback_limit: fb.get(),
+                    });
+                    self.apply_limit(k, e, fb, &mut with_engine);
+                }
+            }
+        }
+    }
+
+    /// The autonomous fallback for shard `k`: never above its last leased
+    /// limit (autonomy cannot grant budget), never above the configured
+    /// floor.
+    fn fallback_limit(&self, k: usize) -> Timerons {
+        if self.last_leased[k].get() <= self.floor.get() {
+            self.last_leased[k]
+        } else {
+            self.floor
+        }
+    }
+
+    /// Schedule `limit` on shard `k`'s engine at `t` iff it differs from
+    /// the applied mirror at millitimeron granularity — the same
+    /// change-detection the synchronous plane used, so unchanged renewals
+    /// stay invisible to the event stream.
+    fn apply_limit<F>(&mut self, k: usize, t: SimTime, limit: Timerons, with_engine: &mut F)
+    where
+        F: FnMut(usize, &mut dyn FnMut(&mut Engine<ExpWorld>)),
+    {
+        let ev = CtrlEvent::set_system_limit(limit);
+        if ev != self.applied_ev[k] {
+            with_engine(k, &mut |e| e.schedule_at(t, ExpEvent::Ctrl(ev)));
+            self.applied_ev[k] = ev;
+            let CtrlEvent::SetSystemLimit { millitimerons } = ev else {
+                unreachable!("built as SetSystemLimit above");
+            };
+            // Mirror what the engine decodes, not what we sent: the oracle
+            // compares at encoded granularity and reports echo this value.
+            self.applied[k] = CtrlEvent::decoded_limit(millitimerons);
+        }
+    }
+
+    /// The fleet invariant oracle, run at every barrier *before* the
+    /// barrier's own control work (so it judges the state the previous
+    /// window left behind, which the engines have fully executed):
+    ///
+    /// 1. every engine's enforced limit equals the control plane's applied
+    ///    mirror,
+    /// 2. every applied limit traces to the shard's live lease or its
+    ///    declared fallback,
+    /// 3. granted limits sum to at most the budget, and applied limits to
+    ///    at most the budget plus the in-flight slack
+    ///    `Σ (applied − granted)⁺` (lagging directives still in flight).
+    fn oracle_check<F>(&mut self, barrier: SimTime, with_engine: &mut F)
+    where
+        F: FnMut(usize, &mut dyn FnMut(&mut Engine<ExpWorld>)),
+    {
+        if !self.oracle_enabled {
+            return;
+        }
+        self.ledger.oracle_checks += 1;
+        let mut msgs: Vec<String> = Vec::new();
+        let mut sum_applied = 0.0;
+        let mut sum_granted = 0.0;
+        let mut slack = 0.0;
+        for k in 0..self.n {
+            let mut engine_limit = None;
+            with_engine(k, &mut |e| {
+                engine_limit = e.world().controller().system_limit();
+            });
+            if let Some(l) = engine_limit {
+                if CtrlEvent::set_system_limit(l) != self.applied_ev[k] {
+                    msgs.push(format!(
+                        "shard {k}: engine enforces {:.3}t but the control plane applied {:.3}t",
+                        l.get(),
+                        self.applied[k].get()
+                    ));
+                }
+            }
+            let expected = if self.books[k].is_expired() {
+                CtrlEvent::set_system_limit(self.fallback_limit(k))
+            } else if let Some(l) = self.books[k].lease() {
+                CtrlEvent::set_system_limit(l.limit)
+            } else {
+                self.applied_ev[k]
+            };
+            if expected != self.applied_ev[k] {
+                msgs.push(format!(
+                    "shard {k}: applied limit {:.3}t traces to neither its live lease nor its fallback",
+                    self.applied[k].get()
+                ));
+            }
+            sum_applied += self.applied[k].get();
+            sum_granted += self.granted[k].get();
+            slack += (self.applied[k].get() - self.granted[k].get()).max(0.0);
+        }
+        let b = self.budget.get();
+        if sum_granted > b * (1.0 + 1e-9) + 1e-9 {
+            msgs.push(format!(
+                "granted limits sum to {sum_granted:.3}t over a {b:.3}t budget"
+            ));
+        }
+        if sum_applied > b + slack + 1e-6 {
+            msgs.push(format!(
+                "applied limits sum to {sum_applied:.3}t over budget {b:.3}t + in-flight slack {slack:.3}t"
+            ));
+        }
+        for m in msgs {
+            self.violation(barrier, m);
+        }
+    }
+
+    /// Record (and optionally panic on) a fleet-oracle violation.
+    fn violation(&mut self, at: SimTime, msg: String) {
+        self.ledger.oracle_violations += 1;
+        let full = format!("fleet oracle violation at {:.1}s: {msg}", at.as_secs_f64());
+        if self.ledger.violations.len() < 8 {
+            self.ledger.violations.push(full.clone());
+        }
+        assert!(!self.panic_on_violation, "{full}");
+    }
+
+    /// Close the plane: fold the shard lease books and allocator counters
+    /// into the ledger and hand everything back. Bootstrap leases (one per
+    /// shard, armed before the run) are excluded from the renewal count.
+    pub(crate) fn finish(mut self) -> FleetFinish {
+        self.ledger.epoch = self.epoch;
+        let stats = self.allocator.stats();
+        self.ledger.stale_solves = stats.stale_solves;
+        self.ledger.stale_holds = stats.stale_holds;
+        for book in &self.books {
+            let s = book.stats();
+            self.ledger.lease_renewals += s.renewed;
+            self.ledger.lease_expiries += s.expiries;
+            self.ledger.stale_rejected += s.stale_rejected;
+            self.ledger.deduped += s.deduped;
+        }
+        self.ledger.lease_renewals -= self.n as u64;
+        FleetFinish {
+            stats,
+            ledger: self.ledger,
+            fault_counts: self.injector.map(|i| i.counts()).unwrap_or_default(),
+            grants_log: self.grants_log,
+            applied: self.applied,
+        }
+    }
+}
+
+/// Score every allocator crash in `ledger` against the fault-free twin's
+/// grant trace: the crash reconverges at the first logged solve at or after
+/// it where every shard's grant is within `epsilon` timerons of the twin's
+/// grant at the same barrier; fleet MTTR is the virtual time from crash to
+/// that barrier.
+pub(crate) fn score_crashes(
+    ledger: &mut FleetResilience,
+    grants: &[(SimTime, Vec<Timerons>)],
+    twin: &[(SimTime, Vec<Timerons>)],
+    epsilon: f64,
+) {
+    let twin_at: BTreeMap<SimTime, &Vec<Timerons>> = twin.iter().map(|(t, g)| (*t, g)).collect();
+    for crash in &mut ledger.crashes {
+        for (t, g) in grants.iter().filter(|(t, _)| *t >= crash.at) {
+            let Some(tg) = twin_at.get(t) else { continue };
+            let within = g.len() == tg.len()
+                && g.iter()
+                    .zip(tg.iter())
+                    .all(|(a, b)| (a.get() - b.get()).abs() <= epsilon);
+            if within {
+                crash.reconverged_at = Some(*t);
+                crash.mttr_secs = Some(t.saturating_since(crash.at).as_secs_f64());
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fleet_channel_classification_ignores_suffixes() {
+        assert!(is_fleet_channel("alloc.report_drop"));
+        assert!(is_fleet_channel("alloc.directive_drop@shard2"));
+        assert!(is_fleet_channel("allocator.crash"));
+        assert!(!is_fleet_channel("controller.crash@shard1"));
+        assert!(!is_fleet_channel("transport.drop"));
+    }
+
+    #[test]
+    fn fleet_plan_splits_channels_and_tracks() {
+        let mut fp = FaultPlan::new(7);
+        fp.channels.insert(
+            "alloc.report_drop@shard1".into(),
+            qsched_sim::FaultSpec::rate(1.0),
+        );
+        fp.channels
+            .insert("controller.crash".into(), qsched_sim::FaultSpec::rate(0.5));
+        fp.tracks.push(ChaosTrack {
+            channels: vec!["alloc.report_drop@shard1".into(), "controller.crash".into()],
+            shape: qsched_sim::ChaosShape::Windows(vec![(
+                SimDuration::from_secs(10),
+                SimDuration::from_secs(20),
+            )]),
+        });
+        let fleet = fleet_plan(&fp).expect("has fleet channels");
+        assert_eq!(fleet.seed, 7);
+        assert_eq!(
+            fleet.channels.keys().collect::<Vec<_>>(),
+            vec!["alloc.report_drop@shard1"]
+        );
+        assert_eq!(fleet.tracks.len(), 1);
+        assert_eq!(fleet.tracks[0].channels, vec!["alloc.report_drop@shard1"]);
+
+        let mut shard_only = FaultPlan::new(7);
+        shard_only
+            .channels
+            .insert("controller.crash".into(), qsched_sim::FaultSpec::rate(0.5));
+        assert!(fleet_plan(&shard_only).is_none());
+    }
+
+    #[test]
+    fn crash_scoring_finds_the_first_in_band_barrier() {
+        let g = |t: u64, a: f64, b: f64| {
+            (
+                SimTime::from_secs(t),
+                vec![Timerons::new(a), Timerons::new(b)],
+            )
+        };
+        let grants = vec![g(60, 50.0, 50.0), g(120, 80.0, 20.0), g(180, 61.0, 39.0)];
+        let twin = vec![g(60, 50.0, 50.0), g(120, 60.0, 40.0), g(180, 60.0, 40.0)];
+        let mut ledger = FleetResilience {
+            crashes: vec![FleetCrash {
+                at: SimTime::from_secs(90),
+                restarted_at: Some(SimTime::from_secs(120)),
+                reconverged_at: None,
+                mttr_secs: None,
+            }],
+            ..FleetResilience::default()
+        };
+        score_crashes(&mut ledger, &grants, &twin, 5.0);
+        assert_eq!(
+            ledger.crashes[0].reconverged_at,
+            Some(SimTime::from_secs(180))
+        );
+        assert_eq!(ledger.crashes[0].mttr_secs, Some(90.0));
+        assert!(ledger.all_reconverged());
+        assert_eq!(ledger.max_mttr_secs(), Some(90.0));
+    }
+}

@@ -21,6 +21,11 @@
 //! * `pool` (crate-private) — the order-preserving atomic-index work queue
 //!   behind the parallel figure runner, plus the persistent epoch pool the
 //!   sharded orchestrator steps its fleet on.
+//! * `fleet` (crate-private) — the fault-tolerant fleet control plane: the
+//!   leased message loop between the global allocator and its shards
+//!   (epoch-stamped reports up, TTL'd limit directives down), the
+//!   bounded-staleness guard, autonomous fallback on lease expiry,
+//!   allocator crash-failover, and the `FleetResilience` ledger.
 //! * [`shard`] — the sharded multi-backend control plane: N backend pools
 //!   under a global water-filling allocator, with batched release dispatch
 //!   and per-shard partial-failure scoring.
@@ -32,6 +37,7 @@ pub mod analysis;
 pub mod chart;
 pub mod config;
 pub mod figures;
+pub(crate) mod fleet;
 pub mod oracle;
 pub(crate) mod pool;
 pub mod report;
@@ -43,7 +49,7 @@ pub use config::{ControllerSpec, ExperimentConfig, RoutingPolicy, ShardSpec};
 pub use oracle::{OracleReport, OracleSettings, ReplayArtifact};
 pub use report::{ClassPeriod, RunReport};
 pub use scenarios::{
-    compare as compare_scoreboards, registry as scenario_registry, run_scoreboard, Scenario,
-    ScenarioRow, Tolerances,
+    compare as compare_scoreboards, registry as scenario_registry, run_scoreboard,
+    run_scoreboard_only, Scenario, ScenarioRow, Tolerances,
 };
 pub use world::run_experiment;

@@ -172,6 +172,7 @@ impl PeriodCollector {
             resilience: None,
             transport: None,
             shards: None,
+            fleet: None,
             perf: None,
         }
     }
@@ -324,6 +325,111 @@ pub struct ShardRow {
     pub recorder_digest: u64,
 }
 
+/// A span during which one shard ran *autonomously*: its lease lapsed
+/// unrenewed (partition, allocator downtime) and the shard degraded itself
+/// to its validated fallback limit until a fresh directive re-armed it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AutonomyWindow {
+    /// The orphaned shard.
+    pub shard: usize,
+    /// When the lease lapsed and the fallback limit was applied.
+    pub start: SimTime,
+    /// When a fresh directive ended the autonomy (`None` = still autonomous
+    /// at run end).
+    pub end: Option<SimTime>,
+    /// The fallback limit applied: `min(last leased limit, fallback floor)`
+    /// in timerons.
+    pub fallback_limit: f64,
+}
+
+/// One global-allocator crash and its cold-restart recovery, scored against
+/// the fault-free reference fleet twin.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FleetCrash {
+    /// When the allocator process died (solves and directives stop).
+    pub at: SimTime,
+    /// When the cold restart reconstructed state from incoming shard
+    /// reports and resumed solving (`None` = the run ended first).
+    pub restarted_at: Option<SimTime>,
+    /// First allocation barrier at or after the crash where every shard's
+    /// granted limit is back within the plan ε-band of the fault-free
+    /// twin's grant (`None` = never, or MTTR measurement was off).
+    pub reconverged_at: Option<SimTime>,
+    /// Fleet MTTR: seconds from the crash to `reconverged_at`.
+    pub mttr_secs: Option<f64>,
+}
+
+/// The fleet-resilience ledger of a run under the leased control plane:
+/// control-plane message accounting, lease/fence verdicts, the
+/// bounded-staleness guard's hold counters, per-shard autonomy windows and
+/// per-crash fleet MTTR. Attached to sharded `RunReport`s whose control
+/// plane was active; nulled before bit-identity comparisons (its own fields
+/// are all deterministic, but the zero-fault run must stay comparable to
+/// ledger-free baselines).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FleetResilience {
+    /// The allocator's final epoch (starts at 1; bumped past the highest
+    /// fenced epoch on every cold restart).
+    pub epoch: u64,
+    /// Shard load reports handed to the transport.
+    pub reports_sent: u64,
+    /// Reports swallowed by `alloc.report_drop`.
+    pub reports_dropped: u64,
+    /// Reports held back by `alloc.delay`.
+    pub reports_delayed: u64,
+    /// Reports that arrived while the allocator was dead (lost with it).
+    pub reports_lost_downtime: u64,
+    /// Limit directives handed to the transport.
+    pub directives_sent: u64,
+    /// Directives swallowed by `alloc.directive_drop`.
+    pub directives_dropped: u64,
+    /// Directives held back by `alloc.delay`.
+    pub directives_delayed: u64,
+    /// Fresh directives that armed or renewed a shard lease.
+    pub lease_renewals: u64,
+    /// Leases that lapsed unrenewed (each opens an autonomy window).
+    pub lease_expiries: u64,
+    /// Directives fenced at a shard for carrying a stale allocator epoch.
+    pub stale_rejected: u64,
+    /// Duplicate directives suppressed by the `(epoch, seq)` books.
+    pub deduped: u64,
+    /// Solves run with at least one shard under the staleness guard.
+    pub stale_solves: u64,
+    /// Total shard-holds across stale solves.
+    pub stale_holds: u64,
+    /// `allocator.crash` firings (each kills and cold-restarts the global
+    /// allocator).
+    pub allocator_crashes: u64,
+    /// Fleet-oracle invariant evaluations at allocation barriers.
+    pub oracle_checks: u64,
+    /// Fleet-oracle invariant violations (zero in a correct run).
+    pub oracle_violations: u64,
+    /// Human-readable messages of the first few violations.
+    pub violations: Vec<String>,
+    /// Per-shard autonomy windows, in open order.
+    pub autonomy: Vec<AutonomyWindow>,
+    /// One entry per allocator crash, in crash order.
+    pub crashes: Vec<FleetCrash>,
+}
+
+impl FleetResilience {
+    /// Largest fleet MTTR across allocator crashes; `None` if any crash
+    /// never reconverged (or there were none).
+    pub fn max_mttr_secs(&self) -> Option<f64> {
+        let mut max: Option<f64> = None;
+        for c in &self.crashes {
+            let m = c.mttr_secs?;
+            max = Some(max.map_or(m, |x: f64| x.max(m)));
+        }
+        max
+    }
+
+    /// True when every allocator crash has a finite fleet MTTR.
+    pub fn all_reconverged(&self) -> bool {
+        self.crashes.iter().all(|c| c.mttr_secs.is_some())
+    }
+}
+
 /// Fleet-level accounting of a sharded run: the global allocator's solve
 /// counters plus one row per backend pool. `None` in unsharded reports.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -398,6 +504,10 @@ pub struct RunReport {
     /// Fleet accounting of a sharded run (`None` for single-backend runs).
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub shards: Option<ShardReport>,
+    /// Fleet-resilience ledger of the leased control plane (`None` for
+    /// single-backend or statically-budgeted runs).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub fleet: Option<FleetResilience>,
     /// Host-side throughput of the run. Skipped in serialization: wall-clock
     /// is machine-dependent and must never enter determinism digests or
     /// golden files.

@@ -255,6 +255,39 @@ pub fn registry(seed: u64) -> Vec<Scenario> {
             )),
     );
 
+    // The leased fleet control plane under fire, on the same 3-backend
+    // flash-crowd fleet: a 2-minute control-plane partition of shard 1
+    // (reports and directives both severed — the shard's lease lapses and
+    // it degrades to its autonomous fallback), and a global allocator
+    // crash-failover (cold restart reconstructed purely from shard
+    // reports, scored for fleet MTTR against the fault-free twin).
+    let mut fleet_partition = shard_fleet.clone();
+    fleet_partition.faults = Some(
+        FaultPlan::new(seed ^ 0xf1ee)
+            .with_channel("alloc.report_drop@shard1", FaultSpec::rate(1.0))
+            .with_channel("alloc.directive_drop@shard1", FaultSpec::rate(1.0))
+            .with_track(ChaosTrack::windows(
+                &["alloc.report_drop@shard1", "alloc.directive_drop@shard1"],
+                &[(SimDuration::from_secs(120), SimDuration::from_secs(240))],
+            )),
+    );
+    let mut fleet_crash = shard_fleet.clone();
+    if let Some(spec) = &mut fleet_crash.shard {
+        // Tighter allocation cadence than the healthy fleet scenario: the
+        // crash costs at most one 30 s barrier of allocator downtime, and
+        // the restarted incarnation gets several solves inside the surge to
+        // reconverge with — a finite MTTR the baseline can then gate on.
+        spec.allocation_interval = SimDuration::from_secs(30);
+    }
+    fleet_crash.faults = Some(
+        FaultPlan::new(seed ^ 0xa110)
+            .with_channel("allocator.crash", FaultSpec::rate(1.0).limited(1))
+            .with_track(ChaosTrack::windows(
+                &["allocator.crash"],
+                &[(SimDuration::from_secs(115), SimDuration::from_secs(125))],
+            )),
+    );
+
     let mut replay_faulted = trace_config(seed, source_trace.clone());
     replay_faulted.faults =
         Some(FaultPlan::new(seed ^ 0x4ef1).with_channel("release.drop", FaultSpec::rate(0.05)));
@@ -338,6 +371,16 @@ pub fn registry(seed: u64) -> Vec<Scenario> {
             description: "shard 1's controller crashes mid-flash-crowd; peers keep serving",
             config: shard_crash,
         },
+        Scenario {
+            name: "fleet-partition",
+            description: "2 min control-plane partition of shard 1: lease lapses into fallback",
+            config: fleet_partition,
+        },
+        Scenario {
+            name: "fleet-allocator-crash",
+            description: "global allocator crash mid-flash-crowd; restart rebuilt from reports",
+            config: fleet_crash,
+        },
     ]
 }
 
@@ -375,11 +418,34 @@ pub fn score(name: &str, cfg: &ExperimentConfig, out: &RunOutput) -> ScenarioRow
         .oracle
         .as_ref()
         .map_or((0, 0), |o| (o.stats.checks_run, o.stats.violations));
-    let crashes = out
+    // The fleet control plane contributes its own oracle, crash ledger and
+    // MTTR: an allocator crash is a crash, and a fleet-oracle violation
+    // breaks `violation_free` exactly like an engine-oracle one.
+    let fleet = out.report.fleet.as_ref();
+    let violations = violations + fleet.map_or(0, |f| f.oracle_violations);
+    let ctrl_crashes = out
         .report
         .resilience
         .as_ref()
         .map_or(0, |r| r.crashes.len() as u64);
+    let crashes = ctrl_crashes + fleet.map_or(0, |f| f.allocator_crashes);
+    let ctrl_mttr = out
+        .report
+        .resilience
+        .as_ref()
+        .and_then(|r| r.max_mttr_secs());
+    let fleet_mttr = fleet.and_then(|f| f.max_mttr_secs());
+    // `None` with crashes > 0 means "never reconverged" — if either ledger
+    // reports an unreconverged crash, that verdict must not be masked by
+    // the other ledger's finite MTTR.
+    let unrecovered =
+        (ctrl_crashes > 0 && ctrl_mttr.is_none()) || fleet.is_some_and(|f| !f.all_reconverged());
+    let max_mttr_secs = match (unrecovered, ctrl_mttr, fleet_mttr) {
+        (true, _, _) => None,
+        (false, Some(a), Some(b)) => Some(a.max(b)),
+        (false, a, None) => a,
+        (false, None, b) => b,
+    };
     ScenarioRow {
         scenario: name.to_string(),
         controller: cfg.controller.name().to_string(),
@@ -391,11 +457,7 @@ pub fn score(name: &str, cfg: &ExperimentConfig, out: &RunOutput) -> ScenarioRow
         oracle_violations: violations,
         violation_free: out.oracle.is_some() && violations == 0,
         crashes,
-        max_mttr_secs: out
-            .report
-            .resilience
-            .as_ref()
-            .and_then(|r| r.max_mttr_secs()),
+        max_mttr_secs,
         recorder_digest: format!(
             "{:016x}",
             out.oracle.as_ref().map_or(0, |o| o.recorder_digest)
@@ -408,7 +470,18 @@ pub fn score(name: &str, cfg: &ExperimentConfig, out: &RunOutput) -> ScenarioRow
 /// Run the whole registry on `threads` workers and score every scenario.
 /// Row order matches registry order regardless of worker count.
 pub fn run_scoreboard(seed: u64, threads: usize) -> Vec<ScenarioRow> {
-    let scenarios = registry(seed);
+    run_scoreboard_only(seed, threads, "")
+}
+
+/// [`run_scoreboard`] restricted to scenarios whose name contains `only`
+/// (every scenario when `only` is empty). Row order still matches registry
+/// order. The caller gating against a baseline must filter the baseline by
+/// the same substring, or every skipped scenario reads as dropped.
+pub fn run_scoreboard_only(seed: u64, threads: usize, only: &str) -> Vec<ScenarioRow> {
+    let scenarios: Vec<Scenario> = registry(seed)
+        .into_iter()
+        .filter(|s| s.name.contains(only))
+        .collect();
     let configs: Vec<ExperimentConfig> = scenarios.iter().map(|s| s.config.clone()).collect();
     let outputs = run_parallel_with(configs, threads);
     scenarios

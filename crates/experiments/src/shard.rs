@@ -7,23 +7,47 @@
 //! * **Level 1 (per backend):** the configured controller divides its own
 //!   system cost limit across service classes, exactly as in the unsharded
 //!   path.
-//! * **Level 2 (global):** every `allocation_interval`, the orchestrator
-//!   polls each backend's offered load (executing + queued cost), runs the
-//!   [`GlobalAllocator`]'s marginal water-filling solve, and pushes changed
-//!   limits down as [`CtrlEvent::SetSystemLimit`] events.
+//! * **Level 2 (global):** every `allocation_interval`, each backend sends
+//!   an epoch-stamped load report ([`ShardReportMsg`]) up to the global
+//!   allocator, which solves the [`GlobalAllocator`]'s marginal
+//!   water-filling problem from the *last received* report per shard and
+//!   issues leased [`LimitDirective`]s back down. Both directions are
+//!   explicit wire messages routed through the fleet's deterministic fault
+//!   channels (`alloc.report_drop`, `alloc.directive_drop`, `alloc.delay`,
+//!   each with per-shard `@shardK` variants) — see the crate-private
+//!   `fleet` module.
+//!
+//! ## Leases, staleness, and failover
+//!
+//! Every granted allocation carries a lease TTL. A shard whose lease
+//! expires unrenewed autonomously degrades to `min(last leased limit,
+//! configured floor)` and the transition is logged as an autonomy window in
+//! the [`FleetResilience`] ledger; directives from a superseded allocator
+//! epoch are fenced at the receiver. On the allocator side, a report older
+//! than the staleness budget puts its shard on *hold* — the solve keeps the
+//! previous grant rather than reallocating on stale demand. The
+//! `allocator.crash` channel kills the global allocator mid-run: in-flight
+//! reports are lost, and the cold restart reconstructs the warm-start
+//! lattice, lease table and a safe epoch (past the highest fenced epoch)
+//! purely from the reports that arrive afterwards. Crashed runs are scored
+//! against a fault-free reference fleet twin into the ledger's MTTR.
 //!
 //! ## Epoch-barrier orchestration
 //!
 //! The per-backend engines are independent discrete-event simulations; the
 //! orchestrator advances each of them to the next allocation boundary with
-//! a segmented `run_until`, reads demands, solves, and schedules limit
-//! updates *at the barrier time* before advancing further. Segmented
-//! `run_until` calls deliver the identical event stream to one long call,
-//! so the barrier itself is invisible to a backend's digest; only actual
-//! limit changes perturb a shard. With one backend the allocator passes
-//! the whole budget through exactly and no update is ever scheduled, making
-//! the `shards = 1` topology bit-identical to the unsharded path (pinned by
-//! the shard swarm test).
+//! a segmented `run_until`, steps the fleet control plane at the barrier
+//! (deliver due messages, solve, issue directives, play out each shard's
+//! lease window), and advances further. Segmented `run_until` calls
+//! deliver the identical event stream to one long call, so the barrier
+//! itself is invisible to a backend's digest; only actual limit changes
+//! perturb a shard. A fault-free control plane delivers every message at
+//! its send barrier with zero staleness and consumes no randomness, making
+//! the leased plane bit-identical to the old synchronous poll-and-push
+//! plane (pinned per thread count by the fleet chaos swarm). With one
+//! backend the allocator passes the whole budget through exactly and no
+//! update is ever scheduled, making the `shards = 1` topology bit-identical
+//! to the unsharded path (pinned by the shard swarm test).
 //!
 //! ## Parallel fleet execution
 //!
@@ -54,13 +78,15 @@
 //!
 //! [`ShardSpec`]: crate::config::ShardSpec
 //! [`GlobalAllocator`]: qsched_core::GlobalAllocator
-//! [`CtrlEvent::SetSystemLimit`]: qsched_core::CtrlEvent
+//! [`ShardReportMsg`]: qsched_core::fleet::ShardReportMsg
+//! [`LimitDirective`]: qsched_core::fleet::LimitDirective
+//! [`FleetResilience`]: crate::report::FleetResilience
 
 use crate::config::{ControllerSpec, ExperimentConfig, RoutingPolicy, ShardSpec};
+use crate::fleet::{score_crashes, FleetControl};
 use crate::report::{PeriodCollector, ResilienceReport, ShardReport, ShardRow};
-use crate::world::{build_engine, finish_run, EngineSummary, ExpEvent, ExpWorld, RunOutput};
-use qsched_core::controller::CtrlEvent;
-use qsched_core::{BackendDemand, GlobalAllocator};
+use crate::world::{build_engine, finish_run, EngineSummary, ExpWorld, RunOutput};
+use qsched_core::GlobalAllocator;
 use qsched_dbms::query::QueryKind;
 use qsched_dbms::Timerons;
 use qsched_sim::{ChaosTrack, Engine, FaultPlan, SimTime};
@@ -68,10 +94,56 @@ use qsched_workload::Schedule;
 use std::collections::BTreeMap;
 
 /// Run a sharded experiment to completion: compile the topology, drive all
-/// backend engines under the epoch-barrier allocation loop, and merge the
-/// per-shard results into one fleet-level [`RunOutput`] whose
-/// `report.shards` carries the per-backend rows.
+/// backend engines under the epoch-barrier allocation loop with the leased
+/// control plane, and merge the per-shard results into one fleet-level
+/// [`RunOutput`] whose `report.shards` carries the per-backend rows and
+/// whose `report.fleet` carries the resilience ledger. If the allocator
+/// crashed and MTTR measurement is on, the run is re-executed with every
+/// fleet fault channel rate-zeroed in place — the fault-free reference
+/// fleet twin — and each crash is scored against the twin's grant trace.
 pub fn run_sharded(cfg: &ExperimentConfig) -> RunOutput {
+    let (mut out, grants) = run_sharded_core(cfg);
+    let crashed = out
+        .report
+        .fleet
+        .as_ref()
+        .is_some_and(|f| !f.crashes.is_empty());
+    if crashed && cfg.resilience.measure_mttr {
+        let (_, twin_grants) = run_sharded_core(&fleet_reference(cfg));
+        let spec = cfg.shard.as_ref().expect("sharded run");
+        let budget = fleet_budget(&cfg.controller).expect("crash ledger implies dynamic budget");
+        let epsilon = cfg.resilience.plan_epsilon_fraction * budget.get() / spec.shards as f64;
+        if let Some(fleet) = &mut out.report.fleet {
+            score_crashes(fleet, &grants, &twin_grants, epsilon);
+        }
+    }
+    out
+}
+
+/// The fault-free reference fleet twin of `cfg`: every fleet control-plane
+/// channel rate-zeroed *in place* (indices into chaos tracks are
+/// preserved; a rate-0 channel consumes no randomness, so the twin is
+/// bit-identical to a plan that never named the channel), the oracle off
+/// and MTTR measurement disabled so the twin never recurses into its own
+/// twin.
+fn fleet_reference(cfg: &ExperimentConfig) -> ExperimentConfig {
+    let mut out = cfg.clone();
+    if let Some(fp) = &mut out.faults {
+        for (name, spec) in fp.channels.iter_mut() {
+            if crate::fleet::is_fleet_channel(name) {
+                spec.rate = 0.0;
+            }
+        }
+    }
+    out.oracle.enabled = false;
+    out.resilience.measure_mttr = false;
+    out
+}
+
+/// One full sharded run, returning the merged output plus the allocator's
+/// grant trace (for twin scoring — grants are wall-free virtual-time data
+/// but too bulky to live in the report).
+fn run_sharded_core(cfg: &ExperimentConfig) -> (RunOutput, Vec<(SimTime, Vec<Timerons>)>) {
     let wall_start = std::time::Instant::now();
     cfg.validate();
     let spec = cfg.shard.as_ref().expect("run_sharded needs a shard spec");
@@ -81,42 +153,30 @@ pub fn run_sharded(cfg: &ExperimentConfig) -> RunOutput {
 
     let mut engines: Vec<Engine<ExpWorld>> = children.iter().map(build_engine).collect();
     let horizon = SimTime::ZERO + cfg.schedule.total_duration();
-    // Pre-size every allocator scratch vector for the fleet width, so the
-    // first real solve of the run never reallocates mid-measurement.
-    let mut allocator = GlobalAllocator::with_backends(spec.allocator, n);
-    // Track each backend's current limit so only *changed* limits become
-    // events (an unchanged limit must leave the shard's stream untouched).
-    let mut current: Vec<Timerons> = (0..n)
+    // Each backend's initial limit: the unit-lattice even split compiled
+    // into its child config (and bootstrapped as its first lease).
+    let initial: Vec<Timerons> = (0..n)
         .map(|k| initial_limit(budget, k, n).unwrap_or(Timerons::new(0.0)))
         .collect();
     // Only the Query Scheduler adopts pushed limits; static controllers run
-    // on the even split compiled into their child configs.
+    // on the even split compiled into their child configs, with no control
+    // plane (and therefore no ledger) at all.
     let dynamic = budget.is_some() && matches!(cfg.controller, ControllerSpec::QueryScheduler(_));
+    let mut fleet = dynamic
+        .then(|| FleetControl::new(spec, cfg, budget.expect("dynamic implies budget"), &initial));
 
     let interval = spec.interval();
-    // Persistent per-epoch buffers: polling and solving at a barrier
-    // allocates nothing once these reach the fleet size.
-    let mut demands: Vec<BackendDemand> = Vec::with_capacity(n);
-    let mut next: Vec<Timerons> = Vec::with_capacity(n);
     let threads = spec.threads().min(n);
     if threads <= 1 {
         // Serial reference path (the default): advance every shard in
-        // index order, then run the global control step at the barrier.
+        // index order, then run the control plane's barrier step.
         let mut barrier = SimTime::ZERO + interval;
         while barrier < horizon {
             for e in &mut engines {
                 e.run_until(barrier);
             }
-            if dynamic {
-                control_step(
-                    &mut allocator,
-                    budget.expect("dynamic implies budget"),
-                    barrier,
-                    &mut current,
-                    &mut demands,
-                    &mut next,
-                    |k, f| f(&mut engines[k]),
-                );
+            if let Some(fc) = &mut fleet {
+                fc.step(barrier, |k, f| f(&mut engines[k]));
             }
             barrier += interval;
         }
@@ -125,9 +185,9 @@ pub fn run_sharded(cfg: &ExperimentConfig) -> RunOutput {
         }
     } else {
         // Parallel path: the same barrier loop, with the epoch segments
-        // stepped by a persistent worker pool. The control step still runs
+        // stepped by a persistent worker pool. The control plane still runs
         // single-threaded on this thread, reading shards in index order,
-        // so the demand sequence — and therefore every solve — is
+        // so the message sequence — and therefore every solve — is
         // bit-identical to the serial path.
         let (_, finished) = crate::pool::with_epoch_pool(
             engines,
@@ -139,16 +199,8 @@ pub fn run_sharded(cfg: &ExperimentConfig) -> RunOutput {
                 let mut barrier = SimTime::ZERO + interval;
                 while barrier < horizon {
                     pool.advance(barrier.as_micros());
-                    if dynamic {
-                        control_step(
-                            &mut allocator,
-                            budget.expect("dynamic implies budget"),
-                            barrier,
-                            &mut current,
-                            &mut demands,
-                            &mut next,
-                            |k, f| pool.with_job(k, f),
-                        );
+                    if let Some(fc) = &mut fleet {
+                        fc.step(barrier, |k, f| pool.with_job(k, f));
                     }
                     barrier += interval;
                 }
@@ -157,6 +209,24 @@ pub fn run_sharded(cfg: &ExperimentConfig) -> RunOutput {
         );
         engines = finished;
     }
+
+    let (alloc_stats, final_limits, ledger, fleet_counts, grants) =
+        match fleet.map(FleetControl::finish) {
+            Some(fin) => (
+                fin.stats,
+                fin.applied,
+                Some(fin.ledger),
+                fin.fault_counts,
+                fin.grants_log,
+            ),
+            None => (
+                GlobalAllocator::with_backends(spec.allocator, n).stats(),
+                initial.clone(),
+                None,
+                BTreeMap::new(),
+                Vec::new(),
+            ),
+        };
 
     let mut outputs: Vec<RunOutput> = Vec::with_capacity(n);
     let mut collectors: Vec<PeriodCollector> = Vec::with_capacity(n);
@@ -170,13 +240,13 @@ pub fn run_sharded(cfg: &ExperimentConfig) -> RunOutput {
         .iter()
         .enumerate()
         .zip(&outputs)
-        .map(|((k, child), out)| shard_row(k, child, out, current[k]))
+        .map(|((k, child), out)| shard_row(k, child, out, final_limits[k]))
         .collect();
     let shards = ShardReport {
         shards: n,
         routing: spec.routing.name().to_string(),
         allocation_interval_secs: interval.as_secs_f64(),
-        allocator: allocator.stats(),
+        allocator: alloc_stats,
         rows,
     };
 
@@ -185,50 +255,16 @@ pub fn run_sharded(cfg: &ExperimentConfig) -> RunOutput {
         // digest included — plus the fleet accounting bolted on.
         let mut out = outputs.pop().expect("one shard");
         out.report.shards = Some(shards);
-        return out;
+        out.report.fleet = ledger;
+        out.fault_counts.extend(fleet_counts);
+        return (out, grants);
     }
-    merge_outputs(cfg, outputs, collectors, shards, wall_start)
-}
-
-/// One barrier's global control step, identical for the serial and the
-/// pooled path: poll every backend's offered load in shard-index order
-/// (timed into [`AllocatorStats::poll_ns`]), run the water-filling solve,
-/// and schedule a `SetSystemLimit` at the barrier for every shard whose
-/// limit actually changed. `with_engine(k, f)` grants `f` access to shard
-/// `k`'s engine — a direct index for the serial loop, a (parked-worker,
-/// uncontended) lock for the pool.
-///
-/// [`AllocatorStats::poll_ns`]: qsched_core::AllocatorStats
-fn control_step(
-    allocator: &mut GlobalAllocator,
-    budget: Timerons,
-    barrier: SimTime,
-    current: &mut [Timerons],
-    demands: &mut Vec<BackendDemand>,
-    next: &mut Vec<Timerons>,
-    mut with_engine: impl FnMut(usize, &mut dyn FnMut(&mut Engine<ExpWorld>)),
-) {
-    let poll_started = std::time::Instant::now();
-    demands.clear();
-    for k in 0..current.len() {
-        with_engine(k, &mut |e| {
-            let offered = e
-                .world()
-                .controller()
-                .offered_load()
-                .unwrap_or(Timerons::new(0.0));
-            demands.push(BackendDemand::offered(offered));
-        });
-    }
-    allocator.note_poll_ns(poll_started.elapsed().as_nanos() as u64);
-    allocator.allocate(budget, demands, next);
-    for k in 0..current.len() {
-        let ev = CtrlEvent::set_system_limit(next[k]);
-        if ev != CtrlEvent::set_system_limit(current[k]) {
-            with_engine(k, &mut |e| e.schedule_at(barrier, ExpEvent::Ctrl(ev)));
-            current[k] = next[k];
-        }
-    }
+    let mut out = merge_outputs(cfg, outputs, collectors, shards, wall_start);
+    out.report.fleet = ledger;
+    // Fleet channels keep their raw plan names (children never own them,
+    // so they cannot collide with the `@shardK`-requalified child counts).
+    out.fault_counts.extend(fleet_counts);
+    (out, grants)
 }
 
 /// The fleet-wide cost budget declared by the controller spec, for
@@ -375,8 +411,10 @@ fn parse_shard_tag(tag: &str) -> Option<usize> {
 
 /// Compile the parent fault plan for shard `k`: bare channels replicate to
 /// every shard; `name@shardJ` channels land on shard `J` only, suffix
-/// stripped. Shard 0 keeps the parent seed (single-shard bit identity);
-/// other shards draw independent schedules.
+/// stripped. Fleet control-plane channels (`alloc.*`, `allocator.crash`)
+/// belong to the orchestrator's own injector and never enter a child plan.
+/// Shard 0 keeps the parent seed (single-shard bit identity); other shards
+/// draw independent schedules.
 ///
 /// # Panics
 /// Panics on a malformed suffix (`@shard` must be followed by an index
@@ -384,6 +422,9 @@ fn parse_shard_tag(tag: &str) -> Option<usize> {
 /// that would otherwise be silently inert.
 fn split_faults(fp: &FaultPlan, k: usize, n: usize) -> Option<FaultPlan> {
     let place = |name: &str| -> Option<String> {
+        if crate::fleet::is_fleet_channel(name) {
+            return None;
+        }
         match name.split_once('@') {
             Some((base, tag)) => {
                 let j = parse_shard_tag(tag).unwrap_or_else(|| {

@@ -183,11 +183,14 @@ impl FaultPlan {
                     spec.rate
                 ));
             }
-            // Transport channels use the delay parameter as a hold/jitter
-            // timeout; an explicit zero would deliver "delayed" envelopes
-            // at the same instant — a no-op fault that silently defeats
-            // what the plan is trying to inject.
-            if name.starts_with("transport.") {
+            // Transport-style channels use the delay parameter as a
+            // hold/jitter timeout; an explicit zero would deliver "delayed"
+            // envelopes at the same instant — a no-op fault that silently
+            // defeats what the plan is trying to inject. `alloc.delay` (the
+            // fleet control plane's message-delay channel) has the same
+            // semantics.
+            let base = name.split('@').next().unwrap_or(name.as_str());
+            if base.starts_with("transport.") || base == "alloc.delay" {
                 if let Some(d) = spec.delay {
                     if d.is_zero() {
                         return Err(format!(
@@ -195,6 +198,22 @@ impl FaultPlan {
                              (omit the delay to use the channel default instead)"
                         ));
                     }
+                }
+            }
+            // A per-instance suffix must be well-formed: "@shard" followed
+            // by a shard index. A malformed one ("@shrd2", "@shard",
+            // "@shard1x") would never match any instance and be silently
+            // inert. Whether the index is *in range* is checked where the
+            // topology width is known (the experiment config validator).
+            if let Some((_, tag)) = name.split_once('@') {
+                let ok = tag
+                    .strip_prefix("shard")
+                    .is_some_and(|ix| !ix.is_empty() && ix.bytes().all(|b| b.is_ascii_digit()));
+                if !ok {
+                    return Err(format!(
+                        "fault channel {name:?} has a malformed instance suffix \
+                         (want e.g. \"@shard2\")"
+                    ));
                 }
             }
         }
@@ -724,5 +743,49 @@ mod tests {
         let typo = FaultPlan::new(1).channel("controler.crash@shard3", 1.0);
         let warnings = typo.validate(&polled).expect("well-formed");
         assert_eq!(warnings.len(), 1, "warnings: {warnings:?}");
+    }
+
+    #[test]
+    fn validate_rejects_zero_alloc_delay() {
+        let polled = ["alloc.delay", "alloc.report_drop"];
+        // The fleet control plane's delay channel follows the transport
+        // rule: an explicit zero delay is a silent no-op, so it's an error —
+        // on the bare channel and on per-shard instances alike.
+        for name in ["alloc.delay", "alloc.delay@shard1"] {
+            let zero = FaultPlan::new(1)
+                .with_channel(name, FaultSpec::rate(1.0).with_delay(SimDuration::ZERO));
+            assert!(
+                zero.validate(&polled).is_err(),
+                "{name}: zero delay must be rejected"
+            );
+        }
+        let ok = FaultPlan::new(1)
+            .with_channel(
+                "alloc.delay",
+                FaultSpec::rate(1.0).with_delay(SimDuration::from_secs(30)),
+            )
+            .channel("alloc.report_drop", 0.2);
+        assert!(ok.validate(&polled).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_malformed_instance_suffixes() {
+        let polled = ["controller.crash", "alloc.report_drop"];
+        for name in [
+            "controller.crash@shrd2",
+            "controller.crash@shard",
+            "alloc.report_drop@shard1x",
+            "alloc.report_drop@2",
+        ] {
+            let plan = FaultPlan::new(1).channel(name, 1.0);
+            assert!(
+                plan.validate(&polled).is_err(),
+                "{name}: malformed suffix must be rejected"
+            );
+        }
+        // Well-formed suffixes stay accepted (range checking happens where
+        // the topology width is known).
+        let ok = FaultPlan::new(1).channel("alloc.report_drop@shard12", 1.0);
+        assert!(ok.validate(&polled).expect("valid").is_empty());
     }
 }

@@ -1,0 +1,366 @@
+//! The fleet control-plane chaos swarm: the leased allocation protocol
+//! must be invisible when healthy and bounded when faulted.
+//!
+//! Claims proven here:
+//!
+//! 1. **Zero-fault identity** — with no fleet fault channels, the leased
+//!    control plane (reports, lease books, renewal directives) produces
+//!    bit-identical results to a ledger-free run at every worker-thread
+//!    count, across 8 seeds and all three routing policies. The ledger
+//!    itself is deterministic (virtual-time counters only) and is nulled
+//!    before whole-report comparison.
+//! 2. **Partition autonomy** — a 120 s control-plane partition of one
+//!    shard (reports and directives both dropped) lets its lease lapse:
+//!    within one TTL of the partition's start the shard degrades itself to
+//!    its declared fallback (never above the floor), the allocator holds
+//!    its stale allocation, the fleet oracle stays silent, and the healthy
+//!    peers' SLO attainment stays within one goal cell of the fault-free
+//!    twin — across a ≥ 24-combo seed × routing × thread swarm.
+//! 3. **Allocator crash-failover** — killing the global allocator mid
+//!    flash crowd loses in-flight reports, expires the unluckiest shard's
+//!    lease, and cold-restarts into a bumped epoch reconstructed purely
+//!    from shard reports: a delayed directive from the dead incarnation is
+//!    fenced as stale on arrival, and the fleet reconverges to the
+//!    fault-free twin's grants within the plan ε-band in finite MTTR.
+//!
+//! The swarm writes an aggregate ledger artifact to
+//! `target/chaos/fleet-swarm.json` (uploaded by the `fleet-chaos` CI job).
+
+use query_scheduler::core::class::ServiceClass;
+use query_scheduler::core::scheduler::SchedulerConfig;
+use query_scheduler::experiments::config::{
+    ControllerSpec, ExperimentConfig, RoutingPolicy, ShardSpec,
+};
+use query_scheduler::experiments::report::RunReport;
+use query_scheduler::experiments::world::{run_experiment, RunOutput};
+use query_scheduler::sim::{ChaosTrack, FaultPlan, FaultSpec, SimDuration};
+use query_scheduler::workload::Schedule;
+
+/// Three classes on a three-backend fleet. `periods` picks the schedule:
+/// short two-period runs for the identity swarm, a three-period flash
+/// crowd (surge in the middle) for the fault scenarios.
+fn fleet_config(
+    seed: u64,
+    routing: RoutingPolicy,
+    worker_threads: usize,
+    flash_crowd: bool,
+) -> ExperimentConfig {
+    let schedule = if flash_crowd {
+        Schedule::new(
+            SimDuration::from_secs(90),
+            vec![vec![3, 3, 12], vec![6, 2, 24], vec![3, 3, 12]],
+        )
+    } else {
+        Schedule::new(
+            SimDuration::from_secs(60),
+            vec![vec![2, 2, 10], vec![4, 1, 16]],
+        )
+    };
+    let mut cfg = ExperimentConfig {
+        seed,
+        dbms: Default::default(),
+        schedule,
+        classes: ServiceClass::paper_classes(),
+        controller: ControllerSpec::QueryScheduler(SchedulerConfig {
+            control_interval: SimDuration::from_secs(30),
+            ..SchedulerConfig::default()
+        }),
+        warmup_periods: 0,
+        record_sample: None,
+        behaviors: None,
+        trace: None,
+        faults: None,
+        oracle: Default::default(),
+        resilience: Default::default(),
+        flips: Vec::new(),
+        shard: None,
+    };
+    // One fleet budget across three backends.
+    if let ControllerSpec::QueryScheduler(sc) = &mut cfg.controller {
+        sc.system_limit = query_scheduler::dbms::Timerons::new(sc.system_limit.get() * 3.0);
+    }
+    let mut spec = ShardSpec::new(3);
+    spec.routing = routing;
+    spec.worker_threads = worker_threads;
+    spec.allocation_interval = if flash_crowd {
+        SimDuration::from_secs(60)
+    } else {
+        // Deliberately misaligned with the control interval.
+        SimDuration::from_secs(45)
+    };
+    cfg.shard = Some(spec);
+    cfg.oracle.panic_on_violation = true;
+    cfg.resilience.measure_mttr = false;
+    cfg
+}
+
+fn digest(out: &RunOutput) -> u64 {
+    out.oracle
+        .as_ref()
+        .expect("oracle enabled in swarm configs")
+        .recorder_digest
+}
+
+/// The report with every wall-clock and ledger field nulled: what must be
+/// bit-identical across worker-thread counts.
+fn comparable(report: &RunReport) -> RunReport {
+    let mut r = report.clone();
+    r.perf = None;
+    r.fleet = None;
+    if let Some(s) = &mut r.shards {
+        s.allocator = s.allocator.normalized();
+    }
+    r
+}
+
+#[test]
+fn zero_fault_leased_plane_is_bit_identical_across_thread_counts() {
+    for seed in 0..8u64 {
+        for routing in [
+            RoutingPolicy::Hash,
+            RoutingPolicy::LeastLoaded,
+            RoutingPolicy::ClassAffinity,
+        ] {
+            let serial = run_experiment(&fleet_config(seed, routing, 1, false));
+            let ledger = serial.report.fleet.as_ref().expect("leased plane ledger");
+            assert!(
+                ledger.reports_sent > 0 && ledger.directives_sent > 0,
+                "seed {seed} {routing:?}: the lease plane must actually run"
+            );
+            assert_eq!(
+                (
+                    ledger.reports_dropped,
+                    ledger.reports_delayed,
+                    ledger.directives_dropped,
+                    ledger.stale_solves,
+                    ledger.lease_expiries,
+                    ledger.stale_rejected,
+                    ledger.allocator_crashes,
+                    ledger.oracle_violations,
+                ),
+                (0, 0, 0, 0, 0, 0, 0, 0),
+                "seed {seed} {routing:?}: a fault-free plane must be silent"
+            );
+            assert!(
+                ledger.oracle_checks > 0,
+                "fleet oracle must observe the run"
+            );
+            assert!(
+                ledger.autonomy.is_empty() && ledger.crashes.is_empty(),
+                "seed {seed} {routing:?}: no autonomy or crashes without faults"
+            );
+
+            for threads in [2usize, 4] {
+                let parallel = run_experiment(&fleet_config(seed, routing, threads, false));
+                assert_eq!(
+                    digest(&serial),
+                    digest(&parallel),
+                    "seed {seed} {routing:?} threads {threads}: digest diverged"
+                );
+                assert_eq!(
+                    serial.summary, parallel.summary,
+                    "seed {seed} {routing:?} threads {threads}: summary diverged"
+                );
+                // The ledger is pure virtual-time accounting, so it too is
+                // thread-count invariant…
+                assert_eq!(
+                    serial.report.fleet, parallel.report.fleet,
+                    "seed {seed} {routing:?} threads {threads}: ledger diverged"
+                );
+                // …and with it nulled, the whole report is bit-identical.
+                assert_eq!(
+                    serde_json::to_string(&comparable(&serial.report)).unwrap(),
+                    serde_json::to_string(&comparable(&parallel.report)).unwrap(),
+                    "seed {seed} {routing:?} threads {threads}: report diverged"
+                );
+            }
+        }
+    }
+}
+
+/// A 120 s control-plane partition of shard 1: both directions severed.
+fn partition_plan(seed: u64) -> FaultPlan {
+    let chans = ["alloc.report_drop@shard1", "alloc.directive_drop@shard1"];
+    let mut fp = FaultPlan::new(0xF1EE7 ^ seed);
+    for c in chans {
+        fp = fp.with_channel(c, FaultSpec::rate(1.0));
+    }
+    fp.with_track(ChaosTrack::windows(
+        &chans,
+        &[(SimDuration::from_secs(110), SimDuration::from_secs(230))],
+    ))
+}
+
+#[test]
+fn partitioned_shard_degrades_to_fallback_and_peers_hold_slo() {
+    let mut artifact_rows = Vec::new();
+    for seed in 0..8u64 {
+        for routing in [
+            RoutingPolicy::Hash,
+            RoutingPolicy::LeastLoaded,
+            RoutingPolicy::ClassAffinity,
+        ] {
+            let threads = 1 + (seed as usize % 2);
+            let mut cfg = fleet_config(seed, routing, threads, true);
+            cfg.faults = Some(partition_plan(seed));
+            // panic_on_violation is on: reaching the assertions below means
+            // the fleet oracle saw zero violations.
+            let out = run_experiment(&cfg);
+            let ledger = out.report.fleet.as_ref().expect("ledger");
+            let spec = cfg.shard.as_ref().expect("sharded");
+            let ttl = spec.lease_ttl();
+            let budget = match &cfg.controller {
+                ControllerSpec::QueryScheduler(sc) => sc.system_limit.get(),
+                _ => unreachable!(),
+            };
+            let floor = spec.fallback() * budget / 3.0;
+
+            assert_eq!(ledger.oracle_violations, 0, "seed {seed} {routing:?}");
+            assert!(
+                ledger.reports_dropped > 0 && ledger.directives_dropped > 0,
+                "seed {seed} {routing:?}: the partition must actually drop traffic"
+            );
+            assert!(
+                ledger.stale_solves > 0,
+                "seed {seed} {routing:?}: the staleness guard must hold the silent shard"
+            );
+            assert!(
+                ledger.lease_expiries >= 1,
+                "seed {seed} {routing:?}: the partitioned shard's lease must lapse"
+            );
+            let windows: Vec<_> = ledger.autonomy.iter().filter(|w| w.shard == 1).collect();
+            assert!(
+                !windows.is_empty(),
+                "seed {seed} {routing:?}: shard 1 must enter autonomy"
+            );
+            let first = windows[0];
+            assert!(
+                first.start.as_secs_f64() <= 110.0 + ttl.as_secs_f64(),
+                "seed {seed} {routing:?}: autonomy must begin within one TTL of the cut, \
+                 started at {:.1}s",
+                first.start.as_secs_f64()
+            );
+            assert!(
+                first.fallback_limit <= floor + 1e-9,
+                "seed {seed} {routing:?}: fallback {:.3} above the floor {floor:.3}",
+                first.fallback_limit
+            );
+            let end = first.end.expect("the healed partition re-leases shard 1");
+            assert!(end > first.start, "seed {seed} {routing:?}");
+
+            // Healthy peers stay within one goal cell (1/9 here) of the
+            // fault-free twin.
+            let mut twin_cfg = cfg.clone();
+            twin_cfg.faults = None;
+            let twin = run_experiment(&twin_cfg);
+            let rows = &out.report.shards.as_ref().expect("rows").rows;
+            let twin_rows = &twin.report.shards.as_ref().expect("rows").rows;
+            let cell = 1.0 / 9.0 + 1e-9;
+            for k in [0usize, 2] {
+                let delta = (rows[k].slo_attainment - twin_rows[k].slo_attainment).abs();
+                assert!(
+                    delta <= cell,
+                    "seed {seed} {routing:?}: peer shard {k} drifted {delta:.3} \
+                     (> one goal cell) from the fault-free twin"
+                );
+            }
+
+            artifact_rows.push(serde_json::json!({
+                "seed": seed,
+                "routing": format!("{routing:?}"),
+                "worker_threads": threads,
+                "ledger": ledger,
+            }));
+        }
+    }
+    let dir = std::path::Path::new("target/chaos");
+    std::fs::create_dir_all(dir).expect("create artifact dir");
+    std::fs::write(
+        dir.join("fleet-swarm.json"),
+        serde_json::to_string_pretty(&serde_json::json!({
+            "swarm": "fleet-partition",
+            "combos": artifact_rows.len(),
+            "rows": artifact_rows,
+        }))
+        .expect("serialize artifact"),
+    )
+    .expect("write artifact");
+}
+
+/// Kill the allocator at the 90 s barrier (the flash crowd's onset) and
+/// delay shard 1's barrier-60 report and directive by 70 s, so an epoch-1
+/// directive lands after the epoch-2 restart has fenced it.
+fn crash_plan(seed: u64) -> FaultPlan {
+    let delayed = FaultSpec {
+        delay: Some(SimDuration::from_secs(70)),
+        ..FaultSpec::rate(1.0).limited(2)
+    };
+    FaultPlan::new(0xA110C ^ seed)
+        .with_channel("allocator.crash", FaultSpec::rate(1.0).limited(1))
+        .with_channel("alloc.delay@shard1", delayed)
+        .with_track(ChaosTrack::windows(
+            &["allocator.crash"],
+            &[(SimDuration::from_secs(85), SimDuration::from_secs(95))],
+        ))
+        .with_track(ChaosTrack::windows(
+            &["alloc.delay@shard1"],
+            &[(SimDuration::from_secs(55), SimDuration::from_secs(65))],
+        ))
+}
+
+#[test]
+fn allocator_crash_recovers_with_finite_mttr_and_fences_stale_directives() {
+    for seed in [3u64, 11] {
+        let mut cfg = fleet_config(seed, RoutingPolicy::Hash, 2, true);
+        if let Some(spec) = &mut cfg.shard {
+            spec.allocation_interval = SimDuration::from_secs(30);
+        }
+        cfg.resilience.measure_mttr = true;
+        cfg.faults = Some(crash_plan(seed));
+        let out = run_experiment(&cfg);
+        let ledger = out.report.fleet.as_ref().expect("ledger");
+
+        assert_eq!(ledger.allocator_crashes, 1, "seed {seed}");
+        assert_eq!(ledger.oracle_violations, 0, "seed {seed}");
+        let crash = &ledger.crashes[0];
+        assert_eq!(crash.at.as_secs_f64(), 90.0, "seed {seed}: crash barrier");
+        assert_eq!(
+            crash.restarted_at.map(|t| t.as_secs_f64()),
+            Some(120.0),
+            "seed {seed}: cold restart at the next barrier"
+        );
+        assert!(
+            ledger.reports_lost_downtime >= 1,
+            "seed {seed}: reports addressed to the dead allocator are lost"
+        );
+        assert!(
+            ledger.epoch >= 2,
+            "seed {seed}: the restart must bump the epoch past the fence"
+        );
+        assert!(
+            ledger.stale_rejected > 0,
+            "seed {seed}: the delayed epoch-1 directive must be fenced as stale"
+        );
+        assert!(
+            ledger.lease_expiries >= 1,
+            "seed {seed}: the delayed renewal must cost shard 1 its lease"
+        );
+        assert!(
+            ledger.all_reconverged(),
+            "seed {seed}: the rebuilt allocator must reconverge to the twin's plan"
+        );
+        let mttr = ledger.max_mttr_secs().expect("reconverged implies MTTR");
+        assert!(
+            mttr > 0.0 && mttr <= 180.0,
+            "seed {seed}: fleet MTTR {mttr:.1}s out of range"
+        );
+
+        let dir = std::path::Path::new("target/chaos");
+        std::fs::create_dir_all(dir).expect("create artifact dir");
+        std::fs::write(
+            dir.join(format!("fleet-crash-ledger-{seed}.json")),
+            serde_json::to_string_pretty(ledger).expect("serialize ledger"),
+        )
+        .expect("write ledger artifact");
+    }
+}

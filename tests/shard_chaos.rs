@@ -16,7 +16,9 @@
 use query_scheduler::core::class::ServiceClass;
 use query_scheduler::core::scheduler::SchedulerConfig;
 use query_scheduler::dbms::Timerons;
-use query_scheduler::experiments::config::{ControllerSpec, ExperimentConfig, ShardSpec};
+use query_scheduler::experiments::config::{
+    ControllerSpec, ExperimentConfig, RoutingPolicy, ShardSpec,
+};
 use query_scheduler::experiments::world::run_experiment;
 use query_scheduler::sim::{ChaosTrack, FaultPlan, FaultSpec, SimDuration};
 use query_scheduler::workload::Schedule;
@@ -24,7 +26,7 @@ use query_scheduler::workload::Schedule;
 /// A three-backend fleet under a flash crowd: period 2 (90–180 s) triples
 /// the OLTP population. The fleet budget is 3× the single-machine paper
 /// budget; checkpoints every 20 s bound the crash's data loss.
-fn fleet_config(seed: u64) -> ExperimentConfig {
+fn fleet_config(seed: u64, routing: RoutingPolicy) -> ExperimentConfig {
     let mut cfg = ExperimentConfig {
         seed,
         dbms: Default::default(),
@@ -49,6 +51,7 @@ fn fleet_config(seed: u64) -> ExperimentConfig {
         shard: None,
     };
     let mut spec = ShardSpec::new(3);
+    spec.routing = routing;
     spec.allocation_interval = SimDuration::from_secs(60);
     cfg.shard = Some(spec);
     cfg.oracle.panic_on_violation = true;
@@ -70,69 +73,91 @@ fn crash_shard1_plan(seed: u64) -> FaultPlan {
 
 #[test]
 fn one_shard_crash_mid_flash_crowd_stays_partial_and_recovers() {
-    let seed = 1234;
-    let healthy = run_experiment(&fleet_config(seed));
-    let mut crashed_cfg = fleet_config(seed);
-    crashed_cfg.faults = Some(crash_shard1_plan(seed));
-    let crashed = run_experiment(&crashed_cfg);
+    // Partial failure must stay partial under every routing policy: the
+    // workload split (and so which queries shard 1 loses in the crash)
+    // differs per policy, but the isolation and recovery claims do not.
+    for routing in [
+        RoutingPolicy::Hash,
+        RoutingPolicy::LeastLoaded,
+        RoutingPolicy::ClassAffinity,
+    ] {
+        let seed = 1234;
+        let healthy = run_experiment(&fleet_config(seed, routing));
+        let mut crashed_cfg = fleet_config(seed, routing);
+        crashed_cfg.faults = Some(crash_shard1_plan(seed));
+        let crashed = run_experiment(&crashed_cfg);
 
-    // Fleet-wide oracle stays green (panic_on_violation would have aborted
-    // already; the explicit check guards against silent disablement).
-    let oracle = crashed.oracle.as_ref().expect("oracle enabled");
-    assert_eq!(oracle.stats.violations, 0, "fleet oracle must stay green");
-    assert!(oracle.stats.checks_run > 0, "fleet oracle must have run");
-
-    let fleet = crashed.report.shards.as_ref().expect("fleet report");
-    let healthy_fleet = healthy.report.shards.as_ref().expect("fleet report");
-    assert_eq!(fleet.rows.len(), 3);
-
-    // The crash stayed on shard 1…
-    assert_eq!(fleet.rows[1].crashes, 1, "shard 1 crashed exactly once");
-    for k in [0usize, 2] {
+        // Fleet-wide oracle stays green (panic_on_violation would have
+        // aborted already; the explicit check guards against silent
+        // disablement).
+        let oracle = crashed.oracle.as_ref().expect("oracle enabled");
         assert_eq!(
-            fleet.rows[k].crashes, 0,
-            "shard {k} must not see shard 1's crash"
+            oracle.stats.violations, 0,
+            "{routing:?}: fleet oracle must stay green"
         );
-    }
-    // …and the fault ledger names the shard explicitly.
-    assert_eq!(
-        crashed.fault_counts.get("controller.crash@shard1"),
-        Some(&1),
-        "fault counts carry per-shard channel names: {:?}",
-        crashed.fault_counts
-    );
-
-    // The crashed shard reconverged: finite per-shard MTTR against its own
-    // crash-free reference twin.
-    let mttr = fleet.rows[1]
-        .max_mttr_secs
-        .expect("crashed shard reports a finite MTTR");
-    assert!(
-        mttr.is_finite() && mttr > 0.0,
-        "MTTR must be a positive finite duration, got {mttr}"
-    );
-
-    // Surviving shards keep their SLOs: attainment matches the crash-free
-    // fleet run on the same seed (the global allocator may shuffle budget
-    // in response to the crash, so allow at most one (period, class) cell
-    // of drift out of the nine each shard scores).
-    let one_cell = 1.0 / 9.0 + 1e-9;
-    for k in [0usize, 2] {
         assert!(
-            fleet.rows[k].slo_attainment >= healthy_fleet.rows[k].slo_attainment - one_cell,
-            "shard {k}: SLO attainment {:.3} dropped more than one cell below the \
-             crash-free fleet's {:.3}",
-            fleet.rows[k].slo_attainment,
-            healthy_fleet.rows[k].slo_attainment
+            oracle.stats.checks_run > 0,
+            "{routing:?}: fleet oracle must have run"
+        );
+
+        let fleet = crashed.report.shards.as_ref().expect("fleet report");
+        let healthy_fleet = healthy.report.shards.as_ref().expect("fleet report");
+        assert_eq!(fleet.rows.len(), 3);
+
+        // The crash stayed on shard 1…
+        assert_eq!(
+            fleet.rows[1].crashes, 1,
+            "{routing:?}: shard 1 crashed exactly once"
+        );
+        for k in [0usize, 2] {
+            assert_eq!(
+                fleet.rows[k].crashes, 0,
+                "{routing:?}: shard {k} must not see shard 1's crash"
+            );
+        }
+        // …and the fault ledger names the shard explicitly.
+        assert_eq!(
+            crashed.fault_counts.get("controller.crash@shard1"),
+            Some(&1),
+            "{routing:?}: fault counts carry per-shard channel names: {:?}",
+            crashed.fault_counts
+        );
+
+        // The crashed shard reconverged: finite per-shard MTTR against its
+        // own crash-free reference twin.
+        let mttr = fleet.rows[1]
+            .max_mttr_secs
+            .expect("crashed shard reports a finite MTTR");
+        assert!(
+            mttr.is_finite() && mttr > 0.0,
+            "{routing:?}: MTTR must be a positive finite duration, got {mttr}"
+        );
+
+        // Surviving shards keep their SLOs: attainment matches the
+        // crash-free fleet run on the same seed (the global allocator may
+        // shuffle budget in response to the crash, so allow at most one
+        // (period, class) cell of drift out of the nine each shard scores).
+        let one_cell = 1.0 / 9.0 + 1e-9;
+        for k in [0usize, 2] {
+            assert!(
+                fleet.rows[k].slo_attainment >= healthy_fleet.rows[k].slo_attainment - one_cell,
+                "{routing:?}: shard {k}: SLO attainment {:.3} dropped more than one \
+                 cell below the crash-free fleet's {:.3}",
+                fleet.rows[k].slo_attainment,
+                healthy_fleet.rows[k].slo_attainment
+            );
+        }
+
+        // The merged resilience ledger carries shard 1's crash.
+        let res = crashed
+            .report
+            .resilience
+            .as_ref()
+            .expect("resilience report");
+        assert_eq!(res.crashes.len(), 1, "{routing:?}");
+        assert!(
+            res.all_reconverged(),
+            "{routing:?}: the fleet's only crash reconverged"
         );
     }
-
-    // The merged resilience ledger carries shard 1's crash.
-    let res = crashed
-        .report
-        .resilience
-        .as_ref()
-        .expect("resilience report");
-    assert_eq!(res.crashes.len(), 1);
-    assert!(res.all_reconverged(), "the fleet's only crash reconverged");
 }
